@@ -1,0 +1,57 @@
+// Ablation of the random forest's own knobs (the paper grid-searched tree
+// depth): ensemble size, depth, and per-node feature sampling.
+
+#include "bench_common.hpp"
+#include "core/prediction.hpp"
+#include "ml/random_forest.hpp"
+
+int main() {
+  using namespace ssdfail;
+  const auto fleet = bench::default_fleet();
+  bench::print_banner("Ablation — random-forest hyperparameters (N = 1)",
+                      "the paper tuned max depth by grid search; forests are robust "
+                      "across a broad range of settings",
+                      fleet);
+
+  const ml::Dataset data = core::build_dataset(fleet, bench::default_build_options(1));
+
+  io::TextTable trees_table("ensemble size");
+  trees_table.set_header({"n_trees", "AUC +- sd"});
+  for (std::size_t n_trees : {5u, 25u, 100u, 200u}) {
+    ml::RandomForest::Params params;
+    params.n_trees = n_trees;
+    const ml::RandomForest forest(params);
+    const auto ms = core::evaluate_auc(forest, data).auc();
+    trees_table.add_row({std::to_string(n_trees),
+                         io::TextTable::num(ms.mean, 3) + " +- " +
+                             io::TextTable::num(ms.sd, 3)});
+  }
+  trees_table.print(std::cout);
+
+  io::TextTable depth_table("max tree depth");
+  depth_table.set_header({"max_depth", "AUC +- sd"});
+  for (std::size_t depth : {2u, 6u, 10u, 14u, 20u}) {
+    ml::RandomForest::Params params;
+    params.max_depth = depth;
+    const ml::RandomForest forest(params);
+    const auto ms = core::evaluate_auc(forest, data).auc();
+    depth_table.add_row({std::to_string(depth),
+                         io::TextTable::num(ms.mean, 3) + " +- " +
+                             io::TextTable::num(ms.sd, 3)});
+  }
+  depth_table.print(std::cout);
+
+  io::TextTable mtry_table("features sampled per node (0 = sqrt)");
+  mtry_table.set_header({"max_features", "AUC +- sd"});
+  for (std::size_t mtry : {0u, 2u, 8u, 16u, 31u}) {
+    ml::RandomForest::Params params;
+    params.max_features = mtry;
+    const ml::RandomForest forest(params);
+    const auto ms = core::evaluate_auc(forest, data).auc();
+    mtry_table.add_row({std::to_string(mtry),
+                        io::TextTable::num(ms.mean, 3) + " +- " +
+                            io::TextTable::num(ms.sd, 3)});
+  }
+  mtry_table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Ablation: impurity importance (the paper's Fig 16 method) vs
+// model-agnostic permutation importance, plus feature-GROUP knockout —
+// which feature families actually carry the predictive signal?
+
+#include "bench_common.hpp"
+#include "core/prediction.hpp"
+#include "ml/downsample.hpp"
+#include "ml/model_zoo.hpp"
+
+int main() {
+  using namespace ssdfail;
+  const auto fleet = bench::default_fleet();
+  bench::print_banner(
+      "Ablation — feature importance methods and group knockout (RF, N = 1)",
+      "Fig 16 uses impurity importance; permutation importance is the "
+      "model-agnostic check; group knockout quantifies whole families",
+      fleet);
+
+  auto opts = bench::default_build_options(1);
+  const ml::Dataset data = core::build_dataset(fleet, opts);
+
+  // Train/test split by drive for the permutation study.
+  const auto splits = ml::group_k_fold(data, 5, 11);
+  const ml::Dataset train =
+      ml::downsample_negatives(data.subset(splits[0].train), 1.0, 5);
+  const ml::Dataset test = data.subset(splits[0].test);
+
+  auto forest = ml::make_model(ml::ModelKind::kRandomForest);
+  forest->fit(train);
+
+  const auto perm = core::permutation_importance(*forest, test, 17, 2);
+  const auto impurity = core::forest_feature_importance(data);
+
+  io::TextTable table("Top-10 by permutation importance (AUC drop)");
+  table.set_header({"rank", "feature", "AUC drop", "impurity rank"});
+  for (std::size_t i = 0; i < 10 && i < perm.size(); ++i) {
+    std::size_t impurity_rank = 0;
+    for (std::size_t j = 0; j < impurity.size(); ++j)
+      if (impurity[j].name == perm[i].name) impurity_rank = j + 1;
+    table.add_row({std::to_string(i + 1), perm[i].name,
+                   io::TextTable::num(perm[i].importance, 4),
+                   std::to_string(impurity_rank)});
+  }
+  table.print(std::cout);
+
+  // --- Feature-group knockout: zero out a family, retrain, re-evaluate.
+  struct Group {
+    const char* name;
+    std::vector<std::string> members;
+  };
+  const Group groups[] = {
+      {"workload (reads/writes/erases)",
+       {"read_count", "write_count", "erase_count", "cum_read_count",
+        "cum_write_count", "cum_erase_count"}},
+      {"error counts (all types)",
+       {"correctable_error", "erase_error", "final_read_error", "final_write_error",
+        "meta_error", "read_error", "response_error", "timeout_error",
+        "uncorrectable_error", "write_error", "cum_correctable_error",
+        "cum_erase_error", "cum_final_read_error", "cum_final_write_error",
+        "cum_meta_error", "cum_read_error", "cum_response_error",
+        "cum_timeout_error", "cum_uncorrectable_error", "cum_write_error",
+        "corr_err_rate"}},
+      {"bad blocks", {"new_bad_blocks", "cum_bad_block_count"}},
+      {"age & wear", {"drive_age_days", "pe_cycles"}},
+      {"status flags", {"status_read_only"}},
+  };
+
+  io::TextTable knockout("Group knockout: CV AUC without the family");
+  knockout.set_header({"removed family", "AUC +- sd", "drop vs full"});
+  const auto full_model = ml::make_model(ml::ModelKind::kRandomForest);
+  const double full_auc = core::evaluate_auc(*full_model, data).auc().mean;
+  knockout.add_row({"(none — full model)", io::TextTable::num(full_auc, 3), "--"});
+  for (const Group& group : groups) {
+    ml::Dataset ablated = data;
+    for (const std::string& name : group.members) {
+      const std::size_t col = core::FeatureExtractor::index_of(name);
+      for (std::size_t r = 0; r < ablated.size(); ++r) ablated.x(r, col) = 0.0f;
+    }
+    const auto model = ml::make_model(ml::ModelKind::kRandomForest);
+    const auto ms = core::evaluate_auc(*model, ablated).auc();
+    knockout.add_row({group.name,
+                      io::TextTable::num(ms.mean, 3) + " +- " +
+                          io::TextTable::num(ms.sd, 3),
+                      io::TextTable::num(full_auc - ms.mean, 3)});
+  }
+  knockout.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Ablations of the evaluation-protocol design choices called out in
+// DESIGN.md / Section 5.1:
+//   (a) training downsampling ratio (the paper settled on 1:1),
+//   (b) test-side negative subsampling rate (must not move the AUC),
+//   (c) repeated downsampling seeds (the paper reports ~±0.001 wobble),
+//   (d) the single-feature threshold baseline vs the forest
+//       ("no single metric triggers a drive failure at a threshold").
+
+#include "bench_common.hpp"
+#include "core/prediction.hpp"
+#include "ml/model_zoo.hpp"
+
+int main() {
+  using namespace ssdfail;
+  const auto fleet = bench::default_fleet();
+  bench::print_banner("Ablation — evaluation-protocol choices",
+                      "1:1 downsampling is as good as richer ratios; test-side "
+                      "subsampling leaves AUC unchanged; downsampling-seed wobble is "
+                      "small; no single-feature threshold rule approaches the forest",
+                      fleet);
+
+  const ml::Dataset data = core::build_dataset(fleet, bench::default_build_options(1));
+  std::printf("dataset: %zu rows, %zu positives\n\n", data.size(), data.positives());
+
+  // (a) training downsampling ratio.
+  io::TextTable ratio_table("(a) training negatives-per-positive ratio (RF, N=1)");
+  ratio_table.set_header({"ratio", "AUC +- sd"});
+  for (double ratio : {0.5, 1.0, 2.0, 5.0}) {
+    const auto model = ml::make_model(ml::ModelKind::kRandomForest);
+    core::EvalProtocol protocol;
+    protocol.train_downsample_ratio = ratio;
+    const auto ms = core::evaluate_auc(*model, data, protocol).auc();
+    ratio_table.add_row({io::TextTable::num(ratio, 1),
+                         io::TextTable::num(ms.mean, 3) + " +- " +
+                             io::TextTable::num(ms.sd, 3)});
+  }
+  ratio_table.print(std::cout);
+
+  // (b) test-side negative keep probability.
+  io::TextTable keep_table("(b) test-side negative keep probability (DT, N=1)");
+  keep_table.set_header({"keep prob", "rows", "AUC"});
+  for (double keep : {0.02, 0.005, 0.002}) {
+    auto opts = bench::default_build_options(1);
+    opts.negative_keep_prob = keep;
+    const ml::Dataset d = core::build_dataset(fleet, opts);
+    const auto model = ml::make_model(ml::ModelKind::kDecisionTree);
+    const auto ms = core::evaluate_auc(*model, d).auc();
+    keep_table.add_row({io::TextTable::num(keep, 3), std::to_string(d.size()),
+                        io::TextTable::num(ms.mean, 3)});
+  }
+  keep_table.print(std::cout);
+
+  // (c) downsampling-seed wobble.
+  io::TextTable seed_table("(c) downsampling-seed sensitivity (RF, N=1)");
+  seed_table.set_header({"protocol seed", "AUC"});
+  std::vector<double> seed_aucs;
+  for (std::uint64_t seed : {5ull, 77ull, 901ull, 4242ull}) {
+    const auto model = ml::make_model(ml::ModelKind::kRandomForest);
+    core::EvalProtocol protocol;
+    protocol.seed = seed;
+    const double auc = core::evaluate_auc(*model, data, protocol).auc().mean;
+    seed_aucs.push_back(auc);
+    seed_table.add_row({std::to_string(seed), io::TextTable::num(auc, 4)});
+  }
+  const auto wobble = ml::mean_sd(seed_aucs);
+  seed_table.add_row({"sd across seeds", io::TextTable::num(wobble.sd, 4) +
+                                             " (paper: ~0.001 for downsampling alone; "
+                                             "our seed also reshuffles folds)"});
+  seed_table.print(std::cout);
+
+  // (d) threshold baseline vs the model zoo.
+  io::TextTable base_table("(d) single-feature threshold baseline vs models (N=1)");
+  base_table.set_header({"model", "AUC +- sd"});
+  for (ml::ModelKind kind : {ml::ModelKind::kThresholdBaseline,
+                             ml::ModelKind::kLogisticRegression,
+                             ml::ModelKind::kRandomForest}) {
+    const auto model = ml::make_model(kind);
+    const auto ms = core::evaluate_auc(*model, data).auc();
+    base_table.add_row({ml::model_display_name(kind),
+                        io::TextTable::num(ms.mean, 3) + " +- " +
+                            io::TextTable::num(ms.sd, 3)});
+  }
+  base_table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,61 @@
+#pragma once
+
+// Shared plumbing for the reproduction bench harnesses.
+//
+// Every bench prints the paper's reported values alongside the reproduced
+// ones so the comparison is visible in the raw output.  Scale knobs:
+//   SSDFAIL_DRIVES_PER_MODEL  (default 4000; paper scale is >10000)
+//   SSDFAIL_SEED              (default 2019)
+//   SSDFAIL_THREADS           (default: hardware concurrency)
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "core/dataset_builder.hpp"
+#include "core/fleet_analysis.hpp"
+#include "io/table.hpp"
+#include "sim/fleet_simulator.hpp"
+
+namespace ssdfail::bench {
+
+/// Fleet used by all reproduction benches (env-scalable).
+[[nodiscard]] inline sim::FleetSimulator default_fleet() {
+  return sim::FleetSimulator(sim::FleetConfig::from_env());
+}
+
+inline void print_banner(const std::string& experiment, const std::string& claim,
+                         const sim::FleetSimulator& fleet) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("  paper: %s\n", claim.c_str());
+  std::printf("  fleet: %u drives/model x 3 models, %d-day window, seed %llu\n",
+              fleet.config().drives_per_model, fleet.config().window_days,
+              static_cast<unsigned long long>(fleet.config().seed));
+  std::printf("==============================================================\n\n");
+}
+
+/// "reproduced (paper)" cell formatting.
+[[nodiscard]] inline std::string vs(double reproduced, double paper, int digits = 3) {
+  return io::TextTable::num(reproduced, digits) + " (" +
+         io::TextTable::num(paper, digits) + ")";
+}
+
+/// "mean ± sd (paper)" cell formatting for CV results.
+[[nodiscard]] inline std::string vs_pm(double mean, double sd, double paper,
+                                       int digits = 3) {
+  return io::TextTable::num(mean, digits) + " +- " + io::TextTable::num(sd, digits) +
+         " (" + io::TextTable::num(paper, digits) + ")";
+}
+
+/// Standard dataset-build options for the prediction benches.  The
+/// negative keep probability is sized so evaluation sets stay tractable
+/// for the O(n_train * n_test) models on 2 cores.
+[[nodiscard]] inline core::DatasetBuildOptions default_build_options(int lookahead) {
+  core::DatasetBuildOptions opts;
+  opts.lookahead_days = lookahead;
+  opts.negative_keep_prob = 0.005;
+  return opts;
+}
+
+}  // namespace ssdfail::bench

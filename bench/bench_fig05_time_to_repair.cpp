@@ -1,0 +1,42 @@
+// Figure 5: CDF of time to repair, with the never-returned censored bar.
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace ssdfail;
+  const auto fleet = bench::default_fleet();
+  bench::print_banner("Figure 5 — time-to-repair CDF",
+                      "about half of swapped drives are never observed to return; "
+                      "most returns take upwards of a year (max 4.85 years)",
+                      fleet);
+
+  const auto suite = core::characterize(fleet);
+
+  // Pool the three models for the fleet-wide figure.
+  stats::CensoredEcdf pooled;
+  for (trace::DriveModel m : trace::kAllModels) pooled.merge(suite.repair_time_days(m));
+
+  io::TextTable table("Fig 5 series");
+  table.set_header({"days", "CDF"});
+  for (double x : {1.0, 3.0, 10.0, 30.0, 100.0, 365.0, 730.0, 1095.0, 1770.0})
+    table.add_row({io::TextTable::num(x, 0), io::TextTable::num(pooled.at(x), 3)});
+  table.add_row({"infinity (never returned)",
+                 io::TextTable::num(pooled.censored_fraction(), 3)});
+  table.print(std::cout);
+
+  std::printf("never-returned fraction: %.1f%%  (paper: ~50%%, here inflated by\n"
+              "window censoring exactly as in the paper's 6-year estimate)\n\n",
+              100.0 * pooled.censored_fraction());
+
+  // Extension: Kaplan-Meier estimate of the repair-completion distribution
+  // (treats drives swapped near the window end as censored observations
+  // instead of "never returned" — undoing the censoring bias).
+  const auto km = stats::kaplan_meier(suite.repair_survival());
+  io::TextTable km_table("KM repair-completion probability 1 - S(t)");
+  km_table.set_header({"days", "P(returned by t)"});
+  for (double x : {10.0, 30.0, 100.0, 365.0, 730.0, 1095.0})
+    km_table.add_row({io::TextTable::num(x, 0),
+                      io::TextTable::num(1.0 - stats::step_at(km, x, 1.0), 3)});
+  km_table.print(std::cout);
+  return 0;
+}

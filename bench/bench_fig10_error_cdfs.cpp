@@ -1,0 +1,52 @@
+// Figure 10: CDFs of cumulative bad-block and uncorrectable-error counts,
+// split by drive class (young-failed / old-failed / not-failed).
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace ssdfail;
+  const auto fleet = bench::default_fleet();
+  bench::print_banner(
+      "Figure 10 — cumulative bad blocks and UEs by drive class",
+      "~80% of non-failed drives never see a UE vs 68% (young failed) and 45% "
+      "(old failed); failed drives' tails reach orders of magnitude higher",
+      fleet);
+
+  const auto suite = core::characterize(fleet);
+  using DC = core::CharacterizationSuite::DriveClass;
+
+  io::TextTable ue("Cumulative uncorrectable errors (CDF)");
+  ue.set_header({"count <=", "Young failed", "Old failed", "Not failed"});
+  for (double x : {0.0, 1.0, 10.0, 100.0, 1e3, 1e4, 1e5, 1e6}) {
+    ue.add_row({io::TextTable::num(x, 0),
+                io::TextTable::num(suite.cum_ue_cdf(DC::kYoungFailed).at(x), 3),
+                io::TextTable::num(suite.cum_ue_cdf(DC::kOldFailed).at(x), 3),
+                io::TextTable::num(suite.cum_ue_cdf(DC::kNotFailed).at(x), 3)});
+  }
+  ue.print(std::cout);
+
+  io::TextTable bb("Cumulative bad blocks (CDF)");
+  bb.set_header({"count <=", "Young failed", "Old failed", "Not failed"});
+  for (double x : {0.0, 1.0, 3.0, 10.0, 30.0, 100.0, 300.0, 1e3, 1e4})
+    bb.add_row({io::TextTable::num(x, 0),
+                io::TextTable::num(suite.cum_bad_block_cdf(DC::kYoungFailed).at(x), 3),
+                io::TextTable::num(suite.cum_bad_block_cdf(DC::kOldFailed).at(x), 3),
+                io::TextTable::num(suite.cum_bad_block_cdf(DC::kNotFailed).at(x), 3)});
+  bb.print(std::cout);
+
+  io::TextTable anchors("Anchors (reproduced vs paper)");
+  anchors.set_header({"statistic", "value"});
+  anchors.add_row({"P(zero UEs | not failed)",
+                   bench::vs(suite.cum_ue_cdf(DC::kNotFailed).at(0.0), 0.80, 2)});
+  anchors.add_row({"P(zero UEs | young failed)",
+                   bench::vs(suite.cum_ue_cdf(DC::kYoungFailed).at(0.0), 0.68, 2)});
+  anchors.add_row({"P(zero UEs | old failed)",
+                   bench::vs(suite.cum_ue_cdf(DC::kOldFailed).at(0.0), 0.45, 2)});
+  const double young_p90 = suite.cum_ue_cdf(DC::kYoungFailed).quantile(0.90);
+  const double old_p90 = suite.cum_ue_cdf(DC::kOldFailed).quantile(0.90);
+  anchors.add_row({"90th-pct UE count young/old ratio",
+                   io::TextTable::num(young_p90 / std::max(old_p90, 1.0), 1) +
+                       " (paper: ~2 orders of magnitude)"});
+  anchors.print(std::cout);
+  return 0;
+}

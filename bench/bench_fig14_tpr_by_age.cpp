@@ -1,0 +1,58 @@
+// Figure 14: true positive rate as a function of drive age, at three
+// conservative probability thresholds (RF, N = 1, pooled CV predictions).
+
+#include "bench_common.hpp"
+#include "core/prediction.hpp"
+#include "ml/model_zoo.hpp"
+
+int main() {
+  using namespace ssdfail;
+  const auto fleet = bench::default_fleet();
+  bench::print_banner(
+      "Figure 14 — TPR by drive age at conservative thresholds",
+      "for all thresholds, recall is markedly higher for drives younger than "
+      "~3 months; TPR 0.2-0.8 depending on threshold",
+      fleet);
+
+  const ml::Dataset data = core::build_dataset(fleet, bench::default_build_options(1));
+  const auto model = ml::make_model(ml::ModelKind::kRandomForest);
+  const core::PooledScores pooled = core::pooled_cv_scores(*model, data);
+  const std::size_t age_col = core::FeatureExtractor::age_index();
+
+  const double thresholds[] = {0.85, 0.90, 0.95};
+  // Age buckets in months: 0-3 (infant), then 3-month steps.
+  const double bucket_months[] = {3, 6, 12, 18, 24, 36, 48, 72};
+
+  io::TextTable table("Fig 14 series: TPR per age bucket");
+  table.set_header({"age bucket (months)", "thr=0.85", "thr=0.90", "thr=0.95",
+                    "positives"});
+  double lo = 0.0;
+  for (double hi : bucket_months) {
+    std::vector<std::string> row = {io::TextTable::num(lo, 0) + "-" +
+                                    io::TextTable::num(hi, 0)};
+    std::uint64_t positives = 0;
+    for (double threshold : thresholds) {
+      std::uint64_t tp = 0;
+      std::uint64_t fn = 0;
+      for (std::size_t i = 0; i < pooled.scores.size(); ++i) {
+        if (pooled.labels[i] < 0.5f) continue;
+        const double age_m = data.x(pooled.row_indices[i], age_col) / 30.44;
+        if (age_m < lo || age_m >= hi) continue;
+        (pooled.scores[i] >= threshold ? tp : fn) += 1;
+      }
+      positives = tp + fn;
+      row.push_back(positives == 0
+                        ? std::string("--")
+                        : io::TextTable::num(static_cast<double>(tp) /
+                                                 static_cast<double>(positives),
+                                             3));
+    }
+    row.push_back(std::to_string(positives));
+    table.add_row(row);
+    lo = hi;
+  }
+  table.print(std::cout);
+  std::printf("paper: the first bucket (age < 3 months) has distinctly higher TPR\n"
+              "at every threshold.\n");
+  return 0;
+}

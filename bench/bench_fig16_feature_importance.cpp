@@ -1,0 +1,42 @@
+// Figure 16: random-forest feature importances for the infant-drive and
+// mature-drive models.
+
+#include "bench_common.hpp"
+#include "core/prediction.hpp"
+
+int main() {
+  using namespace ssdfail;
+  const auto fleet = bench::default_fleet();
+  bench::print_banner(
+      "Figure 16 — feature importance, young vs old models",
+      "young model: drive age, read counts, cum bad blocks, cum final read / "
+      "uncorrectable errors dominate; old model: wear-and-tear features "
+      "(read/write counts, correctable errors, cum bad blocks)",
+      fleet);
+
+  using AF = core::DatasetBuildOptions::AgeFilter;
+  const std::pair<AF, const char*> parts[] = {{AF::kYoungOnly, "Young drives"},
+                                              {AF::kOldOnly, "Old drives"}};
+  for (const auto& [filter, title] : parts) {
+    auto opts = bench::default_build_options(1);
+    opts.age_filter = filter;
+    if (filter == AF::kYoungOnly) opts.negative_keep_prob = 0.05;
+    const ml::Dataset data = core::build_dataset(fleet, opts);
+    const auto ranked = core::forest_feature_importance(data);
+
+    io::TextTable table(std::string(title) + " — top 10 features");
+    table.set_header({"rank", "feature", "importance"});
+    for (std::size_t i = 0; i < std::min<std::size_t>(10, ranked.size()); ++i)
+      table.add_row({std::to_string(i + 1), ranked[i].name,
+                     io::TextTable::num(ranked[i].importance, 4)});
+    table.print(std::cout);
+  }
+
+  std::printf("paper (young top-10): drive age, read count, cum read count, cum bad\n"
+              "block count, cum final read error, cum uncorr error, write count,\n"
+              "status read only, cum corr error, corr error.\n"
+              "paper (old top-10): read count, corr error, cum bad block count, write\n"
+              "count, cum final read error, cum read count, drive age, corr err rate,\n"
+              "final read error, cum write count.\n");
+  return 0;
+}

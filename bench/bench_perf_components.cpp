@@ -1,0 +1,153 @@
+// Performance microbenchmarks (google-benchmark) for the heavy components:
+// simulation throughput, timeline derivation, feature extraction,
+// rank-correlation, forest training/prediction, and AUC computation.
+
+#include <benchmark/benchmark.h>
+
+#include "core/characterization.hpp"
+#include "core/dataset_builder.hpp"
+#include "core/failure_timeline.hpp"
+#include "ml/downsample.hpp"
+#include "ml/metrics.hpp"
+#include "ml/model_zoo.hpp"
+#include "ml/random_forest.hpp"
+#include "sim/fleet_simulator.hpp"
+#include "stats/spearman.hpp"
+
+namespace {
+
+using namespace ssdfail;
+
+const trace::FleetTrace& small_fleet() {
+  static const trace::FleetTrace fleet = [] {
+    sim::FleetConfig cfg;
+    cfg.drives_per_model = 150;
+    return sim::FleetSimulator(cfg).generate_all();
+  }();
+  return fleet;
+}
+
+const ml::Dataset& bench_dataset() {
+  static const ml::Dataset data = [] {
+    core::DatasetBuildOptions opts;
+    opts.lookahead_days = 1;
+    opts.negative_keep_prob = 0.02;
+    return core::build_dataset(small_fleet(), opts);
+  }();
+  return data;
+}
+
+void BM_SimulateDrive(benchmark::State& state) {
+  const auto& spec = sim::preset(trace::DriveModel::MlcB);
+  std::uint32_t index = 0;
+  std::uint64_t days = 0;
+  for (auto _ : state) {
+    const auto drive = sim::simulate_drive(spec, 7, index++, sim::kDefaultWindowDays);
+    days += drive.records.size();
+    benchmark::DoNotOptimize(drive.records.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(days));
+  state.counters["drive_days/s"] =
+      benchmark::Counter(static_cast<double>(days), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulateDrive);
+
+void BM_DeriveTimeline(benchmark::State& state) {
+  const auto& fleet = small_fleet();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto timeline = core::derive_timeline(fleet.drives[i % fleet.drives.size()]);
+    benchmark::DoNotOptimize(timeline.failures.data());
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(i));
+}
+BENCHMARK(BM_DeriveTimeline);
+
+void BM_CharacterizeDrive(benchmark::State& state) {
+  const auto& fleet = small_fleet();
+  core::CharacterizationSuite suite;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    suite.add(fleet.drives[i % fleet.drives.size()]);
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(i));
+}
+BENCHMARK(BM_CharacterizeDrive);
+
+void BM_FeatureExtraction(benchmark::State& state) {
+  const auto& drive = small_fleet().drives[0];
+  std::vector<float> row(core::FeatureExtractor::count());
+  for (auto _ : state) {
+    core::FeatureExtractor::State st;
+    for (const auto& rec : drive.records) {
+      core::FeatureExtractor::advance(st, rec);
+      core::FeatureExtractor::extract(drive, rec, st, row);
+      benchmark::DoNotOptimize(row.data());
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(drive.records.size()));
+}
+BENCHMARK(BM_FeatureExtraction);
+
+void BM_SpearmanMatrix(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  stats::Rng rng(3);
+  std::vector<std::vector<double>> columns(12);
+  for (auto& col : columns) {
+    col.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) col.push_back(rng.uniform());
+  }
+  for (auto _ : state) {
+    const auto m = stats::spearman_matrix(columns);
+    benchmark::DoNotOptimize(m.data());
+  }
+}
+BENCHMARK(BM_SpearmanMatrix)->Arg(1000)->Arg(10000);
+
+void BM_RandomForestFit(benchmark::State& state) {
+  const ml::Dataset train = ml::downsample_negatives(bench_dataset(), 1.0, 1);
+  for (auto _ : state) {
+    ml::RandomForest::Params params;
+    params.n_trees = static_cast<std::size_t>(state.range(0));
+    ml::RandomForest forest(params);
+    forest.fit(train);
+    benchmark::DoNotOptimize(forest.tree_count());
+  }
+}
+BENCHMARK(BM_RandomForestFit)->Arg(25)->Arg(100);
+
+void BM_RandomForestPredict(benchmark::State& state) {
+  const ml::Dataset train = ml::downsample_negatives(bench_dataset(), 1.0, 1);
+  ml::RandomForest forest;
+  forest.fit(train);
+  const auto& test = bench_dataset();
+  for (auto _ : state) {
+    const auto scores = forest.predict_proba(test.x);
+    benchmark::DoNotOptimize(scores.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(test.size()));
+}
+BENCHMARK(BM_RandomForestPredict);
+
+void BM_RocAuc(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  stats::Rng rng(5);
+  std::vector<float> scores(n);
+  std::vector<float> labels(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    scores[i] = static_cast<float>(rng.uniform());
+    labels[i] = rng.bernoulli(0.01) ? 1.0f : 0.0f;
+  }
+  for (auto _ : state) benchmark::DoNotOptimize(ml::roc_auc(scores, labels));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_RocAuc)->Arg(100000)->Arg(1000000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

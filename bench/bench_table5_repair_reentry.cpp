@@ -1,0 +1,40 @@
+// Table 5: percentage of swapped drives that re-enter the workflow within
+// n days (with the share of all drives in parentheses).
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace ssdfail;
+  const auto fleet = bench::default_fleet();
+  bench::print_banner(
+      "Table 5 — % of swapped drives re-entering within n days",
+      "repairs are slow: ~5-9% return within 30 days; only ~44-58% ever return "
+      "(observed values are right-censored by the 6-year window, as in the paper)",
+      fleet);
+
+  const auto suite = core::characterize(fleet);
+  const double horizons[] = {10, 30, 100, 365, 730, 1095};
+  // Paper's Table 5: % of swapped drives (and, in parens, % of all drives).
+  const double paper[3][7] = {{3.4, 5.0, 6.1, 17.4, 37.6, 43.6, 53.4},
+                              {6.8, 9.4, 12.7, 25.3, 36.1, 42.7, 43.9},
+                              {4.9, 8.1, 15.8, 28.1, 43.5, 50.2, 57.6}};
+
+  io::TextTable table("Table 5 (reproduced vs paper)");
+  table.set_header({"Model", "10d", "30d", "100d", "1y", "2y", "3y", "ever"});
+  for (trace::DriveModel m : trace::kAllModels) {
+    const auto mi = static_cast<std::size_t>(m);
+    const auto& repair = suite.repair_time_days(m);
+    std::vector<std::string> row = {std::string(trace::model_name(m))};
+    for (std::size_t h = 0; h < 6; ++h)
+      row.push_back(bench::vs(100.0 * repair.at(horizons[h]), paper[mi][h], 1));
+    row.push_back(bench::vs(100.0 * (1.0 - repair.censored_fraction()), paper[mi][6], 1));
+    table.add_row(row);
+  }
+  table.print(std::cout);
+
+  std::printf("note: 'ever' counts observed re-entries only; drives swapped near the\n"
+              "window end cannot be seen returning, so values undershoot the samplers'\n"
+              "Table-5 return probabilities (0.534/0.439/0.576) exactly as the paper's\n"
+              "own 6-year-censored estimates do.\n");
+  return 0;
+}

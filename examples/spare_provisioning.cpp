@@ -1,0 +1,85 @@
+// Spare-drive provisioning: size a spare pool from the failure and repair
+// characteristics the library measures (Tables 3/5, Figs 4/6).
+//
+// A data center holding S spares per 1000 drives replaces each swapped
+// drive from the pool; repaired drives eventually return (about half never
+// do).  We replay the fleet's derived swap/re-entry events day by day and
+// report the pool occupancy distribution for several pool sizes — the
+// operational question the paper's repair-time analysis informs.
+//
+//   ./examples/spare_provisioning
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "core/failure_timeline.hpp"
+#include "io/table.hpp"
+#include "sim/fleet_simulator.hpp"
+#include "stats/streaming.hpp"
+
+int main() {
+  using namespace ssdfail;
+
+  sim::FleetConfig config;
+  config.drives_per_model = 1200;
+  config.seed = 7;
+  const sim::FleetSimulator fleet(config);
+
+  // Collect every (swap -> optional re-entry) event from derived timelines.
+  struct Event {
+    std::int32_t day;
+    int delta;  // +1 spare consumed (swap), -1 spare restocked (re-entry)
+  };
+  std::vector<Event> events;
+  std::uint64_t swaps = 0;
+  for (std::size_t i = 0; i < fleet.drive_count(); ++i) {
+    const auto drive = fleet.simulate(i);
+    const auto timeline = core::derive_timeline(drive);
+    for (const auto& repair : timeline.repairs) {
+      events.push_back({repair.swap_day, +1});
+      ++swaps;
+      if (repair.reentry_day) events.push_back({*repair.reentry_day, -1});
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const Event& a, const Event& b) { return a.day < b.day; });
+  std::printf("fleet of %zu drives produced %llu swaps over %d days\n",
+              fleet.drive_count(), static_cast<unsigned long long>(swaps),
+              config.window_days);
+
+  // Replay: spares_in_use(t) = swaps so far - returns so far.  The pool
+  // must cover the running maximum; smaller pools stock out.
+  std::vector<int> in_use_by_day(config.window_days, 0);
+  int in_use = 0;
+  std::size_t e = 0;
+  for (std::int32_t day = 0; day < config.window_days; ++day) {
+    while (e < events.size() && events[e].day <= day) in_use += events[e++].delta;
+    in_use_by_day[day] = in_use;
+  }
+
+  stats::StreamingSummary occupancy;
+  for (int v : in_use_by_day) occupancy.add(v);
+  std::printf("spares in use: mean %.1f, peak %.0f (per %zu drives)\n\n",
+              occupancy.mean(), occupancy.max(), fleet.drive_count());
+
+  io::TextTable table("Stock-out analysis: days the pool is exhausted");
+  table.set_header({"pool size per 1000 drives", "stock-out days", "share of horizon"});
+  const double per_1000 = 1000.0 / static_cast<double>(fleet.drive_count());
+  for (double pool_per_1000 : {10.0, 20.0, 30.0, 40.0, 60.0}) {
+    const int pool = static_cast<int>(pool_per_1000 / per_1000);
+    int stockout_days = 0;
+    for (int v : in_use_by_day)
+      if (v > pool) ++stockout_days;
+    table.add_row({io::TextTable::num(pool_per_1000, 0), std::to_string(stockout_days),
+                   io::TextTable::pct(static_cast<double>(stockout_days) /
+                                      static_cast<double>(config.window_days)) +
+                       "%"});
+  }
+  table.print(std::cout);
+  std::printf("takeaway: because ~half of swapped drives never return (Table 5),\n"
+              "spares are consumed, not borrowed — the pool must be sized against\n"
+              "cumulative attrition, not just the repair pipeline's depth.\n");
+  return 0;
+}

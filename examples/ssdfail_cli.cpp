@@ -1,0 +1,190 @@
+// ssdfail_cli — command-line front end for the library.
+//
+//   ssdfail_cli simulate   --drives N --seed S --out PREFIX [--binary]
+//   ssdfail_cli analyze    --in PREFIX [--binary]
+//   ssdfail_cli benchmark  --drives N [--lookahead N]
+//
+// `simulate` writes a fleet as PREFIX_daily.csv + PREFIX_swaps.csv (or
+// PREFIX.bin with --binary); `analyze` re-imports and prints the headline
+// characterization; `benchmark` trains the paper's random forest and
+// reports cross-validated AUC.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "core/dataset_builder.hpp"
+#include "core/fleet_analysis.hpp"
+#include "core/prediction.hpp"
+#include "io/table.hpp"
+#include "ml/model_zoo.hpp"
+#include "sim/fleet_simulator.hpp"
+#include "trace/binary_io.hpp"
+#include "trace/trace_io.hpp"
+#include "trace/validation.hpp"
+
+namespace {
+
+using namespace ssdfail;
+
+struct Args {
+  std::map<std::string, std::string> named;
+  bool flag(const std::string& name) const { return named.count("--" + name) > 0; }
+  std::string get(const std::string& name, const std::string& fallback) const {
+    const auto it = named.find("--" + name);
+    return it == named.end() ? fallback : it->second;
+  }
+  long get_long(const std::string& name, long fallback) const {
+    const auto it = named.find("--" + name);
+    return it == named.end() ? fallback : std::strtol(it->second.c_str(), nullptr, 10);
+  }
+};
+
+Args parse(int argc, char** argv, int first) {
+  Args args;
+  for (int i = first; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) continue;
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      args.named[key] = argv[i + 1];
+      ++i;
+    } else {
+      args.named[key] = "1";
+    }
+  }
+  return args;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  ssdfail_cli simulate  --drives N [--seed S] --out PREFIX [--binary]\n"
+               "  ssdfail_cli analyze   --in PREFIX [--binary]\n"
+               "  ssdfail_cli benchmark [--drives N] [--lookahead N] [--seed S]\n");
+  return 2;
+}
+
+sim::FleetConfig config_from(const Args& args) {
+  sim::FleetConfig cfg;
+  cfg.drives_per_model = static_cast<std::uint32_t>(args.get_long("drives", 500));
+  cfg.seed = static_cast<std::uint64_t>(args.get_long("seed", 2019));
+  cfg.keep_ground_truth = false;  // CLI emits observable data only
+  return cfg;
+}
+
+int cmd_simulate(const Args& args) {
+  const std::string prefix = args.get("out", "");
+  if (prefix.empty()) return usage();
+  const sim::FleetConfig cfg = config_from(args);
+  std::printf("simulating %u drives/model (seed %llu)...\n", cfg.drives_per_model,
+              static_cast<unsigned long long>(cfg.seed));
+  const trace::FleetTrace fleet = sim::FleetSimulator(cfg).generate_all();
+  if (args.flag("binary")) {
+    std::ofstream out(prefix + ".bin", std::ios::binary);
+    trace::write_binary(out, fleet);
+    std::printf("wrote %s.bin (%zu drive-days)\n", prefix.c_str(), fleet.total_records());
+  } else {
+    std::ofstream daily(prefix + "_daily.csv");
+    std::ofstream swaps(prefix + "_swaps.csv");
+    trace::write_daily_log(daily, fleet);
+    trace::write_swap_log(swaps, fleet);
+    std::printf("wrote %s_daily.csv + %s_swaps.csv (%zu drive-days, %zu swaps)\n",
+                prefix.c_str(), prefix.c_str(), fleet.total_records(),
+                fleet.total_swaps());
+  }
+  return 0;
+}
+
+int cmd_analyze(const Args& args) {
+  const std::string prefix = args.get("in", "");
+  if (prefix.empty()) return usage();
+  trace::FleetTrace fleet;
+  if (args.flag("binary")) {
+    std::ifstream in(prefix + ".bin", std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s.bin\n", prefix.c_str());
+      return 1;
+    }
+    fleet = trace::read_binary(in);
+  } else {
+    std::ifstream daily(prefix + "_daily.csv");
+    std::ifstream swaps(prefix + "_swaps.csv");
+    if (!daily || !swaps) {
+      std::fprintf(stderr, "cannot open %s_daily.csv / %s_swaps.csv\n", prefix.c_str(),
+                   prefix.c_str());
+      return 1;
+    }
+    fleet = trace::read_fleet(daily, swaps);
+  }
+  std::printf("loaded %zu drives, %zu drive-days\n", fleet.drives.size(),
+              fleet.total_records());
+
+  const auto violations = trace::validate_fleet(fleet);
+  if (violations.empty()) {
+    std::printf("trace validation: clean\n");
+  } else {
+    std::printf("trace validation: %zu violation(s); first few:\n", violations.size());
+    for (std::size_t i = 0; i < std::min<std::size_t>(5, violations.size()); ++i)
+      std::printf("  drive %llu day %d: %s %s\n",
+                  static_cast<unsigned long long>(violations[i].drive_uid),
+                  violations[i].day,
+                  std::string(trace::violation_name(violations[i].kind)).c_str(),
+                  violations[i].detail.c_str());
+  }
+
+  const core::CharacterizationSuite suite = core::characterize(fleet);
+  io::TextTable table("fleet characterization");
+  table.set_header({"model", "drives", "%failed", "UE day-rate", "median repair (d)"});
+  for (trace::DriveModel m : trace::kAllModels) {
+    const auto& fi = suite.failure_incidence(m);
+    if (fi.drives == 0) continue;
+    const auto& inc = suite.incidence(m);
+    const double ue =
+        static_cast<double>(
+            inc.error_days[static_cast<std::size_t>(trace::ErrorType::kUncorrectable)]) /
+        std::max<double>(static_cast<double>(inc.drive_days), 1.0);
+    const auto& repair = suite.repair_time_days(m);
+    table.add_row({std::string(trace::model_name(m)), std::to_string(fi.drives),
+                   io::TextTable::pct(static_cast<double>(fi.drives_failed) /
+                                      static_cast<double>(fi.drives)),
+                   io::TextTable::num(ue, 5),
+                   repair.finite_part().empty()
+                       ? std::string("--")
+                       : io::TextTable::num(repair.finite_part().quantile(0.5), 0)});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_benchmark(const Args& args) {
+  sim::FleetConfig cfg = config_from(args);
+  cfg.keep_ground_truth = true;
+  const sim::FleetSimulator fleet(cfg);
+  core::DatasetBuildOptions opts;
+  opts.lookahead_days = static_cast<int>(args.get_long("lookahead", 1));
+  opts.negative_keep_prob = 0.01;
+  std::printf("building N=%d dataset from %zu drives...\n", opts.lookahead_days,
+              fleet.drive_count());
+  const ml::Dataset data = core::build_dataset(fleet, opts);
+  std::printf("%zu rows, %zu positives\n", data.size(), data.positives());
+  const auto model = ml::make_model(ml::ModelKind::kRandomForest);
+  const auto ms = core::evaluate_auc(*model, data).auc();
+  std::printf("random forest ROC AUC (5-fold drive-partitioned CV): %.3f +- %.3f\n",
+              ms.mean, ms.sd);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  const Args args = parse(argc, argv, 2);
+  if (command == "simulate") return cmd_simulate(args);
+  if (command == "analyze") return cmd_analyze(args);
+  if (command == "benchmark") return cmd_benchmark(args);
+  return usage();
+}

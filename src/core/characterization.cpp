@@ -1,0 +1,277 @@
+#include "core/characterization.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/spearman.hpp"
+
+namespace ssdfail::core {
+namespace {
+
+constexpr double kDaysPerYear = 365.25;
+constexpr double kDaysPerMonth = 30.44;
+
+}  // namespace
+
+std::string_view corr_var_name(CorrVar v) noexcept {
+  switch (v) {
+    case CorrVar::kErase: return "erase";
+    case CorrVar::kFinalRead: return "final read";
+    case CorrVar::kFinalWrite: return "final write";
+    case CorrVar::kMeta: return "meta";
+    case CorrVar::kRead: return "read";
+    case CorrVar::kResponse: return "response";
+    case CorrVar::kTimeout: return "timeout";
+    case CorrVar::kUncorrectable: return "uncorrect.";
+    case CorrVar::kWrite: return "write";
+    case CorrVar::kPeCycle: return "P/E cycle";
+    case CorrVar::kBadBlock: return "bad block";
+    case CorrVar::kDriveAge: return "drive age";
+  }
+  return "?";
+}
+
+CharacterizationSuite::CharacterizationSuite(std::int32_t window_days)
+    : window_days_(window_days) {
+  writes_by_month_.reserve(kMaxMonths);
+  for (std::size_t m = 0; m < kMaxMonths; ++m)
+    writes_by_month_.emplace_back(4000, 0xF16'7 + m);
+  prefailure_ue_counts_.reserve(2 * kLookbackDays);
+  for (std::size_t i = 0; i < 2 * kLookbackDays; ++i)
+    prefailure_ue_counts_.emplace_back(2000, 0xF16'11 + i);
+}
+
+void CharacterizationSuite::add(const trace::DriveHistory& drive) {
+  const auto mi = static_cast<std::size_t>(drive.model);
+  const DriveTimeline timeline = derive_timeline(drive);
+
+  // ---- Per-day statistics (Table 1, Fig 7, Fig 11 baseline). ----
+  IncidenceCounts& inc = incidence_[mi];
+  inc.drive_days += drive.records.size();
+  for (const auto& rec : drive.records) {
+    for (std::size_t e = 0; e < trace::kNumErrorTypes; ++e)
+      if (rec.errors[e] > 0) ++inc.error_days[e];
+    if (!rec.inactive()) {
+      const auto month = static_cast<std::size_t>(
+          std::min<double>((rec.day - drive.deploy_day) / kDaysPerMonth,
+                           static_cast<double>(kMaxMonths - 1)));
+      writes_by_month_[month].add(static_cast<double>(rec.writes));
+    }
+  }
+
+  // Fig 11 baseline: chop the record sequence into non-overlapping windows
+  // of n observed days; a window "has a UE" if any member day does.
+  for (std::size_t n = 1; n < kLookbackDays; ++n) {
+    for (std::size_t start = 0; start + n <= drive.records.size(); start += n) {
+      ++baseline_windows_[n];
+      for (std::size_t k = start; k < start + n; ++k) {
+        if (drive.records[k].error(trace::ErrorType::kUncorrectable) > 0) {
+          ++baseline_windows_with_ue_[n];
+          break;
+        }
+      }
+    }
+  }
+
+  // ---- Table 2 columns: end-of-history cumulative values. ----
+  {
+    const trace::CumulativeState cum = drive.final_cumulative();
+    auto push = [&](CorrVar v, double value) {
+      corr_columns_[static_cast<std::size_t>(v)].push_back(value);
+    };
+    push(CorrVar::kErase, static_cast<double>(cum.error(trace::ErrorType::kErase)));
+    push(CorrVar::kFinalRead, static_cast<double>(cum.error(trace::ErrorType::kFinalRead)));
+    push(CorrVar::kFinalWrite,
+         static_cast<double>(cum.error(trace::ErrorType::kFinalWrite)));
+    push(CorrVar::kMeta, static_cast<double>(cum.error(trace::ErrorType::kMeta)));
+    push(CorrVar::kRead, static_cast<double>(cum.error(trace::ErrorType::kRead)));
+    push(CorrVar::kResponse, static_cast<double>(cum.error(trace::ErrorType::kResponse)));
+    push(CorrVar::kTimeout, static_cast<double>(cum.error(trace::ErrorType::kTimeout)));
+    push(CorrVar::kUncorrectable,
+         static_cast<double>(cum.error(trace::ErrorType::kUncorrectable)));
+    push(CorrVar::kWrite, static_cast<double>(cum.error(trace::ErrorType::kWrite)));
+    const auto* last = drive.records.empty() ? nullptr : &drive.records.back();
+    push(CorrVar::kPeCycle, last ? last->pe_cycles : 0.0);
+    push(CorrVar::kBadBlock,
+         last ? static_cast<double>(last->bad_blocks) + last->factory_bad_blocks : 0.0);
+    push(CorrVar::kDriveAge, drive.max_observed_age());
+  }
+
+  // ---- Fleet-wide horizons (Fig 1). ----
+  max_age_years_.add(drive.max_observed_age() / kDaysPerYear);
+  data_count_years_.add(static_cast<double>(drive.records.size()) / kDaysPerYear);
+
+  // ---- Failure incidence (Tables 3/4). ----
+  FailureIncidence& fi = failure_incidence_[mi];
+  ++fi.drives;
+  fi.failures += timeline.failures.size();
+  if (!timeline.failures.empty()) ++fi.drives_failed;
+  ++failure_count_hist_[std::min(timeline.failures.size(), failure_count_hist_.size() - 1)];
+
+  // ---- Operational periods (Fig 3). ----
+  for (const OperationalPeriod& period : timeline.periods) {
+    if (period.ended_in_failure)
+      op_period_years_.add_observed(period.length() / kDaysPerYear);
+    else
+      op_period_years_.add_censored();
+    op_period_survival_.push_back(
+        {period.length() / kDaysPerYear, period.ended_in_failure});
+  }
+
+  // ---- Repairs (Fig 5 / Table 5). ----
+  for (const RepairVisit& visit : timeline.repairs) {
+    if (const auto days = visit.repair_days()) {
+      repair_time_[mi].add_observed(static_cast<double>(*days));
+      repair_survival_.push_back({static_cast<double>(*days), true});
+    } else {
+      repair_time_[mi].add_censored();
+      // Censoring time: how long the repair was observed not to finish
+      // (trace horizon minus the swap day; conservatively >= 1 day).
+      const double observed =
+          std::max(1.0, static_cast<double>(window_days_ - 1 - visit.swap_day));
+      repair_survival_.push_back({observed, false});
+    }
+  }
+
+  // ---- Exposure for the month/PE failure-rate denominators: a drive
+  // counts once per month bin (and once per PE bin) it is observed in. ----
+  if (!drive.records.empty()) {
+    const double max_month = drive.max_observed_age() / kDaysPerMonth;
+    for (std::size_t m = 0; m <= std::min<std::size_t>(
+                                static_cast<std::size_t>(max_month), kMaxMonths - 1);
+         ++m)
+      failure_rate_by_month_.add_exposure(static_cast<double>(m) + 0.5);
+    const double pe_last = drive.records.back().pe_cycles;
+    for (double pe = 125.0; pe <= std::min(pe_last + 124.0, 5999.0); pe += 250.0)
+      failure_rate_by_pe_.add_exposure(pe);
+  }
+
+  // ---- Per-failure statistics (Figs 4, 6, 8, 9, 11). ----
+  for (const FailureRecord& failure : timeline.failures) {
+    nonop_days_.add(static_cast<double>(failure.nonop_days()));
+    const double age_months = failure.age_at_failure / kDaysPerMonth;
+    failure_age_months_.add(age_months);
+    failure_rate_by_month_.add_event(age_months);
+    pe_at_failure_all_.add(failure.pe_at_failure);
+    (failure.young() ? pe_at_failure_young_ : pe_at_failure_old_)
+        .add(failure.pe_at_failure);
+    failure_rate_by_pe_.add_event(failure.pe_at_failure);
+
+    // Fig 11: UEs in the lookback window before the failure day.
+    const std::size_t yi = failure.young() ? 0 : 1;
+    ++failure_counts_by_age_[yi];
+    std::int32_t most_recent_ue_offset = -1;
+    for (auto it = drive.records.rbegin(); it != drive.records.rend(); ++it) {
+      if (it->day > failure.fail_day) continue;
+      const std::int32_t offset = failure.fail_day - it->day;
+      if (offset >= static_cast<std::int32_t>(kLookbackDays)) break;
+      const std::uint32_t ue = it->error(trace::ErrorType::kUncorrectable);
+      if (ue > 0) {
+        if (most_recent_ue_offset < 0) most_recent_ue_offset = offset;
+        prefailure_ue_counts_[yi * kLookbackDays + static_cast<std::size_t>(offset)].add(
+            static_cast<double>(ue));
+      }
+    }
+    if (most_recent_ue_offset >= 0)
+      for (std::size_t n = static_cast<std::size_t>(most_recent_ue_offset);
+           n < kLookbackDays; ++n)
+        ++ue_within_counts_[yi][n];
+  }
+
+  // ---- Fig 10: end-of-life cumulative UE / bad blocks by drive class. ----
+  {
+    const trace::CumulativeState cum = drive.final_cumulative();
+    DriveClass cls = DriveClass::kNotFailed;
+    if (!timeline.failures.empty())
+      cls = timeline.failures.front().young() ? DriveClass::kYoungFailed
+                                              : DriveClass::kOldFailed;
+    const auto ci = static_cast<std::size_t>(cls);
+    cum_ue_[ci].add(static_cast<double>(cum.error(trace::ErrorType::kUncorrectable)));
+    const auto* last = drive.records.empty() ? nullptr : &drive.records.back();
+    cum_bb_[ci].add(last ? static_cast<double>(last->bad_blocks) + last->factory_bad_blocks
+                         : 0.0);
+  }
+}
+
+void CharacterizationSuite::merge(const CharacterizationSuite& other) {
+  for (std::size_t m = 0; m < trace::kNumModels; ++m) {
+    for (std::size_t e = 0; e < trace::kNumErrorTypes; ++e)
+      incidence_[m].error_days[e] += other.incidence_[m].error_days[e];
+    incidence_[m].drive_days += other.incidence_[m].drive_days;
+    failure_incidence_[m].drives += other.failure_incidence_[m].drives;
+    failure_incidence_[m].drives_failed += other.failure_incidence_[m].drives_failed;
+    failure_incidence_[m].failures += other.failure_incidence_[m].failures;
+    repair_time_[m].merge(other.repair_time_[m]);
+  }
+  for (std::size_t v = 0; v < kCorrVars; ++v)
+    corr_columns_[v].insert(corr_columns_[v].end(), other.corr_columns_[v].begin(),
+                            other.corr_columns_[v].end());
+  for (std::size_t i = 0; i < failure_count_hist_.size(); ++i)
+    failure_count_hist_[i] += other.failure_count_hist_[i];
+  max_age_years_.merge(other.max_age_years_);
+  data_count_years_.merge(other.data_count_years_);
+  op_period_years_.merge(other.op_period_years_);
+  op_period_survival_.insert(op_period_survival_.end(), other.op_period_survival_.begin(),
+                             other.op_period_survival_.end());
+  repair_survival_.insert(repair_survival_.end(), other.repair_survival_.begin(),
+                          other.repair_survival_.end());
+  nonop_days_.merge(other.nonop_days_);
+  failure_age_months_.merge(other.failure_age_months_);
+  failure_rate_by_month_.merge(other.failure_rate_by_month_);
+  for (std::size_t m = 0; m < kMaxMonths; ++m)
+    writes_by_month_[m].merge(other.writes_by_month_[m]);
+  pe_at_failure_all_.merge(other.pe_at_failure_all_);
+  pe_at_failure_young_.merge(other.pe_at_failure_young_);
+  pe_at_failure_old_.merge(other.pe_at_failure_old_);
+  failure_rate_by_pe_.merge(other.failure_rate_by_pe_);
+  for (std::size_t c = 0; c < 3; ++c) {
+    cum_ue_[c].merge(other.cum_ue_[c]);
+    cum_bb_[c].merge(other.cum_bb_[c]);
+  }
+  for (std::size_t y = 0; y < 2; ++y) {
+    failure_counts_by_age_[y] += other.failure_counts_by_age_[y];
+    for (std::size_t n = 0; n < kLookbackDays; ++n)
+      ue_within_counts_[y][n] += other.ue_within_counts_[y][n];
+  }
+  for (std::size_t n = 0; n < kLookbackDays; ++n) {
+    baseline_windows_[n] += other.baseline_windows_[n];
+    baseline_windows_with_ue_[n] += other.baseline_windows_with_ue_[n];
+  }
+  for (std::size_t i = 0; i < prefailure_ue_counts_.size(); ++i)
+    prefailure_ue_counts_[i].merge(other.prefailure_ue_counts_[i]);
+}
+
+std::vector<std::vector<double>> CharacterizationSuite::correlation_matrix() const {
+  std::vector<std::vector<double>> columns;
+  columns.reserve(kCorrVars);
+  for (const auto& col : corr_columns_) columns.push_back(col);
+  return stats::spearman_matrix(columns);
+}
+
+double CharacterizationSuite::ue_within_days(bool young, std::size_t n) const {
+  const std::size_t yi = young ? 0 : 1;
+  if (failure_counts_by_age_[yi] == 0 || n >= kLookbackDays)
+    return std::numeric_limits<double>::quiet_NaN();
+  return static_cast<double>(ue_within_counts_[yi][n]) /
+         static_cast<double>(failure_counts_by_age_[yi]);
+}
+
+double CharacterizationSuite::baseline_ue_within_days(std::size_t n) const {
+  if (n == 0 || n >= kLookbackDays || baseline_windows_[n] == 0)
+    return std::numeric_limits<double>::quiet_NaN();
+  return static_cast<double>(baseline_windows_with_ue_[n]) /
+         static_cast<double>(baseline_windows_[n]);
+}
+
+const stats::ReservoirSample& CharacterizationSuite::prefailure_ue_counts(
+    bool young, std::size_t offset) const {
+  return prefailure_ue_counts_[(young ? 0 : 1) * kLookbackDays + offset];
+}
+
+std::uint64_t CharacterizationSuite::total_drives() const {
+  std::uint64_t n = 0;
+  for (const auto& fi : failure_incidence_) n += fi.drives;
+  return n;
+}
+
+}  // namespace ssdfail::core

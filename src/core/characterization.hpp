@@ -1,0 +1,177 @@
+#pragma once
+
+// Fleet characterization: every statistic behind the paper's Tables 1-5
+// and Figures 1, 3-11, computed in ONE streaming pass over the fleet.
+//
+// CharacterizationSuite is a mergeable accumulator: feed drives with add(),
+// combine per-thread partials with merge(), then read the per-experiment
+// results.  All failure/repair quantities are derived from observable logs
+// via core::derive_timeline — never from simulator ground truth.
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "core/failure_timeline.hpp"
+#include "stats/ecdf.hpp"
+#include "stats/histogram.hpp"
+#include "stats/streaming.hpp"
+#include "stats/survival.hpp"
+#include "trace/drive_history.hpp"
+
+namespace ssdfail::core {
+
+/// Variables of the Table 2 Spearman correlation matrix, in row order.
+enum class CorrVar : std::size_t {
+  kErase = 0,
+  kFinalRead,
+  kFinalWrite,
+  kMeta,
+  kRead,
+  kResponse,
+  kTimeout,
+  kUncorrectable,
+  kWrite,
+  kPeCycle,
+  kBadBlock,
+  kDriveAge,
+};
+inline constexpr std::size_t kCorrVars = 12;
+[[nodiscard]] std::string_view corr_var_name(CorrVar v) noexcept;
+
+class CharacterizationSuite {
+ public:
+  /// window_days: the trace horizon, used to compute censoring times for
+  /// the survival-analysis views (defaults to the paper's six years).
+  explicit CharacterizationSuite(std::int32_t window_days = 2190);
+
+  /// Fold one drive's observable history into every study.
+  void add(const trace::DriveHistory& drive);
+
+  /// Combine with another suite (order-insensitive).
+  void merge(const CharacterizationSuite& other);
+
+  // ---- Table 1: per-model proportion of drive days with each error. ----
+  struct IncidenceCounts {
+    std::array<std::uint64_t, trace::kNumErrorTypes> error_days{};
+    std::uint64_t drive_days = 0;
+  };
+  [[nodiscard]] const IncidenceCounts& incidence(trace::DriveModel m) const {
+    return incidence_[static_cast<std::size_t>(m)];
+  }
+
+  // ---- Table 2: Spearman correlations of per-drive cumulative counts. ----
+  [[nodiscard]] std::vector<std::vector<double>> correlation_matrix() const;
+
+  // ---- Table 3: failure incidence per model. ----
+  struct FailureIncidence {
+    std::uint64_t drives = 0;
+    std::uint64_t drives_failed = 0;
+    std::uint64_t failures = 0;
+  };
+  [[nodiscard]] const FailureIncidence& failure_incidence(trace::DriveModel m) const {
+    return failure_incidence_[static_cast<std::size_t>(m)];
+  }
+
+  // ---- Table 4: distribution of per-drive lifetime failure counts. ----
+  [[nodiscard]] const std::array<std::uint64_t, 8>& failure_count_histogram() const {
+    return failure_count_hist_;
+  }
+
+  // ---- Table 5 / Fig 5: time to repair (censored: never returned). ----
+  [[nodiscard]] const stats::CensoredEcdf& repair_time_days(trace::DriveModel m) const {
+    return repair_time_[static_cast<std::size_t>(m)];
+  }
+
+  // ---- Fig 1: observation horizons. ----
+  [[nodiscard]] const stats::Ecdf& max_age_years() const { return max_age_years_; }
+  [[nodiscard]] const stats::Ecdf& data_count_years() const { return data_count_years_; }
+
+  // ---- Fig 3: operational period lengths (censored mass = no failure). ----
+  [[nodiscard]] const stats::CensoredEcdf& op_period_years() const { return op_period_years_; }
+
+  // ---- Survival-analysis views of Figs 3/5 (per-observation censoring
+  // times preserved, enabling Kaplan-Meier / Nelson-Aalen estimation). ----
+  [[nodiscard]] const std::vector<stats::SurvivalObservation>& op_period_survival() const {
+    return op_period_survival_;
+  }
+  [[nodiscard]] const std::vector<stats::SurvivalObservation>& repair_survival() const {
+    return repair_survival_;
+  }
+
+  // ---- Fig 4: pre-swap non-operational period. ----
+  [[nodiscard]] const stats::Ecdf& nonop_days() const { return nonop_days_; }
+
+  // ---- Fig 6: failure age CDF + monthly failure rate. ----
+  [[nodiscard]] const stats::Ecdf& failure_age_months() const { return failure_age_months_; }
+  [[nodiscard]] const stats::BinnedRate& failure_rate_by_month() const {
+    return failure_rate_by_month_;
+  }
+
+  // ---- Fig 7: daily write-count distribution per month of age. ----
+  [[nodiscard]] const stats::ReservoirSample& writes_at_month(std::size_t month) const {
+    return writes_by_month_[month];
+  }
+  static constexpr std::size_t kMaxMonths = 72;
+
+  // ---- Fig 8/9: P/E cycles at failure. ----
+  [[nodiscard]] const stats::Ecdf& pe_at_failure() const { return pe_at_failure_all_; }
+  [[nodiscard]] const stats::Ecdf& pe_at_failure_young() const { return pe_at_failure_young_; }
+  [[nodiscard]] const stats::Ecdf& pe_at_failure_old() const { return pe_at_failure_old_; }
+  [[nodiscard]] const stats::BinnedRate& failure_rate_by_pe() const {
+    return failure_rate_by_pe_;
+  }
+
+  // ---- Fig 10: end-of-life cumulative error CDFs by drive class. ----
+  enum class DriveClass : std::size_t { kYoungFailed = 0, kOldFailed = 1, kNotFailed = 2 };
+  [[nodiscard]] const stats::Ecdf& cum_ue_cdf(DriveClass c) const {
+    return cum_ue_[static_cast<std::size_t>(c)];
+  }
+  [[nodiscard]] const stats::Ecdf& cum_bad_block_cdf(DriveClass c) const {
+    return cum_bb_[static_cast<std::size_t>(c)];
+  }
+
+  // ---- Fig 11: uncorrectable errors approaching failure. ----
+  static constexpr std::size_t kLookbackDays = 8;  // offsets 0..7
+  /// P(at least one UE within the last n days before failure), n = offset.
+  [[nodiscard]] double ue_within_days(bool young, std::size_t n) const;
+  /// Baseline: P(an arbitrary n-day window contains a UE), n in [1, 8).
+  [[nodiscard]] double baseline_ue_within_days(std::size_t n) const;
+  /// Nonzero UE counts observed exactly `offset` days before failure.
+  [[nodiscard]] const stats::ReservoirSample& prefailure_ue_counts(bool young,
+                                                                   std::size_t offset) const;
+
+  [[nodiscard]] std::uint64_t total_drives() const;
+
+ private:
+  std::int32_t window_days_ = 2190;
+  std::array<IncidenceCounts, trace::kNumModels> incidence_{};
+  std::array<std::vector<double>, kCorrVars> corr_columns_;
+  std::array<FailureIncidence, trace::kNumModels> failure_incidence_{};
+  std::array<std::uint64_t, 8> failure_count_hist_{};
+  std::array<stats::CensoredEcdf, trace::kNumModels> repair_time_;
+  stats::Ecdf max_age_years_;
+  stats::Ecdf data_count_years_;
+  stats::CensoredEcdf op_period_years_;
+  std::vector<stats::SurvivalObservation> op_period_survival_;
+  std::vector<stats::SurvivalObservation> repair_survival_;
+  stats::Ecdf nonop_days_;
+  stats::Ecdf failure_age_months_;
+  stats::BinnedRate failure_rate_by_month_{0.0, static_cast<double>(kMaxMonths), kMaxMonths};
+  std::vector<stats::ReservoirSample> writes_by_month_;
+  stats::Ecdf pe_at_failure_all_;
+  stats::Ecdf pe_at_failure_young_;
+  stats::Ecdf pe_at_failure_old_;
+  stats::BinnedRate failure_rate_by_pe_{0.0, 6000.0, 24};
+  std::array<stats::Ecdf, 3> cum_ue_;
+  std::array<stats::Ecdf, 3> cum_bb_;
+  // Fig 11 accumulators.
+  std::array<std::array<std::uint64_t, kLookbackDays>, 2> ue_within_counts_{};
+  std::array<std::uint64_t, 2> failure_counts_by_age_{};
+  std::array<std::uint64_t, kLookbackDays> baseline_windows_{};
+  std::array<std::uint64_t, kLookbackDays> baseline_windows_with_ue_{};
+  std::vector<stats::ReservoirSample> prefailure_ue_counts_;  // [young*8 + offset]
+};
+
+}  // namespace ssdfail::core

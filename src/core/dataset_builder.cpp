@@ -1,0 +1,136 @@
+#include "core/dataset_builder.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+#include "core/failure_timeline.hpp"
+#include "stats/rng.hpp"
+
+namespace ssdfail::core {
+namespace {
+
+/// Per-record "days until next occurrence of error type e" (exclusive of
+/// the current day), computed right-to-left; INT32_MAX when none follows.
+std::vector<std::int32_t> days_to_next_error(const trace::DriveHistory& drive,
+                                             trace::ErrorType type) {
+  const auto& records = drive.records;
+  std::vector<std::int32_t> out(records.size(), std::numeric_limits<std::int32_t>::max());
+  std::int32_t next_day = -1;
+  for (std::size_t i = records.size(); i-- > 0;) {
+    if (next_day >= 0) out[i] = next_day - records[i].day;
+    if (records[i].error(type) > 0) next_day = records[i].day;
+  }
+  return out;
+}
+
+/// Per-record "days until the cumulative bad-block count next increases"
+/// (exclusive of the current day); INT32_MAX when it never does.
+std::vector<std::int32_t> days_to_next_bad_block(const trace::DriveHistory& drive) {
+  const auto& records = drive.records;
+  std::vector<std::int32_t> out(records.size(), std::numeric_limits<std::int32_t>::max());
+  std::int32_t next_day = -1;
+  for (std::size_t i = records.size(); i-- > 0;) {
+    if (next_day >= 0) out[i] = next_day - records[i].day;
+    const bool grew = i > 0 ? records[i].bad_blocks > records[i - 1].bad_blocks
+                            : records[i].bad_blocks > 0;
+    if (grew) next_day = records[i].day;
+  }
+  return out;
+}
+
+}  // namespace
+
+void append_drive(ml::Dataset& out, const trace::DriveHistory& drive,
+                  const DatasetBuildOptions& options) {
+  if (options.lookahead_days < 1)
+    throw std::invalid_argument("DatasetBuildOptions: lookahead_days must be >= 1");
+  if (options.model_filter && *options.model_filter != drive.model) return;
+  if (out.feature_names.empty()) {
+    out.feature_names = FeatureExtractor::names();
+    if (options.rolling_features) {
+      const auto& extra = RollingWindow::names();
+      out.feature_names.insert(out.feature_names.end(), extra.begin(), extra.end());
+    }
+  }
+
+  if (options.error_label && options.bad_block_label)
+    throw std::invalid_argument(
+        "DatasetBuildOptions: error_label and bad_block_label are exclusive");
+
+  const DriveTimeline timeline = derive_timeline(drive);
+  std::vector<std::int32_t> error_dtf;
+  if (options.error_label) error_dtf = days_to_next_error(drive, *options.error_label);
+  if (options.bad_block_label) error_dtf = days_to_next_bad_block(drive);
+
+  FeatureExtractor::State state;
+  RollingWindow rolling;
+  const std::size_t base_count = FeatureExtractor::count();
+  std::vector<float> row(base_count +
+                         (options.rolling_features ? RollingWindow::count() : 0));
+  for (std::size_t i = 0; i < drive.records.size(); ++i) {
+    const trace::DailyRecord& rec = drive.records[i];
+    FeatureExtractor::advance(state, rec);
+    if (options.rolling_features) rolling.advance(rec, state.new_bad_blocks_today);
+    if (in_failed_state(timeline, rec.day)) continue;
+
+    const std::int32_t age = rec.day - drive.deploy_day;
+    if (options.age_filter == DatasetBuildOptions::AgeFilter::kYoungOnly &&
+        age > kInfantAgeDays)
+      continue;
+    if (options.age_filter == DatasetBuildOptions::AgeFilter::kOldOnly &&
+        age <= kInfantAgeDays)
+      continue;
+
+    bool positive = false;
+    if (options.error_label || options.bad_block_label) {
+      positive = error_dtf[i] <= options.lookahead_days;  // strictly future
+    } else {
+      const std::int32_t dtf = days_to_next_failure(timeline, rec.day);
+      positive = dtf < options.lookahead_days;
+    }
+
+    const double keep_prob =
+        positive ? options.positive_keep_prob : options.negative_keep_prob;
+    if (keep_prob < 1.0) {
+      stats::Rng row_rng({options.seed, drive.uid(), static_cast<std::uint64_t>(rec.day)});
+      if (!row_rng.bernoulli(keep_prob)) continue;
+    }
+
+    FeatureExtractor::extract(drive, rec, state,
+                              std::span<float>(row).first(base_count));
+    if (options.rolling_features)
+      rolling.extract(std::span<float>(row).subspan(base_count));
+    out.x.push_row(row);
+    out.y.push_back(positive ? 1.0f : 0.0f);
+    out.groups.push_back(drive.uid());
+  }
+}
+
+ml::Dataset build_dataset(const sim::FleetSimulator& fleet,
+                          const DatasetBuildOptions& options) {
+  auto result = fleet.visit(
+      [] { return ml::Dataset{}; },
+      [&](ml::Dataset& acc, const trace::DriveHistory& drive) {
+        append_drive(acc, drive, options);
+      },
+      [](ml::Dataset& dst, const ml::Dataset& src) {
+        dst.x.append_rows(src.x);
+        dst.y.insert(dst.y.end(), src.y.begin(), src.y.end());
+        dst.groups.insert(dst.groups.end(), src.groups.begin(), src.groups.end());
+        if (dst.feature_names.empty()) dst.feature_names = src.feature_names;
+      });
+  if (result.feature_names.empty()) result.feature_names = FeatureExtractor::names();
+  result.validate();
+  return result;
+}
+
+ml::Dataset build_dataset(const trace::FleetTrace& fleet,
+                          const DatasetBuildOptions& options) {
+  ml::Dataset out;
+  for (const auto& drive : fleet.drives) append_drive(out, drive, options);
+  if (out.feature_names.empty()) out.feature_names = FeatureExtractor::names();
+  out.validate();
+  return out;
+}
+
+}  // namespace ssdfail::core

@@ -1,0 +1,74 @@
+#pragma once
+
+// Streaming construction of prediction datasets from a simulated fleet.
+//
+// One pass over the fleet per dataset: every labeled-positive drive-day is
+// kept; negative drive-days are kept with a fixed probability (test-side
+// subsampling).  Uniform negative subsampling leaves TPR/FPR — and hence
+// the ROC curve — unbiased; it only adds variance (Section 5.1 discussion,
+// validated in tests/core/test_eval_subsampling.cpp).
+//
+// Post-failure limbo days (after a derived failure, before re-entry) are
+// excluded: the drive is not in production there.
+
+#include <optional>
+
+#include "core/features.hpp"
+#include "ml/dataset.hpp"
+#include "sim/fleet_simulator.hpp"
+
+namespace ssdfail::core {
+
+struct DatasetBuildOptions {
+  /// Predict events within the next N days (N >= 1).  For failure labels
+  /// the failure day itself is positive (days_to_failure in [0, N)); for
+  /// error labels only strictly-future occurrences count, since today's
+  /// error count is itself a feature.
+  int lookahead_days = 1;
+
+  /// Probability of keeping each negative drive-day (deterministic in
+  /// (seed, drive, day)).
+  double negative_keep_prob = 0.02;
+
+  /// Probability of keeping each positive drive-day.  1.0 (default) for
+  /// failure labels, where positives are precious; error-occurrence labels
+  /// (Table 8) have abundant positives and subsample both classes —
+  /// uniform per-class subsampling leaves TPR and FPR unbiased.
+  double positive_keep_prob = 1.0;
+
+  std::uint64_t seed = 101;
+
+  /// Restrict to one drive model (Table 7 / Fig 13), or all when empty.
+  std::optional<trace::DriveModel> model_filter;
+
+  /// Restrict rows by drive age at prediction time (Figs 15/16).
+  enum class AgeFilter { kAll, kYoungOnly, kOldOnly };
+  AgeFilter age_filter = AgeFilter::kAll;
+
+  /// When set, label = "error of this type occurs within the next N days"
+  /// instead of failure (Table 8).
+  std::optional<trace::ErrorType> error_label;
+
+  /// When true, label = "new bad blocks develop within the next N days"
+  /// (Table 8's "Bad block" row).  Mutually exclusive with error_label.
+  bool bad_block_label = false;
+
+  /// When true, append the RollingWindow trailing-week features to every
+  /// row (extension for large-N prediction; see bench_ext_rolling).
+  bool rolling_features = false;
+};
+
+/// Build a dataset by streaming the fleet (parallel, deterministic).
+[[nodiscard]] ml::Dataset build_dataset(const sim::FleetSimulator& fleet,
+                                        const DatasetBuildOptions& options);
+
+/// Build from an in-memory fleet (tests/examples).
+[[nodiscard]] ml::Dataset build_dataset(const trace::FleetTrace& fleet,
+                                        const DatasetBuildOptions& options);
+
+/// Fold one drive into a dataset under the given options (exposed for
+/// incremental/online use by examples).
+void append_drive(ml::Dataset& out, const trace::DriveHistory& drive,
+                  const DatasetBuildOptions& options);
+
+}  // namespace ssdfail::core

@@ -1,0 +1,100 @@
+#include "core/failure_timeline.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace ssdfail::core {
+
+DriveTimeline derive_timeline(const trace::DriveHistory& drive) {
+  DriveTimeline timeline;
+  const auto& records = drive.records;
+  if (records.empty()) return timeline;
+
+  // Running cumulative error state so each failure can capture its
+  // cumulative UE count (cheap single pass, index-aligned with records).
+  std::vector<std::uint64_t> cum_ue(records.size());
+  std::uint64_t ue = 0;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    ue += records[i].error(trace::ErrorType::kUncorrectable);
+    cum_ue[i] = ue;
+  }
+
+  std::size_t period_start_idx = 0;  // index of first record of current period
+  for (const trace::SwapEvent& swap : drive.swaps) {
+    // Failure day: last record at or before the swap with read/write
+    // activity.  Trailing inactive records belong to post-failure limbo.
+    std::optional<std::size_t> fail_idx;
+    for (std::size_t i = period_start_idx; i < records.size(); ++i) {
+      if (records[i].day >= swap.day) break;
+      if (!records[i].inactive()) fail_idx = i;
+    }
+    if (!fail_idx) {
+      // The drive was never seen active before this swap (can happen when a
+      // re-entry is swallowed by log loss); anchor to the first record of
+      // the period, or skip if there is none.
+      bool found = false;
+      for (std::size_t i = period_start_idx; i < records.size(); ++i) {
+        if (records[i].day >= swap.day) break;
+        fail_idx = i;
+        found = true;
+      }
+      if (!found) continue;
+    }
+
+    const trace::DailyRecord& fr = records[*fail_idx];
+    FailureRecord failure;
+    failure.fail_day = fr.day;
+    failure.swap_day = swap.day;
+    failure.age_at_failure = fr.day - drive.deploy_day;
+    failure.pe_at_failure = fr.pe_cycles;
+    failure.cum_ue = cum_ue[*fail_idx];
+    failure.cum_bad_blocks =
+        static_cast<std::uint64_t>(fr.bad_blocks) + fr.factory_bad_blocks;
+    timeline.failures.push_back(failure);
+
+    timeline.periods.push_back(
+        {records[period_start_idx].day, fr.day, /*ended_in_failure=*/true});
+
+    // Re-entry: the first active record after the swap.
+    RepairVisit visit;
+    visit.swap_day = swap.day;
+    std::size_t next_start = records.size();
+    for (std::size_t i = *fail_idx + 1; i < records.size(); ++i) {
+      if (records[i].day <= swap.day) continue;
+      if (!records[i].inactive()) {
+        visit.reentry_day = records[i].day;
+        next_start = i;
+        break;
+      }
+    }
+    timeline.repairs.push_back(visit);
+    period_start_idx = next_start;
+    if (period_start_idx >= records.size()) break;
+  }
+
+  // Trailing censored period (no failure observed before the horizon).
+  if (period_start_idx < records.size()) {
+    timeline.periods.push_back({records[period_start_idx].day, records.back().day,
+                                /*ended_in_failure=*/false});
+  }
+  return timeline;
+}
+
+std::int32_t days_to_next_failure(const DriveTimeline& timeline, std::int32_t day) {
+  for (const FailureRecord& f : timeline.failures)
+    if (f.fail_day >= day) return f.fail_day - day;
+  return std::numeric_limits<std::int32_t>::max();
+}
+
+bool in_failed_state(const DriveTimeline& timeline, std::int32_t day) {
+  for (std::size_t i = 0; i < timeline.failures.size(); ++i) {
+    const std::int32_t fail = timeline.failures[i].fail_day;
+    if (day <= fail) continue;
+    // After this failure: failed until re-entry (if any).
+    const auto& reentry = timeline.repairs[i].reentry_day;
+    if (!reentry || day < *reentry) return true;
+  }
+  return false;
+}
+
+}  // namespace ssdfail::core

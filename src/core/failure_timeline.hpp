@@ -1,0 +1,80 @@
+#pragma once
+
+// Re-derivation of the paper's failure timeline (Section 3, Fig 2) from
+// observable logs only.
+//
+// "A failure occurs on a drive's last day of operational activity prior to
+//  a swap" — where operational activity means read/write operations, and
+// any trailing inactive (zero-op) logged days before the swap belong to the
+// post-failure limbo, not to the operational period.
+//
+// This module never looks at DriveHistory::truth; tests cross-check the
+// derivation against ground truth instead.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "trace/drive_history.hpp"
+
+namespace ssdfail::core {
+
+/// Age at or below which a failure counts as "young"/infant (Section 4.1).
+inline constexpr std::int32_t kInfantAgeDays = 90;
+
+/// One derived failure event (each corresponds to one swap).
+struct FailureRecord {
+  std::int32_t fail_day = 0;       ///< last operationally-active day
+  std::int32_t swap_day = 0;
+  std::int32_t age_at_failure = 0; ///< fail_day - deploy_day
+  std::uint32_t pe_at_failure = 0;
+  std::uint64_t cum_ue = 0;        ///< uncorrectable errors up to failure
+  std::uint64_t cum_bad_blocks = 0;
+
+  [[nodiscard]] bool young() const noexcept { return age_at_failure <= kInfantAgeDays; }
+  /// Length of the pre-swap non-operational period (Fig 4).
+  [[nodiscard]] std::int32_t nonop_days() const noexcept { return swap_day - fail_day; }
+};
+
+/// A maximal span of operational life: deployment/re-entry to failure or
+/// to the censoring horizon (Fig 3).
+struct OperationalPeriod {
+  std::int32_t start_day = 0;
+  std::int32_t end_day = 0;        ///< failure day, or last observed day
+  bool ended_in_failure = false;
+
+  [[nodiscard]] std::int32_t length() const noexcept { return end_day - start_day + 1; }
+};
+
+/// One visit to the repairs process (Fig 5 / Table 5).
+struct RepairVisit {
+  std::int32_t swap_day = 0;
+  std::optional<std::int32_t> reentry_day;  ///< empty = never seen to return
+
+  [[nodiscard]] std::optional<std::int32_t> repair_days() const noexcept {
+    if (!reentry_day) return std::nullopt;
+    return *reentry_day - swap_day;
+  }
+};
+
+/// Full derived timeline of one drive.
+struct DriveTimeline {
+  std::vector<FailureRecord> failures;
+  std::vector<OperationalPeriod> periods;
+  std::vector<RepairVisit> repairs;
+};
+
+/// Derive the timeline from a drive's observable logs.
+[[nodiscard]] DriveTimeline derive_timeline(const trace::DriveHistory& drive);
+
+/// Convenience: days-to-failure for a given day (minimum over failures at
+/// or after `day`); INT32_MAX when no later failure exists.
+[[nodiscard]] std::int32_t days_to_next_failure(const DriveTimeline& timeline,
+                                                std::int32_t day);
+
+/// True if `day` falls inside post-failure limbo or the repair process
+/// (i.e. after a derived failure day and before the next re-entry) — such
+/// records are excluded from prediction datasets.
+[[nodiscard]] bool in_failed_state(const DriveTimeline& timeline, std::int32_t day);
+
+}  // namespace ssdfail::core

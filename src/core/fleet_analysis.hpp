@@ -1,0 +1,32 @@
+#pragma once
+
+// Convenience driver: run the characterization suite over a whole
+// (simulated) fleet in parallel.
+
+#include "core/characterization.hpp"
+#include "sim/fleet_simulator.hpp"
+
+namespace ssdfail::core {
+
+// The analysis layer defines "young" from the paper (§4.1) without
+// depending on the simulator; both must agree.
+static_assert(kInfantAgeDays == sim::kInfantAgeDays,
+              "core and sim disagree on the infant-age threshold");
+
+/// One parallel streaming pass over the fleet.
+[[nodiscard]] inline CharacterizationSuite characterize(const sim::FleetSimulator& fleet) {
+  const std::int32_t window = fleet.config().window_days;
+  return fleet.visit(
+      [window] { return CharacterizationSuite{window}; },
+      [](CharacterizationSuite& acc, const trace::DriveHistory& drive) { acc.add(drive); },
+      [](CharacterizationSuite& dst, const CharacterizationSuite& src) { dst.merge(src); });
+}
+
+/// Same, over an in-memory fleet.
+[[nodiscard]] inline CharacterizationSuite characterize(const trace::FleetTrace& fleet) {
+  CharacterizationSuite suite;
+  for (const auto& drive : fleet.drives) suite.add(drive);
+  return suite;
+}
+
+}  // namespace ssdfail::core

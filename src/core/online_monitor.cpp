@@ -1,0 +1,54 @@
+#include "core/online_monitor.hpp"
+
+#include <stdexcept>
+
+namespace ssdfail::core {
+
+OnlineDriveMonitor::OnlineDriveMonitor(const ml::Classifier& model, double threshold,
+                                       trace::DriveModel drive_model,
+                                       std::int32_t deploy_day)
+    : model_(&model),
+      threshold_(threshold),
+      row_(1, FeatureExtractor::count()),
+      last_day_(deploy_day - 1) {
+  header_.model = drive_model;
+  header_.deploy_day = deploy_day;
+}
+
+RiskAssessment OnlineDriveMonitor::observe(const trace::DailyRecord& record) {
+  if (record.day <= last_day_)
+    throw std::invalid_argument("OnlineDriveMonitor: records must be in day order");
+  last_day_ = record.day;
+  ++days_observed_;
+  FeatureExtractor::advance(state_, record);
+  FeatureExtractor::extract(header_, record, state_, row_.row(0));
+  RiskAssessment out;
+  out.risk = model_->predict_proba(row_)[0];
+  out.alert = out.risk >= threshold_;
+  return out;
+}
+
+RiskAssessment FleetMonitor::observe(trace::DriveModel drive_model,
+                                     std::uint32_t drive_index, std::int32_t deploy_day,
+                                     const trace::DailyRecord& record) {
+  const std::uint64_t uid =
+      (static_cast<std::uint64_t>(drive_model) << 32) | drive_index;
+  auto it = monitors_.find(uid);
+  if (it == monitors_.end()) {
+    it = monitors_
+             .emplace(uid, OnlineDriveMonitor(*model_, threshold_, drive_model,
+                                              deploy_day))
+             .first;
+  }
+  const RiskAssessment assessment = it->second.observe(record);
+  if (assessment.alert) ++alerts_;
+  return assessment;
+}
+
+void FleetMonitor::retire(trace::DriveModel drive_model, std::uint32_t drive_index) {
+  const std::uint64_t uid =
+      (static_cast<std::uint64_t>(drive_model) << 32) | drive_index;
+  monitors_.erase(uid);
+}
+
+}  // namespace ssdfail::core

@@ -1,0 +1,72 @@
+#pragma once
+
+// Online (streaming) failure monitoring: the production embodiment of the
+// paper's prediction models.  A monitor holds the per-drive cumulative
+// feature state; each daily record yields a risk score and an optional
+// alert against a configured threshold.  FleetMonitor multiplexes monitors
+// across a fleet keyed by drive uid.
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "core/features.hpp"
+#include "ml/classifier.hpp"
+
+namespace ssdfail::core {
+
+/// Daily risk assessment for one drive.
+struct RiskAssessment {
+  float risk = 0.0f;   ///< model score in [0, 1]
+  bool alert = false;  ///< risk >= threshold
+};
+
+/// Streaming monitor for a single drive.  Feed records in day order.
+class OnlineDriveMonitor {
+ public:
+  /// The classifier must outlive the monitor and already be fitted.
+  OnlineDriveMonitor(const ml::Classifier& model, double threshold,
+                     trace::DriveModel drive_model, std::int32_t deploy_day);
+
+  /// Fold in one daily record and score it.  Records must arrive in
+  /// strictly increasing day order; throws std::invalid_argument otherwise.
+  RiskAssessment observe(const trace::DailyRecord& record);
+
+  [[nodiscard]] std::int32_t last_day() const noexcept { return last_day_; }
+  [[nodiscard]] std::uint64_t days_observed() const noexcept { return days_observed_; }
+  [[nodiscard]] double threshold() const noexcept { return threshold_; }
+
+ private:
+  const ml::Classifier* model_;
+  double threshold_;
+  trace::DriveHistory header_;  ///< deploy metadata for feature extraction
+  FeatureExtractor::State state_;
+  ml::Matrix row_;
+  std::int32_t last_day_;
+  std::uint64_t days_observed_ = 0;
+};
+
+/// Fleet-wide monitor: lazily creates a per-drive monitor on first sight.
+class FleetMonitor {
+ public:
+  FleetMonitor(std::shared_ptr<const ml::Classifier> model, double threshold)
+      : model_(std::move(model)), threshold_(threshold) {}
+
+  /// Observe one record for the given drive.
+  RiskAssessment observe(trace::DriveModel drive_model, std::uint32_t drive_index,
+                         std::int32_t deploy_day, const trace::DailyRecord& record);
+
+  /// Drop a drive's state (it was swapped out).
+  void retire(trace::DriveModel drive_model, std::uint32_t drive_index);
+
+  [[nodiscard]] std::size_t drives_tracked() const noexcept { return monitors_.size(); }
+  [[nodiscard]] std::uint64_t alerts_raised() const noexcept { return alerts_; }
+
+ private:
+  std::shared_ptr<const ml::Classifier> model_;
+  double threshold_;
+  std::unordered_map<std::uint64_t, OnlineDriveMonitor> monitors_;
+  std::uint64_t alerts_ = 0;
+};
+
+}  // namespace ssdfail::core

@@ -1,0 +1,41 @@
+#include "core/policy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ssdfail::core {
+
+PolicyOutcome evaluate_policy(std::span<const float> scores,
+                              std::span<const float> labels, double threshold,
+                              double negative_keep_prob) {
+  if (negative_keep_prob <= 0.0 || negative_keep_prob > 1.0)
+    throw std::invalid_argument("evaluate_policy: bad negative_keep_prob");
+  const ml::Confusion c = ml::confusion_at(scores, labels, threshold);
+  PolicyOutcome out;
+  out.threshold = threshold;
+  out.recall = c.tpr();
+  out.false_alarm_rate = c.fpr();
+  out.caught = c.tp;
+  out.missed = c.fn;
+  // Each sampled healthy day stands for 1/keep_prob real days; a drive-year
+  // is ~365 healthy days, so false alarms per drive-year is just the
+  // per-day false-alarm probability times 365 (subsampling cancels out).
+  out.false_alarms_per_drive_year = c.fpr() * 365.0;
+  return out;
+}
+
+double threshold_for_fpr(std::span<const float> scores, std::span<const float> labels,
+                         double max_fpr) {
+  const auto curve = ml::roc_curve(scores, labels);
+  // Curve is sorted by ascending FPR; pick the last point within budget.
+  double threshold = 1.0;
+  for (const auto& point : curve) {
+    if (point.fpr <= max_fpr && std::isfinite(point.threshold))
+      threshold = point.threshold;
+    if (point.fpr > max_fpr) break;
+  }
+  return threshold;
+}
+
+}  // namespace ssdfail::core

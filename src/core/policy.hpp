@@ -1,0 +1,36 @@
+#pragma once
+
+// Proactive-management policy analysis (Section 5's motivating use case):
+// given a trained predictor and a discrimination threshold, what fraction
+// of failures would be caught, and how many false replacements would the
+// data center pay for?
+//
+// Works on a subsampled evaluation set; the negative keep-probability is
+// used to scale false-alarm counts back to fleet scale.
+
+#include "ml/metrics.hpp"
+
+namespace ssdfail::core {
+
+struct PolicyOutcome {
+  double threshold = 0.0;
+  double recall = 0.0;                 ///< fraction of failure days flagged
+  double false_alarm_rate = 0.0;       ///< flagged fraction of healthy days
+  double false_alarms_per_drive_year = 0.0;
+  std::uint64_t caught = 0;
+  std::uint64_t missed = 0;
+};
+
+/// Evaluate a threshold policy on (scores, labels) from a dataset whose
+/// negatives were subsampled with `negative_keep_prob`.
+[[nodiscard]] PolicyOutcome evaluate_policy(std::span<const float> scores,
+                                            std::span<const float> labels,
+                                            double threshold,
+                                            double negative_keep_prob);
+
+/// Smallest threshold whose false-positive rate does not exceed the given
+/// budget (conservative operating points; Fig 14's use of high thresholds).
+[[nodiscard]] double threshold_for_fpr(std::span<const float> scores,
+                                       std::span<const float> labels, double max_fpr);
+
+}  // namespace ssdfail::core

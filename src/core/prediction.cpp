@@ -1,0 +1,123 @@
+#include "core/prediction.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ml/downsample.hpp"
+#include "ml/random_forest.hpp"
+#include "stats/rng.hpp"
+
+namespace ssdfail::core {
+namespace {
+
+ml::CvOptions make_cv_options(const EvalProtocol& protocol) {
+  ml::CvOptions options;
+  options.folds = protocol.folds;
+  options.seed = protocol.seed;
+  const double ratio = protocol.train_downsample_ratio;
+  const std::uint64_t seed = protocol.seed;
+  options.train_transform = [ratio, seed](const ml::Dataset& train, std::size_t fold) {
+    return ml::downsample_negatives(train, ratio, seed * 1000 + fold);
+  };
+  return options;
+}
+
+}  // namespace
+
+ml::CvResult evaluate_auc(const ml::Classifier& model, const ml::Dataset& data,
+                          const EvalProtocol& protocol) {
+  return ml::cross_validate(model, data, make_cv_options(protocol));
+}
+
+PooledScores pooled_cv_scores(const ml::Classifier& model, const ml::Dataset& data,
+                              const EvalProtocol& protocol) {
+  const auto splits = ml::group_k_fold(data, protocol.folds, protocol.seed);
+  PooledScores pooled;
+  for (std::size_t f = 0; f < splits.size(); ++f) {
+    if (splits[f].train.empty() || splits[f].test.empty()) continue;
+    ml::Dataset train = data.subset(splits[f].train);
+    train = ml::downsample_negatives(train, protocol.train_downsample_ratio,
+                                     protocol.seed * 1000 + f);
+    if (train.positives() == 0 || train.positives() == train.size()) continue;
+    const ml::Dataset test = data.subset(splits[f].test);
+
+    auto fold_model = model.clone();
+    fold_model->fit(train);
+    const auto scores = fold_model->predict_proba(test.x);
+    for (std::size_t i = 0; i < scores.size(); ++i) {
+      pooled.scores.push_back(scores[i]);
+      pooled.labels.push_back(test.y[i]);
+      pooled.row_indices.push_back(splits[f].test[i]);
+    }
+  }
+  return pooled;
+}
+
+double transfer_auc(const ml::Classifier& model, const ml::Dataset& train,
+                    const ml::Dataset& test, const EvalProtocol& protocol) {
+  const ml::Dataset down = ml::downsample_negatives(
+      train, protocol.train_downsample_ratio, protocol.seed);
+  auto fresh = model.clone();
+  fresh->fit(down);
+  const auto scores = fresh->predict_proba(test.x);
+  return ml::roc_auc(scores, test.y);
+}
+
+std::vector<RankedFeature> forest_feature_importance(const ml::Dataset& data,
+                                                     const EvalProtocol& protocol) {
+  const ml::Dataset train =
+      ml::downsample_negatives(data, protocol.train_downsample_ratio, protocol.seed);
+  ml::RandomForest::Params params;
+  params.seed = protocol.seed;
+  ml::RandomForest forest(params);
+  forest.fit(train);
+  const auto importance = forest.feature_importance();
+
+  std::vector<RankedFeature> ranked;
+  ranked.reserve(importance.size());
+  for (std::size_t f = 0; f < importance.size(); ++f) {
+    const std::string name =
+        f < data.feature_names.size() ? data.feature_names[f] : "f" + std::to_string(f);
+    ranked.push_back({name, importance[f]});
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const RankedFeature& a, const RankedFeature& b) {
+              return a.importance > b.importance;
+            });
+  return ranked;
+}
+
+std::vector<RankedFeature> permutation_importance(const ml::Classifier& fitted_model,
+                                                  const ml::Dataset& test,
+                                                  std::uint64_t seed, int repeats) {
+  test.validate();
+  const double baseline = ml::roc_auc(fitted_model.predict_proba(test.x), test.y);
+
+  std::vector<RankedFeature> ranked;
+  ranked.reserve(test.features());
+  const std::size_t n = test.size();
+  for (std::size_t f = 0; f < test.features(); ++f) {
+    double drop_sum = 0.0;
+    for (int r = 0; r < repeats; ++r) {
+      ml::Matrix shuffled = test.x;
+      stats::Rng rng({seed, f, static_cast<std::uint64_t>(r)});
+      // Fisher-Yates on the column only.
+      for (std::size_t i = n; i > 1; --i) {
+        const auto j = static_cast<std::size_t>(rng.uniform_index(i));
+        std::swap(shuffled(i - 1, f), shuffled(j, f));
+      }
+      const double auc = ml::roc_auc(fitted_model.predict_proba(shuffled), test.y);
+      drop_sum += baseline - auc;
+    }
+    const std::string name =
+        f < test.feature_names.size() ? test.feature_names[f] : "f" + std::to_string(f);
+    ranked.push_back({name, drop_sum / repeats});
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const RankedFeature& a, const RankedFeature& b) {
+              return a.importance > b.importance;
+            });
+  return ranked;
+}
+
+}  // namespace ssdfail::core

@@ -1,0 +1,62 @@
+#pragma once
+
+// The paper's evaluation protocol (Section 5.1) as reusable primitives:
+// drive-partitioned 5-fold CV, 1:1 training-set downsampling, ROC AUC with
+// fold mean ± sd, pooled-fold scores for ROC curves and threshold studies,
+// and cross-model transfer evaluation (Table 7).
+
+#include "ml/classifier.hpp"
+#include "ml/cross_validation.hpp"
+#include "ml/metrics.hpp"
+
+namespace ssdfail::core {
+
+struct EvalProtocol {
+  std::size_t folds = 5;
+  double train_downsample_ratio = 1.0;  ///< negatives per positive in training
+  std::uint64_t seed = 5;
+};
+
+/// Cross-validated ROC AUC under the paper's protocol.
+[[nodiscard]] ml::CvResult evaluate_auc(const ml::Classifier& model,
+                                        const ml::Dataset& data,
+                                        const EvalProtocol& protocol = {});
+
+/// Test-fold scores pooled across all folds (each row scored exactly once,
+/// by the model that did NOT train on its drive).  Basis for ROC curves
+/// (Figs 13/15) and TPR-by-age (Fig 14).
+struct PooledScores {
+  std::vector<float> scores;
+  std::vector<float> labels;
+  std::vector<std::size_t> row_indices;  ///< into the original dataset
+};
+[[nodiscard]] PooledScores pooled_cv_scores(const ml::Classifier& model,
+                                            const ml::Dataset& data,
+                                            const EvalProtocol& protocol = {});
+
+/// Train on one dataset (downsampled), evaluate AUC on another — the
+/// Table 7 off-diagonal cells.
+[[nodiscard]] double transfer_auc(const ml::Classifier& model, const ml::Dataset& train,
+                                  const ml::Dataset& test,
+                                  const EvalProtocol& protocol = {});
+
+/// Feature importance of a random forest trained on the (downsampled)
+/// dataset, returned as (name, importance) sorted descending (Fig 16).
+struct RankedFeature {
+  std::string name;
+  double importance = 0.0;
+};
+[[nodiscard]] std::vector<RankedFeature> forest_feature_importance(
+    const ml::Dataset& data, const EvalProtocol& protocol = {});
+
+/// Model-agnostic permutation importance: per feature, the drop in test
+/// AUC when that feature's column is shuffled (mean over `repeats`
+/// shuffles).  More robust than impurity importance against correlated and
+/// high-cardinality features; printed alongside Fig 16's impurity ranking
+/// by bench_ablation_importance.  Sorted descending; not normalized (units
+/// are AUC points lost).
+[[nodiscard]] std::vector<RankedFeature> permutation_importance(
+    const ml::Classifier& fitted_model, const ml::Dataset& test,
+    std::uint64_t seed = 17, int repeats = 2);
+
+}  // namespace ssdfail::core

@@ -1,0 +1,83 @@
+#include "io/csv.hpp"
+
+#include <charconv>
+#include <istream>
+#include <ostream>
+
+namespace ssdfail::io {
+
+std::string CsvWriter::escape(std::string_view field, char sep) {
+  const bool needs_quote = field.find_first_of("\"\r\n") != std::string_view::npos ||
+                           field.find(sep) != std::string_view::npos;
+  if (!needs_quote) return std::string(field);
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i != 0) out_ << sep_;
+    out_ << escape(fields[i], sep_);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::write_row_numeric(const std::vector<double>& values) {
+  std::vector<std::string> fields;
+  fields.reserve(values.size());
+  for (double v : values) {
+    char buf[32];
+    const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+    fields.emplace_back(buf, ptr);
+  }
+  write_row(fields);
+}
+
+std::vector<std::string> parse_csv_line(std::string_view line, char sep) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current.push_back(c);
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == sep) {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else if (c != '\r') {
+      current.push_back(c);
+    }
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+std::vector<std::vector<std::string>> read_csv(std::istream& in, char sep) {
+  std::vector<std::vector<std::string>> rows;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    rows.push_back(parse_csv_line(line, sep));
+  }
+  return rows;
+}
+
+}  // namespace ssdfail::io

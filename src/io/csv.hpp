@@ -1,0 +1,38 @@
+#pragma once
+
+// Small, dependency-free CSV reading and writing (RFC-4180 quoting).
+// Used to export traces and experiment results for external plotting.
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ssdfail::io {
+
+/// Streaming CSV writer.  Fields containing separators, quotes, or
+/// newlines are quoted and escaped.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out, char sep = ',') : out_(out), sep_(sep) {}
+
+  void write_row(const std::vector<std::string>& fields);
+
+  /// Convenience: formats arithmetic values with full round-trip precision.
+  void write_row_numeric(const std::vector<double>& values);
+
+  static std::string escape(std::string_view field, char sep);
+
+ private:
+  std::ostream& out_;
+  char sep_;
+};
+
+/// Parse one CSV line into fields (handles quoted fields and embedded
+/// separators; embedded newlines are not supported by line-based parsing).
+[[nodiscard]] std::vector<std::string> parse_csv_line(std::string_view line, char sep = ',');
+
+/// Read an entire CSV stream into rows of fields.
+[[nodiscard]] std::vector<std::vector<std::string>> read_csv(std::istream& in, char sep = ',');
+
+}  // namespace ssdfail::io

@@ -1,0 +1,63 @@
+#include "io/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "io/csv.hpp"
+
+namespace ssdfail::io {
+
+std::string TextTable::num(double v, int digits) {
+  if (std::isnan(v)) return "--";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+std::string TextTable::pct(double v, int digits) {
+  if (std::isnan(v)) return "--";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v * 100.0);
+  return buf;
+}
+
+void TextTable::print(std::ostream& out) const {
+  std::vector<std::size_t> widths;
+  auto grow = [&](const std::vector<std::string>& row) {
+    if (widths.size() < row.size()) widths.resize(row.size(), 0);
+    for (std::size_t i = 0; i < row.size(); ++i)
+      widths[i] = std::max(widths[i], row[i].size());
+  };
+  grow(header_);
+  for (const auto& r : rows_) grow(r);
+
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string();
+      out << cell;
+      if (i + 1 < widths.size())
+        out << std::string(widths[i] - cell.size() + 2, ' ');
+    }
+    out << '\n';
+  };
+
+  out << "== " << title_ << " ==\n";
+  if (!header_.empty()) {
+    emit(header_);
+    std::size_t total = 0;
+    for (std::size_t w : widths) total += w + 2;
+    out << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  }
+  for (const auto& r : rows_) emit(r);
+  out << '\n';
+}
+
+void TextTable::print_csv(std::ostream& out) const {
+  CsvWriter writer(out);
+  if (!header_.empty()) writer.write_row(header_);
+  for (const auto& r : rows_) writer.write_row(r);
+}
+
+}  // namespace ssdfail::io

@@ -1,0 +1,39 @@
+#pragma once
+
+// Fixed-width text table rendering.  Every bench harness prints its
+// reproduced table/figure series through this, so output stays uniform and
+// greppable (rows are also emitted as CSV on request).
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ssdfail::io {
+
+/// A simple column-aligned text table with a title and header row.
+class TextTable {
+ public:
+  explicit TextTable(std::string title) : title_(std::move(title)) {}
+
+  void set_header(std::vector<std::string> header) { header_ = std::move(header); }
+  void add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  /// Format a double with `digits` significant decimal places.
+  [[nodiscard]] static std::string num(double v, int digits = 4);
+  /// Format as a percentage with `digits` decimals (value in [0,1] -> "xx.x").
+  [[nodiscard]] static std::string pct(double v, int digits = 1);
+
+  void print(std::ostream& out) const;
+  void print_csv(std::ostream& out) const;
+
+  [[nodiscard]] const std::vector<std::vector<std::string>>& rows() const noexcept {
+    return rows_;
+  }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ssdfail::io

@@ -1,0 +1,35 @@
+#pragma once
+
+// The common binary-classifier interface.
+//
+// All six of the paper's predictors (plus the threshold baseline) implement
+// it.  predict_proba returns a score in [0, 1] interpretable as P(failure
+// within N days | features); the ROC machinery sweeps the discrimination
+// threshold over these scores.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/dataset.hpp"
+
+namespace ssdfail::ml {
+
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  /// Train on the given dataset.  Must be callable repeatedly (refits).
+  virtual void fit(const Dataset& train) = 0;
+
+  /// Per-row probability-like scores in [0, 1].  Requires a prior fit().
+  [[nodiscard]] virtual std::vector<float> predict_proba(const Matrix& x) const = 0;
+
+  /// Human-readable model name ("random_forest", ...).
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Fresh, unfitted copy with identical hyperparameters (for CV folds).
+  [[nodiscard]] virtual std::unique_ptr<Classifier> clone() const = 0;
+};
+
+}  // namespace ssdfail::ml

@@ -1,0 +1,49 @@
+#include "ml/cross_validation.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/rng.hpp"
+
+namespace ssdfail::ml {
+
+std::size_t group_fold(std::uint64_t group_id, std::size_t k, std::uint64_t seed) {
+  if (k == 0) throw std::invalid_argument("group_fold: k must be > 0");
+  return static_cast<std::size_t>(stats::hash_keys({seed, group_id}) % k);
+}
+
+std::vector<FoldSplit> group_k_fold(const Dataset& data, std::size_t k,
+                                    std::uint64_t seed) {
+  data.validate();
+  std::vector<FoldSplit> splits(k);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const std::size_t fold = group_fold(data.groups[i], k, seed);
+    for (std::size_t f = 0; f < k; ++f)
+      (f == fold ? splits[f].test : splits[f].train).push_back(i);
+  }
+  return splits;
+}
+
+CvResult cross_validate(const Classifier& model, const Dataset& data,
+                        const CvOptions& options) {
+  const auto splits = group_k_fold(data, options.folds, options.seed);
+  CvResult result;
+  for (std::size_t f = 0; f < splits.size(); ++f) {
+    if (splits[f].train.empty() || splits[f].test.empty()) continue;
+    Dataset train = data.subset(splits[f].train);
+    Dataset test = data.subset(splits[f].test);
+    if (options.train_transform) train = options.train_transform(train, f);
+    if (options.test_transform) test = options.test_transform(test, f);
+    if (train.positives() == 0 || train.positives() == train.size()) continue;
+    if (test.positives() == 0 || test.positives() == test.size()) continue;
+
+    auto fold_model = model.clone();
+    fold_model->fit(train);
+    const auto scores = fold_model->predict_proba(test.x);
+    const double auc = roc_auc(scores, test.y);
+    if (!std::isnan(auc)) result.fold_aucs.push_back(auc);
+  }
+  return result;
+}
+
+}  // namespace ssdfail::ml

@@ -1,0 +1,54 @@
+#pragma once
+
+// Group-aware k-fold cross-validation.
+//
+// Folds are assigned per GROUP (drive), not per row: the paper partitions
+// drive IDs so no drive's days appear in both train and test (Section 5.1
+// — drive days are highly autocorrelated, so row-level splits leak).
+
+#include <cstdint>
+#include <functional>
+
+#include "ml/classifier.hpp"
+#include "ml/metrics.hpp"
+
+namespace ssdfail::ml {
+
+/// Deterministic fold id for a group: hash-based, uniform across folds and
+/// stable no matter which subset of groups is present.
+[[nodiscard]] std::size_t group_fold(std::uint64_t group_id, std::size_t k,
+                                     std::uint64_t seed);
+
+/// Train/test row indices for one fold.
+struct FoldSplit {
+  std::vector<std::size_t> train;
+  std::vector<std::size_t> test;
+};
+
+/// Build all k splits of `data` by group.
+[[nodiscard]] std::vector<FoldSplit> group_k_fold(const Dataset& data, std::size_t k,
+                                                  std::uint64_t seed);
+
+/// Result of a cross-validated evaluation.
+struct CvResult {
+  std::vector<double> fold_aucs;
+  [[nodiscard]] MeanSd auc() const { return mean_sd(fold_aucs); }
+};
+
+/// Optional per-fold set transforms (the paper's protocol downsamples the
+/// training fold and may subsample the test fold).  Identity when empty.
+struct CvOptions {
+  std::size_t folds = 5;
+  std::uint64_t seed = 5;
+  std::function<Dataset(const Dataset&, std::size_t fold)> train_transform;
+  std::function<Dataset(const Dataset&, std::size_t fold)> test_transform;
+};
+
+/// k-fold cross-validated ROC AUC of `model` on `data`.  The model is
+/// cloned per fold (fresh state), trained on the transformed train fold,
+/// and scored on the transformed test fold.  Folds whose test set lacks a
+/// class are skipped.
+[[nodiscard]] CvResult cross_validate(const Classifier& model, const Dataset& data,
+                                      const CvOptions& options = {});
+
+}  // namespace ssdfail::ml

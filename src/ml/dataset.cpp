@@ -1,0 +1,34 @@
+#include "ml/dataset.hpp"
+
+#include <stdexcept>
+
+namespace ssdfail::ml {
+
+std::size_t Dataset::positives() const noexcept {
+  std::size_t n = 0;
+  for (float v : y)
+    if (v > 0.5f) ++n;
+  return n;
+}
+
+Dataset Dataset::subset(std::span<const std::size_t> indices) const {
+  Dataset out;
+  out.x = x.select_rows(indices);
+  out.y.reserve(indices.size());
+  out.groups.reserve(indices.size());
+  for (std::size_t i : indices) {
+    out.y.push_back(y[i]);
+    out.groups.push_back(groups[i]);
+  }
+  out.feature_names = feature_names;
+  return out;
+}
+
+void Dataset::validate() const {
+  if (x.rows() != y.size() || y.size() != groups.size())
+    throw std::invalid_argument("Dataset: row count mismatch");
+  if (!feature_names.empty() && feature_names.size() != x.cols())
+    throw std::invalid_argument("Dataset: feature name count mismatch");
+}
+
+}  // namespace ssdfail::ml

@@ -1,0 +1,36 @@
+#pragma once
+
+// Labeled dataset with group ids.
+//
+// Groups carry the drive uid of each row: the paper's cross-validation
+// partitions folds BY DRIVE, never splitting one drive's days across train
+// and test (drive days are highly correlated; splitting them leaks).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ml/matrix.hpp"
+
+namespace ssdfail::ml {
+
+struct Dataset {
+  Matrix x;
+  std::vector<float> y;                ///< binary labels (0/1)
+  std::vector<std::uint64_t> groups;   ///< group id per row (drive uid)
+  std::vector<std::string> feature_names;
+
+  [[nodiscard]] std::size_t size() const noexcept { return y.size(); }
+  [[nodiscard]] std::size_t features() const noexcept { return x.cols(); }
+
+  /// Number of positive labels.
+  [[nodiscard]] std::size_t positives() const noexcept;
+
+  /// Rows selected by index, preserving order.
+  [[nodiscard]] Dataset subset(std::span<const std::size_t> indices) const;
+
+  /// Throws std::invalid_argument if row counts disagree.
+  void validate() const;
+};
+
+}  // namespace ssdfail::ml

@@ -1,0 +1,145 @@
+#include "ml/decision_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace ssdfail::ml {
+namespace {
+
+/// Gini impurity of a node with `pos` positives out of `n`.
+double gini(double pos, double n) noexcept {
+  if (n <= 0.0) return 0.0;
+  const double p = pos / n;
+  return 2.0 * p * (1.0 - p);
+}
+
+}  // namespace
+
+void DecisionTree::fit(const Dataset& train) {
+  std::vector<std::size_t> idx(train.size());
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  fit_on(train, std::move(idx));
+}
+
+void DecisionTree::fit_on(const Dataset& train, std::vector<std::size_t> row_indices) {
+  train.validate();
+  if (row_indices.empty()) throw std::invalid_argument("DecisionTree: empty train set");
+  nodes_.clear();
+  n_features_ = train.x.cols();
+  importance_.assign(n_features_, 0.0);
+  stats::Rng rng(params_.seed);
+  build(train, row_indices, 0, row_indices.size(), 0, rng);
+}
+
+std::int32_t DecisionTree::build(const Dataset& train, std::vector<std::size_t>& idx,
+                                 std::size_t begin, std::size_t end, std::size_t depth,
+                                 stats::Rng& rng) {
+  const std::size_t n = end - begin;
+  double pos = 0.0;
+  for (std::size_t i = begin; i < end; ++i)
+    if (train.y[idx[i]] > 0.5f) pos += 1.0;
+
+  const double node_gini = gini(pos, static_cast<double>(n));
+  const auto make_leaf = [&] {
+    Node leaf;
+    leaf.score = static_cast<float>(pos / static_cast<double>(n));
+    nodes_.push_back(leaf);
+    return static_cast<std::int32_t>(nodes_.size() - 1);
+  };
+
+  if (depth >= params_.max_depth || n < params_.min_samples_split ||
+      node_gini == 0.0)
+    return make_leaf();
+
+  // Candidate feature set: all, or a fresh random subset (forest mode).
+  std::vector<std::size_t> features(n_features_);
+  std::iota(features.begin(), features.end(), std::size_t{0});
+  std::size_t n_candidates = n_features_;
+  if (params_.max_features > 0 && params_.max_features < n_features_) {
+    // Partial Fisher-Yates: first max_features entries become the sample.
+    for (std::size_t i = 0; i < params_.max_features; ++i) {
+      const auto j = i + static_cast<std::size_t>(rng.uniform_index(n_features_ - i));
+      std::swap(features[i], features[j]);
+    }
+    n_candidates = params_.max_features;
+  }
+
+  // Best split search: sort rows by feature value, sweep boundaries.
+  struct Best {
+    double gain = 0.0;
+    std::size_t feature = 0;
+    float threshold = 0.0f;
+  } best;
+
+  std::vector<std::pair<float, float>> vals;  // (value, label)
+  vals.reserve(n);
+  for (std::size_t f = 0; f < n_candidates; ++f) {
+    const std::size_t feat = features[f];
+    vals.clear();
+    for (std::size_t i = begin; i < end; ++i)
+      vals.emplace_back(train.x(idx[i], feat), train.y[idx[i]]);
+    std::sort(vals.begin(), vals.end());
+    if (vals.front().first == vals.back().first) continue;  // constant
+
+    double left_pos = 0.0;
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      if (vals[i].second > 0.5f) left_pos += 1.0;
+      if (vals[i].first == vals[i + 1].first) continue;  // not a boundary
+      const double nl = static_cast<double>(i + 1);
+      const double nr = static_cast<double>(n) - nl;
+      if (nl < params_.min_samples_leaf || nr < params_.min_samples_leaf) continue;
+      const double child_gini = (nl * gini(left_pos, nl) +
+                                 nr * gini(pos - left_pos, nr)) /
+                                static_cast<double>(n);
+      const double gain = node_gini - child_gini;
+      if (gain > best.gain) {
+        best.gain = gain;
+        best.feature = feat;
+        best.threshold = 0.5f * (vals[i].first + vals[i + 1].first);
+      }
+    }
+  }
+
+  if (best.gain <= 1e-12) return make_leaf();
+
+  // Partition in place: rows with value <= threshold go left.
+  const auto mid_it = std::partition(
+      idx.begin() + static_cast<std::ptrdiff_t>(begin),
+      idx.begin() + static_cast<std::ptrdiff_t>(end),
+      [&](std::size_t row) { return train.x(row, best.feature) <= best.threshold; });
+  const auto mid = static_cast<std::size_t>(mid_it - idx.begin());
+  if (mid == begin || mid == end) return make_leaf();  // numeric edge case
+
+  importance_[best.feature] += best.gain * static_cast<double>(n);
+
+  const auto node_id = static_cast<std::int32_t>(nodes_.size());
+  nodes_.emplace_back();
+  nodes_[node_id].feature = static_cast<std::int32_t>(best.feature);
+  nodes_[node_id].threshold = best.threshold;
+  const std::int32_t left = build(train, idx, begin, mid, depth + 1, rng);
+  const std::int32_t right = build(train, idx, mid, end, depth + 1, rng);
+  nodes_[node_id].left = left;
+  nodes_[node_id].right = right;
+  return node_id;
+}
+
+float DecisionTree::predict_row(std::span<const float> row) const {
+  if (nodes_.empty()) throw std::logic_error("DecisionTree: predict before fit");
+  std::int32_t cur = 0;
+  while (nodes_[cur].left != -1) {
+    const Node& node = nodes_[cur];
+    cur = row[static_cast<std::size_t>(node.feature)] <= node.threshold ? node.left
+                                                                        : node.right;
+  }
+  return nodes_[cur].score;
+}
+
+std::vector<float> DecisionTree::predict_proba(const Matrix& x) const {
+  std::vector<float> out(x.rows());
+  for (std::size_t r = 0; r < x.rows(); ++r) out[r] = predict_row(x.row(r));
+  return out;
+}
+
+}  // namespace ssdfail::ml

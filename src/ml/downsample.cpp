@@ -1,0 +1,38 @@
+#include "ml/downsample.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "stats/rng.hpp"
+
+namespace ssdfail::ml {
+
+Dataset downsample_negatives(const Dataset& data, double ratio, std::uint64_t seed) {
+  data.validate();
+  if (ratio <= 0.0) throw std::invalid_argument("downsample_negatives: ratio must be > 0");
+
+  std::vector<std::size_t> positives;
+  std::vector<std::size_t> negatives;
+  for (std::size_t i = 0; i < data.size(); ++i)
+    (data.y[i] > 0.5f ? positives : negatives).push_back(i);
+
+  const auto target =
+      static_cast<std::size_t>(ratio * static_cast<double>(positives.size()));
+  std::vector<std::size_t> keep = positives;
+  if (negatives.size() <= target) {
+    keep.insert(keep.end(), negatives.begin(), negatives.end());
+  } else {
+    // Partial Fisher-Yates: the first `target` entries are a uniform sample.
+    stats::Rng rng(seed);
+    for (std::size_t i = 0; i < target; ++i) {
+      const auto j = i + static_cast<std::size_t>(rng.uniform_index(negatives.size() - i));
+      std::swap(negatives[i], negatives[j]);
+    }
+    keep.insert(keep.end(), negatives.begin(),
+                negatives.begin() + static_cast<std::ptrdiff_t>(target));
+  }
+  std::sort(keep.begin(), keep.end());
+  return data.subset(keep);
+}
+
+}  // namespace ssdfail::ml

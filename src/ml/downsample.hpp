@@ -1,0 +1,19 @@
+#pragma once
+
+// Majority-class downsampling (Section 5.1): the paper randomly
+// downsamples negatives to a 1:1 ratio in the TRAINING set only, and
+// verified that the induced AUC variability is ~±0.001.
+
+#include <cstdint>
+
+#include "ml/dataset.hpp"
+
+namespace ssdfail::ml {
+
+/// Keep all positives plus `ratio` randomly chosen negatives per positive
+/// (without replacement; keeps everything if there are too few negatives).
+/// Row order is preserved.
+[[nodiscard]] Dataset downsample_negatives(const Dataset& data, double ratio,
+                                           std::uint64_t seed);
+
+}  // namespace ssdfail::ml

@@ -1,0 +1,24 @@
+#include "ml/grid_search.hpp"
+
+#include <stdexcept>
+
+namespace ssdfail::ml {
+
+GridSearchResult grid_search(const std::vector<Candidate>& candidates,
+                             const std::function<double(const Classifier&)>& score) {
+  if (candidates.empty()) throw std::invalid_argument("grid_search: no candidates");
+  GridSearchResult result;
+  result.best_score = -1.0;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const auto model = candidates[i].make();
+    const double s = score(*model);
+    result.scores.push_back(s);
+    if (s > result.best_score) {
+      result.best_score = s;
+      result.best_index = i;
+    }
+  }
+  return result;
+}
+
+}  // namespace ssdfail::ml

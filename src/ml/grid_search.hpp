@@ -1,0 +1,35 @@
+#pragma once
+
+// Tiny hyperparameter search: evaluate a list of candidate model
+// configurations with a caller-supplied scorer and keep the best.
+// (The paper grid-searches regularization strengths, tree depths, and
+// hidden-layer sizes; model_zoo() provides those grids.)
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/classifier.hpp"
+
+namespace ssdfail::ml {
+
+/// One candidate configuration.
+struct Candidate {
+  std::string label;
+  std::function<std::unique_ptr<Classifier>()> make;
+};
+
+struct GridSearchResult {
+  std::size_t best_index = 0;
+  double best_score = 0.0;
+  std::vector<double> scores;  ///< per candidate, in input order
+};
+
+/// Evaluate every candidate with `score` (higher is better) and return the
+/// winner.  Throws if candidates is empty.
+[[nodiscard]] GridSearchResult grid_search(
+    const std::vector<Candidate>& candidates,
+    const std::function<double(const Classifier&)>& score);
+
+}  // namespace ssdfail::ml

@@ -1,0 +1,56 @@
+#include "ml/knn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "parallel/thread_pool.hpp"
+
+namespace ssdfail::ml {
+
+void KNearestNeighbors::fit(const Dataset& train) {
+  train.validate();
+  if (train.size() == 0) throw std::invalid_argument("KNearestNeighbors: empty train set");
+  train_x_ = train.x;
+  scaler_.fit(train_x_);
+  scaler_.transform(train_x_);
+  train_y_ = train.y;
+}
+
+std::vector<float> KNearestNeighbors::predict_proba(const Matrix& x) const {
+  if (!scaler_.fitted()) throw std::logic_error("KNearestNeighbors: predict before fit");
+  const std::size_t k = std::min(params_.k, train_y_.size());
+  std::vector<float> out(x.rows());
+
+  parallel::parallel_for(x.rows(), [&](std::size_t r) {
+    std::vector<float> q(x.row(r).begin(), x.row(r).end());
+    scaler_.transform_row(q);
+
+    std::vector<std::pair<float, std::size_t>> dist(train_x_.rows());
+    for (std::size_t t = 0; t < train_x_.rows(); ++t) {
+      const auto row = train_x_.row(t);
+      float d2 = 0.0f;
+      for (std::size_t c = 0; c < q.size(); ++c) {
+        const float diff = q[c] - row[c];
+        d2 += diff * diff;
+      }
+      dist[t] = {d2, t};
+    }
+    std::nth_element(dist.begin(), dist.begin() + static_cast<std::ptrdiff_t>(k - 1),
+                     dist.end());
+
+    double weight_sum = 0.0;
+    double pos_sum = 0.0;
+    for (std::size_t i = 0; i < k; ++i) {
+      const double w = params_.distance_weighted
+                           ? 1.0 / (1.0 + std::sqrt(static_cast<double>(dist[i].first)))
+                           : 1.0;
+      weight_sum += w;
+      if (train_y_[dist[i].second] > 0.5f) pos_sum += w;
+    }
+    out[r] = weight_sum > 0.0 ? static_cast<float>(pos_sum / weight_sum) : 0.0f;
+  });
+  return out;
+}
+
+}  // namespace ssdfail::ml

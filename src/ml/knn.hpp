@@ -1,0 +1,36 @@
+#pragma once
+
+// k-nearest-neighbors on standardized features; the predicted probability
+// is the distance-weighted positive fraction among the k neighbors.
+// Prediction parallelizes across query rows.
+
+#include "ml/classifier.hpp"
+#include "ml/standardizer.hpp"
+
+namespace ssdfail::ml {
+
+class KNearestNeighbors final : public Classifier {
+ public:
+  struct Params {
+    std::size_t k = 15;
+    bool distance_weighted = true;
+  };
+
+  KNearestNeighbors() = default;
+  explicit KNearestNeighbors(Params params) : params_(params) {}
+
+  void fit(const Dataset& train) override;
+  [[nodiscard]] std::vector<float> predict_proba(const Matrix& x) const override;
+  [[nodiscard]] std::string name() const override { return "knn"; }
+  [[nodiscard]] std::unique_ptr<Classifier> clone() const override {
+    return std::make_unique<KNearestNeighbors>(params_);
+  }
+
+ private:
+  Params params_{};
+  Standardizer scaler_;
+  Matrix train_x_;          ///< standardized training features
+  std::vector<float> train_y_;
+};
+
+}  // namespace ssdfail::ml

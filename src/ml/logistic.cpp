@@ -1,0 +1,66 @@
+#include "ml/logistic.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ssdfail::ml {
+namespace {
+
+double sigmoid(double z) noexcept { return 1.0 / (1.0 + std::exp(-z)); }
+
+}  // namespace
+
+void LogisticRegression::fit(const Dataset& train) {
+  train.validate();
+  if (train.size() == 0) throw std::invalid_argument("LogisticRegression: empty train set");
+  Matrix x = train.x;  // standardized working copy
+  scaler_.fit(x);
+  scaler_.transform(x);
+
+  const std::size_t n = x.rows();
+  const std::size_t d = x.cols();
+  weights_.assign(d, 0.0);
+  bias_ = 0.0;
+  std::vector<double> vel_w(d, 0.0);
+  double vel_b = 0.0;
+  const double momentum = 0.9;
+  const double inv_n = 1.0 / static_cast<double>(n);
+
+  std::vector<double> grad(d);
+  for (int epoch = 0; epoch < params_.epochs; ++epoch) {
+    std::fill(grad.begin(), grad.end(), 0.0);
+    double grad_b = 0.0;
+    for (std::size_t r = 0; r < n; ++r) {
+      const auto row = x.row(r);
+      double z = bias_;
+      for (std::size_t c = 0; c < d; ++c) z += weights_[c] * row[c];
+      const double err = sigmoid(z) - static_cast<double>(train.y[r]);
+      for (std::size_t c = 0; c < d; ++c) grad[c] += err * row[c];
+      grad_b += err;
+    }
+    for (std::size_t c = 0; c < d; ++c) {
+      const double g = grad[c] * inv_n + params_.l2 * weights_[c];
+      vel_w[c] = momentum * vel_w[c] - params_.learning_rate * g;
+      weights_[c] += vel_w[c];
+    }
+    vel_b = momentum * vel_b - params_.learning_rate * grad_b * inv_n;
+    bias_ += vel_b;
+  }
+}
+
+std::vector<float> LogisticRegression::predict_proba(const Matrix& x) const {
+  if (!scaler_.fitted()) throw std::logic_error("LogisticRegression: predict before fit");
+  std::vector<float> out(x.rows());
+  std::vector<float> row_buf(x.cols());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const auto row = x.row(r);
+    std::copy(row.begin(), row.end(), row_buf.begin());
+    scaler_.transform_row(row_buf);
+    double z = bias_;
+    for (std::size_t c = 0; c < row_buf.size(); ++c) z += weights_[c] * row_buf[c];
+    out[r] = static_cast<float>(sigmoid(z));
+  }
+  return out;
+}
+
+}  // namespace ssdfail::ml

@@ -1,0 +1,39 @@
+#pragma once
+
+// L2-regularized logistic regression trained with full-batch gradient
+// descent + Nesterov momentum on standardized features.
+
+#include "ml/classifier.hpp"
+#include "ml/standardizer.hpp"
+
+namespace ssdfail::ml {
+
+class LogisticRegression final : public Classifier {
+ public:
+  struct Params {
+    double l2 = 1e-3;          ///< ridge coefficient (the paper's tuned knob)
+    double learning_rate = 0.5;
+    int epochs = 300;
+  };
+
+  LogisticRegression() = default;
+  explicit LogisticRegression(Params params) : params_(params) {}
+
+  void fit(const Dataset& train) override;
+  [[nodiscard]] std::vector<float> predict_proba(const Matrix& x) const override;
+  [[nodiscard]] std::string name() const override { return "logistic_regression"; }
+  [[nodiscard]] std::unique_ptr<Classifier> clone() const override {
+    return std::make_unique<LogisticRegression>(params_);
+  }
+
+  [[nodiscard]] const std::vector<double>& weights() const noexcept { return weights_; }
+  [[nodiscard]] double bias() const noexcept { return bias_; }
+
+ private:
+  Params params_{};
+  Standardizer scaler_;
+  std::vector<double> weights_;
+  double bias_ = 0.0;
+};
+
+}  // namespace ssdfail::ml

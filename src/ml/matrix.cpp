@@ -1,0 +1,31 @@
+#include "ml/matrix.hpp"
+
+#include <stdexcept>
+
+namespace ssdfail::ml {
+
+void Matrix::push_row(std::span<const float> values) {
+  if (rows_ == 0 && cols_ == 0) cols_ = values.size();
+  if (values.size() != cols_) throw std::invalid_argument("Matrix::push_row: width mismatch");
+  data_.insert(data_.end(), values.begin(), values.end());
+  ++rows_;
+}
+
+void Matrix::append_rows(const Matrix& other) {
+  if (other.rows_ == 0) return;
+  if (rows_ == 0 && cols_ == 0) cols_ = other.cols_;
+  if (other.cols_ != cols_) throw std::invalid_argument("Matrix::append_rows: width mismatch");
+  data_.insert(data_.end(), other.data_.begin(), other.data_.end());
+  rows_ += other.rows_;
+}
+
+Matrix Matrix::select_rows(std::span<const std::size_t> indices) const {
+  Matrix out(indices.size(), cols_);
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    const auto src = row(indices[i]);
+    std::copy(src.begin(), src.end(), out.row(i).begin());
+  }
+  return out;
+}
+
+}  // namespace ssdfail::ml

@@ -1,0 +1,216 @@
+#include "ml/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+#include "stats/rng.hpp"
+
+namespace ssdfail::ml {
+
+double roc_auc(std::span<const float> scores, std::span<const float> labels) {
+  if (scores.size() != labels.size())
+    throw std::invalid_argument("roc_auc: size mismatch");
+  const std::size_t n = scores.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return scores[a] < scores[b]; });
+
+  // Sum of positive ranks with mid-rank tie handling.
+  double rank_sum_pos = 0.0;
+  std::uint64_t n_pos = 0;
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && scores[order[j + 1]] == scores[order[i]]) ++j;
+    const double avg_rank = 0.5 * (static_cast<double>(i + 1) + static_cast<double>(j + 1));
+    for (std::size_t k = i; k <= j; ++k) {
+      if (labels[order[k]] > 0.5f) {
+        rank_sum_pos += avg_rank;
+        ++n_pos;
+      }
+    }
+    i = j + 1;
+  }
+  const std::uint64_t n_neg = n - n_pos;
+  if (n_pos == 0 || n_neg == 0) return std::numeric_limits<double>::quiet_NaN();
+  const double u = rank_sum_pos - 0.5 * static_cast<double>(n_pos) *
+                                       static_cast<double>(n_pos + 1);
+  return u / (static_cast<double>(n_pos) * static_cast<double>(n_neg));
+}
+
+std::vector<RocPoint> roc_curve(std::span<const float> scores,
+                                std::span<const float> labels) {
+  if (scores.size() != labels.size())
+    throw std::invalid_argument("roc_curve: size mismatch");
+  const std::size_t n = scores.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  // Descending score: lowering the threshold admits more positives.
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return scores[a] > scores[b]; });
+
+  std::uint64_t n_pos = 0;
+  for (float l : labels)
+    if (l > 0.5f) ++n_pos;
+  const std::uint64_t n_neg = n - n_pos;
+
+  std::vector<RocPoint> curve;
+  curve.push_back({0.0, 0.0, std::numeric_limits<double>::infinity()});
+  if (n_pos == 0 || n_neg == 0) return curve;
+
+  std::uint64_t tp = 0;
+  std::uint64_t fp = 0;
+  std::size_t i = 0;
+  while (i < n) {
+    const float s = scores[order[i]];
+    while (i < n && scores[order[i]] == s) {
+      if (labels[order[i]] > 0.5f)
+        ++tp;
+      else
+        ++fp;
+      ++i;
+    }
+    curve.push_back({static_cast<double>(fp) / static_cast<double>(n_neg),
+                     static_cast<double>(tp) / static_cast<double>(n_pos),
+                     static_cast<double>(s)});
+  }
+  return curve;
+}
+
+double Confusion::tpr() const {
+  const auto p = tp + fn;
+  return p == 0 ? std::numeric_limits<double>::quiet_NaN()
+                : static_cast<double>(tp) / static_cast<double>(p);
+}
+
+double Confusion::fpr() const {
+  const auto neg = fp + tn;
+  return neg == 0 ? std::numeric_limits<double>::quiet_NaN()
+                  : static_cast<double>(fp) / static_cast<double>(neg);
+}
+
+double Confusion::precision() const {
+  const auto pp = tp + fp;
+  return pp == 0 ? std::numeric_limits<double>::quiet_NaN()
+                 : static_cast<double>(tp) / static_cast<double>(pp);
+}
+
+double Confusion::accuracy() const {
+  const auto total = tp + fp + tn + fn;
+  return total == 0 ? std::numeric_limits<double>::quiet_NaN()
+                    : static_cast<double>(tp + tn) / static_cast<double>(total);
+}
+
+Confusion confusion_at(std::span<const float> scores, std::span<const float> labels,
+                       double threshold) {
+  if (scores.size() != labels.size())
+    throw std::invalid_argument("confusion_at: size mismatch");
+  Confusion c;
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    const bool predicted = scores[i] >= threshold;
+    const bool actual = labels[i] > 0.5f;
+    if (predicted && actual)
+      ++c.tp;
+    else if (predicted && !actual)
+      ++c.fp;
+    else if (!predicted && actual)
+      ++c.fn;
+    else
+      ++c.tn;
+  }
+  return c;
+}
+
+AucCi bootstrap_auc_ci(std::span<const float> scores, std::span<const float> labels,
+                       double confidence, int resamples, std::uint64_t seed) {
+  if (scores.size() != labels.size())
+    throw std::invalid_argument("bootstrap_auc_ci: size mismatch");
+  AucCi ci;
+  ci.auc = roc_auc(scores, labels);
+  const std::size_t n = scores.size();
+  stats::Rng rng(seed);
+  std::vector<double> aucs;
+  aucs.reserve(static_cast<std::size_t>(resamples));
+  std::vector<float> rs(n);
+  std::vector<float> rl(n);
+  for (int b = 0; b < resamples; ++b) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto j = static_cast<std::size_t>(rng.uniform_index(n));
+      rs[i] = scores[j];
+      rl[i] = labels[j];
+    }
+    const double auc = roc_auc(rs, rl);
+    if (!std::isnan(auc)) aucs.push_back(auc);
+  }
+  std::sort(aucs.begin(), aucs.end());
+  if (aucs.empty()) {
+    ci.lo = ci.hi = ci.auc;
+    return ci;
+  }
+  const double alpha = (1.0 - confidence) / 2.0;
+  const auto pick = [&](double q) {
+    const auto i = static_cast<std::size_t>(q * static_cast<double>(aucs.size() - 1));
+    return aucs[i];
+  };
+  ci.lo = pick(alpha);
+  ci.hi = pick(1.0 - alpha);
+  return ci;
+}
+
+double brier_score(std::span<const float> scores, std::span<const float> labels) {
+  if (scores.size() != labels.size())
+    throw std::invalid_argument("brier_score: size mismatch");
+  if (scores.empty()) return std::numeric_limits<double>::quiet_NaN();
+  double total = 0.0;
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    const double diff = static_cast<double>(scores[i]) - static_cast<double>(labels[i]);
+    total += diff * diff;
+  }
+  return total / static_cast<double>(scores.size());
+}
+
+std::vector<CalibrationBin> calibration_curve(std::span<const float> scores,
+                                              std::span<const float> labels,
+                                              std::size_t bins) {
+  if (scores.size() != labels.size())
+    throw std::invalid_argument("calibration_curve: size mismatch");
+  if (bins == 0) throw std::invalid_argument("calibration_curve: bins must be > 0");
+  std::vector<double> score_sum(bins, 0.0);
+  std::vector<double> event_sum(bins, 0.0);
+  std::vector<std::uint64_t> counts(bins, 0);
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    auto b = static_cast<std::size_t>(static_cast<double>(scores[i]) *
+                                      static_cast<double>(bins));
+    b = std::min(b, bins - 1);
+    score_sum[b] += scores[i];
+    event_sum[b] += labels[i];
+    ++counts[b];
+  }
+  std::vector<CalibrationBin> curve;
+  for (std::size_t b = 0; b < bins; ++b) {
+    if (counts[b] == 0) continue;
+    curve.push_back({score_sum[b] / static_cast<double>(counts[b]),
+                     event_sum[b] / static_cast<double>(counts[b]), counts[b]});
+  }
+  return curve;
+}
+
+MeanSd mean_sd(std::span<const double> values) {
+  MeanSd out;
+  if (values.empty()) return out;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  out.mean = sum / static_cast<double>(values.size());
+  if (values.size() > 1) {
+    double ss = 0.0;
+    for (double v : values) ss += (v - out.mean) * (v - out.mean);
+    out.sd = std::sqrt(ss / static_cast<double>(values.size() - 1));
+  }
+  return out;
+}
+
+}  // namespace ssdfail::ml

@@ -1,0 +1,83 @@
+#pragma once
+
+// Classifier evaluation: ROC curves, AUC, confusion statistics.
+//
+// The paper evaluates with ROC AUC because it is insensitive to class
+// imbalance (Section 5.1): TPR and FPR are each computed within one class.
+// AUC here is the exact Mann–Whitney U statistic with tie correction —
+// equivalent to the trapezoidal area under the full ROC curve.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace ssdfail::ml {
+
+/// One operating point of a binary classifier.
+struct RocPoint {
+  double fpr = 0.0;
+  double tpr = 0.0;
+  double threshold = 0.0;
+};
+
+/// ROC AUC via rank statistics; NaN if either class is empty.
+/// Ties receive the standard 1/2 credit.
+[[nodiscard]] double roc_auc(std::span<const float> scores, std::span<const float> labels);
+
+/// Full ROC curve (one point per distinct score, endpoints included),
+/// sorted by ascending FPR.
+[[nodiscard]] std::vector<RocPoint> roc_curve(std::span<const float> scores,
+                                              std::span<const float> labels);
+
+/// Confusion counts at a fixed discrimination threshold (score >= threshold
+/// predicts positive).
+struct Confusion {
+  std::uint64_t tp = 0, fp = 0, tn = 0, fn = 0;
+
+  [[nodiscard]] double tpr() const;        ///< recall
+  [[nodiscard]] double fpr() const;
+  [[nodiscard]] double fnr() const { return 1.0 - tpr(); }
+  [[nodiscard]] double precision() const;
+  [[nodiscard]] double accuracy() const;
+};
+
+[[nodiscard]] Confusion confusion_at(std::span<const float> scores,
+                                     std::span<const float> labels, double threshold);
+
+/// Mean and standard deviation of a small sample (population sd if n < 2
+/// would divide by zero; we use the n-1 form like the paper's fold spread).
+struct MeanSd {
+  double mean = 0.0;
+  double sd = 0.0;
+};
+[[nodiscard]] MeanSd mean_sd(std::span<const double> values);
+
+/// Bootstrap confidence interval for the ROC AUC (percentile method over
+/// row resamples).  Deterministic for a fixed seed.
+struct AucCi {
+  double auc = 0.0;  ///< point estimate on the full sample
+  double lo = 0.0;   ///< lower percentile bound
+  double hi = 0.0;   ///< upper percentile bound
+};
+[[nodiscard]] AucCi bootstrap_auc_ci(std::span<const float> scores,
+                                     std::span<const float> labels,
+                                     double confidence = 0.95, int resamples = 200,
+                                     std::uint64_t seed = 1);
+
+/// Brier score: mean squared error of probabilistic predictions (lower is
+/// better; 0.25 = uninformative constant 0.5).
+[[nodiscard]] double brier_score(std::span<const float> scores,
+                                 std::span<const float> labels);
+
+/// Reliability-diagram bins: predicted-probability deciles vs observed
+/// event rates.  Empty bins are omitted.
+struct CalibrationBin {
+  double mean_score = 0.0;
+  double event_rate = 0.0;
+  std::uint64_t count = 0;
+};
+[[nodiscard]] std::vector<CalibrationBin> calibration_curve(
+    std::span<const float> scores, std::span<const float> labels,
+    std::size_t bins = 10);
+
+}  // namespace ssdfail::ml

@@ -1,0 +1,169 @@
+#include "ml/neural_net.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "stats/rng.hpp"
+
+namespace ssdfail::ml {
+namespace {
+
+double sigmoid(double z) noexcept { return 1.0 / (1.0 + std::exp(-z)); }
+
+}  // namespace
+
+double NeuralNetwork::forward(std::span<const float> row,
+                              std::vector<std::vector<double>>& acts) const {
+  acts.resize(layers_.size() + 1);
+  acts[0].assign(row.begin(), row.end());
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    const Layer& layer = layers_[l];
+    acts[l + 1].assign(layer.out, 0.0);
+    for (std::size_t o = 0; o < layer.out; ++o) {
+      double z = layer.b[o];
+      const double* wrow = layer.w.data() + o * layer.in;
+      for (std::size_t i = 0; i < layer.in; ++i) z += wrow[i] * acts[l][i];
+      // ReLU on hidden layers, identity on the output (sigmoid applied by
+      // the caller so the loss gradient stays simple).
+      acts[l + 1][o] = (l + 1 == layers_.size()) ? z : std::max(z, 0.0);
+    }
+  }
+  return sigmoid(acts.back()[0]);
+}
+
+void NeuralNetwork::fit(const Dataset& train) {
+  train.validate();
+  if (train.size() == 0) throw std::invalid_argument("NeuralNetwork: empty train set");
+  Matrix x = train.x;
+  scaler_.fit(x);
+  scaler_.transform(x);
+
+  const std::size_t d = x.cols();
+  stats::Rng rng(params_.seed);
+
+  // Build layer stack: d -> hidden... -> 1, He-initialized.
+  layers_.clear();
+  std::size_t in = d;
+  auto add_layer = [&](std::size_t out) {
+    Layer layer;
+    layer.in = in;
+    layer.out = out;
+    layer.w.resize(in * out);
+    const double scale = std::sqrt(2.0 / static_cast<double>(in));
+    for (double& w : layer.w) w = rng.normal(0.0, scale);
+    layer.b.assign(out, 0.0);
+    layer.mw.assign(in * out, 0.0);
+    layer.vw.assign(in * out, 0.0);
+    layer.mb.assign(out, 0.0);
+    layer.vb.assign(out, 0.0);
+    layers_.push_back(std::move(layer));
+    in = out;
+  };
+  for (std::size_t h : params_.hidden) add_layer(h);
+  add_layer(1);
+
+  const std::size_t n = x.rows();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+
+  constexpr double beta1 = 0.9;
+  constexpr double beta2 = 0.999;
+  constexpr double eps = 1e-8;
+  std::uint64_t adam_t = 0;
+
+  std::vector<std::vector<double>> acts;
+  std::vector<std::vector<double>> deltas(layers_.size());
+  // Per-batch gradient accumulators mirroring the layer shapes.
+  std::vector<std::vector<double>> gw(layers_.size());
+  std::vector<std::vector<double>> gb(layers_.size());
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    gw[l].resize(layers_[l].w.size());
+    gb[l].resize(layers_[l].b.size());
+  }
+
+  for (int epoch = 0; epoch < params_.epochs; ++epoch) {
+    // Fisher-Yates with our deterministic rng.
+    for (std::size_t i = n; i > 1; --i) {
+      const auto j = static_cast<std::size_t>(rng.uniform_index(i));
+      std::swap(order[i - 1], order[j]);
+    }
+    for (std::size_t start = 0; start < n; start += params_.batch_size) {
+      const std::size_t end = std::min(start + params_.batch_size, n);
+      const double inv_batch = 1.0 / static_cast<double>(end - start);
+      for (std::size_t l = 0; l < layers_.size(); ++l) {
+        std::fill(gw[l].begin(), gw[l].end(), 0.0);
+        std::fill(gb[l].begin(), gb[l].end(), 0.0);
+      }
+
+      for (std::size_t bi = start; bi < end; ++bi) {
+        const std::size_t r = order[bi];
+        const double p = forward(x.row(r), acts);
+        // BCE + sigmoid gradient at the output.
+        const double dl = p - static_cast<double>(train.y[r]);
+        deltas.back().assign(1, dl);
+        // Backpropagate.
+        for (std::size_t l = layers_.size(); l-- > 0;) {
+          const Layer& layer = layers_[l];
+          if (l > 0) {
+            deltas[l - 1].assign(layer.in, 0.0);
+            for (std::size_t o = 0; o < layer.out; ++o) {
+              const double dz = deltas[l][o];
+              const double* wrow = layer.w.data() + o * layer.in;
+              for (std::size_t i = 0; i < layer.in; ++i)
+                deltas[l - 1][i] += dz * wrow[i];
+            }
+            // ReLU derivative of the upstream activation.
+            for (std::size_t i = 0; i < layer.in; ++i)
+              if (acts[l][i] <= 0.0) deltas[l - 1][i] = 0.0;
+          }
+          for (std::size_t o = 0; o < layer.out; ++o) {
+            const double dz = deltas[l][o];
+            double* grow = gw[l].data() + o * layer.in;
+            for (std::size_t i = 0; i < layer.in; ++i) grow[i] += dz * acts[l][i];
+            gb[l][o] += dz;
+          }
+        }
+      }
+
+      // Adam update.
+      ++adam_t;
+      const double bc1 = 1.0 - std::pow(beta1, static_cast<double>(adam_t));
+      const double bc2 = 1.0 - std::pow(beta2, static_cast<double>(adam_t));
+      for (std::size_t l = 0; l < layers_.size(); ++l) {
+        Layer& layer = layers_[l];
+        for (std::size_t k = 0; k < layer.w.size(); ++k) {
+          const double g = gw[l][k] * inv_batch + params_.l2 * layer.w[k];
+          layer.mw[k] = beta1 * layer.mw[k] + (1.0 - beta1) * g;
+          layer.vw[k] = beta2 * layer.vw[k] + (1.0 - beta2) * g * g;
+          layer.w[k] -= params_.learning_rate * (layer.mw[k] / bc1) /
+                        (std::sqrt(layer.vw[k] / bc2) + eps);
+        }
+        for (std::size_t k = 0; k < layer.b.size(); ++k) {
+          const double g = gb[l][k] * inv_batch;
+          layer.mb[k] = beta1 * layer.mb[k] + (1.0 - beta1) * g;
+          layer.vb[k] = beta2 * layer.vb[k] + (1.0 - beta2) * g * g;
+          layer.b[k] -= params_.learning_rate * (layer.mb[k] / bc1) /
+                        (std::sqrt(layer.vb[k] / bc2) + eps);
+        }
+      }
+    }
+  }
+}
+
+std::vector<float> NeuralNetwork::predict_proba(const Matrix& x) const {
+  if (!scaler_.fitted()) throw std::logic_error("NeuralNetwork: predict before fit");
+  std::vector<float> out(x.rows());
+  std::vector<std::vector<double>> acts;
+  std::vector<float> row_buf(x.cols());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const auto row = x.row(r);
+    std::copy(row.begin(), row.end(), row_buf.begin());
+    scaler_.transform_row(row_buf);
+    out[r] = static_cast<float>(forward(row_buf, acts));
+  }
+  return out;
+}
+
+}  // namespace ssdfail::ml

@@ -1,0 +1,52 @@
+#pragma once
+
+// Multilayer perceptron: ReLU hidden layers, sigmoid output, binary
+// cross-entropy loss, Adam optimizer, mini-batch training with a seeded
+// shuffle — deterministic for fixed parameters.
+
+#include <cstdint>
+
+#include "ml/classifier.hpp"
+#include "ml/standardizer.hpp"
+
+namespace ssdfail::ml {
+
+class NeuralNetwork final : public Classifier {
+ public:
+  struct Params {
+    std::vector<std::size_t> hidden = {32, 16};  ///< hidden layer widths
+    double learning_rate = 1e-3;
+    double l2 = 1e-5;
+    int epochs = 40;
+    std::size_t batch_size = 64;
+    std::uint64_t seed = 1;
+  };
+
+  NeuralNetwork() = default;
+  explicit NeuralNetwork(Params params) : params_(std::move(params)) {}
+
+  void fit(const Dataset& train) override;
+  [[nodiscard]] std::vector<float> predict_proba(const Matrix& x) const override;
+  [[nodiscard]] std::string name() const override { return "neural_network"; }
+  [[nodiscard]] std::unique_ptr<Classifier> clone() const override {
+    return std::make_unique<NeuralNetwork>(params_);
+  }
+
+ private:
+  struct Layer {
+    std::size_t in = 0, out = 0;
+    std::vector<double> w;  ///< out x in, row-major
+    std::vector<double> b;
+    // Adam state
+    std::vector<double> mw, vw, mb, vb;
+  };
+
+  /// Forward pass for one (standardized) row; fills per-layer activations.
+  double forward(std::span<const float> row, std::vector<std::vector<double>>& acts) const;
+
+  Params params_{};
+  Standardizer scaler_;
+  std::vector<Layer> layers_;
+};
+
+}  // namespace ssdfail::ml

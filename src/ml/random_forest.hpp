@@ -1,0 +1,50 @@
+#pragma once
+
+// Random forest: bagged CART trees with per-node feature subsampling.
+// Trees train in parallel (deterministically — each tree's bootstrap and
+// feature sampling derive from hash(seed, tree_index)).
+//
+// The paper's headline predictor.  Feature importance is mean impurity
+// decrease across trees, normalized to sum to 1 (Fig 16).
+
+#include <cstdint>
+
+#include "ml/classifier.hpp"
+#include "ml/decision_tree.hpp"
+
+namespace ssdfail::ml {
+
+class RandomForest final : public Classifier {
+ public:
+  struct Params {
+    std::size_t n_trees = 100;
+    std::size_t max_depth = 14;
+    std::size_t min_samples_leaf = 2;
+    std::size_t min_samples_split = 4;
+    /// 0 = sqrt(n_features) per node (the standard forest default).
+    std::size_t max_features = 0;
+    std::uint64_t seed = 1;
+  };
+
+  RandomForest() = default;
+  explicit RandomForest(Params params) : params_(params) {}
+
+  void fit(const Dataset& train) override;
+  [[nodiscard]] std::vector<float> predict_proba(const Matrix& x) const override;
+  [[nodiscard]] std::string name() const override { return "random_forest"; }
+  [[nodiscard]] std::unique_ptr<Classifier> clone() const override {
+    return std::make_unique<RandomForest>(params_);
+  }
+
+  /// Normalized mean impurity-decrease importance (sums to 1).
+  [[nodiscard]] std::vector<double> feature_importance() const;
+
+  [[nodiscard]] std::size_t tree_count() const noexcept { return trees_.size(); }
+
+ private:
+  Params params_{};
+  std::vector<DecisionTree> trees_;
+  std::size_t n_features_ = 0;
+};
+
+}  // namespace ssdfail::ml

@@ -1,0 +1,40 @@
+#include "ml/standardizer.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ssdfail::ml {
+
+void Standardizer::fit(const Matrix& x) {
+  if (x.rows() == 0) throw std::invalid_argument("Standardizer::fit: empty matrix");
+  const std::size_t cols = x.cols();
+  std::vector<double> sum(cols, 0.0);
+  std::vector<double> sum2(cols, 0.0);
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const auto row = x.row(r);
+    for (std::size_t c = 0; c < cols; ++c) {
+      sum[c] += row[c];
+      sum2[c] += static_cast<double>(row[c]) * row[c];
+    }
+  }
+  mean_.resize(cols);
+  sd_.resize(cols);
+  const double n = static_cast<double>(x.rows());
+  for (std::size_t c = 0; c < cols; ++c) {
+    const double m = sum[c] / n;
+    const double var = std::max(sum2[c] / n - m * m, 0.0);
+    mean_[c] = static_cast<float>(m);
+    const double sd = std::sqrt(var);
+    sd_[c] = sd > 1e-12 ? static_cast<float>(sd) : 1.0f;
+  }
+}
+
+void Standardizer::transform(Matrix& x) const {
+  for (std::size_t r = 0; r < x.rows(); ++r) transform_row(x.row(r));
+}
+
+void Standardizer::transform_row(std::span<float> row) const {
+  for (std::size_t c = 0; c < row.size(); ++c) row[c] = (row[c] - mean_[c]) / sd_[c];
+}
+
+}  // namespace ssdfail::ml

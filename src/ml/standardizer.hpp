@@ -1,0 +1,40 @@
+#pragma once
+
+// Feature standardization (z-scoring) fitted on training data only.
+// Distance- and gradient-based models (kNN, SVM, logistic, MLP) need it;
+// tree models don't use it.
+
+#include <vector>
+
+#include "ml/matrix.hpp"
+
+namespace ssdfail::ml {
+
+class Standardizer {
+ public:
+  /// Learn per-column mean and standard deviation.  Constant columns get
+  /// sd = 1 so they transform to exactly zero.
+  void fit(const Matrix& x);
+
+  /// Z-score a matrix in place.
+  void transform(Matrix& x) const;
+
+  /// Z-score a single row in place.
+  void transform_row(std::span<float> row) const;
+
+  [[nodiscard]] Matrix fit_transform(Matrix x) {
+    fit(x);
+    transform(x);
+    return x;
+  }
+
+  [[nodiscard]] bool fitted() const noexcept { return !mean_.empty(); }
+  [[nodiscard]] const std::vector<float>& mean() const noexcept { return mean_; }
+  [[nodiscard]] const std::vector<float>& stddev() const noexcept { return sd_; }
+
+ private:
+  std::vector<float> mean_;
+  std::vector<float> sd_;
+};
+
+}  // namespace ssdfail::ml

@@ -1,0 +1,59 @@
+#include "ml/svm.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/rng.hpp"
+
+namespace ssdfail::ml {
+
+void LinearSvm::fit(const Dataset& train) {
+  train.validate();
+  if (train.size() == 0) throw std::invalid_argument("LinearSvm: empty train set");
+  Matrix x = train.x;
+  scaler_.fit(x);
+  scaler_.transform(x);
+
+  const std::size_t n = x.rows();
+  const std::size_t d = x.cols();
+  weights_.assign(d, 0.0);
+  bias_ = 0.0;
+
+  stats::Rng rng(params_.seed);
+  const double lambda = params_.lambda;
+  std::uint64_t t = 0;
+  const std::uint64_t steps = static_cast<std::uint64_t>(params_.epochs) * n;
+  for (std::uint64_t step = 0; step < steps; ++step) {
+    ++t;
+    const auto i = static_cast<std::size_t>(rng.uniform_index(n));
+    const auto row = x.row(i);
+    const double yi = train.y[i] > 0.5f ? 1.0 : -1.0;
+    double margin = bias_;
+    for (std::size_t c = 0; c < d; ++c) margin += weights_[c] * row[c];
+    const double eta = 1.0 / (lambda * static_cast<double>(t));
+    // Shrink step (regularization applies to w only, not the bias).
+    const double shrink = 1.0 - eta * lambda;
+    for (std::size_t c = 0; c < d; ++c) weights_[c] *= shrink;
+    if (yi * margin < 1.0) {
+      for (std::size_t c = 0; c < d; ++c) weights_[c] += eta * yi * row[c];
+      bias_ += eta * yi * 0.1;  // damped bias update keeps Pegasos stable
+    }
+  }
+}
+
+std::vector<float> LinearSvm::predict_proba(const Matrix& x) const {
+  if (!scaler_.fitted()) throw std::logic_error("LinearSvm: predict before fit");
+  std::vector<float> out(x.rows());
+  std::vector<float> row_buf(x.cols());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const auto row = x.row(r);
+    std::copy(row.begin(), row.end(), row_buf.begin());
+    scaler_.transform_row(row_buf);
+    double margin = bias_;
+    for (std::size_t c = 0; c < row_buf.size(); ++c) margin += weights_[c] * row_buf[c];
+    out[r] = static_cast<float>(1.0 / (1.0 + std::exp(-margin)));
+  }
+  return out;
+}
+
+}  // namespace ssdfail::ml

@@ -1,0 +1,41 @@
+#pragma once
+
+// Linear SVM trained with the Pegasos primal SGD solver on standardized
+// features.  Scores are passed through a sigmoid so predict_proba stays in
+// [0, 1]; ROC is invariant to that monotone map.
+
+#include <cstdint>
+
+#include "ml/classifier.hpp"
+#include "ml/standardizer.hpp"
+
+namespace ssdfail::ml {
+
+class LinearSvm final : public Classifier {
+ public:
+  struct Params {
+    double lambda = 1e-4;    ///< regularization strength
+    int epochs = 30;         ///< passes over the training set
+    std::uint64_t seed = 1;  ///< SGD sampling seed
+  };
+
+  LinearSvm() = default;
+  explicit LinearSvm(Params params) : params_(params) {}
+
+  void fit(const Dataset& train) override;
+  [[nodiscard]] std::vector<float> predict_proba(const Matrix& x) const override;
+  [[nodiscard]] std::string name() const override { return "linear_svm"; }
+  [[nodiscard]] std::unique_ptr<Classifier> clone() const override {
+    return std::make_unique<LinearSvm>(params_);
+  }
+
+  [[nodiscard]] const std::vector<double>& weights() const noexcept { return weights_; }
+
+ private:
+  Params params_{};
+  Standardizer scaler_;
+  std::vector<double> weights_;
+  double bias_ = 0.0;
+};
+
+}  // namespace ssdfail::ml

@@ -1,0 +1,60 @@
+#include "ml/threshold_baseline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "ml/metrics.hpp"
+
+namespace ssdfail::ml {
+
+void ThresholdBaseline::fit(const Dataset& train) {
+  train.validate();
+  if (train.size() == 0) throw std::invalid_argument("ThresholdBaseline: empty train set");
+
+  double best_auc = 0.5;
+  feature_ = 0;
+  inverted_ = false;
+
+  std::vector<float> column(train.size());
+  for (std::size_t f = 0; f < train.x.cols(); ++f) {
+    for (std::size_t r = 0; r < train.size(); ++r) column[r] = train.x(r, f);
+    const double auc = roc_auc(column, train.y);
+    if (std::isnan(auc)) continue;
+    if (auc > best_auc) {
+      best_auc = auc;
+      feature_ = f;
+      inverted_ = false;
+    }
+    if (1.0 - auc > best_auc) {
+      best_auc = 1.0 - auc;
+      feature_ = f;
+      inverted_ = true;
+    }
+  }
+
+  // Learn a squashing range so scores land in [0, 1].
+  float lo = std::numeric_limits<float>::infinity();
+  float hi = -std::numeric_limits<float>::infinity();
+  for (std::size_t r = 0; r < train.size(); ++r) {
+    const float v = train.x(r, feature_);
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  lo_ = lo;
+  hi_ = hi > lo ? hi : lo + 1.0f;
+  fitted_ = true;
+}
+
+std::vector<float> ThresholdBaseline::predict_proba(const Matrix& x) const {
+  if (!fitted_) throw std::logic_error("ThresholdBaseline: predict before fit");
+  std::vector<float> out(x.rows());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    float v = (x(r, feature_) - lo_) / (hi_ - lo_);
+    v = std::clamp(v, 0.0f, 1.0f);
+    out[r] = inverted_ ? 1.0f - v : v;
+  }
+  return out;
+}
+
+}  // namespace ssdfail::ml

@@ -1,0 +1,37 @@
+#pragma once
+
+// Single-feature threshold predictor — the statistical baseline the paper
+// contrasts ML models against ("no single metric triggers a drive failure
+// after it reaches a certain threshold", Section 1; threshold prediction
+// per Ma et al. / RAIDShield).
+//
+// fit() picks the feature (and orientation) whose raw values best rank the
+// training labels (maximum AUC); predict scores are that feature's values
+// squashed to [0, 1].  Its weakness on this problem is itself a reproduced
+// result (see bench_ablation_baseline).
+
+#include "ml/classifier.hpp"
+
+namespace ssdfail::ml {
+
+class ThresholdBaseline final : public Classifier {
+ public:
+  void fit(const Dataset& train) override;
+  [[nodiscard]] std::vector<float> predict_proba(const Matrix& x) const override;
+  [[nodiscard]] std::string name() const override { return "threshold_baseline"; }
+  [[nodiscard]] std::unique_ptr<Classifier> clone() const override {
+    return std::make_unique<ThresholdBaseline>();
+  }
+
+  [[nodiscard]] std::size_t chosen_feature() const noexcept { return feature_; }
+  [[nodiscard]] bool inverted() const noexcept { return inverted_; }
+
+ private:
+  std::size_t feature_ = 0;
+  bool inverted_ = false;
+  float lo_ = 0.0f;   ///< squashing range learned from training values
+  float hi_ = 1.0f;
+  bool fitted_ = false;
+};
+
+}  // namespace ssdfail::ml

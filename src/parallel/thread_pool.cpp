@@ -1,0 +1,81 @@
+#include "parallel/thread_pool.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+
+namespace ssdfail::parallel {
+namespace {
+
+/// Pool the current thread is a worker of, if any (nested-call detection).
+thread_local const ThreadPool* t_owning_pool = nullptr;
+
+}  // namespace
+
+unsigned default_thread_count() {
+  if (const char* env = std::getenv("SSDFAIL_THREADS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed > 0) return static_cast<unsigned>(std::min(parsed, 256L));
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1u : hw;
+}
+
+ThreadPool::ThreadPool(unsigned threads) {
+  threads = std::max(threads, 1u);
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::scoped_lock lock(mutex_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::run_on_all(const std::function<void(unsigned)>& fn) {
+  if (t_owning_pool == this) {
+    // Nested parallelism: run every worker's share inline.
+    for (unsigned w = 0; w < workers_.size(); ++w) fn(w);
+    return;
+  }
+  std::unique_lock lock(mutex_);
+  job_ = &fn;
+  remaining_ = static_cast<unsigned>(workers_.size());
+  ++generation_;
+  cv_start_.notify_all();
+  cv_done_.wait(lock, [this] { return remaining_ == 0; });
+  job_ = nullptr;
+}
+
+void ThreadPool::worker_loop(unsigned index) {
+  t_owning_pool = this;
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(unsigned)>* job = nullptr;
+    {
+      std::unique_lock lock(mutex_);
+      cv_start_.wait(lock, [&] { return stop_ || generation_ != seen_generation; });
+      if (stop_) return;
+      seen_generation = generation_;
+      job = job_;
+    }
+    (*job)(index);
+    {
+      std::scoped_lock lock(mutex_);
+      if (--remaining_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace ssdfail::parallel

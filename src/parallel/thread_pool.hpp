@@ -1,0 +1,110 @@
+#pragma once
+
+// Minimal deterministic data-parallel layer.
+//
+// Design goals (in order): reproducibility, simplicity, throughput.
+// parallel_reduce gives each worker its own accumulator and merges the
+// partials **in worker-index order**, so floating-point results are
+// bit-stable for a fixed thread count, and all our statistics accumulators
+// are additionally order-insensitive so results are stable across thread
+// counts too.
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ssdfail::parallel {
+
+/// Number of worker threads to use by default: hardware concurrency,
+/// overridable with the SSDFAIL_THREADS environment variable.
+[[nodiscard]] unsigned default_thread_count();
+
+/// A fixed pool of workers executing blocking "run this index range" jobs.
+/// The pool is intended for coarse-grained fleet/tree-level parallelism;
+/// tasks should be >> 1us each.
+class ThreadPool {
+ public:
+  explicit ThreadPool(unsigned threads = default_thread_count());
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] unsigned size() const noexcept { return static_cast<unsigned>(workers_.size()); }
+
+  /// Run fn(worker_index) on every worker and block until all return.
+  /// Re-entrant calls from a worker of this pool (nested parallelism)
+  /// degrade gracefully to sequential execution on the calling thread.
+  void run_on_all(const std::function<void(unsigned)>& fn);
+
+  /// Process-wide shared pool (lazily constructed).
+  static ThreadPool& global();
+
+ private:
+  void worker_loop(unsigned index);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  const std::function<void(unsigned)>* job_ = nullptr;
+  std::uint64_t generation_ = 0;
+  unsigned remaining_ = 0;
+  bool stop_ = false;
+};
+
+/// Parallel loop over [0, n): static contiguous partitioning, one chunk per
+/// worker.  body(i) must be safe to run concurrently for distinct i.
+template <typename Body>
+void parallel_for(std::size_t n, const Body& body, ThreadPool& pool = ThreadPool::global()) {
+  const unsigned workers = pool.size();
+  if (n == 0) return;
+  if (workers <= 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  std::function<void(unsigned)> task = [&](unsigned w) {
+    const std::size_t chunk = (n + workers - 1) / workers;
+    const std::size_t begin = std::min<std::size_t>(static_cast<std::size_t>(w) * chunk, n);
+    const std::size_t end = std::min(begin + chunk, n);
+    for (std::size_t i = begin; i < end; ++i) body(i);
+  };
+  pool.run_on_all(task);
+}
+
+/// Parallel reduction over [0, n).
+///  - make():             produce a fresh accumulator (per worker)
+///  - accumulate(acc, i): fold element i into acc
+///  - merge(dst, src):    combine partials; called in worker order
+/// Returns the final accumulator.
+template <typename Make, typename Accumulate, typename Merge>
+auto parallel_reduce(std::size_t n, const Make& make, const Accumulate& accumulate,
+                     const Merge& merge, ThreadPool& pool = ThreadPool::global()) {
+  using Acc = decltype(make());
+  const unsigned workers = pool.size();
+  if (workers <= 1 || n <= 1) {
+    Acc acc = make();
+    for (std::size_t i = 0; i < n; ++i) accumulate(acc, i);
+    return acc;
+  }
+  std::vector<Acc> partials;
+  partials.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) partials.push_back(make());
+
+  std::function<void(unsigned)> task = [&](unsigned w) {
+    const std::size_t chunk = (n + workers - 1) / workers;
+    const std::size_t begin = std::min<std::size_t>(static_cast<std::size_t>(w) * chunk, n);
+    const std::size_t end = std::min(begin + chunk, n);
+    for (std::size_t i = begin; i < end; ++i) accumulate(partials[w], i);
+  };
+  pool.run_on_all(task);
+
+  Acc result = std::move(partials[0]);
+  for (unsigned w = 1; w < workers; ++w) merge(result, partials[w]);
+  return result;
+}
+
+}  // namespace ssdfail::parallel

@@ -1,0 +1,462 @@
+#include "sim/drive_simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "stats/normal.hpp"
+#include "stats/rng.hpp"
+
+namespace ssdfail::sim {
+namespace {
+
+using stats::Rng;
+using trace::DailyRecord;
+using trace::DriveHistory;
+using trace::ErrorType;
+
+constexpr std::int32_t kNoFailure = std::numeric_limits<std::int32_t>::max();
+
+/// Per-drive latent traits, all loaded on one shared "health" factor so
+/// that frailty (failure-proneness) and error behavior are correlated —
+/// the mechanism that makes error history informative for prediction.
+struct Latents {
+  double frailty = 1.0;        ///< multiplies the failure hazard
+  double proneness = 1.0;      ///< multiplies transparent-error incidence
+  double flakiness = 1.0;      ///< multiplies interface-glitch incidence
+  double write_factor = 1.0;   ///< per-drive workload intensity scale
+  std::int32_t deploy_day = 0;
+  std::uint16_t factory_bad_blocks = 0;
+  // Background-UE degradation-onset process.
+  double bb_spont_rate = 0.02;    ///< drive-specific block wear-out rate
+  std::int32_t ue_onset_day = 0;  ///< absolute day background UEs begin
+  double ue_day_prob = 0.0;       ///< post-onset UE-day incidence
+  double ue_count_mult = 1.0;     ///< defective drives emit huge counts
+  bool defective = false;
+};
+
+Latents sample_latents(const DriveModelSpec& spec, std::int32_t window_days, Rng& rng) {
+  Latents lat;
+  const double z_health = rng.normal();
+
+  const double sf = spec.failure.frailty_sigma;
+  lat.frailty = std::exp(sf * z_health - 0.5 * sf * sf);
+
+  const LatentSpec& ls = spec.latent;
+  const double load = ls.frailty_loading;
+  const double prone_score = load * z_health + std::sqrt(1.0 - load * load) * rng.normal();
+  const bool prone = prone_score > stats::norm_quantile(1.0 - ls.prone_fraction);
+  lat.proneness = prone ? rng.lognormal(ls.prone_mu_log, ls.prone_sigma_log)
+                        : ls.nonprone_level * rng.lognormal(0.0, 0.5);
+
+  const double flaky_score = 0.2 * z_health + std::sqrt(1.0 - 0.04) * rng.normal();
+  const bool flaky = flaky_score > stats::norm_quantile(1.0 - ls.flaky_fraction);
+  lat.flakiness = flaky ? rng.lognormal(ls.flaky_mu_log, ls.flaky_sigma_log)
+                        : ls.nonflaky_level;
+
+  lat.write_factor = rng.lognormal(-0.5 * spec.workload.drive_sigma * spec.workload.drive_sigma,
+                                   spec.workload.drive_sigma);
+
+  const DeploySpec& ds = spec.deploy;
+  if (rng.bernoulli(ds.early_fraction)) {
+    lat.deploy_day = static_cast<std::int32_t>(rng.uniform_index(
+        static_cast<std::uint64_t>(std::min(ds.early_span_days, window_days))));
+  } else {
+    const std::int32_t lo = std::min(ds.early_span_days, window_days - 1);
+    const std::int32_t hi = std::min(ds.late_span_days, window_days);
+    lat.deploy_day = lo + static_cast<std::int32_t>(
+                              rng.uniform_index(static_cast<std::uint64_t>(std::max(hi - lo, 1))));
+  }
+
+  const double bs = spec.bad_blocks.spontaneous_sigma_log;
+  lat.bb_spont_rate =
+      spec.bad_blocks.spontaneous_per_day * rng.lognormal(-0.5 * bs * bs, bs);
+
+  // Degradation onset for background UEs: frail and heavily-written drives
+  // degrade sooner; a small defective-from-birth population starts at 0.
+  const UeOnsetSpec& uo = spec.ue_onset;
+  const double defect_score =
+      uo.defect_loading * z_health +
+      std::sqrt(1.0 - uo.defect_loading * uo.defect_loading) * rng.normal();
+  lat.defective = defect_score > stats::norm_quantile(1.0 - uo.defect_fraction);
+
+  // Poor flash announces itself at manufacture: defective and error-prone
+  // drives ship with more factory bad blocks.  This is what lets models
+  // identify at-risk YOUNG drives before any error history accumulates
+  // (Table 8's strong young column; Fig 16's young feature ranking).
+  double factory_mean =
+      rng.lognormal(spec.bad_blocks.factory_mean_log, spec.bad_blocks.factory_sigma_log);
+  if (lat.defective) factory_mean *= 6.0;
+  if (prone) factory_mean *= 2.0;
+  lat.factory_bad_blocks = static_cast<std::uint16_t>(std::min<std::uint64_t>(
+      rng.poisson(factory_mean), std::numeric_limits<std::uint16_t>::max()));
+  const double onset_mean = uo.onset_mean_days /
+                            std::pow(lat.frailty, uo.frailty_exp) /
+                            std::pow(lat.write_factor, uo.workload_exp);
+  lat.ue_onset_day =
+      lat.defective ? lat.deploy_day
+                    : lat.deploy_day +
+                          static_cast<std::int32_t>(rng.exponential(1.0 / onset_mean));
+  const double mag = rng.lognormal(-0.5 * uo.magnitude_sigma * uo.magnitude_sigma,
+                                   uo.magnitude_sigma);
+  lat.ue_day_prob = std::min(
+      0.30, uo.post_onset_day_prob * mag * (lat.defective ? uo.defect_rate_mult : 1.0));
+  lat.ue_count_mult = lat.defective ? uo.defect_count_mult : 1.0;
+  return lat;
+}
+
+/// E[e^a] for the proneness mixture — used so that base_day_prob stays the
+/// *marginal* incidence no matter the exponent.
+double proneness_moment(const LatentSpec& ls, double a) {
+  if (a == 0.0) return 1.0;
+  const double prone_part =
+      ls.prone_fraction *
+      std::exp(a * ls.prone_mu_log + 0.5 * a * a * ls.prone_sigma_log * ls.prone_sigma_log);
+  const double base_part =
+      (1.0 - ls.prone_fraction) * std::pow(ls.nonprone_level, a) * std::exp(0.5 * a * a * 0.25);
+  return prone_part + base_part;
+}
+
+double flakiness_moment(const LatentSpec& ls, double b) {
+  if (b == 0.0) return 1.0;
+  const double flaky_part =
+      ls.flaky_fraction *
+      std::exp(b * ls.flaky_mu_log + 0.5 * b * b * ls.flaky_sigma_log * ls.flaky_sigma_log);
+  const double base_part = (1.0 - ls.flaky_fraction) * std::pow(ls.nonflaky_level, b);
+  return flaky_part + base_part;
+}
+
+/// Types generated by dedicated processes rather than the generic
+/// per-type incidence loop.
+constexpr bool is_special_type(ErrorType t) noexcept {
+  return t == ErrorType::kUncorrectable || t == ErrorType::kFinalRead ||
+         t == ErrorType::kResponse || t == ErrorType::kTimeout ||
+         t == ErrorType::kFinalWrite;
+}
+
+/// Per-drive, per-error-type precomputed daily rates (latents folded in).
+struct ErrorRates {
+  std::array<double, trace::kNumErrorTypes> base{};   ///< latent-adjusted day prob
+  std::array<double, trace::kNumErrorTypes> wear_exp{};
+  std::array<double, trace::kNumErrorTypes> ramp_weight{};
+  double glitch_day_prob = 0.0;
+};
+
+ErrorRates make_error_rates(const DriveModelSpec& spec, const Latents& lat) {
+  ErrorRates rates;
+  for (std::size_t i = 0; i < trace::kNumErrorTypes; ++i) {
+    const ErrorTypeSpec& es = spec.errors[i];
+    double r = es.base_day_prob;
+    if (es.prone_exp != 0.0)
+      r *= std::pow(lat.proneness, es.prone_exp) / proneness_moment(spec.latent, es.prone_exp);
+    if (es.flaky_exp != 0.0)
+      r *= std::pow(lat.flakiness, es.flaky_exp) / flakiness_moment(spec.latent, es.flaky_exp);
+    rates.base[i] = r;
+    rates.wear_exp[i] = es.wear_exp;
+    rates.ramp_weight[i] = es.ramp_weight;
+  }
+  rates.glitch_day_prob = spec.glitch.base_day_prob *
+                          std::pow(lat.flakiness, spec.glitch.flaky_exp) /
+                          flakiness_moment(spec.latent, spec.glitch.flaky_exp);
+  return rates;
+}
+
+std::uint32_t clamp_count(double v) {
+  if (v < 0.0) return 0;
+  if (v >= static_cast<double>(std::numeric_limits<std::uint32_t>::max()))
+    return std::numeric_limits<std::uint32_t>::max();
+  return static_cast<std::uint32_t>(v);
+}
+
+/// Swap lag in days (>= 1): lognormal bulk + heavy log-uniform tail for the
+/// "forgotten in the system" drives (Fig 4).
+std::int32_t sample_swap_lag(const SwapSpec& ss, Rng& rng) {
+  double lag = 0.0;
+  if (rng.bernoulli(ss.lag_tail_weight)) {
+    lag = rng.loguniform(ss.lag_tail_lo, ss.lag_tail_hi);
+  } else {
+    lag = rng.lognormal(ss.lag_mu_log, ss.lag_sigma_log);
+  }
+  return std::max<std::int32_t>(1, static_cast<std::int32_t>(std::lround(lag)));
+}
+
+/// Repair time in days, sampled from Table 5's piecewise distribution.
+std::int32_t sample_repair_days(const RepairSpec& rs, Rng& rng) {
+  const std::size_t bin = rng.categorical(std::span<const double>(rs.bin_mass));
+  const double lo = std::max(rs.knot_days[bin], 1.0);
+  const double hi = std::max(rs.knot_days[bin + 1], lo + 1.0);
+  return static_cast<std::int32_t>(std::lround(rng.loguniform(lo, hi)));
+}
+
+/// How an impending failure announces itself (sampled once per failure).
+struct FailureSymptoms {
+  bool fully_silent = true;  ///< no pre-failure symptoms of any kind
+  bool ue_channel = false;   ///< uncorrectable-error ramp present
+};
+
+/// State carried across operational periods (survives repairs).
+struct DriveState {
+  double pe_cycles = 0.0;
+  std::uint32_t bad_blocks = 0;
+};
+
+/// Generate one operational day and (maybe) append its record.
+void generate_day(const DriveModelSpec& spec, const Latents& lat, const ErrorRates& rates,
+                  std::int32_t day, std::int32_t days_to_fail,
+                  const FailureSymptoms& symptoms, bool young_failure, DriveState& st,
+                  Rng& rng, DriveHistory& out) {
+  const WorkloadSpec& ws = spec.workload;
+  const std::int32_t age = day - lat.deploy_day;
+
+  // --- Workload (Fig 7: intensity ramps up over the first ~18 months). ---
+  const double ramp_f =
+      ws.young_factor + (1.0 - ws.young_factor) *
+                            std::min(static_cast<double>(age) / ws.ramp_days, 1.0);
+  const double jitter = rng.lognormal(-0.5 * ws.daily_sigma * ws.daily_sigma, ws.daily_sigma);
+  double writes = ws.write_base_per_day * ramp_f * lat.write_factor * jitter;
+  double reads = writes * ws.read_write_ratio * rng.lognormal(0.0, 0.25);
+
+  // Failure-day truncation: the drive fails partway through its last day,
+  // so the final record shows reduced activity (for ALL failure modes —
+  // this is why read/write counts carry predictive signal, Fig 16).
+  const FailureSpec& fs = spec.failure;
+  if (days_to_fail == 0) {
+    const double act = rng.uniform(fs.failure_day_activity_lo, fs.failure_day_activity_hi);
+    writes *= act;
+    reads *= act;
+  } else if (days_to_fail == 1) {
+    const double act = rng.uniform(0.5, 1.0);
+    writes *= act;
+    reads *= act;
+  }
+
+  const double erases = writes / ws.pages_per_erase_block * rng.lognormal(0.0, 0.1);
+  st.pe_cycles += erases / ws.erase_blocks;
+  const double wear_norm = std::max(st.pe_cycles / 1000.0, 0.02) / 0.35;
+
+  // --- Pre-failure symptom ramp (Fig 11), symptomatic failures only.
+  // ramp_prob is an additive daily incidence so even drives with no
+  // background error-proneness develop symptoms before failing.  The UE
+  // ramp only fires for failures with the UE channel; the other error
+  // types ramp for every non-silent failure. ---
+  const RampSpec& rp = spec.ramp;
+  double ramp_prob = 0.0;
+  double ue_ramp_prob = 0.0;
+  double count_mult = 1.0;
+  if (days_to_fail != kNoFailure && !symptoms.fully_silent) {
+    const double d = static_cast<double>(days_to_fail);
+    ramp_prob = rp.sharp_prob * std::exp(-d / rp.sharp_tau) +
+                rp.chronic_prob * std::exp(-d / rp.chronic_tau);
+    if (symptoms.ue_channel) ue_ramp_prob = ramp_prob;
+    const double boost = young_failure ? rp.count_mult_young : rp.count_mult_old;
+    count_mult = 1.0 + (boost - 1.0) * std::exp(-d / 2.0);
+  }
+
+  DailyRecord rec;
+  rec.day = day;
+  rec.reads = clamp_count(reads);
+  rec.writes = clamp_count(writes);
+  rec.erases = clamp_count(erases);
+
+  auto sample_count = [&](ErrorType type, double extra_mult = 1.0) {
+    const ErrorTypeSpec& es = spec.errors[static_cast<std::size_t>(type)];
+    double count = rng.lognormal(es.count_mu_log, es.count_sigma_log) * extra_mult;
+    count *= 1.0 + (count_mult - 1.0) * rates.ramp_weight[static_cast<std::size_t>(type)];
+    return std::max<std::uint32_t>(1, clamp_count(count));
+  };
+
+  // --- Generic error types (correctable, erase, meta, read, write). ---
+  for (std::size_t i = 0; i < trace::kNumErrorTypes; ++i) {
+    const auto type = static_cast<ErrorType>(i);
+    if (is_special_type(type)) continue;
+    double rate = rates.base[i];
+    if (rates.wear_exp[i] != 0.0) rate *= std::pow(wear_norm, rates.wear_exp[i]);
+    rate += ramp_prob * rates.ramp_weight[i];
+    if (!rng.bernoulli(std::min(rate, 0.98))) continue;
+    double extra = 1.0;
+    if (type == ErrorType::kCorrectable) extra = std::max(reads, 1.0) / 1e8;
+    rec.errors[i] = sample_count(type, extra);
+  }
+
+  // --- Uncorrectable errors: degradation-onset background + UE ramp. ---
+  {
+    const double background = day >= lat.ue_onset_day
+                                  ? lat.ue_day_prob *
+                                        std::pow(wear_norm,
+                                                 rates.wear_exp[static_cast<std::size_t>(
+                                                     ErrorType::kUncorrectable)])
+                                  : spec.ue_onset.floor_day_prob;
+    const double rate = background + ue_ramp_prob;
+    if (rng.bernoulli(std::min(rate, 0.90)))
+      rec.errors[static_cast<std::size_t>(ErrorType::kUncorrectable)] =
+          sample_count(ErrorType::kUncorrectable, lat.ue_count_mult);
+  }
+
+  // Final read errors: reads that fail for good.  These co-occur with
+  // uncorrectable ECC errors (Table 2: rho = 0.97 — "if a read fails
+  // finally, then it is uncorrectable").
+  const std::uint32_t ue = rec.error(ErrorType::kUncorrectable);
+  if (ue > 0) {
+    const double p_final_given_ue =
+        spec.errors[static_cast<std::size_t>(ErrorType::kFinalRead)].base_day_prob;
+    if (rng.bernoulli(p_final_given_ue)) {
+      const double frac = rng.uniform(0.3, 0.8);
+      rec.errors[static_cast<std::size_t>(ErrorType::kFinalRead)] =
+          std::max<std::uint32_t>(1, clamp_count(static_cast<double>(ue) * frac));
+    }
+  }
+
+  // --- Interface glitch days: response/timeout/final-write/meta/read
+  // errors arrive together (Table 2's correlation cluster). ---
+  {
+    const GlitchSpec& gs = spec.glitch;
+    const double rate = rates.glitch_day_prob + ramp_prob * gs.ramp_share;
+    if (rng.bernoulli(std::min(rate, 0.5))) {
+      auto maybe = [&](ErrorType type, double p) {
+        if (rng.bernoulli(p)) {
+          auto& cell = rec.errors[static_cast<std::size_t>(type)];
+          cell = std::max(cell, sample_count(type));
+        }
+      };
+      maybe(ErrorType::kResponse, gs.response_prob);
+      maybe(ErrorType::kTimeout, gs.timeout_prob);
+      maybe(ErrorType::kFinalWrite, gs.final_write_prob);
+      maybe(ErrorType::kMeta, gs.meta_prob);
+      maybe(ErrorType::kRead, gs.read_prob);
+    }
+  }
+
+  // --- Bad blocks grow out of serious error events (Fig 10). ---
+  const BadBlockSpec& bb = spec.bad_blocks;
+  double new_blocks_mean = 0.0;
+  if (ue > 0) new_blocks_mean += bb.per_ue_day;
+  if (rec.error(ErrorType::kErase) > 0) new_blocks_mean += bb.per_erase_err_day;
+  if (rec.error(ErrorType::kFinalWrite) > 0) new_blocks_mean += bb.per_final_write_day;
+  new_blocks_mean += lat.bb_spont_rate;
+  // Direct pre-failure bad-block growth (the non-UE symptom channel).
+  if (days_to_fail != kNoFailure && !symptoms.fully_silent) {
+    double rate = rp.bb_rate_day0 * std::exp(-static_cast<double>(days_to_fail) / rp.bb_tau);
+    if (young_failure) rate *= rp.bb_young_mult;
+    new_blocks_mean += rate;
+  }
+  if (new_blocks_mean > 0.0)
+    st.bad_blocks += static_cast<std::uint32_t>(rng.poisson(new_blocks_mean));
+
+  rec.pe_cycles = static_cast<std::uint32_t>(st.pe_cycles);
+  rec.bad_blocks = st.bad_blocks;
+  rec.factory_bad_blocks = lat.factory_bad_blocks;
+
+  // Benign read-only days happen during firmware housekeeping and are far
+  // more likely on days the drive is fighting uncorrectable errors — so the
+  // (UE, read-only) conjunction occurs on healthy degraded drives too.
+  double ro_prob = ue > 0 ? 0.05 : 2e-4;
+  if (days_to_fail != kNoFailure && !symptoms.fully_silent)
+    ro_prob = std::max(
+        ro_prob, rp.read_only_prob_day0 * std::exp(-static_cast<double>(days_to_fail) / 2.0));
+  rec.read_only = rng.bernoulli(ro_prob);
+  rec.dead = false;
+
+  if (rng.bernoulli(spec.deploy.report_probability)) out.records.push_back(rec);
+}
+
+}  // namespace
+
+trace::DriveHistory simulate_drive(const DriveModelSpec& spec, std::uint64_t seed,
+                                   std::uint32_t drive_index, std::int32_t window_days,
+                                   bool keep_truth) {
+  Rng rng({seed, static_cast<std::uint64_t>(spec.model), drive_index});
+
+  DriveHistory out;
+  out.model = spec.model;
+  out.drive_index = drive_index;
+
+  const Latents lat = sample_latents(spec, window_days, rng);
+  out.deploy_day = lat.deploy_day;
+  const ErrorRates rates = make_error_rates(spec, lat);
+
+  trace::GroundTruth truth;
+  truth.frailty = lat.frailty;
+  truth.error_proneness = lat.ue_day_prob;
+
+  DriveState st;
+  std::int32_t t = lat.deploy_day;
+  double post_repair_mult = 1.0;
+  const FailureSpec& fs = spec.failure;
+
+  while (t < window_days) {
+    // Sample this operational period's failure day by inverting the
+    // cumulative bathtub hazard against an Exp(1) draw.
+    const double target = rng.exponential(1.0);
+    std::int32_t fail_day = -1;
+    double cum = 0.0;
+    for (std::int32_t d = t; d < window_days; ++d) {
+      const double age = static_cast<double>(d - lat.deploy_day);
+      const double h = fs.mature_hazard_per_day *
+                       (1.0 + fs.infant_boost * std::exp(-age / fs.infant_tau_days)) *
+                       lat.frailty * post_repair_mult;
+      cum += h;
+      if (cum >= target) {
+        fail_day = d;
+        break;
+      }
+    }
+
+    const std::int32_t period_end = fail_day >= 0 ? fail_day : window_days - 1;
+    const bool young_failure =
+        fail_day >= 0 && (fail_day - lat.deploy_day) <= kInfantAgeDays;
+    FailureSymptoms symptoms;
+    if (fail_day >= 0) {
+      symptoms.fully_silent = rng.bernoulli(young_failure ? fs.fully_silent_young
+                                                          : fs.fully_silent_old);
+      symptoms.ue_channel =
+          !symptoms.fully_silent &&
+          rng.bernoulli(young_failure ? fs.ue_channel_young : fs.ue_channel_old);
+    }
+
+    for (std::int32_t d = t; d <= period_end; ++d) {
+      const std::int32_t dtf = fail_day >= 0 ? fail_day - d : kNoFailure;
+      generate_day(spec, lat, rates, d, dtf, symptoms, young_failure, st, rng, out);
+    }
+
+    if (fail_day < 0) break;  // survived to the end of the window
+    truth.failure_days.push_back(fail_day);
+    truth.silent.push_back(symptoms.fully_silent);
+
+    // Post-failure limbo: optional inactive logged days, then silence,
+    // then the swap (Fig 2 / Fig 4).
+    const SwapSpec& ss = spec.swap;
+    const std::int32_t lag = sample_swap_lag(ss, rng);
+    const std::int32_t limbo_days = lag - 1;
+    std::int32_t inactive_days = 0;
+    if (limbo_days > 0 && rng.bernoulli(ss.inactive_fraction))
+      inactive_days = std::min<std::int32_t>(
+          1 + static_cast<std::int32_t>(rng.poisson(1.2)), limbo_days);
+
+    for (std::int32_t d = fail_day + 1;
+         d <= std::min(fail_day + inactive_days, window_days - 1); ++d) {
+      DailyRecord rec;
+      rec.day = d;
+      rec.pe_cycles = static_cast<std::uint32_t>(st.pe_cycles);
+      rec.bad_blocks = st.bad_blocks;
+      rec.factory_bad_blocks = lat.factory_bad_blocks;
+      rec.dead = rng.bernoulli(ss.dead_flag_prob);
+      if (rng.bernoulli(spec.deploy.report_probability)) out.records.push_back(rec);
+    }
+
+    const std::int32_t swap_day = fail_day + lag;
+    if (swap_day >= window_days) break;  // swap not observed in the window
+    out.swaps.push_back({swap_day});
+
+    // Repair process (Fig 5 / Table 5): may never return.
+    if (!rng.bernoulli(spec.repair.return_probability)) break;
+    const std::int32_t reentry = swap_day + sample_repair_days(spec.repair, rng);
+    if (reentry >= window_days) break;
+    t = reentry;
+    post_repair_mult = fs.post_repair_hazard_mult;
+  }
+
+  if (keep_truth) out.truth = std::move(truth);
+  return out;
+}
+
+}  // namespace ssdfail::sim

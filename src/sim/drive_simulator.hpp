@@ -1,0 +1,30 @@
+#pragma once
+
+// Single-drive lifecycle simulation.
+//
+// Implements the paper's failure timeline (Fig 2) as a generative process:
+//
+//   deploy -> [operational period] -> failure -> (inactive logged days)
+//          -> (non-reporting days) -> swap -> repair -> re-entry | retired
+//
+// with daily workload, wear, and error generation during operational
+// periods.  Randomness is a pure function of (seed, model, drive_index):
+// the same drive is bit-identical regardless of thread schedule.
+
+#include <cstdint>
+
+#include "sim/model_spec.hpp"
+#include "trace/drive_history.hpp"
+
+namespace ssdfail::sim {
+
+/// Simulate one complete drive history over [0, window_days).
+/// If keep_truth is false the GroundTruth block is omitted, producing a
+/// trace indistinguishable from a real one.
+[[nodiscard]] trace::DriveHistory simulate_drive(const DriveModelSpec& spec,
+                                                 std::uint64_t seed,
+                                                 std::uint32_t drive_index,
+                                                 std::int32_t window_days,
+                                                 bool keep_truth = true);
+
+}  // namespace ssdfail::sim

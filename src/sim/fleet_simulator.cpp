@@ -1,0 +1,35 @@
+#include "sim/fleet_simulator.hpp"
+
+#include <cstdlib>
+
+namespace ssdfail::sim {
+
+FleetConfig FleetConfig::from_env() {
+  FleetConfig cfg;
+  if (const char* env = std::getenv("SSDFAIL_DRIVES_PER_MODEL")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed > 0) cfg.drives_per_model = static_cast<std::uint32_t>(parsed);
+  }
+  if (const char* env = std::getenv("SSDFAIL_SEED")) {
+    const long long parsed = std::strtoll(env, nullptr, 10);
+    if (parsed > 0) cfg.seed = static_cast<std::uint64_t>(parsed);
+  }
+  return cfg;
+}
+
+trace::DriveHistory FleetSimulator::simulate(std::size_t flat_index) const {
+  const auto model_idx = flat_index / config_.drives_per_model;
+  const auto drive_idx = static_cast<std::uint32_t>(flat_index % config_.drives_per_model);
+  const DriveModelSpec& spec = model_presets()[model_idx];
+  return simulate_drive(spec, config_.seed, drive_idx, config_.window_days,
+                        config_.keep_ground_truth);
+}
+
+trace::FleetTrace FleetSimulator::generate_all() const {
+  trace::FleetTrace fleet;
+  fleet.drives.reserve(drive_count());
+  for (std::size_t i = 0; i < drive_count(); ++i) fleet.drives.push_back(simulate(i));
+  return fleet;
+}
+
+}  // namespace ssdfail::sim

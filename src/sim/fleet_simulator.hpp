@@ -1,0 +1,65 @@
+#pragma once
+
+// Fleet-scale simulation: N drives per model, generated independently and
+// (where the caller wants it) in parallel.
+//
+// Full fleets at paper scale (~45M drive-days) do not fit in memory as
+// objects, so the primary interface is visit(): drives are generated one
+// at a time and handed to an accumulator, with per-thread partials merged
+// deterministically.  generate_all() materializes a FleetTrace and is only
+// suitable for small configurations (tests, examples).
+
+#include <cstdint>
+
+#include "parallel/thread_pool.hpp"
+#include "sim/drive_simulator.hpp"
+#include "sim/model_spec.hpp"
+#include "trace/drive_history.hpp"
+
+namespace ssdfail::sim {
+
+/// Fleet composition and reproducibility knobs.
+struct FleetConfig {
+  std::uint32_t drives_per_model = 4000;
+  std::int32_t window_days = kDefaultWindowDays;
+  std::uint64_t seed = 2019;
+  bool keep_ground_truth = true;
+
+  /// Default sizing honoring the SSDFAIL_DRIVES_PER_MODEL env override.
+  [[nodiscard]] static FleetConfig from_env();
+};
+
+class FleetSimulator {
+ public:
+  explicit FleetSimulator(FleetConfig config) : config_(config) {}
+
+  [[nodiscard]] const FleetConfig& config() const noexcept { return config_; }
+
+  /// Total number of drives across all three models.
+  [[nodiscard]] std::size_t drive_count() const noexcept {
+    return static_cast<std::size_t>(config_.drives_per_model) * trace::kNumModels;
+  }
+
+  /// Simulate the drive with the given flat index in [0, drive_count()).
+  /// Index layout: model-major (all MLC-A, then MLC-B, then MLC-D).
+  [[nodiscard]] trace::DriveHistory simulate(std::size_t flat_index) const;
+
+  /// Parallel visitation: `make()` builds a per-worker accumulator,
+  /// `visit(acc, drive)` folds one drive in, `merge(dst, src)` combines
+  /// partials (called in worker order — deterministic).
+  template <typename Make, typename Visit, typename Merge>
+  auto visit(const Make& make, const Visit& visit_fn, const Merge& merge,
+             parallel::ThreadPool& pool = parallel::ThreadPool::global()) const {
+    return parallel::parallel_reduce(
+        drive_count(), make,
+        [&](auto& acc, std::size_t i) { visit_fn(acc, simulate(i)); }, merge, pool);
+  }
+
+  /// Materialize the whole fleet (small configurations only).
+  [[nodiscard]] trace::FleetTrace generate_all() const;
+
+ private:
+  FleetConfig config_;
+};
+
+}  // namespace ssdfail::sim

@@ -1,0 +1,108 @@
+#include "sim/model_spec.hpp"
+
+#include <stdexcept>
+
+namespace ssdfail::sim {
+namespace {
+
+using trace::ErrorType;
+
+ErrorTypeSpec& err(DriveModelSpec& s, ErrorType e) {
+  return s.errors[static_cast<std::size_t>(e)];
+}
+
+// Error-type parameters shared by all three models; per-model deviations
+// (Table 1's per-model incidence columns) are applied afterwards.
+void fill_common_errors(DriveModelSpec& s) {
+  // correctable: present on ~80% of drive days, count scales with reads.
+  err(s, ErrorType::kCorrectable) = {0.86, 0.08, 0.0, 0.0, 9.9, 1.5, 0.10};
+  // erase: wear-driven transparent error (Table 2: rho(erase, P/E)=0.32).
+  err(s, ErrorType::kErase) = {1.6e-3, 0.60, 0.0, 0.7, 0.7, 0.8, 0.04};
+  // final read: generated as a companion of uncorrectable errors; the
+  // base_day_prob field holds P(final-read present | UE day) so that
+  // rho(final read, UE) ~ 0.97 as in Table 2.
+  err(s, ErrorType::kFinalRead) = {0.55, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0};
+  // final write / response / timeout: incidence comes from the glitch
+  // process (GlitchSpec); only their count parameters are used here.
+  err(s, ErrorType::kFinalWrite) = {0.0, 0.0, 0.0, 0.0, 0.4, 0.8, 1e-3};
+  err(s, ErrorType::kResponse) = {0.0, 0.0, 0.0, 0.0, 0.2, 0.6, 1e-4};
+  err(s, ErrorType::kTimeout) = {0.0, 0.0, 0.0, 0.0, 0.3, 0.7, 2e-4};
+  // meta: independent floor + glitch co-occurrence (rho(meta,read)=0.40).
+  err(s, ErrorType::kMeta) = {0.3e-5, 0.50, 0.0, 0.0, 0.3, 0.7, 5e-4};
+  // read (recovered-on-retry): mostly independent, partly glitch-driven.
+  err(s, ErrorType::kRead) = {0.8e-4, 0.70, 0.0, 0.0, 1.1, 1.0, 8e-3};
+  // uncorrectable: incidence comes from the degradation-onset process
+  // (UeOnsetSpec) plus the pre-failure ramp; count params + wear exponent
+  // are read from here.
+  err(s, ErrorType::kUncorrectable) = {0.0, 0.0, 0.0, 0.6, 4.4, 2.2, 1.0};
+  // write (recovered-on-retry): mildly wear/prone driven.
+  err(s, ErrorType::kWrite) = {1.5e-4, 0.60, 0.0, 0.3, 0.8, 0.9, 5e-3};
+}
+
+DriveModelSpec make_mlc_a() {
+  DriveModelSpec s;
+  s.model = trace::DriveModel::MlcA;
+  fill_common_errors(s);
+  err(s, ErrorType::kCorrectable).base_day_prob = 0.89;    // Table 1: 0.829
+  s.ue_onset.post_onset_day_prob = 0.0140;                  // Table 1: 0.002176
+  err(s, ErrorType::kWrite).base_day_prob = 1.5e-4;        // 0.000117 target
+  err(s, ErrorType::kRead).base_day_prob = 0.8e-4;         // 0.000090 target
+  // Table 3: 6.95% of MLC-A drives fail at least once.
+  s.failure.mature_hazard_per_day = 4.1e-5;
+  // Table 5 row MLC-A.
+  s.repair.return_probability = 0.534;
+  s.repair.knot_days = {1, 10, 30, 100, 365, 730, 1095, 1770};
+  s.repair.bin_mass = {0.064, 0.030, 0.020, 0.212, 0.378, 0.112, 0.184};
+  return s;
+}
+
+DriveModelSpec make_mlc_b() {
+  DriveModelSpec s;
+  s.model = trace::DriveModel::MlcB;
+  fill_common_errors(s);
+  err(s, ErrorType::kCorrectable).base_day_prob = 0.835;   // Table 1: 0.776
+  s.ue_onset.post_onset_day_prob = 0.0150;                  // Table 1: 0.002349
+  err(s, ErrorType::kWrite).base_day_prob = 1.7e-3;        // 0.001309: B's quirk
+  err(s, ErrorType::kRead).base_day_prob = 0.95e-4;        // 0.000103 target
+  // Table 3: 14.3% fail.
+  s.failure.mature_hazard_per_day = 8.6e-5;
+  // Table 5 row MLC-B.
+  s.repair.return_probability = 0.439;
+  s.repair.knot_days = {1, 10, 30, 100, 365, 730, 1095, 1770};
+  s.repair.bin_mass = {0.155, 0.059, 0.075, 0.287, 0.246, 0.151, 0.027};
+  return s;
+}
+
+DriveModelSpec make_mlc_d() {
+  DriveModelSpec s;
+  s.model = trace::DriveModel::MlcD;
+  fill_common_errors(s);
+  err(s, ErrorType::kCorrectable).base_day_prob = 0.825;   // Table 1: 0.768
+  s.ue_onset.post_onset_day_prob = 0.0150;                  // Table 1: 0.002583
+  err(s, ErrorType::kWrite).base_day_prob = 2.1e-4;        // 0.000162 target
+  err(s, ErrorType::kRead).base_day_prob = 1.2e-4;         // 0.000133 target
+  err(s, ErrorType::kMeta).base_day_prob = 0.7e-5;         // 0.000028 target
+  // Table 3: 12.5% fail.
+  s.failure.mature_hazard_per_day = 6.8e-5;
+  // Table 5 row MLC-D.
+  s.repair.return_probability = 0.576;
+  s.repair.knot_days = {1, 10, 30, 100, 365, 730, 1095, 1770};
+  s.repair.bin_mass = {0.085, 0.056, 0.133, 0.214, 0.267, 0.117, 0.128};
+  return s;
+}
+
+}  // namespace
+
+const std::array<DriveModelSpec, trace::kNumModels>& model_presets() {
+  static const std::array<DriveModelSpec, trace::kNumModels> presets = {
+      make_mlc_a(), make_mlc_b(), make_mlc_d()};
+  return presets;
+}
+
+const DriveModelSpec& preset(trace::DriveModel m) {
+  const auto idx = static_cast<std::size_t>(m);
+  if (idx >= trace::kNumModels) throw std::out_of_range("preset: bad model");
+  return model_presets()[idx];
+}
+
+}  // namespace ssdfail::sim

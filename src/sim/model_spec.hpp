@@ -1,0 +1,219 @@
+#pragma once
+
+// Generative model parameters for one drive model (MLC-A/B/D).
+//
+// Every number here is calibrated against a *published* statistic of the
+// paper; the comment on each field names its calibration target.  The
+// presets in model_presets() encode the three MLC models; tests in
+// tests/sim assert the generated fleet matches the targets.
+
+#include <array>
+#include <cstdint>
+
+#include "trace/schema.hpp"
+
+namespace ssdfail::sim {
+
+/// Default trace window: the study spans six years of daily logs.
+inline constexpr std::int32_t kDefaultWindowDays = 2190;
+
+/// Days at or below which a failure counts as "young"/infant (Section 4.1).
+inline constexpr std::int32_t kInfantAgeDays = 90;
+
+/// Deployment staggering and log completeness (calibrates Fig 1).
+struct DeploySpec {
+  double early_fraction = 0.58;     ///< share of drives deployed early
+  std::int32_t early_span_days = 730;   ///< early deployments: uniform [0, span)
+  std::int32_t late_span_days = 1825;   ///< the rest: uniform [early_span, late_span)
+  double report_probability = 0.93;     ///< daily log-capture probability
+};
+
+/// Daily workload intensity (calibrates Fig 7 and Table 2's P/E column).
+struct WorkloadSpec {
+  double write_base_per_day = 1.15e8;  ///< asymptotic median daily write ops
+  double young_factor = 0.45;          ///< relative intensity at age 0
+  double ramp_days = 540;              ///< days until the plateau is reached
+  double read_write_ratio = 1.8;       ///< reads per write (median)
+  /// Per-drive lognormal intensity spread.  Wide heterogeneity means a
+  /// failure-day activity drop is only detectable relative to the drive's
+  /// own baseline (an interaction linear models cannot express — part of
+  /// why the forest leads Table 6).
+  double drive_sigma = 0.65;
+  double daily_sigma = 0.35;           ///< day-to-day lognormal jitter
+  double pages_per_erase_block = 512;  ///< write ops per erase op
+  double erase_blocks = 7.0e5;         ///< erases per P/E cycle increment
+};
+
+/// Bathtub failure hazard + latent frailty (calibrates Fig 6, Table 3/4).
+struct FailureSpec {
+  double mature_hazard_per_day = 8.0e-5;  ///< h1: constant post-infancy hazard
+  double infant_boost = 8.0;              ///< hazard multiple added at age 0
+  double infant_tau_days = 45.0;          ///< decay constant of the infant boost
+  double frailty_sigma = 0.5;             ///< lognormal sigma of per-drive hazard scale
+  double post_repair_hazard_mult = 5.0;   ///< hazard multiplier after re-entry
+  /// Failure symptom structure.  A failure is either fully silent (no
+  /// pre-failure symptoms of any kind — Observation #9's ~26% of failures)
+  /// or symptomatic.  Symptomatic failures always develop bad blocks and
+  /// transparent-error elevation; only a subset additionally exhibits the
+  /// uncorrectable-error ramp ("UE channel").  This decoupling reproduces
+  /// the paper's seemingly-contradictory pair of findings: most YOUNG
+  /// failures show zero UEs (Fig 10) yet young failures are the MOST
+  /// predictable (Fig 15), because their non-UE symptoms are robust.
+  double fully_silent_young = 0.15;
+  double fully_silent_old = 0.33;
+  double ue_channel_young = 0.55;   ///< P(UE ramp | symptomatic, young)
+  double ue_channel_old = 0.50;     ///< P(UE ramp | symptomatic, old)
+  /// On the failure day the drive operates only part of the day, so the
+  /// last record shows truncated activity (why read/write counts predict).
+  double failure_day_activity_lo = 0.05;
+  double failure_day_activity_hi = 0.80;
+};
+
+/// Latent error-generating traits shared across error types.
+struct LatentSpec {
+  double prone_fraction = 0.19;   ///< share of drives that are UE/bad-block prone
+                                  ///< (Fig 10 "Not Failed": ~80% never see a UE)
+  double prone_mu_log = 1.6;      ///< log-mean of proneness among prone drives
+  double prone_sigma_log = 1.0;   ///< log-sd of proneness among prone drives
+  double nonprone_level = 0.003;  ///< proneness of the non-prone majority
+  double frailty_loading = 0.7;   ///< latent corr between frailty and proneness
+  double flaky_fraction = 0.06;   ///< share with interface flakiness
+                                  ///< (drives response/timeout/final-write corr)
+  double flaky_mu_log = 2.0;
+  double flaky_sigma_log = 0.8;
+  double nonflaky_level = 0.02;   ///< flakiness of the non-flaky majority
+};
+
+/// Background uncorrectable-error process: a *degradation onset* model.
+/// A drive emits (essentially) no background UEs until a random onset time,
+/// after which UE days arrive at post_onset_day_prob.  This produces the
+/// paper's seemingly-conflicting trio: only ~20% of drives ever see a UE
+/// (Fig 10) AND 0.23% of all drive-days have one (Table 1) AND cumulative
+/// UE count rank-correlates with drive age at 0.36 (Table 2) — a static
+/// "prone drive" trait can satisfy the first two but not the third.
+struct UeOnsetSpec {
+  double onset_mean_days = 6000.0;   ///< exponential onset (frailty-accelerated)
+  double frailty_exp = 2.2;          ///< onset_mean /= frailty^exp
+  double workload_exp = 0.3;         ///< onset_mean /= write_factor^exp (wear link)
+  double post_onset_day_prob = 0.021;///< UE-day incidence after onset
+  double magnitude_sigma = 0.8;      ///< per-drive lognormal spread of that rate
+  double floor_day_prob = 2e-6;      ///< pre-onset incidence floor
+  /// A small sub-population is defective from birth (onset at age 0) with
+  /// elevated rate and enormous counts — the infant-mortality error signature
+  /// (Fig 11's young count percentiles).
+  double defect_fraction = 0.03;
+  double defect_loading = 0.75;      ///< latent corr between defects and frailty
+  double defect_rate_mult = 3.0;
+  double defect_count_mult = 120.0;
+};
+
+/// Interface-glitch process: response, timeout, final-write, meta, and
+/// (partly) read errors co-occur on the same "glitch days" of flaky drives,
+/// which is what yields Table 2's correlation cluster (response~timeout
+/// 0.53, final write~timeout 0.44, meta~read 0.40 ...).
+struct GlitchSpec {
+  double base_day_prob = 2.5e-5;  ///< marginal glitch-day incidence
+  double flaky_exp = 1.3;         ///< exponent on the flakiness trait
+  double ramp_share = 0.05;       ///< pre-failure ramp contribution
+  double response_prob = 0.10;    ///< P(response errors | glitch day)
+  double timeout_prob = 0.45;
+  double final_write_prob = 0.85;
+  double meta_prob = 0.45;
+  double read_prob = 0.50;
+};
+
+/// Per-error-type generation parameters.
+struct ErrorTypeSpec {
+  double base_day_prob = 0.0;  ///< marginal daily incidence target (Table 1)
+  double prone_exp = 0.0;      ///< exponent on the proneness trait
+  double flaky_exp = 0.0;      ///< exponent on the flakiness trait
+  double wear_exp = 0.0;       ///< exponent on normalized P/E wear
+  double count_mu_log = 0.0;   ///< log-median of per-day counts when present
+  double count_sigma_log = 1.0;///< log-sd of per-day counts
+  double ramp_weight = 0.0;    ///< how strongly the pre-failure ramp applies
+};
+
+/// Pre-failure symptom ramp (calibrates Fig 11).  The ramp is an *additive*
+/// incidence process: a symptomatic failure produces errors at this
+/// absolute probability regardless of the drive's background proneness
+/// (otherwise only chronically error-prone drives would ever show
+/// pre-failure symptoms, contradicting Fig 10's old-failure error rates).
+struct RampSpec {
+  double sharp_prob = 0.38;    ///< added daily incidence at days-to-failure 0
+  double sharp_tau = 1.3;      ///< decay (days) of the sharp component
+  double chronic_prob = 0.03;  ///< added daily incidence of the chronic part
+  double chronic_tau = 18.0;   ///< decay (days) of the chronic component
+  double count_mult_old = 3.0;      ///< count magnitude boost near failure (old)
+  double count_mult_young = 400.0;  ///< count magnitude boost (young failures
+                                    ///< see orders of magnitude more errors)
+  double read_only_prob_day0 = 0.15;  ///< P(read-only flag) on the failure day
+  /// Direct pre-failure bad-block accrual (the non-UE symptom channel):
+  /// symptomatic drives grow Poisson(bb_rate_day0 * exp(-d/bb_tau)) new bad
+  /// blocks per day, amplified for young failures (Fig 10/Fig 16).
+  double bb_rate_day0 = 0.9;
+  double bb_tau = 6.0;
+  double bb_young_mult = 3.0;
+};
+
+/// Bad-block accrual (calibrates Fig 10 and Table 2's bad-block row).
+struct BadBlockSpec {
+  double factory_mean_log = 1.1;    ///< log-mean of factory bad-block count
+  double factory_sigma_log = 0.8;
+  double per_ue_day = 1.2;          ///< mean new bad blocks per UE day
+  double per_erase_err_day = 0.6;   ///< mean new bad blocks per erase-error day
+  double per_final_write_day = 0.5; ///< mean new bad blocks per final-write day
+  /// Background block wear-out on healthy drives: Fig 10's "Not Failed"
+  /// CDF shows healthy drives accumulate tens of bad blocks over their
+  /// life, so bad-block growth alone must not be a clean failure marker.
+  /// The rate is drive-specific (lognormal around the mean): real block
+  /// wear-out is concentrated in poor-flash drives, which is what makes
+  /// near-term bad-block growth predictable from history (Table 8).
+  double spontaneous_per_day = 0.02;
+  double spontaneous_sigma_log = 1.2;
+};
+
+/// Post-failure limbo and swap lag (calibrates Fig 4).
+struct SwapSpec {
+  double nonreport_fraction = 0.80;  ///< swaps preceded by >=1 silent day
+  double inactive_fraction = 0.36;   ///< swaps preceded by zero-op logged days
+  double lag_mu_log = 0.92;          ///< lognormal log-median of lag (days)
+  double lag_sigma_log = 1.1;
+  double lag_tail_weight = 0.08;     ///< heavy-tail mixture weight ("forgotten")
+  double lag_tail_lo = 100.0;        ///< log-uniform tail bounds (days)
+  double lag_tail_hi = 450.0;
+  double dead_flag_prob = 0.5;       ///< P(dead flag) on post-failure logged days
+};
+
+/// Repair process (calibrates Fig 5 and Table 5).  Repair times are sampled
+/// from a piecewise log-uniform distribution whose knot masses come straight
+/// from Table 5's per-model rows.
+struct RepairSpec {
+  double return_probability = 0.5;          ///< Table 5's "infinity" column
+  static constexpr std::size_t kKnots = 7;
+  std::array<double, kKnots + 1> knot_days{};  ///< bin edges (days)
+  std::array<double, kKnots> bin_mass{};       ///< conditional P(bin | returns)
+};
+
+/// Everything needed to generate one drive model's fleet.
+struct DriveModelSpec {
+  trace::DriveModel model = trace::DriveModel::MlcA;
+  DeploySpec deploy;
+  WorkloadSpec workload;
+  FailureSpec failure;
+  LatentSpec latent;
+  RampSpec ramp;
+  BadBlockSpec bad_blocks;
+  SwapSpec swap;
+  RepairSpec repair;
+  UeOnsetSpec ue_onset;
+  GlitchSpec glitch;
+  std::array<ErrorTypeSpec, trace::kNumErrorTypes> errors{};
+};
+
+/// Calibrated presets for MLC-A, MLC-B, MLC-D (indexed by DriveModel).
+[[nodiscard]] const std::array<DriveModelSpec, trace::kNumModels>& model_presets();
+
+/// Preset for one model.
+[[nodiscard]] const DriveModelSpec& preset(trace::DriveModel m);
+
+}  // namespace ssdfail::sim

@@ -1,0 +1,71 @@
+#include "stats/ecdf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace ssdfail::stats {
+
+Ecdf::Ecdf(std::vector<double> samples) : samples_(std::move(samples)), dirty_(true) {
+  ensure_sorted();
+}
+
+void Ecdf::merge(const Ecdf& other) {
+  samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
+  dirty_ = true;
+}
+
+void Ecdf::ensure_sorted() const {
+  if (dirty_) {
+    std::sort(samples_.begin(), samples_.end());
+    dirty_ = false;
+  }
+}
+
+double Ecdf::at(double x) const {
+  if (samples_.empty()) return std::numeric_limits<double>::quiet_NaN();
+  ensure_sorted();
+  const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) / static_cast<double>(samples_.size());
+}
+
+double Ecdf::quantile(double q) const {
+  if (samples_.empty()) return std::numeric_limits<double>::quiet_NaN();
+  ensure_sorted();
+  q = std::clamp(q, 0.0, 1.0);
+  const auto idx = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(samples_.size())));
+  return samples_[std::min(idx == 0 ? 0 : idx - 1, samples_.size() - 1)];
+}
+
+const std::vector<double>& Ecdf::sorted_samples() const {
+  ensure_sorted();
+  return samples_;
+}
+
+void CensoredEcdf::merge(const CensoredEcdf& other) {
+  finite_.merge(other.finite_);
+  censored_ += other.censored_;
+}
+
+double CensoredEcdf::at(double x) const {
+  const std::size_t n = total();
+  if (n == 0) return std::numeric_limits<double>::quiet_NaN();
+  if (finite_.empty()) return 0.0;
+  return finite_.at(x) * static_cast<double>(finite_.size()) / static_cast<double>(n);
+}
+
+double CensoredEcdf::censored_fraction() const {
+  const std::size_t n = total();
+  return n == 0 ? std::numeric_limits<double>::quiet_NaN()
+                : static_cast<double>(censored_) / static_cast<double>(n);
+}
+
+std::vector<CdfPoint> evaluate_cdf(const Ecdf& cdf, const std::vector<double>& grid) {
+  std::vector<CdfPoint> out;
+  out.reserve(grid.size());
+  for (double x : grid) out.push_back({x, cdf.at(x)});
+  return out;
+}
+
+}  // namespace ssdfail::stats

@@ -1,0 +1,74 @@
+#pragma once
+
+// Empirical CDFs, including right-censored variants.
+//
+// Several of the paper's figures (3, 5) plot CDFs with a probability mass
+// "bar at infinity" for observations that never terminate within the trace
+// window.  CensoredEcdf models exactly that: finite observations plus a
+// count of censored ones.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ssdfail::stats {
+
+/// Plain empirical CDF over finite samples.
+class Ecdf {
+ public:
+  Ecdf() = default;
+  explicit Ecdf(std::vector<double> samples);
+
+  void add(double x) { samples_.push_back(x); dirty_ = true; }
+  void merge(const Ecdf& other);
+
+  /// P(X <= x).
+  [[nodiscard]] double at(double x) const;
+
+  /// Smallest sample value v with P(X <= v) >= q.
+  [[nodiscard]] double quantile(double q) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return samples_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
+
+  /// Sorted sample values (evaluation grid for plotting).
+  [[nodiscard]] const std::vector<double>& sorted_samples() const;
+
+ private:
+  void ensure_sorted() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool dirty_ = false;
+};
+
+/// Empirical CDF where some observations are right-censored ("never seen to
+/// end").  `at()` reports the fraction of *all* observations at or below x;
+/// the censored mass never enters the finite part, matching the paper's
+/// "bar at infinity" presentation.
+class CensoredEcdf {
+ public:
+  void add_observed(double x) { finite_.add(x); }
+  void add_censored() { ++censored_; }
+  void merge(const CensoredEcdf& other);
+
+  [[nodiscard]] double at(double x) const;
+  [[nodiscard]] double censored_fraction() const;
+  [[nodiscard]] std::size_t total() const noexcept { return finite_.size() + censored_; }
+  [[nodiscard]] const Ecdf& finite_part() const noexcept { return finite_; }
+
+ private:
+  Ecdf finite_;
+  std::size_t censored_ = 0;
+};
+
+/// One row of a rendered CDF: an x grid point and the CDF value there.
+struct CdfPoint {
+  double x = 0.0;
+  double p = 0.0;
+};
+
+/// Evaluate a CDF on a grid of points (for bench table output).
+[[nodiscard]] std::vector<CdfPoint> evaluate_cdf(const Ecdf& cdf,
+                                                 const std::vector<double>& grid);
+
+}  // namespace ssdfail::stats

@@ -1,0 +1,52 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace ssdfail::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo) {
+  if (bins == 0 || hi <= lo) throw std::invalid_argument("Histogram: bad range/bins");
+  width_ = (hi - lo) / static_cast<double>(bins);
+  counts_.assign(bins, 0.0);
+}
+
+std::size_t Histogram::bin_index(double x) const noexcept {
+  if (x < lo_) return 0;
+  const auto i = static_cast<std::size_t>((x - lo_) / width_);
+  return std::min(i, counts_.size() - 1);
+}
+
+void Histogram::add(double x, double weight) noexcept { counts_[bin_index(x)] += weight; }
+
+void Histogram::merge(const Histogram& other) {
+  assert(counts_.size() == other.counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+}
+
+double Histogram::bin_lo(std::size_t i) const noexcept {
+  return lo_ + width_ * static_cast<double>(i);
+}
+
+double Histogram::bin_hi(std::size_t i) const noexcept {
+  return lo_ + width_ * static_cast<double>(i + 1);
+}
+
+double Histogram::total() const noexcept {
+  double t = 0.0;
+  for (double c : counts_) t += c;
+  return t;
+}
+
+void BinnedRate::merge(const BinnedRate& other) {
+  events_.merge(other.events_);
+  exposure_.merge(other.exposure_);
+}
+
+double BinnedRate::rate(std::size_t i) const noexcept {
+  const double ex = exposure_.count(i);
+  return ex > 0.0 ? events_.count(i) / ex : 0.0;
+}
+
+}  // namespace ssdfail::stats

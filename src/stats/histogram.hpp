@@ -1,0 +1,62 @@
+#pragma once
+
+// Fixed-bin histograms and binned rate estimators.
+//
+// BinnedRate is the workhorse behind the paper's "failure rate by month of
+// age" (Fig 6) and "failure rate per 250 P/E cycles" (Fig 8): a ratio of an
+// event count to an exposure count per bin, which normalizes away uneven
+// population coverage.
+
+#include <cstdint>
+#include <vector>
+
+namespace ssdfail::stats {
+
+/// Equal-width histogram over [lo, hi); out-of-range values clamp to the
+/// edge bins so no observation is silently dropped.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x, double weight = 1.0) noexcept;
+  void merge(const Histogram& other);
+
+  [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+  [[nodiscard]] double bin_lo(std::size_t i) const noexcept;
+  [[nodiscard]] double bin_hi(std::size_t i) const noexcept;
+  [[nodiscard]] double count(std::size_t i) const noexcept { return counts_[i]; }
+  [[nodiscard]] double total() const noexcept;
+
+  /// Index of the bin containing x (clamped).
+  [[nodiscard]] std::size_t bin_index(double x) const noexcept;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<double> counts_;
+};
+
+/// Per-bin ratio of events to exposure.  rate(i) = events(i) / exposure(i).
+class BinnedRate {
+ public:
+  BinnedRate(double lo, double hi, std::size_t bins)
+      : events_(lo, hi, bins), exposure_(lo, hi, bins) {}
+
+  void add_event(double x, double weight = 1.0) noexcept { events_.add(x, weight); }
+  void add_exposure(double x, double weight = 1.0) noexcept { exposure_.add(x, weight); }
+  void merge(const BinnedRate& other);
+
+  [[nodiscard]] std::size_t bins() const noexcept { return events_.bins(); }
+  [[nodiscard]] double bin_lo(std::size_t i) const noexcept { return events_.bin_lo(i); }
+  [[nodiscard]] double events(std::size_t i) const noexcept { return events_.count(i); }
+  [[nodiscard]] double exposure(std::size_t i) const noexcept { return exposure_.count(i); }
+
+  /// Events per unit exposure in bin i; 0 when the bin has no exposure.
+  [[nodiscard]] double rate(std::size_t i) const noexcept;
+
+ private:
+  Histogram events_;
+  Histogram exposure_;
+};
+
+}  // namespace ssdfail::stats

@@ -1,0 +1,60 @@
+#include "stats/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ssdfail::stats {
+
+double Rng::normal() noexcept {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Marsaglia polar method: two uniforms -> two independent normals.
+  double u = 0.0;
+  double v = 0.0;
+  double s = 0.0;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  cached_normal_ = v * factor;
+  has_cached_normal_ = true;
+  return u * factor;
+}
+
+std::uint64_t Rng::poisson(double mean) noexcept {
+  if (mean <= 0.0) return 0;
+  if (mean < 30.0) {
+    // Knuth inversion in the log domain to avoid underflow.
+    const double l = -mean;
+    double acc = 0.0;
+    std::uint64_t k = 0;
+    for (;;) {
+      acc += std::log(uniform());
+      if (acc < l) return k;
+      ++k;
+      if (k > 1000) return k;  // defensive: cannot happen for mean < 30
+    }
+  }
+  // Normal approximation with continuity correction; adequate for the
+  // large-mean counters we model (daily op counts are >> 30).
+  const double draw = normal(mean, std::sqrt(mean));
+  return draw <= 0.0 ? 0 : static_cast<std::uint64_t>(draw + 0.5);
+}
+
+std::size_t Rng::categorical(std::span<const double> weights) noexcept {
+  double total = 0.0;
+  for (double w : weights) total += std::max(w, 0.0);
+  if (total <= 0.0) return weights.empty() ? 0 : weights.size() - 1;
+  double r = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    r -= std::max(weights[i], 0.0);
+    if (r <= 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace ssdfail::stats

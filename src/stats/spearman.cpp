@@ -1,0 +1,82 @@
+#include "stats/spearman.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace ssdfail::stats {
+
+std::vector<double> midranks(std::span<const double> values) {
+  const std::size_t n = values.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return values[a] < values[b]; });
+
+  std::vector<double> ranks(n, 0.0);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && values[order[j + 1]] == values[order[i]]) ++j;
+    // Tie group [i, j]: all get the average 1-based rank.
+    const double avg = 0.5 * (static_cast<double>(i + 1) + static_cast<double>(j + 1));
+    for (std::size_t k = i; k <= j; ++k) ranks[order[k]] = avg;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+double pearson(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size()) throw std::invalid_argument("pearson: size mismatch");
+  const std::size_t n = x.size();
+  if (n < 2) return std::numeric_limits<double>::quiet_NaN();
+  double mx = 0.0;
+  double my = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    mx += x[i];
+    my += y[i];
+  }
+  mx /= static_cast<double>(n);
+  my /= static_cast<double>(n);
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return std::numeric_limits<double>::quiet_NaN();
+  return sxy / std::sqrt(sxx * syy);
+}
+
+double spearman(std::span<const double> x, std::span<const double> y) {
+  const auto rx = midranks(x);
+  const auto ry = midranks(y);
+  return pearson(rx, ry);
+}
+
+std::vector<std::vector<double>> spearman_matrix(
+    const std::vector<std::vector<double>>& columns) {
+  const std::size_t k = columns.size();
+  // Rank once per column, then Pearson over rank vectors pairwise.
+  std::vector<std::vector<double>> ranks;
+  ranks.reserve(k);
+  for (const auto& col : columns) ranks.push_back(midranks(col));
+
+  std::vector<std::vector<double>> rho(k, std::vector<double>(k, 1.0));
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = i + 1; j < k; ++j) {
+      const double r = pearson(ranks[i], ranks[j]);
+      rho[i][j] = r;
+      rho[j][i] = r;
+    }
+  }
+  return rho;
+}
+
+}  // namespace ssdfail::stats

@@ -1,0 +1,30 @@
+#pragma once
+
+// Spearman rank correlation (Table 2 of the paper).
+//
+// Spearman's rho is the Pearson correlation of *ranks*.  Our inputs are
+// cumulative error counts, which contain massive tie groups (most drives
+// have zero of the rarer error types), so tie-aware mid-ranking is
+// essential — the textbook 6*sum(d^2) shortcut would be wrong here.
+
+#include <span>
+#include <vector>
+
+namespace ssdfail::stats {
+
+/// Mid-ranks of `values` (ties share the average of their rank range).
+/// Ranks are 1-based to match the statistics convention.
+[[nodiscard]] std::vector<double> midranks(std::span<const double> values);
+
+/// Pearson correlation coefficient; NaN if either side is constant.
+[[nodiscard]] double pearson(std::span<const double> x, std::span<const double> y);
+
+/// Spearman rank correlation; NaN if either side is constant.
+[[nodiscard]] double spearman(std::span<const double> x, std::span<const double> y);
+
+/// Symmetric Spearman correlation matrix over columns: `columns[i]` is the
+/// i-th variable's sample vector; all columns must have equal length.
+[[nodiscard]] std::vector<std::vector<double>> spearman_matrix(
+    const std::vector<std::vector<double>>& columns);
+
+}  // namespace ssdfail::stats

@@ -1,0 +1,82 @@
+#include "stats/streaming.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ssdfail::stats {
+
+void StreamingSummary::merge(const StreamingSummary& other) noexcept {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double StreamingSummary::stddev() const noexcept { return std::sqrt(variance()); }
+
+void ReservoirSample::add(double x) {
+  ++seen_;
+  if (values_.size() < capacity_) {
+    values_.push_back(x);
+    return;
+  }
+  const std::uint64_t j = rng_.uniform_index(seen_);
+  if (j < capacity_) values_[static_cast<std::size_t>(j)] = x;
+}
+
+void ReservoirSample::merge(const ReservoirSample& other) {
+  if (other.seen_ == 0) return;
+  if (seen_ == 0) {
+    values_ = other.values_;
+    seen_ = other.seen_;
+    return;
+  }
+  // Re-sample the union: draw each slot from one side with probability
+  // proportional to that side's population.  This preserves (approximate)
+  // uniformity over the union.
+  std::vector<double> merged;
+  merged.reserve(capacity_);
+  const double p_self =
+      static_cast<double>(seen_) / static_cast<double>(seen_ + other.seen_);
+  for (std::size_t i = 0; i < capacity_; ++i) {
+    const auto& source = rng_.bernoulli(p_self) ? values_ : other.values_;
+    if (source.empty()) continue;
+    merged.push_back(source[static_cast<std::size_t>(rng_.uniform_index(source.size()))]);
+  }
+  values_ = std::move(merged);
+  seen_ += other.seen_;
+}
+
+std::vector<double> ReservoirSample::sorted() const {
+  std::vector<double> copy = values_;
+  std::sort(copy.begin(), copy.end());
+  return copy;
+}
+
+double quantile_sorted(const std::vector<double>& sorted, double q) noexcept {
+  if (sorted.empty()) return std::numeric_limits<double>::quiet_NaN();
+  if (sorted.size() == 1) return sorted.front();
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double quantile(std::vector<double> values, double q) {
+  std::sort(values.begin(), values.end());
+  return quantile_sorted(values, q);
+}
+
+}  // namespace ssdfail::stats

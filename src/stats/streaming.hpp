@@ -1,0 +1,80 @@
+#pragma once
+
+// Streaming (single-pass, mergeable) statistics used by the fleet-scale
+// characterization pipeline.  Every accumulator here supports merge() so
+// per-thread partials can be combined deterministically.
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "stats/rng.hpp"
+
+namespace ssdfail::stats {
+
+/// Count / mean / variance / min / max in one pass (Welford's algorithm).
+class StreamingSummary {
+ public:
+  void add(double x) noexcept {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+
+  /// Combine with another summary (Chan et al. parallel update).
+  void merge(const StreamingSummary& other) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double variance() const noexcept {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  [[nodiscard]] double sum() const noexcept { return mean_ * static_cast<double>(count_); }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-capacity uniform reservoir sample (Vitter's algorithm R), with a
+/// deterministic seed so results are reproducible.  merge() re-samples the
+/// union, weighting each side by its observed population size.
+class ReservoirSample {
+ public:
+  explicit ReservoirSample(std::size_t capacity, std::uint64_t seed = 0x5eed)
+      : capacity_(capacity), rng_(seed) {}
+
+  void add(double x);
+  void merge(const ReservoirSample& other);
+
+  [[nodiscard]] std::uint64_t population() const noexcept { return seen_; }
+  [[nodiscard]] const std::vector<double>& values() const noexcept { return values_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Sorted copy of the sample (convenience for quantile computation).
+  [[nodiscard]] std::vector<double> sorted() const;
+
+ private:
+  std::size_t capacity_;
+  Rng rng_;
+  std::uint64_t seen_ = 0;
+  std::vector<double> values_;
+};
+
+/// q-quantile (0 <= q <= 1) of a sorted sequence using linear interpolation
+/// (type-7, the numpy/R default).  Returns NaN for an empty input.
+[[nodiscard]] double quantile_sorted(const std::vector<double>& sorted, double q) noexcept;
+
+/// Convenience: copies, sorts, and evaluates a quantile.
+[[nodiscard]] double quantile(std::vector<double> values, double q);
+
+}  // namespace ssdfail::stats

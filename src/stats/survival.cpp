@@ -1,0 +1,85 @@
+#include "stats/survival.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace ssdfail::stats {
+namespace {
+
+void sort_by_time(std::vector<SurvivalObservation>& obs) {
+  std::sort(obs.begin(), obs.end(),
+            [](const SurvivalObservation& a, const SurvivalObservation& b) {
+              if (a.time != b.time) return a.time < b.time;
+              // Events before censorings at ties (the standard convention:
+              // a subject censored at t was still at risk for events at t).
+              return a.event && !b.event;
+            });
+}
+
+}  // namespace
+
+std::vector<SurvivalPoint> kaplan_meier(std::vector<SurvivalObservation> observations) {
+  sort_by_time(observations);
+  std::vector<SurvivalPoint> curve;
+  double survival = 1.0;
+  std::uint64_t at_risk = observations.size();
+  std::size_t i = 0;
+  while (i < observations.size()) {
+    const double t = observations[i].time;
+    std::uint64_t events = 0;
+    std::uint64_t leaving = 0;
+    while (i < observations.size() && observations[i].time == t) {
+      if (observations[i].event) ++events;
+      ++leaving;
+      ++i;
+    }
+    if (events > 0 && at_risk > 0) {
+      survival *= 1.0 - static_cast<double>(events) / static_cast<double>(at_risk);
+      curve.push_back({t, survival, at_risk});
+    }
+    at_risk -= leaving;
+  }
+  return curve;
+}
+
+std::vector<SurvivalPoint> nelson_aalen(std::vector<SurvivalObservation> observations) {
+  sort_by_time(observations);
+  std::vector<SurvivalPoint> curve;
+  double hazard = 0.0;
+  std::uint64_t at_risk = observations.size();
+  std::size_t i = 0;
+  while (i < observations.size()) {
+    const double t = observations[i].time;
+    std::uint64_t events = 0;
+    std::uint64_t leaving = 0;
+    while (i < observations.size() && observations[i].time == t) {
+      if (observations[i].event) ++events;
+      ++leaving;
+      ++i;
+    }
+    if (events > 0 && at_risk > 0) {
+      hazard += static_cast<double>(events) / static_cast<double>(at_risk);
+      curve.push_back({t, hazard, at_risk});
+    }
+    at_risk -= leaving;
+  }
+  return curve;
+}
+
+double step_at(const std::vector<SurvivalPoint>& curve, double t, double initial) {
+  double value = initial;
+  for (const auto& point : curve) {
+    if (point.time > t) break;
+    value = point.value;
+  }
+  return value;
+}
+
+double median_survival(const std::vector<SurvivalPoint>& km_curve) {
+  for (const auto& point : km_curve)
+    if (point.value <= 0.5) return point.time;
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
+}  // namespace ssdfail::stats

@@ -1,0 +1,49 @@
+#pragma once
+
+// Survival analysis under right-censoring.
+//
+// The paper's Figures 3 and 5 plot empirical CDFs with a probability bar
+// for never-observed events; the statistically principled treatment of the
+// same data is the Kaplan-Meier survival estimator (censoring handled per
+// observation, not as an end bar) and the Nelson-Aalen cumulative hazard.
+// bench_fig03/05 print both views.
+
+#include <cstdint>
+#include <vector>
+
+namespace ssdfail::stats {
+
+/// One subject: observed for `time` units; `event` says whether the event
+/// occurred at that time (true) or observation was censored (false).
+struct SurvivalObservation {
+  double time = 0.0;
+  bool event = false;
+};
+
+/// A step of an estimated curve: value on [time, next step's time).
+struct SurvivalPoint {
+  double time = 0.0;
+  double value = 0.0;
+  std::uint64_t at_risk = 0;  ///< subjects at risk just before `time`
+};
+
+/// Kaplan-Meier estimate of S(t) = P(T > t).  Returns the step function's
+/// breakpoints in increasing time order, starting implicitly from S(0)=1.
+/// Empty input yields an empty curve.
+[[nodiscard]] std::vector<SurvivalPoint> kaplan_meier(
+    std::vector<SurvivalObservation> observations);
+
+/// Nelson-Aalen estimate of the cumulative hazard H(t).
+[[nodiscard]] std::vector<SurvivalPoint> nelson_aalen(
+    std::vector<SurvivalObservation> observations);
+
+/// Evaluate a step curve at time t (the value of the latest step <= t;
+/// `initial` before the first step: 1 for KM, 0 for NA).
+[[nodiscard]] double step_at(const std::vector<SurvivalPoint>& curve, double t,
+                             double initial);
+
+/// Median survival time: smallest step time with S(t) <= 0.5, or NaN if the
+/// curve never drops that far (more than half the mass censored).
+[[nodiscard]] double median_survival(const std::vector<SurvivalPoint>& km_curve);
+
+}  // namespace ssdfail::stats

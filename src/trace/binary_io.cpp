@@ -1,0 +1,110 @@
+#include "trace/binary_io.hpp"
+
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace ssdfail::trace {
+namespace {
+
+constexpr char kMagic[4] = {'S', 'S', 'D', 'F'};
+
+template <typename T>
+void put(std::ostream& out, T value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T get(std::istream& in) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) throw std::runtime_error("binary_io: truncated stream");
+  return value;
+}
+
+void put_record(std::ostream& out, const DailyRecord& r) {
+  put<std::int32_t>(out, r.day);
+  put<std::uint32_t>(out, r.reads);
+  put<std::uint32_t>(out, r.writes);
+  put<std::uint32_t>(out, r.erases);
+  put<std::uint32_t>(out, r.pe_cycles);
+  put<std::uint32_t>(out, r.bad_blocks);
+  put<std::uint16_t>(out, r.factory_bad_blocks);
+  put<std::uint8_t>(out, static_cast<std::uint8_t>((r.read_only ? 1 : 0) |
+                                                   (r.dead ? 2 : 0)));
+  for (std::uint32_t e : r.errors) put<std::uint32_t>(out, e);
+}
+
+DailyRecord get_record(std::istream& in) {
+  DailyRecord r;
+  r.day = get<std::int32_t>(in);
+  r.reads = get<std::uint32_t>(in);
+  r.writes = get<std::uint32_t>(in);
+  r.erases = get<std::uint32_t>(in);
+  r.pe_cycles = get<std::uint32_t>(in);
+  r.bad_blocks = get<std::uint32_t>(in);
+  r.factory_bad_blocks = get<std::uint16_t>(in);
+  const auto flags = get<std::uint8_t>(in);
+  r.read_only = (flags & 1) != 0;
+  r.dead = (flags & 2) != 0;
+  for (std::uint32_t& e : r.errors) e = get<std::uint32_t>(in);
+  return r;
+}
+
+}  // namespace
+
+void write_binary(std::ostream& out, const FleetTrace& fleet) {
+  out.write(kMagic, sizeof(kMagic));
+  put<std::uint32_t>(out, kBinaryFormatVersion);
+  put<std::uint64_t>(out, fleet.drives.size());
+  for (const DriveHistory& d : fleet.drives) {
+    put<std::uint8_t>(out, static_cast<std::uint8_t>(d.model));
+    put<std::uint32_t>(out, d.drive_index);
+    put<std::int32_t>(out, d.deploy_day);
+    put<std::uint64_t>(out, d.records.size());
+    for (const DailyRecord& r : d.records) put_record(out, r);
+    put<std::uint64_t>(out, d.swaps.size());
+    for (const SwapEvent& s : d.swaps) put<std::int32_t>(out, s.day);
+  }
+}
+
+FleetTrace read_binary(std::istream& in) {
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+    throw std::runtime_error("binary_io: bad magic (not an ssdfail binary trace)");
+  const auto version = get<std::uint32_t>(in);
+  if (version != kBinaryFormatVersion)
+    throw std::runtime_error("binary_io: unsupported format version " +
+                             std::to_string(version));
+  const auto n_drives = get<std::uint64_t>(in);
+  // Defensive cap: a 64-bit count from a corrupt stream must not OOM us.
+  if (n_drives > (1ull << 32))
+    throw std::runtime_error("binary_io: implausible drive count");
+
+  FleetTrace fleet;
+  fleet.drives.reserve(static_cast<std::size_t>(n_drives));
+  for (std::uint64_t d = 0; d < n_drives; ++d) {
+    DriveHistory drive;
+    const auto model = get<std::uint8_t>(in);
+    if (model >= kNumModels) throw std::runtime_error("binary_io: bad model id");
+    drive.model = static_cast<DriveModel>(model);
+    drive.drive_index = get<std::uint32_t>(in);
+    drive.deploy_day = get<std::int32_t>(in);
+    const auto n_records = get<std::uint64_t>(in);
+    if (n_records > (1ull << 32)) throw std::runtime_error("binary_io: bad record count");
+    drive.records.reserve(static_cast<std::size_t>(n_records));
+    for (std::uint64_t r = 0; r < n_records; ++r) drive.records.push_back(get_record(in));
+    const auto n_swaps = get<std::uint64_t>(in);
+    if (n_swaps > (1ull << 20)) throw std::runtime_error("binary_io: bad swap count");
+    for (std::uint64_t s = 0; s < n_swaps; ++s)
+      drive.swaps.push_back({get<std::int32_t>(in)});
+    fleet.drives.push_back(std::move(drive));
+  }
+  return fleet;
+}
+
+}  // namespace ssdfail::trace

@@ -1,0 +1,26 @@
+#pragma once
+
+// Compact binary trace serialization.
+//
+// CSV (trace_io.hpp) is the interchange format; this is the fast path for
+// large fleets: ~70 bytes per drive-day versus ~200 for CSV, and no
+// parsing.  Little-endian, versioned, with a magic header.  Ground truth
+// is never serialized (same observable-only contract as the CSV path).
+
+#include <iosfwd>
+
+#include "trace/drive_history.hpp"
+
+namespace ssdfail::trace {
+
+/// Current binary format version.
+inline constexpr std::uint32_t kBinaryFormatVersion = 1;
+
+/// Write the fleet (daily records + swap events) to a binary stream.
+void write_binary(std::ostream& out, const FleetTrace& fleet);
+
+/// Read a fleet written by write_binary.  Throws std::runtime_error on a
+/// bad magic, unsupported version, or truncated stream.
+[[nodiscard]] FleetTrace read_binary(std::istream& in);
+
+}  // namespace ssdfail::trace

@@ -1,0 +1,6 @@
+#include "trace/drive_history.hpp"
+
+// Currently header-only logic; translation unit kept so the library has a
+// stable archive member and a place for future out-of-line helpers.
+
+namespace ssdfail::trace {}  // namespace ssdfail::trace

@@ -1,0 +1,30 @@
+#include "trace/schema.hpp"
+
+namespace ssdfail::trace {
+
+std::string_view model_name(DriveModel m) noexcept {
+  switch (m) {
+    case DriveModel::MlcA: return "MLC-A";
+    case DriveModel::MlcB: return "MLC-B";
+    case DriveModel::MlcD: return "MLC-D";
+  }
+  return "MLC-?";
+}
+
+std::string_view error_name(ErrorType e) noexcept {
+  switch (e) {
+    case ErrorType::kCorrectable: return "correctable";
+    case ErrorType::kErase: return "erase";
+    case ErrorType::kFinalRead: return "final_read";
+    case ErrorType::kFinalWrite: return "final_write";
+    case ErrorType::kMeta: return "meta";
+    case ErrorType::kRead: return "read";
+    case ErrorType::kResponse: return "response";
+    case ErrorType::kTimeout: return "timeout";
+    case ErrorType::kUncorrectable: return "uncorrectable";
+    case ErrorType::kWrite: return "write";
+  }
+  return "unknown";
+}
+
+}  // namespace ssdfail::trace

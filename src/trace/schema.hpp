@@ -1,0 +1,113 @@
+#pragma once
+
+// The drive-log schema of Section 2 of the paper.
+//
+// Each drive emits at most one DailyRecord per day of operation: workload
+// counters, cumulative wear, status flags, bad-block counts, and the counts
+// of ten error types.  Swap events (Section 3) live in a separate log.
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace ssdfail::trace {
+
+/// The three MLC drive models of the study.
+enum class DriveModel : std::uint8_t { MlcA = 0, MlcB = 1, MlcD = 2 };
+
+inline constexpr std::size_t kNumModels = 3;
+inline constexpr std::array<DriveModel, kNumModels> kAllModels = {
+    DriveModel::MlcA, DriveModel::MlcB, DriveModel::MlcD};
+
+[[nodiscard]] std::string_view model_name(DriveModel m) noexcept;
+
+/// The ten error types reported by the custom firmware (Section 2).
+enum class ErrorType : std::uint8_t {
+  kCorrectable = 0,   // bits corrected by internal ECC during reads
+  kErase = 1,         // erase operations that failed
+  kFinalRead = 2,     // reads that failed even after retries
+  kFinalWrite = 3,    // writes that failed even after retries
+  kMeta = 4,          // errors reading drive-internal metadata
+  kRead = 5,          // reads that errored but succeeded on retry
+  kResponse = 6,      // bad responses from the drive
+  kTimeout = 7,       // operations that timed out
+  kUncorrectable = 8, // uncorrectable ECC errors during reads
+  kWrite = 9,         // writes that errored but succeeded on retry
+};
+
+inline constexpr std::size_t kNumErrorTypes = 10;
+inline constexpr std::array<ErrorType, kNumErrorTypes> kAllErrorTypes = {
+    ErrorType::kCorrectable, ErrorType::kErase,     ErrorType::kFinalRead,
+    ErrorType::kFinalWrite,  ErrorType::kMeta,      ErrorType::kRead,
+    ErrorType::kResponse,    ErrorType::kTimeout,   ErrorType::kUncorrectable,
+    ErrorType::kWrite};
+
+[[nodiscard]] std::string_view error_name(ErrorType e) noexcept;
+
+/// Transparent errors may be hidden from the user (correctable, erase,
+/// read, write); non-transparent errors may not (final read/write, meta,
+/// response, timeout, uncorrectable).  Section 2.
+[[nodiscard]] constexpr bool is_transparent(ErrorType e) noexcept {
+  switch (e) {
+    case ErrorType::kCorrectable:
+    case ErrorType::kErase:
+    case ErrorType::kRead:
+    case ErrorType::kWrite:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// One day of drive activity, as reported by the log.
+struct DailyRecord {
+  std::int32_t day = 0;          ///< absolute day index within the trace window
+  std::uint32_t reads = 0;       ///< read operations this day
+  std::uint32_t writes = 0;      ///< write operations this day
+  std::uint32_t erases = 0;      ///< erase operations this day
+  std::uint32_t pe_cycles = 0;   ///< cumulative program/erase cycles
+  std::uint32_t bad_blocks = 0;  ///< cumulative non-factory bad blocks
+  std::uint16_t factory_bad_blocks = 0;  ///< bad on arrival (constant)
+  bool read_only = false;        ///< drive operating in read-only mode
+  bool dead = false;             ///< drive reports itself dead
+  std::array<std::uint32_t, kNumErrorTypes> errors{};  ///< per-type daily counts
+
+  [[nodiscard]] std::uint32_t error(ErrorType e) const noexcept {
+    return errors[static_cast<std::size_t>(e)];
+  }
+  [[nodiscard]] bool any_nontransparent_error() const noexcept {
+    for (ErrorType e : kAllErrorTypes)
+      if (!is_transparent(e) && error(e) > 0) return true;
+    return false;
+  }
+  /// A day with no read and no write activity (the paper's notion of
+  /// inactivity used when locating the failure point).
+  [[nodiscard]] bool inactive() const noexcept { return reads == 0 && writes == 0; }
+};
+
+/// A swap event: the drive was physically extracted for repair on `day`.
+/// Every swap corresponds to exactly one preceding catastrophic failure.
+struct SwapEvent {
+  std::int32_t day = 0;
+};
+
+/// Running cumulative totals over a drive's records; used by feature
+/// extraction and the correlation study.
+struct CumulativeState {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t erases = 0;
+  std::array<std::uint64_t, kNumErrorTypes> errors{};
+
+  void apply(const DailyRecord& r) noexcept {
+    reads += r.reads;
+    writes += r.writes;
+    erases += r.erases;
+    for (std::size_t i = 0; i < kNumErrorTypes; ++i) errors[i] += r.errors[i];
+  }
+  [[nodiscard]] std::uint64_t error(ErrorType e) const noexcept {
+    return errors[static_cast<std::size_t>(e)];
+  }
+};
+
+}  // namespace ssdfail::trace

@@ -1,0 +1,115 @@
+#include "trace/trace_io.hpp"
+
+#include <charconv>
+#include <map>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+#include "io/csv.hpp"
+
+namespace ssdfail::trace {
+namespace {
+
+template <typename T>
+T parse_number(const std::string& s) {
+  T value{};
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc() || ptr != s.data() + s.size())
+    throw std::runtime_error("trace_io: bad numeric field '" + s + "'");
+  return value;
+}
+
+DriveModel parse_model(const std::string& s) {
+  for (DriveModel m : kAllModels)
+    if (s == model_name(m)) return m;
+  throw std::runtime_error("trace_io: unknown model '" + s + "'");
+}
+
+}  // namespace
+
+std::string daily_log_header() {
+  std::string h = "drive_uid,model,drive_index,deploy_day,day,reads,writes,erases,"
+                  "pe_cycles,bad_blocks,factory_bad_blocks,read_only,dead";
+  for (ErrorType e : kAllErrorTypes) {
+    h += ',';
+    h += std::string(error_name(e)) + "_errors";
+  }
+  return h;
+}
+
+void write_daily_log(std::ostream& out, const FleetTrace& fleet) {
+  out << daily_log_header() << '\n';
+  for (const auto& d : fleet.drives) {
+    for (const auto& r : d.records) {
+      out << d.uid() << ',' << model_name(d.model) << ',' << d.drive_index << ','
+          << d.deploy_day << ',' << r.day << ',' << r.reads << ',' << r.writes << ','
+          << r.erases << ',' << r.pe_cycles << ',' << r.bad_blocks << ','
+          << r.factory_bad_blocks << ',' << (r.read_only ? 1 : 0) << ','
+          << (r.dead ? 1 : 0);
+      for (std::uint32_t e : r.errors) out << ',' << e;
+      out << '\n';
+    }
+  }
+}
+
+void write_swap_log(std::ostream& out, const FleetTrace& fleet) {
+  out << "drive_uid,model,drive_index,day\n";
+  for (const auto& d : fleet.drives)
+    for (const auto& s : d.swaps)
+      out << d.uid() << ',' << model_name(d.model) << ',' << d.drive_index << ','
+          << s.day << '\n';
+}
+
+FleetTrace read_fleet(std::istream& daily_log, std::istream& swap_log) {
+  const auto daily_rows = io::read_csv(daily_log);
+  const auto swap_rows = io::read_csv(swap_log);
+  if (daily_rows.empty()) throw std::runtime_error("trace_io: empty daily log");
+
+  // uid -> drive, preserving first-seen order via an index map.
+  std::map<std::uint64_t, std::size_t> index;
+  FleetTrace fleet;
+
+  constexpr std::size_t kFixedCols = 13;
+  for (std::size_t row = 1; row < daily_rows.size(); ++row) {
+    const auto& f = daily_rows[row];
+    if (f.size() != kFixedCols + kNumErrorTypes)
+      throw std::runtime_error("trace_io: wrong daily-log column count");
+    const auto uid = parse_number<std::uint64_t>(f[0]);
+    auto [it, inserted] = index.try_emplace(uid, fleet.drives.size());
+    if (inserted) {
+      DriveHistory d;
+      d.model = parse_model(f[1]);
+      d.drive_index = parse_number<std::uint32_t>(f[2]);
+      d.deploy_day = parse_number<std::int32_t>(f[3]);
+      fleet.drives.push_back(std::move(d));
+    }
+    DriveHistory& d = fleet.drives[it->second];
+    DailyRecord r;
+    r.day = parse_number<std::int32_t>(f[4]);
+    r.reads = parse_number<std::uint32_t>(f[5]);
+    r.writes = parse_number<std::uint32_t>(f[6]);
+    r.erases = parse_number<std::uint32_t>(f[7]);
+    r.pe_cycles = parse_number<std::uint32_t>(f[8]);
+    r.bad_blocks = parse_number<std::uint32_t>(f[9]);
+    r.factory_bad_blocks = parse_number<std::uint16_t>(f[10]);
+    r.read_only = parse_number<int>(f[11]) != 0;
+    r.dead = parse_number<int>(f[12]) != 0;
+    for (std::size_t e = 0; e < kNumErrorTypes; ++e)
+      r.errors[e] = parse_number<std::uint32_t>(f[kFixedCols + e]);
+    d.records.push_back(r);
+  }
+
+  for (std::size_t row = 1; row < swap_rows.size(); ++row) {
+    const auto& f = swap_rows[row];
+    if (f.size() != 4) throw std::runtime_error("trace_io: wrong swap-log column count");
+    const auto uid = parse_number<std::uint64_t>(f[0]);
+    const auto it = index.find(uid);
+    if (it == index.end())
+      throw std::runtime_error("trace_io: swap event for unknown drive");
+    fleet.drives[it->second].swaps.push_back({parse_number<std::int32_t>(f[3])});
+  }
+  return fleet;
+}
+
+}  // namespace ssdfail::trace

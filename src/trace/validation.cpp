@@ -1,0 +1,68 @@
+#include "trace/validation.hpp"
+
+namespace ssdfail::trace {
+
+std::string_view violation_name(ViolationKind kind) noexcept {
+  switch (kind) {
+    case ViolationKind::kNonMonotoneDays: return "non-monotone record days";
+    case ViolationKind::kRecordBeforeDeploy: return "record before deploy day";
+    case ViolationKind::kDecreasingPeCycles: return "decreasing P/E cycles";
+    case ViolationKind::kDecreasingBadBlocks: return "decreasing bad blocks";
+    case ViolationKind::kFactoryBadBlocksChanged: return "factory bad blocks changed";
+    case ViolationKind::kSwapsOutOfOrder: return "swap days out of order";
+    case ViolationKind::kSwapBeforeActivity: return "swap precedes all records";
+    case ViolationKind::kErasesWithoutWrites: return "erases on a zero-write day";
+  }
+  return "unknown";
+}
+
+void validate_history(const DriveHistory& drive, std::vector<Violation>& out) {
+  const std::uint64_t uid = drive.uid();
+  auto report = [&](ViolationKind kind, std::int32_t day, std::string detail) {
+    out.push_back({kind, uid, day, std::move(detail)});
+  };
+
+  const DailyRecord* prev = nullptr;
+  for (const DailyRecord& rec : drive.records) {
+    if (rec.day < drive.deploy_day)
+      report(ViolationKind::kRecordBeforeDeploy, rec.day,
+             "deploy day is " + std::to_string(drive.deploy_day));
+    if (rec.erases > 0 && rec.writes == 0)
+      report(ViolationKind::kErasesWithoutWrites, rec.day,
+             std::to_string(rec.erases) + " erases");
+    if (prev != nullptr) {
+      if (rec.day <= prev->day)
+        report(ViolationKind::kNonMonotoneDays, rec.day,
+               "previous record at day " + std::to_string(prev->day));
+      if (rec.pe_cycles < prev->pe_cycles)
+        report(ViolationKind::kDecreasingPeCycles, rec.day,
+               std::to_string(prev->pe_cycles) + " -> " + std::to_string(rec.pe_cycles));
+      if (rec.bad_blocks < prev->bad_blocks)
+        report(ViolationKind::kDecreasingBadBlocks, rec.day,
+               std::to_string(prev->bad_blocks) + " -> " + std::to_string(rec.bad_blocks));
+      if (rec.factory_bad_blocks != prev->factory_bad_blocks)
+        report(ViolationKind::kFactoryBadBlocksChanged, rec.day,
+               std::to_string(prev->factory_bad_blocks) + " -> " +
+                   std::to_string(rec.factory_bad_blocks));
+    }
+    prev = &rec;
+  }
+
+  const SwapEvent* prev_swap = nullptr;
+  for (const SwapEvent& swap : drive.swaps) {
+    if (prev_swap != nullptr && swap.day <= prev_swap->day)
+      report(ViolationKind::kSwapsOutOfOrder, swap.day,
+             "previous swap at day " + std::to_string(prev_swap->day));
+    if (drive.records.empty() || swap.day <= drive.records.front().day)
+      report(ViolationKind::kSwapBeforeActivity, swap.day, "");
+    prev_swap = &swap;
+  }
+}
+
+std::vector<Violation> validate_fleet(const FleetTrace& fleet) {
+  std::vector<Violation> out;
+  for (const DriveHistory& drive : fleet.drives) validate_history(drive, out);
+  return out;
+}
+
+}  // namespace ssdfail::trace

@@ -1,0 +1,43 @@
+#pragma once
+
+// Structural validation of imported traces.
+//
+// Real-world log pipelines produce malformed data: out-of-order rows,
+// cumulative counters that go backwards after a controller reset, swap
+// events that precede any activity.  validate() reports every violation
+// (rather than failing fast) so an operator can triage an import.
+
+#include <string>
+#include <vector>
+
+#include "trace/drive_history.hpp"
+
+namespace ssdfail::trace {
+
+enum class ViolationKind {
+  kNonMonotoneDays,        ///< record days not strictly increasing
+  kRecordBeforeDeploy,     ///< a record predates the deploy day
+  kDecreasingPeCycles,     ///< cumulative P/E went backwards
+  kDecreasingBadBlocks,    ///< cumulative bad blocks went backwards
+  kFactoryBadBlocksChanged,///< the factory count is not constant
+  kSwapsOutOfOrder,        ///< swap days not strictly increasing
+  kSwapBeforeActivity,     ///< a swap precedes every record
+  kErasesWithoutWrites,    ///< erase ops reported on a zero-write day
+};
+
+[[nodiscard]] std::string_view violation_name(ViolationKind kind) noexcept;
+
+struct Violation {
+  ViolationKind kind;
+  std::uint64_t drive_uid = 0;
+  std::int32_t day = 0;      ///< day the violation was detected at
+  std::string detail;
+};
+
+/// Validate one drive's history; appends violations to `out`.
+void validate_history(const DriveHistory& drive, std::vector<Violation>& out);
+
+/// Validate a whole fleet; returns all violations found.
+[[nodiscard]] std::vector<Violation> validate_fleet(const FleetTrace& fleet);
+
+}  // namespace ssdfail::trace

@@ -1,0 +1,158 @@
+#include "core/characterization.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/fleet_analysis.hpp"
+#include "sim/fleet_simulator.hpp"
+
+namespace ssdfail::core {
+namespace {
+
+using trace::DailyRecord;
+using trace::DriveHistory;
+using trace::ErrorType;
+
+DriveHistory simple_drive(std::uint32_t index, std::int32_t days, bool fail_at_end) {
+  DriveHistory d;
+  d.model = trace::DriveModel::MlcA;
+  d.drive_index = index;
+  d.deploy_day = 0;
+  for (std::int32_t day = 0; day < days; ++day) {
+    DailyRecord r;
+    r.day = day;
+    r.reads = 1000;
+    r.writes = 500;
+    if (day % 3 == 0)
+      r.errors[static_cast<std::size_t>(ErrorType::kCorrectable)] = 10;
+    d.records.push_back(r);
+  }
+  if (fail_at_end) d.swaps.push_back({days + 2});
+  return d;
+}
+
+TEST(Characterization, Table1CountsErrorDays) {
+  CharacterizationSuite suite;
+  suite.add(simple_drive(1, 9, false));
+  const auto& inc = suite.incidence(trace::DriveModel::MlcA);
+  EXPECT_EQ(inc.drive_days, 9u);
+  EXPECT_EQ(inc.error_days[static_cast<std::size_t>(ErrorType::kCorrectable)], 3u);
+  EXPECT_EQ(inc.error_days[static_cast<std::size_t>(ErrorType::kUncorrectable)], 0u);
+}
+
+TEST(Characterization, Table3FailureIncidence) {
+  CharacterizationSuite suite;
+  suite.add(simple_drive(1, 30, true));
+  suite.add(simple_drive(2, 30, false));
+  const auto& fi = suite.failure_incidence(trace::DriveModel::MlcA);
+  EXPECT_EQ(fi.drives, 2u);
+  EXPECT_EQ(fi.drives_failed, 1u);
+  EXPECT_EQ(fi.failures, 1u);
+  EXPECT_EQ(suite.failure_count_histogram()[0], 1u);
+  EXPECT_EQ(suite.failure_count_histogram()[1], 1u);
+}
+
+TEST(Characterization, Fig3CensoredMass) {
+  CharacterizationSuite suite;
+  suite.add(simple_drive(1, 30, true));
+  suite.add(simple_drive(2, 30, false));
+  suite.add(simple_drive(3, 30, false));
+  EXPECT_NEAR(suite.op_period_years().censored_fraction(), 2.0 / 3.0, 1e-9);
+}
+
+TEST(Characterization, Fig4NonopDays) {
+  CharacterizationSuite suite;
+  suite.add(simple_drive(1, 30, true));  // fail day 29, swap day 32 -> 3 days
+  ASSERT_EQ(suite.nonop_days().size(), 1u);
+  EXPECT_DOUBLE_EQ(suite.nonop_days().sorted_samples()[0], 3.0);
+}
+
+TEST(Characterization, MergeMatchesSequential) {
+  CharacterizationSuite together;
+  CharacterizationSuite a;
+  CharacterizationSuite b;
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    const DriveHistory d = simple_drive(i, 20 + i, i % 2 == 0);
+    together.add(d);
+    (i < 5 ? a : b).add(d);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.incidence(trace::DriveModel::MlcA).drive_days,
+            together.incidence(trace::DriveModel::MlcA).drive_days);
+  EXPECT_EQ(a.failure_incidence(trace::DriveModel::MlcA).failures,
+            together.failure_incidence(trace::DriveModel::MlcA).failures);
+  EXPECT_EQ(a.total_drives(), together.total_drives());
+  EXPECT_EQ(a.max_age_years().size(), together.max_age_years().size());
+}
+
+TEST(Characterization, Fig11PrefailureUeProbability) {
+  // A drive with a UE exactly 2 days before failure: "UE within n days"
+  // must be 0 for n<2 and 1 for n>=2.
+  DriveHistory d = simple_drive(1, 30, true);
+  d.records[27].errors[static_cast<std::size_t>(ErrorType::kUncorrectable)] = 5;
+  CharacterizationSuite suite;
+  suite.add(d);
+  // The failure is at age 29, i.e. a YOUNG failure.
+  EXPECT_DOUBLE_EQ(suite.ue_within_days(true, 0), 0.0);
+  EXPECT_DOUBLE_EQ(suite.ue_within_days(true, 1), 0.0);
+  EXPECT_DOUBLE_EQ(suite.ue_within_days(true, 2), 1.0);
+  EXPECT_DOUBLE_EQ(suite.ue_within_days(true, 7), 1.0);
+  // The count lands in the offset-2 reservoir.
+  EXPECT_EQ(suite.prefailure_ue_counts(true, 2).values().size(), 1u);
+  EXPECT_DOUBLE_EQ(suite.prefailure_ue_counts(true, 2).values()[0], 5.0);
+}
+
+TEST(Characterization, Fig11BaselineUsesAllWindows) {
+  DriveHistory d = simple_drive(1, 20, false);
+  d.records[4].errors[static_cast<std::size_t>(ErrorType::kUncorrectable)] = 1;
+  CharacterizationSuite suite;
+  suite.add(d);
+  // n=1: 20 windows, exactly one with a UE.
+  EXPECT_NEAR(suite.baseline_ue_within_days(1), 1.0 / 20.0, 1e-9);
+  // n=2: 10 windows, one containing the UE day.
+  EXPECT_NEAR(suite.baseline_ue_within_days(2), 1.0 / 10.0, 1e-9);
+}
+
+TEST(Characterization, Fig10ClassAssignment) {
+  CharacterizationSuite suite;
+  // Failure at day 29 (age 29 <= 90) -> young failed class.
+  suite.add(simple_drive(1, 30, true));
+  suite.add(simple_drive(2, 30, false));
+  EXPECT_EQ(suite.cum_ue_cdf(CharacterizationSuite::DriveClass::kYoungFailed).size(), 1u);
+  EXPECT_EQ(suite.cum_ue_cdf(CharacterizationSuite::DriveClass::kOldFailed).size(), 0u);
+  EXPECT_EQ(suite.cum_ue_cdf(CharacterizationSuite::DriveClass::kNotFailed).size(), 1u);
+}
+
+TEST(Characterization, CorrelationMatrixShape) {
+  CharacterizationSuite suite;
+  for (std::uint32_t i = 0; i < 30; ++i) suite.add(simple_drive(i, 20 + i, false));
+  const auto matrix = suite.correlation_matrix();
+  ASSERT_EQ(matrix.size(), kCorrVars);
+  for (const auto& row : matrix) ASSERT_EQ(row.size(), kCorrVars);
+  for (std::size_t i = 0; i < kCorrVars; ++i) EXPECT_DOUBLE_EQ(matrix[i][i], 1.0);
+}
+
+TEST(Characterization, ParallelCharacterizeMatchesSequential) {
+  sim::FleetConfig cfg;
+  cfg.drives_per_model = 60;
+  sim::FleetSimulator fsim(cfg);
+  const CharacterizationSuite parallel_suite = characterize(fsim);
+  const CharacterizationSuite sequential_suite = characterize(fsim.generate_all());
+  for (trace::DriveModel m : trace::kAllModels) {
+    EXPECT_EQ(parallel_suite.incidence(m).drive_days,
+              sequential_suite.incidence(m).drive_days);
+    EXPECT_EQ(parallel_suite.failure_incidence(m).failures,
+              sequential_suite.failure_incidence(m).failures);
+  }
+  EXPECT_EQ(parallel_suite.nonop_days().size(), sequential_suite.nonop_days().size());
+}
+
+TEST(Characterization, WriteIntensityByMonth) {
+  CharacterizationSuite suite;
+  suite.add(simple_drive(1, 65, false));  // ~2 months of days
+  EXPECT_GT(suite.writes_at_month(0).population(), 0u);
+  EXPECT_GT(suite.writes_at_month(1).population(), 0u);
+  EXPECT_EQ(suite.writes_at_month(10).population(), 0u);
+}
+
+}  // namespace
+}  // namespace ssdfail::core

@@ -1,0 +1,197 @@
+#include "core/dataset_builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/failure_timeline.hpp"
+
+namespace ssdfail::core {
+namespace {
+
+using trace::DailyRecord;
+using trace::DriveHistory;
+using trace::FleetTrace;
+
+DriveHistory make_failing_drive(std::uint32_t index, std::int32_t fail_day,
+                                std::int32_t swap_day, std::int32_t horizon) {
+  DriveHistory d;
+  d.model = trace::DriveModel::MlcB;
+  d.drive_index = index;
+  d.deploy_day = 0;
+  for (std::int32_t day = 0; day <= fail_day; ++day) {
+    DailyRecord r;
+    r.day = day;
+    r.reads = 100;
+    r.writes = 100;
+    d.records.push_back(r);
+  }
+  d.swaps.push_back({swap_day});
+  for (std::int32_t day = swap_day + 60; day < horizon; ++day) {
+    DailyRecord r;
+    r.day = day;
+    r.reads = 100;
+    r.writes = 100;
+    d.records.push_back(r);
+  }
+  return d;
+}
+
+DriveHistory make_healthy_drive(std::uint32_t index, std::int32_t days) {
+  DriveHistory d;
+  d.model = trace::DriveModel::MlcA;
+  d.drive_index = index;
+  d.deploy_day = 0;
+  for (std::int32_t day = 0; day < days; ++day) {
+    DailyRecord r;
+    r.day = day;
+    r.reads = 100;
+    r.writes = 100;
+    d.records.push_back(r);
+  }
+  return d;
+}
+
+TEST(DatasetBuilder, PositiveLabelsMatchLookahead) {
+  FleetTrace fleet;
+  fleet.drives.push_back(make_failing_drive(1, 50, 55, 0));
+  DatasetBuildOptions opts;
+  opts.lookahead_days = 3;
+  opts.negative_keep_prob = 1.0;  // keep everything
+  const ml::Dataset data = build_dataset(fleet, opts);
+  // Days 0..50 are operational; positives are days 48, 49, 50 (dtf < 3).
+  EXPECT_EQ(data.size(), 51u);
+  EXPECT_EQ(data.positives(), 3u);
+  const std::size_t age_col = FeatureExtractor::age_index();
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const bool should_be_positive = data.x(i, age_col) >= 48.0f;
+    EXPECT_EQ(data.y[i] > 0.5f, should_be_positive) << "row " << i;
+  }
+}
+
+TEST(DatasetBuilder, PostFailureLimboExcluded) {
+  FleetTrace fleet;
+  fleet.drives.push_back(make_failing_drive(1, 50, 55, 200));  // re-enters at 115
+  DatasetBuildOptions opts;
+  opts.lookahead_days = 1;
+  opts.negative_keep_prob = 1.0;
+  const ml::Dataset data = build_dataset(fleet, opts);
+  // 51 pre-failure days + (200-115) post-re-entry days; nothing in between.
+  EXPECT_EQ(data.size(), 51u + 85u);
+}
+
+TEST(DatasetBuilder, NegativeSubsamplingKeepsAllPositives) {
+  FleetTrace fleet;
+  for (std::uint32_t i = 0; i < 20; ++i)
+    fleet.drives.push_back(make_failing_drive(i, 100, 104, 0));
+  DatasetBuildOptions opts;
+  opts.lookahead_days = 2;
+  opts.negative_keep_prob = 0.05;
+  const ml::Dataset data = build_dataset(fleet, opts);
+  EXPECT_EQ(data.positives(), 40u);  // 2 per drive
+  EXPECT_LT(data.size(), 20u * 101u / 4);
+  EXPECT_GT(data.size(), 40u);
+}
+
+TEST(DatasetBuilder, DeterministicAcrossRuns) {
+  FleetTrace fleet;
+  for (std::uint32_t i = 0; i < 10; ++i)
+    fleet.drives.push_back(make_healthy_drive(i, 300));
+  DatasetBuildOptions opts;
+  opts.negative_keep_prob = 0.1;
+  const ml::Dataset a = build_dataset(fleet, opts);
+  const ml::Dataset b = build_dataset(fleet, opts);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) ASSERT_EQ(a.groups[i], b.groups[i]);
+}
+
+TEST(DatasetBuilder, SeedChangesNegativeSample) {
+  FleetTrace fleet;
+  for (std::uint32_t i = 0; i < 10; ++i)
+    fleet.drives.push_back(make_healthy_drive(i, 300));
+  DatasetBuildOptions a_opts;
+  a_opts.negative_keep_prob = 0.1;
+  a_opts.seed = 1;
+  DatasetBuildOptions b_opts = a_opts;
+  b_opts.seed = 2;
+  const ml::Dataset a = build_dataset(fleet, a_opts);
+  const ml::Dataset b = build_dataset(fleet, b_opts);
+  EXPECT_NE(a.size(), b.size());  // different sample (overwhelmingly likely)
+}
+
+TEST(DatasetBuilder, ModelFilter) {
+  FleetTrace fleet;
+  fleet.drives.push_back(make_healthy_drive(1, 100));            // MLC-A
+  fleet.drives.push_back(make_failing_drive(2, 50, 52, 0));      // MLC-B
+  DatasetBuildOptions opts;
+  opts.negative_keep_prob = 1.0;
+  opts.model_filter = trace::DriveModel::MlcB;
+  const ml::Dataset data = build_dataset(fleet, opts);
+  EXPECT_EQ(data.size(), 51u);
+  for (std::uint64_t g : data.groups)
+    EXPECT_EQ(g >> 32, static_cast<std::uint64_t>(trace::DriveModel::MlcB));
+}
+
+TEST(DatasetBuilder, AgeFilterSplitsAt90Days) {
+  FleetTrace fleet;
+  fleet.drives.push_back(make_healthy_drive(1, 200));
+  DatasetBuildOptions young;
+  young.negative_keep_prob = 1.0;
+  young.age_filter = DatasetBuildOptions::AgeFilter::kYoungOnly;
+  DatasetBuildOptions old = young;
+  old.age_filter = DatasetBuildOptions::AgeFilter::kOldOnly;
+  const ml::Dataset dy = build_dataset(fleet, young);
+  const ml::Dataset dold = build_dataset(fleet, old);
+  EXPECT_EQ(dy.size(), 91u);   // ages 0..90 inclusive
+  EXPECT_EQ(dold.size(), 109u);
+  EXPECT_EQ(dy.size() + dold.size(), 200u);
+}
+
+TEST(DatasetBuilder, ErrorLabelIsStrictlyFuture) {
+  DriveHistory d = make_healthy_drive(1, 10);
+  d.records[5].errors[static_cast<std::size_t>(trace::ErrorType::kUncorrectable)] = 7;
+  FleetTrace fleet;
+  fleet.drives.push_back(d);
+  DatasetBuildOptions opts;
+  opts.negative_keep_prob = 1.0;
+  opts.lookahead_days = 2;
+  opts.error_label = trace::ErrorType::kUncorrectable;
+  const ml::Dataset data = build_dataset(fleet, opts);
+  ASSERT_EQ(data.size(), 10u);
+  // Days 3 and 4 see the UE within the next 2 days; day 5 itself does not
+  // (its own error is a feature, not a label).
+  const std::size_t age_col = FeatureExtractor::age_index();
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const float age = data.x(i, age_col);
+    const bool expect_positive = age == 3.0f || age == 4.0f;
+    EXPECT_EQ(data.y[i] > 0.5f, expect_positive) << "age " << age;
+  }
+}
+
+TEST(DatasetBuilder, BadLookaheadThrows) {
+  FleetTrace fleet;
+  fleet.drives.push_back(make_healthy_drive(1, 10));
+  DatasetBuildOptions opts;
+  opts.lookahead_days = 0;
+  EXPECT_THROW((void)build_dataset(fleet, opts), std::invalid_argument);
+}
+
+TEST(DatasetBuilder, StreamingMatchesInMemory) {
+  sim::FleetConfig cfg;
+  cfg.drives_per_model = 50;
+  sim::FleetSimulator fsim(cfg);
+  const trace::FleetTrace fleet = fsim.generate_all();
+  DatasetBuildOptions opts;
+  opts.negative_keep_prob = 0.2;
+  const ml::Dataset streamed = build_dataset(fsim, opts);
+  const ml::Dataset in_memory = build_dataset(fleet, opts);
+  ASSERT_EQ(streamed.size(), in_memory.size());
+  EXPECT_EQ(streamed.positives(), in_memory.positives());
+  for (std::size_t i = 0; i < streamed.size(); ++i) {
+    ASSERT_EQ(streamed.groups[i], in_memory.groups[i]);
+    ASSERT_EQ(streamed.y[i], in_memory.y[i]);
+  }
+}
+
+}  // namespace
+}  // namespace ssdfail::core

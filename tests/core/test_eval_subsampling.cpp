@@ -1,0 +1,98 @@
+// Validates the DESIGN.md substitution claim: uniformly subsampling
+// NEGATIVE test rows leaves the ROC curve (and AUC) unbiased, because TPR
+// and FPR are each computed within one class.  This is what licenses
+// evaluating on a negative-subsampled test fold instead of the full 40M-day
+// imbalanced set.
+
+#include <gtest/gtest.h>
+
+#include "core/dataset_builder.hpp"
+#include "core/prediction.hpp"
+#include "ml/model_zoo.hpp"
+#include "sim/fleet_simulator.hpp"
+#include "stats/rng.hpp"
+
+namespace ssdfail::core {
+namespace {
+
+TEST(EvalSubsampling, AucInvariantUnderNegativeSubsampling) {
+  // Synthetic scores with a known distribution: AUC on the full set vs on
+  // negative-subsampled sets.
+  stats::Rng rng(12);
+  std::vector<float> scores;
+  std::vector<float> labels;
+  for (int i = 0; i < 2000; ++i) {
+    scores.push_back(static_cast<float>(0.55 + 0.25 * rng.normal()));
+    labels.push_back(1.0f);
+  }
+  for (int i = 0; i < 200000; ++i) {
+    scores.push_back(static_cast<float>(0.45 + 0.25 * rng.normal()));
+    labels.push_back(0.0f);
+  }
+  const double full_auc = ml::roc_auc(scores, labels);
+
+  for (double keep : {0.1, 0.02}) {
+    std::vector<float> sub_scores;
+    std::vector<float> sub_labels;
+    stats::Rng keep_rng(static_cast<std::uint64_t>(keep * 1e6));
+    for (std::size_t i = 0; i < scores.size(); ++i) {
+      if (labels[i] > 0.5f || keep_rng.bernoulli(keep)) {
+        sub_scores.push_back(scores[i]);
+        sub_labels.push_back(labels[i]);
+      }
+    }
+    const double sub_auc = ml::roc_auc(sub_scores, sub_labels);
+    EXPECT_NEAR(sub_auc, full_auc, 0.01) << "keep=" << keep;
+  }
+}
+
+TEST(EvalSubsampling, DatasetLevelAucStableAcrossKeepProbs) {
+  // End-to-end: the same fleet evaluated at two different negative keep
+  // probabilities must produce nearly identical CV AUC.
+  sim::FleetConfig cfg;
+  cfg.drives_per_model = 500;
+  sim::FleetSimulator fsim(cfg);
+
+  auto auc_at = [&](double keep_prob) {
+    DatasetBuildOptions opts;
+    opts.lookahead_days = 1;
+    opts.negative_keep_prob = keep_prob;
+    const ml::Dataset data = build_dataset(fsim, opts);
+    auto model = ml::make_model(ml::ModelKind::kDecisionTree);
+    return evaluate_auc(*model, data).auc().mean;
+  };
+
+  const double auc_dense = auc_at(0.05);
+  const double auc_sparse = auc_at(0.01);
+  EXPECT_NEAR(auc_dense, auc_sparse, 0.04);
+}
+
+TEST(EvalSubsampling, TprUnaffectedFprEstimateUnbiased) {
+  stats::Rng rng(77);
+  std::vector<float> scores;
+  std::vector<float> labels;
+  for (int i = 0; i < 1000; ++i) {
+    scores.push_back(static_cast<float>(rng.uniform()));
+    labels.push_back(1.0f);
+  }
+  for (int i = 0; i < 100000; ++i) {
+    scores.push_back(static_cast<float>(rng.uniform() * 0.8));
+    labels.push_back(0.0f);
+  }
+  const auto full = ml::confusion_at(scores, labels, 0.5);
+
+  std::vector<float> sub_scores;
+  std::vector<float> sub_labels;
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    if (labels[i] > 0.5f || rng.bernoulli(0.05)) {
+      sub_scores.push_back(scores[i]);
+      sub_labels.push_back(labels[i]);
+    }
+  }
+  const auto sub = ml::confusion_at(sub_scores, sub_labels, 0.5);
+  EXPECT_DOUBLE_EQ(sub.tpr(), full.tpr());        // positives untouched
+  EXPECT_NEAR(sub.fpr(), full.fpr(), 0.01);       // unbiased estimate
+}
+
+}  // namespace
+}  // namespace ssdfail::core

@@ -1,0 +1,193 @@
+#include "core/failure_timeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "sim/fleet_simulator.hpp"
+
+namespace ssdfail::core {
+namespace {
+
+using trace::DailyRecord;
+using trace::DriveHistory;
+using trace::SwapEvent;
+
+DailyRecord active_day(std::int32_t day) {
+  DailyRecord r;
+  r.day = day;
+  r.reads = 100;
+  r.writes = 200;
+  return r;
+}
+
+DailyRecord inactive_day(std::int32_t day) {
+  DailyRecord r;
+  r.day = day;
+  return r;
+}
+
+TEST(DeriveTimeline, FailureIsLastActiveDayBeforeSwap) {
+  DriveHistory d;
+  d.deploy_day = 0;
+  for (std::int32_t day = 0; day <= 10; ++day) d.records.push_back(active_day(day));
+  d.swaps.push_back({15});
+
+  const DriveTimeline t = derive_timeline(d);
+  ASSERT_EQ(t.failures.size(), 1u);
+  EXPECT_EQ(t.failures[0].fail_day, 10);
+  EXPECT_EQ(t.failures[0].swap_day, 15);
+  EXPECT_EQ(t.failures[0].nonop_days(), 5);
+  EXPECT_EQ(t.failures[0].age_at_failure, 10);
+}
+
+TEST(DeriveTimeline, TrailingInactiveDaysBelongToLimbo) {
+  // Paper: the failure happens BEFORE the inactivity period, if one exists.
+  DriveHistory d;
+  d.deploy_day = 0;
+  for (std::int32_t day = 0; day <= 5; ++day) d.records.push_back(active_day(day));
+  for (std::int32_t day = 6; day <= 9; ++day) d.records.push_back(inactive_day(day));
+  d.swaps.push_back({12});
+
+  const DriveTimeline t = derive_timeline(d);
+  ASSERT_EQ(t.failures.size(), 1u);
+  EXPECT_EQ(t.failures[0].fail_day, 5);
+  EXPECT_EQ(t.failures[0].nonop_days(), 7);
+}
+
+TEST(DeriveTimeline, CensoredPeriodWhenNoSwap) {
+  DriveHistory d;
+  d.deploy_day = 3;
+  for (std::int32_t day = 3; day <= 30; ++day) d.records.push_back(active_day(day));
+
+  const DriveTimeline t = derive_timeline(d);
+  EXPECT_TRUE(t.failures.empty());
+  ASSERT_EQ(t.periods.size(), 1u);
+  EXPECT_FALSE(t.periods[0].ended_in_failure);
+  EXPECT_EQ(t.periods[0].length(), 28);
+}
+
+TEST(DeriveTimeline, ReentryStartsNewPeriod) {
+  DriveHistory d;
+  d.deploy_day = 0;
+  for (std::int32_t day = 0; day <= 5; ++day) d.records.push_back(active_day(day));
+  d.swaps.push_back({8});
+  for (std::int32_t day = 20; day <= 40; ++day) d.records.push_back(active_day(day));
+
+  const DriveTimeline t = derive_timeline(d);
+  ASSERT_EQ(t.failures.size(), 1u);
+  ASSERT_EQ(t.periods.size(), 2u);
+  EXPECT_TRUE(t.periods[0].ended_in_failure);
+  EXPECT_FALSE(t.periods[1].ended_in_failure);
+  EXPECT_EQ(t.periods[1].start_day, 20);
+  ASSERT_EQ(t.repairs.size(), 1u);
+  ASSERT_TRUE(t.repairs[0].reentry_day.has_value());
+  EXPECT_EQ(*t.repairs[0].reentry_day, 20);
+  EXPECT_EQ(*t.repairs[0].repair_days(), 12);
+}
+
+TEST(DeriveTimeline, NeverReturnedRepairIsCensored) {
+  DriveHistory d;
+  d.deploy_day = 0;
+  for (std::int32_t day = 0; day <= 5; ++day) d.records.push_back(active_day(day));
+  d.swaps.push_back({8});
+
+  const DriveTimeline t = derive_timeline(d);
+  ASSERT_EQ(t.repairs.size(), 1u);
+  EXPECT_FALSE(t.repairs[0].reentry_day.has_value());
+  EXPECT_FALSE(t.repairs[0].repair_days().has_value());
+}
+
+TEST(DeriveTimeline, MultipleFailures) {
+  DriveHistory d;
+  d.deploy_day = 0;
+  for (std::int32_t day = 0; day <= 5; ++day) d.records.push_back(active_day(day));
+  d.swaps.push_back({7});
+  for (std::int32_t day = 30; day <= 50; ++day) d.records.push_back(active_day(day));
+  d.swaps.push_back({53});
+
+  const DriveTimeline t = derive_timeline(d);
+  ASSERT_EQ(t.failures.size(), 2u);
+  EXPECT_EQ(t.failures[0].fail_day, 5);
+  EXPECT_EQ(t.failures[1].fail_day, 50);
+  EXPECT_EQ(t.periods.size(), 2u);
+  EXPECT_TRUE(t.periods[1].ended_in_failure);
+}
+
+TEST(DeriveTimeline, EmptyDriveYieldsEmptyTimeline) {
+  DriveHistory d;
+  const DriveTimeline t = derive_timeline(d);
+  EXPECT_TRUE(t.failures.empty());
+  EXPECT_TRUE(t.periods.empty());
+}
+
+TEST(DeriveTimeline, CumulativeUeCapturedAtFailure) {
+  DriveHistory d;
+  d.deploy_day = 0;
+  for (std::int32_t day = 0; day <= 4; ++day) {
+    DailyRecord r = active_day(day);
+    r.errors[static_cast<std::size_t>(trace::ErrorType::kUncorrectable)] = 10;
+    d.records.push_back(r);
+  }
+  d.swaps.push_back({6});
+  const DriveTimeline t = derive_timeline(d);
+  ASSERT_EQ(t.failures.size(), 1u);
+  EXPECT_EQ(t.failures[0].cum_ue, 50u);
+}
+
+TEST(DaysToNextFailure, BeforeAtAndAfter) {
+  DriveHistory d;
+  d.deploy_day = 0;
+  for (std::int32_t day = 0; day <= 5; ++day) d.records.push_back(active_day(day));
+  d.swaps.push_back({7});
+  const DriveTimeline t = derive_timeline(d);
+  EXPECT_EQ(days_to_next_failure(t, 3), 2);
+  EXPECT_EQ(days_to_next_failure(t, 5), 0);
+  EXPECT_EQ(days_to_next_failure(t, 6), std::numeric_limits<std::int32_t>::max());
+}
+
+TEST(InFailedState, CoversLimboAndRepair) {
+  DriveHistory d;
+  d.deploy_day = 0;
+  for (std::int32_t day = 0; day <= 5; ++day) d.records.push_back(active_day(day));
+  d.swaps.push_back({8});
+  for (std::int32_t day = 20; day <= 25; ++day) d.records.push_back(active_day(day));
+  const DriveTimeline t = derive_timeline(d);
+  EXPECT_FALSE(in_failed_state(t, 5));   // the failure day itself is operational
+  EXPECT_TRUE(in_failed_state(t, 6));    // limbo
+  EXPECT_TRUE(in_failed_state(t, 10));   // in repair
+  EXPECT_TRUE(in_failed_state(t, 19));
+  EXPECT_FALSE(in_failed_state(t, 20));  // re-entered
+}
+
+TEST(DeriveTimeline, MatchesSimulatorGroundTruth) {
+  // The acid test: the observable-only derivation must recover the
+  // simulator's hidden failure days (and swap pairing) for a real fleet.
+  sim::FleetConfig cfg;
+  cfg.drives_per_model = 400;
+  sim::FleetSimulator fsim(cfg);
+  std::size_t checked = 0;
+  for (std::size_t i = 0; i < fsim.drive_count(); ++i) {
+    const auto drive = fsim.simulate(i);
+    const DriveTimeline t = derive_timeline(drive);
+    ASSERT_EQ(t.failures.size(), drive.swaps.size());
+    // Every derived failure must match a ground-truth failure day exactly,
+    // unless log loss swallowed the true failure-day record (then the
+    // derived day falls at most a few days earlier).
+    const auto& truth_days = drive.truth->failure_days;
+    for (const auto& f : t.failures) {
+      bool exact = false;
+      bool close = false;
+      for (std::int32_t td : truth_days) {
+        if (f.fail_day == td) exact = true;
+        if (td - f.fail_day >= 0 && td - f.fail_day <= 5) close = true;
+      }
+      EXPECT_TRUE(exact || close) << "drive " << i << " day " << f.fail_day;
+      if (exact) ++checked;
+    }
+  }
+  EXPECT_GT(checked, 100u);
+}
+
+}  // namespace
+}  // namespace ssdfail::core

@@ -1,0 +1,128 @@
+#include "core/online_monitor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/dataset_builder.hpp"
+#include "core/failure_timeline.hpp"
+#include "ml/downsample.hpp"
+#include "ml/model_zoo.hpp"
+#include "sim/fleet_simulator.hpp"
+
+namespace ssdfail::core {
+namespace {
+
+/// Fitted forest shared by monitor tests.
+std::shared_ptr<const ml::Classifier> fitted_model() {
+  static const std::shared_ptr<const ml::Classifier> model = [] {
+    sim::FleetConfig cfg;
+    cfg.drives_per_model = 300;
+    sim::FleetSimulator fleet(cfg);
+    DatasetBuildOptions opts;
+    opts.lookahead_days = 1;
+    opts.negative_keep_prob = 0.05;
+    const ml::Dataset data = build_dataset(fleet, opts);
+    auto forest = ml::make_model(ml::ModelKind::kRandomForest);
+    forest->fit(ml::downsample_negatives(data, 1.0, 3));
+    return std::shared_ptr<const ml::Classifier>(std::move(forest));
+  }();
+  return model;
+}
+
+TEST(OnlineDriveMonitor, ScoresMatchBatchPipeline) {
+  // Streaming scores must equal what the batch feature extractor + model
+  // produce for the same records.
+  sim::FleetConfig cfg;
+  cfg.drives_per_model = 300;
+  sim::FleetSimulator fleet(cfg);
+  const trace::DriveHistory drive = fleet.simulate(5);
+
+  OnlineDriveMonitor monitor(*fitted_model(), 0.9, drive.model, drive.deploy_day);
+  FeatureExtractor::State state;
+  ml::Matrix row(1, FeatureExtractor::count());
+  for (const auto& rec : drive.records) {
+    const RiskAssessment streaming = monitor.observe(rec);
+    FeatureExtractor::advance(state, rec);
+    FeatureExtractor::extract(drive, rec, state, row.row(0));
+    const float batch = fitted_model()->predict_proba(row)[0];
+    ASSERT_FLOAT_EQ(streaming.risk, batch) << "day " << rec.day;
+  }
+  EXPECT_EQ(monitor.days_observed(), drive.records.size());
+}
+
+TEST(OnlineDriveMonitor, AlertRespectsThreshold) {
+  trace::DailyRecord rec;
+  rec.day = 0;
+  rec.reads = 100;
+  rec.writes = 100;
+  OnlineDriveMonitor lenient(*fitted_model(), 0.0, trace::DriveModel::MlcA, 0);
+  EXPECT_TRUE(lenient.observe(rec).alert);  // threshold 0: everything alerts
+  OnlineDriveMonitor strict(*fitted_model(), 1.01, trace::DriveModel::MlcA, 0);
+  EXPECT_FALSE(strict.observe(rec).alert);  // threshold > 1: nothing alerts
+}
+
+TEST(OnlineDriveMonitor, RejectsOutOfOrderRecords) {
+  OnlineDriveMonitor monitor(*fitted_model(), 0.5, trace::DriveModel::MlcB, 10);
+  trace::DailyRecord rec;
+  rec.day = 12;
+  (void)monitor.observe(rec);
+  rec.day = 12;
+  EXPECT_THROW((void)monitor.observe(rec), std::invalid_argument);
+  rec.day = 11;
+  EXPECT_THROW((void)monitor.observe(rec), std::invalid_argument);
+  rec.day = 13;
+  EXPECT_NO_THROW((void)monitor.observe(rec));
+}
+
+TEST(FleetMonitor, TracksDrivesIndependently) {
+  FleetMonitor fleet_monitor(fitted_model(), 0.99);
+  trace::DailyRecord rec;
+  rec.day = 0;
+  rec.reads = 10;
+  rec.writes = 10;
+  (void)fleet_monitor.observe(trace::DriveModel::MlcA, 1, 0, rec);
+  (void)fleet_monitor.observe(trace::DriveModel::MlcB, 1, 0, rec);
+  EXPECT_EQ(fleet_monitor.drives_tracked(), 2u);
+  // Same drive again on the next day reuses its monitor.
+  rec.day = 1;
+  (void)fleet_monitor.observe(trace::DriveModel::MlcA, 1, 0, rec);
+  EXPECT_EQ(fleet_monitor.drives_tracked(), 2u);
+  fleet_monitor.retire(trace::DriveModel::MlcA, 1);
+  EXPECT_EQ(fleet_monitor.drives_tracked(), 1u);
+}
+
+TEST(FleetMonitor, RisingRiskBeforeFailure) {
+  // Across many failed drives, the monitor's score on the failure day
+  // should on average exceed its score 30 days earlier.
+  sim::FleetConfig cfg;
+  cfg.drives_per_model = 300;
+  sim::FleetSimulator fleet(cfg);
+
+  double risk_at_failure = 0.0;
+  double risk_before = 0.0;
+  int counted = 0;
+  for (std::size_t i = 0; i < fleet.drive_count() && counted < 40; ++i) {
+    const trace::DriveHistory drive = fleet.simulate(i);
+    const DriveTimeline timeline = derive_timeline(drive);
+    if (timeline.failures.empty()) continue;
+    const std::int32_t fail_day = timeline.failures[0].fail_day;
+
+    OnlineDriveMonitor monitor(*fitted_model(), 0.5, drive.model, drive.deploy_day);
+    float at_fail = -1.0f;
+    float before = -1.0f;
+    for (const auto& rec : drive.records) {
+      if (rec.day > fail_day) break;
+      const auto assessment = monitor.observe(rec);
+      if (rec.day == fail_day) at_fail = assessment.risk;
+      if (rec.day <= fail_day - 30) before = assessment.risk;
+    }
+    if (at_fail < 0.0f || before < 0.0f) continue;
+    risk_at_failure += at_fail;
+    risk_before += before;
+    ++counted;
+  }
+  ASSERT_GE(counted, 20);
+  EXPECT_GT(risk_at_failure / counted, risk_before / counted + 0.1);
+}
+
+}  // namespace
+}  // namespace ssdfail::core

@@ -1,0 +1,132 @@
+// Integration tests: the full observable-only pipeline (simulate ->
+// derive timelines -> characterize) must reproduce the paper's headline
+// SHAPES.  These complement tests/sim/test_fleet_calibration.cpp, which
+// validates the generator against ground truth; here everything flows
+// through the analysis layer exactly as the benches do.
+
+#include <gtest/gtest.h>
+
+#include "core/fleet_analysis.hpp"
+#include "sim/fleet_simulator.hpp"
+#include "stats/streaming.hpp"
+
+namespace ssdfail::core {
+namespace {
+
+const CharacterizationSuite& suite() {
+  static const CharacterizationSuite s = [] {
+    sim::FleetConfig cfg;
+    cfg.drives_per_model = 1500;
+    return characterize(sim::FleetSimulator(cfg));
+  }();
+  return s;
+}
+
+TEST(PaperShapes, Observation3_SwapsWithinAWeekButLongTail) {
+  const auto& nonop = suite().nonop_days();
+  ASSERT_GT(nonop.size(), 100u);
+  EXPECT_GT(nonop.at(7.0), 0.6);            // most swapped within a week
+  EXPECT_LT(nonop.at(100.0), 0.99);         // but a real >100-day tail exists
+}
+
+TEST(PaperShapes, Observation4_OnlyAboutHalfReenter) {
+  stats::CensoredEcdf pooled;
+  for (trace::DriveModel m : trace::kAllModels) pooled.merge(suite().repair_time_days(m));
+  ASSERT_GT(pooled.total(), 100u);
+  EXPECT_GT(pooled.censored_fraction(), 0.40);
+  EXPECT_LT(pooled.censored_fraction(), 0.85);
+}
+
+TEST(PaperShapes, Observation5_FewRepairsFinishWithin10Days) {
+  stats::CensoredEcdf pooled;
+  for (trace::DriveModel m : trace::kAllModels) pooled.merge(suite().repair_time_days(m));
+  EXPECT_LT(pooled.at(10.0), 0.15);  // paper: 3.4-6.8%
+}
+
+TEST(PaperShapes, Observation6_InfantMortality) {
+  // >= 2x elevated monthly failure rate during the first three months.
+  const auto& rate = suite().failure_rate_by_month();
+  const double infant = (rate.rate(0) + rate.rate(1) + rate.rate(2)) / 3.0;
+  stats::StreamingSummary mature;
+  for (std::size_t m = 6; m < 48; ++m) mature.add(rate.rate(m));
+  EXPECT_GT(infant, 2.0 * mature.mean());
+}
+
+TEST(PaperShapes, Observation7_NoOldAgeWearout) {
+  // Months 36-60 fail no more often than months 6-24.
+  const auto& rate = suite().failure_rate_by_month();
+  stats::StreamingSummary mid;
+  stats::StreamingSummary old;
+  for (std::size_t m = 6; m < 24; ++m) mid.add(rate.rate(m));
+  for (std::size_t m = 36; m < 60; ++m) old.add(rate.rate(m));
+  EXPECT_LT(old.mean(), 2.0 * mid.mean());
+}
+
+TEST(PaperShapes, Observation8_FailuresWellBelowPeLimit) {
+  const auto& pe = suite().pe_at_failure();
+  ASSERT_GT(pe.size(), 100u);
+  EXPECT_GT(pe.at(1500.0), 0.90);  // paper: ~98% below half the limit
+  EXPECT_GT(pe.at(3000.0), 0.97);
+}
+
+TEST(PaperShapes, Fig9_YoungFailuresInATinyPeRange) {
+  const auto& young = suite().pe_at_failure_young();
+  const auto& old = suite().pe_at_failure_old();
+  ASSERT_GT(young.size(), 30u);
+  ASSERT_GT(old.size(), 100u);
+  EXPECT_LT(young.quantile(0.95), 0.35 * old.quantile(0.95));
+}
+
+TEST(PaperShapes, Fig7_NoBurnInForYoungDrives) {
+  const double median_m1 =
+      stats::quantile_sorted(suite().writes_at_month(1).sorted(), 0.5);
+  const double median_m24 =
+      stats::quantile_sorted(suite().writes_at_month(24).sorted(), 0.5);
+  EXPECT_LT(median_m1, median_m24);  // young drives see FEWER writes
+}
+
+TEST(PaperShapes, Fig10_FailedDrivesSeeMoreErrors) {
+  using DC = CharacterizationSuite::DriveClass;
+  const double zero_ok = suite().cum_ue_cdf(DC::kNotFailed).at(0.0);
+  const double zero_old = suite().cum_ue_cdf(DC::kOldFailed).at(0.0);
+  EXPECT_GT(zero_ok, 0.70);
+  EXPECT_LT(zero_old, zero_ok - 0.10);
+}
+
+TEST(PaperShapes, Fig11_ErrorIncidenceSpikesBeforeFailure) {
+  const double near = suite().ue_within_days(false, 1);
+  const double baseline = suite().baseline_ue_within_days(2);
+  ASSERT_FALSE(std::isnan(near));
+  EXPECT_GT(near, 5.0 * baseline);
+}
+
+TEST(PaperShapes, Fig11_MostFailuresStillShowNoRecentUe) {
+  // Paper: ~75% of failed drives see no UE in their last 7 days.
+  const double young = suite().ue_within_days(true, 7);
+  const double old = suite().ue_within_days(false, 7);
+  EXPECT_LT(young, 0.45);
+  EXPECT_LT(old, 0.45);
+}
+
+TEST(PaperShapes, Table4_RepeatFailuresAreRareButReal) {
+  const auto& hist = suite().failure_count_histogram();
+  EXPECT_GT(hist[1], 10u);
+  EXPECT_GT(hist[2], 0u);
+  EXPECT_GT(hist[1], 5 * hist[2]);  // ~90% of failed drives fail exactly once
+}
+
+TEST(PaperShapes, Table2_HeadlineCorrelations) {
+  const auto m = suite().correlation_matrix();
+  auto rho = [&](CorrVar a, CorrVar b) {
+    return m[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)];
+  };
+  EXPECT_GT(rho(CorrVar::kUncorrectable, CorrVar::kFinalRead), 0.85);
+  EXPECT_GT(rho(CorrVar::kPeCycle, CorrVar::kDriveAge), 0.45);
+  EXPECT_GT(rho(CorrVar::kBadBlock, CorrVar::kUncorrectable), 0.15);
+  EXPECT_GT(rho(CorrVar::kResponse, CorrVar::kTimeout), 0.10);
+  // The paper's surprise: P/E wear barely correlates with UEs.
+  EXPECT_LT(rho(CorrVar::kPeCycle, CorrVar::kUncorrectable), 0.35);
+}
+
+}  // namespace
+}  // namespace ssdfail::core

@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "core/prediction.hpp"
+#include "ml/decision_tree.hpp"
+#include "stats/rng.hpp"
+
+namespace ssdfail::core {
+namespace {
+
+/// Task where feature 0 is decisive, feature 1 mildly useful, feature 2 noise.
+ml::Dataset make_task(std::size_t n, std::uint64_t seed) {
+  stats::Rng rng(seed);
+  ml::Dataset d;
+  d.x = ml::Matrix(n, 3);
+  d.y.resize(n);
+  d.groups.resize(n);
+  d.feature_names = {"decisive", "mild", "noise"};
+  for (std::size_t r = 0; r < n; ++r) {
+    const double x0 = rng.normal();
+    const double x1 = rng.normal();
+    d.x(r, 0) = static_cast<float>(x0);
+    d.x(r, 1) = static_cast<float>(x1);
+    d.x(r, 2) = static_cast<float>(rng.normal());
+    d.y[r] = (2.0 * x0 + 0.4 * x1 + 0.3 * rng.normal()) > 0.0 ? 1.0f : 0.0f;
+    d.groups[r] = r;
+  }
+  return d;
+}
+
+TEST(PermutationImportance, RanksFeaturesByTrueRelevance) {
+  const ml::Dataset train = make_task(3000, 1);
+  const ml::Dataset test = make_task(1500, 2);
+  ml::DecisionTree tree;
+  tree.fit(train);
+  const auto ranked = permutation_importance(tree, test, 17, 3);
+  ASSERT_EQ(ranked.size(), 3u);
+  EXPECT_EQ(ranked[0].name, "decisive");
+  EXPECT_GT(ranked[0].importance, 0.1);
+  // The noise feature contributes (almost) nothing.
+  const auto noise = std::find_if(ranked.begin(), ranked.end(),
+                                  [](const auto& f) { return f.name == "noise"; });
+  ASSERT_NE(noise, ranked.end());
+  EXPECT_LT(noise->importance, 0.02);
+  EXPECT_GT(ranked[0].importance, 5.0 * std::max(noise->importance, 1e-6));
+}
+
+TEST(PermutationImportance, DeterministicForFixedSeed) {
+  const ml::Dataset train = make_task(1000, 3);
+  const ml::Dataset test = make_task(500, 4);
+  ml::DecisionTree tree;
+  tree.fit(train);
+  const auto a = permutation_importance(tree, test, 5, 2);
+  const auto b = permutation_importance(tree, test, 5, 2);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].name, b[i].name);
+    EXPECT_DOUBLE_EQ(a[i].importance, b[i].importance);
+  }
+}
+
+TEST(PermutationImportance, AgreesWithImpurityOnTheWinner) {
+  const ml::Dataset train = make_task(3000, 6);
+  const ml::Dataset test = make_task(1500, 7);
+  ml::DecisionTree tree;
+  tree.fit(train);
+  const auto perm = permutation_importance(tree, test, 8, 2);
+  const auto& impurity = tree.impurity_importance();
+  const std::size_t impurity_best = static_cast<std::size_t>(
+      std::max_element(impurity.begin(), impurity.end()) - impurity.begin());
+  EXPECT_EQ(test.feature_names[impurity_best], perm[0].name);
+}
+
+}  // namespace
+}  // namespace ssdfail::core

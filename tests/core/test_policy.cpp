@@ -1,0 +1,61 @@
+#include "core/policy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ssdfail::core {
+namespace {
+
+TEST(Policy, PerfectScoresGivePerfectPolicy) {
+  const std::vector<float> scores = {0.9f, 0.95f, 0.1f, 0.2f};
+  const std::vector<float> labels = {1.0f, 1.0f, 0.0f, 0.0f};
+  const PolicyOutcome out = evaluate_policy(scores, labels, 0.5, 0.1);
+  EXPECT_DOUBLE_EQ(out.recall, 1.0);
+  EXPECT_DOUBLE_EQ(out.false_alarm_rate, 0.0);
+  EXPECT_EQ(out.caught, 2u);
+  EXPECT_EQ(out.missed, 0u);
+  EXPECT_DOUBLE_EQ(out.false_alarms_per_drive_year, 0.0);
+}
+
+TEST(Policy, FalseAlarmsScaleWith365) {
+  // 1 of 2 healthy days flagged -> FPR 0.5 -> 182.5 false alarms per
+  // drive-year regardless of the subsample rate (it cancels).
+  const std::vector<float> scores = {0.9f, 0.6f, 0.1f};
+  const std::vector<float> labels = {1.0f, 0.0f, 0.0f};
+  const PolicyOutcome out = evaluate_policy(scores, labels, 0.5, 0.01);
+  EXPECT_DOUBLE_EQ(out.false_alarm_rate, 0.5);
+  EXPECT_DOUBLE_EQ(out.false_alarms_per_drive_year, 0.5 * 365.0);
+}
+
+TEST(Policy, BadKeepProbThrows) {
+  const std::vector<float> s = {0.5f};
+  const std::vector<float> l = {1.0f};
+  EXPECT_THROW((void)evaluate_policy(s, l, 0.5, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)evaluate_policy(s, l, 0.5, 1.5), std::invalid_argument);
+}
+
+TEST(Policy, ThresholdForFprRespectsBudget) {
+  // Scores: positives high, negatives spread.
+  std::vector<float> scores;
+  std::vector<float> labels;
+  for (int i = 0; i < 100; ++i) {
+    scores.push_back(0.8f + 0.002f * static_cast<float>(i));
+    labels.push_back(1.0f);
+    scores.push_back(0.005f * static_cast<float>(i));
+    labels.push_back(0.0f);
+  }
+  const double threshold = threshold_for_fpr(scores, labels, 0.05);
+  const PolicyOutcome out = evaluate_policy(scores, labels, threshold, 1.0);
+  EXPECT_LE(out.false_alarm_rate, 0.05 + 1e-9);
+  EXPECT_GT(out.recall, 0.9);  // separable data: budget met without losing recall
+}
+
+TEST(Policy, ThresholdForZeroFprIsMaximal) {
+  const std::vector<float> scores = {0.9f, 0.8f, 0.7f};
+  const std::vector<float> labels = {1.0f, 0.0f, 1.0f};
+  const double threshold = threshold_for_fpr(scores, labels, 0.0);
+  const PolicyOutcome out = evaluate_policy(scores, labels, threshold, 1.0);
+  EXPECT_DOUBLE_EQ(out.false_alarm_rate, 0.0);
+}
+
+}  // namespace
+}  // namespace ssdfail::core

@@ -1,0 +1,109 @@
+#include "core/prediction.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/dataset_builder.hpp"
+#include "ml/model_zoo.hpp"
+#include "sim/fleet_simulator.hpp"
+
+namespace ssdfail::core {
+namespace {
+
+/// Shared small fleet dataset (built once; tests read it).
+const ml::Dataset& fleet_dataset() {
+  static const ml::Dataset data = [] {
+    sim::FleetConfig cfg;
+    cfg.drives_per_model = 700;
+    sim::FleetSimulator fsim(cfg);
+    DatasetBuildOptions opts;
+    opts.lookahead_days = 1;
+    opts.negative_keep_prob = 0.02;
+    return build_dataset(fsim, opts);
+  }();
+  return data;
+}
+
+TEST(Prediction, ForestBeatsChanceByALot) {
+  auto model = ml::make_model(ml::ModelKind::kRandomForest);
+  const auto result = evaluate_auc(*model, fleet_dataset());
+  ASSERT_GE(result.fold_aucs.size(), 4u);
+  EXPECT_GT(result.auc().mean, 0.80);
+  EXPECT_LT(result.auc().sd, 0.08);
+}
+
+TEST(Prediction, ForestBeatsThresholdBaseline) {
+  // Observation: "there is no single metric that triggers a drive failure
+  // after it reaches a certain threshold" — the single-feature baseline
+  // must trail the forest clearly.
+  auto forest = ml::make_model(ml::ModelKind::kRandomForest);
+  auto baseline = ml::make_model(ml::ModelKind::kThresholdBaseline);
+  const double forest_auc = evaluate_auc(*forest, fleet_dataset()).auc().mean;
+  const double baseline_auc = evaluate_auc(*baseline, fleet_dataset()).auc().mean;
+  EXPECT_GT(forest_auc, baseline_auc + 0.05);
+}
+
+TEST(Prediction, LongerLookaheadIsHarder) {
+  sim::FleetConfig cfg;
+  cfg.drives_per_model = 700;
+  sim::FleetSimulator fsim(cfg);
+  DatasetBuildOptions opts;
+  opts.negative_keep_prob = 0.02;
+  opts.lookahead_days = 1;
+  const ml::Dataset d1 = build_dataset(fsim, opts);
+  opts.lookahead_days = 14;
+  const ml::Dataset d14 = build_dataset(fsim, opts);
+  auto model = ml::make_model(ml::ModelKind::kDecisionTree);
+  const double auc1 = evaluate_auc(*model, d1).auc().mean;
+  const double auc14 = evaluate_auc(*model, d14).auc().mean;
+  EXPECT_GT(auc1, auc14 + 0.03);
+}
+
+TEST(Prediction, PooledScoresCoverEveryRowOnce) {
+  auto model = ml::make_model(ml::ModelKind::kDecisionTree);
+  const PooledScores pooled = pooled_cv_scores(*model, fleet_dataset());
+  EXPECT_EQ(pooled.scores.size(), fleet_dataset().size());
+  std::set<std::size_t> seen(pooled.row_indices.begin(), pooled.row_indices.end());
+  EXPECT_EQ(seen.size(), fleet_dataset().size());
+}
+
+TEST(Prediction, PooledAucConsistentWithFoldAuc) {
+  auto model = ml::make_model(ml::ModelKind::kDecisionTree);
+  const PooledScores pooled = pooled_cv_scores(*model, fleet_dataset());
+  const double pooled_auc = ml::roc_auc(pooled.scores, pooled.labels);
+  const double fold_auc = evaluate_auc(*model, fleet_dataset()).auc().mean;
+  EXPECT_NEAR(pooled_auc, fold_auc, 0.06);
+}
+
+TEST(Prediction, TransferAucWithinModelFamilies) {
+  // Table 7's structure: training on one MLC model transfers to another
+  // with only modest degradation.
+  sim::FleetConfig cfg;
+  cfg.drives_per_model = 700;
+  sim::FleetSimulator fsim(cfg);
+  DatasetBuildOptions opts;
+  opts.negative_keep_prob = 0.02;
+  opts.model_filter = trace::DriveModel::MlcB;
+  const ml::Dataset train = build_dataset(fsim, opts);
+  opts.model_filter = trace::DriveModel::MlcD;
+  const ml::Dataset test = build_dataset(fsim, opts);
+  auto model = ml::make_model(ml::ModelKind::kRandomForest);
+  const double auc = transfer_auc(*model, train, test);
+  EXPECT_GT(auc, 0.75);
+}
+
+TEST(Prediction, FeatureImportanceRankedAndNormalized) {
+  const auto ranked = forest_feature_importance(fleet_dataset());
+  ASSERT_EQ(ranked.size(), FeatureExtractor::count());
+  double total = 0.0;
+  for (std::size_t i = 1; i < ranked.size(); ++i)
+    EXPECT_GE(ranked[i - 1].importance, ranked[i].importance);
+  for (const auto& f : ranked) total += f.importance;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  // Names must come from the extractor.
+  EXPECT_NO_THROW((void)FeatureExtractor::index_of(ranked[0].name));
+}
+
+}  // namespace
+}  // namespace ssdfail::core

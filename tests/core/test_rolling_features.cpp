@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "core/dataset_builder.hpp"
+#include "core/features.hpp"
+
+namespace ssdfail::core {
+namespace {
+
+using trace::DailyRecord;
+
+DailyRecord day_with(std::int32_t day, std::uint32_t ue, std::uint32_t writes) {
+  DailyRecord r;
+  r.day = day;
+  r.writes = writes;
+  r.reads = writes;
+  r.errors[static_cast<std::size_t>(trace::ErrorType::kUncorrectable)] = ue;
+  return r;
+}
+
+std::vector<float> window_row(RollingWindow& w) {
+  std::vector<float> row(RollingWindow::count());
+  w.extract(row);
+  return row;
+}
+
+std::size_t idx(const std::string& name) {
+  const auto& names = RollingWindow::names();
+  for (std::size_t i = 0; i < names.size(); ++i)
+    if (names[i] == name) return i;
+  throw std::out_of_range(name);
+}
+
+TEST(RollingWindow, SumsWithinWindow) {
+  RollingWindow w;
+  w.advance(day_with(0, 5, 100), 2);
+  w.advance(day_with(1, 3, 100), 0);
+  const auto row = window_row(w);
+  EXPECT_FLOAT_EQ(row[idx("ue_7d")], 8.0f);
+  EXPECT_FLOAT_EQ(row[idx("new_bad_blocks_7d")], 2.0f);
+  EXPECT_FLOAT_EQ(row[idx("error_days_7d")], 2.0f);
+}
+
+TEST(RollingWindow, EvictsBeyondSevenDays) {
+  RollingWindow w;
+  w.advance(day_with(0, 10, 100), 0);
+  w.advance(day_with(7, 1, 100), 0);  // day 0 is exactly out of the window
+  const auto row = window_row(w);
+  EXPECT_FLOAT_EQ(row[idx("ue_7d")], 1.0f);
+}
+
+TEST(RollingWindow, HandlesDayGaps) {
+  // Missing log days: window membership is by DAY, not record count.
+  RollingWindow w;
+  w.advance(day_with(0, 4, 100), 0);
+  w.advance(day_with(5, 2, 100), 0);  // days 1-4 unreported
+  auto row = window_row(w);
+  EXPECT_FLOAT_EQ(row[idx("ue_7d")], 6.0f);
+  w.advance(day_with(8, 0, 100), 0);  // day 0 now evicted
+  row = window_row(w);
+  EXPECT_FLOAT_EQ(row[idx("ue_7d")], 2.0f);
+}
+
+TEST(RollingWindow, RelativeWritesDetectsDrop) {
+  RollingWindow w;
+  for (std::int32_t d = 0; d < 6; ++d) w.advance(day_with(d, 0, 1000), 0);
+  w.advance(day_with(6, 0, 100), 0);  // today's activity collapses
+  const auto row = window_row(w);
+  EXPECT_LT(row[idx("writes_rel_7d")], 0.2f);
+  // A normal day sits near 1.
+  RollingWindow steady;
+  for (std::int32_t d = 0; d < 7; ++d) steady.advance(day_with(d, 0, 1000), 0);
+  EXPECT_NEAR(window_row(steady)[idx("writes_rel_7d")], 1.0f, 1e-5);
+}
+
+TEST(RollingWindow, WrongSpanSizeThrows) {
+  RollingWindow w;
+  w.advance(day_with(0, 0, 1), 0);
+  std::vector<float> too_small(1);
+  EXPECT_THROW(w.extract(too_small), std::invalid_argument);
+}
+
+TEST(DatasetBuilderRolling, AppendsExtraColumns) {
+  trace::FleetTrace fleet;
+  trace::DriveHistory d;
+  d.model = trace::DriveModel::MlcA;
+  d.drive_index = 1;
+  d.deploy_day = 0;
+  for (std::int32_t day = 0; day < 30; ++day) d.records.push_back(day_with(day, 0, 50));
+  fleet.drives.push_back(d);
+
+  DatasetBuildOptions opts;
+  opts.negative_keep_prob = 1.0;
+  opts.rolling_features = true;
+  const ml::Dataset data = build_dataset(fleet, opts);
+  EXPECT_EQ(data.features(), FeatureExtractor::count() + RollingWindow::count());
+  EXPECT_EQ(data.feature_names.back(), "writes_rel_7d");
+
+  DatasetBuildOptions plain = opts;
+  plain.rolling_features = false;
+  const ml::Dataset base = build_dataset(fleet, plain);
+  EXPECT_EQ(base.features(), FeatureExtractor::count());
+  EXPECT_EQ(base.size(), data.size());
+}
+
+}  // namespace
+}  // namespace ssdfail::core

@@ -1,0 +1,87 @@
+#include "io/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ssdfail::io {
+namespace {
+
+TEST(CsvWriter, PlainFields) {
+  std::ostringstream out;
+  CsvWriter w(out);
+  w.write_row({"a", "b", "c"});
+  EXPECT_EQ(out.str(), "a,b,c\n");
+}
+
+TEST(CsvWriter, QuotesSeparatorsAndQuotes) {
+  std::ostringstream out;
+  CsvWriter w(out);
+  w.write_row({"a,b", "say \"hi\"", "plain"});
+  EXPECT_EQ(out.str(), "\"a,b\",\"say \"\"hi\"\"\",plain\n");
+}
+
+TEST(CsvWriter, NumericRoundTrip) {
+  std::ostringstream out;
+  CsvWriter w(out);
+  w.write_row_numeric({1.5, -2.25, 3.0});
+  std::istringstream in(out.str());
+  const auto rows = read_csv(in);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], "1.5");
+  EXPECT_EQ(rows[0][1], "-2.25");
+}
+
+TEST(ParseCsvLine, SimpleSplit) {
+  const auto f = parse_csv_line("1,2,3");
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[0], "1");
+  EXPECT_EQ(f[2], "3");
+}
+
+TEST(ParseCsvLine, QuotedFieldWithSeparator) {
+  const auto f = parse_csv_line("\"a,b\",c");
+  ASSERT_EQ(f.size(), 2u);
+  EXPECT_EQ(f[0], "a,b");
+  EXPECT_EQ(f[1], "c");
+}
+
+TEST(ParseCsvLine, EscapedQuote) {
+  const auto f = parse_csv_line("\"say \"\"hi\"\"\"");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0], "say \"hi\"");
+}
+
+TEST(ParseCsvLine, EmptyFields) {
+  const auto f = parse_csv_line("a,,b,");
+  ASSERT_EQ(f.size(), 4u);
+  EXPECT_EQ(f[1], "");
+  EXPECT_EQ(f[3], "");
+}
+
+TEST(ParseCsvLine, StripsCarriageReturn) {
+  const auto f = parse_csv_line("a,b\r");
+  ASSERT_EQ(f.size(), 2u);
+  EXPECT_EQ(f[1], "b");
+}
+
+TEST(ReadCsv, SkipsEmptyLines) {
+  std::istringstream in("a,b\n\nc,d\n");
+  const auto rows = read_csv(in);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1][0], "c");
+}
+
+TEST(CsvRoundTrip, WriterThenReader) {
+  std::ostringstream out;
+  CsvWriter w(out);
+  const std::vector<std::string> original = {"x,y", "\"q\"", "", "plain"};
+  w.write_row(original);
+  std::istringstream in(out.str());
+  const auto rows = read_csv(in);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], original);
+}
+
+}  // namespace
+}  // namespace ssdfail::io

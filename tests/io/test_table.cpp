@@ -1,0 +1,56 @@
+#include "io/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+namespace ssdfail::io {
+namespace {
+
+TEST(TextTable, FormatNum) {
+  EXPECT_EQ(TextTable::num(1.23456, 2), "1.23");
+  EXPECT_EQ(TextTable::num(1.23456, 4), "1.2346");
+  EXPECT_EQ(TextTable::num(std::nan(""), 3), "--");
+}
+
+TEST(TextTable, FormatPct) {
+  EXPECT_EQ(TextTable::pct(0.123, 1), "12.3");
+  EXPECT_EQ(TextTable::pct(1.0, 0), "100");
+  EXPECT_EQ(TextTable::pct(std::nan("")), "--");
+}
+
+TEST(TextTable, PrintsAlignedColumns) {
+  TextTable t("demo");
+  t.set_header({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  std::ostringstream out;
+  t.print(out);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("== demo =="), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  // Columns align: "value" and "22" start at the same offset in their lines.
+  EXPECT_NE(s.find("name   value"), std::string::npos);
+}
+
+TEST(TextTable, CsvOutput) {
+  TextTable t("demo");
+  t.set_header({"a", "b"});
+  t.add_row({"1", "2"});
+  std::ostringstream out;
+  t.print_csv(out);
+  EXPECT_EQ(out.str(), "a,b\n1,2\n");
+}
+
+TEST(TextTable, RaggedRowsAreSafe) {
+  TextTable t("ragged");
+  t.set_header({"a", "b", "c"});
+  t.add_row({"1"});
+  std::ostringstream out;
+  t.print(out);
+  EXPECT_NE(out.str().find('1'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ssdfail::io

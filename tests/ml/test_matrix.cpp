@@ -1,0 +1,88 @@
+#include "ml/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ml/dataset.hpp"
+
+namespace ssdfail::ml {
+namespace {
+
+TEST(Matrix, ConstructionAndIndexing) {
+  Matrix m(2, 3, 1.5f);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_FLOAT_EQ(m(1, 2), 1.5f);
+  m(0, 1) = 7.0f;
+  EXPECT_FLOAT_EQ(m(0, 1), 7.0f);
+}
+
+TEST(Matrix, RowSpanViewsUnderlyingData) {
+  Matrix m(2, 2);
+  m(1, 0) = 3.0f;
+  auto row = m.row(1);
+  EXPECT_FLOAT_EQ(row[0], 3.0f);
+  row[1] = 4.0f;
+  EXPECT_FLOAT_EQ(m(1, 1), 4.0f);
+}
+
+TEST(Matrix, PushRowGrowsAndChecksWidth) {
+  Matrix m;
+  const float a[] = {1.0f, 2.0f};
+  m.push_row(a);
+  EXPECT_EQ(m.rows(), 1u);
+  EXPECT_EQ(m.cols(), 2u);
+  const float b[] = {3.0f, 4.0f, 5.0f};
+  EXPECT_THROW(m.push_row(b), std::invalid_argument);
+}
+
+TEST(Matrix, SelectRows) {
+  Matrix m(3, 1);
+  m(0, 0) = 10.0f;
+  m(1, 0) = 20.0f;
+  m(2, 0) = 30.0f;
+  const std::size_t idx[] = {2, 0};
+  const Matrix s = m.select_rows(idx);
+  EXPECT_EQ(s.rows(), 2u);
+  EXPECT_FLOAT_EQ(s(0, 0), 30.0f);
+  EXPECT_FLOAT_EQ(s(1, 0), 10.0f);
+}
+
+TEST(Dataset, PositivesCount) {
+  Dataset d;
+  d.x = Matrix(4, 1);
+  d.y = {0.0f, 1.0f, 1.0f, 0.0f};
+  d.groups = {1, 1, 2, 2};
+  EXPECT_EQ(d.positives(), 2u);
+}
+
+TEST(Dataset, SubsetPreservesAlignment) {
+  Dataset d;
+  d.x = Matrix(3, 1);
+  d.x(0, 0) = 5.0f;
+  d.x(2, 0) = 9.0f;
+  d.y = {1.0f, 0.0f, 1.0f};
+  d.groups = {10, 20, 30};
+  d.feature_names = {"f"};
+  const std::size_t idx[] = {2, 0};
+  const Dataset s = d.subset(idx);
+  EXPECT_FLOAT_EQ(s.x(0, 0), 9.0f);
+  EXPECT_FLOAT_EQ(s.y[0], 1.0f);
+  EXPECT_EQ(s.groups[0], 30u);
+  EXPECT_EQ(s.groups[1], 10u);
+  EXPECT_EQ(s.feature_names.size(), 1u);
+}
+
+TEST(Dataset, ValidateCatchesMismatch) {
+  Dataset d;
+  d.x = Matrix(2, 1);
+  d.y = {1.0f};
+  d.groups = {1, 2};
+  EXPECT_THROW(d.validate(), std::invalid_argument);
+  d.y = {1.0f, 0.0f};
+  EXPECT_NO_THROW(d.validate());
+  d.feature_names = {"a", "b"};
+  EXPECT_THROW(d.validate(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ssdfail::ml

@@ -1,0 +1,134 @@
+#include "ml/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/rng.hpp"
+
+namespace ssdfail::ml {
+namespace {
+
+TEST(RocAuc, PerfectClassifier) {
+  const std::vector<float> scores = {0.1f, 0.2f, 0.8f, 0.9f};
+  const std::vector<float> labels = {0.0f, 0.0f, 1.0f, 1.0f};
+  EXPECT_DOUBLE_EQ(roc_auc(scores, labels), 1.0);
+}
+
+TEST(RocAuc, PerfectlyWrongClassifier) {
+  const std::vector<float> scores = {0.9f, 0.8f, 0.2f, 0.1f};
+  const std::vector<float> labels = {0.0f, 0.0f, 1.0f, 1.0f};
+  EXPECT_DOUBLE_EQ(roc_auc(scores, labels), 0.0);
+}
+
+TEST(RocAuc, RandomScoresGiveHalf) {
+  stats::Rng rng(3);
+  std::vector<float> scores;
+  std::vector<float> labels;
+  for (int i = 0; i < 20000; ++i) {
+    scores.push_back(static_cast<float>(rng.uniform()));
+    labels.push_back(rng.bernoulli(0.3f) ? 1.0f : 0.0f);
+  }
+  EXPECT_NEAR(roc_auc(scores, labels), 0.5, 0.02);
+}
+
+TEST(RocAuc, TiesGetHalfCredit) {
+  // All scores equal: AUC must be exactly 0.5.
+  const std::vector<float> scores = {0.5f, 0.5f, 0.5f, 0.5f};
+  const std::vector<float> labels = {1.0f, 0.0f, 1.0f, 0.0f};
+  EXPECT_DOUBLE_EQ(roc_auc(scores, labels), 0.5);
+}
+
+TEST(RocAuc, SingleClassIsNaN) {
+  const std::vector<float> scores = {0.1f, 0.9f};
+  EXPECT_TRUE(std::isnan(roc_auc(scores, std::vector<float>{1.0f, 1.0f})));
+  EXPECT_TRUE(std::isnan(roc_auc(scores, std::vector<float>{0.0f, 0.0f})));
+}
+
+TEST(RocAuc, InsensitiveToClassImbalance) {
+  // Same score distributions, 100x more negatives: AUC unchanged.
+  auto make = [](int neg_per_pos) {
+    stats::Rng rng(4);  // identical positive draws across both calls
+    std::vector<float> scores;
+    std::vector<float> labels;
+    for (int i = 0; i < 500; ++i) {
+      scores.push_back(static_cast<float>(0.6 + 0.3 * rng.normal()));
+      labels.push_back(1.0f);
+      for (int n = 0; n < neg_per_pos; ++n) {
+        scores.push_back(static_cast<float>(0.4 + 0.3 * rng.normal()));
+        labels.push_back(0.0f);
+      }
+    }
+    return roc_auc(scores, labels);
+  };
+  EXPECT_NEAR(make(1), make(100), 0.03);
+}
+
+TEST(RocCurve, MonotoneAndAnchored) {
+  const std::vector<float> scores = {0.9f, 0.8f, 0.7f, 0.3f, 0.2f, 0.1f};
+  const std::vector<float> labels = {1.0f, 0.0f, 1.0f, 0.0f, 1.0f, 0.0f};
+  const auto curve = roc_curve(scores, labels);
+  ASSERT_GE(curve.size(), 2u);
+  EXPECT_DOUBLE_EQ(curve.front().fpr, 0.0);
+  EXPECT_DOUBLE_EQ(curve.front().tpr, 0.0);
+  EXPECT_DOUBLE_EQ(curve.back().fpr, 1.0);
+  EXPECT_DOUBLE_EQ(curve.back().tpr, 1.0);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].fpr, curve[i - 1].fpr);
+    EXPECT_GE(curve[i].tpr, curve[i - 1].tpr);
+  }
+}
+
+TEST(RocCurve, TrapezoidAreaMatchesRankAuc) {
+  stats::Rng rng(5);
+  std::vector<float> scores;
+  std::vector<float> labels;
+  for (int i = 0; i < 3000; ++i) {
+    const bool pos = rng.bernoulli(0.2);
+    scores.push_back(static_cast<float>((pos ? 0.3 : 0.0) + rng.uniform()));
+    labels.push_back(pos ? 1.0f : 0.0f);
+  }
+  const auto curve = roc_curve(scores, labels);
+  double area = 0.0;
+  for (std::size_t i = 1; i < curve.size(); ++i)
+    area += 0.5 * (curve[i].tpr + curve[i - 1].tpr) * (curve[i].fpr - curve[i - 1].fpr);
+  EXPECT_NEAR(area, roc_auc(scores, labels), 1e-9);
+}
+
+TEST(Confusion, CountsAndRates) {
+  const std::vector<float> scores = {0.9f, 0.8f, 0.3f, 0.1f};
+  const std::vector<float> labels = {1.0f, 0.0f, 1.0f, 0.0f};
+  const Confusion c = confusion_at(scores, labels, 0.5);
+  EXPECT_EQ(c.tp, 1u);
+  EXPECT_EQ(c.fp, 1u);
+  EXPECT_EQ(c.fn, 1u);
+  EXPECT_EQ(c.tn, 1u);
+  EXPECT_DOUBLE_EQ(c.tpr(), 0.5);
+  EXPECT_DOUBLE_EQ(c.fpr(), 0.5);
+  EXPECT_DOUBLE_EQ(c.fnr(), 0.5);
+  EXPECT_DOUBLE_EQ(c.accuracy(), 0.5);
+}
+
+TEST(Confusion, ThresholdSweep) {
+  const std::vector<float> scores = {0.9f, 0.8f, 0.3f, 0.1f};
+  const std::vector<float> labels = {1.0f, 0.0f, 1.0f, 0.0f};
+  EXPECT_DOUBLE_EQ(confusion_at(scores, labels, 0.0).tpr(), 1.0);
+  EXPECT_DOUBLE_EQ(confusion_at(scores, labels, 1.0).tpr(), 0.0);
+}
+
+TEST(MeanSd, SmallSample) {
+  const std::vector<double> v = {1.0, 2.0, 3.0};
+  const MeanSd ms = mean_sd(v);
+  EXPECT_DOUBLE_EQ(ms.mean, 2.0);
+  EXPECT_DOUBLE_EQ(ms.sd, 1.0);
+}
+
+TEST(MeanSd, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(mean_sd(std::vector<double>{}).mean, 0.0);
+  const MeanSd one = mean_sd(std::vector<double>{5.0});
+  EXPECT_DOUBLE_EQ(one.mean, 5.0);
+  EXPECT_DOUBLE_EQ(one.sd, 0.0);
+}
+
+}  // namespace
+}  // namespace ssdfail::ml

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/metrics.hpp"
+#include "stats/rng.hpp"
+
+namespace ssdfail::ml {
+namespace {
+
+TEST(BootstrapAucCi, CoversThePointEstimate) {
+  stats::Rng rng(1);
+  std::vector<float> scores;
+  std::vector<float> labels;
+  for (int i = 0; i < 3000; ++i) {
+    const bool pos = rng.bernoulli(0.2);
+    scores.push_back(static_cast<float>((pos ? 0.4 : 0.0) + rng.uniform()));
+    labels.push_back(pos ? 1.0f : 0.0f);
+  }
+  const AucCi ci = bootstrap_auc_ci(scores, labels, 0.95, 200, 7);
+  EXPECT_LE(ci.lo, ci.auc);
+  EXPECT_GE(ci.hi, ci.auc);
+  EXPECT_GT(ci.hi - ci.lo, 0.0);
+  EXPECT_LT(ci.hi - ci.lo, 0.1);  // 3000 samples -> narrow interval
+}
+
+TEST(BootstrapAucCi, WiderForSmallerSamples) {
+  stats::Rng rng(2);
+  auto make = [&](int n) {
+    std::vector<float> scores;
+    std::vector<float> labels;
+    for (int i = 0; i < n; ++i) {
+      const bool pos = rng.bernoulli(0.3);
+      scores.push_back(static_cast<float>((pos ? 0.3 : 0.0) + rng.uniform()));
+      labels.push_back(pos ? 1.0f : 0.0f);
+    }
+    const AucCi ci = bootstrap_auc_ci(scores, labels, 0.95, 150, 9);
+    return ci.hi - ci.lo;
+  };
+  EXPECT_GT(make(100), make(5000));
+}
+
+TEST(BootstrapAucCi, DeterministicForFixedSeed) {
+  const std::vector<float> scores = {0.9f, 0.7f, 0.4f, 0.2f, 0.6f, 0.1f};
+  const std::vector<float> labels = {1.0f, 1.0f, 0.0f, 0.0f, 1.0f, 0.0f};
+  const AucCi a = bootstrap_auc_ci(scores, labels, 0.9, 100, 3);
+  const AucCi b = bootstrap_auc_ci(scores, labels, 0.9, 100, 3);
+  EXPECT_DOUBLE_EQ(a.lo, b.lo);
+  EXPECT_DOUBLE_EQ(a.hi, b.hi);
+}
+
+TEST(BrierScore, PerfectAndWorst) {
+  const std::vector<float> labels = {1.0f, 0.0f};
+  EXPECT_DOUBLE_EQ(brier_score(std::vector<float>{1.0f, 0.0f}, labels), 0.0);
+  EXPECT_DOUBLE_EQ(brier_score(std::vector<float>{0.0f, 1.0f}, labels), 1.0);
+  EXPECT_DOUBLE_EQ(brier_score(std::vector<float>{0.5f, 0.5f}, labels), 0.25);
+}
+
+TEST(BrierScore, EmptyIsNaN) {
+  EXPECT_TRUE(std::isnan(brier_score({}, {})));
+}
+
+TEST(CalibrationCurve, PerfectlyCalibratedScores) {
+  // Scores equal to true event probabilities: event rate ~= mean score per bin.
+  stats::Rng rng(4);
+  std::vector<float> scores;
+  std::vector<float> labels;
+  for (int i = 0; i < 200000; ++i) {
+    const float p = static_cast<float>(rng.uniform());
+    scores.push_back(p);
+    labels.push_back(rng.bernoulli(p) ? 1.0f : 0.0f);
+  }
+  const auto curve = calibration_curve(scores, labels, 10);
+  ASSERT_EQ(curve.size(), 10u);
+  for (const auto& bin : curve) EXPECT_NEAR(bin.event_rate, bin.mean_score, 0.02);
+}
+
+TEST(CalibrationCurve, OverconfidentScoresShowUp) {
+  // Predict 0.9 when the true rate is 0.5: the top bin's event rate must
+  // fall well below its mean score.
+  stats::Rng rng(5);
+  std::vector<float> scores;
+  std::vector<float> labels;
+  for (int i = 0; i < 5000; ++i) {
+    scores.push_back(0.9f);
+    labels.push_back(rng.bernoulli(0.5) ? 1.0f : 0.0f);
+  }
+  const auto curve = calibration_curve(scores, labels, 10);
+  ASSERT_EQ(curve.size(), 1u);
+  EXPECT_NEAR(curve[0].mean_score, 0.9, 1e-5);
+  EXPECT_NEAR(curve[0].event_rate, 0.5, 0.03);
+}
+
+TEST(CalibrationCurve, SkipsEmptyBinsAndValidates) {
+  const std::vector<float> scores = {0.05f, 0.95f};
+  const std::vector<float> labels = {0.0f, 1.0f};
+  const auto curve = calibration_curve(scores, labels, 10);
+  EXPECT_EQ(curve.size(), 2u);
+  EXPECT_THROW((void)calibration_curve(scores, labels, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ssdfail::ml

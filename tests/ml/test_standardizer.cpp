@@ -1,0 +1,78 @@
+#include "ml/standardizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/rng.hpp"
+
+namespace ssdfail::ml {
+namespace {
+
+TEST(Standardizer, ZeroMeanUnitVariance) {
+  stats::Rng rng(1);
+  Matrix x(1000, 2);
+  for (std::size_t r = 0; r < 1000; ++r) {
+    x(r, 0) = static_cast<float>(rng.normal(50.0, 10.0));
+    x(r, 1) = static_cast<float>(rng.normal(-3.0, 0.1));
+  }
+  Standardizer s;
+  s.fit(x);
+  s.transform(x);
+  for (std::size_t c = 0; c < 2; ++c) {
+    double sum = 0.0;
+    double sum2 = 0.0;
+    for (std::size_t r = 0; r < 1000; ++r) {
+      sum += x(r, c);
+      sum2 += static_cast<double>(x(r, c)) * x(r, c);
+    }
+    EXPECT_NEAR(sum / 1000.0, 0.0, 1e-4);
+    EXPECT_NEAR(sum2 / 1000.0, 1.0, 1e-2);
+  }
+}
+
+TEST(Standardizer, ConstantColumnMapsToZero) {
+  Matrix x(10, 1, 42.0f);
+  Standardizer s;
+  s.fit(x);
+  s.transform(x);
+  for (std::size_t r = 0; r < 10; ++r) EXPECT_FLOAT_EQ(x(r, 0), 0.0f);
+}
+
+TEST(Standardizer, TransformRowMatchesTransform) {
+  Matrix x(5, 2);
+  for (std::size_t r = 0; r < 5; ++r) {
+    x(r, 0) = static_cast<float>(r);
+    x(r, 1) = static_cast<float>(r * r);
+  }
+  Standardizer s;
+  s.fit(x);
+  Matrix copy = x;
+  s.transform(copy);
+  std::vector<float> row(x.row(3).begin(), x.row(3).end());
+  s.transform_row(row);
+  EXPECT_FLOAT_EQ(row[0], copy(3, 0));
+  EXPECT_FLOAT_EQ(row[1], copy(3, 1));
+}
+
+TEST(Standardizer, FitOnEmptyThrows) {
+  Standardizer s;
+  Matrix empty;
+  EXPECT_THROW(s.fit(empty), std::invalid_argument);
+  EXPECT_FALSE(s.fitted());
+}
+
+TEST(Standardizer, TestSetUsesTrainStatistics) {
+  Matrix train(2, 1);
+  train(0, 0) = 0.0f;
+  train(1, 0) = 2.0f;  // mean 1, sd 1
+  Standardizer s;
+  s.fit(train);
+  Matrix test(1, 1);
+  test(0, 0) = 3.0f;
+  s.transform(test);
+  EXPECT_FLOAT_EQ(test(0, 0), 2.0f);  // (3-1)/1
+}
+
+}  // namespace
+}  // namespace ssdfail::ml

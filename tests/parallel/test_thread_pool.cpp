@@ -1,0 +1,108 @@
+#include "parallel/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "stats/streaming.hpp"
+
+namespace ssdfail::parallel {
+namespace {
+
+TEST(ThreadPool, RunsOnAllWorkers) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(4);
+  pool.run_on_all([&](unsigned w) { hits[w].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ReusableAcrossJobs) {
+  ThreadPool pool(3);
+  std::atomic<int> total{0};
+  for (int rep = 0; rep < 50; ++rep) {
+    pool.run_on_all([&](unsigned) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 150);
+}
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  const std::size_t n = 10000;
+  std::vector<std::atomic<int>> visits(n);
+  parallel_for(n, [&](std::size_t i) { visits[i].fetch_add(1); }, pool);
+  for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ParallelFor, ZeroAndOneElement) {
+  ThreadPool pool(4);
+  int count = 0;
+  parallel_for(0, [&](std::size_t) { ++count; }, pool);
+  EXPECT_EQ(count, 0);
+  parallel_for(1, [&](std::size_t) { ++count; }, pool);
+  EXPECT_EQ(count, 1);
+}
+
+TEST(ParallelFor, SingleThreadFallback) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  parallel_for(5, [&](std::size_t i) { order.push_back(static_cast<int>(i)); }, pool);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelReduce, SumMatchesSequential) {
+  ThreadPool pool(4);
+  const std::size_t n = 100000;
+  auto result = parallel_reduce(
+      n, [] { return std::uint64_t{0}; },
+      [](std::uint64_t& acc, std::size_t i) { acc += i; },
+      [](std::uint64_t& dst, const std::uint64_t& src) { dst += src; }, pool);
+  EXPECT_EQ(result, n * (n - 1) / 2);
+}
+
+TEST(ParallelReduce, MergeableStatAccumulator) {
+  ThreadPool pool(4);
+  const std::size_t n = 50000;
+  auto summary = parallel_reduce(
+      n, [] { return stats::StreamingSummary{}; },
+      [](stats::StreamingSummary& acc, std::size_t i) {
+        acc.add(static_cast<double>(i % 100));
+      },
+      [](stats::StreamingSummary& dst, const stats::StreamingSummary& src) {
+        dst.merge(src);
+      },
+      pool);
+  EXPECT_EQ(summary.count(), n);
+  EXPECT_NEAR(summary.mean(), 49.5, 1e-9);
+}
+
+TEST(ParallelReduce, DeterministicAcrossRuns) {
+  ThreadPool pool(4);
+  auto run = [&] {
+    return parallel_reduce(
+        10000, [] { return 0.0; },
+        [](double& acc, std::size_t i) { acc += 1.0 / (1.0 + static_cast<double>(i)); },
+        [](double& dst, const double& src) { dst += src; }, pool);
+  };
+  const double a = run();
+  const double b = run();
+  EXPECT_EQ(a, b);  // bit-identical: fixed partitioning + ordered merge
+}
+
+TEST(ParallelReduce, ResultIndependentOfThreadCountForOrderInsensitiveAccumulators) {
+  ThreadPool p1(1);
+  ThreadPool p4(4);
+  auto run = [&](ThreadPool& pool) {
+    return parallel_reduce(
+        5000, [] { return std::uint64_t{0}; },
+        [](std::uint64_t& acc, std::size_t i) { acc += i * i; },
+        [](std::uint64_t& dst, const std::uint64_t& src) { dst += src; }, pool);
+  };
+  EXPECT_EQ(run(p1), run(p4));
+}
+
+TEST(DefaultThreadCount, Positive) { EXPECT_GE(default_thread_count(), 1u); }
+
+}  // namespace
+}  // namespace ssdfail::parallel

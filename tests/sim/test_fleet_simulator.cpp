@@ -1,0 +1,109 @@
+#include "sim/fleet_simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace ssdfail::sim {
+namespace {
+
+TEST(FleetSimulator, IndexLayoutIsModelMajor) {
+  FleetConfig cfg;
+  cfg.drives_per_model = 10;
+  FleetSimulator sim(cfg);
+  EXPECT_EQ(sim.drive_count(), 30u);
+  EXPECT_EQ(sim.simulate(0).model, trace::DriveModel::MlcA);
+  EXPECT_EQ(sim.simulate(9).model, trace::DriveModel::MlcA);
+  EXPECT_EQ(sim.simulate(10).model, trace::DriveModel::MlcB);
+  EXPECT_EQ(sim.simulate(29).model, trace::DriveModel::MlcD);
+  EXPECT_EQ(sim.simulate(13).drive_index, 3u);
+}
+
+TEST(FleetSimulator, SimulateIsIdempotent) {
+  FleetConfig cfg;
+  cfg.drives_per_model = 5;
+  FleetSimulator sim(cfg);
+  const auto a = sim.simulate(7);
+  const auto b = sim.simulate(7);
+  EXPECT_EQ(a.records.size(), b.records.size());
+  EXPECT_EQ(a.deploy_day, b.deploy_day);
+}
+
+TEST(FleetSimulator, DriveUnaffectedByFleetSize) {
+  // Scaling the fleet must not change already-existing drives (stable
+  // subsets under SSDFAIL_DRIVES_PER_MODEL scaling).
+  FleetConfig small;
+  small.drives_per_model = 5;
+  FleetConfig large;
+  large.drives_per_model = 50;
+  const auto a = FleetSimulator(small).simulate(2);   // MLC-A drive 2
+  const auto b = FleetSimulator(large).simulate(2);   // same drive
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i)
+    ASSERT_EQ(a.records[i].writes, b.records[i].writes);
+}
+
+TEST(FleetSimulator, GenerateAllMatchesSimulate) {
+  FleetConfig cfg;
+  cfg.drives_per_model = 4;
+  FleetSimulator sim(cfg);
+  const auto fleet = sim.generate_all();
+  ASSERT_EQ(fleet.drives.size(), 12u);
+  for (std::size_t i = 0; i < fleet.drives.size(); ++i) {
+    const auto d = sim.simulate(i);
+    EXPECT_EQ(fleet.drives[i].uid(), d.uid());
+    EXPECT_EQ(fleet.drives[i].records.size(), d.records.size());
+  }
+}
+
+TEST(FleetSimulator, VisitCountsEveryDriveOnce) {
+  FleetConfig cfg;
+  cfg.drives_per_model = 20;
+  FleetSimulator sim(cfg);
+  parallel::ThreadPool pool(4);
+  const auto count = sim.visit(
+      [] { return std::size_t{0}; },
+      [](std::size_t& acc, const trace::DriveHistory&) { ++acc; },
+      [](std::size_t& dst, const std::size_t& src) { dst += src; }, pool);
+  EXPECT_EQ(count, 60u);
+}
+
+TEST(FleetSimulator, VisitResultIndependentOfThreadCount) {
+  FleetConfig cfg;
+  cfg.drives_per_model = 15;
+  FleetSimulator sim(cfg);
+  parallel::ThreadPool p1(1);
+  parallel::ThreadPool p4(4);
+  auto total_writes = [&](parallel::ThreadPool& pool) {
+    return sim.visit(
+        [] { return std::uint64_t{0}; },
+        [](std::uint64_t& acc, const trace::DriveHistory& d) {
+          for (const auto& r : d.records) acc += r.writes;
+        },
+        [](std::uint64_t& dst, const std::uint64_t& src) { dst += src; }, pool);
+  };
+  EXPECT_EQ(total_writes(p1), total_writes(p4));
+}
+
+TEST(FleetSimulator, KeepGroundTruthFlagPropagates) {
+  FleetConfig cfg;
+  cfg.drives_per_model = 2;
+  cfg.keep_ground_truth = false;
+  FleetSimulator sim(cfg);
+  EXPECT_FALSE(sim.simulate(0).truth.has_value());
+}
+
+TEST(FleetConfig, EnvOverrides) {
+  ::setenv("SSDFAIL_DRIVES_PER_MODEL", "123", 1);
+  ::setenv("SSDFAIL_SEED", "77", 1);
+  const FleetConfig cfg = FleetConfig::from_env();
+  EXPECT_EQ(cfg.drives_per_model, 123u);
+  EXPECT_EQ(cfg.seed, 77u);
+  ::unsetenv("SSDFAIL_DRIVES_PER_MODEL");
+  ::unsetenv("SSDFAIL_SEED");
+  const FleetConfig def = FleetConfig::from_env();
+  EXPECT_EQ(def.drives_per_model, FleetConfig{}.drives_per_model);
+}
+
+}  // namespace
+}  // namespace ssdfail::sim

@@ -1,0 +1,109 @@
+#include "sim/model_spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace ssdfail::sim {
+namespace {
+
+using trace::DriveModel;
+using trace::ErrorType;
+
+class ModelPresetTest : public ::testing::TestWithParam<DriveModel> {};
+
+TEST_P(ModelPresetTest, ErrorProbabilitiesAreValid) {
+  const DriveModelSpec& s = preset(GetParam());
+  for (std::size_t i = 0; i < trace::kNumErrorTypes; ++i) {
+    const ErrorTypeSpec& es = s.errors[i];
+    EXPECT_GE(es.base_day_prob, 0.0) << "error type " << i;
+    EXPECT_LE(es.base_day_prob, 1.0) << "error type " << i;
+    EXPECT_GE(es.count_sigma_log, 0.0);
+    EXPECT_GE(es.ramp_weight, 0.0);
+    EXPECT_LE(es.ramp_weight, 1.0);
+  }
+}
+
+TEST_P(ModelPresetTest, RepairDistributionIsProper) {
+  const RepairSpec& r = preset(GetParam()).repair;
+  EXPECT_GT(r.return_probability, 0.0);
+  EXPECT_LT(r.return_probability, 1.0);
+  double mass = std::accumulate(r.bin_mass.begin(), r.bin_mass.end(), 0.0);
+  EXPECT_NEAR(mass, 1.0, 0.01);  // Table 5 masses sum to ~100%
+  for (std::size_t i = 0; i + 1 < r.knot_days.size(); ++i)
+    EXPECT_LT(r.knot_days[i], r.knot_days[i + 1]);
+  EXPECT_GE(r.knot_days.front(), 1.0);
+}
+
+TEST_P(ModelPresetTest, FailureSpecSane) {
+  const FailureSpec& f = preset(GetParam()).failure;
+  EXPECT_GT(f.mature_hazard_per_day, 0.0);
+  EXPECT_LT(f.mature_hazard_per_day, 1e-3);
+  EXPECT_GT(f.infant_boost, 0.0);
+  EXPECT_GT(f.infant_tau_days, 0.0);
+  EXPECT_LT(f.fully_silent_young, f.fully_silent_old)
+      << "young failures have the more robust symptoms (Section 5.3)";
+  EXPECT_GT(f.ue_channel_young, f.ue_channel_old)
+      << "P(UE in the final days) is higher for young failures (Fig 11 top); "
+         "their higher zero-UE-EVER share (Fig 10) comes from short lifetimes";
+  EXPECT_LT(f.failure_day_activity_lo, f.failure_day_activity_hi);
+}
+
+TEST_P(ModelPresetTest, DeployAndWorkloadSane) {
+  const DriveModelSpec& s = preset(GetParam());
+  EXPECT_GT(s.deploy.report_probability, 0.8);
+  EXPECT_LE(s.deploy.report_probability, 1.0);
+  EXPECT_LT(s.deploy.early_span_days, s.deploy.late_span_days);
+  EXPECT_GT(s.workload.write_base_per_day, 1e7);
+  EXPECT_GT(s.workload.young_factor, 0.0);
+  EXPECT_LT(s.workload.young_factor, 1.0)
+      << "young drives see markedly fewer writes (Fig 7)";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, ModelPresetTest,
+                         ::testing::ValuesIn(trace::kAllModels),
+                         [](const auto& param_info) {
+                           return std::string(trace::model_name(param_info.param)).substr(4);
+                         });
+
+TEST(ModelPresets, HazardOrderingMatchesTable3) {
+  // Table 3: MLC-B fails most (14.3%), then MLC-D (12.5%), then MLC-A (6.95%).
+  const double ha = preset(DriveModel::MlcA).failure.mature_hazard_per_day;
+  const double hb = preset(DriveModel::MlcB).failure.mature_hazard_per_day;
+  const double hd = preset(DriveModel::MlcD).failure.mature_hazard_per_day;
+  EXPECT_GT(hb, hd);
+  EXPECT_GT(hd, ha);
+}
+
+TEST(ModelPresets, ReturnProbabilityMatchesTable5InfinityColumn) {
+  EXPECT_NEAR(preset(DriveModel::MlcA).repair.return_probability, 0.534, 1e-9);
+  EXPECT_NEAR(preset(DriveModel::MlcB).repair.return_probability, 0.439, 1e-9);
+  EXPECT_NEAR(preset(DriveModel::MlcD).repair.return_probability, 0.576, 1e-9);
+}
+
+TEST(ModelPresets, WriteErrorQuirkOfMlcB) {
+  // Table 1: MLC-B's write-error incidence is ~10x the other two models.
+  const auto rate = [](DriveModel m) {
+    return preset(m).errors[static_cast<std::size_t>(ErrorType::kWrite)].base_day_prob;
+  };
+  EXPECT_GT(rate(DriveModel::MlcB), 5.0 * rate(DriveModel::MlcA));
+  EXPECT_GT(rate(DriveModel::MlcB), 5.0 * rate(DriveModel::MlcD));
+}
+
+TEST(ModelPresets, UncorrectableRampIsStrongest) {
+  // The UE ramp drives Fig 11; no other error type should outrank it.
+  for (DriveModel m : trace::kAllModels) {
+    const auto& errors = preset(m).errors;
+    const double ue_w =
+        errors[static_cast<std::size_t>(ErrorType::kUncorrectable)].ramp_weight;
+    for (std::size_t i = 0; i < trace::kNumErrorTypes; ++i)
+      EXPECT_LE(errors[i].ramp_weight, ue_w);
+  }
+}
+
+TEST(ModelPresets, PresetThrowsOnBadModel) {
+  EXPECT_THROW((void)preset(static_cast<DriveModel>(7)), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace ssdfail::sim

@@ -1,0 +1,96 @@
+#include "stats/ecdf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ssdfail::stats {
+namespace {
+
+TEST(Ecdf, BasicEvaluation) {
+  Ecdf cdf({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(cdf.at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.at(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(cdf.at(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.at(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.at(100.0), 1.0);
+}
+
+TEST(Ecdf, HandlesDuplicates) {
+  Ecdf cdf({2.0, 2.0, 2.0, 5.0});
+  EXPECT_DOUBLE_EQ(cdf.at(2.0), 0.75);
+  EXPECT_DOUBLE_EQ(cdf.at(1.9), 0.0);
+}
+
+TEST(Ecdf, IncrementalAdd) {
+  Ecdf cdf;
+  cdf.add(3.0);
+  cdf.add(1.0);
+  cdf.add(2.0);
+  EXPECT_DOUBLE_EQ(cdf.at(1.5), 1.0 / 3.0);
+  cdf.add(0.0);
+  EXPECT_DOUBLE_EQ(cdf.at(1.5), 0.5);
+}
+
+TEST(Ecdf, EmptyIsNaN) {
+  Ecdf cdf;
+  EXPECT_TRUE(std::isnan(cdf.at(1.0)));
+  EXPECT_TRUE(std::isnan(cdf.quantile(0.5)));
+}
+
+TEST(Ecdf, QuantileInverse) {
+  Ecdf cdf({10.0, 20.0, 30.0, 40.0, 50.0});
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.2), 10.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 30.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 50.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.0), 10.0);
+}
+
+TEST(Ecdf, MergeCombinesSamples) {
+  Ecdf a({1.0, 2.0});
+  Ecdf b({3.0, 4.0});
+  a.merge(b);
+  EXPECT_EQ(a.size(), 4u);
+  EXPECT_DOUBLE_EQ(a.at(2.5), 0.5);
+}
+
+TEST(CensoredEcdf, SplitsMassCorrectly) {
+  CensoredEcdf cdf;
+  cdf.add_observed(1.0);
+  cdf.add_observed(2.0);
+  cdf.add_censored();
+  cdf.add_censored();
+  EXPECT_DOUBLE_EQ(cdf.censored_fraction(), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.at(2.0), 0.5);    // both finite observations
+  EXPECT_DOUBLE_EQ(cdf.at(1.0), 0.25);   // one of four
+  EXPECT_DOUBLE_EQ(cdf.at(1e9), 0.5);    // censored mass never enters
+}
+
+TEST(CensoredEcdf, AllCensored) {
+  CensoredEcdf cdf;
+  cdf.add_censored();
+  EXPECT_DOUBLE_EQ(cdf.censored_fraction(), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.at(1.0), 0.0);
+}
+
+TEST(CensoredEcdf, Merge) {
+  CensoredEcdf a;
+  a.add_observed(1.0);
+  CensoredEcdf b;
+  b.add_censored();
+  a.merge(b);
+  EXPECT_EQ(a.total(), 2u);
+  EXPECT_DOUBLE_EQ(a.censored_fraction(), 0.5);
+}
+
+TEST(EvaluateCdf, GridEvaluation) {
+  Ecdf cdf({1.0, 2.0, 3.0, 4.0});
+  const auto pts = evaluate_cdf(cdf, {0.0, 2.0, 5.0});
+  ASSERT_EQ(pts.size(), 3u);
+  EXPECT_DOUBLE_EQ(pts[0].p, 0.0);
+  EXPECT_DOUBLE_EQ(pts[1].p, 0.5);
+  EXPECT_DOUBLE_EQ(pts[2].p, 1.0);
+}
+
+}  // namespace
+}  // namespace ssdfail::stats

@@ -1,0 +1,89 @@
+#include "stats/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace ssdfail::stats {
+namespace {
+
+TEST(Histogram, BinAssignment) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_EQ(h.bin_index(0.0), 0u);
+  EXPECT_EQ(h.bin_index(1.99), 0u);
+  EXPECT_EQ(h.bin_index(2.0), 1u);
+  EXPECT_EQ(h.bin_index(9.99), 4u);
+}
+
+TEST(Histogram, ClampsOutOfRange) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_EQ(h.bin_index(-5.0), 0u);
+  EXPECT_EQ(h.bin_index(100.0), 4u);
+}
+
+TEST(Histogram, AddAndTotal) {
+  Histogram h(0.0, 10.0, 2);
+  h.add(1.0);
+  h.add(6.0, 2.5);
+  EXPECT_DOUBLE_EQ(h.count(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.count(1), 2.5);
+  EXPECT_DOUBLE_EQ(h.total(), 3.5);
+}
+
+TEST(Histogram, BinEdges) {
+  Histogram h(10.0, 20.0, 4);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 10.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 12.5);
+  EXPECT_DOUBLE_EQ(h.bin_lo(3), 17.5);
+  EXPECT_DOUBLE_EQ(h.bin_hi(3), 20.0);
+}
+
+TEST(Histogram, Merge) {
+  Histogram a(0.0, 4.0, 2);
+  Histogram b(0.0, 4.0, 2);
+  a.add(1.0);
+  b.add(3.0);
+  b.add(1.0);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.count(0), 2.0);
+  EXPECT_DOUBLE_EQ(a.count(1), 1.0);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(0.0, 0.0, 5), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 10.0, 0), std::invalid_argument);
+  EXPECT_THROW(Histogram(5.0, 1.0, 3), std::invalid_argument);
+}
+
+TEST(BinnedRate, RateIsEventsOverExposure) {
+  BinnedRate r(0.0, 10.0, 2);
+  r.add_exposure(1.0, 100.0);
+  r.add_event(1.0, 5.0);
+  EXPECT_DOUBLE_EQ(r.rate(0), 0.05);
+  EXPECT_DOUBLE_EQ(r.rate(1), 0.0);  // no exposure -> 0, not NaN
+}
+
+TEST(BinnedRate, NormalizesUnevenPopulations) {
+  // Same underlying per-exposure rate in both bins, very different
+  // populations: rates must come out equal.
+  BinnedRate r(0.0, 2.0, 2);
+  r.add_exposure(0.5, 10000.0);
+  r.add_event(0.5, 100.0);
+  r.add_exposure(1.5, 10.0);
+  r.add_event(1.5, 0.1);
+  EXPECT_DOUBLE_EQ(r.rate(0), r.rate(1));
+}
+
+TEST(BinnedRate, Merge) {
+  BinnedRate a(0.0, 1.0, 1);
+  BinnedRate b(0.0, 1.0, 1);
+  a.add_exposure(0.5, 50.0);
+  b.add_exposure(0.5, 50.0);
+  a.add_event(0.5, 1.0);
+  b.add_event(0.5, 3.0);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.rate(0), 0.04);
+}
+
+}  // namespace
+}  // namespace ssdfail::stats

@@ -1,0 +1,56 @@
+#include "stats/normal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ssdfail::stats {
+namespace {
+
+TEST(NormQuantile, KnownValues) {
+  EXPECT_NEAR(norm_quantile(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(norm_quantile(0.975), 1.959964, 1e-5);
+  EXPECT_NEAR(norm_quantile(0.025), -1.959964, 1e-5);
+  EXPECT_NEAR(norm_quantile(0.8413447), 1.0, 1e-4);
+}
+
+TEST(NormQuantile, EdgeCases) {
+  EXPECT_EQ(norm_quantile(0.0), -std::numeric_limits<double>::infinity());
+  EXPECT_EQ(norm_quantile(1.0), std::numeric_limits<double>::infinity());
+}
+
+TEST(NormCdf, KnownValues) {
+  EXPECT_NEAR(norm_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(norm_cdf(1.0), 0.8413447, 1e-6);
+  EXPECT_NEAR(norm_cdf(-1.0), 0.1586553, 1e-6);
+  EXPECT_NEAR(norm_cdf(3.0), 0.9986501, 1e-6);
+}
+
+class NormRoundTripTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(NormRoundTripTest, QuantileInvertsCdf) {
+  const double p = GetParam();
+  EXPECT_NEAR(norm_cdf(norm_quantile(p)), p, 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Probabilities, NormRoundTripTest,
+                         ::testing::Values(1e-6, 1e-3, 0.01, 0.1, 0.3, 0.5, 0.7,
+                                           0.9, 0.99, 0.999, 1.0 - 1e-6));
+
+TEST(NormQuantile, MonotoneOverGrid) {
+  double prev = -std::numeric_limits<double>::infinity();
+  for (double p = 0.001; p < 1.0; p += 0.001) {
+    const double q = norm_quantile(p);
+    ASSERT_GT(q, prev);
+    prev = q;
+  }
+}
+
+TEST(NormQuantile, Symmetry) {
+  for (double p : {0.01, 0.1, 0.25, 0.4}) {
+    EXPECT_NEAR(norm_quantile(p), -norm_quantile(1.0 - p), 1e-8);
+  }
+}
+
+}  // namespace
+}  // namespace ssdfail::stats

@@ -1,0 +1,180 @@
+#include "stats/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace ssdfail::stats {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i)
+    if (a.next_u64() == b.next_u64()) ++equal;
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, KeyedConstructionMatchesHash) {
+  Rng a({7, 8, 9});
+  Rng b(hash_keys({7, 8, 9}));
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, HashKeysIsOrderSensitive) {
+  EXPECT_NE(hash_keys({1, 2}), hash_keys({2, 1}));
+  EXPECT_NE(hash_keys({1}), hash_keys({1, 0}));
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanAndVariance) {
+  Rng rng(4);
+  double sum = 0.0;
+  double sum2 = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.uniform();
+    sum += u;
+    sum2 += u * u;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.5, 0.005);
+  EXPECT_NEAR(var, 1.0 / 12.0, 0.003);
+}
+
+TEST(Rng, UniformIndexCoversRangeUniformly) {
+  Rng rng(5);
+  std::vector<int> counts(7, 0);
+  const int n = 70000;
+  for (int i = 0; i < n; ++i) ++counts[static_cast<std::size_t>(rng.uniform_index(7))];
+  for (int c : counts) EXPECT_NEAR(c, n / 7, 500);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(6);
+  double sum = 0.0;
+  double sum2 = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.01);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.02);
+}
+
+TEST(Rng, LognormalMedian) {
+  Rng rng(7);
+  std::vector<double> xs;
+  for (int i = 0; i < 50001; ++i) xs.push_back(rng.lognormal(std::log(5.0), 0.8));
+  std::nth_element(xs.begin(), xs.begin() + 25000, xs.end());
+  EXPECT_NEAR(xs[25000], 5.0, 0.2);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(8);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(0.25);
+  EXPECT_NEAR(sum / n, 4.0, 0.1);
+}
+
+TEST(Rng, WeibullShapeOneIsExponential) {
+  Rng rng(9);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.weibull(1.0, 3.0);
+  EXPECT_NEAR(sum / n, 3.0, 0.1);
+}
+
+TEST(Rng, ParetoAboveMinimum) {
+  Rng rng(10);
+  for (int i = 0; i < 10000; ++i) EXPECT_GE(rng.pareto(2.0, 1.5), 2.0);
+}
+
+TEST(Rng, LoguniformWithinBounds) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.loguniform(1.0, 1000.0);
+    EXPECT_GE(x, 1.0);
+    EXPECT_LE(x, 1000.0);
+  }
+}
+
+TEST(Rng, PoissonSmallMean) {
+  Rng rng(12);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.poisson(2.5));
+  EXPECT_NEAR(sum / n, 2.5, 0.05);
+}
+
+TEST(Rng, PoissonLargeMean) {
+  Rng rng(13);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.poisson(500.0));
+  EXPECT_NEAR(sum / n, 500.0, 2.0);
+}
+
+TEST(Rng, PoissonZeroMeanIsZero) {
+  Rng rng(14);
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+  EXPECT_EQ(rng.poisson(-1.0), 0u);
+}
+
+TEST(Rng, CategoricalRespectsWeights) {
+  Rng rng(15);
+  const std::vector<double> w = {1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) ++counts[rng.categorical(w)];
+  EXPECT_NEAR(counts[0], n / 4, 400);
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(counts[2], 3 * n / 4, 400);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(16);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+class RngDistributionParamTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(RngDistributionParamTest, ExponentialMeanMatchesRate) {
+  const double rate = GetParam();
+  Rng rng(100 + static_cast<std::uint64_t>(rate * 1000));
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(rate);
+  EXPECT_NEAR(sum / n, 1.0 / rate, 0.03 / rate);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, RngDistributionParamTest,
+                         ::testing::Values(0.1, 0.5, 1.0, 2.0, 10.0));
+
+}  // namespace
+}  // namespace ssdfail::stats

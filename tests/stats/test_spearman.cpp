@@ -1,0 +1,120 @@
+#include "stats/spearman.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/rng.hpp"
+
+namespace ssdfail::stats {
+namespace {
+
+TEST(Midranks, NoTies) {
+  const std::vector<double> v = {30.0, 10.0, 20.0};
+  const auto r = midranks(v);
+  EXPECT_DOUBLE_EQ(r[0], 3.0);
+  EXPECT_DOUBLE_EQ(r[1], 1.0);
+  EXPECT_DOUBLE_EQ(r[2], 2.0);
+}
+
+TEST(Midranks, TieGroupsShareAverage) {
+  const std::vector<double> v = {5.0, 1.0, 5.0, 1.0, 9.0};
+  const auto r = midranks(v);
+  EXPECT_DOUBLE_EQ(r[1], 1.5);
+  EXPECT_DOUBLE_EQ(r[3], 1.5);
+  EXPECT_DOUBLE_EQ(r[0], 3.5);
+  EXPECT_DOUBLE_EQ(r[2], 3.5);
+  EXPECT_DOUBLE_EQ(r[4], 5.0);
+}
+
+TEST(Midranks, AllEqual) {
+  const std::vector<double> v = {2.0, 2.0, 2.0};
+  const auto r = midranks(v);
+  for (double x : r) EXPECT_DOUBLE_EQ(x, 2.0);
+}
+
+TEST(Pearson, PerfectLinear) {
+  const std::vector<double> x = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> y = {2.0, 4.0, 6.0, 8.0};
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+}
+
+TEST(Pearson, PerfectNegative) {
+  const std::vector<double> x = {1.0, 2.0, 3.0};
+  const std::vector<double> y = {3.0, 2.0, 1.0};
+  EXPECT_NEAR(pearson(x, y), -1.0, 1e-12);
+}
+
+TEST(Pearson, ConstantSideIsNaN) {
+  const std::vector<double> x = {1.0, 1.0, 1.0};
+  const std::vector<double> y = {1.0, 2.0, 3.0};
+  EXPECT_TRUE(std::isnan(pearson(x, y)));
+}
+
+TEST(Pearson, SizeMismatchThrows) {
+  const std::vector<double> x = {1.0, 2.0};
+  const std::vector<double> y = {1.0};
+  EXPECT_THROW((void)pearson(x, y), std::invalid_argument);
+}
+
+TEST(Spearman, DetectsMonotoneNonlinear) {
+  // y = x^3 is monotone: Spearman must be exactly 1, Pearson less than 1.
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = -10; i <= 10; ++i) {
+    x.push_back(i);
+    y.push_back(static_cast<double>(i) * i * i);
+  }
+  EXPECT_NEAR(spearman(x, y), 1.0, 1e-12);
+  EXPECT_LT(pearson(x, y), 1.0);
+}
+
+TEST(Spearman, IndependentNearZero) {
+  Rng rng(123);
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 20000; ++i) {
+    x.push_back(rng.uniform());
+    y.push_back(rng.uniform());
+  }
+  EXPECT_NEAR(spearman(x, y), 0.0, 0.02);
+}
+
+TEST(Spearman, HeavyZeroInflationWithSignal) {
+  // Mimics cumulative error counts: mostly zeros, with both incidence and
+  // magnitude growing in x.  Tie-aware Spearman must be clearly positive.
+  Rng rng(9);
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 5000; ++i) {
+    const double xi = rng.uniform();
+    x.push_back(xi);
+    y.push_back(rng.bernoulli(0.25 * xi) ? xi * 100.0 : 0.0);
+  }
+  const double rho = spearman(x, y);
+  EXPECT_GT(rho, 0.1);
+  EXPECT_LT(rho, 0.6);
+}
+
+TEST(SpearmanMatrix, SymmetricWithUnitDiagonal) {
+  Rng rng(55);
+  std::vector<std::vector<double>> cols(3);
+  for (int i = 0; i < 500; ++i) {
+    const double base = rng.uniform();
+    cols[0].push_back(base);
+    cols[1].push_back(base + 0.1 * rng.normal());
+    cols[2].push_back(rng.uniform());
+  }
+  const auto m = spearman_matrix(cols);
+  ASSERT_EQ(m.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(m[i][i], 1.0);
+    for (std::size_t j = 0; j < 3; ++j) EXPECT_DOUBLE_EQ(m[i][j], m[j][i]);
+  }
+  EXPECT_GT(m[0][1], 0.9);
+  EXPECT_LT(std::abs(m[0][2]), 0.15);
+}
+
+}  // namespace
+}  // namespace ssdfail::stats

@@ -1,0 +1,131 @@
+#include "stats/streaming.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "stats/rng.hpp"
+
+namespace ssdfail::stats {
+namespace {
+
+TEST(StreamingSummary, BasicMoments) {
+  StreamingSummary s;
+  for (double x : {1.0, 2.0, 3.0, 4.0, 5.0}) s.add(x);
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 15.0);
+}
+
+TEST(StreamingSummary, EmptyIsSafe) {
+  StreamingSummary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(StreamingSummary, MergeEqualsSequential) {
+  Rng rng(77);
+  std::vector<double> xs;
+  for (int i = 0; i < 2000; ++i) xs.push_back(rng.normal(10.0, 3.0));
+
+  StreamingSummary whole;
+  for (double x : xs) whole.add(x);
+
+  StreamingSummary a;
+  StreamingSummary b;
+  for (std::size_t i = 0; i < xs.size(); ++i) (i < 700 ? a : b).add(xs[i]);
+  a.merge(b);
+
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-8);
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(StreamingSummary, MergeWithEmpty) {
+  StreamingSummary a;
+  a.add(1.0);
+  a.add(3.0);
+  StreamingSummary b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+
+  StreamingSummary c;
+  c.merge(a);
+  EXPECT_EQ(c.count(), 2u);
+  EXPECT_DOUBLE_EQ(c.mean(), 2.0);
+}
+
+TEST(ReservoirSample, KeepsEverythingBelowCapacity) {
+  ReservoirSample r(10);
+  for (int i = 0; i < 5; ++i) r.add(i);
+  EXPECT_EQ(r.values().size(), 5u);
+  EXPECT_EQ(r.population(), 5u);
+}
+
+TEST(ReservoirSample, CapsAtCapacity) {
+  ReservoirSample r(10);
+  for (int i = 0; i < 1000; ++i) r.add(i);
+  EXPECT_EQ(r.values().size(), 10u);
+  EXPECT_EQ(r.population(), 1000u);
+}
+
+TEST(ReservoirSample, ApproximatelyUniform) {
+  // Feed 0..999 into many reservoirs; sampled mean should approach 499.5.
+  double total = 0.0;
+  std::size_t n = 0;
+  for (int rep = 0; rep < 300; ++rep) {
+    ReservoirSample r(20, static_cast<std::uint64_t>(rep));
+    for (int i = 0; i < 1000; ++i) r.add(i);
+    for (double v : r.values()) {
+      total += v;
+      ++n;
+    }
+  }
+  EXPECT_NEAR(total / static_cast<double>(n), 499.5, 15.0);
+}
+
+TEST(ReservoirSample, MergeTracksPopulation) {
+  ReservoirSample a(16, 1);
+  ReservoirSample b(16, 2);
+  for (int i = 0; i < 100; ++i) a.add(1.0);
+  for (int i = 0; i < 300; ++i) b.add(2.0);
+  a.merge(b);
+  EXPECT_EQ(a.population(), 400u);
+  // ~75% of merged values should come from b.
+  int twos = 0;
+  for (double v : a.values())
+    if (v == 2.0) ++twos;
+  EXPECT_GT(twos, 16 / 2);
+}
+
+TEST(Quantile, SortedInterpolation) {
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 1.0 / 3.0), 2.0);
+}
+
+TEST(Quantile, EmptyIsNaN) {
+  EXPECT_TRUE(std::isnan(quantile_sorted({}, 0.5)));
+}
+
+TEST(Quantile, SingleElement) {
+  EXPECT_DOUBLE_EQ(quantile_sorted({7.0}, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted({7.0}, 1.0), 7.0);
+}
+
+TEST(Quantile, UnsortedConvenience) {
+  EXPECT_DOUBLE_EQ(quantile({4.0, 1.0, 3.0, 2.0}, 0.5), 2.5);
+}
+
+}  // namespace
+}  // namespace ssdfail::stats

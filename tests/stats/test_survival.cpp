@@ -1,0 +1,114 @@
+#include "stats/survival.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/rng.hpp"
+
+namespace ssdfail::stats {
+namespace {
+
+TEST(KaplanMeier, NoCensoringMatchesEmpiricalSurvival) {
+  // Events at 1,2,3,4: S(t) steps down by 1/4 each time.
+  std::vector<SurvivalObservation> obs = {
+      {1.0, true}, {2.0, true}, {3.0, true}, {4.0, true}};
+  const auto curve = kaplan_meier(obs);
+  ASSERT_EQ(curve.size(), 4u);
+  EXPECT_DOUBLE_EQ(curve[0].value, 0.75);
+  EXPECT_DOUBLE_EQ(curve[1].value, 0.50);
+  EXPECT_DOUBLE_EQ(curve[2].value, 0.25);
+  EXPECT_DOUBLE_EQ(curve[3].value, 0.0);
+}
+
+TEST(KaplanMeier, TextbookCensoredExample) {
+  // Classic worked example: events at 6 (3x), 7, 10, 13, 16, 22, 23;
+  // censored at 6, 9, 10, 11, 17, 19, 20, 25, 32, 32, 34, 35 (leukemia 6-MP
+  // arm, Freireich 1963).  S(6) = 21/21 * (1 - 3/21) = 0.857.
+  std::vector<SurvivalObservation> obs;
+  for (double t : {6.0, 6.0, 6.0, 7.0, 10.0, 13.0, 16.0, 22.0, 23.0})
+    obs.push_back({t, true});
+  for (double t : {6.0, 9.0, 10.0, 11.0, 17.0, 19.0, 20.0, 25.0, 32.0, 32.0, 34.0, 35.0})
+    obs.push_back({t, false});
+  const auto curve = kaplan_meier(obs);
+  EXPECT_NEAR(step_at(curve, 6.0, 1.0), 0.857, 1e-3);
+  EXPECT_NEAR(step_at(curve, 7.0, 1.0), 0.807, 1e-3);
+  EXPECT_NEAR(step_at(curve, 10.0, 1.0), 0.753, 1e-3);
+  EXPECT_NEAR(step_at(curve, 23.0, 1.0), 0.448, 1e-3);
+}
+
+TEST(KaplanMeier, CensoringRemovesFromRiskSet) {
+  std::vector<SurvivalObservation> obs = {
+      {1.0, true}, {2.0, false}, {3.0, true}, {4.0, false}};
+  const auto curve = kaplan_meier(obs);
+  ASSERT_EQ(curve.size(), 2u);
+  EXPECT_DOUBLE_EQ(curve[0].value, 0.75);           // 1 - 1/4
+  EXPECT_DOUBLE_EQ(curve[1].value, 0.75 * 0.5);     // 1 - 1/2 (2 at risk)
+  EXPECT_EQ(curve[1].at_risk, 2u);
+}
+
+TEST(KaplanMeier, EmptyAndAllCensored) {
+  EXPECT_TRUE(kaplan_meier({}).empty());
+  const auto curve = kaplan_meier({{5.0, false}, {7.0, false}});
+  EXPECT_TRUE(curve.empty());
+  EXPECT_DOUBLE_EQ(step_at(curve, 10.0, 1.0), 1.0);
+}
+
+TEST(KaplanMeier, TieOfEventAndCensorAtSameTime) {
+  // Censored-at-t subject is still at risk for the event at t.
+  std::vector<SurvivalObservation> obs = {{2.0, true}, {2.0, false}, {5.0, true}};
+  const auto curve = kaplan_meier(obs);
+  ASSERT_EQ(curve.size(), 2u);
+  EXPECT_NEAR(curve[0].value, 1.0 - 1.0 / 3.0, 1e-12);
+  EXPECT_EQ(curve[0].at_risk, 3u);
+}
+
+TEST(KaplanMeier, MatchesTrueExponentialSurvival) {
+  // Exponential(0.01) events censored at 100: KM must track e^{-0.01 t}.
+  Rng rng(8);
+  std::vector<SurvivalObservation> obs;
+  for (int i = 0; i < 20000; ++i) {
+    const double t = rng.exponential(0.01);
+    obs.push_back(t < 100.0 ? SurvivalObservation{t, true}
+                            : SurvivalObservation{100.0, false});
+  }
+  const auto curve = kaplan_meier(obs);
+  for (double t : {10.0, 30.0, 50.0, 80.0})
+    EXPECT_NEAR(step_at(curve, t, 1.0), std::exp(-0.01 * t), 0.01) << t;
+}
+
+TEST(MedianSurvival, FoundAndNotFound) {
+  std::vector<SurvivalObservation> obs = {
+      {1.0, true}, {2.0, true}, {3.0, true}, {4.0, true}};
+  EXPECT_DOUBLE_EQ(median_survival(kaplan_meier(obs)), 2.0);
+  // Heavy censoring: survival never reaches 0.5.
+  std::vector<SurvivalObservation> censored = {
+      {1.0, true}, {9.0, false}, {9.0, false}, {9.0, false}};
+  EXPECT_TRUE(std::isnan(median_survival(kaplan_meier(censored))));
+}
+
+TEST(NelsonAalen, MatchesTrueCumulativeHazard) {
+  Rng rng(9);
+  std::vector<SurvivalObservation> obs;
+  for (int i = 0; i < 20000; ++i) {
+    const double t = rng.exponential(0.02);
+    obs.push_back(t < 60.0 ? SurvivalObservation{t, true}
+                           : SurvivalObservation{60.0, false});
+  }
+  const auto curve = nelson_aalen(obs);
+  for (double t : {10.0, 25.0, 50.0})
+    EXPECT_NEAR(step_at(curve, t, 0.0), 0.02 * t, 0.03) << t;
+}
+
+TEST(NelsonAalen, ExpOfMinusHazardApproximatesKm) {
+  Rng rng(10);
+  std::vector<SurvivalObservation> obs;
+  for (int i = 0; i < 5000; ++i) obs.push_back({rng.weibull(1.5, 50.0), true});
+  const auto km = kaplan_meier(obs);
+  const auto na = nelson_aalen(obs);
+  for (double t : {20.0, 40.0, 60.0})
+    EXPECT_NEAR(step_at(km, t, 1.0), std::exp(-step_at(na, t, 0.0)), 0.02);
+}
+
+}  // namespace
+}  // namespace ssdfail::stats

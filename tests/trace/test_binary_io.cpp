@@ -1,0 +1,89 @@
+#include "trace/binary_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/fleet_simulator.hpp"
+
+namespace ssdfail::trace {
+namespace {
+
+TEST(BinaryIo, RoundTripSimulatedFleet) {
+  sim::FleetConfig cfg;
+  cfg.drives_per_model = 30;
+  const FleetTrace fleet = sim::FleetSimulator(cfg).generate_all();
+
+  std::ostringstream out;
+  write_binary(out, fleet);
+  std::istringstream in(out.str());
+  const FleetTrace back = read_binary(in);
+
+  ASSERT_EQ(back.drives.size(), fleet.drives.size());
+  for (std::size_t d = 0; d < fleet.drives.size(); ++d) {
+    const DriveHistory& a = fleet.drives[d];
+    const DriveHistory& b = back.drives[d];
+    ASSERT_EQ(a.uid(), b.uid());
+    ASSERT_EQ(a.deploy_day, b.deploy_day);
+    ASSERT_EQ(a.records.size(), b.records.size());
+    for (std::size_t r = 0; r < a.records.size(); ++r) {
+      ASSERT_EQ(a.records[r].day, b.records[r].day);
+      ASSERT_EQ(a.records[r].writes, b.records[r].writes);
+      ASSERT_EQ(a.records[r].errors, b.records[r].errors);
+      ASSERT_EQ(a.records[r].read_only, b.records[r].read_only);
+      ASSERT_EQ(a.records[r].dead, b.records[r].dead);
+      ASSERT_EQ(a.records[r].factory_bad_blocks, b.records[r].factory_bad_blocks);
+    }
+    ASSERT_EQ(a.swaps.size(), b.swaps.size());
+    for (std::size_t s = 0; s < a.swaps.size(); ++s)
+      ASSERT_EQ(a.swaps[s].day, b.swaps[s].day);
+    EXPECT_FALSE(b.truth.has_value());  // ground truth never serialized
+  }
+}
+
+TEST(BinaryIo, RejectsBadMagic) {
+  std::istringstream in("NOPE....");
+  EXPECT_THROW((void)read_binary(in), std::runtime_error);
+}
+
+TEST(BinaryIo, RejectsUnsupportedVersion) {
+  std::ostringstream out;
+  out.write("SSDF", 4);
+  const std::uint32_t bad_version = 999;
+  out.write(reinterpret_cast<const char*>(&bad_version), 4);
+  const std::uint64_t zero = 0;
+  out.write(reinterpret_cast<const char*>(&zero), 8);
+  std::istringstream in(out.str());
+  EXPECT_THROW((void)read_binary(in), std::runtime_error);
+}
+
+TEST(BinaryIo, RejectsTruncatedStream) {
+  sim::FleetConfig cfg;
+  cfg.drives_per_model = 2;
+  const FleetTrace fleet = sim::FleetSimulator(cfg).generate_all();
+  std::ostringstream out;
+  write_binary(out, fleet);
+  const std::string full = out.str();
+  std::istringstream in(full.substr(0, full.size() / 2));
+  EXPECT_THROW((void)read_binary(in), std::runtime_error);
+}
+
+TEST(BinaryIo, EmptyFleetRoundTrips) {
+  std::ostringstream out;
+  write_binary(out, FleetTrace{});
+  std::istringstream in(out.str());
+  EXPECT_TRUE(read_binary(in).drives.empty());
+}
+
+TEST(BinaryIo, MoreCompactThanCsv) {
+  sim::FleetConfig cfg;
+  cfg.drives_per_model = 10;
+  const FleetTrace fleet = sim::FleetSimulator(cfg).generate_all();
+  std::ostringstream bin;
+  write_binary(bin, fleet);
+  // ~71 bytes per record plus headers; CSV is ~3x that.
+  EXPECT_LT(bin.str().size(), fleet.total_records() * 80 + 4096);
+}
+
+}  // namespace
+}  // namespace ssdfail::trace

@@ -1,0 +1,113 @@
+#include "trace/schema.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/drive_history.hpp"
+
+namespace ssdfail::trace {
+namespace {
+
+TEST(Schema, ErrorTransparencyMatchesPaper) {
+  // Section 2: transparent = correctable, read, write, erase;
+  // non-transparent = final read/write, meta, response, timeout, uncorrectable.
+  EXPECT_TRUE(is_transparent(ErrorType::kCorrectable));
+  EXPECT_TRUE(is_transparent(ErrorType::kErase));
+  EXPECT_TRUE(is_transparent(ErrorType::kRead));
+  EXPECT_TRUE(is_transparent(ErrorType::kWrite));
+  EXPECT_FALSE(is_transparent(ErrorType::kFinalRead));
+  EXPECT_FALSE(is_transparent(ErrorType::kFinalWrite));
+  EXPECT_FALSE(is_transparent(ErrorType::kMeta));
+  EXPECT_FALSE(is_transparent(ErrorType::kResponse));
+  EXPECT_FALSE(is_transparent(ErrorType::kTimeout));
+  EXPECT_FALSE(is_transparent(ErrorType::kUncorrectable));
+}
+
+TEST(Schema, NamesAreUnique) {
+  for (ErrorType a : kAllErrorTypes)
+    for (ErrorType b : kAllErrorTypes)
+      if (a != b) {
+        EXPECT_NE(error_name(a), error_name(b));
+      }
+  for (DriveModel a : kAllModels)
+    for (DriveModel b : kAllModels)
+      if (a != b) {
+        EXPECT_NE(model_name(a), model_name(b));
+      }
+}
+
+TEST(DailyRecord, ErrorAccessor) {
+  DailyRecord r;
+  r.errors[static_cast<std::size_t>(ErrorType::kUncorrectable)] = 7;
+  EXPECT_EQ(r.error(ErrorType::kUncorrectable), 7u);
+  EXPECT_EQ(r.error(ErrorType::kMeta), 0u);
+}
+
+TEST(DailyRecord, NontransparentDetection) {
+  DailyRecord r;
+  EXPECT_FALSE(r.any_nontransparent_error());
+  r.errors[static_cast<std::size_t>(ErrorType::kCorrectable)] = 100;
+  EXPECT_FALSE(r.any_nontransparent_error());  // transparent only
+  r.errors[static_cast<std::size_t>(ErrorType::kTimeout)] = 1;
+  EXPECT_TRUE(r.any_nontransparent_error());
+}
+
+TEST(DailyRecord, InactivityIgnoresErases) {
+  DailyRecord r;
+  r.erases = 5;
+  EXPECT_TRUE(r.inactive());
+  r.reads = 1;
+  EXPECT_FALSE(r.inactive());
+}
+
+TEST(CumulativeState, Accumulates) {
+  CumulativeState c;
+  DailyRecord r1;
+  r1.reads = 10;
+  r1.writes = 20;
+  r1.errors[static_cast<std::size_t>(ErrorType::kRead)] = 2;
+  DailyRecord r2;
+  r2.reads = 5;
+  r2.errors[static_cast<std::size_t>(ErrorType::kRead)] = 3;
+  c.apply(r1);
+  c.apply(r2);
+  EXPECT_EQ(c.reads, 15u);
+  EXPECT_EQ(c.writes, 20u);
+  EXPECT_EQ(c.error(ErrorType::kRead), 5u);
+}
+
+TEST(DriveHistory, UidEncodesModelAndIndex) {
+  DriveHistory a;
+  a.model = DriveModel::MlcA;
+  a.drive_index = 5;
+  DriveHistory b;
+  b.model = DriveModel::MlcB;
+  b.drive_index = 5;
+  EXPECT_NE(a.uid(), b.uid());
+}
+
+TEST(DriveHistory, MaxObservedAge) {
+  DriveHistory d;
+  d.deploy_day = 100;
+  EXPECT_EQ(d.max_observed_age(), 0);
+  DailyRecord r;
+  r.day = 100;
+  d.records.push_back(r);
+  EXPECT_EQ(d.max_observed_age(), 1);
+  r.day = 150;
+  d.records.push_back(r);
+  EXPECT_EQ(d.max_observed_age(), 51);
+}
+
+TEST(FleetTrace, Totals) {
+  FleetTrace fleet;
+  DriveHistory d;
+  d.records.resize(3);
+  d.swaps.push_back({10});
+  fleet.drives.push_back(d);
+  fleet.drives.push_back(d);
+  EXPECT_EQ(fleet.total_records(), 6u);
+  EXPECT_EQ(fleet.total_swaps(), 2u);
+}
+
+}  // namespace
+}  // namespace ssdfail::trace

@@ -1,0 +1,128 @@
+#include "trace/validation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/fleet_simulator.hpp"
+
+namespace ssdfail::trace {
+namespace {
+
+DriveHistory clean_drive() {
+  DriveHistory d;
+  d.model = DriveModel::MlcA;
+  d.drive_index = 1;
+  d.deploy_day = 10;
+  for (std::int32_t day = 10; day < 20; ++day) {
+    DailyRecord r;
+    r.day = day;
+    r.reads = 100;
+    r.writes = 100;
+    r.erases = 1;
+    r.pe_cycles = static_cast<std::uint32_t>(day - 10);
+    r.bad_blocks = static_cast<std::uint32_t>((day - 10) / 3);
+    r.factory_bad_blocks = 4;
+    d.records.push_back(r);
+  }
+  d.swaps.push_back({25});
+  return d;
+}
+
+TEST(Validation, CleanDriveHasNoViolations) {
+  std::vector<Violation> out;
+  validate_history(clean_drive(), out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(Validation, DetectsNonMonotoneDays) {
+  DriveHistory d = clean_drive();
+  d.records[5].day = d.records[4].day;
+  std::vector<Violation> out;
+  validate_history(d, out);
+  ASSERT_FALSE(out.empty());
+  EXPECT_EQ(out[0].kind, ViolationKind::kNonMonotoneDays);
+}
+
+TEST(Validation, DetectsRecordBeforeDeploy) {
+  DriveHistory d = clean_drive();
+  d.deploy_day = 15;
+  std::vector<Violation> out;
+  validate_history(d, out);
+  bool found = false;
+  for (const auto& v : out)
+    if (v.kind == ViolationKind::kRecordBeforeDeploy) found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST(Validation, DetectsDecreasingCounters) {
+  DriveHistory d = clean_drive();
+  d.records[6].pe_cycles = 0;
+  d.records[7].bad_blocks = 0;
+  d.records[8].factory_bad_blocks = 9;
+  std::vector<Violation> out;
+  validate_history(d, out);
+  int pe = 0;
+  int bb = 0;
+  int factory = 0;
+  for (const auto& v : out) {
+    if (v.kind == ViolationKind::kDecreasingPeCycles) ++pe;
+    if (v.kind == ViolationKind::kDecreasingBadBlocks) ++bb;
+    if (v.kind == ViolationKind::kFactoryBadBlocksChanged) ++factory;
+  }
+  EXPECT_GE(pe, 1);
+  EXPECT_GE(bb, 1);
+  // The factory count changes twice: 4 -> 9 and 9 -> 4.
+  EXPECT_EQ(factory, 2);
+}
+
+TEST(Validation, DetectsSwapProblems) {
+  DriveHistory d = clean_drive();
+  d.swaps = {{25}, {25}, {5}};
+  std::vector<Violation> out;
+  validate_history(d, out);
+  int order = 0;
+  int before = 0;
+  for (const auto& v : out) {
+    if (v.kind == ViolationKind::kSwapsOutOfOrder) ++order;
+    if (v.kind == ViolationKind::kSwapBeforeActivity) ++before;
+  }
+  EXPECT_EQ(order, 2);  // the duplicate and the backwards swap
+  EXPECT_EQ(before, 1);
+}
+
+TEST(Validation, DetectsErasesWithoutWrites) {
+  DriveHistory d = clean_drive();
+  d.records[3].writes = 0;  // erases still 1
+  std::vector<Violation> out;
+  validate_history(d, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].kind, ViolationKind::kErasesWithoutWrites);
+  EXPECT_EQ(out[0].day, d.records[3].day);
+}
+
+TEST(Validation, SimulatedFleetIsClean) {
+  // The generator must never emit structurally invalid logs.
+  sim::FleetConfig cfg;
+  cfg.drives_per_model = 150;
+  const FleetTrace fleet = sim::FleetSimulator(cfg).generate_all();
+  const auto violations = validate_fleet(fleet);
+  for (const auto& v : violations)
+    ADD_FAILURE() << violation_name(v.kind) << " drive " << v.drive_uid << " day "
+                  << v.day << " " << v.detail;
+  EXPECT_TRUE(violations.empty());
+}
+
+TEST(Validation, NamesAreDistinct) {
+  const ViolationKind kinds[] = {
+      ViolationKind::kNonMonotoneDays,    ViolationKind::kRecordBeforeDeploy,
+      ViolationKind::kDecreasingPeCycles, ViolationKind::kDecreasingBadBlocks,
+      ViolationKind::kFactoryBadBlocksChanged, ViolationKind::kSwapsOutOfOrder,
+      ViolationKind::kSwapBeforeActivity, ViolationKind::kErasesWithoutWrites};
+  for (const auto a : kinds)
+    for (const auto b : kinds)
+      if (a != b) {
+        EXPECT_NE(violation_name(a), violation_name(b));
+      }
+}
+
+}  // namespace
+}  // namespace ssdfail::trace
