@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig12_auc_vs_lookahead.
+# This may be replaced when dependencies are built.
