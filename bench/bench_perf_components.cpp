@@ -4,9 +4,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <memory>
+
 #include "core/characterization.hpp"
 #include "core/dataset_builder.hpp"
 #include "core/failure_timeline.hpp"
+#include "core/online_monitor.hpp"
 #include "ml/downsample.hpp"
 #include "ml/metrics.hpp"
 #include "ml/model_zoo.hpp"
@@ -132,6 +135,52 @@ void BM_RandomForestPredict(benchmark::State& state) {
                           static_cast<std::int64_t>(test.size()));
 }
 BENCHMARK(BM_RandomForestPredict);
+
+std::shared_ptr<const ml::Classifier> monitor_model() {
+  static const std::shared_ptr<const ml::Classifier> model = [] {
+    auto forest = ml::make_model(ml::ModelKind::kRandomForest);
+    forest->fit(ml::downsample_negatives(bench_dataset(), 1.0, 1));
+    return std::shared_ptr<const ml::Classifier>(std::move(forest));
+  }();
+  return model;
+}
+
+// Fleet-scoring service throughput.  Arg(0) = per-record observe() path
+// (the pre-sharding baseline); Arg(k>0) = batched path with k shards on a
+// fixed 8-worker pool, so the shard count — not the worker count — is the
+// scaling knob.  Each iteration scores one fleet-day.  On multi-core
+// hardware the 8-shard batched path is expected to show >= 2x the
+// throughput of 1 shard (shards score in parallel).
+void BM_FleetMonitorScoring(benchmark::State& state) {
+  const auto shards = static_cast<std::size_t>(state.range(0));
+  static parallel::ThreadPool pool(8);
+  core::FleetMonitor monitor(monitor_model(), 0.9, std::max<std::size_t>(shards, 1));
+  std::vector<core::FleetObservation> batch;
+  for (const auto& d : small_fleet().drives)
+    if (!d.records.empty())
+      batch.push_back({d.model, d.drive_index, 0, d.records.front()});
+  std::int32_t day = 0;
+  std::uint64_t scored = 0;
+  for (auto _ : state) {
+    for (auto& obs : batch) obs.record.day = day;
+    if (shards == 0) {
+      for (const auto& obs : batch) {
+        const auto assessment =
+            monitor.observe(obs.drive_model, obs.drive_index, obs.deploy_day, obs.record);
+        benchmark::DoNotOptimize(assessment.risk);
+      }
+    } else {
+      const auto assessments = monitor.observe_batch(batch, pool);
+      benchmark::DoNotOptimize(assessments.data());
+    }
+    ++day;
+    scored += batch.size();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(scored));
+  state.counters["records/s"] =
+      benchmark::Counter(static_cast<double>(scored), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FleetMonitorScoring)->Arg(0)->Arg(1)->Arg(2)->Arg(8);
 
 void BM_RocAuc(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

@@ -3,24 +3,35 @@
 //   ssdfail_cli simulate   --drives N --seed S --out PREFIX [--binary]
 //   ssdfail_cli analyze    --in PREFIX [--binary]
 //   ssdfail_cli benchmark  --drives N [--lookahead N]
+//   ssdfail_cli train      --out MODEL.bin [--model forest|logistic] ...
+//   ssdfail_cli serve      --model-file MODEL.bin [--shards K] ...
 //
 // `simulate` writes a fleet as PREFIX_daily.csv + PREFIX_swaps.csv (or
 // PREFIX.bin with --binary); `analyze` re-imports and prints the headline
 // characterization; `benchmark` trains the paper's random forest and
-// reports cross-validated AUC.
+// reports cross-validated AUC.  `train` fits a model once and persists it
+// (ml/serialize); `serve` loads it and replays a simulated fleet as a
+// day-ordered stream through the sharded FleetMonitor, printing the
+// metrics snapshot — the always-on scoring service in miniature.
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "core/dataset_builder.hpp"
 #include "core/fleet_analysis.hpp"
+#include "core/online_monitor.hpp"
 #include "core/prediction.hpp"
 #include "io/table.hpp"
+#include "ml/downsample.hpp"
 #include "ml/model_zoo.hpp"
+#include "ml/serialize.hpp"
 #include "sim/fleet_simulator.hpp"
 #include "trace/binary_io.hpp"
 #include "trace/trace_io.hpp"
@@ -59,11 +70,16 @@ Args parse(int argc, char** argv, int first) {
 }
 
 int usage() {
-  std::fprintf(stderr,
-               "usage:\n"
-               "  ssdfail_cli simulate  --drives N [--seed S] --out PREFIX [--binary]\n"
-               "  ssdfail_cli analyze   --in PREFIX [--binary]\n"
-               "  ssdfail_cli benchmark [--drives N] [--lookahead N] [--seed S]\n");
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  ssdfail_cli simulate  --drives N [--seed S] --out PREFIX [--binary]\n"
+      "  ssdfail_cli analyze   --in PREFIX [--binary]\n"
+      "  ssdfail_cli benchmark [--drives N] [--lookahead N] [--seed S]\n"
+      "  ssdfail_cli train     --out MODEL.bin [--model forest|logistic]\n"
+      "                        [--drives N] [--seed S] [--lookahead N]\n"
+      "  ssdfail_cli serve     --model-file MODEL.bin [--drives N] [--seed S]\n"
+      "                        [--threshold T] [--shards K] [--sequential]\n");
   return 2;
 }
 
@@ -177,6 +193,121 @@ int cmd_benchmark(const Args& args) {
   return 0;
 }
 
+int cmd_train(const Args& args) {
+  const std::string out_path = args.get("out", "");
+  if (out_path.empty()) return usage();
+  const std::string kind = args.get("model", "forest");
+  if (kind != "forest" && kind != "logistic") {
+    std::fprintf(stderr, "train: --model must be 'forest' or 'logistic'\n");
+    return 2;
+  }
+
+  sim::FleetConfig cfg = config_from(args);
+  cfg.keep_ground_truth = true;
+  const sim::FleetSimulator fleet(cfg);
+  core::DatasetBuildOptions opts;
+  opts.lookahead_days = static_cast<int>(args.get_long("lookahead", 1));
+  opts.negative_keep_prob = 0.02;
+  std::printf("building N=%d dataset from %zu drives...\n", opts.lookahead_days,
+              fleet.drive_count());
+  const ml::Dataset data = core::build_dataset(fleet, opts);
+  const ml::Dataset train = ml::downsample_negatives(data, 1.0, cfg.seed);
+  std::printf("%zu rows (%zu positives) -> %zu after 1:1 downsampling\n", data.size(),
+              data.positives(), train.size());
+
+  std::ofstream out(out_path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+    return 1;
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  if (kind == "forest") {
+    ml::RandomForest forest;
+    forest.fit(train);
+    ml::save_model(out, forest);
+  } else {
+    ml::LogisticRegression logistic;
+    logistic.fit(train);
+    ml::save_model(out, logistic);
+  }
+  const double secs = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  std::printf("trained %s in %.1fs, wrote %s\n", kind.c_str(), secs, out_path.c_str());
+  return 0;
+}
+
+int cmd_serve(const Args& args) {
+  const std::string model_path = args.get("model-file", "");
+  if (model_path.empty()) return usage();
+  std::ifstream in(model_path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", model_path.c_str());
+    return 1;
+  }
+  std::shared_ptr<const ml::Classifier> model;
+  try {
+    model = std::shared_ptr<const ml::Classifier>(ml::load_classifier(in));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "failed to load %s: %s\n", model_path.c_str(), e.what());
+    return 1;
+  }
+  std::printf("loaded %s from %s\n", model->name().c_str(), model_path.c_str());
+
+  sim::FleetConfig cfg = config_from(args);
+  cfg.drives_per_model = static_cast<std::uint32_t>(args.get_long("drives", 200));
+  const trace::FleetTrace fleet = sim::FleetSimulator(cfg).generate_all();
+
+  const double threshold = std::strtod(args.get("threshold", "0.9").c_str(), nullptr);
+  const auto shards = static_cast<std::size_t>(args.get_long("shards", 8));
+  core::FleetMonitor monitor(model, threshold, shards);
+
+  // Replay the fleet as the live stream a data-center operator would feed
+  // the service: one batch per calendar day, all drives reporting that day.
+  std::int32_t first_day = 0;
+  std::int32_t last_day = 0;
+  for (const auto& d : fleet.drives) {
+    if (d.records.empty()) continue;
+    first_day = std::min(first_day, d.records.front().day);
+    last_day = std::max(last_day, d.records.back().day);
+  }
+  std::vector<std::size_t> cursor(fleet.drives.size(), 0);
+  const bool sequential = args.flag("sequential");
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<core::FleetObservation> day_batch;
+  for (std::int32_t day = first_day; day <= last_day; ++day) {
+    day_batch.clear();
+    for (std::size_t d = 0; d < fleet.drives.size(); ++d) {
+      const auto& drive = fleet.drives[d];
+      if (cursor[d] >= drive.records.size() || drive.records[cursor[d]].day != day)
+        continue;
+      day_batch.push_back({drive.model, drive.drive_index, drive.deploy_day,
+                           drive.records[cursor[d]]});
+      ++cursor[d];
+    }
+    if (day_batch.empty()) continue;
+    if (sequential) {
+      for (const auto& obs : day_batch)
+        (void)monitor.observe(obs.drive_model, obs.drive_index, obs.deploy_day,
+                              obs.record);
+    } else {
+      (void)monitor.observe_batch(day_batch);
+    }
+    // Retire drives whose history ended (their slot was swapped out).
+    for (std::size_t d = 0; d < fleet.drives.size(); ++d) {
+      const auto& drive = fleet.drives[d];
+      if (cursor[d] == drive.records.size() && !drive.records.empty() &&
+          drive.records.back().day == day)
+        monitor.retire(drive.model, drive.drive_index);
+    }
+  }
+  const double secs = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  const auto snapshot = monitor.metrics();
+  std::printf("replayed days %d..%d in %.1fs (%.0f records/s, %s path)\n", first_day,
+              last_day, secs, static_cast<double>(snapshot.records_scored) / secs,
+              sequential ? "sequential" : "batched");
+  std::fputs(snapshot.to_text().c_str(), stdout);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -186,5 +317,7 @@ int main(int argc, char** argv) {
   if (command == "simulate") return cmd_simulate(args);
   if (command == "analyze") return cmd_analyze(args);
   if (command == "benchmark") return cmd_benchmark(args);
+  if (command == "train") return cmd_train(args);
+  if (command == "serve") return cmd_serve(args);
   return usage();
 }

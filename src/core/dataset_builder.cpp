@@ -81,12 +81,18 @@ void append_drive(ml::Dataset& out, const trace::DriveHistory& drive,
         age <= kInfantAgeDays)
       continue;
 
+    // Unified boundary convention (see DatasetBuildOptions::lookahead_days):
+    // a drive-day at day d is positive iff the labeled event occurs on or
+    // before day d+N.  Both label kinds use the same inclusive upper bound;
+    // they differ only in whether day d itself can be the event day
+    // (failure: yes, dtf == 0; error/bad-block: no, today's count is a
+    // feature, and error_dtf is computed exclusive of the current day).
     bool positive = false;
     if (options.error_label || options.bad_block_label) {
-      positive = error_dtf[i] <= options.lookahead_days;  // strictly future
+      positive = error_dtf[i] <= options.lookahead_days;
     } else {
       const std::int32_t dtf = days_to_next_failure(timeline, rec.day);
-      positive = dtf < options.lookahead_days;
+      positive = dtf <= options.lookahead_days;
     }
 
     const double keep_prob =

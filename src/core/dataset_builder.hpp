@@ -20,10 +20,17 @@
 namespace ssdfail::core {
 
 struct DatasetBuildOptions {
-  /// Predict events within the next N days (N >= 1).  For failure labels
-  /// the failure day itself is positive (days_to_failure in [0, N)); for
-  /// error labels only strictly-future occurrences count, since today's
-  /// error count is itself a feature.
+  /// Predict events within the next N days (N >= 1).
+  ///
+  /// Boundary convention (unified across all label kinds): a drive-day at
+  /// day d is positive iff the labeled event occurs on or before day d+N —
+  /// an INCLUSIVE upper bound, matching the paper's "fails within the next
+  /// N days".  For failure labels the failure day itself also counts
+  /// (days_to_failure in [0, N]; the drive's final record precedes the
+  /// failure).  For error/bad-block labels only strictly-future
+  /// occurrences count (days_to_event in [1, N]), since today's error
+  /// count is itself a feature.  Pinned by
+  /// tests/core/test_dataset_builder.cpp LookaheadBoundaryIsInclusive.
   int lookahead_days = 1;
 
   /// Probability of keeping each negative drive-day (deterministic in

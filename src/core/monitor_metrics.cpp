@@ -1,0 +1,77 @@
+#include "core/monitor_metrics.hpp"
+
+#include <cstdio>
+
+namespace ssdfail::core {
+
+void MonitorMetricsSnapshot::merge(const MonitorMetricsSnapshot& other) {
+  records_scored += other.records_scored;
+  alerts_raised += other.alerts_raised;
+  drives_created += other.drives_created;
+  drives_retired += other.drives_retired;
+  batches_scored += other.batches_scored;
+  out_of_order_dropped += other.out_of_order_dropped;
+  drives_tracked += other.drives_tracked;
+  score_latency_us.merge(other.score_latency_us);
+}
+
+double MonitorMetricsSnapshot::latency_quantile_us(double q) const {
+  const double total = score_latency_us.total();
+  if (total <= 0.0) return 0.0;
+  const double target = q * total;
+  double cum = 0.0;
+  for (std::size_t i = 0; i < score_latency_us.bins(); ++i) {
+    cum += score_latency_us.count(i);
+    if (cum >= target) return score_latency_us.bin_hi(i);
+  }
+  return score_latency_us.bin_hi(score_latency_us.bins() - 1);
+}
+
+std::string MonitorMetricsSnapshot::to_text() const {
+  char buf[512];
+  const double alert_pct =
+      records_scored > 0
+          ? 100.0 * static_cast<double>(alerts_raised) / static_cast<double>(records_scored)
+          : 0.0;
+  std::snprintf(buf, sizeof(buf),
+                "fleet-monitor metrics (%llu shard%s)\n"
+                "  records scored      %llu\n"
+                "  alerts raised       %llu (%.2f%%)\n"
+                "  drives tracked      %llu (created %llu, retired %llu)\n"
+                "  batches scored      %llu\n"
+                "  out-of-order drops  %llu\n"
+                "  score latency/rec   p50 %.0fus  p90 %.0fus  p99 %.0fus\n",
+                static_cast<unsigned long long>(shards), shards == 1 ? "" : "s",
+                static_cast<unsigned long long>(records_scored),
+                static_cast<unsigned long long>(alerts_raised), alert_pct,
+                static_cast<unsigned long long>(drives_tracked),
+                static_cast<unsigned long long>(drives_created),
+                static_cast<unsigned long long>(drives_retired),
+                static_cast<unsigned long long>(batches_scored),
+                static_cast<unsigned long long>(out_of_order_dropped),
+                latency_quantile_us(0.5), latency_quantile_us(0.9),
+                latency_quantile_us(0.99));
+  return buf;
+}
+
+void MonitorMetrics::add_score_latency(double us_per_record, std::uint64_t records) {
+  std::scoped_lock lock(latency_mutex_);
+  latency_us_.add(us_per_record, static_cast<double>(records));
+}
+
+MonitorMetricsSnapshot MonitorMetrics::snapshot() const {
+  MonitorMetricsSnapshot s;
+  s.records_scored = records_scored_.load(std::memory_order_relaxed);
+  s.alerts_raised = alerts_raised_.load(std::memory_order_relaxed);
+  s.drives_created = drives_created_.load(std::memory_order_relaxed);
+  s.drives_retired = drives_retired_.load(std::memory_order_relaxed);
+  s.batches_scored = batches_scored_.load(std::memory_order_relaxed);
+  s.out_of_order_dropped = out_of_order_dropped_.load(std::memory_order_relaxed);
+  {
+    std::scoped_lock lock(latency_mutex_);
+    s.score_latency_us = latency_us_;
+  }
+  return s;
+}
+
+}  // namespace ssdfail::core

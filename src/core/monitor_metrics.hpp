@@ -1,0 +1,86 @@
+#pragma once
+
+// Operational counters for the fleet-scoring service (online_monitor.hpp).
+//
+// Idiom follows netdata's global-statistics pattern: hot-path increments
+// are relaxed atomic fetch-adds on a per-shard counter block; a reader
+// builds a snapshot by loading every counter and merging across shards.
+// Counters are monotonic, so a snapshot is always internally plausible
+// even while writers run.  The score-latency histogram is the one
+// non-atomic member; it is guarded by a small mutex taken once per
+// scoring call (per batch on the batched path).
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "stats/histogram.hpp"
+
+namespace ssdfail::core {
+
+/// Score-latency histogram range: [0, kScoreLatencyMaxUs) microseconds per
+/// record; out-of-range observations clamp to the edge bins.
+inline constexpr double kScoreLatencyMaxUs = 2000.0;
+inline constexpr std::size_t kScoreLatencyBins = 40;
+
+/// Point-in-time aggregate of monitor counters (plain values, mergeable).
+struct MonitorMetricsSnapshot {
+  std::uint64_t records_scored = 0;
+  std::uint64_t alerts_raised = 0;
+  std::uint64_t drives_created = 0;
+  std::uint64_t drives_retired = 0;
+  std::uint64_t batches_scored = 0;
+  std::uint64_t out_of_order_dropped = 0;
+  std::uint64_t drives_tracked = 0;  ///< currently resident (filled by FleetMonitor)
+  std::uint64_t shards = 0;          ///< shard count (filled by FleetMonitor)
+  stats::Histogram score_latency_us{0.0, kScoreLatencyMaxUs, kScoreLatencyBins};
+
+  /// Fold another snapshot in (counter sums + histogram merge).
+  void merge(const MonitorMetricsSnapshot& other);
+
+  /// Per-record score latency quantile (microseconds) estimated from the
+  /// histogram (upper edge of the bin where the cumulative mass crosses q);
+  /// 0 when nothing was recorded.
+  [[nodiscard]] double latency_quantile_us(double q) const;
+
+  /// Multi-line human-readable dump (the CLI `serve` report).
+  [[nodiscard]] std::string to_text() const;
+};
+
+/// One shard's counters.  All increments are lock-free relaxed atomics
+/// except add_score_latency, which takes the internal histogram mutex.
+class MonitorMetrics {
+ public:
+  void on_scored(std::uint64_t records, std::uint64_t alerts) noexcept {
+    records_scored_.fetch_add(records, std::memory_order_relaxed);
+    alerts_raised_.fetch_add(alerts, std::memory_order_relaxed);
+  }
+  void on_batch() noexcept { batches_scored_.fetch_add(1, std::memory_order_relaxed); }
+  void on_drive_created() noexcept {
+    drives_created_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void on_drive_retired() noexcept {
+    drives_retired_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void on_out_of_order() noexcept {
+    out_of_order_dropped_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Record the mean per-record scoring latency for `records` records.
+  void add_score_latency(double us_per_record, std::uint64_t records);
+
+  [[nodiscard]] MonitorMetricsSnapshot snapshot() const;
+
+ private:
+  std::atomic<std::uint64_t> records_scored_{0};
+  std::atomic<std::uint64_t> alerts_raised_{0};
+  std::atomic<std::uint64_t> drives_created_{0};
+  std::atomic<std::uint64_t> drives_retired_{0};
+  std::atomic<std::uint64_t> batches_scored_{0};
+  std::atomic<std::uint64_t> out_of_order_dropped_{0};
+  mutable std::mutex latency_mutex_;
+  stats::Histogram latency_us_{0.0, kScoreLatencyMaxUs, kScoreLatencyBins};
+};
+
+}  // namespace ssdfail::core

@@ -1,8 +1,24 @@
 #include "core/online_monitor.hpp"
 
+#include <chrono>
 #include <stdexcept>
 
+#include "stats/rng.hpp"
+
 namespace ssdfail::core {
+namespace {
+
+std::uint64_t drive_uid(trace::DriveModel model, std::uint32_t index) noexcept {
+  return (static_cast<std::uint64_t>(model) << 32) | index;
+}
+
+double elapsed_us(std::chrono::steady_clock::time_point start) noexcept {
+  return std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() -
+                                                   start)
+      .count();
+}
+
+}  // namespace
 
 OnlineDriveMonitor::OnlineDriveMonitor(const ml::Classifier& model, double threshold,
                                        trace::DriveModel drive_model,
@@ -15,40 +31,167 @@ OnlineDriveMonitor::OnlineDriveMonitor(const ml::Classifier& model, double thres
   header_.deploy_day = deploy_day;
 }
 
-RiskAssessment OnlineDriveMonitor::observe(const trace::DailyRecord& record) {
+void OnlineDriveMonitor::prepare_row(const trace::DailyRecord& record,
+                                     std::span<float> out) {
   if (record.day <= last_day_)
     throw std::invalid_argument("OnlineDriveMonitor: records must be in day order");
   last_day_ = record.day;
   ++days_observed_;
   FeatureExtractor::advance(state_, record);
-  FeatureExtractor::extract(header_, record, state_, row_.row(0));
+  FeatureExtractor::extract(header_, record, state_, out);
+}
+
+RiskAssessment OnlineDriveMonitor::observe(const trace::DailyRecord& record) {
+  prepare_row(record, row_.row(0));
   RiskAssessment out;
   out.risk = model_->predict_proba(row_)[0];
   out.alert = out.risk >= threshold_;
   return out;
 }
 
+FleetMonitor::FleetMonitor(std::shared_ptr<const ml::Classifier> model, double threshold,
+                           std::size_t shards)
+    : model_(std::move(model)), threshold_(threshold) {
+  if (shards == 0) shards = 1;
+  shards_.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) shards_.push_back(std::make_unique<Shard>());
+}
+
+std::size_t FleetMonitor::shard_index(std::uint64_t uid) const noexcept {
+  // Hash, not modulo of the raw uid: drive_index occupies the low bits, so
+  // raw-modulo would stripe a model's drives deterministically but keep all
+  // of one drive's traffic on one shard either way; hashing also spreads
+  // the model tag in the high bits.
+  return static_cast<std::size_t>(stats::hash_keys({uid}) % shards_.size());
+}
+
+OnlineDriveMonitor& FleetMonitor::monitor_for(Shard& shard, std::uint64_t uid,
+                                              trace::DriveModel drive_model,
+                                              std::int32_t deploy_day) {
+  auto it = shard.monitors.find(uid);
+  if (it == shard.monitors.end()) {
+    it = shard.monitors
+             .emplace(uid,
+                      OnlineDriveMonitor(*model_, threshold_, drive_model, deploy_day))
+             .first;
+    shard.metrics.on_drive_created();
+  }
+  return it->second;
+}
+
 RiskAssessment FleetMonitor::observe(trace::DriveModel drive_model,
                                      std::uint32_t drive_index, std::int32_t deploy_day,
                                      const trace::DailyRecord& record) {
-  const std::uint64_t uid =
-      (static_cast<std::uint64_t>(drive_model) << 32) | drive_index;
-  auto it = monitors_.find(uid);
-  if (it == monitors_.end()) {
-    it = monitors_
-             .emplace(uid, OnlineDriveMonitor(*model_, threshold_, drive_model,
-                                              deploy_day))
-             .first;
+  const std::uint64_t uid = drive_uid(drive_model, drive_index);
+  Shard& shard = *shards_[shard_index(uid)];
+  std::scoped_lock lock(shard.mutex);
+  OnlineDriveMonitor& monitor = monitor_for(shard, uid, drive_model, deploy_day);
+  const auto start = std::chrono::steady_clock::now();
+  RiskAssessment assessment;
+  try {
+    assessment = monitor.observe(record);
+  } catch (const std::invalid_argument&) {
+    shard.metrics.on_out_of_order();
+    throw;
   }
-  const RiskAssessment assessment = it->second.observe(record);
-  if (assessment.alert) ++alerts_;
+  shard.metrics.on_scored(1, assessment.alert ? 1 : 0);
+  shard.metrics.add_score_latency(elapsed_us(start), 1);
   return assessment;
 }
 
+void FleetMonitor::score_shard_batch(Shard& shard,
+                                     std::span<const FleetObservation> batch,
+                                     const std::vector<std::size_t>& indices,
+                                     std::vector<RiskAssessment>& out) {
+  if (indices.empty()) return;
+  const auto start = std::chrono::steady_clock::now();
+  ml::Matrix rows;
+  std::vector<float> row(FeatureExtractor::count());
+  std::vector<std::size_t> prepared;  // batch positions of accepted records
+  prepared.reserve(indices.size());
+  {
+    std::scoped_lock lock(shard.mutex);
+    for (std::size_t i : indices) {
+      const FleetObservation& obs = batch[i];
+      const std::uint64_t uid = drive_uid(obs.drive_model, obs.drive_index);
+      OnlineDriveMonitor& monitor =
+          monitor_for(shard, uid, obs.drive_model, obs.deploy_day);
+      try {
+        monitor.prepare_row(obs.record, row);
+      } catch (const std::invalid_argument&) {
+        shard.metrics.on_out_of_order();
+        out[i].dropped = true;
+        continue;
+      }
+      rows.push_row(row);
+      prepared.push_back(i);
+    }
+  }
+  if (prepared.empty()) return;
+  // One matrix call per shard.  predict_proba scores rows independently, so
+  // the result is bit-identical to per-record observe() for any sharding.
+  const std::vector<float> scores = model_->predict_proba(rows);
+  std::uint64_t alerts = 0;
+  for (std::size_t k = 0; k < prepared.size(); ++k) {
+    RiskAssessment& a = out[prepared[k]];
+    a.risk = scores[k];
+    a.alert = a.risk >= threshold_;
+    if (a.alert) ++alerts;
+  }
+  shard.metrics.on_scored(prepared.size(), alerts);
+  shard.metrics.on_batch();
+  shard.metrics.add_score_latency(elapsed_us(start) / static_cast<double>(prepared.size()),
+                                  prepared.size());
+}
+
+std::vector<RiskAssessment> FleetMonitor::observe_batch(
+    std::span<const FleetObservation> batch, parallel::ThreadPool& pool) {
+  std::vector<RiskAssessment> out(batch.size());
+  std::vector<std::vector<std::size_t>> by_shard(shards_.size());
+  for (std::size_t i = 0; i < batch.size(); ++i)
+    by_shard[shard_index(drive_uid(batch[i].drive_model, batch[i].drive_index))]
+        .push_back(i);
+
+  if (pool.size() <= 1) {
+    for (std::size_t s = 0; s < shards_.size(); ++s)
+      score_shard_batch(*shards_[s], batch, by_shard[s], out);
+    return out;
+  }
+  // Each worker owns a stripe of shards, so a shard's group is prepared and
+  // scored by exactly one thread (predict_proba degrades to sequential
+  // inside a pool worker — the shard, not the row range, is the unit of
+  // parallelism, which is what makes shard count the scaling knob).
+  pool.run_on_all([&](unsigned w) {
+    for (std::size_t s = w; s < shards_.size(); s += pool.size())
+      score_shard_batch(*shards_[s], batch, by_shard[s], out);
+  });
+  return out;
+}
+
 void FleetMonitor::retire(trace::DriveModel drive_model, std::uint32_t drive_index) {
-  const std::uint64_t uid =
-      (static_cast<std::uint64_t>(drive_model) << 32) | drive_index;
-  monitors_.erase(uid);
+  const std::uint64_t uid = drive_uid(drive_model, drive_index);
+  Shard& shard = *shards_[shard_index(uid)];
+  std::scoped_lock lock(shard.mutex);
+  if (shard.monitors.erase(uid) > 0) shard.metrics.on_drive_retired();
+}
+
+std::size_t FleetMonitor::drives_tracked() const {
+  std::size_t n = 0;
+  for (const auto& shard : shards_) {
+    std::scoped_lock lock(shard->mutex);
+    n += shard->monitors.size();
+  }
+  return n;
+}
+
+std::uint64_t FleetMonitor::alerts_raised() const { return metrics().alerts_raised; }
+
+MonitorMetricsSnapshot FleetMonitor::metrics() const {
+  MonitorMetricsSnapshot total;
+  for (const auto& shard : shards_) total.merge(shard->metrics.snapshot());
+  total.shards = shards_.size();
+  total.drives_tracked = drives_tracked();
+  return total;
 }
 
 }  // namespace ssdfail::core

@@ -3,22 +3,37 @@
 // Online (streaming) failure monitoring: the production embodiment of the
 // paper's prediction models.  A monitor holds the per-drive cumulative
 // feature state; each daily record yields a risk score and an optional
-// alert against a configured threshold.  FleetMonitor multiplexes monitors
-// across a fleet keyed by drive uid.
+// alert against a configured threshold.
+//
+// FleetMonitor multiplexes monitors across a fleet keyed by drive uid and
+// is SHARDED for concurrency: drive state is partitioned into N shards by
+// uid hash, each shard with its own mutex, per-shard state map, and
+// per-shard metrics block, so observe() calls from many threads contend
+// only when they hit the same shard.  The batched path (observe_batch)
+// groups a stream of records by shard and scores each shard's group with
+// ONE predict_proba matrix call; shards score in parallel on a thread
+// pool.  Scores are identical between the sequential and batched paths
+// and independent of the shard count (rows are scored row-independently).
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <span>
 #include <unordered_map>
+#include <vector>
 
 #include "core/features.hpp"
+#include "core/monitor_metrics.hpp"
 #include "ml/classifier.hpp"
+#include "parallel/thread_pool.hpp"
 
 namespace ssdfail::core {
 
 /// Daily risk assessment for one drive.
 struct RiskAssessment {
-  float risk = 0.0f;   ///< model score in [0, 1]
-  bool alert = false;  ///< risk >= threshold
+  float risk = 0.0f;    ///< model score in [0, 1]
+  bool alert = false;   ///< risk >= threshold
+  bool dropped = false; ///< batch path only: record rejected (out of day order)
 };
 
 /// Streaming monitor for a single drive.  Feed records in day order.
@@ -31,6 +46,12 @@ class OnlineDriveMonitor {
   /// Fold in one daily record and score it.  Records must arrive in
   /// strictly increasing day order; throws std::invalid_argument otherwise.
   RiskAssessment observe(const trace::DailyRecord& record);
+
+  /// Batch-path split of observe(): advance state for `record` and write
+  /// its feature row into `out` (size FeatureExtractor::count()) WITHOUT
+  /// scoring it — the caller scores many rows with one predict_proba call.
+  /// Same day-order contract (and exception) as observe().
+  void prepare_row(const trace::DailyRecord& record, std::span<float> out);
 
   [[nodiscard]] std::int32_t last_day() const noexcept { return last_day_; }
   [[nodiscard]] std::uint64_t days_observed() const noexcept { return days_observed_; }
@@ -46,27 +67,68 @@ class OnlineDriveMonitor {
   std::uint64_t days_observed_ = 0;
 };
 
-/// Fleet-wide monitor: lazily creates a per-drive monitor on first sight.
+/// One drive-day for the batched scoring path.  Records for the same drive
+/// must appear in increasing day order within and across batches.
+struct FleetObservation {
+  trace::DriveModel drive_model = trace::DriveModel::MlcA;
+  std::uint32_t drive_index = 0;
+  std::int32_t deploy_day = 0;
+  trace::DailyRecord record;
+};
+
+/// Sharded fleet-wide monitor: lazily creates a per-drive monitor on first
+/// sight; a retired drive's next observation recreates fresh state.
 class FleetMonitor {
  public:
-  FleetMonitor(std::shared_ptr<const ml::Classifier> model, double threshold)
-      : model_(std::move(model)), threshold_(threshold) {}
+  /// `shards` >= 1 partitions drive state for concurrent callers; size it
+  /// near the number of scoring threads (scores do not depend on it).
+  FleetMonitor(std::shared_ptr<const ml::Classifier> model, double threshold,
+               std::size_t shards = 1);
 
-  /// Observe one record for the given drive.
+  /// Observe one record for the given drive (thread-safe; locks only the
+  /// drive's shard).  Throws std::invalid_argument on an out-of-order day.
   RiskAssessment observe(trace::DriveModel drive_model, std::uint32_t drive_index,
                          std::int32_t deploy_day, const trace::DailyRecord& record);
 
-  /// Drop a drive's state (it was swapped out).
+  /// Score a batch: records are grouped by shard, each shard's rows are
+  /// scored with one predict_proba call, and shards run in parallel on
+  /// `pool` (each worker owns a stripe of shards, so per-shard work stays
+  /// sequential and deterministic).  Out-of-order records are dropped and
+  /// flagged (`RiskAssessment::dropped`) instead of throwing.  Results are
+  /// positionally aligned with `batch`.
+  std::vector<RiskAssessment> observe_batch(
+      std::span<const FleetObservation> batch,
+      parallel::ThreadPool& pool = parallel::ThreadPool::global());
+
+  /// Drop a drive's state (it was swapped out).  Thread-safe.
   void retire(trace::DriveModel drive_model, std::uint32_t drive_index);
 
-  [[nodiscard]] std::size_t drives_tracked() const noexcept { return monitors_.size(); }
-  [[nodiscard]] std::uint64_t alerts_raised() const noexcept { return alerts_; }
+  [[nodiscard]] std::size_t shard_count() const noexcept { return shards_.size(); }
+  [[nodiscard]] std::size_t drives_tracked() const;
+  [[nodiscard]] std::uint64_t alerts_raised() const;
+
+  /// Aggregated counters across all shards.
+  [[nodiscard]] MonitorMetricsSnapshot metrics() const;
 
  private:
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<std::uint64_t, OnlineDriveMonitor> monitors;
+    MonitorMetrics metrics;
+  };
+
+  [[nodiscard]] std::size_t shard_index(std::uint64_t uid) const noexcept;
+  /// Find-or-create a drive monitor.  Caller holds the shard mutex.
+  OnlineDriveMonitor& monitor_for(Shard& shard, std::uint64_t uid,
+                                  trace::DriveModel drive_model,
+                                  std::int32_t deploy_day);
+  void score_shard_batch(Shard& shard, std::span<const FleetObservation> batch,
+                         const std::vector<std::size_t>& indices,
+                         std::vector<RiskAssessment>& out);
+
   std::shared_ptr<const ml::Classifier> model_;
   double threshold_;
-  std::unordered_map<std::uint64_t, OnlineDriveMonitor> monitors_;
-  std::uint64_t alerts_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 }  // namespace ssdfail::core

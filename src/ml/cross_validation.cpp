@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
 #include "stats/rng.hpp"
 
@@ -28,21 +29,41 @@ CvResult cross_validate(const Classifier& model, const Dataset& data,
                         const CvOptions& options) {
   const auto splits = group_k_fold(data, options.folds, options.seed);
   CvResult result;
+  result.folds_requested = splits.size();
+  const auto skip = [&result] { ++result.folds_skipped; };
   for (std::size_t f = 0; f < splits.size(); ++f) {
-    if (splits[f].train.empty() || splits[f].test.empty()) continue;
+    if (splits[f].train.empty() || splits[f].test.empty()) {
+      skip();
+      continue;
+    }
     Dataset train = data.subset(splits[f].train);
     Dataset test = data.subset(splits[f].test);
     if (options.train_transform) train = options.train_transform(train, f);
     if (options.test_transform) test = options.test_transform(test, f);
-    if (train.positives() == 0 || train.positives() == train.size()) continue;
-    if (test.positives() == 0 || test.positives() == test.size()) continue;
+    if (train.positives() == 0 || train.positives() == train.size()) {
+      skip();
+      continue;
+    }
+    if (test.positives() == 0 || test.positives() == test.size()) {
+      skip();
+      continue;
+    }
 
     auto fold_model = model.clone();
     fold_model->fit(train);
     const auto scores = fold_model->predict_proba(test.x);
     const double auc = roc_auc(scores, test.y);
-    if (!std::isnan(auc)) result.fold_aucs.push_back(auc);
+    if (std::isnan(auc)) {
+      skip();
+      continue;
+    }
+    result.fold_aucs.push_back(auc);
   }
+  if (result.fold_aucs.empty())
+    throw std::runtime_error(
+        "cross_validate: all " + std::to_string(result.folds_requested) +
+        " folds were degenerate (empty split or single-class train/test); "
+        "the data cannot be cross-validated");
   return result;
 }
 

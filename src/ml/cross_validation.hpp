@@ -30,8 +30,16 @@ struct FoldSplit {
                                                   std::uint64_t seed);
 
 /// Result of a cross-validated evaluation.
+///
+/// `fold_aucs` holds one entry per fold that actually evaluated;
+/// `folds_skipped` counts degenerate folds (empty split, single-class
+/// train/test after transforms, or NaN AUC) so callers can tell a true
+/// k-fold result from a partial one.  Invariant:
+/// fold_aucs.size() + folds_skipped == folds_requested.
 struct CvResult {
   std::vector<double> fold_aucs;
+  std::size_t folds_requested = 0;
+  std::size_t folds_skipped = 0;
   [[nodiscard]] MeanSd auc() const { return mean_sd(fold_aucs); }
 };
 
@@ -46,8 +54,10 @@ struct CvOptions {
 
 /// k-fold cross-validated ROC AUC of `model` on `data`.  The model is
 /// cloned per fold (fresh state), trained on the transformed train fold,
-/// and scored on the transformed test fold.  Folds whose test set lacks a
-/// class are skipped.
+/// and scored on the transformed test fold.  Degenerate folds are skipped
+/// and counted in CvResult::folds_skipped; if EVERY fold is degenerate the
+/// data cannot be cross-validated at all and std::runtime_error is thrown
+/// (never an empty result masquerading as a k-fold evaluation).
 [[nodiscard]] CvResult cross_validate(const Classifier& model, const Dataset& data,
                                       const CvOptions& options = {});
 

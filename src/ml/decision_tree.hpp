@@ -56,6 +56,8 @@ class DecisionTree final : public Classifier {
     float score = 0.0f;
   };
 
+  friend struct ModelSerializer;  // binary save/load (ml/serialize.hpp)
+
   std::int32_t build(const Dataset& train, std::vector<std::size_t>& idx,
                      std::size_t begin, std::size_t end, std::size_t depth,
                      stats::Rng& rng);

@@ -30,6 +30,8 @@ class LogisticRegression final : public Classifier {
   [[nodiscard]] double bias() const noexcept { return bias_; }
 
  private:
+  friend struct ModelSerializer;  // binary save/load (ml/serialize.hpp)
+
   Params params_{};
   Standardizer scaler_;
   std::vector<double> weights_;

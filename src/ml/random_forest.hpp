@@ -42,6 +42,8 @@ class RandomForest final : public Classifier {
   [[nodiscard]] std::size_t tree_count() const noexcept { return trees_.size(); }
 
  private:
+  friend struct ModelSerializer;  // binary save/load (ml/serialize.hpp)
+
   Params params_{};
   std::vector<DecisionTree> trees_;
   std::size_t n_features_ = 0;

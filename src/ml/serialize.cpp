@@ -1,0 +1,244 @@
+#include "ml/serialize.hpp"
+
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+namespace ssdfail::ml {
+namespace {
+
+constexpr char kMagic[4] = {'S', 'S', 'D', 'M'};
+
+// Defensive caps: a 64-bit count from a corrupt stream must not OOM us.
+constexpr std::uint64_t kMaxTrees = 1ull << 20;
+constexpr std::uint64_t kMaxNodes = 1ull << 28;
+constexpr std::uint64_t kMaxFeatures = 1ull << 20;
+
+template <typename T>
+void put(std::ostream& out, T value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T get(std::istream& in) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) throw std::runtime_error("ml::serialize: truncated stream");
+  return value;
+}
+
+template <typename T>
+void put_vector(std::ostream& out, const std::vector<T>& v) {
+  put<std::uint64_t>(out, v.size());
+  for (const T& x : v) put<T>(out, x);
+}
+
+template <typename T>
+std::vector<T> get_vector(std::istream& in, std::uint64_t max_size) {
+  const auto n = get<std::uint64_t>(in);
+  if (n > max_size) throw std::runtime_error("ml::serialize: implausible vector size");
+  std::vector<T> v;
+  v.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) v.push_back(get<T>(in));
+  return v;
+}
+
+void write_header(std::ostream& out, SavedModelKind kind) {
+  out.write(kMagic, sizeof(kMagic));
+  put<std::uint32_t>(out, kModelFormatVersion);
+  put<std::uint8_t>(out, static_cast<std::uint8_t>(kind));
+}
+
+SavedModelKind read_header(std::istream& in) {
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+    throw std::runtime_error("ml::serialize: bad magic (not an ssdfail model file)");
+  const auto version = get<std::uint32_t>(in);
+  if (version != kModelFormatVersion)
+    throw std::runtime_error("ml::serialize: unsupported format version " +
+                             std::to_string(version));
+  const auto kind = get<std::uint8_t>(in);
+  if (kind < static_cast<std::uint8_t>(SavedModelKind::kRandomForest) ||
+      kind > static_cast<std::uint8_t>(SavedModelKind::kStandardizer))
+    throw std::runtime_error("ml::serialize: unknown model kind " + std::to_string(kind));
+  return static_cast<SavedModelKind>(kind);
+}
+
+void expect_kind(SavedModelKind actual, SavedModelKind wanted) {
+  if (actual != wanted)
+    throw std::runtime_error("ml::serialize: model kind mismatch (stream holds kind " +
+                             std::to_string(static_cast<int>(actual)) + ", caller wants " +
+                             std::to_string(static_cast<int>(wanted)) + ")");
+}
+
+}  // namespace
+
+/// Friend of every serializable model: reads/writes the private state the
+/// public APIs deliberately do not expose.
+struct ModelSerializer {
+  static void write_standardizer_body(std::ostream& out, const Standardizer& s) {
+    if (!s.fitted()) throw std::logic_error("ml::serialize: Standardizer not fitted");
+    put_vector(out, s.mean_);
+    put_vector(out, s.sd_);
+  }
+
+  static Standardizer read_standardizer_body(std::istream& in) {
+    Standardizer s;
+    s.mean_ = get_vector<float>(in, kMaxFeatures);
+    s.sd_ = get_vector<float>(in, kMaxFeatures);
+    if (s.mean_.size() != s.sd_.size())
+      throw std::runtime_error("ml::serialize: standardizer mean/sd size mismatch");
+    return s;
+  }
+
+  static void write_tree_body(std::ostream& out, const DecisionTree& t) {
+    put<std::uint64_t>(out, t.params_.max_depth);
+    put<std::uint64_t>(out, t.params_.min_samples_split);
+    put<std::uint64_t>(out, t.params_.min_samples_leaf);
+    put<std::uint64_t>(out, t.params_.max_features);
+    put<std::uint64_t>(out, t.params_.seed);
+    put<std::uint64_t>(out, t.n_features_);
+    put<std::uint64_t>(out, t.nodes_.size());
+    for (const DecisionTree::Node& n : t.nodes_) {
+      put<std::int32_t>(out, n.feature);
+      put<float>(out, n.threshold);
+      put<std::int32_t>(out, n.left);
+      put<std::int32_t>(out, n.right);
+      put<float>(out, n.score);
+    }
+    put_vector(out, t.importance_);
+  }
+
+  static DecisionTree read_tree_body(std::istream& in) {
+    DecisionTree::Params p;
+    p.max_depth = static_cast<std::size_t>(get<std::uint64_t>(in));
+    p.min_samples_split = static_cast<std::size_t>(get<std::uint64_t>(in));
+    p.min_samples_leaf = static_cast<std::size_t>(get<std::uint64_t>(in));
+    p.max_features = static_cast<std::size_t>(get<std::uint64_t>(in));
+    p.seed = get<std::uint64_t>(in);
+    DecisionTree t(p);
+    t.n_features_ = static_cast<std::size_t>(get<std::uint64_t>(in));
+    if (t.n_features_ > kMaxFeatures)
+      throw std::runtime_error("ml::serialize: implausible feature count");
+    const auto n_nodes = get<std::uint64_t>(in);
+    if (n_nodes > kMaxNodes) throw std::runtime_error("ml::serialize: implausible node count");
+    t.nodes_.reserve(static_cast<std::size_t>(n_nodes));
+    for (std::uint64_t i = 0; i < n_nodes; ++i) {
+      DecisionTree::Node n;
+      n.feature = get<std::int32_t>(in);
+      n.threshold = get<float>(in);
+      n.left = get<std::int32_t>(in);
+      n.right = get<std::int32_t>(in);
+      n.score = get<float>(in);
+      t.nodes_.push_back(n);
+    }
+    t.importance_ = get_vector<double>(in, kMaxFeatures);
+    return t;
+  }
+
+  static void write_forest_body(std::ostream& out, const RandomForest& f) {
+    if (f.trees_.empty()) throw std::logic_error("ml::serialize: RandomForest not fitted");
+    put<std::uint64_t>(out, f.params_.n_trees);
+    put<std::uint64_t>(out, f.params_.max_depth);
+    put<std::uint64_t>(out, f.params_.min_samples_leaf);
+    put<std::uint64_t>(out, f.params_.min_samples_split);
+    put<std::uint64_t>(out, f.params_.max_features);
+    put<std::uint64_t>(out, f.params_.seed);
+    put<std::uint64_t>(out, f.n_features_);
+    put<std::uint64_t>(out, f.trees_.size());
+    for (const DecisionTree& t : f.trees_) write_tree_body(out, t);
+  }
+
+  static RandomForest read_forest_body(std::istream& in) {
+    RandomForest::Params p;
+    p.n_trees = static_cast<std::size_t>(get<std::uint64_t>(in));
+    p.max_depth = static_cast<std::size_t>(get<std::uint64_t>(in));
+    p.min_samples_leaf = static_cast<std::size_t>(get<std::uint64_t>(in));
+    p.min_samples_split = static_cast<std::size_t>(get<std::uint64_t>(in));
+    p.max_features = static_cast<std::size_t>(get<std::uint64_t>(in));
+    p.seed = get<std::uint64_t>(in);
+    RandomForest f(p);
+    f.n_features_ = static_cast<std::size_t>(get<std::uint64_t>(in));
+    if (f.n_features_ > kMaxFeatures)
+      throw std::runtime_error("ml::serialize: implausible feature count");
+    const auto n_trees = get<std::uint64_t>(in);
+    if (n_trees > kMaxTrees) throw std::runtime_error("ml::serialize: implausible tree count");
+    f.trees_.reserve(static_cast<std::size_t>(n_trees));
+    for (std::uint64_t t = 0; t < n_trees; ++t) f.trees_.push_back(read_tree_body(in));
+    return f;
+  }
+
+  static void write_logistic_body(std::ostream& out, const LogisticRegression& m) {
+    if (!m.scaler_.fitted())
+      throw std::logic_error("ml::serialize: LogisticRegression not fitted");
+    put<double>(out, m.params_.l2);
+    put<double>(out, m.params_.learning_rate);
+    put<std::int32_t>(out, m.params_.epochs);
+    write_standardizer_body(out, m.scaler_);
+    put_vector(out, m.weights_);
+    put<double>(out, m.bias_);
+  }
+
+  static LogisticRegression read_logistic_body(std::istream& in) {
+    LogisticRegression::Params p;
+    p.l2 = get<double>(in);
+    p.learning_rate = get<double>(in);
+    p.epochs = get<std::int32_t>(in);
+    LogisticRegression m(p);
+    m.scaler_ = read_standardizer_body(in);
+    m.weights_ = get_vector<double>(in, kMaxFeatures);
+    m.bias_ = get<double>(in);
+    if (m.weights_.size() != m.scaler_.mean().size())
+      throw std::runtime_error("ml::serialize: logistic weight/scaler size mismatch");
+    return m;
+  }
+};
+
+void save_model(std::ostream& out, const RandomForest& model) {
+  write_header(out, SavedModelKind::kRandomForest);
+  ModelSerializer::write_forest_body(out, model);
+}
+
+void save_model(std::ostream& out, const LogisticRegression& model) {
+  write_header(out, SavedModelKind::kLogisticRegression);
+  ModelSerializer::write_logistic_body(out, model);
+}
+
+void save_model(std::ostream& out, const Standardizer& scaler) {
+  write_header(out, SavedModelKind::kStandardizer);
+  ModelSerializer::write_standardizer_body(out, scaler);
+}
+
+RandomForest load_random_forest(std::istream& in) {
+  expect_kind(read_header(in), SavedModelKind::kRandomForest);
+  return ModelSerializer::read_forest_body(in);
+}
+
+LogisticRegression load_logistic_regression(std::istream& in) {
+  expect_kind(read_header(in), SavedModelKind::kLogisticRegression);
+  return ModelSerializer::read_logistic_body(in);
+}
+
+Standardizer load_standardizer(std::istream& in) {
+  expect_kind(read_header(in), SavedModelKind::kStandardizer);
+  return ModelSerializer::read_standardizer_body(in);
+}
+
+std::unique_ptr<Classifier> load_classifier(std::istream& in) {
+  switch (read_header(in)) {
+    case SavedModelKind::kRandomForest:
+      return std::make_unique<RandomForest>(ModelSerializer::read_forest_body(in));
+    case SavedModelKind::kLogisticRegression:
+      return std::make_unique<LogisticRegression>(ModelSerializer::read_logistic_body(in));
+    case SavedModelKind::kStandardizer:
+      break;
+  }
+  throw std::runtime_error("ml::serialize: stream does not hold a classifier");
+}
+
+}  // namespace ssdfail::ml

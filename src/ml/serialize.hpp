@@ -1,0 +1,51 @@
+#pragma once
+
+// Versioned binary model persistence: train once, serve forever.
+//
+// Same envelope discipline as trace/binary_io: a 4-byte magic ("SSDM"), a
+// u32 format version, then a u8 model-kind tag and the model body.
+// Little-endian, raw IEEE-754 payloads — a save/load round trip is
+// bit-exact, so a deserialized model reproduces predict_proba outputs
+// identically (pinned by tests/ml/test_serialize.cpp).
+//
+// Covered models are the ones the serving path needs: the paper's headline
+// random forest, logistic regression (whose fitted Standardizer travels
+// with it), and a standalone Standardizer for external pipelines.
+
+#include <iosfwd>
+#include <memory>
+
+#include "ml/classifier.hpp"
+#include "ml/logistic.hpp"
+#include "ml/random_forest.hpp"
+#include "ml/standardizer.hpp"
+
+namespace ssdfail::ml {
+
+/// Current model-file format version.
+inline constexpr std::uint32_t kModelFormatVersion = 1;
+
+/// Stable on-disk model-kind ids (append-only; never renumber).
+enum class SavedModelKind : std::uint8_t {
+  kRandomForest = 1,
+  kLogisticRegression = 2,
+  kStandardizer = 3,
+};
+
+/// Serialize a fitted model.  Throws std::logic_error if unfitted.
+void save_model(std::ostream& out, const RandomForest& model);
+void save_model(std::ostream& out, const LogisticRegression& model);
+void save_model(std::ostream& out, const Standardizer& scaler);
+
+/// Deserialize a model of a known kind.  Throws std::runtime_error on bad
+/// magic, unsupported version, kind mismatch, or a truncated/corrupt body.
+[[nodiscard]] RandomForest load_random_forest(std::istream& in);
+[[nodiscard]] LogisticRegression load_logistic_regression(std::istream& in);
+[[nodiscard]] Standardizer load_standardizer(std::istream& in);
+
+/// Deserialize whichever classifier the stream holds (forest or logistic),
+/// dispatching on the kind tag.  Throws std::runtime_error for a
+/// non-classifier payload (e.g. a standalone Standardizer).
+[[nodiscard]] std::unique_ptr<Classifier> load_classifier(std::istream& in);
+
+}  // namespace ssdfail::ml

@@ -33,6 +33,8 @@ class Standardizer {
   [[nodiscard]] const std::vector<float>& stddev() const noexcept { return sd_; }
 
  private:
+  friend struct ModelSerializer;  // binary save/load (ml/serialize.hpp)
+
   std::vector<float> mean_;
   std::vector<float> sd_;
 };

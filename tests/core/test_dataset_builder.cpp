@@ -59,13 +59,52 @@ TEST(DatasetBuilder, PositiveLabelsMatchLookahead) {
   opts.lookahead_days = 3;
   opts.negative_keep_prob = 1.0;  // keep everything
   const ml::Dataset data = build_dataset(fleet, opts);
-  // Days 0..50 are operational; positives are days 48, 49, 50 (dtf < 3).
+  // Days 0..50 are operational; positives are days 47..50 (dtf <= 3).
   EXPECT_EQ(data.size(), 51u);
-  EXPECT_EQ(data.positives(), 3u);
+  EXPECT_EQ(data.positives(), 4u);
   const std::size_t age_col = FeatureExtractor::age_index();
   for (std::size_t i = 0; i < data.size(); ++i) {
-    const bool should_be_positive = data.x(i, age_col) >= 48.0f;
+    const bool should_be_positive = data.x(i, age_col) >= 47.0f;
     EXPECT_EQ(data.y[i] > 0.5f, should_be_positive) << "row " << i;
+  }
+}
+
+TEST(DatasetBuilder, LookaheadBoundaryIsInclusive) {
+  // Boundary regression for the unified lookahead convention: positive iff
+  // the event occurs on or before day d+N.  Failure labels: dtf in [0, N]
+  // (the failure day itself counts).  Error labels: dtf in [1, N] (today's
+  // error is a feature, not a label).  Both share the inclusive d+N edge.
+  constexpr int kLookahead = 5;
+  constexpr std::int32_t kFailDay = 50;
+
+  FleetTrace fail_fleet;
+  fail_fleet.drives.push_back(make_failing_drive(1, kFailDay, 55, 0));
+  DatasetBuildOptions opts;
+  opts.lookahead_days = kLookahead;
+  opts.negative_keep_prob = 1.0;
+  const ml::Dataset fail_data = build_dataset(fail_fleet, opts);
+  const std::size_t age_col = FeatureExtractor::age_index();
+  for (std::size_t i = 0; i < fail_data.size(); ++i) {
+    const auto day = static_cast<std::int32_t>(fail_data.x(i, age_col));
+    const bool expect_positive = day >= kFailDay - kLookahead;  // 45..50
+    EXPECT_EQ(fail_data.y[i] > 0.5f, expect_positive)
+        << "failure label at day " << day << " (dtf " << kFailDay - day << ")";
+  }
+
+  constexpr std::int32_t kErrorDay = 30;
+  DriveHistory erroring = make_healthy_drive(2, 60);
+  erroring.records[kErrorDay].errors[static_cast<std::size_t>(
+      trace::ErrorType::kUncorrectable)] = 1;
+  FleetTrace error_fleet;
+  error_fleet.drives.push_back(erroring);
+  opts.error_label = trace::ErrorType::kUncorrectable;
+  const ml::Dataset error_data = build_dataset(error_fleet, opts);
+  for (std::size_t i = 0; i < error_data.size(); ++i) {
+    const auto day = static_cast<std::int32_t>(error_data.x(i, age_col));
+    const bool expect_positive =
+        day >= kErrorDay - kLookahead && day < kErrorDay;  // 25..29, not 30
+    EXPECT_EQ(error_data.y[i] > 0.5f, expect_positive)
+        << "error label at day " << day << " (dte " << kErrorDay - day << ")";
   }
 }
 
@@ -88,9 +127,9 @@ TEST(DatasetBuilder, NegativeSubsamplingKeepsAllPositives) {
   opts.lookahead_days = 2;
   opts.negative_keep_prob = 0.05;
   const ml::Dataset data = build_dataset(fleet, opts);
-  EXPECT_EQ(data.positives(), 40u);  // 2 per drive
+  EXPECT_EQ(data.positives(), 60u);  // 3 per drive (days 98..100, dtf <= 2)
   EXPECT_LT(data.size(), 20u * 101u / 4);
-  EXPECT_GT(data.size(), 40u);
+  EXPECT_GT(data.size(), 60u);
 }
 
 TEST(DatasetBuilder, DeterministicAcrossRuns) {

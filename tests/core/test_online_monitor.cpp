@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+#include <thread>
+
 #include "core/dataset_builder.hpp"
 #include "core/failure_timeline.hpp"
 #include "ml/downsample.hpp"
@@ -88,6 +91,200 @@ TEST(FleetMonitor, TracksDrivesIndependently) {
   EXPECT_EQ(fleet_monitor.drives_tracked(), 2u);
   fleet_monitor.retire(trace::DriveModel::MlcA, 1);
   EXPECT_EQ(fleet_monitor.drives_tracked(), 1u);
+}
+
+TEST(FleetMonitor, RetireThenReobserveRecreatesState) {
+  FleetMonitor fleet_monitor(fitted_model(), 0.99, 4);
+  trace::DailyRecord rec;
+  rec.day = 0;
+  rec.reads = 50;
+  rec.writes = 50;
+  const float fresh_risk =
+      fleet_monitor.observe(trace::DriveModel::MlcA, 3, 0, rec).risk;
+  rec.day = 1;
+  rec.errors[static_cast<std::size_t>(trace::ErrorType::kUncorrectable)] = 9;
+  (void)fleet_monitor.observe(trace::DriveModel::MlcA, 3, 0, rec);
+  EXPECT_EQ(fleet_monitor.drives_tracked(), 1u);
+
+  fleet_monitor.retire(trace::DriveModel::MlcA, 3);
+  EXPECT_EQ(fleet_monitor.drives_tracked(), 0u);
+
+  // Re-observing after retirement must build FRESH state: day 0 is legal
+  // again (a retired drive's day cursor is gone) and the score matches the
+  // first-ever observation, error history forgotten.
+  rec.day = 0;
+  rec.errors[static_cast<std::size_t>(trace::ErrorType::kUncorrectable)] = 0;
+  const RiskAssessment again =
+      fleet_monitor.observe(trace::DriveModel::MlcA, 3, 0, rec);
+  EXPECT_FLOAT_EQ(again.risk, fresh_risk);
+  EXPECT_EQ(fleet_monitor.drives_tracked(), 1u);
+  EXPECT_EQ(fleet_monitor.metrics().drives_retired, 1u);
+  EXPECT_EQ(fleet_monitor.metrics().drives_created, 2u);
+}
+
+TEST(FleetMonitor, OutOfOrderRejection) {
+  FleetMonitor fleet_monitor(fitted_model(), 0.5, 2);
+  trace::DailyRecord rec;
+  rec.day = 10;
+  (void)fleet_monitor.observe(trace::DriveModel::MlcB, 1, 0, rec);
+  // Sequential path: throws, and the drop is counted.
+  rec.day = 9;
+  EXPECT_THROW((void)fleet_monitor.observe(trace::DriveModel::MlcB, 1, 0, rec),
+               std::invalid_argument);
+  EXPECT_EQ(fleet_monitor.metrics().out_of_order_dropped, 1u);
+
+  // Batch path: flags the record instead of throwing; in-order records in
+  // the same batch still score.
+  std::vector<FleetObservation> batch(2);
+  batch[0] = {trace::DriveModel::MlcB, 1, 0, rec};  // day 9: stale
+  batch[1] = {trace::DriveModel::MlcB, 1, 0, rec};
+  batch[1].record.day = 11;
+  const auto assessments = fleet_monitor.observe_batch(batch);
+  ASSERT_EQ(assessments.size(), 2u);
+  EXPECT_TRUE(assessments[0].dropped);
+  EXPECT_FALSE(assessments[1].dropped);
+  EXPECT_EQ(fleet_monitor.metrics().out_of_order_dropped, 2u);
+  EXPECT_EQ(fleet_monitor.metrics().records_scored, 2u);  // day 10 + day 11
+}
+
+TEST(FleetMonitor, AlertCounterIsMonotone) {
+  FleetMonitor fleet_monitor(fitted_model(), 0.0, 3);  // threshold 0: all alert
+  trace::DailyRecord rec;
+  rec.reads = 10;
+  std::uint64_t previous = 0;
+  for (std::int32_t day = 0; day < 20; ++day) {
+    rec.day = day;
+    const auto a = fleet_monitor.observe(trace::DriveModel::MlcD, 2, 0, rec);
+    EXPECT_TRUE(a.alert);
+    const std::uint64_t now = fleet_monitor.alerts_raised();
+    EXPECT_EQ(now, previous + 1);  // monotone, one per record at threshold 0
+    previous = now;
+  }
+  EXPECT_EQ(fleet_monitor.metrics().records_scored, 20u);
+  EXPECT_EQ(fleet_monitor.metrics().alerts_raised, 20u);
+}
+
+/// Day-ordered replay stream for a small simulated fleet.
+std::vector<std::vector<FleetObservation>> day_batches(const trace::FleetTrace& fleet) {
+  std::map<std::int32_t, std::vector<FleetObservation>> by_day;
+  for (const auto& drive : fleet.drives)
+    for (const auto& rec : drive.records)
+      by_day[rec.day].push_back({drive.model, drive.drive_index, drive.deploy_day, rec});
+  std::vector<std::vector<FleetObservation>> batches;
+  batches.reserve(by_day.size());
+  for (auto& [day, batch] : by_day) batches.push_back(std::move(batch));
+  return batches;
+}
+
+TEST(FleetMonitor, BatchMatchesSequentialAcrossShardCounts) {
+  sim::FleetConfig cfg;
+  cfg.drives_per_model = 12;
+  cfg.window_days = 150;
+  const trace::FleetTrace fleet = sim::FleetSimulator(cfg).generate_all();
+  const auto batches = day_batches(fleet);
+
+  FleetMonitor sequential(fitted_model(), 0.9, 1);
+  FleetMonitor batched_1(fitted_model(), 0.9, 1);
+  FleetMonitor batched_8(fitted_model(), 0.9, 8);
+  parallel::ThreadPool pool(4);
+
+  std::uint64_t compared = 0;
+  for (const auto& batch : batches) {
+    const auto from_1 = batched_1.observe_batch(batch);
+    const auto from_8 = batched_8.observe_batch(batch, pool);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const auto& obs = batch[i];
+      const RiskAssessment one = sequential.observe(obs.drive_model, obs.drive_index,
+                                                    obs.deploy_day, obs.record);
+      ASSERT_FALSE(from_1[i].dropped);
+      ASSERT_FALSE(from_8[i].dropped);
+      // Identical scores: sequential vs batched, 1 shard vs 8 shards.
+      ASSERT_EQ(one.risk, from_1[i].risk) << "day batch mismatch at obs " << i;
+      ASSERT_EQ(one.risk, from_8[i].risk) << "shard-count mismatch at obs " << i;
+      ASSERT_EQ(one.alert, from_8[i].alert);
+      ++compared;
+    }
+  }
+  ASSERT_GT(compared, 1000u);
+  EXPECT_EQ(sequential.alerts_raised(), batched_8.alerts_raised());
+  EXPECT_EQ(batched_1.metrics().records_scored, compared);
+  EXPECT_EQ(batched_8.metrics().records_scored, compared);
+}
+
+TEST(FleetMonitor, ConcurrentObserveMatchesSequential) {
+  // N threads each stream a disjoint subset of drives into one sharded
+  // monitor; every drive's scores must equal a single-threaded replay.
+  sim::FleetConfig cfg;
+  cfg.drives_per_model = 8;
+  cfg.window_days = 120;
+  const trace::FleetTrace fleet = sim::FleetSimulator(cfg).generate_all();
+
+  FleetMonitor shared(fitted_model(), 0.9, 8);
+  constexpr unsigned kThreads = 4;
+  std::vector<std::vector<std::vector<float>>> risks(kThreads);
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::size_t d = t; d < fleet.drives.size(); d += kThreads) {
+        const auto& drive = fleet.drives[d];
+        std::vector<float> drive_risks;
+        drive_risks.reserve(drive.records.size());
+        for (const auto& rec : drive.records)
+          drive_risks.push_back(
+              shared.observe(drive.model, drive.drive_index, drive.deploy_day, rec).risk);
+        risks[t].push_back(std::move(drive_risks));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  std::uint64_t total = 0;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    std::size_t slot = 0;
+    for (std::size_t d = t; d < fleet.drives.size(); d += kThreads, ++slot) {
+      const auto& drive = fleet.drives[d];
+      OnlineDriveMonitor solo(*fitted_model(), 0.9, drive.model, drive.deploy_day);
+      ASSERT_EQ(risks[t][slot].size(), drive.records.size());
+      for (std::size_t r = 0; r < drive.records.size(); ++r) {
+        ASSERT_EQ(solo.observe(drive.records[r]).risk, risks[t][slot][r])
+            << "drive " << drive.uid() << " record " << r;
+        ++total;
+      }
+    }
+  }
+  EXPECT_EQ(shared.metrics().records_scored, total);
+  EXPECT_EQ(shared.drives_tracked(), fleet.drives.size());
+}
+
+TEST(FleetMonitor, MetricsSnapshotAddsUp) {
+  sim::FleetConfig cfg;
+  cfg.drives_per_model = 6;
+  cfg.window_days = 100;
+  const trace::FleetTrace fleet = sim::FleetSimulator(cfg).generate_all();
+  const auto batches = day_batches(fleet);
+
+  FleetMonitor monitor(fitted_model(), 0.9, 4);
+  std::uint64_t records = 0;
+  for (const auto& batch : batches) {
+    (void)monitor.observe_batch(batch);
+    records += batch.size();
+  }
+  const MonitorMetricsSnapshot snap = monitor.metrics();
+  EXPECT_EQ(snap.shards, 4u);
+  EXPECT_EQ(snap.records_scored, records);
+  EXPECT_EQ(snap.drives_created, fleet.drives.size());
+  EXPECT_EQ(snap.drives_tracked, fleet.drives.size());
+  EXPECT_EQ(snap.drives_retired, 0u);
+  EXPECT_EQ(snap.out_of_order_dropped, 0u);
+  // One on_batch per (day, non-empty shard) pair: between #days and
+  // #days * #shards.
+  EXPECT_GE(snap.batches_scored, batches.size());
+  EXPECT_LE(snap.batches_scored, batches.size() * 4);
+  // Every scored record contributed one (weighted) latency observation.
+  EXPECT_DOUBLE_EQ(snap.score_latency_us.total(), static_cast<double>(records));
+  const std::string text = snap.to_text();
+  EXPECT_NE(text.find("records scored"), std::string::npos);
+  EXPECT_NE(text.find("score latency"), std::string::npos);
 }
 
 TEST(FleetMonitor, RisingRiskBeforeFailure) {

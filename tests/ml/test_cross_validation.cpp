@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 
 #include "ml/downsample.hpp"
@@ -82,8 +83,39 @@ TEST(CrossValidate, ReasonableAucOnLearnableTask) {
   LogisticRegression model;
   const CvResult result = cross_validate(model, d);
   ASSERT_EQ(result.fold_aucs.size(), 5u);
+  EXPECT_EQ(result.folds_requested, 5u);
+  EXPECT_EQ(result.folds_skipped, 0u);
   EXPECT_GT(result.auc().mean, 0.85);
   EXPECT_LT(result.auc().sd, 0.1);
+}
+
+TEST(CrossValidate, CountsSkippedDegenerateFolds) {
+  // Force fold 0's training set to a single class via the train transform:
+  // that fold must be skipped AND visibly accounted for, not silently
+  // folded into a smaller k.
+  const Dataset d = make_grouped_task(200, 6, 5);
+  LogisticRegression model;
+  CvOptions opts;
+  opts.train_transform = [](const Dataset& train, std::size_t fold) {
+    if (fold != 0) return train;
+    std::vector<std::size_t> negatives;
+    for (std::size_t i = 0; i < train.size(); ++i)
+      if (train.y[i] < 0.5f) negatives.push_back(i);
+    return train.subset(negatives);
+  };
+  const CvResult result = cross_validate(model, d, opts);
+  EXPECT_EQ(result.folds_requested, 5u);
+  EXPECT_EQ(result.folds_skipped, 1u);
+  EXPECT_EQ(result.fold_aucs.size(), 4u);
+}
+
+TEST(CrossValidate, ThrowsWhenAllFoldsDegenerate) {
+  // A single-class dataset has no valid fold anywhere; claiming a k-fold
+  // result (or returning an empty one) would be a lie, so it must throw.
+  Dataset d = make_grouped_task(50, 4, 13);
+  std::fill(d.y.begin(), d.y.end(), 0.0f);
+  LogisticRegression model;
+  EXPECT_THROW((void)cross_validate(model, d), std::runtime_error);
 }
 
 TEST(CrossValidate, TransformsAreApplied) {

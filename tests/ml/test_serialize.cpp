@@ -1,0 +1,154 @@
+#include "ml/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "stats/rng.hpp"
+
+namespace ssdfail::ml {
+namespace {
+
+/// Small learnable binary task (two shifted gaussian blobs).
+Dataset make_task(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  stats::Rng rng(seed);
+  Dataset d;
+  d.x = Matrix(rows, cols);
+  d.y.resize(rows);
+  d.groups.resize(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const bool positive = rng.bernoulli(0.4);
+    for (std::size_t c = 0; c < cols; ++c)
+      d.x(r, c) = static_cast<float>(rng.normal() + (positive ? 0.8 : -0.2));
+    d.y[r] = positive ? 1.0f : 0.0f;
+    d.groups[r] = r;
+  }
+  return d;
+}
+
+Matrix probe_matrix(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  stats::Rng rng(seed);
+  Matrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c)
+      m(r, c) = static_cast<float>(3.0 * rng.normal());
+  return m;
+}
+
+TEST(Serialize, RandomForestRoundTripIsBitExact) {
+  const Dataset train = make_task(400, 6, 1);
+  RandomForest::Params params;
+  params.n_trees = 20;
+  RandomForest forest(params);
+  forest.fit(train);
+
+  std::stringstream stream;
+  save_model(stream, forest);
+  const RandomForest loaded = load_random_forest(stream);
+
+  EXPECT_EQ(loaded.tree_count(), forest.tree_count());
+  const Matrix probe = probe_matrix(200, 6, 2);
+  const auto before = forest.predict_proba(probe);
+  const auto after = loaded.predict_proba(probe);
+  ASSERT_EQ(before.size(), after.size());
+  for (std::size_t i = 0; i < before.size(); ++i)
+    EXPECT_EQ(before[i], after[i]) << "row " << i;  // bit-exact, not NEAR
+
+  const auto imp_before = forest.feature_importance();
+  const auto imp_after = loaded.feature_importance();
+  ASSERT_EQ(imp_before.size(), imp_after.size());
+  for (std::size_t f = 0; f < imp_before.size(); ++f)
+    EXPECT_DOUBLE_EQ(imp_before[f], imp_after[f]);
+}
+
+TEST(Serialize, LogisticRegressionRoundTripIsBitExact) {
+  const Dataset train = make_task(500, 5, 3);
+  LogisticRegression model;
+  model.fit(train);
+
+  std::stringstream stream;
+  save_model(stream, model);
+  const LogisticRegression loaded = load_logistic_regression(stream);
+
+  ASSERT_EQ(loaded.weights().size(), model.weights().size());
+  for (std::size_t c = 0; c < model.weights().size(); ++c)
+    EXPECT_EQ(loaded.weights()[c], model.weights()[c]);
+  EXPECT_EQ(loaded.bias(), model.bias());
+
+  const Matrix probe = probe_matrix(150, 5, 4);
+  const auto before = model.predict_proba(probe);
+  const auto after = loaded.predict_proba(probe);
+  for (std::size_t i = 0; i < before.size(); ++i) EXPECT_EQ(before[i], after[i]);
+}
+
+TEST(Serialize, StandardizerRoundTrip) {
+  Standardizer scaler;
+  scaler.fit(probe_matrix(100, 4, 5));
+
+  std::stringstream stream;
+  save_model(stream, scaler);
+  const Standardizer loaded = load_standardizer(stream);
+  ASSERT_TRUE(loaded.fitted());
+  ASSERT_EQ(loaded.mean().size(), 4u);
+  for (std::size_t c = 0; c < 4; ++c) {
+    EXPECT_EQ(loaded.mean()[c], scaler.mean()[c]);
+    EXPECT_EQ(loaded.stddev()[c], scaler.stddev()[c]);
+  }
+}
+
+TEST(Serialize, GenericLoadDispatchesOnKind) {
+  const Dataset train = make_task(300, 4, 6);
+
+  std::stringstream forest_stream;
+  RandomForest::Params params;
+  params.n_trees = 5;
+  RandomForest forest(params);
+  forest.fit(train);
+  save_model(forest_stream, forest);
+  EXPECT_EQ(load_classifier(forest_stream)->name(), "random_forest");
+
+  std::stringstream logistic_stream;
+  LogisticRegression logistic;
+  logistic.fit(train);
+  save_model(logistic_stream, logistic);
+  EXPECT_EQ(load_classifier(logistic_stream)->name(), "logistic_regression");
+}
+
+TEST(Serialize, UnfittedModelsRefuseToSave) {
+  std::stringstream stream;
+  EXPECT_THROW(save_model(stream, RandomForest{}), std::logic_error);
+  EXPECT_THROW(save_model(stream, LogisticRegression{}), std::logic_error);
+  EXPECT_THROW(save_model(stream, Standardizer{}), std::logic_error);
+}
+
+TEST(Serialize, RejectsBadMagicKindMismatchAndTruncation) {
+  std::stringstream garbage("definitely not a model file");
+  EXPECT_THROW((void)load_random_forest(garbage), std::runtime_error);
+
+  const Dataset train = make_task(300, 4, 7);
+  LogisticRegression logistic;
+  logistic.fit(train);
+  std::stringstream logistic_stream;
+  save_model(logistic_stream, logistic);
+  EXPECT_THROW((void)load_random_forest(logistic_stream), std::runtime_error);
+
+  std::stringstream full;
+  RandomForest::Params params;
+  params.n_trees = 3;
+  RandomForest forest(params);
+  forest.fit(train);
+  save_model(full, forest);
+  const std::string bytes = full.str();
+  std::stringstream truncated(bytes.substr(0, bytes.size() / 2));
+  EXPECT_THROW((void)load_random_forest(truncated), std::runtime_error);
+
+  // A standalone standardizer is not a classifier.
+  Standardizer scaler;
+  scaler.fit(probe_matrix(50, 4, 8));
+  std::stringstream scaler_stream;
+  save_model(scaler_stream, scaler);
+  EXPECT_THROW((void)load_classifier(scaler_stream), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace ssdfail::ml
