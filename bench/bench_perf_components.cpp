@@ -14,6 +14,7 @@
 #include "ml/metrics.hpp"
 #include "ml/model_zoo.hpp"
 #include "ml/random_forest.hpp"
+#include "robustness/fault_injector.hpp"
 #include "sim/fleet_simulator.hpp"
 #include "stats/spearman.hpp"
 
@@ -181,6 +182,38 @@ void BM_FleetMonitorScoring(benchmark::State& state) {
       benchmark::Counter(static_cast<double>(scored), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_FleetMonitorScoring)->Arg(0)->Arg(1)->Arg(2)->Arg(8);
+
+// Sanitizer overhead under dirty data.  Arg = per-record corruption
+// percentage fed through the fault injector (0 = clean baseline, so the
+// delta vs Arg(0) is the cost of scoring through the sanitize-repair-
+// quarantine path rather than around it).  Batched path, 4 shards.
+void BM_CorruptStreamScoring(benchmark::State& state) {
+  const auto corruption_pct = static_cast<double>(state.range(0));
+  static parallel::ThreadPool pool(8);
+  core::FleetMonitor monitor(monitor_model(), 0.9, 4);
+  std::vector<core::FleetObservation> batch;
+  for (const auto& d : small_fleet().drives)
+    if (!d.records.empty())
+      batch.push_back({d.model, d.drive_index, 0, d.records.front()});
+  robustness::FaultInjector injector(
+      99, robustness::FaultRates::uniform(corruption_pct / 100.0));
+  std::int32_t day = 0;
+  std::uint64_t emitted = 0;
+  for (auto _ : state) {
+    state.PauseTiming();  // corruption is the harness, not the measurement
+    for (auto& obs : batch) obs.record.day = day;
+    const auto corrupted = injector.corrupt(batch);
+    state.ResumeTiming();
+    const auto assessments = monitor.observe_batch(corrupted.observations, pool);
+    benchmark::DoNotOptimize(assessments.data());
+    ++day;
+    emitted += corrupted.observations.size();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(emitted));
+  state.counters["records/s"] =
+      benchmark::Counter(static_cast<double>(emitted), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CorruptStreamScoring)->Arg(0)->Arg(1)->Arg(10)->Arg(30);
 
 void BM_RocAuc(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

@@ -32,6 +32,7 @@
 #include "ml/downsample.hpp"
 #include "ml/model_zoo.hpp"
 #include "ml/serialize.hpp"
+#include "robustness/fault_injector.hpp"
 #include "sim/fleet_simulator.hpp"
 #include "trace/binary_io.hpp"
 #include "trace/trace_io.hpp"
@@ -79,7 +80,8 @@ int usage() {
       "  ssdfail_cli train     --out MODEL.bin [--model forest|logistic]\n"
       "                        [--drives N] [--seed S] [--lookahead N]\n"
       "  ssdfail_cli serve     --model-file MODEL.bin [--drives N] [--seed S]\n"
-      "                        [--threshold T] [--shards K] [--sequential]\n");
+      "                        [--threshold T] [--shards K] [--sequential]\n"
+      "                        [--chaos PCT]\n");
   return 2;
 }
 
@@ -215,50 +217,91 @@ int cmd_train(const Args& args) {
   std::printf("%zu rows (%zu positives) -> %zu after 1:1 downsampling\n", data.size(),
               data.positives(), train.size());
 
-  std::ofstream out(out_path, std::ios::binary);
-  if (!out) {
-    std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
-    return 1;
-  }
+  // Atomic persistence (tmp + rename): a crash mid-write must never leave a
+  // truncated model where `serve` would find it.
   const auto t0 = std::chrono::steady_clock::now();
-  if (kind == "forest") {
-    ml::RandomForest forest;
-    forest.fit(train);
-    ml::save_model(out, forest);
-  } else {
-    ml::LogisticRegression logistic;
-    logistic.fit(train);
-    ml::save_model(out, logistic);
+  try {
+    if (kind == "forest") {
+      ml::RandomForest forest;
+      forest.fit(train);
+      ml::save_model_file(out_path, forest);
+    } else {
+      ml::LogisticRegression logistic;
+      logistic.fit(train);
+      ml::save_model_file(out_path, logistic);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "cannot write %s: %s\n", out_path.c_str(), e.what());
+    return 1;
   }
   const double secs = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
   std::printf("trained %s in %.1fs, wrote %s\n", kind.c_str(), secs, out_path.c_str());
   return 0;
 }
 
+/// Try to load the serving model; returns nullptr (with a logged reason)
+/// instead of throwing, so `serve` can degrade rather than die.
+std::shared_ptr<const ml::Classifier> try_load_model(const std::string& path) {
+  try {
+    return std::shared_ptr<const ml::Classifier>(ml::load_classifier_file(path));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "serve: cannot load %s: %s\n", path.c_str(), e.what());
+    return nullptr;
+  }
+}
+
+/// Degraded-mode scorer: the paper's statistical threshold baseline, fitted
+/// on a small simulated fleet.  Much weaker than the trained model, but it
+/// keeps risk scores flowing while the real model file is broken.
+std::shared_ptr<const ml::Classifier> fallback_model(std::uint64_t seed) {
+  sim::FleetConfig cfg;
+  cfg.drives_per_model = 60;
+  cfg.seed = seed;
+  cfg.keep_ground_truth = true;
+  const sim::FleetSimulator fleet(cfg);
+  core::DatasetBuildOptions opts;
+  opts.lookahead_days = 1;
+  opts.negative_keep_prob = 0.02;
+  const ml::Dataset data = core::build_dataset(fleet, opts);
+  auto baseline = ml::make_model(ml::ModelKind::kThresholdBaseline);
+  baseline->fit(ml::downsample_negatives(data, 1.0, cfg.seed));
+  return std::shared_ptr<const ml::Classifier>(std::move(baseline));
+}
+
 int cmd_serve(const Args& args) {
   const std::string model_path = args.get("model-file", "");
   if (model_path.empty()) return usage();
-  std::ifstream in(model_path, std::ios::binary);
-  if (!in) {
-    std::fprintf(stderr, "cannot open %s\n", model_path.c_str());
-    return 1;
-  }
-  std::shared_ptr<const ml::Classifier> model;
-  try {
-    model = std::shared_ptr<const ml::Classifier>(ml::load_classifier(in));
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "failed to load %s: %s\n", model_path.c_str(), e.what());
-    return 1;
-  }
-  std::printf("loaded %s from %s\n", model->name().c_str(), model_path.c_str());
 
   sim::FleetConfig cfg = config_from(args);
   cfg.drives_per_model = static_cast<std::uint32_t>(args.get_long("drives", 200));
+
+  std::shared_ptr<const ml::Classifier> model = try_load_model(model_path);
+  bool degraded = model == nullptr;
+  if (degraded) {
+    std::fprintf(stderr, "serve: DEGRADED — scoring on the threshold baseline\n");
+    model = fallback_model(cfg.seed);
+  } else {
+    std::printf("loaded %s from %s\n", model->name().c_str(), model_path.c_str());
+  }
+
   const trace::FleetTrace fleet = sim::FleetSimulator(cfg).generate_all();
 
   const double threshold = std::strtod(args.get("threshold", "0.9").c_str(), nullptr);
   const auto shards = static_cast<std::size_t>(args.get_long("shards", 8));
   core::FleetMonitor monitor(model, threshold, shards);
+  monitor.set_degraded(degraded);
+
+  // Optional chaos: corrupt the replay stream with a seeded injector so the
+  // sanitizer's repairs/quarantines show up in the final report.
+  const long chaos_pct = args.get_long("chaos", 0);
+  robustness::FaultInjector injector(
+      cfg.seed ^ 0x9e3779b97f4a7c15ull,
+      robustness::FaultRates::uniform(static_cast<double>(chaos_pct) / 100.0));
+
+  // Bounded reload-with-backoff while degraded, measured in replay days
+  // (the replay clock is the service's wall clock).
+  constexpr std::int32_t kMaxBackoffDays = 64;
+  std::int32_t backoff_days = 1;
 
   // Replay the fleet as the live stream a data-center operator would feed
   // the service: one batch per calendar day, all drives reporting that day.
@@ -269,11 +312,25 @@ int cmd_serve(const Args& args) {
     first_day = std::min(first_day, d.records.front().day);
     last_day = std::max(last_day, d.records.back().day);
   }
+  std::int32_t next_retry_day = first_day + backoff_days;
   std::vector<std::size_t> cursor(fleet.drives.size(), 0);
   const bool sequential = args.flag("sequential");
   const auto t0 = std::chrono::steady_clock::now();
   std::vector<core::FleetObservation> day_batch;
   for (std::int32_t day = first_day; day <= last_day; ++day) {
+    if (degraded && day >= next_retry_day) {
+      if (auto reloaded = try_load_model(model_path)) {
+        std::printf("serve: model reload succeeded on day %d — leaving degraded mode\n",
+                    day);
+        model = std::move(reloaded);
+        monitor.set_model(model);
+        degraded = false;
+        monitor.set_degraded(false);
+      } else {
+        backoff_days = std::min(backoff_days * 2, kMaxBackoffDays);
+        next_retry_day = day + backoff_days;
+      }
+    }
     day_batch.clear();
     for (std::size_t d = 0; d < fleet.drives.size(); ++d) {
       const auto& drive = fleet.drives[d];
@@ -284,6 +341,11 @@ int cmd_serve(const Args& args) {
       ++cursor[d];
     }
     if (day_batch.empty()) continue;
+    if (chaos_pct > 0) {
+      const auto corrupted = injector.corrupt(day_batch);
+      day_batch = corrupted.observations;
+      if (day_batch.empty()) continue;
+    }
     if (sequential) {
       for (const auto& obs : day_batch)
         (void)monitor.observe(obs.drive_model, obs.drive_index, obs.deploy_day,
@@ -301,9 +363,10 @@ int cmd_serve(const Args& args) {
   }
   const double secs = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
   const auto snapshot = monitor.metrics();
-  std::printf("replayed days %d..%d in %.1fs (%.0f records/s, %s path)\n", first_day,
+  std::printf("replayed days %d..%d in %.1fs (%.0f records/s, %s path%s)\n", first_day,
               last_day, secs, static_cast<double>(snapshot.records_scored) / secs,
-              sequential ? "sequential" : "batched");
+              sequential ? "sequential" : "batched",
+              chaos_pct > 0 ? ", chaos on" : "");
   std::fputs(snapshot.to_text().c_str(), stdout);
   return 0;
 }

@@ -11,7 +11,10 @@ void MonitorMetricsSnapshot::merge(const MonitorMetricsSnapshot& other) {
   drives_retired += other.drives_retired;
   batches_scored += other.batches_scored;
   out_of_order_dropped += other.out_of_order_dropped;
+  non_finite_scores += other.non_finite_scores;
   drives_tracked += other.drives_tracked;
+  degraded = degraded || other.degraded;
+  sanitizer.merge(other.sanitizer);
   score_latency_us.merge(other.score_latency_us);
 }
 
@@ -28,20 +31,24 @@ double MonitorMetricsSnapshot::latency_quantile_us(double q) const {
 }
 
 std::string MonitorMetricsSnapshot::to_text() const {
-  char buf[512];
+  char buf[1024];
   const double alert_pct =
       records_scored > 0
           ? 100.0 * static_cast<double>(alerts_raised) / static_cast<double>(records_scored)
           : 0.0;
   std::snprintf(buf, sizeof(buf),
-                "fleet-monitor metrics (%llu shard%s)\n"
+                "fleet-monitor metrics (%llu shard%s)%s\n"
                 "  records scored      %llu\n"
                 "  alerts raised       %llu (%.2f%%)\n"
                 "  drives tracked      %llu (created %llu, retired %llu)\n"
                 "  batches scored      %llu\n"
                 "  out-of-order drops  %llu\n"
+                "  records repaired    %llu (duplicates dropped %llu)\n"
+                "  records quarantined %llu (dead-lettered %zu, overflow %llu)\n"
+                "  non-finite scores   %llu (clamped to 1.0)\n"
                 "  score latency/rec   p50 %.0fus  p90 %.0fus  p99 %.0fus\n",
                 static_cast<unsigned long long>(shards), shards == 1 ? "" : "s",
+                degraded ? "  [DEGRADED: fallback model]" : "",
                 static_cast<unsigned long long>(records_scored),
                 static_cast<unsigned long long>(alerts_raised), alert_pct,
                 static_cast<unsigned long long>(drives_tracked),
@@ -49,9 +56,27 @@ std::string MonitorMetricsSnapshot::to_text() const {
                 static_cast<unsigned long long>(drives_retired),
                 static_cast<unsigned long long>(batches_scored),
                 static_cast<unsigned long long>(out_of_order_dropped),
+                static_cast<unsigned long long>(sanitizer.records_repaired +
+                                                sanitizer.duplicates_dropped),
+                static_cast<unsigned long long>(sanitizer.duplicates_dropped),
+                static_cast<unsigned long long>(sanitizer.records_quarantined),
+                sanitizer.dead_letters.size(),
+                static_cast<unsigned long long>(sanitizer.dead_letter_overflow),
+                static_cast<unsigned long long>(non_finite_scores),
                 latency_quantile_us(0.5), latency_quantile_us(0.9),
                 latency_quantile_us(0.99));
-  return buf;
+  std::string text = buf;
+  // Per-kind breakdown, printed only for the kinds that actually occurred.
+  for (trace::ViolationKind kind : trace::kAllViolationKinds) {
+    const auto k = static_cast<std::size_t>(kind);
+    if (sanitizer.repaired[k] == 0 && sanitizer.quarantined[k] == 0) continue;
+    std::snprintf(buf, sizeof(buf), "    %-28s repaired %llu  quarantined %llu\n",
+                  std::string(trace::violation_name(kind)).c_str(),
+                  static_cast<unsigned long long>(sanitizer.repaired[k]),
+                  static_cast<unsigned long long>(sanitizer.quarantined[k]));
+    text += buf;
+  }
+  return text;
 }
 
 void MonitorMetrics::add_score_latency(double us_per_record, std::uint64_t records) {
@@ -67,6 +92,7 @@ MonitorMetricsSnapshot MonitorMetrics::snapshot() const {
   s.drives_retired = drives_retired_.load(std::memory_order_relaxed);
   s.batches_scored = batches_scored_.load(std::memory_order_relaxed);
   s.out_of_order_dropped = out_of_order_dropped_.load(std::memory_order_relaxed);
+  s.non_finite_scores = non_finite_scores_.load(std::memory_order_relaxed);
   {
     std::scoped_lock lock(latency_mutex_);
     s.score_latency_us = latency_us_;

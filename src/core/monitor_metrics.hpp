@@ -9,13 +9,19 @@
 // even while writers run.  The score-latency histogram is the one
 // non-atomic member; it is guarded by a small mutex taken once per
 // scoring call (per batch on the batched path).
+//
+// Sanitizer counters (repairs, quarantines, dead letters) live in the
+// per-shard robustness::RecordSanitizer under the shard mutex; the fleet
+// snapshot folds them in here so one report covers the whole pipeline.
 
 #include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <string>
 
+#include "robustness/record_sanitizer.hpp"
 #include "stats/histogram.hpp"
+#include "trace/validation.hpp"
 
 namespace ssdfail::core {
 
@@ -32,8 +38,11 @@ struct MonitorMetricsSnapshot {
   std::uint64_t drives_retired = 0;
   std::uint64_t batches_scored = 0;
   std::uint64_t out_of_order_dropped = 0;
+  std::uint64_t non_finite_scores = 0;  ///< model emitted NaN/inf; clamped to 1.0
   std::uint64_t drives_tracked = 0;  ///< currently resident (filled by FleetMonitor)
   std::uint64_t shards = 0;          ///< shard count (filled by FleetMonitor)
+  bool degraded = false;             ///< serving on the fallback model (FleetMonitor)
+  robustness::SanitizerSnapshot sanitizer;  ///< repairs/quarantines/dead letters
   stats::Histogram score_latency_us{0.0, kScoreLatencyMaxUs, kScoreLatencyBins};
 
   /// Fold another snapshot in (counter sums + histogram merge).
@@ -66,6 +75,9 @@ class MonitorMetrics {
   void on_out_of_order() noexcept {
     out_of_order_dropped_.fetch_add(1, std::memory_order_relaxed);
   }
+  void on_non_finite() noexcept {
+    non_finite_scores_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   /// Record the mean per-record scoring latency for `records` records.
   void add_score_latency(double us_per_record, std::uint64_t records);
@@ -79,6 +91,7 @@ class MonitorMetrics {
   std::atomic<std::uint64_t> drives_retired_{0};
   std::atomic<std::uint64_t> batches_scored_{0};
   std::atomic<std::uint64_t> out_of_order_dropped_{0};
+  std::atomic<std::uint64_t> non_finite_scores_{0};
   mutable std::mutex latency_mutex_;
   stats::Histogram latency_us_{0.0, kScoreLatencyMaxUs, kScoreLatencyBins};
 };

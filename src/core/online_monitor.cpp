@@ -1,16 +1,13 @@
 #include "core/online_monitor.hpp"
 
 #include <chrono>
+#include <cmath>
 #include <stdexcept>
 
 #include "stats/rng.hpp"
 
 namespace ssdfail::core {
 namespace {
-
-std::uint64_t drive_uid(trace::DriveModel model, std::uint32_t index) noexcept {
-  return (static_cast<std::uint64_t>(model) << 32) | index;
-}
 
 double elapsed_us(std::chrono::steady_clock::time_point start) noexcept {
   return std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() -
@@ -50,11 +47,13 @@ RiskAssessment OnlineDriveMonitor::observe(const trace::DailyRecord& record) {
 }
 
 FleetMonitor::FleetMonitor(std::shared_ptr<const ml::Classifier> model, double threshold,
-                           std::size_t shards)
+                           std::size_t shards,
+                           robustness::SanitizerConfig sanitizer_config)
     : model_(std::move(model)), threshold_(threshold) {
   if (shards == 0) shards = 1;
   shards_.reserve(shards);
-  for (std::size_t s = 0; s < shards; ++s) shards_.push_back(std::make_unique<Shard>());
+  for (std::size_t s = 0; s < shards; ++s)
+    shards_.push_back(std::make_unique<Shard>(sanitizer_config));
 }
 
 std::size_t FleetMonitor::shard_index(std::uint64_t uid) const noexcept {
@@ -65,41 +64,79 @@ std::size_t FleetMonitor::shard_index(std::uint64_t uid) const noexcept {
   return static_cast<std::size_t>(stats::hash_keys({uid}) % shards_.size());
 }
 
+std::shared_ptr<const ml::Classifier> FleetMonitor::current_model() const {
+  std::scoped_lock lock(model_mutex_);
+  return model_;
+}
+
+void FleetMonitor::set_model(std::shared_ptr<const ml::Classifier> model) {
+  std::scoped_lock lock(model_mutex_);
+  model_ = std::move(model);
+}
+
 OnlineDriveMonitor& FleetMonitor::monitor_for(Shard& shard, std::uint64_t uid,
                                               trace::DriveModel drive_model,
-                                              std::int32_t deploy_day) {
+                                              std::int32_t deploy_day,
+                                              const ml::Classifier& model) {
   auto it = shard.monitors.find(uid);
   if (it == shard.monitors.end()) {
     it = shard.monitors
              .emplace(uid,
-                      OnlineDriveMonitor(*model_, threshold_, drive_model, deploy_day))
+                      OnlineDriveMonitor(model, threshold_, drive_model, deploy_day))
              .first;
     shard.metrics.on_drive_created();
   }
   return it->second;
 }
 
+float FleetMonitor::finite_or_clamp(Shard& shard, float risk) {
+  if (std::isfinite(risk)) return risk;
+  // A broken model must fail loud: conservative max risk, counted.
+  shard.metrics.on_non_finite();
+  return 1.0f;
+}
+
 RiskAssessment FleetMonitor::observe(trace::DriveModel drive_model,
                                      std::uint32_t drive_index, std::int32_t deploy_day,
                                      const trace::DailyRecord& record) {
-  const std::uint64_t uid = drive_uid(drive_model, drive_index);
+  const std::uint64_t uid =
+      (static_cast<std::uint64_t>(drive_model) << 32) | drive_index;
   Shard& shard = *shards_[shard_index(uid)];
+  const std::shared_ptr<const ml::Classifier> model = current_model();
   std::scoped_lock lock(shard.mutex);
-  OnlineDriveMonitor& monitor = monitor_for(shard, uid, drive_model, deploy_day);
-  const auto start = std::chrono::steady_clock::now();
+
+  const robustness::SanitizeResult clean =
+      shard.sanitizer.sanitize(uid, deploy_day, record);
   RiskAssessment assessment;
-  try {
-    assessment = monitor.observe(record);
-  } catch (const std::invalid_argument&) {
-    shard.metrics.on_out_of_order();
-    throw;
+  switch (clean.action) {
+    case robustness::SanitizeAction::kQuarantined:
+      if (clean.kind == trace::ViolationKind::kNonMonotoneDays)
+        shard.metrics.on_out_of_order();
+      assessment.dropped = true;
+      assessment.quarantined = true;
+      return assessment;
+    case robustness::SanitizeAction::kDuplicateDropped:
+      assessment.dropped = true;
+      return assessment;
+    case robustness::SanitizeAction::kClean:
+    case robustness::SanitizeAction::kRepaired:
+      break;
   }
+
+  OnlineDriveMonitor& monitor =
+      monitor_for(shard, uid, drive_model, deploy_day, *model);
+  monitor.rebind(*model);  // refresh after any hot swap; `model` outlives the call
+  const auto start = std::chrono::steady_clock::now();
+  assessment = monitor.observe(clean.record);
+  assessment.risk = finite_or_clamp(shard, assessment.risk);
+  assessment.alert = assessment.risk >= threshold_;
+  assessment.repaired = clean.action == robustness::SanitizeAction::kRepaired;
   shard.metrics.on_scored(1, assessment.alert ? 1 : 0);
   shard.metrics.add_score_latency(elapsed_us(start), 1);
   return assessment;
 }
 
-void FleetMonitor::score_shard_batch(Shard& shard,
+void FleetMonitor::score_shard_batch(const ml::Classifier& model, Shard& shard,
                                      std::span<const FleetObservation> batch,
                                      const std::vector<std::size_t>& indices,
                                      std::vector<RiskAssessment>& out) {
@@ -113,16 +150,27 @@ void FleetMonitor::score_shard_batch(Shard& shard,
     std::scoped_lock lock(shard.mutex);
     for (std::size_t i : indices) {
       const FleetObservation& obs = batch[i];
-      const std::uint64_t uid = drive_uid(obs.drive_model, obs.drive_index);
-      OnlineDriveMonitor& monitor =
-          monitor_for(shard, uid, obs.drive_model, obs.deploy_day);
-      try {
-        monitor.prepare_row(obs.record, row);
-      } catch (const std::invalid_argument&) {
-        shard.metrics.on_out_of_order();
+      const std::uint64_t uid = obs.uid();
+      const robustness::SanitizeResult clean =
+          shard.sanitizer.sanitize(uid, obs.deploy_day, obs.record);
+      if (clean.action == robustness::SanitizeAction::kQuarantined) {
+        if (clean.kind == trace::ViolationKind::kNonMonotoneDays)
+          shard.metrics.on_out_of_order();
+        out[i].dropped = true;
+        out[i].quarantined = true;
+        continue;
+      }
+      if (clean.action == robustness::SanitizeAction::kDuplicateDropped) {
         out[i].dropped = true;
         continue;
       }
+      OnlineDriveMonitor& monitor =
+          monitor_for(shard, uid, obs.drive_model, obs.deploy_day, model);
+      monitor.rebind(model);
+      // The sanitizer guarantees accepted records arrive in strictly
+      // increasing day order, so prepare_row cannot throw here.
+      monitor.prepare_row(clean.record, row);
+      out[i].repaired = clean.action == robustness::SanitizeAction::kRepaired;
       rows.push_row(row);
       prepared.push_back(i);
     }
@@ -130,11 +178,11 @@ void FleetMonitor::score_shard_batch(Shard& shard,
   if (prepared.empty()) return;
   // One matrix call per shard.  predict_proba scores rows independently, so
   // the result is bit-identical to per-record observe() for any sharding.
-  const std::vector<float> scores = model_->predict_proba(rows);
+  const std::vector<float> scores = model.predict_proba(rows);
   std::uint64_t alerts = 0;
   for (std::size_t k = 0; k < prepared.size(); ++k) {
     RiskAssessment& a = out[prepared[k]];
-    a.risk = scores[k];
+    a.risk = finite_or_clamp(shard, scores[k]);
     a.alert = a.risk >= threshold_;
     if (a.alert) ++alerts;
   }
@@ -149,12 +197,12 @@ std::vector<RiskAssessment> FleetMonitor::observe_batch(
   std::vector<RiskAssessment> out(batch.size());
   std::vector<std::vector<std::size_t>> by_shard(shards_.size());
   for (std::size_t i = 0; i < batch.size(); ++i)
-    by_shard[shard_index(drive_uid(batch[i].drive_model, batch[i].drive_index))]
-        .push_back(i);
+    by_shard[shard_index(batch[i].uid())].push_back(i);
 
+  const std::shared_ptr<const ml::Classifier> model = current_model();
   if (pool.size() <= 1) {
     for (std::size_t s = 0; s < shards_.size(); ++s)
-      score_shard_batch(*shards_[s], batch, by_shard[s], out);
+      score_shard_batch(*model, *shards_[s], batch, by_shard[s], out);
     return out;
   }
   // Each worker owns a stripe of shards, so a shard's group is prepared and
@@ -163,16 +211,18 @@ std::vector<RiskAssessment> FleetMonitor::observe_batch(
   // parallelism, which is what makes shard count the scaling knob).
   pool.run_on_all([&](unsigned w) {
     for (std::size_t s = w; s < shards_.size(); s += pool.size())
-      score_shard_batch(*shards_[s], batch, by_shard[s], out);
+      score_shard_batch(*model, *shards_[s], batch, by_shard[s], out);
   });
   return out;
 }
 
 void FleetMonitor::retire(trace::DriveModel drive_model, std::uint32_t drive_index) {
-  const std::uint64_t uid = drive_uid(drive_model, drive_index);
+  const std::uint64_t uid =
+      (static_cast<std::uint64_t>(drive_model) << 32) | drive_index;
   Shard& shard = *shards_[shard_index(uid)];
   std::scoped_lock lock(shard.mutex);
   if (shard.monitors.erase(uid) > 0) shard.metrics.on_drive_retired();
+  shard.sanitizer.forget(uid);
 }
 
 std::size_t FleetMonitor::drives_tracked() const {
@@ -188,9 +238,17 @@ std::uint64_t FleetMonitor::alerts_raised() const { return metrics().alerts_rais
 
 MonitorMetricsSnapshot FleetMonitor::metrics() const {
   MonitorMetricsSnapshot total;
-  for (const auto& shard : shards_) total.merge(shard->metrics.snapshot());
+  for (const auto& shard : shards_) {
+    MonitorMetricsSnapshot s = shard->metrics.snapshot();
+    {
+      std::scoped_lock lock(shard->mutex);
+      s.sanitizer = shard->sanitizer.snapshot();
+    }
+    total.merge(s);
+  }
   total.shards = shards_.size();
   total.drives_tracked = drives_tracked();
+  total.degraded = degraded();
   return total;
 }
 

@@ -14,6 +14,15 @@
 // ONE predict_proba matrix call; shards score in parallel on a thread
 // pool.  Scores are identical between the sequential and batched paths
 // and independent of the shard count (rows are scored row-independently).
+//
+// Both paths run every record through a per-shard
+// robustness::RecordSanitizer first: repairable violations (counter
+// regressions, factory-count drift, erase-on-idle garbage) are fixed and
+// scored, exact duplicates are dropped, and irreparable records
+// (out-of-order days, pre-deploy records, saturated garbage) are
+// quarantined to a bounded dead-letter queue.  Neither path throws on bad
+// data.  Non-finite model scores are clamped to 1.0 (conservative alert)
+// and counted, so a broken model degrades loudly instead of silently.
 
 #include <cstdint>
 #include <memory>
@@ -23,17 +32,21 @@
 #include <vector>
 
 #include "core/features.hpp"
+#include "core/fleet_observation.hpp"
 #include "core/monitor_metrics.hpp"
 #include "ml/classifier.hpp"
 #include "parallel/thread_pool.hpp"
+#include "robustness/record_sanitizer.hpp"
 
 namespace ssdfail::core {
 
 /// Daily risk assessment for one drive.
 struct RiskAssessment {
-  float risk = 0.0f;    ///< model score in [0, 1]
-  bool alert = false;   ///< risk >= threshold
-  bool dropped = false; ///< batch path only: record rejected (out of day order)
+  float risk = 0.0f;        ///< model score in [0, 1]
+  bool alert = false;       ///< risk >= threshold
+  bool dropped = false;     ///< record not scored (quarantined or duplicate)
+  bool repaired = false;    ///< scored after a sanitizer repair
+  bool quarantined = false; ///< routed to the dead-letter queue
 };
 
 /// Streaming monitor for a single drive.  Feed records in day order.
@@ -45,6 +58,7 @@ class OnlineDriveMonitor {
 
   /// Fold in one daily record and score it.  Records must arrive in
   /// strictly increasing day order; throws std::invalid_argument otherwise.
+  /// (FleetMonitor pre-sanitizes, so its calls never trip this.)
   RiskAssessment observe(const trace::DailyRecord& record);
 
   /// Batch-path split of observe(): advance state for `record` and write
@@ -52,6 +66,10 @@ class OnlineDriveMonitor {
   /// scoring it — the caller scores many rows with one predict_proba call.
   /// Same day-order contract (and exception) as observe().
   void prepare_row(const trace::DailyRecord& record, std::span<float> out);
+
+  /// Point scoring at a different fitted model (hot model swap).  Feature
+  /// state is model-independent, so scores continue seamlessly.
+  void rebind(const ml::Classifier& model) noexcept { model_ = &model; }
 
   [[nodiscard]] std::int32_t last_day() const noexcept { return last_day_; }
   [[nodiscard]] std::uint64_t days_observed() const noexcept { return days_observed_; }
@@ -67,15 +85,6 @@ class OnlineDriveMonitor {
   std::uint64_t days_observed_ = 0;
 };
 
-/// One drive-day for the batched scoring path.  Records for the same drive
-/// must appear in increasing day order within and across batches.
-struct FleetObservation {
-  trace::DriveModel drive_model = trace::DriveModel::MlcA;
-  std::uint32_t drive_index = 0;
-  std::int32_t deploy_day = 0;
-  trace::DailyRecord record;
-};
-
 /// Sharded fleet-wide monitor: lazily creates a per-drive monitor on first
 /// sight; a retired drive's next observation recreates fresh state.
 class FleetMonitor {
@@ -83,19 +92,21 @@ class FleetMonitor {
   /// `shards` >= 1 partitions drive state for concurrent callers; size it
   /// near the number of scoring threads (scores do not depend on it).
   FleetMonitor(std::shared_ptr<const ml::Classifier> model, double threshold,
-               std::size_t shards = 1);
+               std::size_t shards = 1,
+               robustness::SanitizerConfig sanitizer_config = {});
 
   /// Observe one record for the given drive (thread-safe; locks only the
-  /// drive's shard).  Throws std::invalid_argument on an out-of-order day.
+  /// drive's shard).  Never throws on bad data: the record is sanitized
+  /// first and a quarantined/duplicate record comes back with
+  /// `dropped = true` — identical semantics to the batched path.
   RiskAssessment observe(trace::DriveModel drive_model, std::uint32_t drive_index,
                          std::int32_t deploy_day, const trace::DailyRecord& record);
 
   /// Score a batch: records are grouped by shard, each shard's rows are
   /// scored with one predict_proba call, and shards run in parallel on
   /// `pool` (each worker owns a stripe of shards, so per-shard work stays
-  /// sequential and deterministic).  Out-of-order records are dropped and
-  /// flagged (`RiskAssessment::dropped`) instead of throwing.  Results are
-  /// positionally aligned with `batch`.
+  /// sequential and deterministic).  Sanitization semantics are identical
+  /// to observe().  Results are positionally aligned with `batch`.
   std::vector<RiskAssessment> observe_batch(
       std::span<const FleetObservation> batch,
       parallel::ThreadPool& pool = parallel::ThreadPool::global());
@@ -103,31 +114,57 @@ class FleetMonitor {
   /// Drop a drive's state (it was swapped out).  Thread-safe.
   void retire(trace::DriveModel drive_model, std::uint32_t drive_index);
 
+  /// Hot-swap the scoring model (degraded-mode fallback / reload).
+  /// Concurrent observers see either model; per-drive feature state
+  /// carries over untouched.  Every scoring path rebinds its drive
+  /// monitor to a model snapshot it holds alive for the duration of the
+  /// call, so the swap is safe without stopping ingestion.
+  void set_model(std::shared_ptr<const ml::Classifier> model);
+
+  /// Mark (or clear) degraded mode; surfaced through metrics().
+  void set_degraded(bool degraded) noexcept {
+    degraded_.store(degraded, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool degraded() const noexcept {
+    return degraded_.load(std::memory_order_relaxed);
+  }
+
   [[nodiscard]] std::size_t shard_count() const noexcept { return shards_.size(); }
   [[nodiscard]] std::size_t drives_tracked() const;
   [[nodiscard]] std::uint64_t alerts_raised() const;
 
-  /// Aggregated counters across all shards.
+  /// Aggregated counters across all shards (monitor + sanitizer).
   [[nodiscard]] MonitorMetricsSnapshot metrics() const;
 
  private:
   struct Shard {
     mutable std::mutex mutex;
     std::unordered_map<std::uint64_t, OnlineDriveMonitor> monitors;
+    robustness::RecordSanitizer sanitizer;
     MonitorMetrics metrics;
+
+    explicit Shard(robustness::SanitizerConfig config) : sanitizer(config) {}
   };
 
   [[nodiscard]] std::size_t shard_index(std::uint64_t uid) const noexcept;
-  /// Find-or-create a drive monitor.  Caller holds the shard mutex.
+  /// Find-or-create a drive monitor bound to `model`.  Caller holds the
+  /// shard mutex and keeps `model` alive for the duration of the call.
   OnlineDriveMonitor& monitor_for(Shard& shard, std::uint64_t uid,
                                   trace::DriveModel drive_model,
-                                  std::int32_t deploy_day);
-  void score_shard_batch(Shard& shard, std::span<const FleetObservation> batch,
+                                  std::int32_t deploy_day,
+                                  const ml::Classifier& model);
+  /// Clamp a non-finite score to the conservative 1.0 and count it.
+  float finite_or_clamp(Shard& shard, float risk);
+  void score_shard_batch(const ml::Classifier& model, Shard& shard,
+                         std::span<const FleetObservation> batch,
                          const std::vector<std::size_t>& indices,
                          std::vector<RiskAssessment>& out);
+  [[nodiscard]] std::shared_ptr<const ml::Classifier> current_model() const;
 
+  mutable std::mutex model_mutex_;  ///< guards model_ swap vs batch snapshot
   std::shared_ptr<const ml::Classifier> model_;
   double threshold_;
+  std::atomic<bool> degraded_{false};
   std::vector<std::unique_ptr<Shard>> shards_;
 };
 

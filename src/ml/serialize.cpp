@@ -1,6 +1,8 @@
 #include "ml/serialize.hpp"
 
+#include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <istream>
 #include <ostream>
 #include <stdexcept>
@@ -239,6 +241,45 @@ std::unique_ptr<Classifier> load_classifier(std::istream& in) {
       break;
   }
   throw std::runtime_error("ml::serialize: stream does not hold a classifier");
+}
+
+namespace {
+
+template <typename Model>
+void save_model_file_impl(const std::string& path, const Model& model) {
+  const std::string tmp = path + ".tmp";
+  try {
+    {
+      std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+      if (!out) throw std::runtime_error("ml::serialize: cannot open " + tmp);
+      save_model(out, model);
+      out.flush();
+      if (!out) throw std::runtime_error("ml::serialize: short write to " + tmp);
+    }
+    // The rename is the commit point: readers see the old file (or none)
+    // until the new bytes are complete on disk.
+    if (std::rename(tmp.c_str(), path.c_str()) != 0)
+      throw std::runtime_error("ml::serialize: cannot rename " + tmp + " -> " + path);
+  } catch (...) {
+    std::remove(tmp.c_str());
+    throw;
+  }
+}
+
+}  // namespace
+
+void save_model_file(const std::string& path, const RandomForest& model) {
+  save_model_file_impl(path, model);
+}
+
+void save_model_file(const std::string& path, const LogisticRegression& model) {
+  save_model_file_impl(path, model);
+}
+
+std::unique_ptr<Classifier> load_classifier_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("ml::serialize: cannot open " + path);
+  return load_classifier(in);
 }
 
 }  // namespace ssdfail::ml

@@ -14,6 +14,7 @@
 
 #include <iosfwd>
 #include <memory>
+#include <string>
 
 #include "ml/classifier.hpp"
 #include "ml/logistic.hpp"
@@ -47,5 +48,17 @@ void save_model(std::ostream& out, const Standardizer& scaler);
 /// dispatching on the kind tag.  Throws std::runtime_error for a
 /// non-classifier payload (e.g. a standalone Standardizer).
 [[nodiscard]] std::unique_ptr<Classifier> load_classifier(std::istream& in);
+
+/// Atomically persist a model to `path`: the bytes are written to
+/// `path + ".tmp"` and renamed over the target only once the full write
+/// succeeded, so a crash or full disk mid-write leaves either the previous
+/// file or no file — never a truncated model a reader could load half of.
+/// Throws std::runtime_error (after removing the temp file) on any failure.
+void save_model_file(const std::string& path, const RandomForest& model);
+void save_model_file(const std::string& path, const LogisticRegression& model);
+
+/// Load whichever classifier `path` holds.  Throws std::runtime_error on a
+/// missing, truncated, or corrupt file.
+[[nodiscard]] std::unique_ptr<Classifier> load_classifier_file(const std::string& path);
 
 }  // namespace ssdfail::ml

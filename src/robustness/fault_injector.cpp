@@ -1,0 +1,299 @@
+#include "robustness/fault_injector.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace ssdfail::robustness {
+
+namespace {
+
+constexpr std::uint32_t kSaturated = std::numeric_limits<std::uint32_t>::max();
+
+std::size_t fault_index(FaultKind kind) noexcept { return static_cast<std::size_t>(kind); }
+
+}  // namespace
+
+std::string_view fault_name(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::kDropDay: return "dropped day";
+    case FaultKind::kDuplicate: return "duplicated record";
+    case FaultKind::kOutOfOrder: return "out-of-order arrival";
+    case FaultKind::kPeCycleReset: return "P/E cycle reset";
+    case FaultKind::kBadBlockReset: return "bad-block reset";
+    case FaultKind::kFactoryFlip: return "factory bad-block flip";
+    case FaultKind::kSaturatedGarbage: return "saturated garbage";
+    case FaultKind::kBeforeDeploy: return "record before deploy";
+    case FaultKind::kEraseNoWrite: return "erases on zero-write day";
+    case FaultKind::kTruncateStream: return "truncated stream";
+    case FaultKind::kSwapOutOfOrder: return "swap days out of order";
+    case FaultKind::kSwapBeforeActivity: return "swap before activity";
+  }
+  return "unknown";
+}
+
+FaultRates FaultRates::uniform(double total) noexcept {
+  total = std::clamp(total, 0.0, 1.0);
+  // Nine per-record faults split the budget evenly; truncation gets a tenth
+  // of one share (9s + s/10 = total).
+  const double share = total / 9.1;
+  FaultRates r;
+  r.drop_day = share;
+  r.duplicate = share;
+  r.out_of_order = share;
+  r.pe_cycle_reset = share;
+  r.bad_block_reset = share;
+  r.factory_flip = share;
+  r.saturated_garbage = share;
+  r.before_deploy = share;
+  r.erase_no_write = share;
+  r.truncate_stream = share / 10.0;
+  return r;
+}
+
+std::uint64_t CorruptedStream::total_injected() const noexcept {
+  std::uint64_t n = 0;
+  for (std::uint64_t k : injected) n += k;
+  return n;
+}
+
+std::size_t CorruptedStream::count(StreamLabel l) const noexcept {
+  std::size_t n = 0;
+  for (StreamLabel x : label)
+    if (x == l) ++n;
+  return n;
+}
+
+CorruptedStream FaultInjector::corrupt(std::span<const core::FleetObservation> stream) {
+  CorruptedStream out;
+  out.observations.reserve(stream.size());
+  out.origin.reserve(stream.size());
+  out.label.reserve(stream.size());
+
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    const core::FleetObservation& source = stream[i];
+    const std::uint64_t uid = source.uid();
+    stats::Rng rng({seed_, next_record_++});
+
+    if (truncated_.count(uid) > 0) {
+      ++out.injected[fault_index(FaultKind::kTruncateStream)];
+      continue;  // the rest of this drive's stream is gone
+    }
+
+    SimState* sim = nullptr;
+    if (auto it = sim_.find(uid); it != sim_.end()) sim = &it->second;
+    const bool has_last = sim != nullptr && sim->has_last;
+
+    // At most one fault per record: sequential seeded trials in fixed order,
+    // skipping faults the sanitizer could not be guaranteed to flag here.
+    std::optional<FaultKind> fault;
+    const struct {
+      FaultKind kind;
+      double rate;
+      bool available;
+    } candidates[] = {
+        {FaultKind::kDropDay, rates_.drop_day, true},
+        {FaultKind::kTruncateStream, rates_.truncate_stream, true},
+        {FaultKind::kDuplicate, rates_.duplicate, true},
+        {FaultKind::kOutOfOrder, rates_.out_of_order, has_last},
+        {FaultKind::kPeCycleReset, rates_.pe_cycle_reset,
+         has_last && sim->last.pe_cycles > 0},
+        {FaultKind::kBadBlockReset, rates_.bad_block_reset,
+         has_last && sim->last.bad_blocks > 0},
+        {FaultKind::kFactoryFlip, rates_.factory_flip, has_last},
+        {FaultKind::kSaturatedGarbage, rates_.saturated_garbage, true},
+        {FaultKind::kBeforeDeploy, rates_.before_deploy, true},
+        {FaultKind::kEraseNoWrite, rates_.erase_no_write, true},
+    };
+    for (const auto& c : candidates) {
+      const bool hit = c.rate > 0.0 && rng.bernoulli(c.rate);
+      if (hit && c.available) {
+        fault = c.kind;
+        break;
+      }
+    }
+
+    auto ensure_sim = [&]() -> SimState& {
+      if (sim == nullptr) sim = &sim_.try_emplace(uid).first->second;
+      return *sim;
+    };
+    auto accept = [&](const trace::DailyRecord& accepted) {
+      SimState& s = ensure_sim();
+      if (!s.has_last) s.factory_bad_blocks = accepted.factory_bad_blocks;
+      s.last = accepted;
+      s.has_last = true;
+    };
+    auto emit = [&](const core::FleetObservation& obs, StreamLabel label) {
+      out.observations.push_back(obs);
+      out.origin.push_back(i);
+      out.label.push_back(label);
+    };
+    const StreamLabel untouched_label =
+        (sim != nullptr && sim->tainted) ? StreamLabel::kTainted : StreamLabel::kClean;
+
+    if (!fault) {
+      accept(source.record);
+      emit(source, untouched_label);
+      continue;
+    }
+    ++out.injected[fault_index(*fault)];
+
+    core::FleetObservation obs = source;
+    switch (*fault) {
+      case FaultKind::kDropDay:
+        ensure_sim().tainted = true;  // later records miss this day's state
+        continue;
+      case FaultKind::kTruncateStream:
+        truncated_[uid] = true;
+        ensure_sim().tainted = true;
+        continue;
+      case FaultKind::kDuplicate:
+        // Original first (accepted as usual), then the exact replay.
+        accept(source.record);
+        emit(source, untouched_label);
+        emit(source, StreamLabel::kCorrupt);
+        continue;
+      case FaultKind::kOutOfOrder:
+        obs.record.day =
+            sim->last.day - static_cast<std::int32_t>(rng.uniform_index(3));
+        sim->tainted = true;  // the clean run scored this record; this one won't
+        emit(obs, StreamLabel::kCorrupt);
+        continue;
+      case FaultKind::kPeCycleReset:
+        obs.record.pe_cycles =
+            static_cast<std::uint32_t>(rng.uniform_index(sim->last.pe_cycles));
+        // Repair clamps back to last-good P/E; cumulative feature state is
+        // untouched by P/E, so the rest of the drive's stream stays clean.
+        accept([&] {
+          trace::DailyRecord repaired = obs.record;
+          repaired.pe_cycles = sim->last.pe_cycles;
+          return repaired;
+        }());
+        emit(obs, StreamLabel::kCorrupt);
+        continue;
+      case FaultKind::kBadBlockReset:
+        obs.record.bad_blocks =
+            static_cast<std::uint32_t>(rng.uniform_index(sim->last.bad_blocks));
+        accept([&] {
+          trace::DailyRecord repaired = obs.record;
+          repaired.bad_blocks = sim->last.bad_blocks;
+          return repaired;
+        }());
+        sim->tainted = true;  // clamped value shifts new-bad-blocks deltas downstream
+        emit(obs, StreamLabel::kCorrupt);
+        continue;
+      case FaultKind::kFactoryFlip:
+        obs.record.factory_bad_blocks = static_cast<std::uint16_t>(
+            obs.record.factory_bad_blocks + 1 + rng.uniform_index(5));
+        // Repair restores the pinned first-seen count == the source value,
+        // so the accepted record equals the source record exactly.
+        accept(source.record);
+        emit(obs, StreamLabel::kCorrupt);
+        continue;
+      case FaultKind::kSaturatedGarbage: {
+        switch (rng.uniform_index(4)) {
+          case 0: obs.record.reads = kSaturated; break;
+          case 1: obs.record.writes = kSaturated; break;
+          case 2: obs.record.pe_cycles = kSaturated; break;
+          default:
+            obs.record.errors[rng.uniform_index(trace::kNumErrorTypes)] = kSaturated;
+        }
+        ensure_sim().tainted = true;
+        emit(obs, StreamLabel::kCorrupt);
+        continue;
+      }
+      case FaultKind::kBeforeDeploy:
+        obs.record.day =
+            obs.deploy_day - 1 - static_cast<std::int32_t>(rng.uniform_index(30));
+        ensure_sim().tainted = true;
+        emit(obs, StreamLabel::kCorrupt);
+        continue;
+      case FaultKind::kEraseNoWrite:
+        obs.record.writes = 0;
+        obs.record.erases = std::max<std::uint32_t>(1, obs.record.erases);
+        accept([&] {
+          trace::DailyRecord repaired = obs.record;
+          repaired.erases = 0;
+          return repaired;
+        }());
+        sim->tainted = true;  // cumulative write/erase totals diverge downstream
+        emit(obs, StreamLabel::kCorrupt);
+        continue;
+      case FaultKind::kSwapOutOfOrder:
+      case FaultKind::kSwapBeforeActivity:
+        break;  // history-only faults never drawn on streams
+    }
+  }
+  return out;
+}
+
+void FaultInjector::reset() {
+  next_record_ = 0;
+  sim_.clear();
+  truncated_.clear();
+}
+
+std::optional<trace::ViolationKind> FaultInjector::inject_into_history(
+    trace::DriveHistory& drive, FaultKind kind, stats::Rng& rng) {
+  auto& records = drive.records;
+  if (records.size() < 3)
+    throw std::invalid_argument("inject_into_history: need >= 3 records");
+  // A middle record with both neighbours, so pairwise rules fire exactly once.
+  const std::size_t k = 1 + rng.uniform_index(records.size() - 2);
+
+  switch (kind) {
+    case FaultKind::kDropDay:
+      records.erase(records.begin() + static_cast<std::ptrdiff_t>(k));
+      return std::nullopt;  // a gap is indistinguishable from non-reporting
+    case FaultKind::kTruncateStream:
+      records.resize(k);
+      return std::nullopt;
+    case FaultKind::kDuplicate:
+      records.insert(records.begin() + static_cast<std::ptrdiff_t>(k),
+                     records[k]);
+      return trace::ViolationKind::kNonMonotoneDays;
+    case FaultKind::kOutOfOrder:
+      records[k].day = records[k - 1].day;
+      return trace::ViolationKind::kNonMonotoneDays;
+    case FaultKind::kPeCycleReset:
+      if (records[k - 1].pe_cycles == 0)
+        throw std::invalid_argument("inject_into_history: need growing P/E");
+      records[k].pe_cycles =
+          static_cast<std::uint32_t>(rng.uniform_index(records[k - 1].pe_cycles));
+      return trace::ViolationKind::kDecreasingPeCycles;
+    case FaultKind::kBadBlockReset:
+      if (records[k - 1].bad_blocks == 0)
+        throw std::invalid_argument("inject_into_history: need growing bad blocks");
+      records[k].bad_blocks =
+          static_cast<std::uint32_t>(rng.uniform_index(records[k - 1].bad_blocks));
+      return trace::ViolationKind::kDecreasingBadBlocks;
+    case FaultKind::kFactoryFlip:
+      records[k].factory_bad_blocks = static_cast<std::uint16_t>(
+          records[k].factory_bad_blocks + 1 + rng.uniform_index(5));
+      return trace::ViolationKind::kFactoryBadBlocksChanged;
+    case FaultKind::kSaturatedGarbage:
+      records[k].reads = kSaturated;
+      return trace::ViolationKind::kImplausibleValue;
+    case FaultKind::kBeforeDeploy:
+      // The first record, so day order with its successor is preserved.
+      records.front().day =
+          drive.deploy_day - 1 - static_cast<std::int32_t>(rng.uniform_index(10));
+      return trace::ViolationKind::kRecordBeforeDeploy;
+    case FaultKind::kEraseNoWrite:
+      records[k].writes = 0;
+      records[k].erases = std::max<std::uint32_t>(1, records[k].erases);
+      return trace::ViolationKind::kErasesWithoutWrites;
+    case FaultKind::kSwapOutOfOrder: {
+      const std::int32_t base = records.back().day + 3;
+      drive.swaps = {{base}, {base - static_cast<std::int32_t>(rng.uniform_index(2))}};
+      return trace::ViolationKind::kSwapsOutOfOrder;
+    }
+    case FaultKind::kSwapBeforeActivity:
+      drive.swaps = {{records.front().day -
+                      static_cast<std::int32_t>(rng.uniform_index(3))}};
+      return trace::ViolationKind::kSwapBeforeActivity;
+  }
+  return std::nullopt;
+}
+
+}  // namespace ssdfail::robustness

@@ -1,0 +1,133 @@
+#pragma once
+
+// Deterministic fault injection over fleet-observation streams.
+//
+// The chaos half of the robustness layer: given a clean, day-ordered
+// replay stream, corrupt() re-emits it with seeded per-record faults —
+// dropped days, exact duplicates, out-of-order arrivals, cumulative
+// counter resets, saturated field garbage, records before deploy, erase
+// activity on zero-write days, and truncated drive streams.  Randomness
+// derives from stats/rng substreams keyed by (seed, running record
+// index), so a run is bit-reproducible regardless of batch boundaries.
+//
+// The injector labels every emitted record so a chaos test can assert the
+// sanitizer's invariants exactly:
+//
+//   kClean   — untouched AND its drive's state is unperturbed: its score
+//              must be bit-identical to the clean replay.
+//   kTainted — untouched record of a drive whose earlier stream was
+//              perturbed (a dropped/quarantined/repaired record changed
+//              the cumulative feature state).  Scored, but its score may
+//              legitimately differ from the clean run.
+//   kCorrupt — carries an injected fault: the sanitizer must repair,
+//              duplicate-drop, or quarantine it (never score it as-is).
+//
+// To guarantee kCorrupt records are detectable, the injector mirrors the
+// sanitizer's last-accepted state per drive (day / P/E / bad blocks /
+// factory count) and only applies a fault when the sanitizer is certain
+// to flag it — e.g. a P/E reset is only injected once the drive has an
+// accepted positive P/E count to regress from.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/fleet_observation.hpp"
+#include "stats/rng.hpp"
+#include "trace/validation.hpp"
+
+namespace ssdfail::robustness {
+
+enum class FaultKind : std::uint8_t {
+  kDropDay = 0,        ///< record silently dropped from the stream
+  kDuplicate,          ///< record emitted twice (exact same-day duplicate)
+  kOutOfOrder,         ///< day rewritten to/behind the last accepted day
+  kPeCycleReset,       ///< cumulative P/E regressed (controller reset)
+  kBadBlockReset,      ///< cumulative bad blocks regressed
+  kFactoryFlip,        ///< factory bad-block count changed mid-stream
+  kSaturatedGarbage,   ///< a counter saturated to 0xFFFFFFFF
+  kBeforeDeploy,       ///< day rewritten before the deploy day
+  kEraseNoWrite,       ///< writes zeroed while erases stay positive
+  kTruncateStream,     ///< the drive's remaining records are dropped
+  kSwapOutOfOrder,     ///< (history-only) swap days reordered
+  kSwapBeforeActivity, ///< (history-only) swap precedes every record
+};
+
+inline constexpr std::size_t kNumFaultKinds = 12;
+
+[[nodiscard]] std::string_view fault_name(FaultKind kind) noexcept;
+
+/// Per-record probabilities for each stream fault (swap faults are
+/// history-only and have no stream rate).
+struct FaultRates {
+  double drop_day = 0.0;
+  double duplicate = 0.0;
+  double out_of_order = 0.0;
+  double pe_cycle_reset = 0.0;
+  double bad_block_reset = 0.0;
+  double factory_flip = 0.0;
+  double saturated_garbage = 0.0;
+  double before_deploy = 0.0;
+  double erase_no_write = 0.0;
+  double truncate_stream = 0.0;
+
+  /// Spread a total per-record corruption probability evenly over the nine
+  /// per-record faults; stream truncation gets a tenth of a share (it wipes
+  /// whole tails, so an even share would destroy the stream at high rates).
+  [[nodiscard]] static FaultRates uniform(double total) noexcept;
+};
+
+enum class StreamLabel : std::uint8_t { kClean = 0, kTainted, kCorrupt };
+
+struct CorruptedStream {
+  std::vector<core::FleetObservation> observations;
+  /// For each emitted position, the index of the source record it derives
+  /// from (duplicates point at their original).
+  std::vector<std::size_t> origin;
+  std::vector<StreamLabel> label;
+  std::array<std::uint64_t, kNumFaultKinds> injected{};
+
+  [[nodiscard]] std::uint64_t total_injected() const noexcept;
+  [[nodiscard]] std::size_t count(StreamLabel l) const noexcept;
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(std::uint64_t seed, FaultRates rates) : seed_(seed), rates_(rates) {}
+
+  /// Corrupt a day-ordered stream segment.  Stateful: per-drive accepted
+  /// state and truncation marks persist across calls, so a stream may be
+  /// fed batch-by-batch with the same result as one call.
+  [[nodiscard]] CorruptedStream corrupt(std::span<const core::FleetObservation> stream);
+
+  /// Drop all cross-call state (fresh run with the same seed).
+  void reset();
+
+  /// Mutate one drive history in place to exhibit `kind`, choosing targets
+  /// so validate_history flags ONLY the matching ViolationKind.  Returns
+  /// that kind, or nullopt for faults that leave the history structurally
+  /// legal (dropped/truncated data is indistinguishable from a drive that
+  /// simply did not report).  The history needs >= 3 records with growing
+  /// P/E and bad-block counters for every kind to be injectable.
+  static std::optional<trace::ViolationKind> inject_into_history(
+      trace::DriveHistory& drive, FaultKind kind, stats::Rng& rng);
+
+ private:
+  struct SimState {
+    trace::DailyRecord last;  ///< mirror of the sanitizer's last accepted record
+    std::uint16_t factory_bad_blocks = 0;
+    bool has_last = false;  ///< at least one record accepted for this drive
+    bool tainted = false;   ///< earlier stream perturbed; later records kTainted
+  };
+
+  std::uint64_t seed_;
+  FaultRates rates_;
+  std::uint64_t next_record_ = 0;  ///< running index keying per-record rng
+  std::unordered_map<std::uint64_t, SimState> sim_;
+  std::unordered_map<std::uint64_t, bool> truncated_;
+};
+
+}  // namespace ssdfail::robustness

@@ -1,0 +1,128 @@
+#include "robustness/record_sanitizer.hpp"
+
+namespace ssdfail::robustness {
+
+namespace {
+
+std::size_t kind_index(trace::ViolationKind kind) noexcept {
+  return static_cast<std::size_t>(kind);
+}
+
+}  // namespace
+
+void SanitizerSnapshot::merge(const SanitizerSnapshot& other) {
+  for (std::size_t k = 0; k < trace::kNumViolationKinds; ++k) {
+    repaired[k] += other.repaired[k];
+    quarantined[k] += other.quarantined[k];
+  }
+  records_repaired += other.records_repaired;
+  records_quarantined += other.records_quarantined;
+  duplicates_dropped += other.duplicates_dropped;
+  dead_letter_overflow += other.dead_letter_overflow;
+  dead_letters.insert(dead_letters.end(), other.dead_letters.begin(),
+                      other.dead_letters.end());
+}
+
+void RecordSanitizer::quarantine(std::uint64_t drive_uid, trace::ViolationKind kind,
+                                 const trace::DailyRecord& record) {
+  ++counters_.quarantined[kind_index(kind)];
+  ++counters_.records_quarantined;
+  if (counters_.dead_letters.size() < config_.dead_letter_capacity)
+    counters_.dead_letters.push_back({drive_uid, kind, record});
+  else
+    ++counters_.dead_letter_overflow;
+}
+
+SanitizeResult RecordSanitizer::sanitize(std::uint64_t drive_uid,
+                                         std::int32_t deploy_day,
+                                         const trace::DailyRecord& record) {
+  SanitizeResult result;
+
+  // Irreparable garbage first: a saturated counter poisons every downstream
+  // rule (it would look like a huge counter jump), so classify it before
+  // anything else and never let it touch last-good state.
+  if (trace::implausible_record(record)) {
+    result.action = SanitizeAction::kQuarantined;
+    result.kind = trace::ViolationKind::kImplausibleValue;
+    quarantine(drive_uid, result.kind, record);
+    return result;
+  }
+  if (record.day < deploy_day) {
+    result.action = SanitizeAction::kQuarantined;
+    result.kind = trace::ViolationKind::kRecordBeforeDeploy;
+    quarantine(drive_uid, result.kind, record);
+    return result;
+  }
+
+  auto it = drives_.find(drive_uid);
+  if (it != drives_.end()) {
+    const DriveState& state = it->second;
+    if (record.day == state.last.day && record == state.last) {
+      // Exact replay of the accepted record: repair-by-drop.
+      result.action = SanitizeAction::kDuplicateDropped;
+      result.kind = trace::ViolationKind::kNonMonotoneDays;
+      ++counters_.duplicates_dropped;
+      ++counters_.repaired[kind_index(result.kind)];
+      return result;
+    }
+    if (record.day <= state.last.day) {
+      // Out-of-order or same-day-conflicting: there is no principled merge,
+      // so the record goes to the dead-letter queue.
+      result.action = SanitizeAction::kQuarantined;
+      result.kind = trace::ViolationKind::kNonMonotoneDays;
+      quarantine(drive_uid, result.kind, record);
+      return result;
+    }
+  }
+
+  // Repairable faults: fix on a copy, count each kind once per record.
+  trace::DailyRecord repaired = record;
+  bool any_repair = false;
+  auto note_repair = [&](trace::ViolationKind kind) {
+    if (!any_repair) {
+      result.kind = kind;  // first violation wins the result label
+      ++counters_.records_repaired;
+    }
+    any_repair = true;
+    ++counters_.repaired[kind_index(kind)];
+  };
+
+  if (it != drives_.end()) {
+    const DriveState& state = it->second;
+    if (repaired.pe_cycles < state.last.pe_cycles) {
+      repaired.pe_cycles = state.last.pe_cycles;  // clamp to last-good cumulative
+      note_repair(trace::ViolationKind::kDecreasingPeCycles);
+    }
+    if (repaired.bad_blocks < state.last.bad_blocks) {
+      repaired.bad_blocks = state.last.bad_blocks;
+      note_repair(trace::ViolationKind::kDecreasingBadBlocks);
+    }
+    if (repaired.factory_bad_blocks != state.factory_bad_blocks) {
+      repaired.factory_bad_blocks = state.factory_bad_blocks;  // pin first-seen
+      note_repair(trace::ViolationKind::kFactoryBadBlocksChanged);
+    }
+  }
+  if (repaired.erases > 0 && repaired.writes == 0) {
+    repaired.erases = 0;  // a zero-write day cannot erase; zero the garbage
+    note_repair(trace::ViolationKind::kErasesWithoutWrites);
+  }
+
+  // Accept: advance last-good state with the (possibly repaired) record.
+  if (it == drives_.end()) {
+    DriveState fresh;
+    fresh.last = repaired;
+    fresh.factory_bad_blocks = repaired.factory_bad_blocks;
+    drives_.emplace(drive_uid, fresh);
+  } else {
+    it->second.last = repaired;
+  }
+  result.action = any_repair ? SanitizeAction::kRepaired : SanitizeAction::kClean;
+  result.record = repaired;
+  return result;
+}
+
+void RecordSanitizer::forget(std::uint64_t drive_uid) { drives_.erase(drive_uid); }
+
+SanitizerSnapshot RecordSanitizer::snapshot() const { return counters_; }
+
+}  // namespace ssdfail::robustness

@@ -162,9 +162,12 @@ ErrorRates make_error_rates(const DriveModelSpec& spec, const Latents& lat) {
 }
 
 std::uint32_t clamp_count(double v) {
+  // Clamp one short of UINT32_MAX: the saturated value is reserved as the
+  // telemetry poison sentinel (trace::implausible_record), so a legitimate
+  // heavy-tailed sample must never collide with it.
+  constexpr std::uint32_t kCeiling = std::numeric_limits<std::uint32_t>::max() - 1;
   if (v < 0.0) return 0;
-  if (v >= static_cast<double>(std::numeric_limits<std::uint32_t>::max()))
-    return std::numeric_limits<std::uint32_t>::max();
+  if (v >= static_cast<double>(kCeiling)) return kCeiling;
   return static_cast<std::uint32_t>(v);
 }
 

@@ -83,6 +83,9 @@ struct DailyRecord {
   /// A day with no read and no write activity (the paper's notion of
   /// inactivity used when locating the failure point).
   [[nodiscard]] bool inactive() const noexcept { return reads == 0 && writes == 0; }
+
+  /// Field-wise equality (the sanitizer's exact-duplicate test).
+  [[nodiscard]] bool operator==(const DailyRecord&) const noexcept = default;
 };
 
 /// A swap event: the drive was physically extracted for repair on `day`.

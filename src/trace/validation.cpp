@@ -1,5 +1,7 @@
 #include "trace/validation.hpp"
 
+#include <limits>
+
 namespace ssdfail::trace {
 
 std::string_view violation_name(ViolationKind kind) noexcept {
@@ -12,8 +14,19 @@ std::string_view violation_name(ViolationKind kind) noexcept {
     case ViolationKind::kSwapsOutOfOrder: return "swap days out of order";
     case ViolationKind::kSwapBeforeActivity: return "swap precedes all records";
     case ViolationKind::kErasesWithoutWrites: return "erases on a zero-write day";
+    case ViolationKind::kImplausibleValue: return "saturated counter garbage";
   }
   return "unknown";
+}
+
+bool implausible_record(const DailyRecord& rec) noexcept {
+  constexpr std::uint32_t kSat = std::numeric_limits<std::uint32_t>::max();
+  if (rec.reads == kSat || rec.writes == kSat || rec.erases == kSat ||
+      rec.pe_cycles == kSat || rec.bad_blocks == kSat)
+    return true;
+  for (std::uint32_t e : rec.errors)
+    if (e == kSat) return true;
+  return false;
 }
 
 void validate_history(const DriveHistory& drive, std::vector<Violation>& out) {
@@ -30,6 +43,8 @@ void validate_history(const DriveHistory& drive, std::vector<Violation>& out) {
     if (rec.erases > 0 && rec.writes == 0)
       report(ViolationKind::kErasesWithoutWrites, rec.day,
              std::to_string(rec.erases) + " erases");
+    if (implausible_record(rec))
+      report(ViolationKind::kImplausibleValue, rec.day, "counter at saturation");
     if (prev != nullptr) {
       if (rec.day <= prev->day)
         report(ViolationKind::kNonMonotoneDays, rec.day,

@@ -6,7 +6,12 @@
 // cumulative counters that go backwards after a controller reset, swap
 // events that precede any activity.  validate() reports every violation
 // (rather than failing fast) so an operator can triage an import.
+//
+// The same ViolationKind taxonomy doubles as the online classification
+// used by robustness::RecordSanitizer on the serving hot path: offline
+// validation *reports*, the sanitizer *repairs or quarantines*.
 
+#include <array>
 #include <string>
 #include <vector>
 
@@ -23,9 +28,23 @@ enum class ViolationKind {
   kSwapsOutOfOrder,        ///< swap days not strictly increasing
   kSwapBeforeActivity,     ///< a swap precedes every record
   kErasesWithoutWrites,    ///< erase ops reported on a zero-write day
+  kImplausibleValue,       ///< saturated counter garbage (e.g. 0xFFFFFFFF)
 };
 
+inline constexpr std::size_t kNumViolationKinds = 9;
+inline constexpr std::array<ViolationKind, kNumViolationKinds> kAllViolationKinds = {
+    ViolationKind::kNonMonotoneDays,     ViolationKind::kRecordBeforeDeploy,
+    ViolationKind::kDecreasingPeCycles,  ViolationKind::kDecreasingBadBlocks,
+    ViolationKind::kFactoryBadBlocksChanged, ViolationKind::kSwapsOutOfOrder,
+    ViolationKind::kSwapBeforeActivity,  ViolationKind::kErasesWithoutWrites,
+    ViolationKind::kImplausibleValue};
+
 [[nodiscard]] std::string_view violation_name(ViolationKind kind) noexcept;
+
+/// True if any counter field carries saturated garbage (the all-ones value a
+/// wedged controller or a broken collector emits).  Shared by offline
+/// validation and the online sanitizer so both classify identically.
+[[nodiscard]] bool implausible_record(const DailyRecord& rec) noexcept;
 
 struct Violation {
   ViolationKind kind;

@@ -122,19 +122,30 @@ TEST(FleetMonitor, RetireThenReobserveRecreatesState) {
   EXPECT_EQ(fleet_monitor.metrics().drives_created, 2u);
 }
 
-TEST(FleetMonitor, OutOfOrderRejection) {
+TEST(FleetMonitor, OutOfOrderQuarantine) {
   FleetMonitor fleet_monitor(fitted_model(), 0.5, 2);
   trace::DailyRecord rec;
   rec.day = 10;
   (void)fleet_monitor.observe(trace::DriveModel::MlcB, 1, 0, rec);
-  // Sequential path: throws, and the drop is counted.
+  // Sequential path: no throw — the stale record is quarantined, counted
+  // both as an out-of-order drop and in the sanitizer's dead letters.
   rec.day = 9;
-  EXPECT_THROW((void)fleet_monitor.observe(trace::DriveModel::MlcB, 1, 0, rec),
-               std::invalid_argument);
-  EXPECT_EQ(fleet_monitor.metrics().out_of_order_dropped, 1u);
+  const auto stale = fleet_monitor.observe(trace::DriveModel::MlcB, 1, 0, rec);
+  EXPECT_TRUE(stale.dropped);
+  EXPECT_TRUE(stale.quarantined);
+  EXPECT_FLOAT_EQ(stale.risk, 0.0f);
+  {
+    const auto m = fleet_monitor.metrics();
+    EXPECT_EQ(m.out_of_order_dropped, 1u);
+    EXPECT_EQ(m.sanitizer.records_quarantined, 1u);
+    ASSERT_EQ(m.sanitizer.dead_letters.size(), 1u);
+    EXPECT_EQ(m.sanitizer.dead_letters[0].kind,
+              trace::ViolationKind::kNonMonotoneDays);
+    EXPECT_EQ(m.sanitizer.dead_letters[0].record.day, 9);
+  }
 
-  // Batch path: flags the record instead of throwing; in-order records in
-  // the same batch still score.
+  // Batch path: identical semantics; in-order records in the same batch
+  // still score.
   std::vector<FleetObservation> batch(2);
   batch[0] = {trace::DriveModel::MlcB, 1, 0, rec};  // day 9: stale
   batch[1] = {trace::DriveModel::MlcB, 1, 0, rec};
@@ -142,9 +153,46 @@ TEST(FleetMonitor, OutOfOrderRejection) {
   const auto assessments = fleet_monitor.observe_batch(batch);
   ASSERT_EQ(assessments.size(), 2u);
   EXPECT_TRUE(assessments[0].dropped);
+  EXPECT_TRUE(assessments[0].quarantined);
   EXPECT_FALSE(assessments[1].dropped);
   EXPECT_EQ(fleet_monitor.metrics().out_of_order_dropped, 2u);
+  EXPECT_EQ(fleet_monitor.metrics().sanitizer.records_quarantined, 2u);
   EXPECT_EQ(fleet_monitor.metrics().records_scored, 2u);  // day 10 + day 11
+}
+
+TEST(FleetMonitor, ExactDuplicateIsDroppedNotQuarantined) {
+  FleetMonitor fleet_monitor(fitted_model(), 0.5, 2);
+  trace::DailyRecord rec;
+  rec.day = 10;
+  rec.reads = 100;
+  const auto first = fleet_monitor.observe(trace::DriveModel::MlcB, 1, 0, rec);
+  EXPECT_FALSE(first.dropped);
+  const auto dup = fleet_monitor.observe(trace::DriveModel::MlcB, 1, 0, rec);
+  EXPECT_TRUE(dup.dropped);
+  EXPECT_FALSE(dup.quarantined);
+  const auto m = fleet_monitor.metrics();
+  EXPECT_EQ(m.sanitizer.duplicates_dropped, 1u);
+  EXPECT_EQ(m.sanitizer.records_quarantined, 0u);
+  EXPECT_EQ(m.records_scored, 1u);
+}
+
+TEST(FleetMonitor, CounterRegressionIsRepairedAndScored) {
+  FleetMonitor fleet_monitor(fitted_model(), 0.5, 2);
+  trace::DailyRecord rec;
+  rec.day = 10;
+  rec.pe_cycles = 500;
+  (void)fleet_monitor.observe(trace::DriveModel::MlcB, 1, 0, rec);
+  rec.day = 11;
+  rec.pe_cycles = 3;  // controller reset: cumulative P/E regressed
+  const auto repaired = fleet_monitor.observe(trace::DriveModel::MlcB, 1, 0, rec);
+  EXPECT_FALSE(repaired.dropped);
+  EXPECT_TRUE(repaired.repaired);
+  const auto m = fleet_monitor.metrics();
+  EXPECT_EQ(m.sanitizer.records_repaired, 1u);
+  EXPECT_EQ(m.records_scored, 2u);
+  EXPECT_EQ(m.sanitizer.repaired[static_cast<std::size_t>(
+                trace::ViolationKind::kDecreasingPeCycles)],
+            1u);
 }
 
 TEST(FleetMonitor, AlertCounterIsMonotone) {

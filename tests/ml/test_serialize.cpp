@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 
 #include "stats/rng.hpp"
@@ -148,6 +150,70 @@ TEST(Serialize, RejectsBadMagicKindMismatchAndTruncation) {
   std::stringstream scaler_stream;
   save_model(scaler_stream, scaler);
   EXPECT_THROW((void)load_classifier(scaler_stream), std::runtime_error);
+}
+
+TEST(SerializeFile, AtomicSaveRoundTripsThroughDisk) {
+  const std::string path = testing::TempDir() + "ssdfail_model_roundtrip.bin";
+  const Dataset train = make_task(300, 4, 9);
+  RandomForest::Params params;
+  params.n_trees = 5;
+  RandomForest forest(params);
+  forest.fit(train);
+  save_model_file(path, forest);
+
+  const auto loaded = load_classifier_file(path);
+  const Matrix probe = probe_matrix(100, 4, 10);
+  const auto before = forest.predict_proba(probe);
+  const auto after = loaded->predict_proba(probe);
+  ASSERT_EQ(before.size(), after.size());
+  for (std::size_t i = 0; i < before.size(); ++i) EXPECT_EQ(before[i], after[i]);
+  // The commit was atomic: no temp file left behind.
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+  std::remove(path.c_str());
+}
+
+TEST(SerializeFile, PartialWriteNeverReplacesThePreviousModel) {
+  // Simulate a crash mid-write: a stale .tmp exists and the "new" model
+  // write fails (unfitted model throws after the temp file is opened).
+  // The previously committed model file must survive byte-for-byte.
+  const std::string path = testing::TempDir() + "ssdfail_model_partial.bin";
+  const Dataset train = make_task(300, 4, 11);
+  LogisticRegression logistic;
+  logistic.fit(train);
+  save_model_file(path, logistic);
+  std::string committed;
+  {
+    std::ifstream in(path, std::ios::binary);
+    committed.assign(std::istreambuf_iterator<char>(in), {});
+  }
+  ASSERT_FALSE(committed.empty());
+
+  EXPECT_THROW(save_model_file(path, LogisticRegression{}), std::logic_error);
+  // Failed write: target untouched, temp cleaned up.
+  std::string after;
+  {
+    std::ifstream in(path, std::ios::binary);
+    after.assign(std::istreambuf_iterator<char>(in), {});
+  }
+  EXPECT_EQ(after, committed);
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+
+  // A reader pointed at a half-written file (the simulated torn write the
+  // rename protects against) refuses to load it rather than serving junk.
+  const std::string torn_path = path + ".torn";
+  {
+    std::ofstream torn(torn_path, std::ios::binary);
+    torn.write(committed.data(),
+               static_cast<std::streamsize>(committed.size() / 2));
+  }
+  EXPECT_THROW((void)load_classifier_file(torn_path), std::runtime_error);
+  std::remove(torn_path.c_str());
+  std::remove(path.c_str());
+}
+
+TEST(SerializeFile, LoadFromMissingPathThrows) {
+  EXPECT_THROW((void)load_classifier_file(testing::TempDir() + "nope/missing.bin"),
+               std::runtime_error);
 }
 
 }  // namespace

@@ -1,0 +1,176 @@
+// Fault-injector tests: determinism across batch boundaries, label
+// accounting, and the load-bearing guarantee that every record labeled
+// kCorrupt is actually caught (repaired, duplicate-dropped, or quarantined)
+// by the RecordSanitizer, while kClean/kTainted records pass untouched.
+
+#include "robustness/fault_injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "robustness/record_sanitizer.hpp"
+
+namespace ssdfail::robustness {
+namespace {
+
+/// A clean day-ordered replay: `drives` drives reporting every day, with
+/// growing cumulative counters so every fault kind becomes injectable.
+std::vector<core::FleetObservation> make_stream(std::uint32_t drives,
+                                                std::int32_t days) {
+  std::vector<core::FleetObservation> stream;
+  stream.reserve(static_cast<std::size_t>(drives) * static_cast<std::size_t>(days));
+  for (std::int32_t day = 0; day < days; ++day) {
+    for (std::uint32_t d = 0; d < drives; ++d) {
+      trace::DailyRecord rec;
+      rec.day = day;
+      rec.reads = 100 + d;
+      rec.writes = 40 + static_cast<std::uint32_t>(day);
+      rec.erases = 4;
+      rec.pe_cycles = 10 + 2 * static_cast<std::uint32_t>(day);
+      rec.bad_blocks = 1 + static_cast<std::uint32_t>(day) / 8;
+      rec.factory_bad_blocks = 4;
+      stream.push_back({trace::DriveModel::MlcA, d, 0, rec});
+    }
+  }
+  return stream;
+}
+
+TEST(FaultInjector, ZeroRatesPassStreamThroughVerbatim) {
+  FaultInjector injector(7, FaultRates{});
+  const auto stream = make_stream(3, 10);
+  const auto out = injector.corrupt(stream);
+  ASSERT_EQ(out.observations.size(), stream.size());
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    EXPECT_EQ(out.observations[i].record, stream[i].record);
+    EXPECT_EQ(out.origin[i], i);
+    EXPECT_EQ(out.label[i], StreamLabel::kClean);
+  }
+  EXPECT_EQ(out.total_injected(), 0u);
+}
+
+TEST(FaultInjector, DeterministicForAFixedSeed) {
+  const auto stream = make_stream(5, 60);
+  FaultInjector a(11, FaultRates::uniform(0.2));
+  FaultInjector b(11, FaultRates::uniform(0.2));
+  const auto out_a = a.corrupt(stream);
+  const auto out_b = b.corrupt(stream);
+  ASSERT_EQ(out_a.observations.size(), out_b.observations.size());
+  for (std::size_t i = 0; i < out_a.observations.size(); ++i) {
+    EXPECT_EQ(out_a.observations[i].record, out_b.observations[i].record);
+    EXPECT_EQ(out_a.label[i], out_b.label[i]);
+  }
+  EXPECT_EQ(out_a.injected, out_b.injected);
+}
+
+TEST(FaultInjector, BatchBoundariesDoNotChangeTheFaultSequence) {
+  const auto stream = make_stream(4, 50);
+  FaultInjector whole(23, FaultRates::uniform(0.15));
+  const auto expected = whole.corrupt(stream);
+
+  FaultInjector chunked(23, FaultRates::uniform(0.15));
+  std::vector<core::FleetObservation> observations;
+  std::vector<StreamLabel> labels;
+  std::array<std::uint64_t, kNumFaultKinds> injected{};
+  const std::span<const core::FleetObservation> span(stream);
+  for (std::size_t at = 0; at < stream.size(); at += 7) {
+    const auto chunk = chunked.corrupt(span.subspan(at, std::min<std::size_t>(7, stream.size() - at)));
+    observations.insert(observations.end(), chunk.observations.begin(),
+                        chunk.observations.end());
+    labels.insert(labels.end(), chunk.label.begin(), chunk.label.end());
+    for (std::size_t k = 0; k < kNumFaultKinds; ++k) injected[k] += chunk.injected[k];
+  }
+  ASSERT_EQ(observations.size(), expected.observations.size());
+  for (std::size_t i = 0; i < observations.size(); ++i) {
+    EXPECT_EQ(observations[i].record, expected.observations[i].record);
+    EXPECT_EQ(labels[i], expected.label[i]);
+  }
+  EXPECT_EQ(injected, expected.injected);
+}
+
+TEST(FaultInjector, ResetReproducesTheRun) {
+  const auto stream = make_stream(3, 40);
+  FaultInjector injector(5, FaultRates::uniform(0.25));
+  const auto first = injector.corrupt(stream);
+  injector.reset();
+  const auto second = injector.corrupt(stream);
+  ASSERT_EQ(first.observations.size(), second.observations.size());
+  for (std::size_t i = 0; i < first.observations.size(); ++i)
+    EXPECT_EQ(first.observations[i].record, second.observations[i].record);
+}
+
+TEST(FaultInjector, EveryStreamFaultKindFiresOnALongStream) {
+  FaultInjector injector(3, FaultRates::uniform(0.3));
+  const auto out = injector.corrupt(make_stream(12, 200));
+  for (std::size_t k = 0; k < kNumFaultKinds; ++k) {
+    const auto kind = static_cast<FaultKind>(k);
+    if (kind == FaultKind::kSwapOutOfOrder || kind == FaultKind::kSwapBeforeActivity)
+      continue;  // history-only faults never fire on streams
+    EXPECT_GT(out.injected[k], 0u) << fault_name(kind);
+  }
+  EXPECT_GT(out.count(StreamLabel::kCorrupt), 0u);
+  EXPECT_GT(out.count(StreamLabel::kTainted), 0u);
+  EXPECT_GT(out.count(StreamLabel::kClean), 0u);
+}
+
+// The contract the chaos tests lean on: a kCorrupt record never reaches the
+// model (the sanitizer repairs, drops, or quarantines it), while kClean and
+// kTainted records are accepted exactly as sent.
+TEST(FaultInjector, CorruptLabelsMatchSanitizerVerdicts) {
+  FaultInjector injector(17, FaultRates::uniform(0.2));
+  const auto stream = make_stream(8, 120);
+  const auto out = injector.corrupt(stream);
+  RecordSanitizer sanitizer;
+  std::uint64_t caught = 0;
+  for (std::size_t i = 0; i < out.observations.size(); ++i) {
+    const auto& obs = out.observations[i];
+    const auto verdict = sanitizer.sanitize(obs.uid(), obs.deploy_day, obs.record);
+    if (out.label[i] == StreamLabel::kCorrupt) {
+      EXPECT_NE(verdict.action, SanitizeAction::kClean)
+          << "undetected corrupt record at position " << i << " (day "
+          << obs.record.day << ")";
+      ++caught;
+    } else {
+      EXPECT_EQ(verdict.action, SanitizeAction::kClean)
+          << "false positive on untouched record at position " << i;
+    }
+  }
+  EXPECT_EQ(caught, out.count(StreamLabel::kCorrupt));
+  // Cross-check the totals: every corrupt record shows up in exactly one of
+  // the sanitizer's three outcome counters.
+  const auto snap = sanitizer.snapshot();
+  EXPECT_EQ(snap.records_repaired + snap.duplicates_dropped + snap.records_quarantined,
+            caught);
+}
+
+TEST(FaultInjector, HistoryInjectionDuplicate) {
+  trace::DriveHistory drive;
+  drive.model = trace::DriveModel::MlcB;
+  drive.deploy_day = 0;
+  for (std::int32_t day = 0; day < 6; ++day) {
+    trace::DailyRecord rec;
+    rec.day = day;
+    rec.writes = 10;
+    rec.pe_cycles = 5 + static_cast<std::uint32_t>(day);
+    rec.bad_blocks = 1 + static_cast<std::uint32_t>(day);
+    drive.records.push_back(rec);
+  }
+  stats::Rng rng(99);
+  const auto kind =
+      FaultInjector::inject_into_history(drive, FaultKind::kDuplicate, rng);
+  ASSERT_TRUE(kind.has_value());
+  EXPECT_EQ(*kind, trace::ViolationKind::kNonMonotoneDays);
+  EXPECT_EQ(drive.records.size(), 7u);
+}
+
+TEST(FaultInjector, HistoryInjectionRejectsTinyHistories) {
+  trace::DriveHistory drive;
+  drive.records.resize(2);
+  stats::Rng rng(1);
+  EXPECT_THROW(
+      (void)FaultInjector::inject_into_history(drive, FaultKind::kDuplicate, rng),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ssdfail::robustness

@@ -1,0 +1,211 @@
+// Unit tests for the online record sanitizer: repair, duplicate-drop, and
+// quarantine semantics, per-kind accounting, and the strictly-increasing-day
+// guarantee for accepted records.
+
+#include "robustness/record_sanitizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace ssdfail::robustness {
+namespace {
+
+constexpr std::uint64_t kUid = 42;
+constexpr std::uint32_t kSaturated = std::numeric_limits<std::uint32_t>::max();
+
+trace::DailyRecord record_on(std::int32_t day) {
+  trace::DailyRecord rec;
+  rec.day = day;
+  rec.reads = 100;
+  rec.writes = 50;
+  rec.erases = 5;
+  rec.pe_cycles = 200 + static_cast<std::uint32_t>(day);
+  rec.bad_blocks = 3;
+  rec.factory_bad_blocks = 7;
+  return rec;
+}
+
+TEST(RecordSanitizer, CleanRecordsPassThroughUntouched) {
+  RecordSanitizer sanitizer;
+  for (std::int32_t day = 0; day < 5; ++day) {
+    const auto r = sanitizer.sanitize(kUid, 0, record_on(day));
+    EXPECT_EQ(r.action, SanitizeAction::kClean);
+    EXPECT_EQ(r.record, record_on(day));
+  }
+  const auto snap = sanitizer.snapshot();
+  EXPECT_EQ(snap.records_repaired, 0u);
+  EXPECT_EQ(snap.records_quarantined, 0u);
+  EXPECT_EQ(snap.duplicates_dropped, 0u);
+  EXPECT_TRUE(snap.dead_letters.empty());
+}
+
+TEST(RecordSanitizer, PeCycleRegressionClampsToLastGood) {
+  RecordSanitizer sanitizer;
+  (void)sanitizer.sanitize(kUid, 0, record_on(1));
+  trace::DailyRecord reset = record_on(2);
+  reset.pe_cycles = 4;  // way below day 1's 201
+  const auto r = sanitizer.sanitize(kUid, 0, reset);
+  EXPECT_EQ(r.action, SanitizeAction::kRepaired);
+  EXPECT_EQ(r.kind, trace::ViolationKind::kDecreasingPeCycles);
+  EXPECT_EQ(r.record.pe_cycles, record_on(1).pe_cycles);
+  // The clamped value becomes the new last-good: a follow-up record at the
+  // pre-reset level is NOT flagged again.
+  const auto next = sanitizer.sanitize(kUid, 0, record_on(3));
+  EXPECT_EQ(next.action, SanitizeAction::kClean);
+}
+
+TEST(RecordSanitizer, BadBlockRegressionClampsToLastGood) {
+  RecordSanitizer sanitizer;
+  (void)sanitizer.sanitize(kUid, 0, record_on(1));
+  trace::DailyRecord reset = record_on(2);
+  reset.bad_blocks = 0;
+  const auto r = sanitizer.sanitize(kUid, 0, reset);
+  EXPECT_EQ(r.action, SanitizeAction::kRepaired);
+  EXPECT_EQ(r.kind, trace::ViolationKind::kDecreasingBadBlocks);
+  EXPECT_EQ(r.record.bad_blocks, 3u);
+}
+
+TEST(RecordSanitizer, FactoryBadBlocksPinnedToFirstObservation) {
+  RecordSanitizer sanitizer;
+  (void)sanitizer.sanitize(kUid, 0, record_on(1));
+  trace::DailyRecord drifted = record_on(2);
+  drifted.factory_bad_blocks = 9;
+  const auto r = sanitizer.sanitize(kUid, 0, drifted);
+  EXPECT_EQ(r.action, SanitizeAction::kRepaired);
+  EXPECT_EQ(r.kind, trace::ViolationKind::kFactoryBadBlocksChanged);
+  EXPECT_EQ(r.record.factory_bad_blocks, 7u);
+}
+
+TEST(RecordSanitizer, ErasesOnZeroWriteDayAreZeroed) {
+  RecordSanitizer sanitizer;
+  trace::DailyRecord idle = record_on(1);
+  idle.writes = 0;
+  idle.erases = 12;
+  const auto r = sanitizer.sanitize(kUid, 0, idle);
+  EXPECT_EQ(r.action, SanitizeAction::kRepaired);
+  EXPECT_EQ(r.kind, trace::ViolationKind::kErasesWithoutWrites);
+  EXPECT_EQ(r.record.erases, 0u);
+  EXPECT_EQ(r.record.writes, 0u);
+}
+
+TEST(RecordSanitizer, MultipleRepairsCountEachKindButOneRecord) {
+  RecordSanitizer sanitizer;
+  (void)sanitizer.sanitize(kUid, 0, record_on(1));
+  trace::DailyRecord bad = record_on(2);
+  bad.pe_cycles = 0;
+  bad.bad_blocks = 0;
+  bad.factory_bad_blocks = 1;
+  const auto r = sanitizer.sanitize(kUid, 0, bad);
+  EXPECT_EQ(r.action, SanitizeAction::kRepaired);
+  const auto snap = sanitizer.snapshot();
+  EXPECT_EQ(snap.records_repaired, 1u);
+  EXPECT_EQ(snap.repaired[static_cast<std::size_t>(
+                trace::ViolationKind::kDecreasingPeCycles)],
+            1u);
+  EXPECT_EQ(snap.repaired[static_cast<std::size_t>(
+                trace::ViolationKind::kDecreasingBadBlocks)],
+            1u);
+  EXPECT_EQ(snap.repaired[static_cast<std::size_t>(
+                trace::ViolationKind::kFactoryBadBlocksChanged)],
+            1u);
+}
+
+TEST(RecordSanitizer, ExactDuplicateDroppedSilently) {
+  RecordSanitizer sanitizer;
+  (void)sanitizer.sanitize(kUid, 0, record_on(1));
+  const auto r = sanitizer.sanitize(kUid, 0, record_on(1));
+  EXPECT_EQ(r.action, SanitizeAction::kDuplicateDropped);
+  const auto snap = sanitizer.snapshot();
+  EXPECT_EQ(snap.duplicates_dropped, 1u);
+  EXPECT_EQ(snap.records_quarantined, 0u);
+  EXPECT_TRUE(snap.dead_letters.empty());
+}
+
+TEST(RecordSanitizer, SameDayConflictQuarantined) {
+  RecordSanitizer sanitizer;
+  (void)sanitizer.sanitize(kUid, 0, record_on(1));
+  trace::DailyRecord conflict = record_on(1);
+  conflict.reads += 1;  // same day, different payload: no principled merge
+  const auto r = sanitizer.sanitize(kUid, 0, conflict);
+  EXPECT_EQ(r.action, SanitizeAction::kQuarantined);
+  EXPECT_EQ(r.kind, trace::ViolationKind::kNonMonotoneDays);
+}
+
+TEST(RecordSanitizer, OutOfOrderQuarantinedAndStateUntouched) {
+  RecordSanitizer sanitizer;
+  (void)sanitizer.sanitize(kUid, 0, record_on(5));
+  const auto stale = sanitizer.sanitize(kUid, 0, record_on(3));
+  EXPECT_EQ(stale.action, SanitizeAction::kQuarantined);
+  EXPECT_EQ(stale.kind, trace::ViolationKind::kNonMonotoneDays);
+  // A quarantined record must not advance last-good state: day 6 is still
+  // judged against day 5, and accepted.
+  const auto next = sanitizer.sanitize(kUid, 0, record_on(6));
+  EXPECT_EQ(next.action, SanitizeAction::kClean);
+}
+
+TEST(RecordSanitizer, BeforeDeployQuarantined) {
+  RecordSanitizer sanitizer;
+  const auto r = sanitizer.sanitize(kUid, 100, record_on(99));
+  EXPECT_EQ(r.action, SanitizeAction::kQuarantined);
+  EXPECT_EQ(r.kind, trace::ViolationKind::kRecordBeforeDeploy);
+}
+
+TEST(RecordSanitizer, SaturatedGarbageQuarantinedBeforeCounterRules) {
+  RecordSanitizer sanitizer;
+  (void)sanitizer.sanitize(kUid, 0, record_on(1));
+  trace::DailyRecord garbage = record_on(2);
+  garbage.pe_cycles = kSaturated;  // would read as a huge "jump", not a reset
+  const auto r = sanitizer.sanitize(kUid, 0, garbage);
+  EXPECT_EQ(r.action, SanitizeAction::kQuarantined);
+  EXPECT_EQ(r.kind, trace::ViolationKind::kImplausibleValue);
+  // And it never became last-good: day 3's normal P/E is clean.
+  const auto next = sanitizer.sanitize(kUid, 0, record_on(3));
+  EXPECT_EQ(next.action, SanitizeAction::kClean);
+}
+
+TEST(RecordSanitizer, DeadLetterQueueIsBounded) {
+  SanitizerConfig config;
+  config.dead_letter_capacity = 2;
+  RecordSanitizer sanitizer(config);
+  (void)sanitizer.sanitize(kUid, 0, record_on(10));
+  for (std::int32_t day = 1; day <= 5; ++day)
+    (void)sanitizer.sanitize(kUid, 0, record_on(day));  // all stale vs day 10
+  const auto snap = sanitizer.snapshot();
+  EXPECT_EQ(snap.records_quarantined, 5u);
+  EXPECT_EQ(snap.dead_letters.size(), 2u);
+  EXPECT_EQ(snap.dead_letter_overflow, 3u);
+  EXPECT_EQ(snap.dead_letters[0].drive_uid, kUid);
+}
+
+TEST(RecordSanitizer, ForgetResetsDriveState) {
+  RecordSanitizer sanitizer;
+  (void)sanitizer.sanitize(kUid, 0, record_on(9));
+  sanitizer.forget(kUid);
+  // Fresh state: an "older" day is acceptable again (drive was swapped).
+  const auto r = sanitizer.sanitize(kUid, 0, record_on(1));
+  EXPECT_EQ(r.action, SanitizeAction::kClean);
+}
+
+TEST(RecordSanitizer, DrivesAreIndependent) {
+  RecordSanitizer sanitizer;
+  (void)sanitizer.sanitize(1, 0, record_on(9));
+  const auto r = sanitizer.sanitize(2, 0, record_on(1));
+  EXPECT_EQ(r.action, SanitizeAction::kClean);
+}
+
+TEST(SanitizerSnapshot, MergeSumsCountersAndConcatenatesDeadLetters) {
+  RecordSanitizer a, b;
+  (void)a.sanitize(1, 0, record_on(5));
+  (void)a.sanitize(1, 0, record_on(3));  // quarantined
+  (void)b.sanitize(2, 0, record_on(5));
+  (void)b.sanitize(2, 0, record_on(5));  // duplicate-dropped
+  SanitizerSnapshot merged = a.snapshot();
+  merged.merge(b.snapshot());
+  EXPECT_EQ(merged.records_quarantined, 1u);
+  EXPECT_EQ(merged.duplicates_dropped, 1u);
+  EXPECT_EQ(merged.dead_letters.size(), 1u);
+}
+
+}  // namespace
+}  // namespace ssdfail::robustness

@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
+#include "robustness/fault_injector.hpp"
 #include "sim/fleet_simulator.hpp"
+#include "stats/rng.hpp"
 
 namespace ssdfail::trace {
 namespace {
@@ -112,16 +116,67 @@ TEST(Validation, SimulatedFleetIsClean) {
 }
 
 TEST(Validation, NamesAreDistinct) {
-  const ViolationKind kinds[] = {
-      ViolationKind::kNonMonotoneDays,    ViolationKind::kRecordBeforeDeploy,
-      ViolationKind::kDecreasingPeCycles, ViolationKind::kDecreasingBadBlocks,
-      ViolationKind::kFactoryBadBlocksChanged, ViolationKind::kSwapsOutOfOrder,
-      ViolationKind::kSwapBeforeActivity, ViolationKind::kErasesWithoutWrites};
-  for (const auto a : kinds)
-    for (const auto b : kinds)
+  for (const auto a : kAllViolationKinds)
+    for (const auto b : kAllViolationKinds)
       if (a != b) {
         EXPECT_NE(violation_name(a), violation_name(b));
       }
+}
+
+TEST(Validation, DetectsSaturatedGarbage) {
+  DriveHistory d = clean_drive();
+  d.records[4].reads = std::numeric_limits<std::uint32_t>::max();
+  std::vector<Violation> out;
+  validate_history(d, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].kind, ViolationKind::kImplausibleValue);
+  EXPECT_EQ(out[0].day, d.records[4].day);
+}
+
+/// Fabricate each fault kind via the chaos injector and assert validate_*
+/// flags exactly the matching ViolationKind (and nothing else) — the
+/// offline taxonomy and the injector agree on what each fault looks like.
+TEST(Validation, TableDrivenFaultInjectionFlagsExactlyTheExpectedKind) {
+  const auto rich_drive = [] {
+    DriveHistory d;
+    d.model = DriveModel::MlcB;
+    d.drive_index = 3;
+    d.deploy_day = 10;
+    for (std::int32_t day = 10; day < 22; ++day) {
+      DailyRecord r;
+      r.day = day;
+      r.reads = 500;
+      r.writes = 200;
+      r.erases = 2;
+      r.pe_cycles = 10 + 2 * static_cast<std::uint32_t>(day - 10);
+      r.bad_blocks = 1 + static_cast<std::uint32_t>(day - 10);
+      r.factory_bad_blocks = 4;
+      d.records.push_back(r);
+    }
+    d.swaps.push_back({40});
+    return d;
+  };
+
+  using robustness::FaultInjector;
+  using robustness::FaultKind;
+  for (std::size_t k = 0; k < robustness::kNumFaultKinds; ++k) {
+    const auto fault = static_cast<FaultKind>(k);
+    SCOPED_TRACE(std::string(robustness::fault_name(fault)));
+    stats::Rng rng({2024, k});
+    DriveHistory d = rich_drive();
+    const auto expected = FaultInjector::inject_into_history(d, fault, rng);
+
+    std::vector<Violation> out;
+    validate_history(d, out);
+    if (!expected.has_value()) {
+      // Dropped/truncated data is structurally indistinguishable from a
+      // drive that simply did not report.
+      EXPECT_TRUE(out.empty());
+      continue;
+    }
+    ASSERT_FALSE(out.empty());
+    for (const auto& v : out) EXPECT_EQ(v.kind, *expected) << violation_name(v.kind);
+  }
 }
 
 }  // namespace
