@@ -1,0 +1,166 @@
+// Training-pipeline performance benchmarks (google-benchmark), the scaling
+// companion to bench_perf_components' single-component microbenches.
+//
+//   BM_TrainCvPipeline/<threads>   end-to-end Table 6 pipeline: 5-fold
+//                                  drive-partitioned CV of the fast zoo
+//                                  models on a private <threads>-worker
+//                                  pool (Arg = thread count).
+//   BM_LookaheadSweep/<cached>     Fig 12's N = 1..30 sweep.  Arg 0 builds
+//                                  30 independent datasets (one fleet pass
+//                                  each); Arg 1 builds one SweepDatasetCache
+//                                  (single pass) and materializes all 30.
+//
+// Determinism is part of the contract, so the counters carry the results,
+// not just the timings: per-model mean AUCs, plus fold_auc_digest — a hash
+// of every per-fold AUC's bit pattern, masked to 52 bits so it round-trips
+// exactly through a double counter.  A JSON consumer (the CI quick-bench
+// smoke) asserts these are identical at every thread count and reads the
+// speedup off real_time.  Run with
+//
+//   bench_perf_training --benchmark_out=out.json --benchmark_format=json
+//
+// (full schema and naming scheme: docs/BENCHMARKS.md).  The fleet here is
+// intentionally small and fixed — not SSDFAIL_DRIVES_PER_MODEL-scaled —
+// so the digests are comparable across machines.
+
+#include <benchmark/benchmark.h>
+
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/dataset_builder.hpp"
+#include "ml/cross_validation.hpp"
+#include "ml/downsample.hpp"
+#include "ml/gradient_boosting.hpp"
+#include "ml/model_zoo.hpp"
+#include "parallel/thread_pool.hpp"
+#include "sim/fleet_simulator.hpp"
+#include "stats/rng.hpp"
+
+namespace {
+
+using namespace ssdfail;
+
+constexpr int kSweepMaxLookahead = 30;
+
+sim::FleetConfig bench_config() {
+  sim::FleetConfig cfg;
+  cfg.drives_per_model = 150;
+  cfg.seed = 2019;
+  return cfg;
+}
+
+const ml::Dataset& bench_dataset() {
+  static const ml::Dataset data = [] {
+    core::DatasetBuildOptions opts;
+    opts.lookahead_days = 1;
+    opts.negative_keep_prob = 0.02;
+    return core::build_dataset(sim::FleetSimulator(bench_config()), opts);
+  }();
+  return data;
+}
+
+/// The CV lineup: the zoo models whose cost is dominated by fit/predict on
+/// the pool (kNN/SVM/MLP are O(n_train * n_test) and would drown the
+/// scaling signal), plus the boosting extension.
+std::vector<std::pair<std::string, std::unique_ptr<ml::Classifier>>> cv_models() {
+  std::vector<std::pair<std::string, std::unique_ptr<ml::Classifier>>> models;
+  models.emplace_back("logistic", ml::make_model(ml::ModelKind::kLogisticRegression));
+  models.emplace_back("tree", ml::make_model(ml::ModelKind::kDecisionTree));
+  models.emplace_back("forest", ml::make_model(ml::ModelKind::kRandomForest));
+  ml::GradientBoosting::Params gb;
+  gb.n_rounds = 60;
+  models.emplace_back("boosting", std::make_unique<ml::GradientBoosting>(gb));
+  models.emplace_back("baseline", ml::make_model(ml::ModelKind::kThresholdBaseline));
+  return models;
+}
+
+/// Fold a double's exact bit pattern into a running digest.
+std::uint64_t digest_double(std::uint64_t digest, double value) {
+  return stats::hash_keys({digest, std::bit_cast<std::uint64_t>(value)});
+}
+
+/// Mask so the digest is exactly representable as a benchmark counter
+/// (doubles hold 52 mantissa bits losslessly).
+double counter_digest(std::uint64_t digest) {
+  return static_cast<double>(digest & ((std::uint64_t{1} << 52) - 1));
+}
+
+void BM_TrainCvPipeline(benchmark::State& state) {
+  const auto threads = static_cast<unsigned>(state.range(0));
+  parallel::ThreadPool pool(threads);
+  const ml::Dataset& data = bench_dataset();
+  const auto models = cv_models();
+
+  ml::CvOptions options;
+  options.folds = 5;
+  options.seed = 5;
+  options.pool = &pool;
+  // The paper's protocol: balance each training fold 1:1, seeded by fold.
+  options.train_transform = [](const ml::Dataset& train, std::size_t fold) {
+    return ml::downsample_negatives(train, 1.0, 1000 + fold);
+  };
+
+  std::vector<ml::CvResult> results(models.size());
+  for (auto _ : state) {
+    for (std::size_t m = 0; m < models.size(); ++m)
+      results[m] = ml::cross_validate(*models[m].second, data, options);
+    benchmark::DoNotOptimize(results.data());
+  }
+
+  std::uint64_t digest = 0;
+  for (std::size_t m = 0; m < models.size(); ++m) {
+    state.counters["auc_" + models[m].first] = results[m].auc().mean;
+    for (const double auc : results[m].fold_aucs) digest = digest_double(digest, auc);
+  }
+  state.counters["fold_auc_digest"] = counter_digest(digest);
+  state.counters["threads"] = threads;
+}
+BENCHMARK(BM_TrainCvPipeline)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_LookaheadSweep(benchmark::State& state) {
+  const bool cached = state.range(0) == 1;
+  const sim::FleetSimulator fleet(bench_config());
+  core::DatasetBuildOptions opts;
+  opts.negative_keep_prob = 0.02;
+
+  std::uint64_t rows = 0;
+  std::uint64_t digest = 0;
+  for (auto _ : state) {
+    rows = 0;
+    digest = 0;
+    const auto fold_in = [&](const ml::Dataset& d) {
+      rows += d.size();
+      digest = stats::hash_keys({digest, d.size(), d.positives()});
+    };
+    if (cached) {
+      const core::SweepDatasetCache cache(fleet, opts, kSweepMaxLookahead);
+      for (int n = 1; n <= kSweepMaxLookahead; ++n) fold_in(cache.materialize(n));
+    } else {
+      for (int n = 1; n <= kSweepMaxLookahead; ++n) {
+        opts.lookahead_days = n;
+        fold_in(core::build_dataset(fleet, opts));
+      }
+    }
+    benchmark::DoNotOptimize(digest);
+  }
+  // rows and sweep_digest must be IDENTICAL between Arg 0 and Arg 1: the
+  // cache replays the exact per-row keep draws of the direct builds.
+  state.counters["rows"] = static_cast<double>(rows);
+  state.counters["sweep_digest"] = counter_digest(digest);
+}
+BENCHMARK(BM_LookaheadSweep)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -32,6 +32,7 @@
 #include "ml/downsample.hpp"
 #include "ml/model_zoo.hpp"
 #include "ml/serialize.hpp"
+#include "parallel/thread_pool.hpp"
 #include "robustness/fault_injector.hpp"
 #include "sim/fleet_simulator.hpp"
 #include "trace/binary_io.hpp"
@@ -79,6 +80,7 @@ int usage() {
       "  ssdfail_cli benchmark [--drives N] [--lookahead N] [--seed S]\n"
       "  ssdfail_cli train     --out MODEL.bin [--model forest|logistic]\n"
       "                        [--drives N] [--seed S] [--lookahead N]\n"
+      "                        [--threads K]\n"
       "  ssdfail_cli serve     --model-file MODEL.bin [--drives N] [--seed S]\n"
       "                        [--threshold T] [--shards K] [--sequential]\n"
       "                        [--chaos PCT]\n");
@@ -377,6 +379,11 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
   const Args args = parse(argc, argv, 2);
+  // Cap worker threads before the first pool use (beats SSDFAIL_THREADS).
+  // Results are identical at any thread count; only wall time changes.
+  const long threads = args.get_long("threads", 0);
+  if (threads > 0)
+    parallel::set_default_thread_count(static_cast<unsigned>(threads));
   if (command == "simulate") return cmd_simulate(args);
   if (command == "analyze") return cmd_analyze(args);
   if (command == "benchmark") return cmd_benchmark(args);

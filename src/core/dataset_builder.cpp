@@ -2,6 +2,8 @@
 
 #include <limits>
 #include <stdexcept>
+#include <string>
+#include <utility>
 
 #include "core/failure_timeline.hpp"
 #include "stats/rng.hpp"
@@ -38,21 +40,37 @@ std::vector<std::int32_t> days_to_next_bad_block(const trace::DriveHistory& driv
   return out;
 }
 
-}  // namespace
-
-void append_drive(ml::Dataset& out, const trace::DriveHistory& drive,
-                  const DatasetBuildOptions& options) {
-  if (options.lookahead_days < 1)
-    throw std::invalid_argument("DatasetBuildOptions: lookahead_days must be >= 1");
-  if (options.model_filter && *options.model_filter != drive.model) return;
-  if (out.feature_names.empty()) {
-    out.feature_names = FeatureExtractor::names();
-    if (options.rolling_features) {
-      const auto& extra = RollingWindow::names();
-      out.feature_names.insert(out.feature_names.end(), extra.begin(), extra.end());
-    }
+/// Feature names implied by the options (base features, plus the rolling
+/// window block when enabled).
+std::vector<std::string> option_feature_names(const DatasetBuildOptions& options) {
+  std::vector<std::string> names = FeatureExtractor::names();
+  if (options.rolling_features) {
+    const auto& extra = RollingWindow::names();
+    names.insert(names.end(), extra.begin(), extra.end());
   }
+  return names;
+}
 
+/// The single per-drive walk behind append_drive AND SweepDatasetCache:
+/// advance the cumulative feature state day by day, apply every
+/// lookahead-INDEPENDENT filter (model, failed-state limbo, age), and hand
+/// each candidate row to the sink as
+///
+///   sink(days_to_event, keep_draw_u, get_row)
+///
+/// where get_row() lazily extracts the feature vector (extraction is the
+/// expensive part; sinks that drop the row based on (dtf, u) alone never
+/// pay for it) and returns a span valid until the next record.
+/// `days_to_event` carries the unified inclusive-boundary convention
+/// documented on DatasetBuildOptions::lookahead_days: a row is positive
+/// for window N iff days_to_event <= N.  `keep_draw_u` is the row's
+/// uniform draw in [0, 1); build keeps the row for keep probability p iff
+/// p >= 1 or u < p — exactly the bernoulli(p) decision the pre-cache
+/// builder made, so cached and direct builds agree bit-for-bit.
+template <typename Sink>
+void walk_drive(const trace::DriveHistory& drive, const DatasetBuildOptions& options,
+                Sink&& sink) {
+  if (options.model_filter && *options.model_filter != drive.model) return;
   if (options.error_label && options.bad_block_label)
     throw std::invalid_argument(
         "DatasetBuildOptions: error_label and bad_block_label are exclusive");
@@ -87,29 +105,46 @@ void append_drive(ml::Dataset& out, const trace::DriveHistory& drive,
     // they differ only in whether day d itself can be the event day
     // (failure: yes, dtf == 0; error/bad-block: no, today's count is a
     // feature, and error_dtf is computed exclusive of the current day).
-    bool positive = false;
-    if (options.error_label || options.bad_block_label) {
-      positive = error_dtf[i] <= options.lookahead_days;
-    } else {
-      const std::int32_t dtf = days_to_next_failure(timeline, rec.day);
-      positive = dtf <= options.lookahead_days;
-    }
+    const std::int32_t dtf = (options.error_label || options.bad_block_label)
+                                 ? error_dtf[i]
+                                 : days_to_next_failure(timeline, rec.day);
 
+    stats::Rng row_rng({options.seed, drive.uid(), static_cast<std::uint64_t>(rec.day)});
+    const double u = row_rng.uniform();
+
+    const auto get_row = [&]() -> std::span<const float> {
+      FeatureExtractor::extract(drive, rec, state,
+                                std::span<float>(row).first(base_count));
+      if (options.rolling_features)
+        rolling.extract(std::span<float>(row).subspan(base_count));
+      return row;
+    };
+    sink(dtf, u, get_row);
+  }
+}
+
+/// bernoulli(keep_prob) decision replayed from the row's stored draw.
+bool keeps_row(double keep_prob, double u) noexcept {
+  return keep_prob >= 1.0 || u < keep_prob;
+}
+
+}  // namespace
+
+void append_drive(ml::Dataset& out, const trace::DriveHistory& drive,
+                  const DatasetBuildOptions& options) {
+  if (options.lookahead_days < 1)
+    throw std::invalid_argument("DatasetBuildOptions: lookahead_days must be >= 1");
+  if (out.feature_names.empty()) out.feature_names = option_feature_names(options);
+
+  walk_drive(drive, options, [&](std::int32_t dtf, double u, auto&& get_row) {
+    const bool positive = dtf <= options.lookahead_days;
     const double keep_prob =
         positive ? options.positive_keep_prob : options.negative_keep_prob;
-    if (keep_prob < 1.0) {
-      stats::Rng row_rng({options.seed, drive.uid(), static_cast<std::uint64_t>(rec.day)});
-      if (!row_rng.bernoulli(keep_prob)) continue;
-    }
-
-    FeatureExtractor::extract(drive, rec, state,
-                              std::span<float>(row).first(base_count));
-    if (options.rolling_features)
-      rolling.extract(std::span<float>(row).subspan(base_count));
-    out.x.push_row(row);
+    if (!keeps_row(keep_prob, u)) return;
+    out.x.push_row(get_row());
     out.y.push_back(positive ? 1.0f : 0.0f);
     out.groups.push_back(drive.uid());
-  }
+  });
 }
 
 ml::Dataset build_dataset(const sim::FleetSimulator& fleet,
@@ -135,6 +170,96 @@ ml::Dataset build_dataset(const trace::FleetTrace& fleet,
   ml::Dataset out;
   for (const auto& drive : fleet.drives) append_drive(out, drive, options);
   if (out.feature_names.empty()) out.feature_names = FeatureExtractor::names();
+  out.validate();
+  return out;
+}
+
+namespace {
+
+/// Per-worker partial of the sweep cache's columnar arrays.
+struct CacheColumns {
+  ml::Matrix x;
+  std::vector<std::int32_t> dtf;
+  std::vector<double> keep_u;
+  std::vector<std::uint64_t> groups;
+
+  void append(const CacheColumns& other) {
+    x.append_rows(other.x);
+    dtf.insert(dtf.end(), other.dtf.begin(), other.dtf.end());
+    keep_u.insert(keep_u.end(), other.keep_u.begin(), other.keep_u.end());
+    groups.insert(groups.end(), other.groups.begin(), other.groups.end());
+  }
+};
+
+/// Cache one drive's candidate rows: everything that survives the keep
+/// filter for at least one window N in [1, max_lookahead].
+void append_drive_to_cache(CacheColumns& out, const trace::DriveHistory& drive,
+                           const DatasetBuildOptions& options, int max_lookahead) {
+  walk_drive(drive, options, [&](std::int32_t dtf, double u, auto&& get_row) {
+    // Across the sweep the row is positive for N >= dtf and negative
+    // below; cache it iff either class's keep filter would admit it.
+    const bool ever_positive = dtf <= max_lookahead;
+    const bool kept = (ever_positive && keeps_row(options.positive_keep_prob, u)) ||
+                      keeps_row(options.negative_keep_prob, u);
+    if (!kept) return;
+    out.x.push_row(get_row());
+    out.dtf.push_back(dtf);
+    out.keep_u.push_back(u);
+    out.groups.push_back(drive.uid());
+  });
+}
+
+}  // namespace
+
+SweepDatasetCache::SweepDatasetCache(const sim::FleetSimulator& fleet,
+                                     const DatasetBuildOptions& base, int max_lookahead)
+    : base_(base), max_lookahead_(max_lookahead) {
+  if (max_lookahead < 1)
+    throw std::invalid_argument("SweepDatasetCache: max_lookahead must be >= 1");
+  CacheColumns columns = fleet.visit(
+      [] { return CacheColumns{}; },
+      [&](CacheColumns& acc, const trace::DriveHistory& drive) {
+        append_drive_to_cache(acc, drive, base_, max_lookahead_);
+      },
+      [](CacheColumns& dst, const CacheColumns& src) { dst.append(src); });
+  x_ = std::move(columns.x);
+  dtf_ = std::move(columns.dtf);
+  keep_u_ = std::move(columns.keep_u);
+  groups_ = std::move(columns.groups);
+  feature_names_ = option_feature_names(base_);
+}
+
+SweepDatasetCache::SweepDatasetCache(const trace::FleetTrace& fleet,
+                                     const DatasetBuildOptions& base, int max_lookahead)
+    : base_(base), max_lookahead_(max_lookahead) {
+  if (max_lookahead < 1)
+    throw std::invalid_argument("SweepDatasetCache: max_lookahead must be >= 1");
+  CacheColumns columns;
+  for (const auto& drive : fleet.drives)
+    append_drive_to_cache(columns, drive, base_, max_lookahead_);
+  x_ = std::move(columns.x);
+  dtf_ = std::move(columns.dtf);
+  keep_u_ = std::move(columns.keep_u);
+  groups_ = std::move(columns.groups);
+  feature_names_ = option_feature_names(base_);
+}
+
+ml::Dataset SweepDatasetCache::materialize(int lookahead_days) const {
+  if (lookahead_days < 1 || lookahead_days > max_lookahead_)
+    throw std::invalid_argument(
+        "SweepDatasetCache: lookahead_days must be in [1, " +
+        std::to_string(max_lookahead_) + "], got " + std::to_string(lookahead_days));
+  ml::Dataset out;
+  out.feature_names = feature_names_;
+  for (std::size_t i = 0; i < x_.rows(); ++i) {
+    const bool positive = dtf_[i] <= lookahead_days;
+    const double keep_prob =
+        positive ? base_.positive_keep_prob : base_.negative_keep_prob;
+    if (!keeps_row(keep_prob, keep_u_[i])) continue;
+    out.x.push_row(x_.row(i));
+    out.y.push_back(positive ? 1.0f : 0.0f);
+    out.groups.push_back(groups_[i]);
+  }
   out.validate();
   return out;
 }

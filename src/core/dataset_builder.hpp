@@ -1,6 +1,8 @@
 #pragma once
 
-// Streaming construction of prediction datasets from a simulated fleet.
+// Streaming construction of prediction datasets from a simulated fleet —
+// the paper's Section 5.1 labeling and sampling protocol (feeds every
+// prediction experiment: Tables 6-8, Figs 12-16).
 //
 // One pass over the fleet per dataset: every labeled-positive drive-day is
 // kept; negative drive-days are kept with a fixed probability (test-side
@@ -77,5 +79,50 @@ struct DatasetBuildOptions {
 /// incremental/online use by examples).
 void append_drive(ml::Dataset& out, const trace::DriveHistory& drive,
                   const DatasetBuildOptions& options);
+
+/// Cached feature matrix for lookahead sweeps (Fig 12's N = 1..30 AUC
+/// curve).
+///
+/// Only the LABEL depends on the lookahead N; the cumulative
+/// feature-extraction pass, the operational/age filters, and the per-row
+/// keep draw do not.  The cache therefore walks the fleet ONCE, storing in
+/// columnar arrays each candidate row's feature vector, group uid, days-to-
+/// event, and its uniform keep draw u in [0,1); materialize(N) then
+/// relabels and refilters those rows without touching the fleet again.
+///
+/// materialize(N) is bit-identical to build_dataset() with
+/// options.lookahead_days = N — same rows, same order, same floats —
+/// because the keep decision (u < keep_prob) replays the exact per-row RNG
+/// draw build_dataset would make (pinned by
+/// tests/core/test_dataset_builder.cpp SweepCacheMatchesIndependentBuilds).
+/// A row is cached iff it would survive the keep filter for at least one
+/// N in [1, max_lookahead], so memory stays proportional to the largest
+/// materialized dataset, not to the raw fleet.
+class SweepDatasetCache {
+ public:
+  /// Build the cache by streaming the fleet (parallel, deterministic).
+  /// `base.lookahead_days` is ignored — N is chosen per materialize call.
+  SweepDatasetCache(const sim::FleetSimulator& fleet, const DatasetBuildOptions& base,
+                    int max_lookahead);
+  /// Build from an in-memory fleet (tests/examples).
+  SweepDatasetCache(const trace::FleetTrace& fleet, const DatasetBuildOptions& base,
+                    int max_lookahead);
+
+  /// Dataset for one lookahead window, 1 <= lookahead_days <= max_lookahead().
+  [[nodiscard]] ml::Dataset materialize(int lookahead_days) const;
+
+  [[nodiscard]] int max_lookahead() const noexcept { return max_lookahead_; }
+  /// Candidate rows held (>= rows of any materialized dataset).
+  [[nodiscard]] std::size_t cached_rows() const noexcept { return x_.rows(); }
+
+ private:
+  DatasetBuildOptions base_;
+  int max_lookahead_ = 1;
+  ml::Matrix x_;                        ///< candidate feature rows
+  std::vector<std::int32_t> dtf_;       ///< days to labeled event (inclusive bound)
+  std::vector<double> keep_u_;          ///< the row's uniform keep draw
+  std::vector<std::uint64_t> groups_;   ///< drive uid per row
+  std::vector<std::string> feature_names_;
+};
 
 }  // namespace ssdfail::core

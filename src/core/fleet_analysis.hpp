@@ -1,7 +1,7 @@
 #pragma once
 
-// Convenience driver: run the characterization suite over a whole
-// (simulated) fleet in parallel.
+// Convenience driver: run the characterization suite (Tables 1-5,
+// Figs 1, 3-11) over a whole (simulated) fleet in parallel.
 
 #include "core/characterization.hpp"
 #include "sim/fleet_simulator.hpp"

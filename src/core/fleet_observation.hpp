@@ -1,8 +1,10 @@
 #pragma once
 
-// The unit of fleet-scoring ingestion, factored out of online_monitor.hpp
-// so stream-level tooling (robustness::FaultInjector, replay drivers) can
-// consume the type without depending on the monitor itself.
+// The unit of fleet-scoring ingestion (beyond the paper: serving
+// infrastructure for its Section 5 models), factored out of
+// online_monitor.hpp so stream-level tooling (robustness::FaultInjector,
+// replay drivers) can consume the type without depending on the monitor
+// itself.
 
 #include <cstdint>
 

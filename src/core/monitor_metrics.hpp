@@ -1,6 +1,7 @@
 #pragma once
 
-// Operational counters for the fleet-scoring service (online_monitor.hpp).
+// Operational counters for the fleet-scoring service (online_monitor.hpp;
+// beyond the paper: serving infrastructure for its Section 5 models).
 //
 // Idiom follows netdata's global-statistics pattern: hot-path increments
 // are relaxed atomic fetch-adds on a per-shard counter block; a reader

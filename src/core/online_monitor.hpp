@@ -1,7 +1,7 @@
 #pragma once
 
 // Online (streaming) failure monitoring: the production embodiment of the
-// paper's prediction models.  A monitor holds the per-drive cumulative
+// paper's Section 5 prediction models (beyond the paper's offline study).  A monitor holds the per-drive cumulative
 // feature state; each daily record yields a risk score and an optional
 // alert against a configured threshold.
 //

@@ -2,8 +2,8 @@
 
 // The common binary-classifier interface.
 //
-// All six of the paper's predictors (plus the threshold baseline) implement
-// it.  predict_proba returns a score in [0, 1] interpretable as P(failure
+// All six of the paper's predictors (Table 6) plus the threshold baseline
+// implement it.  predict_proba returns a score in [0, 1] interpretable as P(failure
 // within N days | features); the ROC machinery sweeps the discrimination
 // threshold over these scores.
 

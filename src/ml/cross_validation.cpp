@@ -30,34 +30,48 @@ CvResult cross_validate(const Classifier& model, const Dataset& data,
   const auto splits = group_k_fold(data, options.folds, options.seed);
   CvResult result;
   result.folds_requested = splits.size();
-  const auto skip = [&result] { ++result.folds_skipped; };
-  for (std::size_t f = 0; f < splits.size(); ++f) {
-    if (splits[f].train.empty() || splits[f].test.empty()) {
-      skip();
-      continue;
-    }
+
+  // One fully independent task per fold: clone, transform, fit, score.
+  // Everything a fold does is a pure function of (data, options, f), so
+  // the outcome is identical whether folds run serially or concurrently.
+  std::vector<double> fold_auc(splits.size());
+  std::vector<char> fold_ok(splits.size(), 0);
+  const auto eval_fold = [&](std::size_t f) {
+    if (splits[f].train.empty() || splits[f].test.empty()) return;
     Dataset train = data.subset(splits[f].train);
     Dataset test = data.subset(splits[f].test);
     if (options.train_transform) train = options.train_transform(train, f);
     if (options.test_transform) test = options.test_transform(test, f);
-    if (train.positives() == 0 || train.positives() == train.size()) {
-      skip();
-      continue;
-    }
-    if (test.positives() == 0 || test.positives() == test.size()) {
-      skip();
-      continue;
-    }
+    if (train.positives() == 0 || train.positives() == train.size()) return;
+    if (test.positives() == 0 || test.positives() == test.size()) return;
 
     auto fold_model = model.clone();
     fold_model->fit(train);
     const auto scores = fold_model->predict_proba(test.x);
     const double auc = roc_auc(scores, test.y);
-    if (std::isnan(auc)) {
-      skip();
-      continue;
-    }
-    result.fold_aucs.push_back(auc);
+    if (std::isnan(auc)) return;
+    fold_auc[f] = auc;
+    fold_ok[f] = 1;
+  };
+
+  // Submit through a TaskGroup even for a 1-thread pool so the fold
+  // bodies run *inside* the pool context: any nested parallel_for in a
+  // model's fit/predict then stays within this pool's thread budget
+  // instead of fanning out on the global pool.
+  parallel::ThreadPool& pool =
+      options.pool != nullptr ? *options.pool : parallel::ThreadPool::current();
+  parallel::TaskGroup group(pool);
+  for (std::size_t f = 0; f < splits.size(); ++f) {
+    group.submit([&eval_fold, f] { eval_fold(f); });
+  }
+  group.wait();
+
+  // Collect in fold order so the result is independent of completion order.
+  for (std::size_t f = 0; f < splits.size(); ++f) {
+    if (fold_ok[f])
+      result.fold_aucs.push_back(fold_auc[f]);
+    else
+      ++result.folds_skipped;
   }
   if (result.fold_aucs.empty())
     throw std::runtime_error(

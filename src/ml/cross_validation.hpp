@@ -1,16 +1,23 @@
 #pragma once
 
-// Group-aware k-fold cross-validation.
+// Group-aware k-fold cross-validation — the paper's Table 6 evaluation
+// protocol (Section 5.1).
 //
 // Folds are assigned per GROUP (drive), not per row: the paper partitions
 // drive IDs so no drive's days appear in both train and test (Section 5.1
 // — drive days are highly autocorrelated, so row-level splits leak).
+//
+// Folds evaluate in parallel: each fold is one thread-pool task (clone,
+// transform, fit, score).  All per-fold randomness is derived from
+// (seed, fold), so the result is bit-identical to the serial path at any
+// thread count (pinned by tests/ml/test_parallel_training.cpp).
 
 #include <cstdint>
 #include <functional>
 
 #include "ml/classifier.hpp"
 #include "ml/metrics.hpp"
+#include "parallel/thread_pool.hpp"
 
 namespace ssdfail::ml {
 
@@ -50,6 +57,11 @@ struct CvOptions {
   std::uint64_t seed = 5;
   std::function<Dataset(const Dataset&, std::size_t fold)> train_transform;
   std::function<Dataset(const Dataset&, std::size_t fold)> test_transform;
+  /// Pool for fold-level parallelism; nullptr = the calling thread's
+  /// current pool (ThreadPool::current()).  Transforms must be safe to
+  /// call concurrently for distinct folds (pure functions of their
+  /// arguments and the fold index, like the paper's seeded downsampler).
+  parallel::ThreadPool* pool = nullptr;
 };
 
 /// k-fold cross-validated ROC AUC of `model` on `data`.  The model is

@@ -1,6 +1,7 @@
 #pragma once
 
-// Labeled dataset with group ids.
+// Labeled dataset with group ids — the row format of every prediction
+// experiment (Section 5.1; Tables 6-8).
 //
 // Groups carry the drive uid of each row: the paper's cross-validation
 // partitions folds BY DRIVE, never splitting one drive's days across train

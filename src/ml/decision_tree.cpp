@@ -4,6 +4,10 @@
 #include <cmath>
 #include <numeric>
 #include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
 
 namespace ssdfail::ml {
 namespace {
@@ -14,6 +18,10 @@ double gini(double pos, double n) noexcept {
   const double p = pos / n;
   return 2.0 * p * (1.0 - p);
 }
+
+/// Minimum rows*candidates at a node before the candidate-split scan fans
+/// out across the pool.  Below this the sort is cheaper than the dispatch.
+constexpr std::size_t kMinParallelSplitWork = 1u << 15;
 
 }  // namespace
 
@@ -67,21 +75,24 @@ std::int32_t DecisionTree::build(const Dataset& train, std::vector<std::size_t>&
   }
 
   // Best split search: sort rows by feature value, sweep boundaries.
+  // Candidate features are scanned in parallel at big nodes; each scan is
+  // a pure function of (train, idx range, feature), partials merge in
+  // candidate order with a strictly-greater comparison, so the winner is
+  // the same feature the serial first-wins loop picks — bit-identical at
+  // any thread count.
   struct Best {
     double gain = 0.0;
     std::size_t feature = 0;
     float threshold = 0.0f;
-  } best;
+  };
 
-  std::vector<std::pair<float, float>> vals;  // (value, label)
-  vals.reserve(n);
-  for (std::size_t f = 0; f < n_candidates; ++f) {
-    const std::size_t feat = features[f];
+  const auto scan_feature = [&](Best& best, std::vector<std::pair<float, float>>& vals,
+                                std::size_t feat) {
     vals.clear();
     for (std::size_t i = begin; i < end; ++i)
       vals.emplace_back(train.x(idx[i], feat), train.y[idx[i]]);
     std::sort(vals.begin(), vals.end());
-    if (vals.front().first == vals.back().first) continue;  // constant
+    if (vals.front().first == vals.back().first) return;  // constant
 
     double left_pos = 0.0;
     for (std::size_t i = 0; i + 1 < n; ++i) {
@@ -100,6 +111,28 @@ std::int32_t DecisionTree::build(const Dataset& train, std::vector<std::size_t>&
         best.threshold = 0.5f * (vals[i].first + vals[i + 1].first);
       }
     }
+  };
+
+  Best best;
+  parallel::ThreadPool& pool = parallel::ThreadPool::current();
+  if (n * n_candidates >= kMinParallelSplitWork && pool.size() > 1 &&
+      !pool.on_worker_thread()) {
+    struct Scan {
+      Best best;
+      std::vector<std::pair<float, float>> vals;  // (value, label), reused
+    };
+    best = parallel::parallel_reduce(
+               n_candidates, [] { return Scan{}; },
+               [&](Scan& acc, std::size_t j) { scan_feature(acc.best, acc.vals, features[j]); },
+               [](Scan& dst, const Scan& src) {
+                 if (src.best.gain > dst.best.gain) dst.best = src.best;
+               },
+               pool)
+               .best;
+  } else {
+    std::vector<std::pair<float, float>> vals;
+    vals.reserve(n);
+    for (std::size_t f = 0; f < n_candidates; ++f) scan_feature(best, vals, features[f]);
   }
 
   if (best.gain <= 1e-12) return make_leaf();

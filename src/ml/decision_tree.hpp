@@ -1,8 +1,15 @@
 #pragma once
 
-// CART decision tree (gini impurity, binary splits on numeric features).
-// Supports per-node random feature subsetting so RandomForest can reuse the
-// same builder.  Leaf scores are positive-class fractions.
+// CART decision tree (gini impurity, binary splits on numeric features) —
+// the "CART" row of Table 6, and the base learner behind the paper's
+// headline random forest.  Supports per-node random feature subsetting so
+// RandomForest can reuse the same builder.  Leaf scores are positive-class
+// fractions.
+//
+// Candidate-split evaluation parallelizes across features at large nodes
+// (chunk-ordered strictly-greater merge == the serial first-wins loop, so
+// the fitted tree is bit-identical at any thread count; pinned by
+// tests/ml/test_parallel_training.cpp).
 
 #include <cstdint>
 

@@ -4,7 +4,10 @@
 #include <cmath>
 #include <numeric>
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
+#include "parallel/thread_pool.hpp"
 #include "stats/rng.hpp"
 
 namespace ssdfail::ml {
@@ -17,6 +20,10 @@ double leaf_value(double grad_sum, double hess_sum) noexcept {
   constexpr double kLambda = 1.0;
   return grad_sum / (hess_sum + kLambda);
 }
+
+/// Minimum rows*features at a node before the candidate-split scan fans
+/// out across the pool (same rationale as decision_tree.cpp).
+constexpr std::size_t kMinParallelSplitWork = 1u << 15;
 
 }  // namespace
 
@@ -61,14 +68,16 @@ std::int32_t GradientBoosting::build_node(const Dataset& train,
     float threshold = 0.0f;
   } best;
 
-  std::vector<std::pair<float, std::size_t>> vals;
-  vals.reserve(n);
-  for (std::size_t f = 0; f < n_features_; ++f) {
+  // Candidate features scan in parallel at big nodes; partials merge in
+  // feature order with a strictly-greater comparison, reproducing the
+  // serial first-wins loop bit-for-bit (same pattern as decision_tree).
+  const auto scan_feature = [&](Best& acc, std::vector<std::pair<float, std::size_t>>& vals,
+                                std::size_t f) {
     vals.clear();
     for (std::size_t i = begin; i < end; ++i)
       vals.emplace_back(train.x(idx[i], f), idx[i]);
     std::sort(vals.begin(), vals.end());
-    if (vals.front().first == vals.back().first) continue;
+    if (vals.front().first == vals.back().first) return;
 
     double gl = 0.0;
     double hl = 0.0;
@@ -83,12 +92,33 @@ std::int32_t GradientBoosting::build_node(const Dataset& train,
       const double hr = hess_sum - hl;
       const double gain = gl * gl / (hl + kLambda) + gr * gr / (hr + kLambda) -
                           parent_score;
-      if (gain > best.gain) {
-        best.gain = gain;
-        best.feature = f;
-        best.threshold = 0.5f * (vals[i].first + vals[i + 1].first);
+      if (gain > acc.gain) {
+        acc.gain = gain;
+        acc.feature = f;
+        acc.threshold = 0.5f * (vals[i].first + vals[i + 1].first);
       }
     }
+  };
+
+  parallel::ThreadPool& pool = parallel::ThreadPool::current();
+  if (n * n_features_ >= kMinParallelSplitWork && pool.size() > 1 &&
+      !pool.on_worker_thread()) {
+    struct Scan {
+      Best best;
+      std::vector<std::pair<float, std::size_t>> vals;
+    };
+    best = parallel::parallel_reduce(
+               n_features_, [] { return Scan{}; },
+               [&](Scan& acc, std::size_t f) { scan_feature(acc.best, acc.vals, f); },
+               [](Scan& dst, const Scan& src) {
+                 if (src.best.gain > dst.best.gain) dst.best = src.best;
+               },
+               pool)
+               .best;
+  } else {
+    std::vector<std::pair<float, std::size_t>> vals;
+    vals.reserve(n);
+    for (std::size_t f = 0; f < n_features_; ++f) scan_feature(best, vals, f);
   }
   if (best.gain <= 1e-9) return make_leaf();
 
@@ -150,9 +180,11 @@ void GradientBoosting::fit(const Dataset& train) {
     Tree tree;
     build_node(train, grad, hess, idx, 0, idx.size(), 0, tree);
     // Update scores with the damped tree output (ALL rows, not just the
-    // subsample — the tree generalizes its Newton steps).
-    for (std::size_t i = 0; i < n; ++i)
+    // subsample — the tree generalizes its Newton steps).  Per-row and
+    // order-independent, so the parallel update is bit-identical.
+    parallel::parallel_for(n, [&](std::size_t i) {
       score[i] += params_.learning_rate * tree.predict(train.x.row(i));
+    });
     trees_.push_back(std::move(tree));
   }
 }
@@ -160,12 +192,12 @@ void GradientBoosting::fit(const Dataset& train) {
 std::vector<float> GradientBoosting::predict_proba(const Matrix& x) const {
   if (trees_.empty()) throw std::logic_error("GradientBoosting: predict before fit");
   std::vector<float> out(x.rows());
-  for (std::size_t r = 0; r < x.rows(); ++r) {
+  parallel::parallel_for(x.rows(), [&](std::size_t r) {
     double score = prior_;
     const auto row = x.row(r);
     for (const Tree& tree : trees_) score += params_.learning_rate * tree.predict(row);
     out[r] = static_cast<float>(sigmoid(score));
-  }
+  });
   return out;
 }
 

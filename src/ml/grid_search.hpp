@@ -2,8 +2,9 @@
 
 // Tiny hyperparameter search: evaluate a list of candidate model
 // configurations with a caller-supplied scorer and keep the best.
-// (The paper grid-searches regularization strengths, tree depths, and
-// hidden-layer sizes; model_zoo() provides those grids.)
+// (Section 5.2: the paper grid-searches regularization strengths, tree
+// depths, and hidden-layer sizes behind the Table 6 results; model_zoo()
+// provides those grids.)
 
 #include <functional>
 #include <memory>

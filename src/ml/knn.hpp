@@ -1,8 +1,9 @@
 #pragma once
 
-// k-nearest-neighbors on standardized features; the predicted probability
-// is the distance-weighted positive fraction among the k neighbors.
-// Prediction parallelizes across query rows.
+// k-nearest-neighbors — the "KNN" row of Table 6 — on standardized
+// features; the predicted probability is the distance-weighted positive
+// fraction among the k neighbors.  Prediction parallelizes across query
+// rows.
 
 #include "ml/classifier.hpp"
 #include "ml/standardizer.hpp"

@@ -1,7 +1,8 @@
 #pragma once
 
-// L2-regularized logistic regression trained with full-batch gradient
-// descent + Nesterov momentum on standardized features.
+// L2-regularized logistic regression — the "LR" row of Table 6 — trained
+// with full-batch gradient descent + Nesterov momentum on standardized
+// features.
 
 #include "ml/classifier.hpp"
 #include "ml/standardizer.hpp"

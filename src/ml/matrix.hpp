@@ -1,8 +1,9 @@
 #pragma once
 
-// Dense row-major float matrix — the feature-matrix currency of ssdfail::ml.
-// float storage halves memory for the multi-million-row evaluation sets;
-// all reductions accumulate in double.
+// Dense row-major float matrix — the feature-matrix currency of ssdfail::ml
+// (every Section 5 experiment moves features through it).  float storage
+// halves memory for the multi-million-row evaluation sets; all reductions
+// accumulate in double.
 
 #include <cassert>
 #include <cstddef>

@@ -1,8 +1,8 @@
 #pragma once
 
-// Multilayer perceptron: ReLU hidden layers, sigmoid output, binary
-// cross-entropy loss, Adam optimizer, mini-batch training with a seeded
-// shuffle — deterministic for fixed parameters.
+// Multilayer perceptron — the "NN" row of Table 6: ReLU hidden layers,
+// sigmoid output, binary cross-entropy loss, Adam optimizer, mini-batch
+// training with a seeded shuffle — deterministic for fixed parameters.
 
 #include <cstdint>
 

@@ -4,8 +4,9 @@
 // Trees train in parallel (deterministically — each tree's bootstrap and
 // feature sampling derive from hash(seed, tree_index)).
 //
-// The paper's headline predictor.  Feature importance is mean impurity
-// decrease across trees, normalized to sum to 1 (Fig 16).
+// The paper's headline predictor — the "RF" row of Table 6 and the model
+// behind Figs 12-16.  Feature importance is mean impurity decrease across
+// trees, normalized to sum to 1 (Fig 16).
 
 #include <cstdint>
 

@@ -1,6 +1,7 @@
 #pragma once
 
-// Versioned binary model persistence: train once, serve forever.
+// Versioned binary model persistence: train once, serve forever (beyond
+// the paper — the deployment path for its Table 6 models).
 //
 // Same envelope discipline as trace/binary_io: a 4-byte magic ("SSDM"), a
 // u32 format version, then a u8 model-kind tag and the model body.

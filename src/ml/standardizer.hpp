@@ -1,8 +1,8 @@
 #pragma once
 
-// Feature standardization (z-scoring) fitted on training data only.
-// Distance- and gradient-based models (kNN, SVM, logistic, MLP) need it;
-// tree models don't use it.
+// Feature standardization (z-scoring) fitted on training data only — the
+// Section 5.2 preprocessing step for the distance- and gradient-based
+// Table 6 models (kNN, SVM, logistic, MLP); tree models don't use it.
 
 #include <vector>
 

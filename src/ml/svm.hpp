@@ -1,7 +1,7 @@
 #pragma once
 
-// Linear SVM trained with the Pegasos primal SGD solver on standardized
-// features.  Scores are passed through a sigmoid so predict_proba stays in
+// Linear SVM — the "SVM" row of Table 6 — trained with the Pegasos primal
+// SGD solver on standardized features.  Scores are passed through a sigmoid so predict_proba stays in
 // [0, 1]; ROC is invariant to that monotone map.
 
 #include <cstdint>

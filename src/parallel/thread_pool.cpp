@@ -1,18 +1,25 @@
 #include "parallel/thread_pool.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdlib>
 #include <string>
+#include <utility>
 
 namespace ssdfail::parallel {
 namespace {
 
 /// Pool the current thread is a worker of, if any (nested-call detection).
-thread_local const ThreadPool* t_owning_pool = nullptr;
+thread_local ThreadPool* t_owning_pool = nullptr;
+
+/// Programmatic thread-count override (0 = none); see set_default_thread_count.
+std::atomic<unsigned> g_thread_override{0};
 
 }  // namespace
 
 unsigned default_thread_count() {
+  if (const unsigned forced = g_thread_override.load(std::memory_order_relaxed))
+    return std::min(forced, 256u);
   if (const char* env = std::getenv("SSDFAIL_THREADS")) {
     const long parsed = std::strtol(env, nullptr, 10);
     if (parsed > 0) return static_cast<unsigned>(std::min(parsed, 256L));
@@ -21,11 +28,15 @@ unsigned default_thread_count() {
   return hw == 0 ? 1u : hw;
 }
 
+void set_default_thread_count(unsigned threads) {
+  g_thread_override.store(threads, std::memory_order_relaxed);
+}
+
 ThreadPool::ThreadPool(unsigned threads) {
   threads = std::max(threads, 1u);
   workers_.reserve(threads);
   for (unsigned i = 0; i < threads; ++i) {
-    workers_.emplace_back([this, i] { worker_loop(i); });
+    workers_.emplace_back([this] { worker_loop(); });
   }
 }
 
@@ -34,48 +45,139 @@ ThreadPool::~ThreadPool() {
     std::scoped_lock lock(mutex_);
     stop_ = true;
   }
-  cv_start_.notify_all();
+  cv_.notify_all();
   for (auto& t : workers_) t.join();
+}
+
+bool ThreadPool::on_worker_thread() const noexcept { return t_owning_pool == this; }
+
+void ThreadPool::enqueue(Task task) {
+  {
+    std::scoped_lock lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  t_owning_pool = this;
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop requested and nothing left to drain
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task.group->on_dequeued();
+    task.group->run_task(task.fn);
+  }
 }
 
 void ThreadPool::run_on_all(const std::function<void(unsigned)>& fn) {
   if (t_owning_pool == this) {
-    // Nested parallelism: run every worker's share inline.
-    for (unsigned w = 0; w < workers_.size(); ++w) fn(w);
+    // Nested parallelism: this level's workers are already busy running
+    // the outer level; execute every chunk inline.
+    for (unsigned w = 0; w < size(); ++w) fn(w);
     return;
   }
-  std::unique_lock lock(mutex_);
-  job_ = &fn;
-  remaining_ = static_cast<unsigned>(workers_.size());
-  ++generation_;
-  cv_start_.notify_all();
-  cv_done_.wait(lock, [this] { return remaining_ == 0; });
-  job_ = nullptr;
-}
-
-void ThreadPool::worker_loop(unsigned index) {
-  t_owning_pool = this;
-  std::uint64_t seen_generation = 0;
-  for (;;) {
-    const std::function<void(unsigned)>* job = nullptr;
-    {
-      std::unique_lock lock(mutex_);
-      cv_start_.wait(lock, [&] { return stop_ || generation_ != seen_generation; });
-      if (stop_) return;
-      seen_generation = generation_;
-      job = job_;
-    }
-    (*job)(index);
-    {
-      std::scoped_lock lock(mutex_);
-      if (--remaining_ == 0) cv_done_.notify_all();
-    }
+  TaskGroup group(*this);
+  for (unsigned w = 0; w < size(); ++w) {
+    group.submit([&fn, w] { fn(w); });
   }
+  group.wait();
 }
 
 ThreadPool& ThreadPool::global() {
   static ThreadPool pool;
   return pool;
+}
+
+ThreadPool& ThreadPool::current() {
+  return t_owning_pool != nullptr ? *t_owning_pool : global();
+}
+
+TaskGroup::~TaskGroup() {
+  // Tasks capture state owned by the submitting scope, so stragglers must
+  // finish before the group dies; an unretrieved exception is dropped here
+  // (call wait() to observe it).
+  try {
+    wait();
+  } catch (...) {  // NOLINT(bugprone-empty-catch)
+  }
+}
+
+void TaskGroup::submit(std::function<void()> fn) {
+  {
+    std::scoped_lock lock(mutex_);
+    ++pending_;
+    ++queued_;
+  }
+  // A nested submission (from one of this group's running tasks) must wake
+  // a waiter blocked in wait() so its helper loop sees the new task.
+  done_cv_.notify_all();
+  pool_.enqueue(ThreadPool::Task{std::move(fn), this});
+}
+
+void TaskGroup::on_dequeued() noexcept {
+  std::scoped_lock lock(mutex_);
+  --queued_;
+}
+
+void TaskGroup::run_task(const std::function<void()>& fn) noexcept {
+  try {
+    fn();
+  } catch (...) {
+    std::scoped_lock lock(mutex_);
+    if (!error_) error_ = std::current_exception();
+  }
+  {
+    std::scoped_lock lock(mutex_);
+    if (--pending_ == 0) done_cv_.notify_all();
+  }
+}
+
+void TaskGroup::wait() {
+  for (;;) {
+    // Help: steal one of this group's still-queued tasks and run it
+    // inline.  This guarantees progress even when every pool worker is
+    // blocked in some other group's wait (nested submission).
+    std::function<void()> fn;
+    {
+      std::scoped_lock pool_lock(pool_.mutex_);
+      for (auto it = pool_.queue_.begin(); it != pool_.queue_.end(); ++it) {
+        if (it->group == this) {
+          fn = std::move(it->fn);
+          pool_.queue_.erase(it);
+          break;
+        }
+      }
+    }
+    if (fn) {
+      on_dequeued();
+      // Adopt the pool context while helping: the task must observe
+      // ThreadPool::current() == pool_ exactly as on a worker, so nested
+      // parallel code stays inside the pool's thread budget instead of
+      // fanning out on the helper's own context (run_task is noexcept,
+      // so the restore below always executes).
+      ThreadPool* const saved = std::exchange(t_owning_pool, &pool_);
+      run_task(fn);
+      t_owning_pool = saved;
+      continue;
+    }
+    std::unique_lock lock(mutex_);
+    // Wake when everything finished, or when a nested submission queued
+    // more of our tasks (so the helper loop can pick them up).
+    done_cv_.wait(lock, [&] { return pending_ == 0 || queued_ > 0; });
+    if (pending_ == 0) break;
+  }
+  std::exception_ptr e;
+  {
+    std::scoped_lock lock(mutex_);
+    e = std::exchange(error_, nullptr);
+  }
+  if (e) std::rethrow_exception(e);
 }
 
 }  // namespace ssdfail::parallel

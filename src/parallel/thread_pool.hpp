@@ -3,14 +3,30 @@
 // Minimal deterministic data-parallel layer.
 //
 // Design goals (in order): reproducibility, simplicity, throughput.
-// parallel_reduce gives each worker its own accumulator and merges the
-// partials **in worker-index order**, so floating-point results are
-// bit-stable for a fixed thread count, and all our statistics accumulators
+//
+// The pool is a shared task queue drained by a fixed set of workers.  Work
+// is submitted in bulk through a TaskGroup (a wait-group): submit any
+// number of tasks, then wait() for all of them.  Exceptions thrown inside
+// tasks are captured and rethrown from wait() — never swallowed, never
+// std::terminate.  Multiple threads may submit to the same pool
+// concurrently; each TaskGroup tracks only its own tasks.
+//
+// Determinism: parallel_reduce gives each *chunk* its own accumulator and
+// merges the partials **in chunk order**, so floating-point results are
+// bit-stable for a fixed pool size, and all our statistics accumulators
 // are additionally order-insensitive so results are stable across thread
-// counts too.
+// counts too.  Which OS thread runs a chunk never affects the result.
+//
+// Nesting: a task running on a worker of pool P that calls parallel_for /
+// parallel_reduce / run_on_all on P executes the loop inline and
+// sequentially (the outer parallelism level owns the workers).  TaskGroup
+// submission from a worker is allowed — wait() helps drain its own group's
+// queued tasks, so nested waits cannot deadlock.
 
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -19,12 +35,21 @@
 namespace ssdfail::parallel {
 
 /// Number of worker threads to use by default: hardware concurrency,
-/// overridable with the SSDFAIL_THREADS environment variable.
+/// overridable with the SSDFAIL_THREADS environment variable or
+/// programmatically with set_default_thread_count() (e.g. a --threads CLI
+/// flag).  The programmatic override wins over the environment.
 [[nodiscard]] unsigned default_thread_count();
 
-/// A fixed pool of workers executing blocking "run this index range" jobs.
-/// The pool is intended for coarse-grained fleet/tree-level parallelism;
-/// tasks should be >> 1us each.
+/// Override default_thread_count() for this process (0 clears the
+/// override).  Must be called before the first use of ThreadPool::global()
+/// to affect the shared pool, which is sized exactly once.
+void set_default_thread_count(unsigned threads);
+
+class TaskGroup;
+
+/// A fixed pool of workers draining a shared task queue.  The pool is
+/// intended for coarse-grained fold/tree/fleet-level parallelism; tasks
+/// should be >> 1us each.
 class ThreadPool {
  public:
   explicit ThreadPool(unsigned threads = default_thread_count());
@@ -35,34 +60,93 @@ class ThreadPool {
 
   [[nodiscard]] unsigned size() const noexcept { return static_cast<unsigned>(workers_.size()); }
 
-  /// Run fn(worker_index) on every worker and block until all return.
-  /// Re-entrant calls from a worker of this pool (nested parallelism)
-  /// degrade gracefully to sequential execution on the calling thread.
+  /// Run fn(chunk_index) for every chunk_index in [0, size()) and block
+  /// until all return.  Re-entrant calls from a worker of this pool
+  /// (nested parallelism) degrade gracefully to sequential execution on
+  /// the calling thread.  The first exception thrown by any chunk is
+  /// rethrown here after all chunks finish.
   void run_on_all(const std::function<void(unsigned)>& fn);
 
   /// Process-wide shared pool (lazily constructed).
   static ThreadPool& global();
 
+  /// The pool "context" of the calling thread: the pool this thread is a
+  /// worker of, else the global pool.  Default for the parallel loops, so
+  /// code launched as a pool task stays inside its pool's thread budget
+  /// instead of fanning out on the global pool.
+  static ThreadPool& current();
+
+  /// True iff the calling thread is one of this pool's workers.
+  [[nodiscard]] bool on_worker_thread() const noexcept;
+
  private:
-  void worker_loop(unsigned index);
+  friend class TaskGroup;
+
+  struct Task {
+    std::function<void()> fn;
+    TaskGroup* group = nullptr;
+  };
+
+  void worker_loop();
+  void enqueue(Task task);
 
   std::vector<std::thread> workers_;
   std::mutex mutex_;
-  std::condition_variable cv_start_;
-  std::condition_variable cv_done_;
-  const std::function<void(unsigned)>* job_ = nullptr;
-  std::uint64_t generation_ = 0;
-  unsigned remaining_ = 0;
+  std::condition_variable cv_;
+  std::deque<Task> queue_;
   bool stop_ = false;
 };
 
-/// Parallel loop over [0, n): static contiguous partitioning, one chunk per
-/// worker.  body(i) must be safe to run concurrently for distinct i.
+/// Wait-group over a ThreadPool: bulk-submit independent tasks, then
+/// wait() for all of them.  wait() rethrows the first exception any task
+/// threw, and *helps* — it runs this group's still-queued tasks inline —
+/// so waiting from a worker thread of the same pool makes progress even
+/// when every worker is busy.
+///
+/// A TaskGroup is owned by one submitting thread; submit() and wait() are
+/// not themselves thread-safe against each other (tasks, of course, run
+/// concurrently).  The destructor waits for stragglers (discarding any
+/// unretrieved exception) so tasks never outlive captured state.
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool& pool = ThreadPool::current()) : pool_(pool) {}
+  ~TaskGroup();
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Enqueue one task.  May be called from any thread, including a worker
+  /// of the pool (nested submission).
+  void submit(std::function<void()> fn);
+
+  /// Block until every submitted task has finished, running queued tasks
+  /// of this group inline while waiting.  Rethrows the first captured
+  /// task exception.  After wait() returns the group is reusable.
+  void wait();
+
+ private:
+  friend class ThreadPool;
+
+  /// Execute one task body on behalf of this group (worker or helper).
+  void run_task(const std::function<void()>& fn) noexcept;
+  void on_dequeued() noexcept;
+
+  ThreadPool& pool_;
+  std::mutex mutex_;
+  std::condition_variable done_cv_;
+  std::size_t pending_ = 0;  ///< submitted, not yet finished
+  std::size_t queued_ = 0;   ///< submitted, not yet picked up
+  std::exception_ptr error_;
+};
+
+/// Parallel loop over [0, n): static contiguous partitioning, one chunk
+/// per worker slot.  body(i) must be safe to run concurrently for
+/// distinct i.  Exceptions from body propagate to the caller.
 template <typename Body>
-void parallel_for(std::size_t n, const Body& body, ThreadPool& pool = ThreadPool::global()) {
+void parallel_for(std::size_t n, const Body& body, ThreadPool& pool = ThreadPool::current()) {
   const unsigned workers = pool.size();
   if (n == 0) return;
-  if (workers <= 1 || n == 1) {
+  if (workers <= 1 || n == 1 || pool.on_worker_thread()) {
     for (std::size_t i = 0; i < n; ++i) body(i);
     return;
   }
@@ -76,16 +160,16 @@ void parallel_for(std::size_t n, const Body& body, ThreadPool& pool = ThreadPool
 }
 
 /// Parallel reduction over [0, n).
-///  - make():             produce a fresh accumulator (per worker)
+///  - make():             produce a fresh accumulator (per chunk)
 ///  - accumulate(acc, i): fold element i into acc
-///  - merge(dst, src):    combine partials; called in worker order
+///  - merge(dst, src):    combine partials; called in chunk order
 /// Returns the final accumulator.
 template <typename Make, typename Accumulate, typename Merge>
 auto parallel_reduce(std::size_t n, const Make& make, const Accumulate& accumulate,
-                     const Merge& merge, ThreadPool& pool = ThreadPool::global()) {
+                     const Merge& merge, ThreadPool& pool = ThreadPool::current()) {
   using Acc = decltype(make());
   const unsigned workers = pool.size();
-  if (workers <= 1 || n <= 1) {
+  if (workers <= 1 || n <= 1 || pool.on_worker_thread()) {
     Acc acc = make();
     for (std::size_t i = 0; i < n; ++i) accumulate(acc, i);
     return acc;

@@ -232,5 +232,81 @@ TEST(DatasetBuilder, StreamingMatchesInMemory) {
   }
 }
 
+// The sweep cache's whole contract is bit-identity with independent
+// builds (docs in dataset_builder.hpp): same rows, same order, same
+// floats, for EVERY lookahead in range.
+void expect_bit_identical(const ml::Dataset& cached, const ml::Dataset& direct,
+                          int lookahead) {
+  ASSERT_EQ(cached.size(), direct.size()) << "N=" << lookahead;
+  EXPECT_EQ(cached.y, direct.y) << "N=" << lookahead;
+  EXPECT_EQ(cached.groups, direct.groups) << "N=" << lookahead;
+  EXPECT_EQ(cached.feature_names, direct.feature_names);
+  ASSERT_EQ(cached.x.cols(), direct.x.cols());
+  for (std::size_t r = 0; r < cached.x.rows(); ++r)
+    for (std::size_t c = 0; c < cached.x.cols(); ++c)
+      ASSERT_EQ(cached.x(r, c), direct.x(r, c))
+          << "N=" << lookahead << " row " << r << " col " << c;
+}
+
+TEST(SweepDatasetCache, MatchesIndependentBuilds) {
+  FleetTrace fleet;
+  fleet.drives.push_back(make_failing_drive(1, 50, 55, 200));
+  fleet.drives.push_back(make_failing_drive(2, 120, 130, 200));
+  fleet.drives.push_back(make_healthy_drive(3, 200));
+  fleet.drives.push_back(make_healthy_drive(4, 200));
+  DatasetBuildOptions opts;
+  opts.negative_keep_prob = 0.3;
+  opts.seed = 9;
+
+  constexpr int kMax = 10;
+  const SweepDatasetCache cache(fleet, opts, kMax);
+  EXPECT_EQ(cache.max_lookahead(), kMax);
+  for (int n = 1; n <= kMax; ++n) {
+    opts.lookahead_days = n;
+    const ml::Dataset direct = build_dataset(fleet, opts);
+    const ml::Dataset cached = cache.materialize(n);
+    expect_bit_identical(cached, direct, n);
+    EXPECT_GE(cache.cached_rows(), cached.size());
+  }
+}
+
+TEST(SweepDatasetCache, MatchesIndependentBuildsWithRollingFeatures) {
+  FleetTrace fleet;
+  fleet.drives.push_back(make_failing_drive(1, 80, 85, 150));
+  fleet.drives.push_back(make_healthy_drive(2, 150));
+  DatasetBuildOptions opts;
+  opts.negative_keep_prob = 0.5;
+  opts.rolling_features = true;
+  const SweepDatasetCache cache(fleet, opts, 5);
+  for (int n = 1; n <= 5; ++n) {
+    opts.lookahead_days = n;
+    expect_bit_identical(cache.materialize(n), build_dataset(fleet, opts), n);
+  }
+}
+
+TEST(SweepDatasetCache, StreamingCtorMatchesInMemoryCtor) {
+  sim::FleetConfig cfg;
+  cfg.drives_per_model = 40;
+  sim::FleetSimulator fsim(cfg);
+  const trace::FleetTrace fleet = fsim.generate_all();
+  DatasetBuildOptions opts;
+  opts.negative_keep_prob = 0.1;
+  const SweepDatasetCache streamed(fsim, opts, 7);   // parallel fleet visit
+  const SweepDatasetCache in_memory(fleet, opts, 7); // serial walk
+  ASSERT_EQ(streamed.cached_rows(), in_memory.cached_rows());
+  for (int n : {1, 4, 7})
+    expect_bit_identical(streamed.materialize(n), in_memory.materialize(n), n);
+}
+
+TEST(SweepDatasetCache, RejectsOutOfRangeLookahead) {
+  FleetTrace fleet;
+  fleet.drives.push_back(make_healthy_drive(1, 30));
+  DatasetBuildOptions opts;
+  EXPECT_THROW((void)SweepDatasetCache(fleet, opts, 0), std::invalid_argument);
+  const SweepDatasetCache cache(fleet, opts, 5);
+  EXPECT_THROW((void)cache.materialize(0), std::invalid_argument);
+  EXPECT_THROW((void)cache.materialize(6), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace ssdfail::core

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <set>
 
 #include "ml/downsample.hpp"
@@ -122,13 +123,13 @@ TEST(CrossValidate, TransformsAreApplied) {
   const Dataset d = make_grouped_task(150, 6, 6);
   LogisticRegression model;
   CvOptions opts;
-  int train_calls = 0;
+  std::atomic<int> train_calls{0};  // folds transform concurrently
   opts.train_transform = [&](const Dataset& train, std::size_t) {
-    ++train_calls;
+    train_calls.fetch_add(1);
     return downsample_negatives(train, 1.0, 42);
   };
   const CvResult result = cross_validate(model, d, opts);
-  EXPECT_EQ(train_calls, 5);
+  EXPECT_EQ(train_calls.load(), 5);
   EXPECT_GT(result.auc().mean, 0.8);
 }
 

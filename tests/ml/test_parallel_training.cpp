@@ -1,0 +1,160 @@
+// Determinism regression tests for the parallel training pipeline:
+// training and cross-validation results must be BIT-identical at every
+// thread count (reproducibility is the repo's first design goal; see
+// src/parallel/thread_pool.hpp for the mechanisms).
+//
+// Two surfaces are pinned:
+//   - the parallel candidate-split scan inside DecisionTree /
+//     GradientBoosting (chunk-ordered strictly-greater merge == the serial
+//     first-wins loop), and
+//   - fold-level CV parallelism (each fold a pure function of
+//     (data, options, fold), collected in fold order).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ml/cross_validation.hpp"
+#include "ml/decision_tree.hpp"
+#include "ml/downsample.hpp"
+#include "ml/gradient_boosting.hpp"
+#include "ml/model_zoo.hpp"
+#include "ml/random_forest.hpp"
+#include "parallel/thread_pool.hpp"
+#include "stats/rng.hpp"
+
+namespace ssdfail::ml {
+namespace {
+
+/// Learnable grouped task with enough rows * features to cross the
+/// kMinParallelSplitWork threshold at the tree root (n * 10 >= 2^15).
+Dataset make_task(std::size_t n_groups, std::size_t rows_per_group,
+                  std::uint64_t seed) {
+  constexpr std::size_t kFeatures = 10;
+  stats::Rng rng(seed);
+  Dataset d;
+  d.x = Matrix(n_groups * rows_per_group, kFeatures);
+  d.y.resize(n_groups * rows_per_group);
+  d.groups.resize(n_groups * rows_per_group);
+  std::size_t r = 0;
+  for (std::size_t g = 0; g < n_groups; ++g) {
+    const double group_shift = rng.normal();
+    for (std::size_t i = 0; i < rows_per_group; ++i, ++r) {
+      double signal = group_shift;
+      for (std::size_t f = 0; f < kFeatures; ++f) {
+        const double v = rng.normal() + (f < 2 ? group_shift : 0.0);
+        d.x(r, f) = static_cast<float>(v);
+        if (f < 3) signal += v;
+      }
+      d.y[r] = signal + 0.5 * rng.normal() > 0.0 ? 1.0f : 0.0f;
+      d.groups[r] = g;
+    }
+  }
+  return d;
+}
+
+/// Fit + score entirely inside a 1-thread pool task: every nested parallel
+/// loop sees on_worker_thread() and degrades to the serial reference path.
+std::vector<float> serial_fit_predict(Classifier& model, const Dataset& data) {
+  parallel::ThreadPool serial(1);
+  std::vector<float> scores;
+  parallel::TaskGroup group(serial);
+  group.submit([&] {
+    model.fit(data);
+    scores = model.predict_proba(data.x);
+  });
+  group.wait();
+  return scores;
+}
+
+// NOTE: this test must run FIRST in this binary: it forces the shared pool
+// to 8 workers before its one-time construction, so the parallel
+// candidate-split scan is exercised even on a single-core host.
+TEST(ParallelTraining, SplitScanBitIdenticalToSerial) {
+  parallel::set_default_thread_count(8);
+  const Dataset data = make_task(700, 6, 21);  // 4200 rows x 10 features
+
+  {
+    DecisionTree parallel_tree;
+    parallel_tree.fit(data);  // current() == 8-worker shared pool
+    const auto parallel_scores = parallel_tree.predict_proba(data.x);
+    DecisionTree serial_tree;
+    EXPECT_EQ(parallel_scores, serial_fit_predict(serial_tree, data));
+  }
+  {
+    GradientBoosting::Params p;
+    p.n_rounds = 15;
+    GradientBoosting parallel_gb(p);
+    parallel_gb.fit(data);
+    const auto parallel_scores = parallel_gb.predict_proba(data.x);
+    GradientBoosting serial_gb(p);
+    EXPECT_EQ(parallel_scores, serial_fit_predict(serial_gb, data));
+  }
+  {
+    RandomForest::Params p;
+    p.n_trees = 12;
+    p.max_depth = 8;
+    RandomForest parallel_rf(p);
+    parallel_rf.fit(data);  // trees fan out across the shared pool
+    const auto parallel_scores = parallel_rf.predict_proba(data.x);
+    RandomForest serial_rf(p);
+    EXPECT_EQ(parallel_scores, serial_fit_predict(serial_rf, data));
+  }
+  parallel::set_default_thread_count(0);
+}
+
+std::vector<double> cv_fold_aucs(const Classifier& model, const Dataset& data,
+                                 unsigned threads) {
+  parallel::ThreadPool pool(threads);
+  CvOptions options;
+  options.folds = 5;
+  options.seed = 7;
+  options.pool = &pool;
+  // The paper's protocol: balance each training fold 1:1, seeded by fold.
+  options.train_transform = [](const Dataset& train, std::size_t fold) {
+    return downsample_negatives(train, 1.0, 1000 + fold);
+  };
+  return cross_validate(model, data, options).fold_aucs;
+}
+
+TEST(ParallelTraining, CvFoldAucsBitIdenticalAcrossThreadCounts) {
+  const Dataset data = make_task(300, 6, 33);
+
+  std::vector<std::pair<std::string, std::unique_ptr<Classifier>>> models;
+  {
+    RandomForest::Params p;
+    p.n_trees = 15;
+    p.max_depth = 8;
+    models.emplace_back("forest", std::make_unique<RandomForest>(p));
+  }
+  {
+    GradientBoosting::Params p;
+    p.n_rounds = 15;
+    models.emplace_back("boosting", std::make_unique<GradientBoosting>(p));
+  }
+  models.emplace_back("logistic", make_model(ModelKind::kLogisticRegression));
+  models.emplace_back("baseline", make_model(ModelKind::kThresholdBaseline));
+
+  for (const auto& [name, model] : models) {
+    const std::vector<double> reference = cv_fold_aucs(*model, data, 1);
+    ASSERT_EQ(reference.size(), 5u) << name;
+    for (const unsigned threads : {2u, 4u, 8u})
+      EXPECT_EQ(reference, cv_fold_aucs(*model, data, threads))
+          << name << " diverged at " << threads << " threads";
+  }
+}
+
+TEST(ParallelTraining, CvRepeatableOnSamePool) {
+  const Dataset data = make_task(150, 5, 44);
+  RandomForest::Params p;
+  p.n_trees = 10;
+  p.max_depth = 6;
+  const RandomForest model(p);
+  EXPECT_EQ(cv_fold_aucs(model, data, 4), cv_fold_aucs(model, data, 4));
+}
+
+}  // namespace
+}  // namespace ssdfail::ml

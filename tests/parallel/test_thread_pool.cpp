@@ -4,6 +4,8 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "stats/streaming.hpp"
@@ -102,7 +104,106 @@ TEST(ParallelReduce, ResultIndependentOfThreadCountForOrderInsensitiveAccumulato
   EXPECT_EQ(run(p1), run(p4));
 }
 
+TEST(ThreadPool, RunOnAllPropagatesTaskException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.run_on_all([](unsigned w) {
+    if (w == 2) throw std::runtime_error("chunk 2 failed");
+  }),
+               std::runtime_error);
+  // The pool survives the failed job and stays fully usable.
+  std::atomic<int> hits{0};
+  pool.run_on_all([&](unsigned) { hits.fetch_add(1); });
+  EXPECT_EQ(hits.load(), 4);
+}
+
+TEST(ParallelFor, PropagatesBodyException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      parallel_for(
+          1000, [](std::size_t i) { if (i == 500) throw std::invalid_argument("bad"); },
+          pool),
+      std::invalid_argument);
+}
+
+TEST(TaskGroup, WaitRethrowsFirstTaskException) {
+  ThreadPool pool(2);
+  TaskGroup group(pool);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 16; ++i)
+    group.submit([&ran, i] {
+      if (i == 5) throw std::invalid_argument("task 5");
+      ran.fetch_add(1);
+    });
+  EXPECT_THROW(group.wait(), std::invalid_argument);
+  // The failure is isolated: every other task still ran, and the group is
+  // reusable after wait() returns.
+  EXPECT_EQ(ran.load(), 15);
+  group.submit([&ran] { ran.fetch_add(1); });
+  group.wait();
+  EXPECT_EQ(ran.load(), 16);
+}
+
+TEST(TaskGroup, DestructorDiscardsUnretrievedException) {
+  ThreadPool pool(2);
+  {
+    TaskGroup group(pool);
+    group.submit([] { throw std::runtime_error("never waited on"); });
+  }  // must drain and NOT terminate
+  SUCCEED();
+}
+
+TEST(TaskGroup, NestedSubmissionFromWorkerDoesNotDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<int> leaf{0};
+  TaskGroup outer(pool);
+  for (int i = 0; i < 4; ++i)
+    outer.submit([&] {
+      // Worker submits to its own (possibly saturated) pool; inner.wait()
+      // must help drain instead of blocking a worker slot forever.
+      TaskGroup inner(pool);
+      for (int j = 0; j < 8; ++j) inner.submit([&] { leaf.fetch_add(1); });
+      inner.wait();
+    });
+  outer.wait();
+  EXPECT_EQ(leaf.load(), 32);
+}
+
+TEST(TaskGroup, TasksRunInsideThePoolContext) {
+  ThreadPool pool(3);
+  TaskGroup group(pool);
+  std::atomic<bool> inherited{false};
+  group.submit([&] {
+    inherited.store(&ThreadPool::current() == &pool && pool.on_worker_thread());
+  });
+  group.wait();
+  EXPECT_TRUE(inherited.load());
+  EXPECT_FALSE(pool.on_worker_thread());  // the test thread is not a worker
+}
+
+TEST(ThreadPool, ConcurrentExternalSubmittersDoNotInterfere) {
+  ThreadPool pool(4);
+  constexpr int kSubmitters = 4;
+  constexpr int kJobs = 25;
+  std::atomic<int> total{0};
+  std::vector<std::thread> submitters;
+  submitters.reserve(kSubmitters);
+  for (int t = 0; t < kSubmitters; ++t)
+    submitters.emplace_back([&] {
+      for (int r = 0; r < kJobs; ++r)
+        pool.run_on_all([&](unsigned) { total.fetch_add(1); });
+    });
+  for (auto& t : submitters) t.join();
+  EXPECT_EQ(total.load(), kSubmitters * kJobs * 4);
+}
+
 TEST(DefaultThreadCount, Positive) { EXPECT_GE(default_thread_count(), 1u); }
+
+TEST(DefaultThreadCount, ProgrammaticOverrideWinsAndClears) {
+  set_default_thread_count(3);
+  EXPECT_EQ(default_thread_count(), 3u);
+  set_default_thread_count(0);
+  EXPECT_GE(default_thread_count(), 1u);
+}
 
 }  // namespace
 }  // namespace ssdfail::parallel
