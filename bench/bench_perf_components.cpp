@@ -6,6 +6,7 @@
 
 #include <memory>
 
+#include "bench_metrics.hpp"
 #include "core/characterization.hpp"
 #include "core/dataset_builder.hpp"
 #include "core/failure_timeline.hpp"
@@ -45,6 +46,7 @@ void BM_SimulateDrive(benchmark::State& state) {
   const auto& spec = sim::preset(trace::DriveModel::MlcB);
   std::uint32_t index = 0;
   std::uint64_t days = 0;
+  const bench::RegistryDelta obs_delta;
   for (auto _ : state) {
     const auto drive = sim::simulate_drive(spec, 7, index++, sim::kDefaultWindowDays);
     days += drive.records.size();
@@ -53,6 +55,7 @@ void BM_SimulateDrive(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(days));
   state.counters["drive_days/s"] =
       benchmark::Counter(static_cast<double>(days), benchmark::Counter::kIsRate);
+  obs_delta.export_into(state, "sim_");
 }
 BENCHMARK(BM_SimulateDrive);
 
@@ -162,6 +165,7 @@ void BM_FleetMonitorScoring(benchmark::State& state) {
       batch.push_back({d.model, d.drive_index, 0, d.records.front()});
   std::int32_t day = 0;
   std::uint64_t scored = 0;
+  const bench::RegistryDelta obs_delta;
   for (auto _ : state) {
     for (auto& obs : batch) obs.record.day = day;
     if (shards == 0) {
@@ -180,6 +184,9 @@ void BM_FleetMonitorScoring(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(scored));
   state.counters["records/s"] =
       benchmark::Counter(static_cast<double>(scored), benchmark::Counter::kIsRate);
+  // monitor_records_scored_total per iteration must equal the batch size —
+  // the monitor's own books crosschecking the harness's.
+  obs_delta.export_into(state, "monitor_");
 }
 BENCHMARK(BM_FleetMonitorScoring)->Arg(0)->Arg(1)->Arg(2)->Arg(8);
 
@@ -199,6 +206,7 @@ void BM_CorruptStreamScoring(benchmark::State& state) {
       99, robustness::FaultRates::uniform(corruption_pct / 100.0));
   std::int32_t day = 0;
   std::uint64_t emitted = 0;
+  const bench::RegistryDelta obs_delta;
   for (auto _ : state) {
     state.PauseTiming();  // corruption is the harness, not the measurement
     for (auto& obs : batch) obs.record.day = day;
@@ -212,6 +220,10 @@ void BM_CorruptStreamScoring(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(emitted));
   state.counters["records/s"] =
       benchmark::Counter(static_cast<double>(emitted), benchmark::Counter::kIsRate);
+  // Repair/quarantine volume per iteration is what the corruption knob
+  // actually bought, alongside the timing delta.
+  obs_delta.export_into(state, "sanitizer_");
+  obs_delta.export_into(state, "monitor_");
 }
 BENCHMARK(BM_CorruptStreamScoring)->Arg(0)->Arg(1)->Arg(10)->Arg(30);
 
@@ -232,4 +244,4 @@ BENCHMARK(BM_RocAuc)->Arg(100000)->Arg(1000000);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+SSDFAIL_BENCH_MAIN();

@@ -32,6 +32,7 @@
 #include <utility>
 #include <vector>
 
+#include "bench_metrics.hpp"
 #include "core/dataset_builder.hpp"
 #include "ml/cross_validation.hpp"
 #include "ml/downsample.hpp"
@@ -106,6 +107,7 @@ void BM_TrainCvPipeline(benchmark::State& state) {
   };
 
   std::vector<ml::CvResult> results(models.size());
+  const bench::RegistryDelta obs_delta;
   for (auto _ : state) {
     for (std::size_t m = 0; m < models.size(); ++m)
       results[m] = ml::cross_validate(*models[m].second, data, options);
@@ -119,6 +121,11 @@ void BM_TrainCvPipeline(benchmark::State& state) {
   }
   state.counters["fold_auc_digest"] = counter_digest(digest);
   state.counters["threads"] = threads;
+  // Registry counters per iteration: cv_folds_evaluated_total must read 25
+  // (5 models x 5 folds) at every thread count, and threadpool_tasks_total
+  // shows how much work actually crossed the pool queue.
+  obs_delta.export_into(state, "cv_");
+  obs_delta.export_into(state, "threadpool_");
 }
 BENCHMARK(BM_TrainCvPipeline)
     ->Arg(1)
@@ -136,6 +143,7 @@ void BM_LookaheadSweep(benchmark::State& state) {
 
   std::uint64_t rows = 0;
   std::uint64_t digest = 0;
+  const bench::RegistryDelta obs_delta;
   for (auto _ : state) {
     rows = 0;
     digest = 0;
@@ -158,9 +166,12 @@ void BM_LookaheadSweep(benchmark::State& state) {
   // cache replays the exact per-row keep draws of the direct builds.
   state.counters["rows"] = static_cast<double>(rows);
   state.counters["sweep_digest"] = counter_digest(digest);
+  // Cached vs direct differ in fleet passes, so sim_drive_days_generated
+  // per iteration is the cache's whole story in one number.
+  obs_delta.export_into(state, "sim_");
 }
 BENCHMARK(BM_LookaheadSweep)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+SSDFAIL_BENCH_MAIN();

@@ -5,6 +5,7 @@
 //   ssdfail_cli benchmark  --drives N [--lookahead N]
 //   ssdfail_cli train      --out MODEL.bin [--model forest|logistic] ...
 //   ssdfail_cli serve      --model-file MODEL.bin [--shards K] ...
+//   ssdfail_cli metrics    [--out FILE] [--drives N]
 //
 // `simulate` writes a fleet as PREFIX_daily.csv + PREFIX_swaps.csv (or
 // PREFIX.bin with --binary); `analyze` re-imports and prints the headline
@@ -13,6 +14,14 @@
 // (ml/serialize); `serve` loads it and replays a simulated fleet as a
 // day-ordered stream through the sharded FleetMonitor, printing the
 // metrics snapshot — the always-on scoring service in miniature.
+//
+// Observability (docs/OBSERVABILITY.md): `train` and `serve` accept
+// `--metrics-out FILE` to dump the process-wide metrics registry as
+// Prometheus text (FILE) plus JSON lines (FILE.jsonl) on exit; `serve`
+// additionally accepts `--metrics-stream FILE` to append per-replay-day
+// JSON delta lines.  `metrics` runs a built-in end-to-end smoke (simulate
+// -> train -> replay with chaos -> trace round-trip) and prints the
+// Prometheus exposition — the target of the CI metrics-lint step.
 
 #include <algorithm>
 #include <chrono>
@@ -21,6 +30,8 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -29,6 +40,10 @@
 #include "core/online_monitor.hpp"
 #include "core/prediction.hpp"
 #include "io/table.hpp"
+#include "obs/exposition.hpp"
+#include "obs/metrics.hpp"
+#include "obs/snapshotter.hpp"
+#include "obs/trace_span.hpp"
 #include "ml/downsample.hpp"
 #include "ml/model_zoo.hpp"
 #include "ml/serialize.hpp"
@@ -80,11 +95,37 @@ int usage() {
       "  ssdfail_cli benchmark [--drives N] [--lookahead N] [--seed S]\n"
       "  ssdfail_cli train     --out MODEL.bin [--model forest|logistic]\n"
       "                        [--drives N] [--seed S] [--lookahead N]\n"
-      "                        [--threads K]\n"
+      "                        [--threads K] [--metrics-out FILE]\n"
       "  ssdfail_cli serve     --model-file MODEL.bin [--drives N] [--seed S]\n"
       "                        [--threshold T] [--shards K] [--sequential]\n"
-      "                        [--chaos PCT]\n");
+      "                        [--chaos PCT] [--metrics-out FILE]\n"
+      "                        [--metrics-stream FILE]\n"
+      "  ssdfail_cli metrics   [--out FILE] [--drives N] [--seed S]\n");
   return 2;
+}
+
+/// Publish the trace aggregates into the global registry and dump it as
+/// Prometheus text to `path` plus JSON lines to `path`.jsonl.  Returns
+/// false (with a logged reason) on I/O failure.
+bool write_metrics_out(const std::string& path) {
+  obs::TraceCollector::global().publish(obs::MetricsRegistry::global());
+  const obs::RegistrySnapshot snapshot = obs::MetricsRegistry::global().snapshot();
+  std::ofstream prom(path);
+  if (!prom) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  obs::write_prometheus(prom, snapshot);
+  const std::string jsonl_path = path + ".jsonl";
+  std::ofstream jsonl(jsonl_path);
+  if (!jsonl) {
+    std::fprintf(stderr, "cannot write %s\n", jsonl_path.c_str());
+    return false;
+  }
+  obs::write_json_lines(jsonl, snapshot);
+  std::printf("wrote %s (%zu samples) + %s\n", path.c_str(), snapshot.samples.size(),
+              jsonl_path.c_str());
+  return true;
 }
 
 sim::FleetConfig config_from(const Args& args) {
@@ -238,6 +279,8 @@ int cmd_train(const Args& args) {
   }
   const double secs = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
   std::printf("trained %s in %.1fs, wrote %s\n", kind.c_str(), secs, out_path.c_str());
+  const std::string metrics_path = args.get("metrics-out", "");
+  if (!metrics_path.empty() && !write_metrics_out(metrics_path)) return 1;
   return 0;
 }
 
@@ -292,6 +335,22 @@ int cmd_serve(const Args& args) {
   const auto shards = static_cast<std::size_t>(args.get_long("shards", 8));
   core::FleetMonitor monitor(model, threshold, shards);
   monitor.set_degraded(degraded);
+
+  // Optional per-replay-day metric stream: one JSON line per changed
+  // sample, diffed by a manually ticked Snapshotter (the replay day is the
+  // service's clock, so cadence 0 + force gives one capture per day).
+  const std::string stream_path = args.get("metrics-stream", "");
+  std::ofstream stream_out;
+  std::optional<obs::Snapshotter> snapshotter;
+  if (!stream_path.empty()) {
+    stream_out.open(stream_path);
+    if (!stream_out) {
+      std::fprintf(stderr, "cannot write %s\n", stream_path.c_str());
+      return 1;
+    }
+    stream_out.precision(17);
+    snapshotter.emplace(obs::MetricsRegistry::global(), std::chrono::milliseconds(0));
+  }
 
   // Optional chaos: corrupt the replay stream with a seeded injector so the
   // sanitizer's repairs/quarantines show up in the final report.
@@ -362,6 +421,15 @@ int cmd_serve(const Args& args) {
           drive.records.back().day == day)
         monitor.retire(drive.model, drive.drive_index);
     }
+    if (snapshotter) {
+      if (auto deltas = snapshotter->tick(obs::Snapshotter::Clock::now(), true)) {
+        for (const auto& d : *deltas) {
+          if (d.delta == 0.0) continue;
+          stream_out << "{\"day\":" << day << ",\"delta\":" << d.delta
+                     << ",\"sample\":" << obs::to_json(d.sample) << "}\n";
+        }
+      }
+    }
   }
   const double secs = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
   const auto snapshot = monitor.metrics();
@@ -370,6 +438,73 @@ int cmd_serve(const Args& args) {
               sequential ? "sequential" : "batched",
               chaos_pct > 0 ? ", chaos on" : "");
   std::fputs(snapshot.to_text().c_str(), stdout);
+  if (!stream_path.empty())
+    std::printf("streamed per-day metric deltas to %s\n", stream_path.c_str());
+  const std::string metrics_path = args.get("metrics-out", "");
+  if (!metrics_path.empty() && !write_metrics_out(metrics_path)) return 1;
+  return 0;
+}
+
+/// Built-in end-to-end smoke that exercises every instrumented layer —
+/// simulator, trace I/O, training (CV + forest), thread pool, monitor,
+/// sanitizer (via chaos) — then prints the Prometheus exposition.  CI's
+/// metrics-lint step validates this output (scripts/metrics_lint.py).
+int cmd_metrics(const Args& args) {
+  sim::FleetConfig cfg = config_from(args);
+  cfg.drives_per_model = static_cast<std::uint32_t>(args.get_long("drives", 30));
+  cfg.keep_ground_truth = true;
+  const sim::FleetSimulator sim_fleet(cfg);
+
+  // Trace I/O byte counters: binary round-trip through a string stream.
+  const trace::FleetTrace fleet = sim_fleet.generate_all();
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  trace::write_binary(buffer, fleet);
+  buffer.seekg(0);
+  (void)trace::read_binary(buffer);
+
+  // Training metrics: a small cross-validated forest (cv.fold spans,
+  // forest tree counters, thread-pool task metrics).
+  core::DatasetBuildOptions opts;
+  opts.lookahead_days = 1;
+  opts.negative_keep_prob = 0.05;
+  const ml::Dataset data = core::build_dataset(sim_fleet, opts);
+  const auto model = ml::make_model(ml::ModelKind::kRandomForest);
+  (void)core::evaluate_auc(*model, data);
+
+  // Monitor + sanitizer metrics: replay the fleet with chaos so repairs
+  // and quarantines occur.
+  auto scorer = ml::make_model(ml::ModelKind::kThresholdBaseline);
+  scorer->fit(ml::downsample_negatives(data, 1.0, cfg.seed));
+  core::FleetMonitor monitor(std::shared_ptr<const ml::Classifier>(std::move(scorer)),
+                             0.9, 4);
+  robustness::FaultInjector injector(cfg.seed ^ 0x9e3779b97f4a7c15ull,
+                                     robustness::FaultRates::uniform(0.10));
+  std::vector<core::FleetObservation> batch;
+  for (const auto& d : fleet.drives)
+    for (const auto& r : d.records)
+      batch.push_back({d.model, d.drive_index, d.deploy_day, r});
+  std::stable_sort(batch.begin(), batch.end(),
+                   [](const core::FleetObservation& a, const core::FleetObservation& b) {
+                     return a.record.day < b.record.day;
+                   });
+  const auto corrupted = injector.corrupt(batch);
+  (void)monitor.observe_batch(corrupted.observations);
+
+  obs::TraceCollector::global().publish(obs::MetricsRegistry::global());
+  const obs::RegistrySnapshot snapshot = obs::MetricsRegistry::global().snapshot();
+  const std::string out_path = args.get("out", "");
+  if (out_path.empty()) {
+    obs::write_prometheus(std::cout, snapshot);
+    return 0;
+  }
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  obs::write_prometheus(out, snapshot);
+  std::fprintf(stderr, "wrote %s (%zu samples)\n", out_path.c_str(),
+               snapshot.samples.size());
   return 0;
 }
 
@@ -389,5 +524,6 @@ int main(int argc, char** argv) {
   if (command == "benchmark") return cmd_benchmark(args);
   if (command == "train") return cmd_train(args);
   if (command == "serve") return cmd_serve(args);
+  if (command == "metrics") return cmd_metrics(args);
   return usage();
 }

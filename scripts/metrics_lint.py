@@ -1,0 +1,207 @@
+#!/usr/bin/env python3
+"""Lint Prometheus text-format (0.0.4) output against the repo's metric
+naming conventions (docs/OBSERVABILITY.md).
+
+Reads the exposition from a file argument or stdin; CI pipes
+`ssdfail_cli metrics` straight in.  Checks:
+
+  - every sample belongs to a family declared by `# HELP` + `# TYPE`
+  - metric and label names match [a-zA-Z_][a-zA-Z0-9_]*
+  - counters end in `_total`; histograms carry a unit suffix
+    (`_us`, `_bytes`, `_seconds`)
+  - histogram `_bucket` series are cumulative (monotone in `le`), end at
+    `le="+Inf"`, and the +Inf bucket equals `_count`
+  - every histogram exposes `_sum` and `_count`
+  - no duplicate (name, labels) sample
+  - sample values parse as numbers (`NaN`/`+Inf`/`-Inf` allowed)
+
+Exit status 0 when clean; 1 with one line per violation otherwise.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r" (?P<value>\S+)$"
+)
+LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+HISTOGRAM_UNITS = ("_us", "_bytes", "_seconds")
+
+
+def parse_value(raw: str) -> float:
+    if raw == "NaN":
+        return math.nan
+    if raw == "+Inf":
+        return math.inf
+    if raw == "-Inf":
+        return -math.inf
+    return float(raw)
+
+
+def lint(lines: list[str]) -> list[str]:
+    errors: list[str] = []
+    families: dict[str, dict[str, str]] = {}  # name -> {"type": ..., "help": ...}
+    seen_samples: set[tuple[str, str]] = set()
+    # histogram family -> label-key (minus le) -> {"buckets": [(le, v)], ...}
+    histograms: dict[str, dict[str, dict]] = {}
+
+    def family_of(sample_name: str) -> str | None:
+        if sample_name in families:
+            return sample_name
+        for suffix in ("_bucket", "_sum", "_count"):
+            base = sample_name.removesuffix(suffix)
+            if base != sample_name and families.get(base, {}).get("type") == "histogram":
+                return base
+        return None
+
+    for lineno, line in enumerate(lines, 1):
+        line = line.rstrip("\n")
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(" ", 3)
+            if len(parts) < 4 or not parts[3]:
+                errors.append(f"line {lineno}: HELP without text: {line!r}")
+                continue
+            families.setdefault(parts[2], {})["help"] = parts[3]
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ", 3)
+            if len(parts) != 4 or parts[3] not in ("counter", "gauge", "histogram"):
+                errors.append(f"line {lineno}: bad TYPE line: {line!r}")
+                continue
+            name = parts[2]
+            if not NAME_RE.match(name):
+                errors.append(f"line {lineno}: invalid family name {name!r}")
+            fam = families.setdefault(name, {})
+            if "type" in fam:
+                errors.append(f"line {lineno}: duplicate TYPE for {name}")
+            fam["type"] = parts[3]
+            if "help" not in fam:
+                errors.append(f"line {lineno}: TYPE before HELP for {name}")
+            if parts[3] == "counter" and not name.endswith("_total"):
+                errors.append(f"line {lineno}: counter {name} must end in _total")
+            if parts[3] == "histogram" and not name.endswith(HISTOGRAM_UNITS):
+                errors.append(
+                    f"line {lineno}: histogram {name} needs a unit suffix "
+                    f"({'|'.join(HISTOGRAM_UNITS)})"
+                )
+            continue
+        if line.startswith("#"):
+            continue
+
+        m = SAMPLE_RE.match(line)
+        if not m:
+            errors.append(f"line {lineno}: unparseable sample: {line!r}")
+            continue
+        name, raw_labels, raw_value = m.group("name", "labels", "value")
+        try:
+            value = parse_value(raw_value)
+        except ValueError:
+            errors.append(f"line {lineno}: bad value {raw_value!r} for {name}")
+            continue
+
+        labels: list[tuple[str, str]] = []
+        if raw_labels:
+            spans = list(LABEL_RE.finditer(raw_labels))
+            reconstructed = ",".join(mm.group(0) for mm in spans)
+            if reconstructed != raw_labels:
+                errors.append(f"line {lineno}: malformed label block {{{raw_labels}}}")
+            labels = [(mm.group(1), mm.group(2)) for mm in spans]
+            for key, _ in labels:
+                if not NAME_RE.match(key):
+                    errors.append(f"line {lineno}: invalid label name {key!r}")
+
+        base = family_of(name)
+        if base is None:
+            errors.append(f"line {lineno}: sample {name} has no HELP/TYPE declaration")
+            continue
+        ftype = families[base].get("type")
+
+        sample_key = (name, ",".join(f'{k}="{v}"' for k, v in labels))
+        if sample_key in seen_samples:
+            errors.append(f"line {lineno}: duplicate sample {name}{{{sample_key[1]}}}")
+        seen_samples.add(sample_key)
+
+        if ftype == "histogram":
+            child_key = ",".join(f'{k}="{v}"' for k, v in labels if k != "le")
+            child = histograms.setdefault(base, {}).setdefault(
+                child_key, {"buckets": [], "sum": None, "count": None}
+            )
+            if name.endswith("_bucket"):
+                le = dict(labels).get("le")
+                if le is None:
+                    errors.append(f"line {lineno}: {name} bucket without le label")
+                else:
+                    child["buckets"].append((lineno, le, value))
+            elif name.endswith("_sum"):
+                child["sum"] = value
+            elif name.endswith("_count"):
+                child["count"] = value
+            else:
+                errors.append(f"line {lineno}: bare sample {name} in histogram family")
+        elif name != base:
+            errors.append(f"line {lineno}: sample {name} does not match family {base}")
+
+    for base, children in histograms.items():
+        for child_key, child in children.items():
+            where = f"{base}{{{child_key}}}" if child_key else base
+            buckets = child["buckets"]
+            if not buckets:
+                errors.append(f"{where}: histogram with no _bucket series")
+                continue
+            if buckets[-1][1] != "+Inf":
+                errors.append(f"{where}: last bucket le={buckets[-1][1]!r}, not +Inf")
+            prev_le = -math.inf
+            prev_v = -math.inf
+            for lineno, le, v in buckets:
+                le_num = parse_value(le)
+                if not le_num > prev_le:
+                    errors.append(f"line {lineno}: {where} le not increasing")
+                if v < prev_v:
+                    errors.append(f"line {lineno}: {where} buckets not cumulative")
+                prev_le, prev_v = le_num, v
+            if child["count"] is None:
+                errors.append(f"{where}: missing _count")
+            elif buckets[-1][2] != child["count"]:
+                errors.append(
+                    f"{where}: +Inf bucket {buckets[-1][2]} != _count {child['count']}"
+                )
+            if child["sum"] is None:
+                errors.append(f"{where}: missing _sum")
+
+    return errors
+
+
+def main() -> int:
+    if len(sys.argv) > 2:
+        print(f"usage: {sys.argv[0]} [exposition.txt]", file=sys.stderr)
+        return 2
+    if len(sys.argv) == 2:
+        with open(sys.argv[1], encoding="utf-8") as f:
+            lines = f.readlines()
+    else:
+        lines = sys.stdin.readlines()
+
+    errors = lint(lines)
+    for e in errors:
+        print(e, file=sys.stderr)
+    n_samples = sum(
+        1 for l in lines if l.strip() and not l.startswith("#")
+    )
+    if errors:
+        print(f"metrics lint: {len(errors)} violation(s) in {n_samples} samples",
+              file=sys.stderr)
+        return 1
+    print(f"metrics lint OK: {n_samples} samples, clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,5 +1,6 @@
 #include "core/monitor_metrics.hpp"
 
+#include <algorithm>
 #include <cstdio>
 
 namespace ssdfail::core {
@@ -19,15 +20,7 @@ void MonitorMetricsSnapshot::merge(const MonitorMetricsSnapshot& other) {
 }
 
 double MonitorMetricsSnapshot::latency_quantile_us(double q) const {
-  const double total = score_latency_us.total();
-  if (total <= 0.0) return 0.0;
-  const double target = q * total;
-  double cum = 0.0;
-  for (std::size_t i = 0; i < score_latency_us.bins(); ++i) {
-    cum += score_latency_us.count(i);
-    if (cum >= target) return score_latency_us.bin_hi(i);
-  }
-  return score_latency_us.bin_hi(score_latency_us.bins() - 1);
+  return score_latency_us.quantile(q);
 }
 
 std::string MonitorMetricsSnapshot::to_text() const {
@@ -79,23 +72,60 @@ std::string MonitorMetricsSnapshot::to_text() const {
   return text;
 }
 
-void MonitorMetrics::add_score_latency(double us_per_record, std::uint64_t records) {
-  std::scoped_lock lock(latency_mutex_);
-  latency_us_.add(us_per_record, static_cast<double>(records));
+namespace {
+
+/// Registry layout matching stats::Histogram(0, kScoreLatencyMaxUs,
+/// kScoreLatencyBins): finite bounds at 50, 100, ..., 2000us plus the
+/// implicit +Inf bucket.
+const std::vector<double>& score_latency_bounds() {
+  static const std::vector<double>* const bounds = new std::vector<double>(
+      obs::equal_width_bounds(0.0, kScoreLatencyMaxUs, kScoreLatencyBins));
+  return *bounds;
 }
+
+}  // namespace
+
+MonitorMetrics::MonitorMetrics(obs::MetricsRegistry& registry, const obs::Labels& labels)
+    : records_scored_(registry.counter("monitor_records_scored_total", labels,
+                                       "records scored (accepted by the sanitizer)")),
+      alerts_raised_(registry.counter("monitor_alerts_total", labels,
+                                      "records whose risk crossed the alert threshold")),
+      drives_created_(registry.counter("monitor_drives_created_total", labels,
+                                       "per-drive monitors lazily created")),
+      drives_retired_(registry.counter("monitor_drives_retired_total", labels,
+                                       "per-drive monitors dropped via retire()")),
+      batches_scored_(registry.counter("monitor_batches_total", labels,
+                                       "observe_batch shard groups scored")),
+      out_of_order_dropped_(
+          registry.counter("monitor_out_of_order_dropped_total", labels,
+                           "records quarantined for non-monotone day order")),
+      non_finite_scores_(registry.counter("monitor_non_finite_scores_total", labels,
+                                          "NaN/inf model scores clamped to 1.0")),
+      drives_tracked_(registry.gauge("monitor_drives_tracked", labels,
+                                     "per-drive monitors currently resident")),
+      latency_us_(registry.histogram("monitor_score_latency_us", score_latency_bounds(),
+                                     labels, "per-record scoring latency")) {}
 
 MonitorMetricsSnapshot MonitorMetrics::snapshot() const {
   MonitorMetricsSnapshot s;
-  s.records_scored = records_scored_.load(std::memory_order_relaxed);
-  s.alerts_raised = alerts_raised_.load(std::memory_order_relaxed);
-  s.drives_created = drives_created_.load(std::memory_order_relaxed);
-  s.drives_retired = drives_retired_.load(std::memory_order_relaxed);
-  s.batches_scored = batches_scored_.load(std::memory_order_relaxed);
-  s.out_of_order_dropped = out_of_order_dropped_.load(std::memory_order_relaxed);
-  s.non_finite_scores = non_finite_scores_.load(std::memory_order_relaxed);
-  {
-    std::scoped_lock lock(latency_mutex_);
-    s.score_latency_us = latency_us_;
+  s.records_scored = records_scored_.value();
+  s.alerts_raised = alerts_raised_.value();
+  s.drives_created = drives_created_.value();
+  s.drives_retired = drives_retired_.value();
+  s.batches_scored = batches_scored_.value();
+  s.out_of_order_dropped = out_of_order_dropped_.value();
+  s.non_finite_scores = non_finite_scores_.value();
+  // Reconstruct the fixed-bin histogram from the registry buckets.  Bucket
+  // i (observations <= bounds[i]) maps onto equal-width bin i; the +Inf
+  // bucket folds into the last bin, matching stats::Histogram's
+  // clamp-to-edge semantics.
+  constexpr double kWidth = kScoreLatencyMaxUs / static_cast<double>(kScoreLatencyBins);
+  for (std::size_t i = 0; i < latency_us_.bucket_count(); ++i) {
+    const std::uint64_t n = latency_us_.bucket(i);
+    if (n == 0) continue;
+    const std::size_t bin = std::min(i, kScoreLatencyBins - 1);
+    s.score_latency_us.add((static_cast<double>(bin) + 0.5) * kWidth,
+                           static_cast<double>(n));
   }
   return s;
 }

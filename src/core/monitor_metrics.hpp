@@ -3,23 +3,27 @@
 // Operational counters for the fleet-scoring service (online_monitor.hpp;
 // beyond the paper: serving infrastructure for its Section 5 models).
 //
-// Idiom follows netdata's global-statistics pattern: hot-path increments
-// are relaxed atomic fetch-adds on a per-shard counter block; a reader
-// builds a snapshot by loading every counter and merging across shards.
-// Counters are monotonic, so a snapshot is always internally plausible
-// even while writers run.  The score-latency histogram is the one
-// non-atomic member; it is guarded by a small mutex taken once per
-// scoring call (per batch on the batched path).
+// Since the observability layer landed (src/obs/, docs/OBSERVABILITY.md),
+// this is a FAÇADE over obs::MetricsRegistry: each shard's counter block
+// interns registry families labeled {monitor=<id>, shard=<k>}, hot-path
+// increments are the registry's striped lock-free atomics, and score
+// latency lands in a registry histogram with the same 40 x 50us layout the
+// old mutex-guarded stats::Histogram used (that mutex path is gone).
+//
+// The snapshot API is unchanged: callers still get a plain, mergeable
+// MonitorMetricsSnapshot — snapshot() reads the registry values back and
+// reconstructs the stats::Histogram bin-for-bin — while exposition
+// (Prometheus text / JSON lines) reads the same families straight from the
+// registry for free.
 //
 // Sanitizer counters (repairs, quarantines, dead letters) live in the
 // per-shard robustness::RecordSanitizer under the shard mutex; the fleet
 // snapshot folds them in here so one report covers the whole pipeline.
 
-#include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 
+#include "obs/metrics.hpp"
 #include "robustness/record_sanitizer.hpp"
 #include "stats/histogram.hpp"
 #include "trace/validation.hpp"
@@ -58,43 +62,50 @@ struct MonitorMetricsSnapshot {
   [[nodiscard]] std::string to_text() const;
 };
 
-/// One shard's counters.  All increments are lock-free relaxed atomics
-/// except add_score_latency, which takes the internal histogram mutex.
+/// One shard's counters, registry-backed.  Every increment — including
+/// add_score_latency — is lock-free.
 class MonitorMetrics {
  public:
+  /// Interns this block's families in `registry` under `labels`; the
+  /// FleetMonitor passes {monitor=<instance>, shard=<k>} so concurrent
+  /// monitors (tests, benches) never share children.  The returned
+  /// references are stable for the registry's lifetime, which must cover
+  /// this object's.
+  MonitorMetrics(obs::MetricsRegistry& registry, const obs::Labels& labels);
+
   void on_scored(std::uint64_t records, std::uint64_t alerts) noexcept {
-    records_scored_.fetch_add(records, std::memory_order_relaxed);
-    alerts_raised_.fetch_add(alerts, std::memory_order_relaxed);
+    records_scored_.inc(records);
+    alerts_raised_.inc(alerts);
   }
-  void on_batch() noexcept { batches_scored_.fetch_add(1, std::memory_order_relaxed); }
+  void on_batch() noexcept { batches_scored_.inc(); }
   void on_drive_created() noexcept {
-    drives_created_.fetch_add(1, std::memory_order_relaxed);
+    drives_created_.inc();
+    drives_tracked_.add(1.0);
   }
   void on_drive_retired() noexcept {
-    drives_retired_.fetch_add(1, std::memory_order_relaxed);
+    drives_retired_.inc();
+    drives_tracked_.add(-1.0);
   }
-  void on_out_of_order() noexcept {
-    out_of_order_dropped_.fetch_add(1, std::memory_order_relaxed);
-  }
-  void on_non_finite() noexcept {
-    non_finite_scores_.fetch_add(1, std::memory_order_relaxed);
-  }
+  void on_out_of_order() noexcept { out_of_order_dropped_.inc(); }
+  void on_non_finite() noexcept { non_finite_scores_.inc(); }
 
   /// Record the mean per-record scoring latency for `records` records.
-  void add_score_latency(double us_per_record, std::uint64_t records);
+  void add_score_latency(double us_per_record, std::uint64_t records) noexcept {
+    latency_us_.observe(us_per_record, records);
+  }
 
   [[nodiscard]] MonitorMetricsSnapshot snapshot() const;
 
  private:
-  std::atomic<std::uint64_t> records_scored_{0};
-  std::atomic<std::uint64_t> alerts_raised_{0};
-  std::atomic<std::uint64_t> drives_created_{0};
-  std::atomic<std::uint64_t> drives_retired_{0};
-  std::atomic<std::uint64_t> batches_scored_{0};
-  std::atomic<std::uint64_t> out_of_order_dropped_{0};
-  std::atomic<std::uint64_t> non_finite_scores_{0};
-  mutable std::mutex latency_mutex_;
-  stats::Histogram latency_us_{0.0, kScoreLatencyMaxUs, kScoreLatencyBins};
+  obs::Counter& records_scored_;
+  obs::Counter& alerts_raised_;
+  obs::Counter& drives_created_;
+  obs::Counter& drives_retired_;
+  obs::Counter& batches_scored_;
+  obs::Counter& out_of_order_dropped_;
+  obs::Counter& non_finite_scores_;
+  obs::Gauge& drives_tracked_;
+  obs::Histogram& latency_us_;
 };
 
 }  // namespace ssdfail::core

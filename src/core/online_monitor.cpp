@@ -1,9 +1,12 @@
 #include "core/online_monitor.hpp"
 
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
+#include "obs/trace_span.hpp"
 #include "stats/rng.hpp"
 
 namespace ssdfail::core {
@@ -13,6 +16,14 @@ double elapsed_us(std::chrono::steady_clock::time_point start) noexcept {
   return std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() -
                                                    start)
       .count();
+}
+
+/// Monotonically increasing FleetMonitor instance id, used as the
+/// `monitor` label so concurrent instances (tests, benches) never share
+/// registry children.
+std::string next_monitor_label() {
+  static std::atomic<std::uint64_t> next{0};
+  return std::to_string(next.fetch_add(1, std::memory_order_relaxed));
 }
 
 }  // namespace
@@ -48,12 +59,21 @@ RiskAssessment OnlineDriveMonitor::observe(const trace::DailyRecord& record) {
 
 FleetMonitor::FleetMonitor(std::shared_ptr<const ml::Classifier> model, double threshold,
                            std::size_t shards,
-                           robustness::SanitizerConfig sanitizer_config)
+                           robustness::SanitizerConfig sanitizer_config,
+                           obs::MetricsRegistry* registry)
     : model_(std::move(model)), threshold_(threshold) {
   if (shards == 0) shards = 1;
+  obs::MetricsRegistry& reg =
+      registry != nullptr ? *registry : obs::MetricsRegistry::global();
+  if (sanitizer_config.registry == nullptr) sanitizer_config.registry = &reg;
+  const std::string instance = next_monitor_label();
+  degraded_gauge_ = &reg.gauge("monitor_degraded", {{"monitor", instance}},
+                               "1 while serving on the fallback model");
   shards_.reserve(shards);
   for (std::size_t s = 0; s < shards; ++s)
-    shards_.push_back(std::make_unique<Shard>(sanitizer_config));
+    shards_.push_back(std::make_unique<Shard>(
+        sanitizer_config, reg,
+        obs::Labels{{"monitor", instance}, {"shard", std::to_string(s)}}));
 }
 
 std::size_t FleetMonitor::shard_index(std::uint64_t uid) const noexcept {
@@ -99,6 +119,8 @@ float FleetMonitor::finite_or_clamp(Shard& shard, float risk) {
 RiskAssessment FleetMonitor::observe(trace::DriveModel drive_model,
                                      std::uint32_t drive_index, std::int32_t deploy_day,
                                      const trace::DailyRecord& record) {
+  static const obs::SiteId kSite = obs::intern_site("monitor.observe");
+  obs::Span span(kSite);
   const std::uint64_t uid =
       (static_cast<std::uint64_t>(drive_model) << 32) | drive_index;
   Shard& shard = *shards_[shard_index(uid)];
@@ -141,6 +163,8 @@ void FleetMonitor::score_shard_batch(const ml::Classifier& model, Shard& shard,
                                      const std::vector<std::size_t>& indices,
                                      std::vector<RiskAssessment>& out) {
   if (indices.empty()) return;
+  static const obs::SiteId kSite = obs::intern_site("monitor.score_shard");
+  obs::Span span(kSite);
   const auto start = std::chrono::steady_clock::now();
   ml::Matrix rows;
   std::vector<float> row(FeatureExtractor::count());
@@ -194,6 +218,8 @@ void FleetMonitor::score_shard_batch(const ml::Classifier& model, Shard& shard,
 
 std::vector<RiskAssessment> FleetMonitor::observe_batch(
     std::span<const FleetObservation> batch, parallel::ThreadPool& pool) {
+  static const obs::SiteId kSite = obs::intern_site("monitor.observe_batch");
+  obs::Span span(kSite);
   std::vector<RiskAssessment> out(batch.size());
   std::vector<std::vector<std::size_t>> by_shard(shards_.size());
   for (std::size_t i = 0; i < batch.size(); ++i)

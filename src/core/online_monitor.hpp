@@ -91,9 +91,13 @@ class FleetMonitor {
  public:
   /// `shards` >= 1 partitions drive state for concurrent callers; size it
   /// near the number of scoring threads (scores do not depend on it).
+  /// Metrics are interned in `registry` (the process-global registry when
+  /// null) under labels {monitor=<instance>, shard=<k>}, so each
+  /// FleetMonitor gets its own registry children.
   FleetMonitor(std::shared_ptr<const ml::Classifier> model, double threshold,
                std::size_t shards = 1,
-               robustness::SanitizerConfig sanitizer_config = {});
+               robustness::SanitizerConfig sanitizer_config = {},
+               obs::MetricsRegistry* registry = nullptr);
 
   /// Observe one record for the given drive (thread-safe; locks only the
   /// drive's shard).  Never throws on bad data: the record is sanitized
@@ -121,9 +125,11 @@ class FleetMonitor {
   /// call, so the swap is safe without stopping ingestion.
   void set_model(std::shared_ptr<const ml::Classifier> model);
 
-  /// Mark (or clear) degraded mode; surfaced through metrics().
+  /// Mark (or clear) degraded mode; surfaced through metrics() and the
+  /// monitor_degraded registry gauge.
   void set_degraded(bool degraded) noexcept {
     degraded_.store(degraded, std::memory_order_relaxed);
+    degraded_gauge_->set(degraded ? 1.0 : 0.0);
   }
   [[nodiscard]] bool degraded() const noexcept {
     return degraded_.load(std::memory_order_relaxed);
@@ -143,7 +149,9 @@ class FleetMonitor {
     robustness::RecordSanitizer sanitizer;
     MonitorMetrics metrics;
 
-    explicit Shard(robustness::SanitizerConfig config) : sanitizer(config) {}
+    Shard(robustness::SanitizerConfig config, obs::MetricsRegistry& registry,
+          const obs::Labels& labels)
+        : sanitizer(config), metrics(registry, labels) {}
   };
 
   [[nodiscard]] std::size_t shard_index(std::uint64_t uid) const noexcept;
@@ -165,6 +173,7 @@ class FleetMonitor {
   std::shared_ptr<const ml::Classifier> model_;
   double threshold_;
   std::atomic<bool> degraded_{false};
+  obs::Gauge* degraded_gauge_;  ///< registry mirror of degraded_ (per instance)
   std::vector<std::unique_ptr<Shard>> shards_;
 };
 

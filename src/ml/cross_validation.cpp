@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/metrics.hpp"
+#include "obs/trace_span.hpp"
 #include "stats/rng.hpp"
 
 namespace ssdfail::ml {
@@ -27,6 +29,8 @@ std::vector<FoldSplit> group_k_fold(const Dataset& data, std::size_t k,
 
 CvResult cross_validate(const Classifier& model, const Dataset& data,
                         const CvOptions& options) {
+  static const obs::SiteId kCvSite = obs::intern_site("cv.cross_validate");
+  obs::Span cv_span(kCvSite);
   const auto splits = group_k_fold(data, options.folds, options.seed);
   CvResult result;
   result.folds_requested = splits.size();
@@ -37,6 +41,10 @@ CvResult cross_validate(const Classifier& model, const Dataset& data,
   std::vector<double> fold_auc(splits.size());
   std::vector<char> fold_ok(splits.size(), 0);
   const auto eval_fold = [&](std::size_t f) {
+    // One span per fold; the task carries the submitter's context, so
+    // these nest under cv.cross_validate whichever thread runs them.
+    static const obs::SiteId kFoldSite = obs::intern_site("cv.fold");
+    obs::Span fold_span(kFoldSite);
     if (splits[f].train.empty() || splits[f].test.empty()) return;
     Dataset train = data.subset(splits[f].train);
     Dataset test = data.subset(splits[f].test);
@@ -73,6 +81,12 @@ CvResult cross_validate(const Classifier& model, const Dataset& data,
     else
       ++result.folds_skipped;
   }
+  static obs::Counter& folds_counter = obs::MetricsRegistry::global().counter(
+      "cv_folds_evaluated_total", {}, "non-degenerate folds scored by cross_validate");
+  static obs::Counter& skipped_counter = obs::MetricsRegistry::global().counter(
+      "cv_folds_skipped_total", {}, "degenerate folds skipped by cross_validate");
+  folds_counter.inc(result.fold_aucs.size());
+  skipped_counter.inc(result.folds_skipped);
   if (result.fold_aucs.empty())
     throw std::runtime_error(
         "cross_validate: all " + std::to_string(result.folds_requested) +

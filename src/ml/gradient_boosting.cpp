@@ -7,6 +7,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace_span.hpp"
 #include "parallel/thread_pool.hpp"
 #include "stats/rng.hpp"
 
@@ -143,6 +145,8 @@ std::int32_t GradientBoosting::build_node(const Dataset& train,
 }
 
 void GradientBoosting::fit(const Dataset& train) {
+  static const obs::SiteId kFitSite = obs::intern_site("boosting.fit");
+  obs::Span fit_span(kFitSite);
   train.validate();
   const std::size_t n = train.size();
   if (n == 0) throw std::invalid_argument("GradientBoosting: empty train set");
@@ -159,7 +163,12 @@ void GradientBoosting::fit(const Dataset& train) {
   std::vector<double> hess(n);
   stats::Rng rng(params_.seed);
 
+  static obs::Counter& rounds_counter = obs::MetricsRegistry::global().counter(
+      "boosting_rounds_total", {}, "boosting rounds (trees) fitted");
   for (std::size_t round = 0; round < params_.n_rounds; ++round) {
+    static const obs::SiteId kRoundSite = obs::intern_site("boosting.round");
+    obs::Span round_span(kRoundSite);
+    rounds_counter.inc();
     for (std::size_t i = 0; i < n; ++i) {
       const double p = sigmoid(score[i]);
       grad[i] = static_cast<double>(train.y[i]) - p;  // negative gradient

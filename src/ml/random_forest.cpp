@@ -4,12 +4,16 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace_span.hpp"
 #include "parallel/thread_pool.hpp"
 #include "stats/rng.hpp"
 
 namespace ssdfail::ml {
 
 void RandomForest::fit(const Dataset& train) {
+  static const obs::SiteId kFitSite = obs::intern_site("forest.fit");
+  obs::Span fit_span(kFitSite);
   train.validate();
   if (train.size() == 0) throw std::invalid_argument("RandomForest: empty train set");
   n_features_ = train.x.cols();
@@ -27,7 +31,12 @@ void RandomForest::fit(const Dataset& train) {
   trees_.assign(params_.n_trees, DecisionTree(tree_params));
   const std::size_t n = train.size();
 
+  static obs::Counter& trees_counter = obs::MetricsRegistry::global().counter(
+      "forest_trees_fitted_total", {}, "bootstrap trees fitted by RandomForest");
   parallel::parallel_for(params_.n_trees, [&](std::size_t t) {
+    static const obs::SiteId kTreeSite = obs::intern_site("forest.tree");
+    obs::Span tree_span(kTreeSite);
+    trees_counter.inc();
     stats::Rng rng({params_.seed, 0x7265657473ULL /*'trees'*/, t});
     // Bootstrap sample (with replacement).
     std::vector<std::size_t> sample(n);

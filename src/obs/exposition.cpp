@@ -1,0 +1,179 @@
+#include "obs/exposition.hpp"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+namespace ssdfail::obs {
+namespace {
+
+/// Prometheus label-value escaping: backslash, double-quote, newline.
+std::string escape_label_value(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    if (c == '\\') out += "\\\\";
+    else if (c == '"') out += "\\\"";
+    else if (c == '\n') out += "\\n";
+    else out += c;
+  }
+  return out;
+}
+
+/// HELP text escaping (0.0.4 format): backslash and newline only.
+std::string escape_help(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    if (c == '\\') out += "\\\\";
+    else if (c == '\n') out += "\\n";
+    else out += c;
+  }
+  return out;
+}
+
+/// JSON string escaping (control chars, quote, backslash).
+std::string escape_json(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Shortest round-trip number formatting; integral values print without a
+/// fraction so counters read naturally.
+std::string format_number(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string label_block(const Labels& labels, const char* extra_key = nullptr,
+                        const std::string& extra_value = std::string()) {
+  if (labels.empty() && extra_key == nullptr) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += k + "=\"" + escape_label_value(v) + "\"";
+  }
+  if (extra_key != nullptr) {
+    if (!first) out += ",";
+    out += std::string(extra_key) + "=\"" + escape_label_value(extra_value) + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+void write_prometheus(std::ostream& out, const RegistrySnapshot& snapshot) {
+  std::string last_family;
+  for (const Sample& s : snapshot.samples) {
+    if (s.name != last_family) {
+      last_family = s.name;
+      out << "# HELP " << s.name << " " << escape_help(s.help.empty() ? s.name : s.help)
+          << "\n";
+      out << "# TYPE " << s.name << " " << metric_type_name(s.type) << "\n";
+    }
+    if (s.type == MetricType::kHistogram) {
+      std::uint64_t cum = 0;
+      for (std::size_t i = 0; i < s.buckets.size(); ++i) {
+        cum += s.buckets[i];
+        const double bound = i < s.bucket_bounds.size()
+                                 ? s.bucket_bounds[i]
+                                 : std::numeric_limits<double>::infinity();
+        out << s.name << "_bucket"
+            << label_block(s.labels, "le", format_number(bound)) << " " << cum << "\n";
+      }
+      out << s.name << "_sum" << label_block(s.labels) << " " << format_number(s.sum)
+          << "\n";
+      out << s.name << "_count" << label_block(s.labels) << " " << s.count << "\n";
+    } else {
+      out << s.name << label_block(s.labels) << " " << format_number(s.value) << "\n";
+    }
+  }
+}
+
+std::string to_prometheus(const RegistrySnapshot& snapshot) {
+  std::ostringstream out;
+  write_prometheus(out, snapshot);
+  return out.str();
+}
+
+std::string to_json(const Sample& sample) {
+  std::string out = "{\"name\":\"" + escape_json(sample.name) + "\",\"type\":\"" +
+                    std::string(metric_type_name(sample.type)) + "\"";
+  if (!sample.labels.empty()) {
+    out += ",\"labels\":{";
+    for (std::size_t i = 0; i < sample.labels.size(); ++i) {
+      if (i > 0) out += ",";
+      out += "\"";
+      out += escape_json(sample.labels[i].first);
+      out += "\":\"";
+      out += escape_json(sample.labels[i].second);
+      out += "\"";
+    }
+    out += "}";
+  }
+  if (sample.type == MetricType::kHistogram) {
+    out += ",\"buckets\":[";
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < sample.buckets.size(); ++i) {
+      if (i > 0) out += ",";
+      cum += sample.buckets[i];
+      const bool inf = i >= sample.bucket_bounds.size();
+      out += "{\"le\":";
+      out += inf ? "\"+Inf\"" : format_number(sample.bucket_bounds[i]);
+      out += ",\"count\":" + std::to_string(cum) + "}";
+    }
+    out += "],\"sum\":";
+    out += format_number(sample.sum);
+    out += ",\"count\":";
+    out += std::to_string(sample.count);
+  } else {
+    out += ",\"value\":";
+    out += format_number(sample.value);
+  }
+  out += "}";
+  return out;
+}
+
+void write_json_lines(std::ostream& out, const RegistrySnapshot& snapshot) {
+  for (const Sample& s : snapshot.samples) out << to_json(s) << "\n";
+}
+
+std::string to_json_lines(const RegistrySnapshot& snapshot) {
+  std::ostringstream out;
+  write_json_lines(out, snapshot);
+  return out.str();
+}
+
+}  // namespace ssdfail::obs

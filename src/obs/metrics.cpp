@@ -1,0 +1,254 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace ssdfail::obs {
+namespace {
+
+std::atomic<bool> g_enabled{true};
+
+/// Round-robin stripe assignment: cheaper and more evenly spread than
+/// hashing thread ids, and stable for the thread's lifetime.
+std::atomic<std::size_t> g_next_stripe{0};
+
+std::string canonical_label_key(const Labels& labels) {
+  std::string key;
+  for (const auto& [k, v] : labels) {
+    key += k;
+    key += '\x1f';
+    key += v;
+    key += '\x1e';
+  }
+  return key;
+}
+
+Labels canonicalize(Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (!valid_metric_name(labels[i].first))
+      throw std::invalid_argument("obs: invalid label name '" + labels[i].first + "'");
+    if (i > 0 && labels[i].first == labels[i - 1].first)
+      throw std::invalid_argument("obs: duplicate label '" + labels[i].first + "'");
+  }
+  return labels;
+}
+
+}  // namespace
+
+void set_enabled(bool on) noexcept { g_enabled.store(on, std::memory_order_relaxed); }
+bool enabled() noexcept { return g_enabled.load(std::memory_order_relaxed); }
+
+std::size_t Counter::stripe_index() noexcept {
+  thread_local const std::size_t index =
+      g_next_stripe.fetch_add(1, std::memory_order_relaxed) % kStripes;
+  return index;
+}
+
+Histogram::Histogram(std::span<const double> bounds)
+    : bounds_(bounds.begin(), bounds.end()), buckets_(bounds.size() + 1) {
+  if (bounds_.empty()) throw std::invalid_argument("obs::Histogram: no buckets");
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    if (!std::isfinite(bounds_[i]) || (i > 0 && bounds_[i] <= bounds_[i - 1]))
+      throw std::invalid_argument("obs::Histogram: bounds must be finite, increasing");
+  }
+}
+
+void Histogram::observe(double value, std::uint64_t count) noexcept {
+  if (!enabled() || count == 0) return;
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const auto i = static_cast<std::size_t>(it - bounds_.begin());  // +Inf when past end
+  buckets_[i].fetch_add(count, std::memory_order_relaxed);
+  if (std::isfinite(value))
+    detail::atomic_add(sum_, value * static_cast<double>(count));
+}
+
+double Histogram::upper_bound(std::size_t i) const noexcept {
+  return i < bounds_.size() ? bounds_[i] : std::numeric_limits<double>::infinity();
+}
+
+std::uint64_t Histogram::total_count() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& b : buckets_) n += b.load(std::memory_order_relaxed);
+  return n;
+}
+
+std::string_view metric_type_name(MetricType type) noexcept {
+  switch (type) {
+    case MetricType::kCounter: return "counter";
+    case MetricType::kGauge: return "gauge";
+    case MetricType::kHistogram: return "histogram";
+  }
+  return "unknown";
+}
+
+std::string Sample::key() const {
+  if (labels.empty()) return name;
+  std::string out = name + "{";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ",";
+    out += labels[i].first + "=\"" + labels[i].second + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+const Sample* RegistrySnapshot::find(std::string_view name) const noexcept {
+  for (const Sample& s : samples)
+    if (s.name == name) return &s;
+  return nullptr;
+}
+
+const Sample* RegistrySnapshot::find(std::string_view name,
+                                     const Labels& labels) const noexcept {
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  for (const Sample& s : samples)
+    if (s.name == name && s.labels == sorted) return &s;
+  return nullptr;
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  // Intentionally leaked: metric handles embedded in other leaked or
+  // static-lifetime objects (thread pools, monitors) may be touched during
+  // static teardown.  Reachable-from-static, so LSan stays quiet.
+  static MetricsRegistry* const registry = new MetricsRegistry();
+  return *registry;
+}
+
+bool valid_metric_name(std::string_view name) noexcept {
+  if (name.empty()) return false;
+  const auto word = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+  };
+  if (!word(name[0])) return false;
+  for (char c : name.substr(1))
+    if (!word(c) && !(c >= '0' && c <= '9')) return false;
+  return true;
+}
+
+std::vector<double> equal_width_bounds(double lo, double hi, std::size_t bins) {
+  if (bins == 0 || hi <= lo)
+    throw std::invalid_argument("equal_width_bounds: bad range/bins");
+  std::vector<double> bounds(bins);
+  const double width = (hi - lo) / static_cast<double>(bins);
+  for (std::size_t i = 0; i < bins; ++i)
+    bounds[i] = lo + width * static_cast<double>(i + 1);
+  bounds.back() = hi;  // exact, no accumulation drift
+  return bounds;
+}
+
+MetricsRegistry::Family& MetricsRegistry::family_for(std::string_view name,
+                                                     MetricType type,
+                                                     std::string_view help,
+                                                     std::span<const double> bounds) {
+  if (!valid_metric_name(name))
+    throw std::invalid_argument("obs: invalid metric name '" + std::string(name) + "'");
+  auto it = families_.find(name);
+  if (it == families_.end()) {
+    Family family;
+    family.type = type;
+    family.help = std::string(help);
+    family.bounds.assign(bounds.begin(), bounds.end());
+    it = families_.emplace(std::string(name), std::move(family)).first;
+    return it->second;
+  }
+  Family& family = it->second;
+  if (family.type != type)
+    throw std::invalid_argument("obs: metric '" + std::string(name) +
+                                "' re-registered as a different type");
+  if (type == MetricType::kHistogram &&
+      !std::equal(bounds.begin(), bounds.end(), family.bounds.begin(),
+                  family.bounds.end()))
+    throw std::invalid_argument("obs: histogram '" + std::string(name) +
+                                "' re-registered with different buckets");
+  if (family.help.empty() && !help.empty()) family.help = std::string(help);
+  return family;
+}
+
+MetricsRegistry::Child& MetricsRegistry::child_for(Family& family, const Labels& labels) {
+  Labels canonical = canonicalize(labels);
+  const std::string key = canonical_label_key(canonical);
+  auto it = family.children.find(key);
+  if (it == family.children.end()) {
+    Child child;
+    child.labels = std::move(canonical);
+    it = family.children.emplace(key, std::move(child)).first;
+  }
+  return it->second;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name, const Labels& labels,
+                                  std::string_view help) {
+  std::scoped_lock lock(mutex_);
+  Child& child = child_for(family_for(name, MetricType::kCounter, help, {}), labels);
+  if (!child.counter) child.counter = std::make_unique<Counter>();
+  return *child.counter;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name, const Labels& labels,
+                              std::string_view help) {
+  std::scoped_lock lock(mutex_);
+  Child& child = child_for(family_for(name, MetricType::kGauge, help, {}), labels);
+  if (!child.gauge) child.gauge = std::make_unique<Gauge>();
+  return *child.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::span<const double> bounds,
+                                      const Labels& labels, std::string_view help) {
+  std::scoped_lock lock(mutex_);
+  Child& child =
+      child_for(family_for(name, MetricType::kHistogram, help, bounds), labels);
+  if (!child.histogram) child.histogram = std::make_unique<Histogram>(bounds);
+  return *child.histogram;
+}
+
+RegistrySnapshot MetricsRegistry::snapshot() const {
+  RegistrySnapshot snap;
+  std::scoped_lock lock(mutex_);
+  for (const auto& [name, family] : families_) {
+    for (const auto& [key, child] : family.children) {
+      (void)key;
+      Sample s;
+      s.name = name;
+      s.help = family.help;
+      s.type = family.type;
+      s.labels = child.labels;
+      switch (family.type) {
+        case MetricType::kCounter:
+          s.value = static_cast<double>(child.counter->value());
+          break;
+        case MetricType::kGauge:
+          s.value = child.gauge->value();
+          break;
+        case MetricType::kHistogram: {
+          const Histogram& h = *child.histogram;
+          s.bucket_bounds = h.bounds();
+          s.buckets.resize(h.bucket_count());
+          for (std::size_t i = 0; i < h.bucket_count(); ++i) s.buckets[i] = h.bucket(i);
+          s.count = 0;
+          for (std::uint64_t b : s.buckets) s.count += b;
+          s.sum = h.sum();
+          break;
+        }
+      }
+      snap.samples.push_back(std::move(s));
+    }
+  }
+  return snap;
+}
+
+std::size_t MetricsRegistry::metric_count() const {
+  std::scoped_lock lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& [name, family] : families_) {
+    (void)name;
+    n += family.children.size();
+  }
+  return n;
+}
+
+}  // namespace ssdfail::obs

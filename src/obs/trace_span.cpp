@@ -1,0 +1,264 @@
+#include "obs/trace_span.hpp"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "obs/metrics.hpp"
+
+namespace ssdfail::obs {
+namespace {
+
+std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Log2 duration buckets for the per-site p50/p99 estimate: bucket j
+/// covers [2^j, 2^(j+1)) ns, clamped to kLatBuckets entries (~2.3 min top
+/// edge) — coarse on purpose; spans are for attribution, not SLOs.
+constexpr std::size_t kLatBuckets = 48;
+constexpr std::size_t kRingCapacity = 256;
+
+std::size_t latency_bucket(std::uint64_t ns) noexcept {
+  const std::size_t j = ns == 0 ? 0 : static_cast<std::size_t>(std::bit_width(ns) - 1);
+  return std::min(j, kLatBuckets - 1);
+}
+
+double bucket_upper_us(std::size_t j) noexcept {
+  return static_cast<double>(std::uint64_t{1} << std::min<std::size_t>(j + 1, 62)) /
+         1000.0;
+}
+
+struct SiteAgg {
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;
+  std::uint64_t self_ns = 0;
+  std::array<std::uint64_t, kLatBuckets> buckets{};
+};
+
+/// One thread's span sink: written only by its owner under its own mutex
+/// (uncontended), read by the collector under the same mutex.
+struct ThreadTraceState {
+  std::mutex mutex;
+  std::vector<SiteAgg> aggs;  ///< indexed by SiteId, grown on demand
+  std::array<SpanRecord, kRingCapacity> ring{};
+  std::size_t ring_next = 0;
+  std::size_t ring_size = 0;
+
+  void record(const SpanRecord& rec) {
+    std::scoped_lock lock(mutex);
+    if (rec.site >= aggs.size()) aggs.resize(rec.site + 1);
+    SiteAgg& agg = aggs[rec.site];
+    ++agg.count;
+    agg.total_ns += rec.duration_ns;
+    agg.self_ns += rec.self_ns;
+    ++agg.buckets[latency_bucket(rec.duration_ns)];
+    ring[ring_next] = rec;
+    ring_next = (ring_next + 1) % kRingCapacity;
+    ring_size = std::min(ring_size + 1, kRingCapacity);
+  }
+};
+
+struct SiteTable {
+  std::mutex mutex;
+  std::vector<std::string> names{""};  // id 0 reserved
+  std::unordered_map<std::string, SiteId> ids;
+};
+
+SiteTable& site_table() {
+  static SiteTable* const table = new SiteTable();  // leaked, teardown-safe
+  return *table;
+}
+
+struct CollectorState {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<ThreadTraceState>> threads;
+};
+
+CollectorState& collector_state() {
+  static CollectorState* const state = new CollectorState();  // leaked
+  return *state;
+}
+
+ThreadTraceState& thread_state() {
+  thread_local const std::shared_ptr<ThreadTraceState> state = [] {
+    auto s = std::make_shared<ThreadTraceState>();
+    CollectorState& c = collector_state();
+    std::scoped_lock lock(c.mutex);
+    c.threads.push_back(s);  // collector keeps it alive past thread exit
+    return s;
+  }();
+  return *state;
+}
+
+thread_local Span* t_current_span = nullptr;
+thread_local SpanContext t_ambient{};
+
+double quantile_us(const std::array<std::uint64_t, kLatBuckets>& buckets,
+                   std::uint64_t count, double q) noexcept {
+  if (count == 0) return 0.0;
+  const double target = q * static_cast<double>(count);
+  std::uint64_t cum = 0;
+  for (std::size_t j = 0; j < kLatBuckets; ++j) {
+    cum += buckets[j];
+    if (cum > 0 && static_cast<double>(cum) >= target) return bucket_upper_us(j);
+  }
+  return bucket_upper_us(kLatBuckets - 1);
+}
+
+}  // namespace
+
+SiteId intern_site(std::string_view name) {
+  SiteTable& table = site_table();
+  std::scoped_lock lock(table.mutex);
+  const auto it = table.ids.find(std::string(name));
+  if (it != table.ids.end()) return it->second;
+  const auto id = static_cast<SiteId>(table.names.size());
+  table.names.emplace_back(name);
+  table.ids.emplace(std::string(name), id);
+  return id;
+}
+
+std::string site_name(SiteId site) {
+  SiteTable& table = site_table();
+  std::scoped_lock lock(table.mutex);
+  return site < table.names.size() ? table.names[site] : std::string();
+}
+
+SpanContext current_span_context() noexcept {
+  if (t_current_span != nullptr && t_current_span->active_)
+    return SpanContext{t_current_span->site_};
+  return t_ambient;
+}
+
+ScopedSpanContext::ScopedSpanContext(SpanContext ctx) noexcept
+    : saved_span_(t_current_span), saved_ambient_(t_ambient), start_ns_(0) {
+  if (saved_span_ != nullptr && saved_span_->active_) start_ns_ = now_ns();
+  t_current_span = nullptr;
+  t_ambient = ctx;
+}
+
+ScopedSpanContext::~ScopedSpanContext() {
+  // Helping time is charged to the helped tasks' spans: credit it as
+  // child time of the suspended span so its SELF time stays honest.
+  if (saved_span_ != nullptr && saved_span_->active_ && start_ns_ != 0)
+    saved_span_->child_ns_ += now_ns() - start_ns_;
+  t_current_span = saved_span_;
+  t_ambient = saved_ambient_;
+}
+
+Span::Span(SiteId site) noexcept {
+  if (!enabled() || site == 0) return;
+  site_ = site;
+  parent_ = t_current_span;
+  parent_site_ = parent_ != nullptr && parent_->active_ ? parent_->site_ : t_ambient.site;
+  t_current_span = this;
+  start_ns_ = now_ns();
+  active_ = true;
+}
+
+Span::~Span() {
+  if (!active_) return;
+  const std::uint64_t duration = now_ns() - start_ns_;
+  const std::uint64_t self = duration > child_ns_ ? duration - child_ns_ : 0;
+  t_current_span = parent_;
+  if (parent_ != nullptr && parent_->active_) parent_->child_ns_ += duration;
+  thread_state().record(SpanRecord{site_, parent_site_, duration, self});
+}
+
+TraceCollector& TraceCollector::global() {
+  static TraceCollector* const collector = new TraceCollector();  // leaked
+  return *collector;
+}
+
+std::vector<SpanStats> TraceCollector::aggregate() const {
+  std::vector<SiteAgg> merged;
+  {
+    CollectorState& c = collector_state();
+    std::scoped_lock lock(c.mutex);
+    for (const auto& thread : c.threads) {
+      std::scoped_lock state_lock(thread->mutex);
+      if (thread->aggs.size() > merged.size()) merged.resize(thread->aggs.size());
+      for (std::size_t s = 0; s < thread->aggs.size(); ++s) {
+        const SiteAgg& a = thread->aggs[s];
+        if (a.count == 0) continue;
+        SiteAgg& m = merged[s];
+        m.count += a.count;
+        m.total_ns += a.total_ns;
+        m.self_ns += a.self_ns;
+        for (std::size_t j = 0; j < kLatBuckets; ++j) m.buckets[j] += a.buckets[j];
+      }
+    }
+  }
+  std::vector<SpanStats> stats;
+  for (std::size_t s = 0; s < merged.size(); ++s) {
+    const SiteAgg& m = merged[s];
+    if (m.count == 0) continue;
+    SpanStats entry;
+    entry.name = site_name(static_cast<SiteId>(s));
+    entry.count = m.count;
+    entry.total_us = static_cast<double>(m.total_ns) / 1000.0;
+    entry.self_us = static_cast<double>(m.self_ns) / 1000.0;
+    entry.p50_us = quantile_us(m.buckets, m.count, 0.5);
+    entry.p99_us = quantile_us(m.buckets, m.count, 0.99);
+    stats.push_back(std::move(entry));
+  }
+  std::sort(stats.begin(), stats.end(),
+            [](const SpanStats& a, const SpanStats& b) { return a.name < b.name; });
+  return stats;
+}
+
+std::vector<SpanRecord> TraceCollector::recent(std::size_t max) const {
+  std::vector<SpanRecord> out;
+  CollectorState& c = collector_state();
+  std::scoped_lock lock(c.mutex);
+  for (const auto& thread : c.threads) {
+    std::scoped_lock state_lock(thread->mutex);
+    // Newest first within each thread's ring.
+    for (std::size_t k = 0; k < thread->ring_size && out.size() < max; ++k) {
+      const std::size_t i =
+          (thread->ring_next + kRingCapacity - 1 - k) % kRingCapacity;
+      out.push_back(thread->ring[i]);
+    }
+    if (out.size() >= max) break;
+  }
+  return out;
+}
+
+void TraceCollector::publish(MetricsRegistry& registry) const {
+  for (const SpanStats& s : aggregate()) {
+    const Labels labels = {{"site", s.name}};
+    registry.gauge("trace_span_count", labels, "completed spans per call-site")
+        .set(static_cast<double>(s.count));
+    registry.gauge("trace_span_total_us", labels, "total span time per call-site")
+        .set(s.total_us);
+    registry
+        .gauge("trace_span_self_us", labels,
+               "span time net of child spans per call-site")
+        .set(s.self_us);
+    registry.gauge("trace_span_p50_us", labels, "median span duration (log2-bucket)")
+        .set(s.p50_us);
+    registry.gauge("trace_span_p99_us", labels, "p99 span duration (log2-bucket)")
+        .set(s.p99_us);
+  }
+}
+
+void TraceCollector::reset() {
+  CollectorState& c = collector_state();
+  std::scoped_lock lock(c.mutex);
+  for (const auto& thread : c.threads) {
+    std::scoped_lock state_lock(thread->mutex);
+    thread->aggs.clear();
+    thread->ring_size = 0;
+    thread->ring_next = 0;
+  }
+}
+
+}  // namespace ssdfail::obs

@@ -6,6 +6,8 @@
 #include <string>
 #include <utility>
 
+#include "obs/metrics.hpp"
+
 namespace ssdfail::parallel {
 namespace {
 
@@ -14,6 +16,41 @@ thread_local ThreadPool* t_owning_pool = nullptr;
 
 /// Programmatic thread-count override (0 = none); see set_default_thread_count.
 std::atomic<unsigned> g_thread_override{0};
+
+/// Pool metrics, aggregated across all pools (pools are anonymous).
+/// Handles are interned once; the registry outlives every pool (leaked
+/// singleton), so touching these during static teardown is safe.
+struct PoolMetrics {
+  obs::Counter& tasks = obs::MetricsRegistry::global().counter(
+      "threadpool_tasks_total", {}, "tasks executed by pool workers and helpers");
+  obs::Counter& steals = obs::MetricsRegistry::global().counter(
+      "threadpool_steals_total", {},
+      "tasks a TaskGroup::wait() helper ran inline instead of a worker");
+  obs::Gauge& queue_depth = obs::MetricsRegistry::global().gauge(
+      "threadpool_queue_depth", {}, "tasks submitted but not yet picked up");
+  obs::Histogram& task_latency = obs::MetricsRegistry::global().histogram(
+      "threadpool_task_latency_us", kTaskLatencyBounds, {},
+      "enqueue-to-completion latency per task");
+
+  static constexpr double kTaskLatencyBounds[] = {
+      10.0,    20.0,    50.0,    100.0,   200.0,   500.0,    1000.0,
+      2000.0,  5000.0,  10000.0, 20000.0, 50000.0, 100000.0, 200000.0,
+      500000.0, 1000000.0, 2000000.0, 5000000.0, 10000000.0};
+};
+
+PoolMetrics& pool_metrics() {
+  static PoolMetrics* const metrics = new PoolMetrics();  // leaked, teardown-safe
+  return *metrics;
+}
+
+void record_task_done(std::chrono::steady_clock::time_point enqueued_at) {
+  PoolMetrics& m = pool_metrics();
+  m.tasks.inc();
+  m.task_latency.observe(
+      std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() -
+                                                enqueued_at)
+          .count());
+}
 
 }  // namespace
 
@@ -52,6 +89,7 @@ ThreadPool::~ThreadPool() {
 bool ThreadPool::on_worker_thread() const noexcept { return t_owning_pool == this; }
 
 void ThreadPool::enqueue(Task task) {
+  pool_metrics().queue_depth.add(1.0);
   {
     std::scoped_lock lock(mutex_);
     queue_.push_back(std::move(task));
@@ -70,8 +108,15 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    pool_metrics().queue_depth.add(-1.0);
     task.group->on_dequeued();
-    task.group->run_task(task.fn);
+    {
+      // Run under the submitter's span context so spans opened inside the
+      // task attribute to the submitting call-site.
+      obs::ScopedSpanContext span_guard(task.span_ctx);
+      task.group->run_task(task.fn);
+    }
+    record_task_done(task.enqueued_at);
   }
 }
 
@@ -117,7 +162,8 @@ void TaskGroup::submit(std::function<void()> fn) {
   // A nested submission (from one of this group's running tasks) must wake
   // a waiter blocked in wait() so its helper loop sees the new task.
   done_cv_.notify_all();
-  pool_.enqueue(ThreadPool::Task{std::move(fn), this});
+  pool_.enqueue(ThreadPool::Task{std::move(fn), this, obs::current_span_context(),
+                                 std::chrono::steady_clock::now()});
 }
 
 void TaskGroup::on_dequeued() noexcept {
@@ -144,26 +190,38 @@ void TaskGroup::wait() {
     // inline.  This guarantees progress even when every pool worker is
     // blocked in some other group's wait (nested submission).
     std::function<void()> fn;
+    obs::SpanContext fn_ctx;
+    std::chrono::steady_clock::time_point fn_enqueued_at{};
     {
       std::scoped_lock pool_lock(pool_.mutex_);
       for (auto it = pool_.queue_.begin(); it != pool_.queue_.end(); ++it) {
         if (it->group == this) {
           fn = std::move(it->fn);
+          fn_ctx = it->span_ctx;
+          fn_enqueued_at = it->enqueued_at;
           pool_.queue_.erase(it);
           break;
         }
       }
     }
     if (fn) {
+      pool_metrics().queue_depth.add(-1.0);
+      pool_metrics().steals.inc();
       on_dequeued();
       // Adopt the pool context while helping: the task must observe
       // ThreadPool::current() == pool_ exactly as on a worker, so nested
       // parallel code stays inside the pool's thread budget instead of
       // fanning out on the helper's own context (run_task is noexcept,
-      // so the restore below always executes).
+      // so the restore below always executes).  The span context swaps the
+      // same way: the task's spans attribute to its submitter, and the
+      // helping time is charged to the task, not the waiter's self time.
       ThreadPool* const saved = std::exchange(t_owning_pool, &pool_);
-      run_task(fn);
+      {
+        obs::ScopedSpanContext span_guard(fn_ctx);
+        run_task(fn);
+      }
       t_owning_pool = saved;
+      record_task_done(fn_enqueued_at);
       continue;
     }
     std::unique_lock lock(mutex_);

@@ -23,6 +23,7 @@
 // submission from a worker is allowed — wait() helps drain its own group's
 // queued tasks, so nested waits cannot deadlock.
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -31,6 +32,8 @@
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "obs/trace_span.hpp"
 
 namespace ssdfail::parallel {
 
@@ -85,6 +88,11 @@ class ThreadPool {
   struct Task {
     std::function<void()> fn;
     TaskGroup* group = nullptr;
+    /// Submitter's span context, adopted by whichever thread runs the
+    /// task (worker or helper) so spans opened inside attribute to the
+    /// submitting call-site — same inheritance rule as the pool context.
+    obs::SpanContext span_ctx;
+    std::chrono::steady_clock::time_point enqueued_at;
   };
 
   void worker_loop();

@@ -1,5 +1,7 @@
 #include "robustness/record_sanitizer.hpp"
 
+#include <string>
+
 namespace ssdfail::robustness {
 
 namespace {
@@ -9,6 +11,26 @@ std::size_t kind_index(trace::ViolationKind kind) noexcept {
 }
 
 }  // namespace
+
+RecordSanitizer::RecordSanitizer(SanitizerConfig config) : config_(config) {
+  if (config_.registry == nullptr) return;
+  obs::MetricsRegistry& reg = *config_.registry;
+  for (trace::ViolationKind kind : trace::kAllViolationKinds) {
+    const obs::Labels labels{{"kind", std::string(trace::violation_slug(kind))}};
+    mirror_.repaired[kind_index(kind)] =
+        &reg.counter("sanitizer_repaired_total", labels,
+                     "per-kind repairs applied to accepted records");
+    mirror_.quarantined[kind_index(kind)] =
+        &reg.counter("sanitizer_quarantined_total", labels,
+                     "per-kind irreparable records dead-lettered");
+  }
+  mirror_.duplicates_dropped =
+      &reg.counter("sanitizer_duplicates_dropped_total", {},
+                   "exact same-day duplicate records skipped");
+  mirror_.dead_letter_overflow =
+      &reg.counter("sanitizer_dead_letter_overflow_total", {},
+                   "quarantined records whose payload was discarded (queue full)");
+}
 
 void SanitizerSnapshot::merge(const SanitizerSnapshot& other) {
   for (std::size_t k = 0; k < trace::kNumViolationKinds; ++k) {
@@ -27,10 +49,13 @@ void RecordSanitizer::quarantine(std::uint64_t drive_uid, trace::ViolationKind k
                                  const trace::DailyRecord& record) {
   ++counters_.quarantined[kind_index(kind)];
   ++counters_.records_quarantined;
-  if (counters_.dead_letters.size() < config_.dead_letter_capacity)
+  if (obs::Counter* c = mirror_.quarantined[kind_index(kind)]) c->inc();
+  if (counters_.dead_letters.size() < config_.dead_letter_capacity) {
     counters_.dead_letters.push_back({drive_uid, kind, record});
-  else
+  } else {
     ++counters_.dead_letter_overflow;
+    if (mirror_.dead_letter_overflow != nullptr) mirror_.dead_letter_overflow->inc();
+  }
 }
 
 SanitizeResult RecordSanitizer::sanitize(std::uint64_t drive_uid,
@@ -63,6 +88,8 @@ SanitizeResult RecordSanitizer::sanitize(std::uint64_t drive_uid,
       result.kind = trace::ViolationKind::kNonMonotoneDays;
       ++counters_.duplicates_dropped;
       ++counters_.repaired[kind_index(result.kind)];
+      if (mirror_.duplicates_dropped != nullptr) mirror_.duplicates_dropped->inc();
+      if (obs::Counter* c = mirror_.repaired[kind_index(result.kind)]) c->inc();
       return result;
     }
     if (record.day <= state.last.day) {
@@ -85,6 +112,7 @@ SanitizeResult RecordSanitizer::sanitize(std::uint64_t drive_uid,
     }
     any_repair = true;
     ++counters_.repaired[kind_index(kind)];
+    if (obs::Counter* c = mirror_.repaired[kind_index(kind)]) c->inc();
   };
 
   if (it != drives_.end()) {

@@ -29,6 +29,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "trace/validation.hpp"
 
 namespace ssdfail::robustness {
@@ -37,6 +38,11 @@ struct SanitizerConfig {
   /// Max records held in this sanitizer's dead-letter queue; beyond it,
   /// quarantined records are still counted but their payload is discarded.
   std::size_t dead_letter_capacity = 64;
+  /// Registry to mirror counters into as process-wide families
+  /// (`sanitizer_repaired_total{kind=...}` etc. — no per-shard labels;
+  /// shards sharing a registry share children).  Null disables mirroring;
+  /// FleetMonitor fills this in with its own registry.
+  obs::MetricsRegistry* registry = nullptr;
 };
 
 enum class SanitizeAction : std::uint8_t {
@@ -75,7 +81,7 @@ struct SanitizerSnapshot {
 
 class RecordSanitizer {
  public:
-  explicit RecordSanitizer(SanitizerConfig config = {}) : config_(config) {}
+  explicit RecordSanitizer(SanitizerConfig config = {});
 
   /// Classify (and possibly repair) one record for `drive_uid`.  Updates
   /// the drive's last-good state only when the record is accepted.
@@ -97,7 +103,17 @@ class RecordSanitizer {
   void quarantine(std::uint64_t drive_uid, trace::ViolationKind kind,
                   const trace::DailyRecord& record);
 
+  /// Registry mirror of counters_ (null entries when config_.registry is
+  /// null).  Interned eagerly so exposition shows every kind at 0.
+  struct Mirror {
+    std::array<obs::Counter*, trace::kNumViolationKinds> repaired{};
+    std::array<obs::Counter*, trace::kNumViolationKinds> quarantined{};
+    obs::Counter* duplicates_dropped = nullptr;
+    obs::Counter* dead_letter_overflow = nullptr;
+  };
+
   SanitizerConfig config_;
+  Mirror mirror_;
   std::unordered_map<std::uint64_t, DriveState> drives_;
   SanitizerSnapshot counters_;
 };

@@ -2,7 +2,26 @@
 
 #include <cstdlib>
 
+#include "obs/metrics.hpp"
+#include "obs/trace_span.hpp"
+
 namespace ssdfail::sim {
+namespace {
+
+/// Fleet-generation throughput counters (drives and drive-days produced).
+struct SimMetrics {
+  obs::Counter& drives = obs::MetricsRegistry::global().counter(
+      "sim_drives_generated_total", {}, "drive histories produced by the simulator");
+  obs::Counter& drive_days = obs::MetricsRegistry::global().counter(
+      "sim_drive_days_generated_total", {}, "daily records produced by the simulator");
+};
+
+SimMetrics& sim_metrics() {
+  static SimMetrics* const metrics = new SimMetrics();  // leaked, teardown-safe
+  return *metrics;
+}
+
+}  // namespace
 
 FleetConfig FleetConfig::from_env() {
   FleetConfig cfg;
@@ -21,11 +40,17 @@ trace::DriveHistory FleetSimulator::simulate(std::size_t flat_index) const {
   const auto model_idx = flat_index / config_.drives_per_model;
   const auto drive_idx = static_cast<std::uint32_t>(flat_index % config_.drives_per_model);
   const DriveModelSpec& spec = model_presets()[model_idx];
-  return simulate_drive(spec, config_.seed, drive_idx, config_.window_days,
-                        config_.keep_ground_truth);
+  trace::DriveHistory drive = simulate_drive(spec, config_.seed, drive_idx,
+                                             config_.window_days,
+                                             config_.keep_ground_truth);
+  sim_metrics().drives.inc();
+  sim_metrics().drive_days.inc(drive.records.size());
+  return drive;
 }
 
 trace::FleetTrace FleetSimulator::generate_all() const {
+  static const obs::SiteId kSite = obs::intern_site("sim.generate_fleet");
+  obs::Span span(kSite);
   trace::FleetTrace fleet;
   fleet.drives.reserve(drive_count());
   for (std::size_t i = 0; i < drive_count(); ++i) fleet.drives.push_back(simulate(i));

@@ -33,6 +33,18 @@ double Histogram::bin_hi(std::size_t i) const noexcept {
   return lo_ + width_ * static_cast<double>(i + 1);
 }
 
+double Histogram::quantile(double q) const noexcept {
+  const double mass = total();
+  if (mass <= 0.0) return 0.0;
+  const double target = std::clamp(q, 0.0, 1.0) * mass;
+  double cum = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    cum += counts_[i];
+    if (cum > 0.0 && cum >= target) return bin_hi(i);
+  }
+  return bin_hi(counts_.size() - 1);
+}
+
 double Histogram::total() const noexcept {
   double t = 0.0;
   for (double c : counts_) t += c;

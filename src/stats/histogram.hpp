@@ -30,6 +30,14 @@ class Histogram {
   /// Index of the bin containing x (clamped).
   [[nodiscard]] std::size_t bin_index(double x) const noexcept;
 
+  /// Quantile estimate: the upper edge of the first bin where the
+  /// cumulative mass reaches q * total().  Leading empty bins never
+  /// satisfy the crossing (so q = 0 lands on the first *occupied* bin,
+  /// not bin 0), q is clamped to [0, 1], and an empty histogram returns
+  /// 0.  Because add() clamps out-of-range values to the edge bins, the
+  /// result never exceeds the configured upper bound.
+  [[nodiscard]] double quantile(double q) const noexcept;
+
  private:
   double lo_;
   double width_;

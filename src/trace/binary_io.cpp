@@ -5,6 +5,10 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace_span.hpp"
+#include "trace/io_metrics.hpp"
+
 namespace ssdfail::trace {
 namespace {
 
@@ -57,6 +61,9 @@ DailyRecord get_record(std::istream& in) {
 }  // namespace
 
 void write_binary(std::ostream& out, const FleetTrace& fleet) {
+  static const obs::SiteId kSite = obs::intern_site("trace.write_binary");
+  obs::Span span(kSite);
+  detail::WriteByteCount bytes(out, "binary");
   out.write(kMagic, sizeof(kMagic));
   put<std::uint32_t>(out, kBinaryFormatVersion);
   put<std::uint64_t>(out, fleet.drives.size());
@@ -72,6 +79,9 @@ void write_binary(std::ostream& out, const FleetTrace& fleet) {
 }
 
 FleetTrace read_binary(std::istream& in) {
+  static const obs::SiteId kSite = obs::intern_site("trace.read_binary");
+  obs::Span span(kSite);
+  detail::ReadByteCount bytes(in, "binary");
   char magic[4];
   in.read(magic, sizeof(magic));
   if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)

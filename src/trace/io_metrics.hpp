@@ -1,0 +1,65 @@
+#pragma once
+
+// Byte counters for trace I/O, shared by the CSV (trace_io.cpp) and binary
+// (binary_io.cpp) paths: RAII guards measure a stream's position delta and
+// add it to `trace_io_bytes_written_total{format=...}` /
+// `trace_io_bytes_read_total{format=...}` on scope exit.  Non-seekable
+// streams (tell* returns -1) are skipped silently — the counter is an
+// observability aid, never a correctness dependency.
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace ssdfail::trace::detail {
+
+inline obs::Counter& io_bytes_counter(const char* direction, const char* format) {
+  return obs::MetricsRegistry::global().counter(
+      std::string("trace_io_bytes_") + direction + "_total", {{"format", format}},
+      "trace bytes moved through the I/O layer");
+}
+
+class WriteByteCount {
+ public:
+  WriteByteCount(std::ostream& out, const char* format)
+      : out_(out), counter_(io_bytes_counter("written", format)), start_(out.tellp()) {}
+  ~WriteByteCount() {
+    if (start_ < 0) return;
+    const std::streampos end = out_.tellp();
+    if (end > start_) counter_.inc(static_cast<std::uint64_t>(end - start_));
+  }
+  WriteByteCount(const WriteByteCount&) = delete;
+  WriteByteCount& operator=(const WriteByteCount&) = delete;
+
+ private:
+  std::ostream& out_;
+  obs::Counter& counter_;
+  std::streampos start_;
+};
+
+class ReadByteCount {
+ public:
+  ReadByteCount(std::istream& in, const char* format)
+      : in_(in), counter_(io_bytes_counter("read", format)), start_(in.tellg()) {}
+  ~ReadByteCount() {
+    if (start_ < 0) return;
+    // A failed read (eof/throw) leaves the stream in a failed state where
+    // tellg() returns -1; clear temporarily so partial progress counts.
+    const std::ios_base::iostate state = in_.rdstate();
+    in_.clear();
+    const std::streampos end = in_.tellg();
+    in_.setstate(state);
+    if (end > start_) counter_.inc(static_cast<std::uint64_t>(end - start_));
+  }
+  ReadByteCount(const ReadByteCount&) = delete;
+  ReadByteCount& operator=(const ReadByteCount&) = delete;
+
+ private:
+  std::istream& in_;
+  obs::Counter& counter_;
+  std::streampos start_;
+};
+
+}  // namespace ssdfail::trace::detail

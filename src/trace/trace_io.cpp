@@ -7,6 +7,8 @@
 #include <string>
 
 #include "io/csv.hpp"
+#include "obs/trace_span.hpp"
+#include "trace/io_metrics.hpp"
 
 namespace ssdfail::trace {
 namespace {
@@ -39,6 +41,9 @@ std::string daily_log_header() {
 }
 
 void write_daily_log(std::ostream& out, const FleetTrace& fleet) {
+  static const obs::SiteId kSite = obs::intern_site("trace.write_daily_log");
+  obs::Span span(kSite);
+  detail::WriteByteCount bytes(out, "csv");
   out << daily_log_header() << '\n';
   for (const auto& d : fleet.drives) {
     for (const auto& r : d.records) {
@@ -54,6 +59,7 @@ void write_daily_log(std::ostream& out, const FleetTrace& fleet) {
 }
 
 void write_swap_log(std::ostream& out, const FleetTrace& fleet) {
+  detail::WriteByteCount bytes(out, "csv");
   out << "drive_uid,model,drive_index,day\n";
   for (const auto& d : fleet.drives)
     for (const auto& s : d.swaps)
@@ -62,6 +68,10 @@ void write_swap_log(std::ostream& out, const FleetTrace& fleet) {
 }
 
 FleetTrace read_fleet(std::istream& daily_log, std::istream& swap_log) {
+  static const obs::SiteId kSite = obs::intern_site("trace.read_fleet");
+  obs::Span span(kSite);
+  detail::ReadByteCount daily_bytes(daily_log, "csv");
+  detail::ReadByteCount swap_bytes(swap_log, "csv");
   const auto daily_rows = io::read_csv(daily_log);
   const auto swap_rows = io::read_csv(swap_log);
   if (daily_rows.empty()) throw std::runtime_error("trace_io: empty daily log");

@@ -19,6 +19,21 @@ std::string_view violation_name(ViolationKind kind) noexcept {
   return "unknown";
 }
 
+std::string_view violation_slug(ViolationKind kind) noexcept {
+  switch (kind) {
+    case ViolationKind::kNonMonotoneDays: return "non_monotone_days";
+    case ViolationKind::kRecordBeforeDeploy: return "record_before_deploy";
+    case ViolationKind::kDecreasingPeCycles: return "decreasing_pe_cycles";
+    case ViolationKind::kDecreasingBadBlocks: return "decreasing_bad_blocks";
+    case ViolationKind::kFactoryBadBlocksChanged: return "factory_bad_blocks_changed";
+    case ViolationKind::kSwapsOutOfOrder: return "swaps_out_of_order";
+    case ViolationKind::kSwapBeforeActivity: return "swap_before_activity";
+    case ViolationKind::kErasesWithoutWrites: return "erases_without_writes";
+    case ViolationKind::kImplausibleValue: return "implausible_value";
+  }
+  return "unknown";
+}
+
 bool implausible_record(const DailyRecord& rec) noexcept {
   constexpr std::uint32_t kSat = std::numeric_limits<std::uint32_t>::max();
   if (rec.reads == kSat || rec.writes == kSat || rec.erases == kSat ||

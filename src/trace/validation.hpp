@@ -41,6 +41,10 @@ inline constexpr std::array<ViolationKind, kNumViolationKinds> kAllViolationKind
 
 [[nodiscard]] std::string_view violation_name(ViolationKind kind) noexcept;
 
+/// Label-safe snake_case identifier for a kind (metric label values, e.g.
+/// `sanitizer_quarantined_total{kind="non_monotone_days"}`).
+[[nodiscard]] std::string_view violation_slug(ViolationKind kind) noexcept;
+
 /// True if any counter field carries saturated garbage (the all-ones value a
 /// wedged controller or a broken collector emits).  Shared by offline
 /// validation and the online sanitizer so both classify identically.

@@ -1,0 +1,165 @@
+// The MonitorMetrics façade contract: since the counters moved into
+// obs::MetricsRegistry (labeled {monitor=<id>, shard=<k>}), the plain
+// MonitorMetricsSnapshot a caller reads back must stay numerically
+// equivalent to the registry families — same counts, same latency
+// histogram mass — and the registry must expose the same story to the
+// Prometheus/JSON side.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/dataset_builder.hpp"
+#include "core/monitor_metrics.hpp"
+#include "core/online_monitor.hpp"
+#include "ml/model_zoo.hpp"
+#include "obs/metrics.hpp"
+#include "sim/fleet_simulator.hpp"
+
+namespace ssdfail::core {
+namespace {
+
+/// Sum one counter family across all label sets (shards) in `snap`.
+double family_total(const obs::RegistrySnapshot& snap, const std::string& name) {
+  double total = 0.0;
+  for (const obs::Sample& s : snap.samples)
+    if (s.name == name) total += s.value;
+  return total;
+}
+
+std::shared_ptr<const ml::Classifier> threshold_model() {
+  static const std::shared_ptr<const ml::Classifier> model = [] {
+    sim::FleetConfig cfg;
+    cfg.drives_per_model = 40;
+    sim::FleetSimulator fleet(cfg);
+    DatasetBuildOptions opts;
+    opts.lookahead_days = 1;
+    opts.negative_keep_prob = 0.1;
+    const ml::Dataset data = build_dataset(fleet, opts);
+    auto baseline = ml::make_model(ml::ModelKind::kThresholdBaseline);
+    baseline->fit(data);
+    return std::shared_ptr<const ml::Classifier>(std::move(baseline));
+  }();
+  return model;
+}
+
+/// Feed a few drives' histories through a monitor wired to a private
+/// registry; return the monitor after scoring.
+struct Scenario {
+  obs::MetricsRegistry registry;
+  std::unique_ptr<FleetMonitor> monitor;
+  std::uint64_t records_fed = 0;
+
+  Scenario() {
+    monitor = std::make_unique<FleetMonitor>(threshold_model(), 0.5, 3,
+                                             robustness::SanitizerConfig{}, &registry);
+    sim::FleetConfig cfg;
+    cfg.drives_per_model = 40;
+    sim::FleetSimulator fleet(cfg);
+    for (std::uint32_t i = 0; i < 4; ++i) {
+      const trace::DriveHistory drive = fleet.simulate(i);
+      for (const auto& rec : drive.records) {
+        (void)monitor->observe(drive.model, drive.drive_index, drive.deploy_day, rec);
+        ++records_fed;
+      }
+    }
+  }
+};
+
+TEST(MonitorMetricsFacade, SnapshotMatchesRegistryFamilies) {
+  Scenario sc;
+  const MonitorMetricsSnapshot snap = sc.monitor->metrics();
+  const obs::RegistrySnapshot reg = sc.registry.snapshot();
+
+  EXPECT_GT(sc.records_fed, 0u);
+  EXPECT_EQ(static_cast<double>(snap.records_scored),
+            family_total(reg, "monitor_records_scored_total"));
+  EXPECT_EQ(static_cast<double>(snap.alerts_raised),
+            family_total(reg, "monitor_alerts_total"));
+  EXPECT_EQ(static_cast<double>(snap.drives_created),
+            family_total(reg, "monitor_drives_created_total"));
+  EXPECT_EQ(static_cast<double>(snap.drives_retired),
+            family_total(reg, "monitor_drives_retired_total"));
+  EXPECT_EQ(static_cast<double>(snap.out_of_order_dropped),
+            family_total(reg, "monitor_out_of_order_dropped_total"));
+  EXPECT_EQ(static_cast<double>(snap.non_finite_scores),
+            family_total(reg, "monitor_non_finite_scores_total"));
+  EXPECT_EQ(static_cast<double>(snap.drives_tracked),
+            family_total(reg, "monitor_drives_tracked"));
+  EXPECT_EQ(snap.drives_created, 4u);
+  EXPECT_EQ(snap.drives_tracked, 4u);
+  EXPECT_LE(snap.records_scored, sc.records_fed);  // sanitizer may drop
+}
+
+TEST(MonitorMetricsFacade, LatencyHistogramMassSurvivesReconstruction) {
+  Scenario sc;
+  const MonitorMetricsSnapshot snap = sc.monitor->metrics();
+  // Per-shard registry histograms carry one weighted observation per
+  // record; the façade rebuilds a stats::Histogram with identical mass.
+  double registry_count = 0.0;
+  for (const obs::Sample& s : sc.registry.snapshot().samples)
+    if (s.name == "monitor_score_latency_us")
+      registry_count += static_cast<double>(s.count);
+  EXPECT_DOUBLE_EQ(snap.score_latency_us.total(), registry_count);
+  EXPECT_DOUBLE_EQ(registry_count, static_cast<double>(snap.records_scored));
+}
+
+TEST(MonitorMetricsFacade, LatencyQuantilesComeFromTheHistogram) {
+  Scenario sc;
+  const MonitorMetricsSnapshot snap = sc.monitor->metrics();
+  const double p50 = snap.latency_quantile_us(0.5);
+  const double p99 = snap.latency_quantile_us(0.99);
+  EXPECT_DOUBLE_EQ(p50, snap.score_latency_us.quantile(0.5));
+  EXPECT_GT(p50, 0.0);
+  EXPECT_LE(p50, p99);
+  EXPECT_LE(p99, kScoreLatencyMaxUs);
+}
+
+TEST(MonitorMetricsFacade, DegradedFlagMirrorsIntoRegistryGauge) {
+  Scenario sc;
+  auto degraded_value = [&sc] {
+    double total = 0.0;
+    for (const obs::Sample& s : sc.registry.snapshot().samples)
+      if (s.name == "monitor_degraded") total += s.value;
+    return total;
+  };
+  EXPECT_DOUBLE_EQ(degraded_value(), 0.0);
+  sc.monitor->set_degraded(true);
+  EXPECT_TRUE(sc.monitor->metrics().degraded);
+  EXPECT_DOUBLE_EQ(degraded_value(), 1.0);
+  sc.monitor->set_degraded(false);
+  EXPECT_DOUBLE_EQ(degraded_value(), 0.0);
+}
+
+TEST(MonitorMetricsFacade, RetireAdjustsCountersAndGauge) {
+  Scenario sc;
+  const MonitorMetricsSnapshot before = sc.monitor->metrics();
+  sc.monitor->retire(trace::DriveModel::MlcA, 0);
+  sc.monitor->retire(trace::DriveModel::MlcA, 1);
+  const MonitorMetricsSnapshot after = sc.monitor->metrics();
+  EXPECT_EQ(after.drives_retired, before.drives_retired + 2);
+  EXPECT_EQ(after.drives_tracked, before.drives_tracked - 2);
+  EXPECT_EQ(static_cast<double>(after.drives_tracked),
+            family_total(sc.registry.snapshot(), "monitor_drives_tracked"));
+}
+
+TEST(MonitorMetricsFacade, TwoMonitorsNeverShareRegistryChildren) {
+  obs::MetricsRegistry registry;
+  FleetMonitor a(threshold_model(), 0.5, 2, robustness::SanitizerConfig{}, &registry);
+  FleetMonitor b(threshold_model(), 0.5, 2, robustness::SanitizerConfig{}, &registry);
+  trace::DailyRecord rec;
+  rec.day = 0;
+  rec.reads = 10;
+  rec.writes = 10;
+  (void)a.observe(trace::DriveModel::MlcA, 1, 0, rec);
+  EXPECT_EQ(a.metrics().records_scored, 1u);
+  EXPECT_EQ(b.metrics().records_scored, 0u);
+  // The registry-wide family still totals across both instances.
+  EXPECT_DOUBLE_EQ(family_total(registry.snapshot(), "monitor_records_scored_total"),
+                   1.0);
+}
+
+}  // namespace
+}  // namespace ssdfail::core

@@ -1,0 +1,135 @@
+#include "obs/exposition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace ssdfail::obs {
+namespace {
+
+bool contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+TEST(Exposition, PrometheusCounterFamily) {
+  MetricsRegistry reg;
+  reg.counter("requests_total", {{"shard", "0"}}, "requests served").inc(7);
+  reg.counter("requests_total", {{"shard", "1"}}, "requests served").inc(2);
+  const std::string text = to_prometheus(reg.snapshot());
+  EXPECT_TRUE(contains(text, "# HELP requests_total requests served\n"));
+  EXPECT_TRUE(contains(text, "# TYPE requests_total counter\n"));
+  EXPECT_TRUE(contains(text, "requests_total{shard=\"0\"} 7\n"));
+  EXPECT_TRUE(contains(text, "requests_total{shard=\"1\"} 2\n"));
+  // One header block per family, not per child.
+  EXPECT_EQ(text.find("# TYPE requests_total"),
+            text.rfind("# TYPE requests_total"));
+}
+
+TEST(Exposition, PrometheusGauge) {
+  MetricsRegistry reg;
+  reg.gauge("queue_depth", {}, "tasks waiting").set(3.5);
+  const std::string text = to_prometheus(reg.snapshot());
+  EXPECT_TRUE(contains(text, "# TYPE queue_depth gauge\n"));
+  EXPECT_TRUE(contains(text, "queue_depth 3.5\n"));
+}
+
+TEST(Exposition, PrometheusHistogramIsCumulative) {
+  MetricsRegistry reg;
+  Histogram& h =
+      reg.histogram("latency_us", std::vector<double>{10.0, 20.0}, {}, "per record");
+  h.observe(5.0);
+  h.observe(15.0, 2);
+  h.observe(99.0);
+  const std::string text = to_prometheus(reg.snapshot());
+  EXPECT_TRUE(contains(text, "# TYPE latency_us histogram\n"));
+  EXPECT_TRUE(contains(text, "latency_us_bucket{le=\"10\"} 1\n"));
+  EXPECT_TRUE(contains(text, "latency_us_bucket{le=\"20\"} 3\n"));
+  EXPECT_TRUE(contains(text, "latency_us_bucket{le=\"+Inf\"} 4\n"));
+  EXPECT_TRUE(contains(text, "latency_us_count 4\n"));
+  EXPECT_TRUE(contains(text, "latency_us_sum 134\n"));
+}
+
+TEST(Exposition, PrometheusHistogramKeepsExistingLabels) {
+  MetricsRegistry reg;
+  reg.histogram("w_us", std::vector<double>{1.0}, {{"shard", "3"}}).observe(0.5);
+  const std::string text = to_prometheus(reg.snapshot());
+  EXPECT_TRUE(contains(text, "w_us_bucket{shard=\"3\",le=\"1\"} 1\n"));
+  EXPECT_TRUE(contains(text, "w_us_count{shard=\"3\"} 1\n"));
+}
+
+TEST(Exposition, EscapesHelpAndLabelValues) {
+  MetricsRegistry reg;
+  reg.counter("odd_total", {{"path", "a\\b\"c\nd"}}, "line1\nline2\\end").inc();
+  const std::string text = to_prometheus(reg.snapshot());
+  EXPECT_TRUE(contains(text, "# HELP odd_total line1\\nline2\\\\end\n"));
+  EXPECT_TRUE(contains(text, "odd_total{path=\"a\\\\b\\\"c\\nd\"} 1\n"));
+}
+
+TEST(Exposition, IntegersRenderWithoutExponent) {
+  MetricsRegistry reg;
+  reg.counter("big_total").inc(1234567890);
+  const std::string text = to_prometheus(reg.snapshot());
+  EXPECT_TRUE(contains(text, "big_total 1234567890\n"));
+}
+
+TEST(Exposition, JsonLinesOnePerSample) {
+  MetricsRegistry reg;
+  reg.counter("a_total", {{"k", "v"}}, "help").inc(3);
+  reg.gauge("b").set(1.5);
+  const std::string json = to_json_lines(reg.snapshot());
+  EXPECT_TRUE(contains(
+      json, "{\"name\":\"a_total\",\"type\":\"counter\",\"labels\":{\"k\":\"v\"},"
+            "\"value\":3}\n"));
+  EXPECT_TRUE(contains(json, "{\"name\":\"b\",\"type\":\"gauge\",\"value\":1.5}\n"));
+  // Exactly one newline-terminated object per sample.
+  std::size_t lines = 0;
+  for (char ch : json)
+    if (ch == '\n') ++lines;
+  EXPECT_EQ(lines, 2u);
+}
+
+TEST(Exposition, JsonHistogramBucketsCumulative) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("h_us", std::vector<double>{10.0, 20.0});
+  h.observe(5.0);
+  h.observe(15.0);
+  const std::string json = to_json_lines(reg.snapshot());
+  EXPECT_TRUE(contains(json, "\"type\":\"histogram\""));
+  EXPECT_TRUE(contains(json, "{\"le\":10,\"count\":1}"));
+  EXPECT_TRUE(contains(json, "{\"le\":20,\"count\":2}"));
+  EXPECT_TRUE(contains(json, "{\"le\":\"+Inf\",\"count\":2}"));
+  EXPECT_TRUE(contains(json, "\"sum\":20,\"count\":2"));
+}
+
+TEST(Exposition, JsonEscapesStrings) {
+  MetricsRegistry reg;
+  reg.counter("e_total", {{"k", "a\"b\\c\nd"}}).inc();
+  const std::string json = to_json_lines(reg.snapshot());
+  EXPECT_TRUE(contains(json, "\"k\":\"a\\\"b\\\\c\\nd\""));
+}
+
+TEST(Exposition, DeterministicAcrossInterleavedInterning) {
+  // Whatever order metrics were interned in, exposition is sorted.
+  MetricsRegistry a;
+  a.counter("x_total").inc();
+  a.gauge("m").set(2.0);
+  MetricsRegistry b;
+  b.gauge("m").set(2.0);
+  b.counter("x_total").inc();
+  EXPECT_EQ(to_prometheus(a.snapshot()), to_prometheus(b.snapshot()));
+  EXPECT_EQ(to_json_lines(a.snapshot()), to_json_lines(b.snapshot()));
+}
+
+TEST(Exposition, ToJsonSingleSampleMatchesLines) {
+  MetricsRegistry reg;
+  reg.counter("one_total").inc(9);
+  const RegistrySnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.samples.size(), 1u);
+  EXPECT_EQ(to_json(snap.samples[0]) + "\n", to_json_lines(snap));
+}
+
+}  // namespace
+}  // namespace ssdfail::obs

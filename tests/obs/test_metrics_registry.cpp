@@ -1,0 +1,201 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace ssdfail::obs {
+namespace {
+
+TEST(MetricsRegistry, CounterIncrementsAndSums) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("requests_total");
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(MetricsRegistry, InterningIsIdempotent) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("hits_total", {{"shard", "0"}});
+  Counter& b = reg.counter("hits_total", {{"shard", "0"}});
+  Counter& other = reg.counter("hits_total", {{"shard", "1"}});
+  EXPECT_EQ(&a, &b);
+  EXPECT_NE(&a, &other);
+  a.inc();
+  EXPECT_EQ(b.value(), 1u);
+  EXPECT_EQ(other.value(), 0u);
+}
+
+TEST(MetricsRegistry, LabelOrderDoesNotSplitChildren) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("x_total", {{"b", "2"}, {"a", "1"}});
+  Counter& b = reg.counter("x_total", {{"a", "1"}, {"b", "2"}});
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(MetricsRegistry, TypeMismatchThrows) {
+  MetricsRegistry reg;
+  (void)reg.counter("volume_total");
+  EXPECT_THROW((void)reg.gauge("volume_total"), std::invalid_argument);
+  const std::vector<double> bounds{1.0, 2.0};
+  EXPECT_THROW((void)reg.histogram("volume_total", bounds), std::invalid_argument);
+}
+
+TEST(MetricsRegistry, HistogramBucketLayoutMismatchThrows) {
+  MetricsRegistry reg;
+  const std::vector<double> bounds{1.0, 2.0};
+  (void)reg.histogram("latency_us", bounds);
+  const std::vector<double> other{1.0, 3.0};
+  EXPECT_THROW((void)reg.histogram("latency_us", other), std::invalid_argument);
+  EXPECT_NO_THROW((void)reg.histogram("latency_us", bounds, {{"shard", "1"}}));
+}
+
+TEST(MetricsRegistry, GaugeSetAndAdd) {
+  MetricsRegistry reg;
+  Gauge& g = reg.gauge("depth");
+  g.set(5.0);
+  g.add(-2.0);
+  EXPECT_DOUBLE_EQ(g.value(), 3.0);
+}
+
+TEST(MetricsRegistry, HistogramBucketsAndInfOverflow) {
+  MetricsRegistry reg;
+  const std::vector<double> bounds{10.0, 20.0, 30.0};
+  Histogram& h = reg.histogram("size_bytes", bounds);
+  ASSERT_EQ(h.bucket_count(), 4u);  // 3 finite + implicit +Inf
+  h.observe(10.0);  // le semantics: 10 <= bound 10 lands in bucket 0
+  h.observe(15.0);  // first bound >= 15 is 20: bucket 1
+  h.observe(1e9);   // overflow -> +Inf bucket
+  h.observe(25.0, 3);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(2), 3u);
+  EXPECT_EQ(h.bucket(3), 1u);
+  EXPECT_EQ(h.total_count(), 6u);
+  EXPECT_DOUBLE_EQ(h.sum(), 10.0 + 15.0 + 1e9 + 3 * 25.0);
+  EXPECT_DOUBLE_EQ(h.upper_bound(2), 30.0);
+  EXPECT_TRUE(std::isinf(h.upper_bound(3)));
+}
+
+TEST(MetricsRegistry, SnapshotIsDeterministicallyOrdered) {
+  MetricsRegistry reg;
+  reg.counter("zeta_total").inc(3);
+  reg.counter("alpha_total", {{"shard", "1"}}).inc();
+  reg.counter("alpha_total", {{"shard", "0"}}).inc(2);
+  const RegistrySnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.samples.size(), 3u);
+  EXPECT_EQ(snap.samples[0].key(), "alpha_total{shard=\"0\"}");
+  EXPECT_EQ(snap.samples[1].key(), "alpha_total{shard=\"1\"}");
+  EXPECT_EQ(snap.samples[2].key(), "zeta_total");
+  EXPECT_DOUBLE_EQ(snap.samples[2].value, 3.0);
+  const Sample* found = snap.find("alpha_total", {{"shard", "1"}});
+  ASSERT_NE(found, nullptr);
+  EXPECT_DOUBLE_EQ(found->value, 1.0);
+  EXPECT_EQ(snap.find("missing_total"), nullptr);
+}
+
+TEST(MetricsRegistry, MetricCountCountsChildren) {
+  MetricsRegistry reg;
+  EXPECT_EQ(reg.metric_count(), 0u);
+  (void)reg.counter("a_total");
+  (void)reg.counter("a_total", {{"k", "v"}});
+  (void)reg.gauge("b");
+  EXPECT_EQ(reg.metric_count(), 3u);
+}
+
+TEST(MetricsRegistry, DisabledGateStopsWrites) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("gated_total");
+  Gauge& g = reg.gauge("gated");
+  const std::vector<double> bounds{1.0};
+  Histogram& h = reg.histogram("gated_us", bounds);
+  c.inc();
+  set_enabled(false);
+  c.inc(100);
+  g.set(9.0);
+  h.observe(0.5);
+  set_enabled(true);
+  EXPECT_EQ(c.value(), 1u);  // reads still work, writes were dropped
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  EXPECT_EQ(h.total_count(), 0u);
+  c.inc();
+  EXPECT_EQ(c.value(), 2u);
+}
+
+TEST(MetricsRegistry, ValidMetricNames) {
+  EXPECT_TRUE(valid_metric_name("monitor_records_scored_total"));
+  EXPECT_TRUE(valid_metric_name("_private"));
+  EXPECT_FALSE(valid_metric_name(""));
+  EXPECT_FALSE(valid_metric_name("9starts_with_digit"));
+  EXPECT_FALSE(valid_metric_name("has-dash"));
+  EXPECT_FALSE(valid_metric_name("has space"));
+}
+
+TEST(MetricsRegistry, EqualWidthBoundsLayout) {
+  const std::vector<double> bounds = equal_width_bounds(0.0, 2000.0, 40);
+  ASSERT_EQ(bounds.size(), 40u);
+  EXPECT_DOUBLE_EQ(bounds.front(), 50.0);
+  EXPECT_DOUBLE_EQ(bounds.back(), 2000.0);
+  for (std::size_t i = 1; i < bounds.size(); ++i) EXPECT_LT(bounds[i - 1], bounds[i]);
+}
+
+// The concurrency contract: increments from many threads are never lost.
+// Striped relaxed atomics must still produce the exact total.
+TEST(MetricsRegistry, ConcurrentCounterIncrementsAreExact) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("contended_total");
+  Histogram& h =
+      reg.histogram("contended_us", std::vector<double>{10.0, 100.0, 1000.0});
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 50000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&c, &h, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        c.inc();
+        h.observe(static_cast<double>((i + static_cast<std::uint64_t>(t)) % 2000));
+      }
+    });
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+  EXPECT_EQ(h.total_count(), kThreads * kPerThread);
+}
+
+// Snapshots taken while writers run must be internally plausible (no
+// torn families, counts monotone across repeated snapshots).
+TEST(MetricsRegistry, SnapshotWhileWritingIsMonotone) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("racing_total");
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    c.inc();  // at least one increment even if stop wins the race
+    while (!stop.load(std::memory_order_relaxed)) c.inc();
+  });
+  double last = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    const RegistrySnapshot snap = reg.snapshot();
+    const Sample* s = snap.find("racing_total");
+    ASSERT_NE(s, nullptr);
+    EXPECT_GE(s->value, last);
+    last = s->value;
+  }
+  stop.store(true);
+  writer.join();
+  // The loop above may finish before the writer is ever scheduled (single
+  // core); after join() its increments are guaranteed visible.
+  const RegistrySnapshot final_snap = reg.snapshot();
+  const Sample* final_sample = final_snap.find("racing_total");
+  ASSERT_NE(final_sample, nullptr);
+  EXPECT_GE(final_sample->value, last);
+  EXPECT_GT(final_sample->value, 0.0);
+}
+
+}  // namespace
+}  // namespace ssdfail::obs

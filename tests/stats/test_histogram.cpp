@@ -55,6 +55,56 @@ TEST(Histogram, RejectsBadConstruction) {
   EXPECT_THROW(Histogram(5.0, 1.0, 3), std::invalid_argument);
 }
 
+TEST(Histogram, QuantileOfEmptyHistogramIsZero) {
+  const Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 0.0);
+}
+
+TEST(Histogram, QuantileZeroSkipsLeadingEmptyBins) {
+  // Regression: q = 0 must land on the first *occupied* bin's upper edge,
+  // not on bin 0 (target mass 0 is trivially reached by an empty prefix).
+  Histogram h(0.0, 10.0, 5);
+  h.add(7.0);  // bin 3: [6, 8)
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 8.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 8.0);
+}
+
+TEST(Histogram, QuantileCrossesCumulativeMass) {
+  Histogram h(0.0, 10.0, 5);
+  for (double x : {1.0, 3.0, 5.0, 7.0, 9.0}) h.add(x);  // one per bin
+  EXPECT_DOUBLE_EQ(h.quantile(0.2), 2.0);   // target 1.0, reached at bin 0
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 6.0);   // target 2.5, crossed in bin 2
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 10.0);  // full mass -> last occupied bin
+}
+
+TEST(Histogram, QuantileClampsQOutsideUnitInterval) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(3.0);
+  EXPECT_DOUBLE_EQ(h.quantile(-2.0), h.quantile(0.0));
+  EXPECT_DOUBLE_EQ(h.quantile(7.0), h.quantile(1.0));
+}
+
+TEST(Histogram, QuantileOfOverflowedValuesStaysInRange) {
+  // Regression: add() clamps out-of-range observations to the edge bins,
+  // so no quantile may exceed hi (or undercut lo).
+  Histogram h(0.0, 10.0, 5);
+  h.add(1e12);
+  h.add(-1e12);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 2.0);   // underflow clamped into bin 0
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 10.0);  // overflow clamped into top bin
+  EXPECT_LE(h.quantile(0.999), 10.0);
+}
+
+TEST(Histogram, QuantileRespectsWeights) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(1.0, 9.0);
+  h.add(9.0, 1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 2.0);  // 90% of mass sits in bin 0
+  EXPECT_DOUBLE_EQ(h.quantile(0.95), 10.0);
+}
+
 TEST(BinnedRate, RateIsEventsOverExposure) {
   BinnedRate r(0.0, 10.0, 2);
   r.add_exposure(1.0, 100.0);
