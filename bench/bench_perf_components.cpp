@@ -4,9 +4,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <filesystem>
+#include <fstream>
 #include <memory>
 
 #include "bench_metrics.hpp"
+#include "trace/binary_io.hpp"
 #include "core/characterization.hpp"
 #include "core/dataset_builder.hpp"
 #include "core/failure_timeline.hpp"
@@ -58,6 +62,45 @@ void BM_SimulateDrive(benchmark::State& state) {
   obs_delta.export_into(state, "sim_");
 }
 BENCHMARK(BM_SimulateDrive);
+
+/// v1 reader throughput from a real file.  Guards the buffered block
+/// reader: the old per-field `stream.read` implementation was two orders
+/// of magnitude below the floor asserted here, so reintroducing it fails
+/// the bench instead of silently shipping a slow reader.
+void BM_BinaryReadV1(benchmark::State& state) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "ssdfail_bench_components_v1.bin";
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    trace::write_binary(out, small_fleet());
+  }
+  const auto file_bytes = static_cast<std::uint64_t>(std::filesystem::file_size(path));
+  const std::uint64_t expect_records = small_fleet().total_records();
+  std::uint64_t bytes = 0;
+  std::chrono::steady_clock::duration spent{0};
+  for (auto _ : state) {
+    const auto start = std::chrono::steady_clock::now();
+    std::ifstream in(path, std::ios::binary);
+    const trace::FleetTrace fleet = trace::read_binary(in);
+    spent += std::chrono::steady_clock::now() - start;
+    benchmark::DoNotOptimize(fleet.drives.data());
+    if (fleet.total_records() != expect_records) {
+      state.SkipWithError("v1 round trip lost records");
+      return;
+    }
+    bytes += file_bytes;
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+  // Conservative floor (the buffered reader sustains >1 GB/s locally;
+  // shared CI runners get a wide margin).  A per-field-syscall regression
+  // lands well under this.
+  constexpr double kMinBytesPerSecond = 32.0 * 1024 * 1024;
+  const double secs = std::chrono::duration<double>(spent).count();
+  if (secs > 0.0 && static_cast<double>(bytes) / secs < kMinBytesPerSecond) {
+    state.SkipWithError("v1 read throughput below 32 MiB/s floor");
+  }
+}
+BENCHMARK(BM_BinaryReadV1);
 
 void BM_DeriveTimeline(benchmark::State& state) {
   const auto& fleet = small_fleet();

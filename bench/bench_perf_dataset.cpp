@@ -1,0 +1,314 @@
+// Dataset-build throughput: columnar (SSDF2, mmap, zero-copy) vs row (v1).
+//
+// Both pipelines are measured end-to-end from serialized bytes on disk to
+// a finished ml::Dataset:
+//
+//   columnar:  ColumnarFleetView::open (mmap)
+//                -> chunk-parallel build_dataset (fused zero-copy walk)
+//   row v1:    read_binary (materialize the whole FleetTrace on the heap)
+//                -> sequential build_dataset
+//
+// Fairness: the v1 row path performs ZERO integrity checking, so the
+// headline columnar bench opens with verify_crc=false to compare equal
+// work.  The cost of full CRC verification is pinned separately, twice:
+// BM_DatasetBuildColumnarVerified (end-to-end with verification, the
+// recommended production configuration) and BM_StageOpenColumnar/1 (the
+// verify-only delta).
+//
+// Arg on the columnar bench = chunk_drives, sweeping around the store
+// default (store::kDefaultChunkDrives = 256).  The end-to-end benches are
+// registered FIRST (registration order is run order) so their RssAnon
+// counters are not polluted by heap high-water marks left by the stage
+// benches that materialize the whole fleet.
+//
+// Reported counters (JSON digest):
+//   drive_days/s          ingest throughput (records consumed per second)
+//   rows                  dataset rows produced per iteration
+//   transient_heap_bytes  analytic working-set bound for fleet bytes:
+//                         whole-fleet materialization (row) vs one
+//                         gather scratch per chunk worker (columnar)
+//   rss_anon_peak_bytes   max RssAnon observed after a build (Linux);
+//                         file-backed mmap pages are excluded, which is
+//                         exactly the columnar store's memory story
+//   store_* counters      CRC/chunk/mmap telemetry via RegistryDelta
+//
+// Correctness is asserted in-harness: every configuration's dataset must
+// produce the same column-sum digest (SkipWithError otherwise), so a
+// speedup can never come from silently building a different dataset.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_metrics.hpp"
+#include "core/dataset_builder.hpp"
+#include "sim/fleet_simulator.hpp"
+#include "store/columnar.hpp"
+#include "trace/binary_io.hpp"
+
+namespace {
+
+using namespace ssdfail;
+
+constexpr std::uint32_t kDrivesPerModel = 120;
+constexpr std::uint64_t kFleetSeed = 8086;
+
+core::DatasetBuildOptions build_options() {
+  core::DatasetBuildOptions opts;
+  opts.lookahead_days = 7;
+  opts.negative_keep_prob = 0.05;
+  return opts;
+}
+
+/// One-time fixture: simulate the fleet, serialize both formats to temp
+/// files, and capture the shape numbers the analytic counters need.  The
+/// FleetTrace itself is dropped before any measurement loop runs.
+struct Files {
+  std::string v1_path;
+  std::string v2_dir;  // one file per chunk size, written on demand
+  std::uint64_t total_records = 0;
+  std::uint64_t max_drive_records = 0;
+  std::size_t n_drives = 0;
+};
+
+const Files& files() {
+  static const Files f = [] {
+    sim::FleetConfig cfg;
+    cfg.drives_per_model = kDrivesPerModel;
+    cfg.seed = kFleetSeed;
+    cfg.keep_ground_truth = false;
+    const trace::FleetTrace fleet = sim::FleetSimulator(cfg).generate_all();
+
+    Files out;
+    const auto dir = std::filesystem::temp_directory_path() / "ssdfail_bench_dataset";
+    std::filesystem::create_directories(dir);
+    out.v1_path = (dir / "fleet_v1.bin").string();
+    out.v2_dir = dir.string();
+    {
+      std::ofstream v1(out.v1_path, std::ios::binary | std::ios::trunc);
+      trace::write_binary(v1, fleet);
+    }
+    for (const std::uint32_t chunk : {16u, 64u, store::kDefaultChunkDrives, 1024u}) {
+      std::ofstream v2(dir / ("fleet_v2_" + std::to_string(chunk) + ".bin"),
+                       std::ios::binary | std::ios::trunc);
+      trace::write_binary_v2(v2, fleet, chunk);
+    }
+    out.total_records = fleet.total_records();
+    out.n_drives = fleet.drives.size();
+    for (const auto& d : fleet.drives)
+      out.max_drive_records = std::max<std::uint64_t>(out.max_drive_records,
+                                                      d.records.size());
+    return out;
+  }();
+  return f;
+}
+
+std::string v2_path(std::uint32_t chunk) {
+  return files().v2_dir + "/fleet_v2_" + std::to_string(chunk) + ".bin";
+}
+
+/// Column-sum digest in fixed row order: bit-identical builds agree
+/// exactly, so this is the cross-configuration correctness oracle.
+std::vector<double> digest(const ml::Dataset& data) {
+  std::vector<double> sums(data.x.cols() + 2, 0.0);
+  sums[0] = static_cast<double>(data.size());
+  sums[1] = static_cast<double>(data.positives());
+  for (std::size_t r = 0; r < data.x.rows(); ++r)
+    for (std::size_t c = 0; c < data.x.cols(); ++c)
+      sums[2 + c] += data.x(r, c);
+  return sums;
+}
+
+/// The digest every configuration must reproduce.  Seeded by the first
+/// bench to finish a build (columnar, by registration order); every later
+/// configuration — including the row path — is checked against it.
+std::vector<double>& reference_digest() {
+  static std::vector<double> ref;
+  return ref;
+}
+
+bool check_digest(benchmark::State& state, const ml::Dataset& data) {
+  const std::vector<double> d = digest(data);
+  if (reference_digest().empty()) {
+    reference_digest() = d;
+    return true;
+  }
+  if (d != reference_digest()) {
+    state.SkipWithError("dataset digest mismatch: this configuration built "
+                        "different data than the reference build");
+    return false;
+  }
+  return true;
+}
+
+/// RssAnon from /proc/self/status in bytes (0 where unsupported).
+/// Anonymous RSS deliberately excludes file-backed mmap pages — the
+/// columnar store's fleet bytes live there, the row path's do not.
+std::uint64_t rss_anon_bytes() {
+#if defined(__linux__)
+  std::ifstream status("/proc/self/status");
+  std::string key;
+  while (status >> key) {
+    if (key == "RssAnon:") {
+      std::uint64_t kb = 0;
+      status >> kb;
+      return kb * 1024;
+    }
+    status.ignore(std::numeric_limits<std::streamsize>::max(), '\n');
+  }
+#endif
+  return 0;
+}
+
+void export_common(benchmark::State& state, std::uint64_t records,
+                   std::uint64_t transient_heap_bytes, std::uint64_t rss_peak,
+                   std::size_t rows) {
+  state.SetItemsProcessed(static_cast<std::int64_t>(records));
+  state.counters["drive_days/s"] =
+      benchmark::Counter(static_cast<double>(records), benchmark::Counter::kIsRate);
+  state.counters["rows"] = benchmark::Counter(
+      static_cast<double>(rows));
+  state.counters["transient_heap_bytes"] =
+      benchmark::Counter(static_cast<double>(transient_heap_bytes));
+  state.counters["rss_anon_peak_bytes"] =
+      benchmark::Counter(static_cast<double>(rss_peak));
+}
+
+// --- End-to-end: bytes on disk -> finished dataset. -----------------------
+
+void run_columnar_build(benchmark::State& state, std::uint32_t chunk,
+                        bool verify_crc) {
+  const std::string path = v2_path(chunk);
+  const core::DatasetBuildOptions opts = build_options();
+  std::uint64_t records = 0;
+  std::uint64_t rss_peak = 0;
+  std::size_t rows = 0;
+  const bench::RegistryDelta obs_delta;
+  for (auto _ : state) {
+    store::OpenOptions open_opts;
+    open_opts.verify_crc = verify_crc;
+    const auto view = store::ColumnarFleetView::open(path, open_opts);
+    const ml::Dataset data = core::build_dataset(view, opts);
+    benchmark::DoNotOptimize(data.y.data());
+    rss_peak = std::max(rss_peak, rss_anon_bytes());
+    records += view.total_records();
+    rows = data.size();
+    if (!check_digest(state, data)) return;
+  }
+  // Fleet bytes never hit the heap: the per-worker transient is one
+  // drive's gather scratch (sizeof(DailyRecord) is the dominant term).
+  const std::uint64_t transient =
+      files().max_drive_records * sizeof(trace::DailyRecord);
+  export_common(state, records, transient, rss_peak, rows);
+  obs_delta.export_into(state, "store_");
+}
+
+/// Headline: integrity checking off to match the v1 row path, which has
+/// none (see the file header for where the verified cost is pinned).
+void BM_DatasetBuildColumnar(benchmark::State& state) {
+  run_columnar_build(state, static_cast<std::uint32_t>(state.range(0)),
+                     /*verify_crc=*/false);
+}
+BENCHMARK(BM_DatasetBuildColumnar)
+    ->Arg(16)
+    ->Arg(64)
+    ->Arg(store::kDefaultChunkDrives)
+    ->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+
+/// Production configuration: every chunk CRC + the footer CRC verified at
+/// open, before any column is trusted.
+void BM_DatasetBuildColumnarVerified(benchmark::State& state) {
+  run_columnar_build(state, store::kDefaultChunkDrives, /*verify_crc=*/true);
+}
+BENCHMARK(BM_DatasetBuildColumnarVerified)->Unit(benchmark::kMillisecond);
+
+void BM_DatasetBuildRowV1(benchmark::State& state) {
+  const core::DatasetBuildOptions opts = build_options();
+  std::uint64_t records = 0;
+  std::uint64_t rss_peak = 0;
+  std::size_t rows = 0;
+  for (auto _ : state) {
+    std::ifstream in(files().v1_path, std::ios::binary);
+    const trace::FleetTrace fleet = trace::read_binary(in);
+    const ml::Dataset data = core::build_dataset(fleet, opts);
+    benchmark::DoNotOptimize(data.y.data());
+    rss_peak = std::max(rss_peak, rss_anon_bytes());
+    records += fleet.total_records();
+    rows = data.size();
+    if (!check_digest(state, data)) return;
+  }
+  // The row path materializes every record on the heap before building.
+  const std::uint64_t transient =
+      files().total_records * sizeof(trace::DailyRecord);
+  export_common(state, records, transient, rss_peak, rows);
+}
+BENCHMARK(BM_DatasetBuildRowV1)->Unit(benchmark::kMillisecond);
+
+// --- Stage decomposition: where the end-to-end time goes. -----------------
+// Registered after the end-to-end benches: BM_StageReadRowV1 and
+// BM_StageBuildFromMaterialized hold a whole materialized fleet, which
+// would inflate every later bench's RssAnon reading.
+
+void BM_StageOpenColumnar(benchmark::State& state) {
+  const std::string path = v2_path(store::kDefaultChunkDrives);
+  const bool verify = state.range(0) != 0;
+  std::uint64_t records = 0;
+  for (auto _ : state) {
+    store::OpenOptions o;
+    o.verify_crc = verify;
+    const auto view = store::ColumnarFleetView::open(path, o);
+    benchmark::DoNotOptimize(view.total_records());
+    records += view.total_records();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(records));
+}
+BENCHMARK(BM_StageOpenColumnar)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_StageReadRowV1(benchmark::State& state) {
+  std::uint64_t records = 0;
+  for (auto _ : state) {
+    std::ifstream in(files().v1_path, std::ios::binary);
+    const trace::FleetTrace fleet = trace::read_binary(in);
+    benchmark::DoNotOptimize(fleet.drives.data());
+    records += fleet.total_records();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(records));
+}
+BENCHMARK(BM_StageReadRowV1)->Unit(benchmark::kMillisecond);
+
+void BM_StageBuildFromMaterialized(benchmark::State& state) {
+  std::ifstream in(files().v1_path, std::ios::binary);
+  const trace::FleetTrace fleet = trace::read_binary(in);
+  const core::DatasetBuildOptions opts = build_options();
+  std::uint64_t records = 0;
+  for (auto _ : state) {
+    const ml::Dataset data = core::build_dataset(fleet, opts);
+    benchmark::DoNotOptimize(data.y.data());
+    records += fleet.total_records();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(records));
+}
+BENCHMARK(BM_StageBuildFromMaterialized)->Unit(benchmark::kMillisecond);
+
+void BM_StageBuildFromOpenView(benchmark::State& state) {
+  const auto view = store::ColumnarFleetView::open(v2_path(store::kDefaultChunkDrives));
+  const core::DatasetBuildOptions opts = build_options();
+  std::uint64_t records = 0;
+  for (auto _ : state) {
+    const ml::Dataset data = core::build_dataset(view, opts);
+    benchmark::DoNotOptimize(data.y.data());
+    records += view.total_records();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(records));
+}
+BENCHMARK(BM_StageBuildFromOpenView)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+SSDFAIL_BENCH_MAIN();

@@ -6,36 +6,76 @@
 #include <utility>
 
 #include "core/failure_timeline.hpp"
+#include "obs/trace_span.hpp"
+#include "parallel/thread_pool.hpp"
 #include "stats/rng.hpp"
+#include "store/columnar.hpp"
 
 namespace ssdfail::core {
 namespace {
 
+/// Uniform drive access for the walk, so one walk implementation serves
+/// both backings:
+///   RowSource    — a materialized trace::DriveHistory (v1 / in-memory)
+///   ColumnSource — a store::ChunkView drive slice, read straight from the
+///                  mapped columns with no per-drive materialization
+/// Both expose identical VALUES for every accessor, which is what makes
+/// the two build paths bit-identical (same records -> same arithmetic).
+struct RowSource {
+  const trace::DriveHistory& d;
+  [[nodiscard]] std::uint64_t uid() const { return d.uid(); }
+  [[nodiscard]] std::int32_t deploy_day() const { return d.deploy_day; }
+  [[nodiscard]] std::size_t size() const { return d.records.size(); }
+  [[nodiscard]] const trace::DailyRecord& record(std::size_t i) const { return d.records[i]; }
+  [[nodiscard]] std::int32_t day(std::size_t i) const { return d.records[i].day; }
+  [[nodiscard]] std::uint32_t error(std::size_t i, trace::ErrorType type) const {
+    return d.records[i].error(type);
+  }
+  [[nodiscard]] std::uint32_t bad_blocks(std::size_t i) const { return d.records[i].bad_blocks; }
+};
+
+struct ColumnSource {
+  const store::ChunkView& chunk;
+  const store::DriveRef& ref;
+  [[nodiscard]] std::uint64_t uid() const { return ref.uid(); }
+  [[nodiscard]] std::int32_t deploy_day() const { return ref.deploy_day; }
+  [[nodiscard]] std::size_t size() const { return ref.row_count; }
+  [[nodiscard]] trace::DailyRecord record(std::size_t i) const {
+    return chunk.record(ref.row_begin + i);
+  }
+  [[nodiscard]] std::int32_t day(std::size_t i) const { return chunk.day[ref.row_begin + i]; }
+  [[nodiscard]] std::uint32_t error(std::size_t i, trace::ErrorType type) const {
+    return chunk.errors[static_cast<std::size_t>(type)][ref.row_begin + i];
+  }
+  [[nodiscard]] std::uint32_t bad_blocks(std::size_t i) const {
+    return chunk.bad_blocks[ref.row_begin + i];
+  }
+};
+
 /// Per-record "days until next occurrence of error type e" (exclusive of
 /// the current day), computed right-to-left; INT32_MAX when none follows.
-std::vector<std::int32_t> days_to_next_error(const trace::DriveHistory& drive,
-                                             trace::ErrorType type) {
-  const auto& records = drive.records;
-  std::vector<std::int32_t> out(records.size(), std::numeric_limits<std::int32_t>::max());
+template <typename Source>
+std::vector<std::int32_t> days_to_next_error(const Source& src, trace::ErrorType type) {
+  std::vector<std::int32_t> out(src.size(), std::numeric_limits<std::int32_t>::max());
   std::int32_t next_day = -1;
-  for (std::size_t i = records.size(); i-- > 0;) {
-    if (next_day >= 0) out[i] = next_day - records[i].day;
-    if (records[i].error(type) > 0) next_day = records[i].day;
+  for (std::size_t i = src.size(); i-- > 0;) {
+    if (next_day >= 0) out[i] = next_day - src.day(i);
+    if (src.error(i, type) > 0) next_day = src.day(i);
   }
   return out;
 }
 
 /// Per-record "days until the cumulative bad-block count next increases"
 /// (exclusive of the current day); INT32_MAX when it never does.
-std::vector<std::int32_t> days_to_next_bad_block(const trace::DriveHistory& drive) {
-  const auto& records = drive.records;
-  std::vector<std::int32_t> out(records.size(), std::numeric_limits<std::int32_t>::max());
+template <typename Source>
+std::vector<std::int32_t> days_to_next_bad_block(const Source& src) {
+  std::vector<std::int32_t> out(src.size(), std::numeric_limits<std::int32_t>::max());
   std::int32_t next_day = -1;
-  for (std::size_t i = records.size(); i-- > 0;) {
-    if (next_day >= 0) out[i] = next_day - records[i].day;
-    const bool grew = i > 0 ? records[i].bad_blocks > records[i - 1].bad_blocks
-                            : records[i].bad_blocks > 0;
-    if (grew) next_day = records[i].day;
+  for (std::size_t i = src.size(); i-- > 0;) {
+    if (next_day >= 0) out[i] = next_day - src.day(i);
+    const bool grew = i > 0 ? src.bad_blocks(i) > src.bad_blocks(i - 1)
+                            : src.bad_blocks(i) > 0;
+    if (grew) next_day = src.day(i);
   }
   return out;
 }
@@ -49,6 +89,15 @@ std::vector<std::string> option_feature_names(const DatasetBuildOptions& options
     names.insert(names.end(), extra.begin(), extra.end());
   }
   return names;
+}
+
+/// Final shape-up shared by every build path: fill in the schema when no
+/// drive contributed one, and give a rowless matrix the schema's column
+/// count so an empty fleet still yields a dataset that validates.
+void finalize_dataset(ml::Dataset& out, const DatasetBuildOptions& options) {
+  if (out.feature_names.empty()) out.feature_names = option_feature_names(options);
+  if (out.x.rows() == 0) out.x = ml::Matrix(0, out.feature_names.size());
+  out.validate();
 }
 
 /// The single per-drive walk behind append_drive AND SweepDatasetCache:
@@ -67,31 +116,38 @@ std::vector<std::string> option_feature_names(const DatasetBuildOptions& options
 /// uniform draw in [0, 1); build keeps the row for keep probability p iff
 /// p >= 1 or u < p — exactly the bernoulli(p) decision the pre-cache
 /// builder made, so cached and direct builds agree bit-for-bit.
-template <typename Sink>
-void walk_drive(const trace::DriveHistory& drive, const DatasetBuildOptions& options,
-                Sink&& sink) {
-  if (options.model_filter && *options.model_filter != drive.model) return;
+template <typename Source, typename Sink>
+void walk_source(const Source& src, const trace::DriveHistory& extract_drive,
+                 const DriveTimeline& timeline, const DatasetBuildOptions& options,
+                 Sink&& sink) {
   if (options.error_label && options.bad_block_label)
     throw std::invalid_argument(
         "DatasetBuildOptions: error_label and bad_block_label are exclusive");
 
-  const DriveTimeline timeline = derive_timeline(drive);
   std::vector<std::int32_t> error_dtf;
-  if (options.error_label) error_dtf = days_to_next_error(drive, *options.error_label);
-  if (options.bad_block_label) error_dtf = days_to_next_bad_block(drive);
+  if (options.error_label) error_dtf = days_to_next_error(src, *options.error_label);
+  if (options.bad_block_label) error_dtf = days_to_next_bad_block(src);
 
   FeatureExtractor::State state;
   RollingWindow rolling;
   const std::size_t base_count = FeatureExtractor::count();
   std::vector<float> row(base_count +
                          (options.rolling_features ? RollingWindow::count() : 0));
-  for (std::size_t i = 0; i < drive.records.size(); ++i) {
-    const trace::DailyRecord& rec = drive.records[i];
+  // Drive-constant RNG prefix: the per-row stream is keyed
+  // {seed, uid, day}; folding the first two keys once per drive replays
+  // hash_keys({seed, uid, day}) exactly (see stats::hash_fold).
+  const std::uint64_t rng_prefix =
+      stats::hash_fold(stats::hash_fold(stats::kHashKeysInit, options.seed), src.uid());
+  const std::size_t n = src.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    // Binds a reference for RowSource and lifetime-extends the by-value
+    // record a ColumnSource assembles from the mapped columns.
+    const trace::DailyRecord& rec = src.record(i);
     FeatureExtractor::advance(state, rec);
     if (options.rolling_features) rolling.advance(rec, state.new_bad_blocks_today);
     if (in_failed_state(timeline, rec.day)) continue;
 
-    const std::int32_t age = rec.day - drive.deploy_day;
+    const std::int32_t age = rec.day - src.deploy_day();
     if (options.age_filter == DatasetBuildOptions::AgeFilter::kYoungOnly &&
         age > kInfantAgeDays)
       continue;
@@ -109,11 +165,11 @@ void walk_drive(const trace::DriveHistory& drive, const DatasetBuildOptions& opt
                                  ? error_dtf[i]
                                  : days_to_next_failure(timeline, rec.day);
 
-    stats::Rng row_rng({options.seed, drive.uid(), static_cast<std::uint64_t>(rec.day)});
+    stats::Rng row_rng(stats::hash_fold(rng_prefix, static_cast<std::uint64_t>(rec.day)));
     const double u = row_rng.uniform();
 
     const auto get_row = [&]() -> std::span<const float> {
-      FeatureExtractor::extract(drive, rec, state,
+      FeatureExtractor::extract(extract_drive, rec, state,
                                 std::span<float>(row).first(base_count));
       if (options.rolling_features)
         rolling.extract(std::span<float>(row).subspan(base_count));
@@ -123,9 +179,55 @@ void walk_drive(const trace::DriveHistory& drive, const DatasetBuildOptions& opt
   }
 }
 
+template <typename Sink>
+void walk_drive(const trace::DriveHistory& drive, const DatasetBuildOptions& options,
+                Sink&& sink) {
+  if (options.model_filter && *options.model_filter != drive.model) return;
+  const DriveTimeline timeline = derive_timeline(drive);
+  walk_source(RowSource{drive}, drive, timeline, options, std::forward<Sink>(sink));
+}
+
 /// bernoulli(keep_prob) decision replayed from the row's stored draw.
 bool keeps_row(double keep_prob, double u) noexcept {
   return keep_prob >= 1.0 || u < keep_prob;
+}
+
+/// The sink shared by append_drive and the columnar fused walk: label,
+/// replay the keep decision, and push the surviving row.
+auto dataset_sink(ml::Dataset& out, std::uint64_t uid, const DatasetBuildOptions& options) {
+  return [&out, uid, &options](std::int32_t dtf, double u, auto&& get_row) {
+    const bool positive = dtf <= options.lookahead_days;
+    const double keep_prob =
+        positive ? options.positive_keep_prob : options.negative_keep_prob;
+    if (!keeps_row(keep_prob, u)) return;
+    out.x.push_row(get_row());
+    out.y.push_back(positive ? 1.0f : 0.0f);
+    out.groups.push_back(uid);
+  };
+}
+
+/// Fold one column-backed drive into the dataset without materializing it.
+/// Only for drives with NO swaps: their timeline is a single censored
+/// period (exactly what derive_timeline computes in that case), so the
+/// whole walk can run off the mapped columns.  Drives with swaps take the
+/// gather + append_drive path, keeping failure-timeline derivation in one
+/// implementation.
+void append_columnar_drive(ml::Dataset& out, const store::ChunkView& chunk,
+                           const store::DriveRef& ref, const DatasetBuildOptions& options) {
+  if (out.feature_names.empty()) out.feature_names = option_feature_names(options);
+  DriveTimeline timeline;
+  if (ref.row_count > 0)
+    timeline.periods.push_back({chunk.day[ref.row_begin],
+                                chunk.day[ref.row_begin + ref.row_count - 1],
+                                /*ended_in_failure=*/false});
+  // FeatureExtractor::extract reads only identity scalars from the drive
+  // (deploy_day); hand it a recordless shim rather than a gathered copy.
+  trace::DriveHistory shim;
+  shim.model = ref.model;
+  shim.drive_index = ref.drive_index;
+  shim.deploy_day = ref.deploy_day;
+  walk_source(ColumnSource{chunk, ref}, shim, timeline, options,
+              dataset_sink(out, ref.uid(), options));
 }
 
 }  // namespace
@@ -136,15 +238,7 @@ void append_drive(ml::Dataset& out, const trace::DriveHistory& drive,
     throw std::invalid_argument("DatasetBuildOptions: lookahead_days must be >= 1");
   if (out.feature_names.empty()) out.feature_names = option_feature_names(options);
 
-  walk_drive(drive, options, [&](std::int32_t dtf, double u, auto&& get_row) {
-    const bool positive = dtf <= options.lookahead_days;
-    const double keep_prob =
-        positive ? options.positive_keep_prob : options.negative_keep_prob;
-    if (!keeps_row(keep_prob, u)) return;
-    out.x.push_row(get_row());
-    out.y.push_back(positive ? 1.0f : 0.0f);
-    out.groups.push_back(drive.uid());
-  });
+  walk_drive(drive, options, dataset_sink(out, drive.uid(), options));
 }
 
 ml::Dataset build_dataset(const sim::FleetSimulator& fleet,
@@ -160,8 +254,7 @@ ml::Dataset build_dataset(const sim::FleetSimulator& fleet,
         dst.groups.insert(dst.groups.end(), src.groups.begin(), src.groups.end());
         if (dst.feature_names.empty()) dst.feature_names = src.feature_names;
       });
-  if (result.feature_names.empty()) result.feature_names = FeatureExtractor::names();
-  result.validate();
+  finalize_dataset(result, options);
   return result;
 }
 
@@ -169,8 +262,56 @@ ml::Dataset build_dataset(const trace::FleetTrace& fleet,
                           const DatasetBuildOptions& options) {
   ml::Dataset out;
   for (const auto& drive : fleet.drives) append_drive(out, drive, options);
-  if (out.feature_names.empty()) out.feature_names = FeatureExtractor::names();
-  out.validate();
+  finalize_dataset(out, options);
+  return out;
+}
+
+ml::Dataset build_dataset(const store::ColumnarFleetView& fleet,
+                          const DatasetBuildOptions& options) {
+  static const obs::SiteId kSite = obs::intern_site("core.build_dataset_columnar");
+  obs::Span span(kSite);
+  if (options.lookahead_days < 1)
+    throw std::invalid_argument("DatasetBuildOptions: lookahead_days must be >= 1");
+
+  // One partial dataset per chunk, merged in chunk order below; the writer
+  // preserves fleet order across chunks, so the merged row order matches
+  // the sequential row-path build exactly.
+  std::vector<ml::Dataset> partials(fleet.chunk_count());
+  const auto build_chunk = [&fleet, &options, &partials](std::size_t c) {
+    const store::ChunkView& chunk = fleet.chunk(c);
+    trace::DriveHistory scratch;
+    for (const store::DriveRef& ref : chunk.drives) {
+      // Filter pushdown: the drive index answers the model filter without
+      // touching a single column byte.
+      if (options.model_filter && *options.model_filter != ref.model) continue;
+      if (ref.swap_count == 0) {
+        append_columnar_drive(partials[c], chunk, ref, options);
+      } else {
+        chunk.gather_drive(ref, scratch);
+        append_drive(partials[c], scratch, options);
+      }
+    }
+  };
+  // Same sequential degradation as parallel_for: one worker (or one
+  // chunk) means TaskGroup handoff is pure overhead.
+  parallel::ThreadPool& pool = parallel::ThreadPool::current();
+  if (pool.size() <= 1 || fleet.chunk_count() <= 1 || pool.on_worker_thread()) {
+    for (std::size_t c = 0; c < fleet.chunk_count(); ++c) build_chunk(c);
+  } else {
+    parallel::TaskGroup group(pool);
+    for (std::size_t c = 0; c < fleet.chunk_count(); ++c)
+      group.submit([&build_chunk, c] { build_chunk(c); });
+    group.wait();
+  }
+
+  ml::Dataset out;
+  for (const ml::Dataset& partial : partials) {
+    out.x.append_rows(partial.x);
+    out.y.insert(out.y.end(), partial.y.begin(), partial.y.end());
+    out.groups.insert(out.groups.end(), partial.groups.begin(), partial.groups.end());
+    if (out.feature_names.empty()) out.feature_names = partial.feature_names;
+  }
+  finalize_dataset(out, options);
   return out;
 }
 

@@ -19,6 +19,10 @@
 #include "ml/dataset.hpp"
 #include "sim/fleet_simulator.hpp"
 
+namespace ssdfail::store {
+class ColumnarFleetView;
+}
+
 namespace ssdfail::core {
 
 struct DatasetBuildOptions {
@@ -73,6 +77,14 @@ struct DatasetBuildOptions {
 
 /// Build from an in-memory fleet (tests/examples).
 [[nodiscard]] ml::Dataset build_dataset(const trace::FleetTrace& fleet,
+                                        const DatasetBuildOptions& options);
+
+/// Build chunk-parallel from a columnar view (store/columnar.hpp) without
+/// ever materializing the fleet: each worker gathers one drive at a time
+/// from the mapped columns into a per-chunk scratch history.  Bit-identical
+/// to the row-path builds — same rows, same order, same floats (pinned by
+/// tests/core/test_dataset_builder.cpp ColumnarBuildMatchesRowBuild).
+[[nodiscard]] ml::Dataset build_dataset(const store::ColumnarFleetView& fleet,
                                         const DatasetBuildOptions& options);
 
 /// Fold one drive into a dataset under the given options (exposed for

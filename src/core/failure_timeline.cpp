@@ -10,6 +10,15 @@ DriveTimeline derive_timeline(const trace::DriveHistory& drive) {
   const auto& records = drive.records;
   if (records.empty()) return timeline;
 
+  // A drive with no swaps has exactly one censored period and no
+  // failures; skip the cumulative-error pass (it only feeds failure
+  // records).  Most of a healthy fleet takes this path.
+  if (drive.swaps.empty()) {
+    timeline.periods.push_back({records.front().day, records.back().day,
+                                /*ended_in_failure=*/false});
+    return timeline;
+  }
+
   // Running cumulative error state so each failure can capture its
   // cumulative UE count (cheap single pass, index-aligned with records).
   std::vector<std::uint64_t> cum_ue(records.size());

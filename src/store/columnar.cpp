@@ -1,0 +1,546 @@
+#include "store/columnar.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/trace_span.hpp"
+#include "store/crc32.hpp"
+#include "store/mmap_file.hpp"
+#include "trace/io_metrics.hpp"
+
+namespace ssdfail::store {
+namespace {
+
+constexpr char kMagic[4] = {'S', 'S', 'D', 'F'};
+constexpr char kTrailerMagic[8] = {'S', 'S', 'D', 'F', '2', 'F', 'T', 'R'};
+constexpr std::size_t kHeaderBytes = 16;
+constexpr std::size_t kTrailerBytes = 16;
+/// Footer fixed part: 4 u64 totals + footer CRC + reserved u32.
+constexpr std::size_t kFooterFixedBytes = 4 * 8 + 8;
+constexpr std::size_t kDirEntryBytes = 32;
+constexpr std::size_t kDriveEntryBytes = 48;
+constexpr std::size_t kChunkHeaderBytes = 24;
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("columnar store: " + what);
+}
+
+obs::Counter& chunks_read_counter() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter(
+      "store_chunks_read_total", {}, "columnar chunks parsed by readers");
+  return c;
+}
+obs::Counter& crc_failures_counter() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter(
+      "store_crc_failures_total", {}, "columnar CRC mismatches (chunk or footer)");
+  return c;
+}
+obs::Counter& mmap_fallback_counter() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter(
+      "store_mmap_fallback_total", {},
+      "columnar opens that fell back to a heap buffer");
+  return c;
+}
+obs::Counter& bytes_opened_counter(const char* backing) {
+  return obs::MetricsRegistry::global().counter(
+      "store_bytes_opened_total", {{"backing", backing}},
+      "columnar file bytes made readable, by backing");
+}
+
+template <typename T>
+void put(std::string& out, T value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  char bytes[sizeof(T)];
+  std::memcpy(bytes, &value, sizeof(T));
+  out.append(bytes, sizeof(T));
+}
+
+void pad8(std::string& out) {
+  while (out.size() % 8 != 0) out.push_back('\0');
+}
+
+/// Bounds-checked reader over [begin, end) of the file image.  Every
+/// overrun is a clean "truncated file" error, never an out-of-range read.
+class Cursor {
+ public:
+  Cursor(std::span<const char> bytes, std::size_t begin, std::size_t end)
+      : bytes_(bytes), pos_(begin), end_(end) {}
+
+  template <typename T>
+  [[nodiscard]] T get() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    require(sizeof(T));
+    T value;
+    std::memcpy(&value, bytes_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return value;
+  }
+
+  void skip(std::size_t n) {
+    require(n);
+    pos_ += n;
+  }
+
+  /// Advance to the next 8-byte boundary (absolute file offset).
+  void align8() {
+    const std::size_t aligned = (pos_ + 7) & ~std::size_t{7};
+    require(aligned - pos_);
+    pos_ = aligned;
+  }
+
+  /// A zero-copy column of `n` elements, 8-byte aligned in the image.
+  template <typename T>
+  [[nodiscard]] std::span<const T> column(std::size_t n) {
+    align8();
+    if (n > (end_ - pos_) / sizeof(T)) fail("truncated file (column overruns chunk)");
+    const T* base = reinterpret_cast<const T*>(bytes_.data() + pos_);
+    pos_ += n * sizeof(T);
+    return {base, n};
+  }
+
+  [[nodiscard]] std::size_t pos() const noexcept { return pos_; }
+
+ private:
+  void require(std::size_t n) const {
+    if (n > end_ - pos_) fail("truncated file");
+  }
+
+  std::span<const char> bytes_;
+  std::size_t pos_;
+  std::size_t end_;
+};
+
+struct DirEntry {
+  std::uint64_t offset = 0;
+  std::uint64_t length = 0;
+  std::uint32_t crc = 0;
+  std::uint32_t n_drives = 0;
+  std::uint64_t n_records = 0;
+};
+
+}  // namespace
+
+void write_columnar(std::ostream& out, const trace::FleetTrace& fleet,
+                    const ColumnarWriteOptions& options) {
+  static const obs::SiteId kSite = obs::intern_site("store.write_columnar");
+  obs::Span span(kSite);
+  trace::detail::WriteByteCount byte_count(out, "columnar");
+
+  const std::uint32_t chunk_drives = std::max<std::uint32_t>(1, options.chunk_drives);
+
+  std::string header;
+  header.append(kMagic, sizeof(kMagic));
+  put<std::uint32_t>(header, kColumnarVersion);
+  put<std::uint32_t>(header, chunk_drives);
+  put<std::uint32_t>(header, 0);
+  out.write(header.data(), static_cast<std::streamsize>(header.size()));
+
+  std::vector<DirEntry> directory;
+  std::uint64_t offset = kHeaderBytes;
+  std::uint64_t total_records = 0;
+  std::uint64_t total_swaps = 0;
+
+  std::string chunk;
+  for (std::size_t first = 0; first < fleet.drives.size(); first += chunk_drives) {
+    const std::size_t last = std::min<std::size_t>(first + chunk_drives, fleet.drives.size());
+    const auto n_drives = static_cast<std::uint32_t>(last - first);
+    std::uint64_t n_records = 0;
+    std::uint64_t n_swaps = 0;
+    for (std::size_t d = first; d < last; ++d) {
+      n_records += fleet.drives[d].records.size();
+      n_swaps += fleet.drives[d].swaps.size();
+    }
+
+    chunk.clear();
+    put<std::uint32_t>(chunk, n_drives);
+    put<std::uint32_t>(chunk, 0);
+    put<std::uint64_t>(chunk, n_records);
+    put<std::uint64_t>(chunk, n_swaps);
+
+    std::uint64_t row = 0;
+    std::uint64_t swap = 0;
+    for (std::size_t d = first; d < last; ++d) {
+      const trace::DriveHistory& drive = fleet.drives[d];
+      put<std::uint8_t>(chunk, static_cast<std::uint8_t>(drive.model));
+      put<std::uint8_t>(chunk, 0);
+      put<std::uint8_t>(chunk, 0);
+      put<std::uint8_t>(chunk, 0);
+      put<std::uint32_t>(chunk, drive.drive_index);
+      put<std::int32_t>(chunk, drive.deploy_day);
+      put<std::uint32_t>(chunk, 0);
+      put<std::uint64_t>(chunk, row);
+      put<std::uint64_t>(chunk, drive.records.size());
+      put<std::uint64_t>(chunk, swap);
+      put<std::uint64_t>(chunk, drive.swaps.size());
+      row += drive.records.size();
+      swap += drive.swaps.size();
+    }
+
+    const auto for_each_record = [&](auto&& emit) {
+      for (std::size_t d = first; d < last; ++d)
+        for (const trace::DailyRecord& r : fleet.drives[d].records) emit(r);
+    };
+    pad8(chunk);
+    for_each_record([&](const trace::DailyRecord& r) { put<std::int32_t>(chunk, r.day); });
+    pad8(chunk);
+    for_each_record([&](const trace::DailyRecord& r) { put<std::uint32_t>(chunk, r.reads); });
+    pad8(chunk);
+    for_each_record([&](const trace::DailyRecord& r) { put<std::uint32_t>(chunk, r.writes); });
+    pad8(chunk);
+    for_each_record([&](const trace::DailyRecord& r) { put<std::uint32_t>(chunk, r.erases); });
+    pad8(chunk);
+    for_each_record(
+        [&](const trace::DailyRecord& r) { put<std::uint32_t>(chunk, r.pe_cycles); });
+    pad8(chunk);
+    for_each_record(
+        [&](const trace::DailyRecord& r) { put<std::uint32_t>(chunk, r.bad_blocks); });
+    pad8(chunk);
+    for_each_record(
+        [&](const trace::DailyRecord& r) { put<std::uint16_t>(chunk, r.factory_bad_blocks); });
+    pad8(chunk);
+    for_each_record([&](const trace::DailyRecord& r) {
+      put<std::uint8_t>(chunk, static_cast<std::uint8_t>((r.read_only ? 1 : 0) |
+                                                         (r.dead ? 2 : 0)));
+    });
+    for (std::size_t e = 0; e < trace::kNumErrorTypes; ++e) {
+      pad8(chunk);
+      for_each_record(
+          [&](const trace::DailyRecord& r) { put<std::uint32_t>(chunk, r.errors[e]); });
+    }
+    pad8(chunk);
+    for (std::size_t d = first; d < last; ++d)
+      for (const trace::SwapEvent& s : fleet.drives[d].swaps)
+        put<std::int32_t>(chunk, s.day);
+    // Trailing pad is part of the chunk's recorded length (and CRC), so
+    // every byte between header and footer is covered by some checksum.
+    pad8(chunk);
+
+    directory.push_back({offset, chunk.size(), crc32(0, chunk), n_drives, n_records});
+    out.write(chunk.data(), static_cast<std::streamsize>(chunk.size()));
+    offset += chunk.size();
+    total_records += n_records;
+    total_swaps += n_swaps;
+  }
+
+  std::string footer;
+  put<std::uint64_t>(footer, directory.size());
+  put<std::uint64_t>(footer, fleet.drives.size());
+  put<std::uint64_t>(footer, total_records);
+  put<std::uint64_t>(footer, total_swaps);
+  for (const DirEntry& e : directory) {
+    put<std::uint64_t>(footer, e.offset);
+    put<std::uint64_t>(footer, e.length);
+    put<std::uint32_t>(footer, e.crc);
+    put<std::uint32_t>(footer, e.n_drives);
+    put<std::uint64_t>(footer, e.n_records);
+  }
+  // The footer CRC also covers the 16-byte file header, so a flipped
+  // chunk-size or version byte cannot slip through.
+  put<std::uint32_t>(footer, crc32(crc32(0, header), footer));
+  put<std::uint32_t>(footer, 0);
+  out.write(footer.data(), static_cast<std::streamsize>(footer.size()));
+
+  std::string trailer;
+  put<std::uint64_t>(trailer, offset);
+  trailer.append(kTrailerMagic, sizeof(kTrailerMagic));
+  out.write(trailer.data(), static_cast<std::streamsize>(trailer.size()));
+}
+
+void write_columnar_file(const std::string& path, const trace::FleetTrace& fleet,
+                         const ColumnarWriteOptions& options) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) fail("cannot write " + path);
+  write_columnar(out, fleet, options);
+  out.flush();
+  if (!out) fail("write failed for " + path);
+}
+
+trace::DailyRecord ChunkView::record(std::size_t row) const {
+  trace::DailyRecord r;
+  r.day = day[row];
+  r.reads = reads[row];
+  r.writes = writes[row];
+  r.erases = erases[row];
+  r.pe_cycles = pe_cycles[row];
+  r.bad_blocks = bad_blocks[row];
+  r.factory_bad_blocks = factory_bad_blocks[row];
+  const std::uint8_t f = flags[row];
+  r.read_only = (f & 1) != 0;
+  r.dead = (f & 2) != 0;
+  for (std::size_t e = 0; e < trace::kNumErrorTypes; ++e) r.errors[e] = errors[e][row];
+  return r;
+}
+
+void ChunkView::gather_drive(const DriveRef& ref, trace::DriveHistory& out) const {
+  out.model = ref.model;
+  out.drive_index = ref.drive_index;
+  out.deploy_day = ref.deploy_day;
+  out.truth.reset();
+  out.records.resize(ref.row_count);
+  trace::DailyRecord* recs = out.records.data();
+  const std::size_t rb = ref.row_begin;
+  // Column-at-a-time gather: each pass is a contiguous scan of one mapped
+  // column, which is what makes rebuilding a drive cheaper than parsing
+  // the equivalent v1 byte stream.
+  for (std::size_t i = 0; i < ref.row_count; ++i) recs[i].day = day[rb + i];
+  for (std::size_t i = 0; i < ref.row_count; ++i) recs[i].reads = reads[rb + i];
+  for (std::size_t i = 0; i < ref.row_count; ++i) recs[i].writes = writes[rb + i];
+  for (std::size_t i = 0; i < ref.row_count; ++i) recs[i].erases = erases[rb + i];
+  for (std::size_t i = 0; i < ref.row_count; ++i) recs[i].pe_cycles = pe_cycles[rb + i];
+  for (std::size_t i = 0; i < ref.row_count; ++i) recs[i].bad_blocks = bad_blocks[rb + i];
+  for (std::size_t i = 0; i < ref.row_count; ++i)
+    recs[i].factory_bad_blocks = factory_bad_blocks[rb + i];
+  for (std::size_t i = 0; i < ref.row_count; ++i) {
+    const std::uint8_t f = flags[rb + i];
+    recs[i].read_only = (f & 1) != 0;
+    recs[i].dead = (f & 2) != 0;
+  }
+  for (std::size_t e = 0; e < trace::kNumErrorTypes; ++e)
+    for (std::size_t i = 0; i < ref.row_count; ++i)
+      recs[i].errors[e] = errors[e][rb + i];
+  out.swaps.resize(ref.swap_count);
+  for (std::size_t i = 0; i < ref.swap_count; ++i)
+    out.swaps[i].day = swap_days[ref.swap_begin + i];
+}
+
+struct ColumnarFleetView::Impl {
+  MappedFile mapped;
+  std::vector<char> heap;
+  std::span<const char> bytes;
+  bool mmap_backed = false;
+  std::uint32_t chunk_drives = 0;
+  std::size_t drive_count = 0;
+  std::size_t total_records = 0;
+  std::size_t total_swaps = 0;
+  std::vector<std::vector<DriveRef>> refs;  ///< stable backing for ChunkView::drives
+  std::vector<ChunkView> chunks;
+
+  /// Parse and validate the whole image: header, trailer, footer (CRC over
+  /// header + footer), chunk directory (contiguous coverage of
+  /// [header, footer)), then each chunk (CRC, drive index, column spans).
+  void parse(const OpenOptions& options);
+};
+
+void ColumnarFleetView::Impl::parse(const OpenOptions& options) {
+  Impl& impl = *this;
+  const std::span<const char> b = impl.bytes;
+  if (b.size() < kHeaderBytes + kFooterFixedBytes + kTrailerBytes)
+    fail("truncated file");
+  if (std::memcmp(b.data(), kMagic, sizeof(kMagic)) != 0)
+    fail("bad magic (not an ssdfail binary trace)");
+  std::uint32_t version;
+  std::memcpy(&version, b.data() + 4, sizeof(version));
+  if (version != kColumnarVersion)
+    fail("unsupported format version " + std::to_string(version));
+  std::memcpy(&impl.chunk_drives, b.data() + 8, sizeof(impl.chunk_drives));
+
+  if (std::memcmp(b.data() + b.size() - sizeof(kTrailerMagic), kTrailerMagic,
+                  sizeof(kTrailerMagic)) != 0)
+    fail("bad trailer magic (truncated or corrupt file)");
+  std::uint64_t footer_offset;
+  std::memcpy(&footer_offset, b.data() + b.size() - kTrailerBytes, sizeof(footer_offset));
+  if (footer_offset < kHeaderBytes || footer_offset % 8 != 0 ||
+      footer_offset + kFooterFixedBytes > b.size() - kTrailerBytes)
+    fail("footer offset out of range");
+
+  Cursor footer(b, static_cast<std::size_t>(footer_offset), b.size() - kTrailerBytes);
+  const auto n_chunks = footer.get<std::uint64_t>();
+  if (n_chunks > (1ull << 32)) fail("implausible chunk count");
+  const auto n_drives_total = footer.get<std::uint64_t>();
+  const auto n_records_total = footer.get<std::uint64_t>();
+  const auto n_swaps_total = footer.get<std::uint64_t>();
+
+  std::vector<DirEntry> directory;
+  directory.reserve(static_cast<std::size_t>(
+      std::min<std::uint64_t>(n_chunks, 4096)));  // cap pre-allocation on corrupt counts
+  for (std::uint64_t c = 0; c < n_chunks; ++c) {
+    DirEntry e;
+    e.offset = footer.get<std::uint64_t>();
+    e.length = footer.get<std::uint64_t>();
+    e.crc = footer.get<std::uint32_t>();
+    e.n_drives = footer.get<std::uint32_t>();
+    e.n_records = footer.get<std::uint64_t>();
+    directory.push_back(e);
+  }
+  const std::size_t crc_pos = footer.pos();
+  const auto stored_footer_crc = footer.get<std::uint32_t>();
+  // The reserved word trails the footer CRC, so the CRC cannot cover it;
+  // requiring zero keeps every byte of the file corruption-detectable.
+  if (footer.get<std::uint32_t>() != 0) fail("nonzero reserved field");
+  if (footer.pos() != b.size() - kTrailerBytes) fail("footer size mismatch");
+  const std::uint32_t computed_footer_crc =
+      crc32(crc32(0, b.first(kHeaderBytes)),
+            b.subspan(static_cast<std::size_t>(footer_offset),
+                      crc_pos - static_cast<std::size_t>(footer_offset)));
+  if (computed_footer_crc != stored_footer_crc) {
+    crc_failures_counter().inc();
+    fail("footer CRC mismatch");
+  }
+
+  std::uint64_t expected_offset = kHeaderBytes;
+  for (std::size_t c = 0; c < directory.size(); ++c) {
+    const DirEntry& e = directory[c];
+    if (e.offset != expected_offset) fail("chunk directory gap");
+    if (e.length < kChunkHeaderBytes || e.length % 8 != 0) fail("bad chunk length");
+    if (e.offset + e.length > footer_offset) fail("chunk out of range");
+    expected_offset = e.offset + e.length;
+
+    const auto begin = static_cast<std::size_t>(e.offset);
+    const auto end = static_cast<std::size_t>(e.offset + e.length);
+    if (options.verify_crc && crc32(0, b.subspan(begin, end - begin)) != e.crc) {
+      crc_failures_counter().inc();
+      fail("chunk " + std::to_string(c) + " CRC mismatch");
+    }
+
+    Cursor cur(b, begin, end);
+    const auto n_drives = cur.get<std::uint32_t>();
+    (void)cur.get<std::uint32_t>();  // reserved
+    const auto n_records = cur.get<std::uint64_t>();
+    const auto n_swaps = cur.get<std::uint64_t>();
+    if (n_drives != e.n_drives || n_records != e.n_records)
+      fail("chunk header disagrees with directory");
+    if (n_drives > (1u << 24) || n_records > (1ull << 32) || n_swaps > (1ull << 28))
+      fail("implausible chunk sizes");
+    if ((end - cur.pos()) / kDriveEntryBytes < n_drives)
+      fail("truncated file (drive index overruns chunk)");
+
+    std::vector<DriveRef> drive_refs;
+    drive_refs.reserve(n_drives);
+    std::uint64_t next_row = 0;
+    std::uint64_t next_swap = 0;
+    for (std::uint32_t d = 0; d < n_drives; ++d) {
+      DriveRef ref;
+      const auto model = cur.get<std::uint8_t>();
+      if (model >= trace::kNumModels) fail("bad model id in drive index");
+      ref.model = static_cast<trace::DriveModel>(model);
+      cur.skip(3);
+      ref.drive_index = cur.get<std::uint32_t>();
+      ref.deploy_day = cur.get<std::int32_t>();
+      (void)cur.get<std::uint32_t>();  // reserved
+      const auto row_begin = cur.get<std::uint64_t>();
+      const auto row_count = cur.get<std::uint64_t>();
+      const auto swap_begin = cur.get<std::uint64_t>();
+      const auto swap_count = cur.get<std::uint64_t>();
+      if (row_begin != next_row || swap_begin != next_swap)
+        fail("drive index inconsistent");
+      next_row += row_count;
+      next_swap += swap_count;
+      ref.row_begin = static_cast<std::size_t>(row_begin);
+      ref.row_count = static_cast<std::size_t>(row_count);
+      ref.swap_begin = static_cast<std::size_t>(swap_begin);
+      ref.swap_count = static_cast<std::size_t>(swap_count);
+      drive_refs.push_back(ref);
+    }
+    if (next_row != n_records || next_swap != n_swaps) fail("drive index inconsistent");
+
+    ChunkView view;
+    const auto n = static_cast<std::size_t>(n_records);
+    view.day = cur.column<std::int32_t>(n);
+    view.reads = cur.column<std::uint32_t>(n);
+    view.writes = cur.column<std::uint32_t>(n);
+    view.erases = cur.column<std::uint32_t>(n);
+    view.pe_cycles = cur.column<std::uint32_t>(n);
+    view.bad_blocks = cur.column<std::uint32_t>(n);
+    view.factory_bad_blocks = cur.column<std::uint16_t>(n);
+    view.flags = cur.column<std::uint8_t>(n);
+    for (std::size_t err = 0; err < trace::kNumErrorTypes; ++err)
+      view.errors[err] = cur.column<std::uint32_t>(n);
+    view.swap_days = cur.column<std::int32_t>(static_cast<std::size_t>(n_swaps));
+    if (end - cur.pos() >= 8) fail("chunk has trailing garbage");
+
+    impl.refs.push_back(std::move(drive_refs));
+    view.drives = {impl.refs.back().data(), impl.refs.back().size()};
+    impl.chunks.push_back(view);
+    impl.drive_count += n_drives;
+    impl.total_records += n;
+    impl.total_swaps += static_cast<std::size_t>(n_swaps);
+    chunks_read_counter().inc();
+  }
+  if (expected_offset != footer_offset) fail("chunk directory gap");
+  if (impl.drive_count != n_drives_total || impl.total_records != n_records_total ||
+      impl.total_swaps != n_swaps_total)
+    fail("footer totals disagree with chunks");
+}
+
+ColumnarFleetView ColumnarFleetView::open(const std::string& path,
+                                          const OpenOptions& options) {
+  static const obs::SiteId kSite = obs::intern_site("store.open_view");
+  obs::Span span(kSite);
+  auto impl = std::make_shared<Impl>();
+  if (options.allow_mmap) {
+    if (auto mapped = MappedFile::map(path)) {
+      impl->mapped = std::move(*mapped);
+      impl->bytes = impl->mapped.bytes();
+      impl->mmap_backed = true;
+    } else {
+      mmap_fallback_counter().inc();
+    }
+  }
+  if (!impl->mmap_backed) {
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    if (!in) fail("cannot open " + path);
+    const std::streamoff size = in.tellg();
+    in.seekg(0);
+    impl->heap.resize(static_cast<std::size_t>(std::max<std::streamoff>(size, 0)));
+    if (!impl->heap.empty() &&
+        !in.read(impl->heap.data(), static_cast<std::streamsize>(impl->heap.size())))
+      fail("cannot read " + path);
+    impl->bytes = {impl->heap.data(), impl->heap.size()};
+  }
+  bytes_opened_counter(impl->mmap_backed ? "mmap" : "heap").inc(impl->bytes.size());
+  impl->parse(options);
+  return ColumnarFleetView(std::move(impl));
+}
+
+ColumnarFleetView ColumnarFleetView::from_buffer(std::vector<char> bytes,
+                                                 const OpenOptions& options) {
+  static const obs::SiteId kSite = obs::intern_site("store.open_view");
+  obs::Span span(kSite);
+  auto impl = std::make_shared<Impl>();
+  impl->heap = std::move(bytes);
+  impl->bytes = {impl->heap.data(), impl->heap.size()};
+  bytes_opened_counter("heap").inc(impl->bytes.size());
+  impl->parse(options);
+  return ColumnarFleetView(std::move(impl));
+}
+
+std::size_t ColumnarFleetView::chunk_count() const noexcept { return impl_->chunks.size(); }
+
+const ChunkView& ColumnarFleetView::chunk(std::size_t index) const {
+  return impl_->chunks.at(index);
+}
+
+std::size_t ColumnarFleetView::drive_count() const noexcept { return impl_->drive_count; }
+std::size_t ColumnarFleetView::total_records() const noexcept {
+  return impl_->total_records;
+}
+std::size_t ColumnarFleetView::total_swaps() const noexcept { return impl_->total_swaps; }
+std::uint32_t ColumnarFleetView::chunk_drives() const noexcept {
+  return impl_->chunk_drives;
+}
+bool ColumnarFleetView::mmap_backed() const noexcept { return impl_->mmap_backed; }
+
+trace::FleetTrace materialize(const ColumnarFleetView& view) {
+  static const obs::SiteId kSite = obs::intern_site("store.materialize");
+  obs::Span span(kSite);
+  trace::FleetTrace fleet;
+  fleet.drives.reserve(view.drive_count());
+  for (std::size_t c = 0; c < view.chunk_count(); ++c) {
+    const ChunkView& chunk = view.chunk(c);
+    for (const DriveRef& ref : chunk.drives) {
+      trace::DriveHistory drive;
+      chunk.gather_drive(ref, drive);
+      fleet.drives.push_back(std::move(drive));
+    }
+  }
+  return fleet;
+}
+
+}  // namespace ssdfail::store

@@ -1,0 +1,145 @@
+#pragma once
+
+// SSDF2: the chunked columnar fleet store (docs/DATA_FORMAT.md).
+//
+// The v1 binary trace (trace/binary_io) is a row format: one DailyRecord
+// struct after another, so dataset construction — the hot path feeding
+// every prediction experiment — re-parses and re-materializes the whole
+// fleet as row-struct vectors on every build.  SSDF2 lays each DailyRecord
+// field out as a contiguous per-drive column inside fixed-size drive
+// chunks, with a per-chunk drive index, a per-chunk CRC32, and a footer
+// directory, so a reader can
+//
+//   - memory-map the file and expose every column as a zero-copy
+//     std::span (ColumnarFleetView; heap-backed fallback when mmap is
+//     unavailable),
+//   - walk chunks independently (chunk-parallel dataset builds in
+//     core/dataset_builder), and
+//   - detect any single-bit corruption via CRC (per chunk, plus a footer
+//     CRC that also covers the file header).
+//
+// Same observable-only contract as v1: ground truth is never serialized.
+// Every field is little-endian; columns are 8-byte aligned so the mapped
+// spans are naturally aligned for their element type.
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "trace/drive_history.hpp"
+
+namespace ssdfail::store {
+
+/// SSDF2 shares the "SSDF" magic with v1; the version field discriminates.
+inline constexpr std::uint32_t kColumnarVersion = 2;
+
+/// Default drives per chunk: large enough to amortize per-chunk overhead,
+/// small enough that chunk-parallel builds load-balance.
+inline constexpr std::uint32_t kDefaultChunkDrives = 256;
+
+struct ColumnarWriteOptions {
+  std::uint32_t chunk_drives = kDefaultChunkDrives;  ///< drives per chunk (>= 1)
+};
+
+/// Write the fleet as an SSDF2 columnar file to a binary stream.
+void write_columnar(std::ostream& out, const trace::FleetTrace& fleet,
+                    const ColumnarWriteOptions& options = {});
+
+/// Write an SSDF2 file at `path` (truncates).  Throws std::runtime_error
+/// on I/O failure.
+void write_columnar_file(const std::string& path, const trace::FleetTrace& fleet,
+                         const ColumnarWriteOptions& options = {});
+
+/// One drive's slice of a chunk: which column rows and swap slots are its.
+struct DriveRef {
+  trace::DriveModel model = trace::DriveModel::MlcA;
+  std::uint32_t drive_index = 0;
+  std::int32_t deploy_day = 0;
+  std::size_t row_begin = 0;   ///< first row of this drive within the chunk
+  std::size_t row_count = 0;
+  std::size_t swap_begin = 0;  ///< first swap slot within the chunk
+  std::size_t swap_count = 0;
+
+  [[nodiscard]] std::uint64_t uid() const noexcept {
+    return (static_cast<std::uint64_t>(model) << 32) | drive_index;
+  }
+};
+
+/// Zero-copy view of one chunk: per-field columns spanning every record of
+/// every drive in the chunk (drive-major, day-ordered within a drive).
+struct ChunkView {
+  std::span<const DriveRef> drives;
+
+  std::span<const std::int32_t> day;
+  std::span<const std::uint32_t> reads;
+  std::span<const std::uint32_t> writes;
+  std::span<const std::uint32_t> erases;
+  std::span<const std::uint32_t> pe_cycles;
+  std::span<const std::uint32_t> bad_blocks;
+  std::span<const std::uint16_t> factory_bad_blocks;
+  std::span<const std::uint8_t> flags;  ///< bit 0: read_only, bit 1: dead
+  std::array<std::span<const std::uint32_t>, trace::kNumErrorTypes> errors;
+  std::span<const std::int32_t> swap_days;
+
+  /// Gather one row back into a DailyRecord struct.
+  [[nodiscard]] trace::DailyRecord record(std::size_t row) const;
+
+  /// Rebuild `out` as the full history of `ref` (records + swaps).  The
+  /// output's vectors are reused across calls — the chunk-parallel dataset
+  /// build gathers one drive at a time into a per-worker scratch history
+  /// instead of materializing the fleet.
+  void gather_drive(const DriveRef& ref, trace::DriveHistory& out) const;
+};
+
+struct OpenOptions {
+  /// Verify every chunk CRC at open (one sequential pass).  Disable only
+  /// for trusted files where open latency matters; corruption then
+  /// surfaces as silently wrong data, exactly what CRCs exist to prevent.
+  bool verify_crc = true;
+  /// Permit the mmap backing; when false (or when mapping fails) the file
+  /// is read into a heap buffer instead (counted by
+  /// store_mmap_fallback_total).
+  bool allow_mmap = true;
+};
+
+/// Read-only view of an SSDF2 file.  Cheap to copy (shared backing).
+/// Column spans stay valid for the lifetime of any copy of the view.
+class ColumnarFleetView {
+ public:
+  /// Open `path`, mmap-backed where possible, heap-backed otherwise.
+  /// Throws std::runtime_error on malformed, truncated, or corrupt files.
+  [[nodiscard]] static ColumnarFleetView open(const std::string& path,
+                                              const OpenOptions& options = {});
+
+  /// Parse an in-memory SSDF2 image (always heap-backed).
+  [[nodiscard]] static ColumnarFleetView from_buffer(std::vector<char> bytes,
+                                                     const OpenOptions& options = {});
+
+  [[nodiscard]] std::size_t chunk_count() const noexcept;
+  [[nodiscard]] const ChunkView& chunk(std::size_t index) const;
+
+  [[nodiscard]] std::size_t drive_count() const noexcept;
+  [[nodiscard]] std::size_t total_records() const noexcept;
+  [[nodiscard]] std::size_t total_swaps() const noexcept;
+
+  /// The writer's drives-per-chunk knob, as recorded in the header.
+  [[nodiscard]] std::uint32_t chunk_drives() const noexcept;
+
+  /// True when the columns point into a memory-mapped file (false: heap).
+  [[nodiscard]] bool mmap_backed() const noexcept;
+
+ private:
+  struct Impl;
+  explicit ColumnarFleetView(std::shared_ptr<const Impl> impl) : impl_(std::move(impl)) {}
+  std::shared_ptr<const Impl> impl_;
+};
+
+/// Materialize the whole view back into row structs (tests, conversion,
+/// and the serve replay path, which wants DriveHistory objects).
+[[nodiscard]] trace::FleetTrace materialize(const ColumnarFleetView& view);
+
+}  // namespace ssdfail::store

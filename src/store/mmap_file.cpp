@@ -1,0 +1,66 @@
+#include "store/mmap_file.hpp"
+
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define SSDFAIL_HAS_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define SSDFAIL_HAS_MMAP 0
+#endif
+
+namespace ssdfail::store {
+
+MappedFile::~MappedFile() {
+#if SSDFAIL_HAS_MMAP
+  if (data_ != nullptr) ::munmap(const_cast<char*>(data_), size_);
+#endif
+}
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)), size_(std::exchange(other.size_, 0)) {}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    MappedFile tmp(std::move(other));
+    std::swap(data_, tmp.data_);
+    std::swap(size_, tmp.size_);
+  }
+  return *this;
+}
+
+std::optional<MappedFile> MappedFile::map(const std::string& path) {
+#if SSDFAIL_HAS_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return std::nullopt;
+  struct stat st{};
+  if (::fstat(fd, &st) != 0 || st.st_size <= 0) {
+    ::close(fd);
+    return std::nullopt;
+  }
+  const auto size = static_cast<std::size_t>(st.st_size);
+#if defined(MAP_POPULATE)
+  // Prefault the whole read-only mapping: stores are opened to be read
+  // end to end (CRC verify touches every chunk anyway), and one bulk
+  // populate is much cheaper than thousands of per-page soft faults.
+  constexpr int kMapFlags = MAP_PRIVATE | MAP_POPULATE;
+#else
+  constexpr int kMapFlags = MAP_PRIVATE;
+#endif
+  void* base = ::mmap(nullptr, size, PROT_READ, kMapFlags, fd, 0);
+  ::close(fd);  // the mapping holds its own reference
+  if (base == MAP_FAILED) return std::nullopt;
+  MappedFile file;
+  file.data_ = static_cast<const char*>(base);
+  file.size_ = size;
+  return file;
+#else
+  (void)path;
+  return std::nullopt;
+#endif
+}
+
+}  // namespace ssdfail::store

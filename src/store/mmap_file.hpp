@@ -1,0 +1,42 @@
+#pragma once
+
+// Read-only memory mapping with graceful degradation.
+//
+// MappedFile::map() returns nullopt on ANY failure (missing file, zero
+// size, no mmap support on the platform) — the columnar store treats that
+// as "fall back to a heap buffer", never as an error.  The mapping is
+// private/read-only: the kernel serves pages straight from the page cache,
+// so a fleet file opened by N processes costs one copy of physical memory
+// and clean pages are reclaimable under pressure (unlike the anonymous
+// heap the row-struct path must hold).
+
+#include <optional>
+#include <span>
+#include <string>
+
+namespace ssdfail::store {
+
+class MappedFile {
+ public:
+  MappedFile() = default;
+  ~MappedFile();
+
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  /// Map `path` read-only.  nullopt on any failure — callers fall back to
+  /// reading the file into a heap buffer.
+  [[nodiscard]] static std::optional<MappedFile> map(const std::string& path);
+
+  [[nodiscard]] std::span<const char> bytes() const noexcept {
+    return {data_, size_};
+  }
+
+ private:
+  const char* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace ssdfail::store

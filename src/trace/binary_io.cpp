@@ -1,18 +1,29 @@
 #include "trace/binary_io.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <istream>
 #include <ostream>
 #include <stdexcept>
+#include <vector>
 
 #include "obs/metrics.hpp"
 #include "obs/trace_span.hpp"
+#include "store/columnar.hpp"
 #include "trace/io_metrics.hpp"
 
 namespace ssdfail::trace {
 namespace {
 
 constexpr char kMagic[4] = {'S', 'S', 'D', 'F'};
+
+/// v1 wire size of one DailyRecord (packed, no padding).
+constexpr std::size_t kRecordWireBytes = 67;
+
+/// Records decoded per buffered block read.  Bounds both the read buffer
+/// (~536 KiB) and the `reserve` on untrusted record counts, so a corrupt
+/// count hits "truncated stream" before it can trigger a huge allocation.
+constexpr std::size_t kRecordsPerBlock = 8192;
 
 template <typename T>
 void put(std::ostream& out, T value) {
@@ -29,6 +40,23 @@ T get(std::istream& in) {
   return value;
 }
 
+/// Fill `buf` with exactly `n` bytes or throw the truncation error.
+void read_block(std::istream& in, std::vector<char>& buf, std::size_t n) {
+  buf.resize(n);
+  in.read(buf.data(), static_cast<std::streamsize>(n));
+  if (!in || static_cast<std::size_t>(in.gcount()) != n)
+    throw std::runtime_error("binary_io: truncated stream");
+}
+
+template <typename T>
+T load(const char*& p) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  T value;
+  std::memcpy(&value, p, sizeof(T));
+  p += sizeof(T);
+  return value;
+}
+
 void put_record(std::ostream& out, const DailyRecord& r) {
   put<std::int32_t>(out, r.day);
   put<std::uint32_t>(out, r.reads);
@@ -42,20 +70,83 @@ void put_record(std::ostream& out, const DailyRecord& r) {
   for (std::uint32_t e : r.errors) put<std::uint32_t>(out, e);
 }
 
-DailyRecord get_record(std::istream& in) {
+DailyRecord decode_record(const char*& p) {
   DailyRecord r;
-  r.day = get<std::int32_t>(in);
-  r.reads = get<std::uint32_t>(in);
-  r.writes = get<std::uint32_t>(in);
-  r.erases = get<std::uint32_t>(in);
-  r.pe_cycles = get<std::uint32_t>(in);
-  r.bad_blocks = get<std::uint32_t>(in);
-  r.factory_bad_blocks = get<std::uint16_t>(in);
-  const auto flags = get<std::uint8_t>(in);
+  r.day = load<std::int32_t>(p);
+  r.reads = load<std::uint32_t>(p);
+  r.writes = load<std::uint32_t>(p);
+  r.erases = load<std::uint32_t>(p);
+  r.pe_cycles = load<std::uint32_t>(p);
+  r.bad_blocks = load<std::uint32_t>(p);
+  r.factory_bad_blocks = load<std::uint16_t>(p);
+  const auto flags = load<std::uint8_t>(p);
   r.read_only = (flags & 1) != 0;
   r.dead = (flags & 2) != 0;
-  for (std::uint32_t& e : r.errors) e = get<std::uint32_t>(in);
+  for (std::uint32_t& e : r.errors) e = load<std::uint32_t>(p);
   return r;
+}
+
+/// v1 body decoder: the magic and version have already been consumed.
+/// Records and swaps are read in large blocks rather than one stream read
+/// per field — the stream is touched O(n_records / kRecordsPerBlock) times
+/// per drive instead of 17 times per record.
+FleetTrace read_binary_v1_body(std::istream& in) {
+  const auto n_drives = get<std::uint64_t>(in);
+  // Defensive cap: a 64-bit count from a corrupt stream must not OOM us.
+  if (n_drives > (1ull << 32))
+    throw std::runtime_error("binary_io: implausible drive count");
+
+  FleetTrace fleet;
+  fleet.drives.reserve(static_cast<std::size_t>(std::min<std::uint64_t>(n_drives, 1u << 20)));
+  std::vector<char> buf;
+  for (std::uint64_t d = 0; d < n_drives; ++d) {
+    DriveHistory drive;
+    const auto model = get<std::uint8_t>(in);
+    if (model >= kNumModels) throw std::runtime_error("binary_io: bad model id");
+    drive.model = static_cast<DriveModel>(model);
+    drive.drive_index = get<std::uint32_t>(in);
+    drive.deploy_day = get<std::int32_t>(in);
+    const auto n_records = get<std::uint64_t>(in);
+    if (n_records > (1ull << 32)) throw std::runtime_error("binary_io: bad record count");
+    const auto n = static_cast<std::size_t>(n_records);
+    drive.records.reserve(std::min(n, kRecordsPerBlock));
+    for (std::size_t start = 0; start < n; start += kRecordsPerBlock) {
+      const std::size_t count = std::min(kRecordsPerBlock, n - start);
+      read_block(in, buf, count * kRecordWireBytes);
+      const char* p = buf.data();
+      for (std::size_t r = 0; r < count; ++r) drive.records.push_back(decode_record(p));
+    }
+    const auto n_swaps = get<std::uint64_t>(in);
+    if (n_swaps > (1ull << 20)) throw std::runtime_error("binary_io: bad swap count");
+    if (n_swaps > 0) {
+      const auto ns = static_cast<std::size_t>(n_swaps);
+      read_block(in, buf, ns * sizeof(std::int32_t));
+      const char* p = buf.data();
+      drive.swaps.reserve(ns);
+      for (std::size_t s = 0; s < ns; ++s) drive.swaps.push_back({load<std::int32_t>(p)});
+    }
+    fleet.drives.push_back(std::move(drive));
+  }
+  return fleet;
+}
+
+/// v2 body decoder: slurp the remaining stream, re-assemble the full file
+/// image (magic + version + rest), and hand it to the columnar parser.
+FleetTrace read_binary_v2_body(std::istream& in) {
+  std::vector<char> image;
+  image.insert(image.end(), kMagic, kMagic + sizeof(kMagic));
+  const std::uint32_t version = store::kColumnarVersion;
+  const char* vp = reinterpret_cast<const char*>(&version);
+  image.insert(image.end(), vp, vp + sizeof(version));
+  char buf[1 << 16];
+  for (;;) {
+    in.read(buf, sizeof(buf));
+    image.insert(image.end(), buf, buf + in.gcount());
+    if (!in) break;
+  }
+  in.clear();  // EOF from the slurp is expected, not an error
+  auto view = store::ColumnarFleetView::from_buffer(std::move(image));
+  return store::materialize(view);
 }
 
 }  // namespace
@@ -78,6 +169,13 @@ void write_binary(std::ostream& out, const FleetTrace& fleet) {
   }
 }
 
+void write_binary_v2(std::ostream& out, const FleetTrace& fleet,
+                     std::uint32_t chunk_drives) {
+  store::ColumnarWriteOptions options;
+  if (chunk_drives != 0) options.chunk_drives = chunk_drives;
+  store::write_columnar(out, fleet, options);
+}
+
 FleetTrace read_binary(std::istream& in) {
   static const obs::SiteId kSite = obs::intern_site("trace.read_binary");
   obs::Span span(kSite);
@@ -87,34 +185,38 @@ FleetTrace read_binary(std::istream& in) {
   if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
     throw std::runtime_error("binary_io: bad magic (not an ssdfail binary trace)");
   const auto version = get<std::uint32_t>(in);
-  if (version != kBinaryFormatVersion)
-    throw std::runtime_error("binary_io: unsupported format version " +
-                             std::to_string(version));
-  const auto n_drives = get<std::uint64_t>(in);
-  // Defensive cap: a 64-bit count from a corrupt stream must not OOM us.
-  if (n_drives > (1ull << 32))
-    throw std::runtime_error("binary_io: implausible drive count");
+  if (version == kBinaryFormatVersion) return read_binary_v1_body(in);
+  if (version == kColumnarFormatVersion) return read_binary_v2_body(in);
+  throw std::runtime_error("binary_io: unsupported format version " +
+                           std::to_string(version));
+}
 
-  FleetTrace fleet;
-  fleet.drives.reserve(static_cast<std::size_t>(n_drives));
-  for (std::uint64_t d = 0; d < n_drives; ++d) {
-    DriveHistory drive;
-    const auto model = get<std::uint8_t>(in);
-    if (model >= kNumModels) throw std::runtime_error("binary_io: bad model id");
-    drive.model = static_cast<DriveModel>(model);
-    drive.drive_index = get<std::uint32_t>(in);
-    drive.deploy_day = get<std::int32_t>(in);
-    const auto n_records = get<std::uint64_t>(in);
-    if (n_records > (1ull << 32)) throw std::runtime_error("binary_io: bad record count");
-    drive.records.reserve(static_cast<std::size_t>(n_records));
-    for (std::uint64_t r = 0; r < n_records; ++r) drive.records.push_back(get_record(in));
-    const auto n_swaps = get<std::uint64_t>(in);
-    if (n_swaps > (1ull << 20)) throw std::runtime_error("binary_io: bad swap count");
-    for (std::uint64_t s = 0; s < n_swaps; ++s)
-      drive.swaps.push_back({get<std::int32_t>(in)});
-    fleet.drives.push_back(std::move(drive));
+std::uint32_t peek_binary_version(std::istream& in) {
+  const std::istream::pos_type start = in.tellg();
+  if (start < 0) throw std::runtime_error("binary_io: stream is not seekable");
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    in.clear();
+    in.seekg(start);
+    throw std::runtime_error("binary_io: bad magic (not an ssdfail binary trace)");
   }
-  return fleet;
+  const auto version = get<std::uint32_t>(in);
+  in.seekg(start);
+  return version;
+}
+
+void convert_binary(std::istream& in, std::ostream& out, std::uint32_t to_version,
+                    std::uint32_t chunk_drives) {
+  const FleetTrace fleet = read_binary(in);
+  if (to_version == kBinaryFormatVersion) {
+    write_binary(out, fleet);
+  } else if (to_version == kColumnarFormatVersion) {
+    write_binary_v2(out, fleet, chunk_drives);
+  } else {
+    throw std::runtime_error("binary_io: unsupported format version " +
+                             std::to_string(to_version));
+  }
 }
 
 }  // namespace ssdfail::trace

@@ -3,9 +3,19 @@
 // Compact binary trace serialization.
 //
 // CSV (trace_io.hpp) is the interchange format; this is the fast path for
-// large fleets: ~70 bytes per drive-day versus ~200 for CSV, and no
-// parsing.  Little-endian, versioned, with a magic header.  Ground truth
-// is never serialized (same observable-only contract as the CSV path).
+// large fleets.  Two on-disk versions share the "SSDF" magic:
+//
+//   v1 — row format: drives one after another, each a header plus a run of
+//        67-byte DailyRecord structs (~70 bytes per drive-day versus ~200
+//        for CSV, and no parsing).
+//   v2 — the chunked columnar store (store/columnar.hpp): per-field
+//        columns, per-chunk CRC32, mmap-friendly.  Written via
+//        write_binary_v2; read_binary auto-detects it and materializes the
+//        fleet, while store::ColumnarFleetView::open gives zero-copy
+//        access without materializing.
+//
+// Little-endian, versioned.  Ground truth is never serialized (same
+// observable-only contract as the CSV path).
 
 #include <iosfwd>
 
@@ -13,14 +23,34 @@
 
 namespace ssdfail::trace {
 
-/// Current binary format version.
+/// Row (v1) binary format version.
 inline constexpr std::uint32_t kBinaryFormatVersion = 1;
 
-/// Write the fleet (daily records + swap events) to a binary stream.
+/// Columnar (v2) binary format version; mirrors store::kColumnarVersion.
+inline constexpr std::uint32_t kColumnarFormatVersion = 2;
+
+/// Write the fleet (daily records + swap events) to a binary stream in the
+/// v1 row format.
 void write_binary(std::ostream& out, const FleetTrace& fleet);
 
-/// Read a fleet written by write_binary.  Throws std::runtime_error on a
-/// bad magic, unsupported version, or truncated stream.
+/// Write the fleet in the v2 columnar format.  `chunk_drives` = 0 means
+/// the store default (store::kDefaultChunkDrives).
+void write_binary_v2(std::ostream& out, const FleetTrace& fleet,
+                     std::uint32_t chunk_drives = 0);
+
+/// Read a fleet written by write_binary or write_binary_v2 — the version
+/// field after the magic selects the decoder.  Throws std::runtime_error
+/// on a bad magic, unsupported version, truncated stream, or (v2) CRC
+/// mismatch.
 [[nodiscard]] FleetTrace read_binary(std::istream& in);
+
+/// Sniff the format version of a binary trace without consuming the
+/// stream (requires a seekable stream; throws on bad magic/truncation).
+[[nodiscard]] std::uint32_t peek_binary_version(std::istream& in);
+
+/// Re-encode a binary trace (either version in) as `to_version` (1 or 2).
+/// `chunk_drives` applies to v2 output only; 0 means the store default.
+void convert_binary(std::istream& in, std::ostream& out, std::uint32_t to_version,
+                    std::uint32_t chunk_drives = 0);
 
 }  // namespace ssdfail::trace

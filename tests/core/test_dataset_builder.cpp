@@ -3,8 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <sstream>
+#include <tuple>
 
 #include "core/failure_timeline.hpp"
+#include "store/columnar.hpp"
+#include "trace/binary_io.hpp"
 
 namespace ssdfail::core {
 namespace {
@@ -232,6 +236,148 @@ TEST(DatasetBuilder, StreamingMatchesInMemory) {
   }
 }
 
+TEST(DatasetBuilder, AppendDriveIncrementalMatchesBatch) {
+  FleetTrace fleet;
+  fleet.drives.push_back(make_failing_drive(1, 60, 65, 200));
+  fleet.drives.push_back(make_healthy_drive(2, 150));
+  fleet.drives.push_back(make_failing_drive(3, 20, 22, 0));
+  DatasetBuildOptions opts;
+  opts.lookahead_days = 4;
+  opts.negative_keep_prob = 0.3;
+  ml::Dataset incremental;
+  for (const DriveHistory& drive : fleet.drives)
+    append_drive(incremental, drive, opts);
+  const ml::Dataset batch = build_dataset(fleet, opts);
+  ASSERT_EQ(incremental.size(), batch.size());
+  EXPECT_EQ(incremental.y, batch.y);
+  EXPECT_EQ(incremental.groups, batch.groups);
+  EXPECT_EQ(incremental.feature_names, batch.feature_names);
+  for (std::size_t r = 0; r < batch.x.rows(); ++r)
+    for (std::size_t c = 0; c < batch.x.cols(); ++c)
+      ASSERT_EQ(incremental.x(r, c), batch.x(r, c)) << "row " << r << " col " << c;
+}
+
+TEST(DatasetBuilder, ModelAgeAndErrorFiltersCompose) {
+  // One drive per model, each with a UE on day 100; restrict to MLC-B,
+  // old-only, error label.  Every row must satisfy all three at once.
+  FleetTrace fleet;
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    DriveHistory d = make_healthy_drive(i, 200);
+    d.model = trace::kAllModels[i];
+    d.records[100].errors[static_cast<std::size_t>(
+        trace::ErrorType::kUncorrectable)] = 1;
+    fleet.drives.push_back(std::move(d));
+  }
+  DatasetBuildOptions opts;
+  opts.negative_keep_prob = 1.0;
+  opts.lookahead_days = 3;
+  opts.model_filter = trace::DriveModel::MlcB;
+  opts.age_filter = DatasetBuildOptions::AgeFilter::kOldOnly;
+  opts.error_label = trace::ErrorType::kUncorrectable;
+  const ml::Dataset data = build_dataset(fleet, opts);
+  EXPECT_EQ(data.size(), 109u);  // ages 91..199 of the one MLC-B drive
+  const std::size_t age_col = FeatureExtractor::age_index();
+  std::size_t positives = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_EQ(data.groups[i] >> 32,
+              static_cast<std::uint64_t>(trace::DriveModel::MlcB));
+    EXPECT_GT(data.x(i, age_col), 90.0f);
+    if (data.y[i] > 0.5f) ++positives;
+  }
+  EXPECT_EQ(positives, 3u);  // days 97..99 (dte in [1,3]); day 100 is a feature
+}
+
+TEST(DatasetBuilder, PositiveSubsamplingIsDeterministicPerDriveDay) {
+  // positive_keep_prob < 1 (the Table 8 protocol): the keep decision is
+  // a pure function of (seed, drive, day), so repeated builds agree and
+  // reordering the fleet's drives selects the SAME drive-days.
+  const auto erroring_drive = [](std::uint32_t index) {
+    DriveHistory d = make_healthy_drive(index, 120);
+    for (std::int32_t day = 10; day < 120; day += 7)
+      d.records[static_cast<std::size_t>(day)].errors[static_cast<std::size_t>(
+          trace::ErrorType::kUncorrectable)] = 1;
+    return d;
+  };
+  FleetTrace fleet;
+  for (std::uint32_t i = 0; i < 6; ++i) fleet.drives.push_back(erroring_drive(i));
+  FleetTrace reversed;
+  for (auto it = fleet.drives.rbegin(); it != fleet.drives.rend(); ++it)
+    reversed.drives.push_back(*it);
+
+  DatasetBuildOptions opts;
+  opts.lookahead_days = 3;
+  opts.error_label = trace::ErrorType::kUncorrectable;
+  opts.negative_keep_prob = 0.2;
+  opts.positive_keep_prob = 0.5;
+
+  const ml::Dataset a = build_dataset(fleet, opts);
+  const ml::Dataset b = build_dataset(fleet, opts);
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a.y, b.y);
+  EXPECT_EQ(a.groups, b.groups);
+  EXPECT_LT(a.positives(), 6u * 47u);  // subsampling actually dropped positives
+  EXPECT_GT(a.positives(), 0u);
+
+  const auto row_keys = [](const ml::Dataset& d) {
+    const std::size_t age_col = FeatureExtractor::age_index();
+    std::set<std::tuple<std::uint64_t, float, float>> keys;
+    for (std::size_t i = 0; i < d.size(); ++i)
+      keys.insert({d.groups[i], d.x(i, age_col), d.y[i]});
+    return keys;
+  };
+  EXPECT_EQ(row_keys(a), row_keys(build_dataset(reversed, opts)));
+
+  DatasetBuildOptions reseeded = opts;
+  reseeded.seed = opts.seed + 1;
+  EXPECT_NE(row_keys(a), row_keys(build_dataset(fleet, reseeded)));
+}
+
+TEST(DatasetBuilder, EmptyAndRecordlessFleetsBuildValidEmptyDatasets) {
+  DatasetBuildOptions opts;
+  opts.negative_keep_prob = 1.0;
+
+  const ml::Dataset from_empty = build_dataset(FleetTrace{}, opts);
+  EXPECT_EQ(from_empty.size(), 0u);
+  EXPECT_FALSE(from_empty.feature_names.empty());  // schema survives no data
+
+  std::ostringstream encoded(std::ios::binary);
+  trace::write_binary_v2(encoded, FleetTrace{});
+  const std::string bytes = encoded.str();
+  const ml::Dataset from_empty_columnar = build_dataset(
+      store::ColumnarFleetView::from_buffer({bytes.begin(), bytes.end()}), opts);
+  EXPECT_EQ(from_empty_columnar.size(), 0u);
+  EXPECT_EQ(from_empty_columnar.feature_names, from_empty.feature_names);
+
+  FleetTrace recordless;
+  DriveHistory bare;
+  bare.model = trace::DriveModel::MlcA;
+  bare.drive_index = 9;
+  recordless.drives.push_back(bare);
+  const ml::Dataset from_recordless = build_dataset(recordless, opts);
+  EXPECT_EQ(from_recordless.size(), 0u);
+  EXPECT_EQ(from_recordless.feature_names, from_empty.feature_names);
+
+  // Filters that exclude every drive reduce to the same empty-but-valid shape.
+  FleetTrace populated;
+  populated.drives.push_back(make_healthy_drive(1, 50));  // MLC-A
+  DatasetBuildOptions filtered = opts;
+  filtered.model_filter = trace::DriveModel::MlcD;
+  EXPECT_EQ(build_dataset(populated, filtered).size(), 0u);
+}
+
+TEST(DatasetBuilder, AllLimboDrivesContributeOnlyPreFailureRows) {
+  // A drive that fails immediately and never re-enters: everything after
+  // the swap is limbo, so only the single pre-failure day survives.
+  FleetTrace fleet;
+  fleet.drives.push_back(make_failing_drive(1, 0, 2, 0));
+  DatasetBuildOptions opts;
+  opts.lookahead_days = 1;
+  opts.negative_keep_prob = 1.0;
+  const ml::Dataset data = build_dataset(fleet, opts);
+  ASSERT_EQ(data.size(), 1u);
+  EXPECT_EQ(data.positives(), 1u);  // day 0 is within 1 day of the failure
+}
+
 // The sweep cache's whole contract is bit-identity with independent
 // builds (docs in dataset_builder.hpp): same rows, same order, same
 // floats, for EVERY lookahead in range.
@@ -296,6 +442,58 @@ TEST(SweepDatasetCache, StreamingCtorMatchesInMemoryCtor) {
   ASSERT_EQ(streamed.cached_rows(), in_memory.cached_rows());
   for (int n : {1, 4, 7})
     expect_bit_identical(streamed.materialize(n), in_memory.materialize(n), n);
+}
+
+TEST(DatasetBuilder, ColumnarBuildMatchesRowBuild) {
+  // The columnar overload promises BIT-identity with the row path (see
+  // dataset_builder.hpp): same rows, same order, same floats, at every
+  // chunk geometry from one-drive-per-chunk to everything-in-one-chunk.
+  FleetTrace fleet;
+  fleet.drives.push_back(make_failing_drive(1, 60, 65, 200));
+  fleet.drives.push_back(make_healthy_drive(2, 150));
+  fleet.drives.push_back(make_failing_drive(3, 20, 22, 0));
+  fleet.drives.push_back(make_healthy_drive(4, 90));
+  fleet.drives.push_back(make_healthy_drive(5, 10));
+  DatasetBuildOptions opts;
+  opts.lookahead_days = 4;
+  opts.negative_keep_prob = 0.25;
+  const ml::Dataset row = build_dataset(fleet, opts);
+  for (const std::uint32_t chunk_drives : {1u, 2u, 5u, 64u}) {
+    std::ostringstream out(std::ios::binary);
+    trace::write_binary_v2(out, fleet, chunk_drives);
+    const std::string bytes = out.str();
+    const auto view =
+        store::ColumnarFleetView::from_buffer({bytes.begin(), bytes.end()});
+    expect_bit_identical(build_dataset(view, opts), row,
+                         static_cast<int>(chunk_drives));
+  }
+}
+
+TEST(DatasetBuilder, ColumnarBuildHonorsEveryOption) {
+  // Same bit-identity contract, but with the full option surface engaged:
+  // filters, error label, subsampled positives, rolling features.
+  FleetTrace fleet;
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    DriveHistory d = make_healthy_drive(i, 160);
+    d.model = trace::kAllModels[i % trace::kNumModels];
+    d.records[80].errors[static_cast<std::size_t>(
+        trace::ErrorType::kUncorrectable)] = 2;
+    fleet.drives.push_back(std::move(d));
+  }
+  DatasetBuildOptions opts;
+  opts.lookahead_days = 5;
+  opts.negative_keep_prob = 0.4;
+  opts.positive_keep_prob = 0.6;
+  opts.error_label = trace::ErrorType::kUncorrectable;
+  opts.model_filter = trace::DriveModel::MlcA;
+  opts.age_filter = DatasetBuildOptions::AgeFilter::kOldOnly;
+  opts.rolling_features = true;
+  std::ostringstream out(std::ios::binary);
+  trace::write_binary_v2(out, fleet, 2);
+  const std::string bytes = out.str();
+  const auto view =
+      store::ColumnarFleetView::from_buffer({bytes.begin(), bytes.end()});
+  expect_bit_identical(build_dataset(view, opts), build_dataset(fleet, opts), 2);
 }
 
 TEST(SweepDatasetCache, RejectsOutOfRangeLookahead) {

@@ -176,7 +176,13 @@ TEST(MetricsRegistry, SnapshotWhileWritingIsMonotone) {
   std::atomic<bool> stop{false};
   std::thread writer([&] {
     c.inc();  // at least one increment even if stop wins the race
-    while (!stop.load(std::memory_order_relaxed)) c.inc();
+    while (!stop.load(std::memory_order_relaxed)) {
+      c.inc();
+      // A pure spin loop can starve the snapshotting thread for an entire
+      // scheduler quantum per iteration on a single-core machine, turning
+      // this test into a timing flake under full-suite load.
+      std::this_thread::yield();
+    }
   });
   double last = 0.0;
   for (int i = 0; i < 200; ++i) {
