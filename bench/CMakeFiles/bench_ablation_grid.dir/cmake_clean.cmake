@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_grid.dir/bench_ablation_grid.cpp.o"
+  "CMakeFiles/bench_ablation_grid.dir/bench_ablation_grid.cpp.o.d"
+  "bench_ablation_grid"
+  "bench_ablation_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_boosting.dir/bench_ext_boosting.cpp.o"
+  "CMakeFiles/bench_ext_boosting.dir/bench_ext_boosting.cpp.o.d"
+  "bench_ext_boosting"
+  "bench_ext_boosting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_boosting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

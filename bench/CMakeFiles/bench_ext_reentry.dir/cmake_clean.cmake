@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_reentry.dir/bench_ext_reentry.cpp.o"
+  "CMakeFiles/bench_ext_reentry.dir/bench_ext_reentry.cpp.o.d"
+  "bench_ext_reentry"
+  "bench_ext_reentry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_reentry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

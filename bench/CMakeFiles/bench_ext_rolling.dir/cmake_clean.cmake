@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_rolling.dir/bench_ext_rolling.cpp.o"
+  "CMakeFiles/bench_ext_rolling.dir/bench_ext_rolling.cpp.o.d"
+  "bench_ext_rolling"
+  "bench_ext_rolling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_rolling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

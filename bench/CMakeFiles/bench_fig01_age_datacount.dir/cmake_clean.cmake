@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig01_age_datacount.dir/bench_fig01_age_datacount.cpp.o"
+  "CMakeFiles/bench_fig01_age_datacount.dir/bench_fig01_age_datacount.cpp.o.d"
+  "bench_fig01_age_datacount"
+  "bench_fig01_age_datacount.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_age_datacount.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

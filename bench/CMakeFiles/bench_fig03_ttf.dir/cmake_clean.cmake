@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_ttf.dir/bench_fig03_ttf.cpp.o"
+  "CMakeFiles/bench_fig03_ttf.dir/bench_fig03_ttf.cpp.o.d"
+  "bench_fig03_ttf"
+  "bench_fig03_ttf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_ttf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_nonop_period.dir/bench_fig04_nonop_period.cpp.o"
+  "CMakeFiles/bench_fig04_nonop_period.dir/bench_fig04_nonop_period.cpp.o.d"
+  "bench_fig04_nonop_period"
+  "bench_fig04_nonop_period.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_nonop_period.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig05_time_to_repair.
+# This may be replaced when dependencies are built.

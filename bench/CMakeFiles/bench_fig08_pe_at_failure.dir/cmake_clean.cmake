@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_pe_at_failure.dir/bench_fig08_pe_at_failure.cpp.o"
+  "CMakeFiles/bench_fig08_pe_at_failure.dir/bench_fig08_pe_at_failure.cpp.o.d"
+  "bench_fig08_pe_at_failure"
+  "bench_fig08_pe_at_failure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_pe_at_failure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_error_cdfs.dir/bench_fig10_error_cdfs.cpp.o"
+  "CMakeFiles/bench_fig10_error_cdfs.dir/bench_fig10_error_cdfs.cpp.o.d"
+  "bench_fig10_error_cdfs"
+  "bench_fig10_error_cdfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_error_cdfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

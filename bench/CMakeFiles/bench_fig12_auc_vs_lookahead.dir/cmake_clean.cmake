@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_auc_vs_lookahead.dir/bench_fig12_auc_vs_lookahead.cpp.o"
+  "CMakeFiles/bench_fig12_auc_vs_lookahead.dir/bench_fig12_auc_vs_lookahead.cpp.o.d"
+  "bench_fig12_auc_vs_lookahead"
+  "bench_fig12_auc_vs_lookahead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_auc_vs_lookahead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

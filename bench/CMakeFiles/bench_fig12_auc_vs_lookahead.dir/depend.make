@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig12_auc_vs_lookahead.
+# This may be replaced when dependencies are built.

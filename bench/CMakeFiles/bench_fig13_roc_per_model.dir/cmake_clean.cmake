@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_roc_per_model.dir/bench_fig13_roc_per_model.cpp.o"
+  "CMakeFiles/bench_fig13_roc_per_model.dir/bench_fig13_roc_per_model.cpp.o.d"
+  "bench_fig13_roc_per_model"
+  "bench_fig13_roc_per_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_roc_per_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_tpr_by_age.dir/bench_fig14_tpr_by_age.cpp.o"
+  "CMakeFiles/bench_fig14_tpr_by_age.dir/bench_fig14_tpr_by_age.cpp.o.d"
+  "bench_fig14_tpr_by_age"
+  "bench_fig14_tpr_by_age.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_tpr_by_age.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig14_tpr_by_age.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_roc_young_old.dir/bench_fig15_roc_young_old.cpp.o"
+  "CMakeFiles/bench_fig15_roc_young_old.dir/bench_fig15_roc_young_old.cpp.o.d"
+  "bench_fig15_roc_young_old"
+  "bench_fig15_roc_young_old.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_roc_young_old.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

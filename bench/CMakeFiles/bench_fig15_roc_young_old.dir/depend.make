@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig15_roc_young_old.
+# This may be replaced when dependencies are built.

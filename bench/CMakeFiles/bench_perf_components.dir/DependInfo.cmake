@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_perf_components.cpp" "bench/CMakeFiles/bench_perf_components.dir/bench_perf_components.cpp.o" "gcc" "bench/CMakeFiles/bench_perf_components.dir/bench_perf_components.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/core/CMakeFiles/ssdfail_core.dir/DependInfo.cmake"
+  "/root/repo/src/robustness/CMakeFiles/ssdfail_robustness.dir/DependInfo.cmake"
+  "/root/repo/src/sim/CMakeFiles/ssdfail_sim.dir/DependInfo.cmake"
+  "/root/repo/src/trace/CMakeFiles/ssdfail_trace.dir/DependInfo.cmake"
+  "/root/repo/src/store/CMakeFiles/ssdfail_store.dir/DependInfo.cmake"
+  "/root/repo/src/io/CMakeFiles/ssdfail_io.dir/DependInfo.cmake"
+  "/root/repo/src/ml/CMakeFiles/ssdfail_ml.dir/DependInfo.cmake"
+  "/root/repo/src/stats/CMakeFiles/ssdfail_stats.dir/DependInfo.cmake"
+  "/root/repo/src/parallel/CMakeFiles/ssdfail_parallel.dir/DependInfo.cmake"
+  "/root/repo/src/obs/CMakeFiles/ssdfail_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

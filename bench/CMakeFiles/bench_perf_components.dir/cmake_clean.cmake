@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_perf_components.dir/bench_perf_components.cpp.o"
+  "CMakeFiles/bench_perf_components.dir/bench_perf_components.cpp.o.d"
+  "bench_perf_components"
+  "bench_perf_components.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

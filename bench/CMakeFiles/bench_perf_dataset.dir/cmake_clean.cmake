@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_perf_dataset.dir/bench_perf_dataset.cpp.o"
+  "CMakeFiles/bench_perf_dataset.dir/bench_perf_dataset.cpp.o.d"
+  "bench_perf_dataset"
+  "bench_perf_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_error_incidence.dir/bench_table1_error_incidence.cpp.o"
+  "CMakeFiles/bench_table1_error_incidence.dir/bench_table1_error_incidence.cpp.o.d"
+  "bench_table1_error_incidence"
+  "bench_table1_error_incidence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_error_incidence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

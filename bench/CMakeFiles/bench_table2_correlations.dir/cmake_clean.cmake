@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_correlations.dir/bench_table2_correlations.cpp.o"
+  "CMakeFiles/bench_table2_correlations.dir/bench_table2_correlations.cpp.o.d"
+  "bench_table2_correlations"
+  "bench_table2_correlations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_correlations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

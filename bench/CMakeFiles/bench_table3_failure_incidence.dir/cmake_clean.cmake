@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_failure_incidence.dir/bench_table3_failure_incidence.cpp.o"
+  "CMakeFiles/bench_table3_failure_incidence.dir/bench_table3_failure_incidence.cpp.o.d"
+  "bench_table3_failure_incidence"
+  "bench_table3_failure_incidence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_failure_incidence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table3_failure_incidence.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_failure_counts.dir/bench_table4_failure_counts.cpp.o"
+  "CMakeFiles/bench_table4_failure_counts.dir/bench_table4_failure_counts.cpp.o.d"
+  "bench_table4_failure_counts"
+  "bench_table4_failure_counts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_failure_counts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_repair_reentry.dir/bench_table5_repair_reentry.cpp.o"
+  "CMakeFiles/bench_table5_repair_reentry.dir/bench_table5_repair_reentry.cpp.o.d"
+  "bench_table5_repair_reentry"
+  "bench_table5_repair_reentry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_repair_reentry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table5_repair_reentry.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_model_auc.dir/bench_table6_model_auc.cpp.o"
+  "CMakeFiles/bench_table6_model_auc.dir/bench_table6_model_auc.cpp.o.d"
+  "bench_table6_model_auc"
+  "bench_table6_model_auc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_model_auc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

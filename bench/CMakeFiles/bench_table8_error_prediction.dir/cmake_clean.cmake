@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table8_error_prediction.dir/bench_table8_error_prediction.cpp.o"
+  "CMakeFiles/bench_table8_error_prediction.dir/bench_table8_error_prediction.cpp.o.d"
+  "bench_table8_error_prediction"
+  "bench_table8_error_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table8_error_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

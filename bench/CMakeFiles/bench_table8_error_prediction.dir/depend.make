@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table8_error_prediction.
+# This may be replaced when dependencies are built.

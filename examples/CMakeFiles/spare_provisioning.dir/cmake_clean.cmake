@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spare_provisioning.dir/spare_provisioning.cpp.o"
+  "CMakeFiles/spare_provisioning.dir/spare_provisioning.cpp.o.d"
+  "spare_provisioning"
+  "spare_provisioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spare_provisioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for spare_provisioning.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssdfail_cli.dir/ssdfail_cli.cpp.o"
+  "CMakeFiles/ssdfail_cli.dir/ssdfail_cli.cpp.o.d"
+  "ssdfail_cli"
+  "ssdfail_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssdfail_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

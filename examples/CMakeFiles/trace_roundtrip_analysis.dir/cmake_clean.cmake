@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_roundtrip_analysis.dir/trace_roundtrip_analysis.cpp.o"
+  "CMakeFiles/trace_roundtrip_analysis.dir/trace_roundtrip_analysis.cpp.o.d"
+  "trace_roundtrip_analysis"
+  "trace_roundtrip_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_roundtrip_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

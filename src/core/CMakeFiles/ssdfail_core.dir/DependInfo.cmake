@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/characterization.cpp" "src/core/CMakeFiles/ssdfail_core.dir/characterization.cpp.o" "gcc" "src/core/CMakeFiles/ssdfail_core.dir/characterization.cpp.o.d"
+  "/root/repo/src/core/dataset_builder.cpp" "src/core/CMakeFiles/ssdfail_core.dir/dataset_builder.cpp.o" "gcc" "src/core/CMakeFiles/ssdfail_core.dir/dataset_builder.cpp.o.d"
+  "/root/repo/src/core/failure_timeline.cpp" "src/core/CMakeFiles/ssdfail_core.dir/failure_timeline.cpp.o" "gcc" "src/core/CMakeFiles/ssdfail_core.dir/failure_timeline.cpp.o.d"
+  "/root/repo/src/core/features.cpp" "src/core/CMakeFiles/ssdfail_core.dir/features.cpp.o" "gcc" "src/core/CMakeFiles/ssdfail_core.dir/features.cpp.o.d"
+  "/root/repo/src/core/monitor_metrics.cpp" "src/core/CMakeFiles/ssdfail_core.dir/monitor_metrics.cpp.o" "gcc" "src/core/CMakeFiles/ssdfail_core.dir/monitor_metrics.cpp.o.d"
+  "/root/repo/src/core/online_monitor.cpp" "src/core/CMakeFiles/ssdfail_core.dir/online_monitor.cpp.o" "gcc" "src/core/CMakeFiles/ssdfail_core.dir/online_monitor.cpp.o.d"
+  "/root/repo/src/core/policy.cpp" "src/core/CMakeFiles/ssdfail_core.dir/policy.cpp.o" "gcc" "src/core/CMakeFiles/ssdfail_core.dir/policy.cpp.o.d"
+  "/root/repo/src/core/prediction.cpp" "src/core/CMakeFiles/ssdfail_core.dir/prediction.cpp.o" "gcc" "src/core/CMakeFiles/ssdfail_core.dir/prediction.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/trace/CMakeFiles/ssdfail_trace.dir/DependInfo.cmake"
+  "/root/repo/src/store/CMakeFiles/ssdfail_store.dir/DependInfo.cmake"
+  "/root/repo/src/robustness/CMakeFiles/ssdfail_robustness.dir/DependInfo.cmake"
+  "/root/repo/src/sim/CMakeFiles/ssdfail_sim.dir/DependInfo.cmake"
+  "/root/repo/src/ml/CMakeFiles/ssdfail_ml.dir/DependInfo.cmake"
+  "/root/repo/src/stats/CMakeFiles/ssdfail_stats.dir/DependInfo.cmake"
+  "/root/repo/src/parallel/CMakeFiles/ssdfail_parallel.dir/DependInfo.cmake"
+  "/root/repo/src/obs/CMakeFiles/ssdfail_obs.dir/DependInfo.cmake"
+  "/root/repo/src/io/CMakeFiles/ssdfail_io.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

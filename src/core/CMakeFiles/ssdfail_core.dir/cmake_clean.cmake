@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssdfail_core.dir/characterization.cpp.o"
+  "CMakeFiles/ssdfail_core.dir/characterization.cpp.o.d"
+  "CMakeFiles/ssdfail_core.dir/dataset_builder.cpp.o"
+  "CMakeFiles/ssdfail_core.dir/dataset_builder.cpp.o.d"
+  "CMakeFiles/ssdfail_core.dir/failure_timeline.cpp.o"
+  "CMakeFiles/ssdfail_core.dir/failure_timeline.cpp.o.d"
+  "CMakeFiles/ssdfail_core.dir/features.cpp.o"
+  "CMakeFiles/ssdfail_core.dir/features.cpp.o.d"
+  "CMakeFiles/ssdfail_core.dir/monitor_metrics.cpp.o"
+  "CMakeFiles/ssdfail_core.dir/monitor_metrics.cpp.o.d"
+  "CMakeFiles/ssdfail_core.dir/online_monitor.cpp.o"
+  "CMakeFiles/ssdfail_core.dir/online_monitor.cpp.o.d"
+  "CMakeFiles/ssdfail_core.dir/policy.cpp.o"
+  "CMakeFiles/ssdfail_core.dir/policy.cpp.o.d"
+  "CMakeFiles/ssdfail_core.dir/prediction.cpp.o"
+  "CMakeFiles/ssdfail_core.dir/prediction.cpp.o.d"
+  "libssdfail_core.a"
+  "libssdfail_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssdfail_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

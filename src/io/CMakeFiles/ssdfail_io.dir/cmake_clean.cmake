@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssdfail_io.dir/csv.cpp.o"
+  "CMakeFiles/ssdfail_io.dir/csv.cpp.o.d"
+  "CMakeFiles/ssdfail_io.dir/table.cpp.o"
+  "CMakeFiles/ssdfail_io.dir/table.cpp.o.d"
+  "libssdfail_io.a"
+  "libssdfail_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssdfail_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

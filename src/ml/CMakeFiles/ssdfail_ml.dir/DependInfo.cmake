@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/cross_validation.cpp" "src/ml/CMakeFiles/ssdfail_ml.dir/cross_validation.cpp.o" "gcc" "src/ml/CMakeFiles/ssdfail_ml.dir/cross_validation.cpp.o.d"
+  "/root/repo/src/ml/dataset.cpp" "src/ml/CMakeFiles/ssdfail_ml.dir/dataset.cpp.o" "gcc" "src/ml/CMakeFiles/ssdfail_ml.dir/dataset.cpp.o.d"
+  "/root/repo/src/ml/decision_tree.cpp" "src/ml/CMakeFiles/ssdfail_ml.dir/decision_tree.cpp.o" "gcc" "src/ml/CMakeFiles/ssdfail_ml.dir/decision_tree.cpp.o.d"
+  "/root/repo/src/ml/downsample.cpp" "src/ml/CMakeFiles/ssdfail_ml.dir/downsample.cpp.o" "gcc" "src/ml/CMakeFiles/ssdfail_ml.dir/downsample.cpp.o.d"
+  "/root/repo/src/ml/gradient_boosting.cpp" "src/ml/CMakeFiles/ssdfail_ml.dir/gradient_boosting.cpp.o" "gcc" "src/ml/CMakeFiles/ssdfail_ml.dir/gradient_boosting.cpp.o.d"
+  "/root/repo/src/ml/grid_search.cpp" "src/ml/CMakeFiles/ssdfail_ml.dir/grid_search.cpp.o" "gcc" "src/ml/CMakeFiles/ssdfail_ml.dir/grid_search.cpp.o.d"
+  "/root/repo/src/ml/knn.cpp" "src/ml/CMakeFiles/ssdfail_ml.dir/knn.cpp.o" "gcc" "src/ml/CMakeFiles/ssdfail_ml.dir/knn.cpp.o.d"
+  "/root/repo/src/ml/logistic.cpp" "src/ml/CMakeFiles/ssdfail_ml.dir/logistic.cpp.o" "gcc" "src/ml/CMakeFiles/ssdfail_ml.dir/logistic.cpp.o.d"
+  "/root/repo/src/ml/matrix.cpp" "src/ml/CMakeFiles/ssdfail_ml.dir/matrix.cpp.o" "gcc" "src/ml/CMakeFiles/ssdfail_ml.dir/matrix.cpp.o.d"
+  "/root/repo/src/ml/metrics.cpp" "src/ml/CMakeFiles/ssdfail_ml.dir/metrics.cpp.o" "gcc" "src/ml/CMakeFiles/ssdfail_ml.dir/metrics.cpp.o.d"
+  "/root/repo/src/ml/model_zoo.cpp" "src/ml/CMakeFiles/ssdfail_ml.dir/model_zoo.cpp.o" "gcc" "src/ml/CMakeFiles/ssdfail_ml.dir/model_zoo.cpp.o.d"
+  "/root/repo/src/ml/neural_net.cpp" "src/ml/CMakeFiles/ssdfail_ml.dir/neural_net.cpp.o" "gcc" "src/ml/CMakeFiles/ssdfail_ml.dir/neural_net.cpp.o.d"
+  "/root/repo/src/ml/random_forest.cpp" "src/ml/CMakeFiles/ssdfail_ml.dir/random_forest.cpp.o" "gcc" "src/ml/CMakeFiles/ssdfail_ml.dir/random_forest.cpp.o.d"
+  "/root/repo/src/ml/serialize.cpp" "src/ml/CMakeFiles/ssdfail_ml.dir/serialize.cpp.o" "gcc" "src/ml/CMakeFiles/ssdfail_ml.dir/serialize.cpp.o.d"
+  "/root/repo/src/ml/standardizer.cpp" "src/ml/CMakeFiles/ssdfail_ml.dir/standardizer.cpp.o" "gcc" "src/ml/CMakeFiles/ssdfail_ml.dir/standardizer.cpp.o.d"
+  "/root/repo/src/ml/svm.cpp" "src/ml/CMakeFiles/ssdfail_ml.dir/svm.cpp.o" "gcc" "src/ml/CMakeFiles/ssdfail_ml.dir/svm.cpp.o.d"
+  "/root/repo/src/ml/threshold_baseline.cpp" "src/ml/CMakeFiles/ssdfail_ml.dir/threshold_baseline.cpp.o" "gcc" "src/ml/CMakeFiles/ssdfail_ml.dir/threshold_baseline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/stats/CMakeFiles/ssdfail_stats.dir/DependInfo.cmake"
+  "/root/repo/src/parallel/CMakeFiles/ssdfail_parallel.dir/DependInfo.cmake"
+  "/root/repo/src/obs/CMakeFiles/ssdfail_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssdfail_obs.dir/exposition.cpp.o"
+  "CMakeFiles/ssdfail_obs.dir/exposition.cpp.o.d"
+  "CMakeFiles/ssdfail_obs.dir/metrics.cpp.o"
+  "CMakeFiles/ssdfail_obs.dir/metrics.cpp.o.d"
+  "CMakeFiles/ssdfail_obs.dir/snapshotter.cpp.o"
+  "CMakeFiles/ssdfail_obs.dir/snapshotter.cpp.o.d"
+  "CMakeFiles/ssdfail_obs.dir/trace_span.cpp.o"
+  "CMakeFiles/ssdfail_obs.dir/trace_span.cpp.o.d"
+  "libssdfail_obs.a"
+  "libssdfail_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssdfail_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssdfail_parallel.dir/thread_pool.cpp.o"
+  "CMakeFiles/ssdfail_parallel.dir/thread_pool.cpp.o.d"
+  "libssdfail_parallel.a"
+  "libssdfail_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssdfail_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

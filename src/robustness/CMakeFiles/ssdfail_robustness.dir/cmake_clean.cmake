@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssdfail_robustness.dir/fault_injector.cpp.o"
+  "CMakeFiles/ssdfail_robustness.dir/fault_injector.cpp.o.d"
+  "CMakeFiles/ssdfail_robustness.dir/record_sanitizer.cpp.o"
+  "CMakeFiles/ssdfail_robustness.dir/record_sanitizer.cpp.o.d"
+  "libssdfail_robustness.a"
+  "libssdfail_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssdfail_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssdfail_sim.dir/drive_simulator.cpp.o"
+  "CMakeFiles/ssdfail_sim.dir/drive_simulator.cpp.o.d"
+  "CMakeFiles/ssdfail_sim.dir/fleet_simulator.cpp.o"
+  "CMakeFiles/ssdfail_sim.dir/fleet_simulator.cpp.o.d"
+  "CMakeFiles/ssdfail_sim.dir/model_spec.cpp.o"
+  "CMakeFiles/ssdfail_sim.dir/model_spec.cpp.o.d"
+  "libssdfail_sim.a"
+  "libssdfail_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssdfail_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/ecdf.cpp" "src/stats/CMakeFiles/ssdfail_stats.dir/ecdf.cpp.o" "gcc" "src/stats/CMakeFiles/ssdfail_stats.dir/ecdf.cpp.o.d"
+  "/root/repo/src/stats/histogram.cpp" "src/stats/CMakeFiles/ssdfail_stats.dir/histogram.cpp.o" "gcc" "src/stats/CMakeFiles/ssdfail_stats.dir/histogram.cpp.o.d"
+  "/root/repo/src/stats/rng.cpp" "src/stats/CMakeFiles/ssdfail_stats.dir/rng.cpp.o" "gcc" "src/stats/CMakeFiles/ssdfail_stats.dir/rng.cpp.o.d"
+  "/root/repo/src/stats/spearman.cpp" "src/stats/CMakeFiles/ssdfail_stats.dir/spearman.cpp.o" "gcc" "src/stats/CMakeFiles/ssdfail_stats.dir/spearman.cpp.o.d"
+  "/root/repo/src/stats/streaming.cpp" "src/stats/CMakeFiles/ssdfail_stats.dir/streaming.cpp.o" "gcc" "src/stats/CMakeFiles/ssdfail_stats.dir/streaming.cpp.o.d"
+  "/root/repo/src/stats/survival.cpp" "src/stats/CMakeFiles/ssdfail_stats.dir/survival.cpp.o" "gcc" "src/stats/CMakeFiles/ssdfail_stats.dir/survival.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssdfail_stats.dir/ecdf.cpp.o"
+  "CMakeFiles/ssdfail_stats.dir/ecdf.cpp.o.d"
+  "CMakeFiles/ssdfail_stats.dir/histogram.cpp.o"
+  "CMakeFiles/ssdfail_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/ssdfail_stats.dir/rng.cpp.o"
+  "CMakeFiles/ssdfail_stats.dir/rng.cpp.o.d"
+  "CMakeFiles/ssdfail_stats.dir/spearman.cpp.o"
+  "CMakeFiles/ssdfail_stats.dir/spearman.cpp.o.d"
+  "CMakeFiles/ssdfail_stats.dir/streaming.cpp.o"
+  "CMakeFiles/ssdfail_stats.dir/streaming.cpp.o.d"
+  "CMakeFiles/ssdfail_stats.dir/survival.cpp.o"
+  "CMakeFiles/ssdfail_stats.dir/survival.cpp.o.d"
+  "libssdfail_stats.a"
+  "libssdfail_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssdfail_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/store/columnar.cpp" "src/store/CMakeFiles/ssdfail_store.dir/columnar.cpp.o" "gcc" "src/store/CMakeFiles/ssdfail_store.dir/columnar.cpp.o.d"
+  "/root/repo/src/store/crc32.cpp" "src/store/CMakeFiles/ssdfail_store.dir/crc32.cpp.o" "gcc" "src/store/CMakeFiles/ssdfail_store.dir/crc32.cpp.o.d"
+  "/root/repo/src/store/mmap_file.cpp" "src/store/CMakeFiles/ssdfail_store.dir/mmap_file.cpp.o" "gcc" "src/store/CMakeFiles/ssdfail_store.dir/mmap_file.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/obs/CMakeFiles/ssdfail_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssdfail_store.dir/columnar.cpp.o"
+  "CMakeFiles/ssdfail_store.dir/columnar.cpp.o.d"
+  "CMakeFiles/ssdfail_store.dir/crc32.cpp.o"
+  "CMakeFiles/ssdfail_store.dir/crc32.cpp.o.d"
+  "CMakeFiles/ssdfail_store.dir/mmap_file.cpp.o"
+  "CMakeFiles/ssdfail_store.dir/mmap_file.cpp.o.d"
+  "libssdfail_store.a"
+  "libssdfail_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssdfail_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

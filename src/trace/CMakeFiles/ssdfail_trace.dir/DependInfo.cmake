@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/binary_io.cpp" "src/trace/CMakeFiles/ssdfail_trace.dir/binary_io.cpp.o" "gcc" "src/trace/CMakeFiles/ssdfail_trace.dir/binary_io.cpp.o.d"
+  "/root/repo/src/trace/drive_history.cpp" "src/trace/CMakeFiles/ssdfail_trace.dir/drive_history.cpp.o" "gcc" "src/trace/CMakeFiles/ssdfail_trace.dir/drive_history.cpp.o.d"
+  "/root/repo/src/trace/schema.cpp" "src/trace/CMakeFiles/ssdfail_trace.dir/schema.cpp.o" "gcc" "src/trace/CMakeFiles/ssdfail_trace.dir/schema.cpp.o.d"
+  "/root/repo/src/trace/trace_io.cpp" "src/trace/CMakeFiles/ssdfail_trace.dir/trace_io.cpp.o" "gcc" "src/trace/CMakeFiles/ssdfail_trace.dir/trace_io.cpp.o.d"
+  "/root/repo/src/trace/validation.cpp" "src/trace/CMakeFiles/ssdfail_trace.dir/validation.cpp.o" "gcc" "src/trace/CMakeFiles/ssdfail_trace.dir/validation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/io/CMakeFiles/ssdfail_io.dir/DependInfo.cmake"
+  "/root/repo/src/obs/CMakeFiles/ssdfail_obs.dir/DependInfo.cmake"
+  "/root/repo/src/store/CMakeFiles/ssdfail_store.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssdfail_trace.dir/binary_io.cpp.o"
+  "CMakeFiles/ssdfail_trace.dir/binary_io.cpp.o.d"
+  "CMakeFiles/ssdfail_trace.dir/drive_history.cpp.o"
+  "CMakeFiles/ssdfail_trace.dir/drive_history.cpp.o.d"
+  "CMakeFiles/ssdfail_trace.dir/schema.cpp.o"
+  "CMakeFiles/ssdfail_trace.dir/schema.cpp.o.d"
+  "CMakeFiles/ssdfail_trace.dir/trace_io.cpp.o"
+  "CMakeFiles/ssdfail_trace.dir/trace_io.cpp.o.d"
+  "CMakeFiles/ssdfail_trace.dir/validation.cpp.o"
+  "CMakeFiles/ssdfail_trace.dir/validation.cpp.o.d"
+  "libssdfail_trace.a"
+  "libssdfail_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssdfail_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

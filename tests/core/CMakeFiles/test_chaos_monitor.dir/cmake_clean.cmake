@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chaos_monitor.dir/test_chaos_monitor.cpp.o"
+  "CMakeFiles/test_chaos_monitor.dir/test_chaos_monitor.cpp.o.d"
+  "test_chaos_monitor"
+  "test_chaos_monitor.pdb"
+  "test_chaos_monitor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chaos_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

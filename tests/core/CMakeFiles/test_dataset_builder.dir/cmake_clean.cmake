@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dataset_builder.dir/test_dataset_builder.cpp.o"
+  "CMakeFiles/test_dataset_builder.dir/test_dataset_builder.cpp.o.d"
+  "test_dataset_builder"
+  "test_dataset_builder.pdb"
+  "test_dataset_builder[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dataset_builder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

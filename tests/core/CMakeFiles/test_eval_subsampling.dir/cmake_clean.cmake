@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_eval_subsampling.dir/test_eval_subsampling.cpp.o"
+  "CMakeFiles/test_eval_subsampling.dir/test_eval_subsampling.cpp.o.d"
+  "test_eval_subsampling"
+  "test_eval_subsampling.pdb"
+  "test_eval_subsampling[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_eval_subsampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

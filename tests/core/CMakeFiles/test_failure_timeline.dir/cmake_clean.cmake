@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_failure_timeline.dir/test_failure_timeline.cpp.o"
+  "CMakeFiles/test_failure_timeline.dir/test_failure_timeline.cpp.o.d"
+  "test_failure_timeline"
+  "test_failure_timeline.pdb"
+  "test_failure_timeline[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_failure_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_monitor_metrics_facade.dir/test_monitor_metrics_facade.cpp.o"
+  "CMakeFiles/test_monitor_metrics_facade.dir/test_monitor_metrics_facade.cpp.o.d"
+  "test_monitor_metrics_facade"
+  "test_monitor_metrics_facade.pdb"
+  "test_monitor_metrics_facade[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_monitor_metrics_facade.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

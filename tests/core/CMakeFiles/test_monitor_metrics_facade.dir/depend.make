@@ -1,0 +1,2 @@
+# Empty dependencies file for test_monitor_metrics_facade.
+# This may be replaced when dependencies are built.

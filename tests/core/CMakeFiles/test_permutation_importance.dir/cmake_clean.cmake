@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_permutation_importance.dir/test_permutation_importance.cpp.o"
+  "CMakeFiles/test_permutation_importance.dir/test_permutation_importance.cpp.o.d"
+  "test_permutation_importance"
+  "test_permutation_importance.pdb"
+  "test_permutation_importance[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_permutation_importance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

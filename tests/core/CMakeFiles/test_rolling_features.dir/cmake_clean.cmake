@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rolling_features.dir/test_rolling_features.cpp.o"
+  "CMakeFiles/test_rolling_features.dir/test_rolling_features.cpp.o.d"
+  "test_rolling_features"
+  "test_rolling_features.pdb"
+  "test_rolling_features[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rolling_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/core
+# Build directory: /root/repo/tests/core
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/tests/core/test_failure_timeline[1]_include.cmake")
+include("/root/repo/tests/core/test_features[1]_include.cmake")
+include("/root/repo/tests/core/test_dataset_builder[1]_include.cmake")
+include("/root/repo/tests/core/test_characterization[1]_include.cmake")
+include("/root/repo/tests/core/test_prediction[1]_include.cmake")
+include("/root/repo/tests/core/test_policy[1]_include.cmake")
+include("/root/repo/tests/core/test_eval_subsampling[1]_include.cmake")
+include("/root/repo/tests/core/test_paper_shapes[1]_include.cmake")
+include("/root/repo/tests/core/test_online_monitor[1]_include.cmake")
+include("/root/repo/tests/core/test_chaos_monitor[1]_include.cmake")
+include("/root/repo/tests/core/test_monitor_metrics_facade[1]_include.cmake")
+include("/root/repo/tests/core/test_permutation_importance[1]_include.cmake")
+include("/root/repo/tests/core/test_rolling_features[1]_include.cmake")

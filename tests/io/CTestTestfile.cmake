@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/io
+# Build directory: /root/repo/tests/io
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/tests/io/test_csv[1]_include.cmake")
+include("/root/repo/tests/io/test_table[1]_include.cmake")

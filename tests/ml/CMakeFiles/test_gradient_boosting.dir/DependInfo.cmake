@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ml/test_gradient_boosting.cpp" "tests/ml/CMakeFiles/test_gradient_boosting.dir/test_gradient_boosting.cpp.o" "gcc" "tests/ml/CMakeFiles/test_gradient_boosting.dir/test_gradient_boosting.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/ml/CMakeFiles/ssdfail_ml.dir/DependInfo.cmake"
+  "/root/repo/src/stats/CMakeFiles/ssdfail_stats.dir/DependInfo.cmake"
+  "/root/repo/src/parallel/CMakeFiles/ssdfail_parallel.dir/DependInfo.cmake"
+  "/root/repo/src/obs/CMakeFiles/ssdfail_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

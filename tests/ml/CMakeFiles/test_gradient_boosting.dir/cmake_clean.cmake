@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gradient_boosting.dir/test_gradient_boosting.cpp.o"
+  "CMakeFiles/test_gradient_boosting.dir/test_gradient_boosting.cpp.o.d"
+  "test_gradient_boosting"
+  "test_gradient_boosting.pdb"
+  "test_gradient_boosting[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gradient_boosting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

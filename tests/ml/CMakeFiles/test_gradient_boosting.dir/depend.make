@@ -1,0 +1,2 @@
+# Empty dependencies file for test_gradient_boosting.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_metrics_extended.dir/test_metrics_extended.cpp.o"
+  "CMakeFiles/test_metrics_extended.dir/test_metrics_extended.cpp.o.d"
+  "test_metrics_extended"
+  "test_metrics_extended.pdb"
+  "test_metrics_extended[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_metrics_extended.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

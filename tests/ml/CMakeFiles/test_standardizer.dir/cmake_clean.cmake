@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_standardizer.dir/test_standardizer.cpp.o"
+  "CMakeFiles/test_standardizer.dir/test_standardizer.cpp.o.d"
+  "test_standardizer"
+  "test_standardizer.pdb"
+  "test_standardizer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_standardizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/ml
+# Build directory: /root/repo/tests/ml
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/tests/ml/test_matrix[1]_include.cmake")
+include("/root/repo/tests/ml/test_metrics[1]_include.cmake")
+include("/root/repo/tests/ml/test_standardizer[1]_include.cmake")
+include("/root/repo/tests/ml/test_models[1]_include.cmake")
+include("/root/repo/tests/ml/test_trees[1]_include.cmake")
+include("/root/repo/tests/ml/test_cross_validation[1]_include.cmake")
+include("/root/repo/tests/ml/test_gradient_boosting[1]_include.cmake")
+include("/root/repo/tests/ml/test_metrics_extended[1]_include.cmake")
+include("/root/repo/tests/ml/test_serialize[1]_include.cmake")
+include("/root/repo/tests/ml/test_parallel_training[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_exposition.dir/test_exposition.cpp.o"
+  "CMakeFiles/test_exposition.dir/test_exposition.cpp.o.d"
+  "test_exposition"
+  "test_exposition.pdb"
+  "test_exposition[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_exposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

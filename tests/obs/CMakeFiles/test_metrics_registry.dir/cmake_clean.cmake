@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_metrics_registry.dir/test_metrics_registry.cpp.o"
+  "CMakeFiles/test_metrics_registry.dir/test_metrics_registry.cpp.o.d"
+  "test_metrics_registry"
+  "test_metrics_registry.pdb"
+  "test_metrics_registry[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_metrics_registry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_snapshotter.dir/test_snapshotter.cpp.o"
+  "CMakeFiles/test_snapshotter.dir/test_snapshotter.cpp.o.d"
+  "test_snapshotter"
+  "test_snapshotter.pdb"
+  "test_snapshotter[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_snapshotter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace_spans.dir/test_trace_spans.cpp.o"
+  "CMakeFiles/test_trace_spans.dir/test_trace_spans.cpp.o.d"
+  "test_trace_spans"
+  "test_trace_spans.pdb"
+  "test_trace_spans[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace_spans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

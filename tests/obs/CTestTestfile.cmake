@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/obs
+# Build directory: /root/repo/tests/obs
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/tests/obs/test_metrics_registry[1]_include.cmake")
+include("/root/repo/tests/obs/test_exposition[1]_include.cmake")
+include("/root/repo/tests/obs/test_trace_spans[1]_include.cmake")
+include("/root/repo/tests/obs/test_snapshotter[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_record_sanitizer.dir/test_record_sanitizer.cpp.o"
+  "CMakeFiles/test_record_sanitizer.dir/test_record_sanitizer.cpp.o.d"
+  "test_record_sanitizer"
+  "test_record_sanitizer.pdb"
+  "test_record_sanitizer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_record_sanitizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/robustness
+# Build directory: /root/repo/tests/robustness
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/tests/robustness/test_record_sanitizer[1]_include.cmake")
+include("/root/repo/tests/robustness/test_fault_injector[1]_include.cmake")

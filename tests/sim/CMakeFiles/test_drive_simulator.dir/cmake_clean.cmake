@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_drive_simulator.dir/test_drive_simulator.cpp.o"
+  "CMakeFiles/test_drive_simulator.dir/test_drive_simulator.cpp.o.d"
+  "test_drive_simulator"
+  "test_drive_simulator.pdb"
+  "test_drive_simulator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_drive_simulator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

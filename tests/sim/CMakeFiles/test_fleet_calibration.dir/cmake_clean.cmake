@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fleet_calibration.dir/test_fleet_calibration.cpp.o"
+  "CMakeFiles/test_fleet_calibration.dir/test_fleet_calibration.cpp.o.d"
+  "test_fleet_calibration"
+  "test_fleet_calibration.pdb"
+  "test_fleet_calibration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fleet_calibration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fleet_simulator.dir/test_fleet_simulator.cpp.o"
+  "CMakeFiles/test_fleet_simulator.dir/test_fleet_simulator.cpp.o.d"
+  "test_fleet_simulator"
+  "test_fleet_simulator.pdb"
+  "test_fleet_simulator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fleet_simulator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

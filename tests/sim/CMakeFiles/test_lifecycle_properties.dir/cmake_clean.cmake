@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lifecycle_properties.dir/test_lifecycle_properties.cpp.o"
+  "CMakeFiles/test_lifecycle_properties.dir/test_lifecycle_properties.cpp.o.d"
+  "test_lifecycle_properties"
+  "test_lifecycle_properties.pdb"
+  "test_lifecycle_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lifecycle_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model_spec.dir/test_model_spec.cpp.o"
+  "CMakeFiles/test_model_spec.dir/test_model_spec.cpp.o.d"
+  "test_model_spec"
+  "test_model_spec.pdb"
+  "test_model_spec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/sim
+# Build directory: /root/repo/tests/sim
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/tests/sim/test_model_spec[1]_include.cmake")
+include("/root/repo/tests/sim/test_drive_simulator[1]_include.cmake")
+include("/root/repo/tests/sim/test_fleet_simulator[1]_include.cmake")
+include("/root/repo/tests/sim/test_fleet_calibration[1]_include.cmake")
+include("/root/repo/tests/sim/test_lifecycle_properties[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ecdf.dir/test_ecdf.cpp.o"
+  "CMakeFiles/test_ecdf.dir/test_ecdf.cpp.o.d"
+  "test_ecdf"
+  "test_ecdf.pdb"
+  "test_ecdf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ecdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

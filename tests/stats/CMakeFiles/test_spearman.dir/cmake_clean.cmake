@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spearman.dir/test_spearman.cpp.o"
+  "CMakeFiles/test_spearman.dir/test_spearman.cpp.o.d"
+  "test_spearman"
+  "test_spearman.pdb"
+  "test_spearman[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spearman.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

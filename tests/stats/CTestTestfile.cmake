@@ -1,0 +1,13 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/stats
+# Build directory: /root/repo/tests/stats
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/tests/stats/test_rng[1]_include.cmake")
+include("/root/repo/tests/stats/test_streaming[1]_include.cmake")
+include("/root/repo/tests/stats/test_ecdf[1]_include.cmake")
+include("/root/repo/tests/stats/test_histogram[1]_include.cmake")
+include("/root/repo/tests/stats/test_spearman[1]_include.cmake")
+include("/root/repo/tests/stats/test_normal[1]_include.cmake")
+include("/root/repo/tests/stats/test_survival[1]_include.cmake")

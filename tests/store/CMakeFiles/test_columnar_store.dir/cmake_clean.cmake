@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_columnar_store.dir/test_columnar_store.cpp.o"
+  "CMakeFiles/test_columnar_store.dir/test_columnar_store.cpp.o.d"
+  "test_columnar_store"
+  "test_columnar_store.pdb"
+  "test_columnar_store[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_columnar_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

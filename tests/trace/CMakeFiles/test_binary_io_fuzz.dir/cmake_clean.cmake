@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_binary_io_fuzz.dir/test_binary_io_fuzz.cpp.o"
+  "CMakeFiles/test_binary_io_fuzz.dir/test_binary_io_fuzz.cpp.o.d"
+  "test_binary_io_fuzz"
+  "test_binary_io_fuzz.pdb"
+  "test_binary_io_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_binary_io_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

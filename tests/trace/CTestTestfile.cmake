@@ -1,0 +1,11 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/trace
+# Build directory: /root/repo/tests/trace
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/tests/trace/test_schema[1]_include.cmake")
+include("/root/repo/tests/trace/test_trace_io[1]_include.cmake")
+include("/root/repo/tests/trace/test_binary_io[1]_include.cmake")
+include("/root/repo/tests/trace/test_binary_io_fuzz[1]_include.cmake")
+include("/root/repo/tests/trace/test_validation[1]_include.cmake")
