@@ -16,9 +16,11 @@
 #include "core/failure_timeline.hpp"
 #include "core/online_monitor.hpp"
 #include "ml/downsample.hpp"
+#include "ml/flat_forest.hpp"
 #include "ml/metrics.hpp"
 #include "ml/model_zoo.hpp"
 #include "ml/random_forest.hpp"
+#include "parallel/thread_pool.hpp"
 #include "robustness/fault_injector.hpp"
 #include "sim/fleet_simulator.hpp"
 #include "stats/spearman.hpp"
@@ -182,6 +184,72 @@ void BM_RandomForestPredict(benchmark::State& state) {
                           static_cast<std::int64_t>(test.size()));
 }
 BENCHMARK(BM_RandomForestPredict);
+
+const ml::RandomForest& bench_forest() {
+  static const ml::RandomForest forest = [] {
+    ml::RandomForest f;
+    f.fit(ml::downsample_negatives(bench_dataset(), 1.0, 1));
+    return f;
+  }();
+  return forest;
+}
+
+/// Compiled flat-forest engine, single-threaded (the per-core serving
+/// number the capacity model uses).
+void BM_FlatForestPredict(benchmark::State& state) {
+  const ml::FlatForest engine = ml::FlatForest::compile(bench_forest());
+  const auto& test = bench_dataset();
+  static parallel::ThreadPool serial(1);
+  for (auto _ : state) {
+    const auto scores = engine.predict_proba(test.x, serial);
+    benchmark::DoNotOptimize(scores.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(test.size()));
+}
+BENCHMARK(BM_FlatForestPredict);
+
+/// Head-to-head engine comparison on ONE thread: the same fitted forest
+/// scores the same matrix through the pointer walk and the compiled flat
+/// engine inside each iteration, and the outputs are checked bit-identical
+/// while timing.  Exports walker_rows_per_s / flat_rows_per_s /
+/// flat_speedup_x; CI's quick-bench step fails if flat_speedup_x < 1
+/// (ISSUE 6 targets >= 5x single-thread).
+void BM_ForestScoringSpeedup(benchmark::State& state) {
+  const ml::RandomForest& forest = bench_forest();
+  const ml::FlatForest engine = ml::FlatForest::compile(forest);
+  const auto& test = bench_dataset();
+  static parallel::ThreadPool serial(1);
+  std::chrono::steady_clock::duration walker_spent{0};
+  std::chrono::steady_clock::duration flat_spent{0};
+  std::uint64_t rows = 0;
+  for (auto _ : state) {
+    auto t0 = std::chrono::steady_clock::now();
+    const auto walker_scores = forest.predict_proba(test.x, serial);
+    auto t1 = std::chrono::steady_clock::now();
+    const auto flat_scores = engine.predict_proba(test.x, serial);
+    auto t2 = std::chrono::steady_clock::now();
+    walker_spent += t1 - t0;
+    flat_spent += t2 - t1;
+    benchmark::DoNotOptimize(walker_scores.data());
+    benchmark::DoNotOptimize(flat_scores.data());
+    if (walker_scores != flat_scores) {
+      state.SkipWithError("flat engine diverged from the walker");
+      return;
+    }
+    rows += test.size();
+  }
+  const double walker_secs = std::chrono::duration<double>(walker_spent).count();
+  const double flat_secs = std::chrono::duration<double>(flat_spent).count();
+  state.SetItemsProcessed(static_cast<std::int64_t>(rows));
+  if (walker_secs > 0.0)
+    state.counters["walker_rows_per_s"] = static_cast<double>(rows) / walker_secs;
+  if (flat_secs > 0.0) {
+    state.counters["flat_rows_per_s"] = static_cast<double>(rows) / flat_secs;
+    state.counters["flat_speedup_x"] = walker_secs / flat_secs;
+  }
+}
+BENCHMARK(BM_ForestScoringSpeedup);
 
 std::shared_ptr<const ml::Classifier> monitor_model() {
   static const std::shared_ptr<const ml::Classifier> model = [] {

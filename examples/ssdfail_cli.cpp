@@ -51,6 +51,7 @@
 #include "obs/snapshotter.hpp"
 #include "obs/trace_span.hpp"
 #include "ml/downsample.hpp"
+#include "ml/flat_forest.hpp"
 #include "ml/model_zoo.hpp"
 #include "ml/serialize.hpp"
 #include "parallel/thread_pool.hpp"
@@ -107,7 +108,8 @@ int usage() {
       "                        [--lookahead N] [--threads K] [--metrics-out FILE]\n"
       "  ssdfail_cli serve     --model-file MODEL.bin [--drives N | --fleet FILE]\n"
       "                        [--seed S] [--threshold T] [--shards K]\n"
-      "                        [--sequential] [--chaos PCT] [--metrics-out FILE]\n"
+      "                        [--engine flat|walker] [--sequential]\n"
+      "                        [--chaos PCT] [--metrics-out FILE]\n"
       "                        [--metrics-stream FILE]\n"
       "  ssdfail_cli metrics   [--out FILE] [--drives N] [--seed S]\n");
   return 2;
@@ -363,7 +365,8 @@ int cmd_train(const Args& args) {
 /// instead of throwing, so `serve` can degrade rather than die.
 std::shared_ptr<const ml::Classifier> try_load_model(const std::string& path) {
   try {
-    return std::shared_ptr<const ml::Classifier>(ml::load_classifier_file(path));
+    // Compiles tree ensembles for the selected inference engine on load.
+    return ml::load_serving_classifier_file(path);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "serve: cannot load %s: %s\n", path.c_str(), e.what());
     return nullptr;
@@ -392,6 +395,16 @@ int cmd_serve(const Args& args) {
   const std::string model_path = args.get("model-file", "");
   if (model_path.empty()) return usage();
 
+  const std::string engine_name =
+      args.get("engine", std::string(ml::inference_engine_name(ml::inference_engine())));
+  const auto engine = ml::parse_inference_engine(engine_name);
+  if (!engine) {
+    std::fprintf(stderr, "serve: unknown engine '%s' (flat|walker)\n",
+                 engine_name.c_str());
+    return usage();
+  }
+  ml::set_inference_engine(*engine);
+
   sim::FleetConfig cfg = config_from(args);
   cfg.drives_per_model = static_cast<std::uint32_t>(args.get_long("drives", 200));
 
@@ -401,7 +414,8 @@ int cmd_serve(const Args& args) {
     std::fprintf(stderr, "serve: DEGRADED — scoring on the threshold baseline\n");
     model = fallback_model(cfg.seed);
   } else {
-    std::printf("loaded %s from %s\n", model->name().c_str(), model_path.c_str());
+    std::printf("loaded %s from %s (engine %s)\n", model->name().c_str(),
+                model_path.c_str(), engine_name.c_str());
   }
 
   trace::FleetTrace fleet;

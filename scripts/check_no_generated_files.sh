@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Fail if the git index contains build artifacts: CMake/CTest generated
+# files or compiled (ELF) binaries.  Run from anywhere inside the repo;
+# CI runs it on every push so the accident this cleans up cannot recur.
+set -euo pipefail
+cd "$(git rev-parse --show-toplevel)"
+
+fail=0
+
+generated=$(git ls-files | grep -E \
+  '(^|/)(CMakeCache\.txt$|CMakeFiles/|Testing/|Makefile$|cmake_install\.cmake$|CTestTestfile\.cmake$|DartConfiguration\.tcl$)' \
+  || true)
+if [[ -n "$generated" ]]; then
+  echo "error: generated CMake/CTest files are tracked:" >&2
+  echo "$generated" >&2
+  fail=1
+fi
+
+binaries=""
+while IFS= read -r -d '' f; do
+  [[ -f "$f" ]] || continue
+  if [[ "$(head -c4 "$f" 2>/dev/null | od -An -tx1 | tr -d ' \n')" == "7f454c46" ]]; then
+    binaries+="$f"$'\n'
+  fi
+done < <(git ls-files -z)
+if [[ -n "$binaries" ]]; then
+  echo "error: compiled ELF binaries are tracked:" >&2
+  printf '%s' "$binaries" >&2
+  fail=1
+fi
+
+if [[ "$fail" -ne 0 ]]; then
+  echo "hint: git rm --cached <file> and extend .gitignore" >&2
+  exit 1
+fi
+echo "ok: no generated files or binaries tracked"

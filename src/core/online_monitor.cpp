@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "ml/model_zoo.hpp"
 #include "obs/trace_span.hpp"
 #include "stats/rng.hpp"
 
@@ -61,7 +62,7 @@ FleetMonitor::FleetMonitor(std::shared_ptr<const ml::Classifier> model, double t
                            std::size_t shards,
                            robustness::SanitizerConfig sanitizer_config,
                            obs::MetricsRegistry* registry)
-    : model_(std::move(model)), threshold_(threshold) {
+    : model_(ml::make_serving_model(std::move(model))), threshold_(threshold) {
   if (shards == 0) shards = 1;
   obs::MetricsRegistry& reg =
       registry != nullptr ? *registry : obs::MetricsRegistry::global();
@@ -90,8 +91,12 @@ std::shared_ptr<const ml::Classifier> FleetMonitor::current_model() const {
 }
 
 void FleetMonitor::set_model(std::shared_ptr<const ml::Classifier> model) {
+  // Compile for the serving engine outside the lock (scores are identical
+  // either way; only speed changes).
+  std::shared_ptr<const ml::Classifier> serving =
+      ml::make_serving_model(std::move(model));
   std::scoped_lock lock(model_mutex_);
-  model_ = std::move(model);
+  model_ = std::move(serving);
 }
 
 OnlineDriveMonitor& FleetMonitor::monitor_for(Shard& shard, std::uint64_t uid,

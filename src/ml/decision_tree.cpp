@@ -163,6 +163,8 @@ float DecisionTree::predict_row(std::span<const float> row) const {
   std::int32_t cur = 0;
   while (nodes_[cur].left != -1) {
     const Node& node = nodes_[cur];
+    // NaN fails `<=` and routes right — the frozen contract
+    // (kNanRoutesRight); the flat engine replicates this exactly.
     cur = row[static_cast<std::size_t>(node.feature)] <= node.threshold ? node.left
                                                                         : node.right;
   }

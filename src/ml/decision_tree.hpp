@@ -18,6 +18,15 @@
 
 namespace ssdfail::ml {
 
+/// NaN feature routing is part of the model's frozen semantics: every
+/// split evaluates `value <= threshold ? left : right`, and every ordered
+/// comparison against NaN is false, so a NaN feature ALWAYS routes to the
+/// RIGHT child — during training partition and during prediction, in both
+/// the pointer-walk and compiled flat engines.  Pinned by
+/// tests/ml/test_flat_forest.cpp (NaN rows score identically to +Inf rows,
+/// which take the same all-right path).
+inline constexpr bool kNanRoutesRight = true;
+
 class DecisionTree final : public Classifier {
  public:
   struct Params {
@@ -63,7 +72,8 @@ class DecisionTree final : public Classifier {
     float score = 0.0f;
   };
 
-  friend struct ModelSerializer;  // binary save/load (ml/serialize.hpp)
+  friend struct ModelSerializer;     // binary save/load (ml/serialize.hpp)
+  friend struct FlatForestCompiler;  // compiled engine (ml/flat_forest.hpp)
 
   std::int32_t build(const Dataset& train, std::vector<std::size_t>& idx,
                      std::size_t begin, std::size_t end, std::size_t depth,

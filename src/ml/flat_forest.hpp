@@ -1,0 +1,214 @@
+#pragma once
+
+// Compiled flat-forest inference engine (the serving hot loop).
+//
+// A fitted tree ensemble — RandomForest or GradientBoosting — walks
+// pointer-linked nodes one row at a time, one tree at a time.  That is the
+// single biggest raw-speed lever on the serve path (ROADMAP), so this
+// module COMPILES a fitted ensemble into a contiguous, cache-line-aligned
+// node array with level-order layout and traverses it branchless:
+//
+//   - All trees share one flat node array (slot 0 is a parked sentinel, so
+//     every real node id is >= 1); each tree's nodes are laid out level by
+//     level (BFS), with sibling children ADJACENT — the right child always
+//     sits one node after the left, so a node stores only its left link
+//     (pre-scaled to a byte offset) and the step is pure arithmetic:
+//     next = left + (!(v <= threshold) << 4).
+//   - Leaves are SELF-PARKING: threshold = NaN (every comparison fails, so
+//     the step lands one node after left == the leaf itself) and feature = 0.
+//     Every tree can be walked for exactly its max depth with no per-step
+//     leaf test — the index simply stops moving — which turns the inner
+//     loop into a fixed-trip-count chain of compare-and-add steps.
+//   - Scoring walks BLOCKS of rows per tree (instead of all trees per
+//     row): the tree's hot top levels stay in L1 across the block and the
+//     per-row index chains are independent, so the CPU overlaps them.
+//
+// Bit-identity contract: for every input, FlatForest reproduces the
+// pointer-walk path EXACTLY — same comparison (v <= threshold, so NaN
+// routes right; see kNanRoutesRight), same per-row accumulation order
+// (double accumulator over trees in tree order), same finalization
+// (RF: mean over trees; GB: sigmoid of prior + damped leaf sums).  The
+// golden pipeline suite pins this.
+//
+// Engine selection: make_serving_model() wraps fitted ensembles for the
+// monitor / CLI serve path.  The default engine is `flat`; build with
+// -DSSDFAIL_DEFAULT_ENGINE=walker (or set SSDFAIL_ENGINE=walker in the
+// environment) to keep the pointer walk as an escape hatch.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "ml/classifier.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace ssdfail::ml {
+
+class RandomForest;
+class GradientBoosting;
+struct FlatForestCompiler;
+
+/// Which scoring implementation serving paths use.
+enum class InferenceEngine : std::uint8_t {
+  kWalker = 0,  ///< original pointer-linked per-row tree walk
+  kFlat = 1,    ///< compiled flat-forest engine (this module)
+};
+
+/// Process-wide engine selection.  Initialized on first use from the
+/// SSDFAIL_ENGINE environment variable ("walker" or "flat") when set,
+/// otherwise from the build-time default (flat unless the build sets
+/// -DSSDFAIL_DEFAULT_ENGINE=walker).
+[[nodiscard]] InferenceEngine inference_engine() noexcept;
+void set_inference_engine(InferenceEngine engine) noexcept;
+[[nodiscard]] std::string_view inference_engine_name(InferenceEngine engine) noexcept;
+[[nodiscard]] std::optional<InferenceEngine> parse_inference_engine(
+    std::string_view name) noexcept;
+
+/// One flattened tree node: 16 bytes, four per cache line.  `left` holds
+/// the left child's BYTE offset into the node array (id * 16): scaled
+/// addressing tops out at *8 on x86, so storing ids would put a shift on
+/// the dependent-load chain of every step.  The right child is implicitly
+/// the next node (BFS lays siblings adjacent), so the walk step is
+/// `next = left + (!(v <= threshold) << 4)` — NaN inputs fail `<=` and
+/// take the right branch, matching the walker (kNanRoutesRight).  A leaf
+/// stores threshold = NaN and left = the byte offset of self - 1: the
+/// comparison always fails, the step lands back on the leaf, and `left`
+/// itself is never dereferenced.  (An 8-byte packed variant — feature
+/// folded into the top bits of the child word — measured ~20% SLOWER: the
+/// inner loop is uop-throughput-bound, and the unpack shifts cost more
+/// than the halved footprint saves.)
+struct FlatNode {
+  float threshold = 0.0f;
+  std::int32_t feature = 0;
+  std::int32_t left = 0;
+  std::int32_t pad = 0;  ///< keeps nodes 4-per-cache-line; always 0
+};
+static_assert(sizeof(FlatNode) == 16, "FlatNode must stay 4-per-cache-line");
+
+/// Allocator placing the node array on a cache-line boundary.
+template <typename T>
+struct CacheAlignedAllocator {
+  using value_type = T;
+  static constexpr std::size_t kAlignment = 64;
+
+  CacheAlignedAllocator() = default;
+  template <typename U>
+  CacheAlignedAllocator(const CacheAlignedAllocator<U>&) noexcept {}
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{kAlignment}));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{kAlignment});
+  }
+  bool operator==(const CacheAlignedAllocator&) const noexcept { return true; }
+};
+
+/// A compiled, immutable tree ensemble.  Build one with compile(); score
+/// with predict_proba / predict_into / predict_row.
+class FlatForest {
+ public:
+  /// How per-tree leaf values combine into the final probability.
+  enum class Kind : std::uint8_t {
+    kAverage = 0,   ///< RandomForest: mean of leaf scores over trees
+    kLogitSum = 1,  ///< GradientBoosting: sigmoid(bias + sum of leaf values)
+  };
+
+  FlatForest() = default;
+
+  /// Compile a fitted ensemble.  Throws std::logic_error if unfitted.
+  [[nodiscard]] static FlatForest compile(const RandomForest& forest);
+  [[nodiscard]] static FlatForest compile(const GradientBoosting& model);
+
+  /// Score every row of `x`.  Bit-identical to the walker path.  Batches
+  /// below kSerialPredictRows (or a 1-wide pool) score serially — the
+  /// single-drive observe path must not pay pool overhead.
+  [[nodiscard]] std::vector<float> predict_proba(
+      const Matrix& x,
+      parallel::ThreadPool& pool = parallel::ThreadPool::current()) const;
+
+  /// Score rows [begin, begin + count) of `x` into `out` (size count),
+  /// serially.  The chunk scorer and the parallel path both drive this.
+  void predict_into(const Matrix& x, std::size_t begin, std::size_t count,
+                    float* out) const;
+
+  /// Score one row (the degraded / spot-check path).
+  [[nodiscard]] float predict_row(std::span<const float> row) const;
+
+  [[nodiscard]] bool empty() const noexcept { return roots_.empty(); }
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] std::size_t tree_count() const noexcept { return roots_.size(); }
+  [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
+  [[nodiscard]] std::size_t n_features() const noexcept { return n_features_; }
+  [[nodiscard]] std::uint32_t max_depth() const noexcept { return max_depth_; }
+
+  /// FNV-1a over the compiled layout (nodes, values, roots, depths, bias).
+  /// Serialized next to the walker body so a loader can verify the
+  /// recompiled engine matches what was saved (any tree-body corruption
+  /// that survives parsing changes this hash).
+  [[nodiscard]] std::uint64_t structural_hash() const noexcept;
+
+  /// Below this many rows predict_proba stays on the calling thread.
+  static constexpr std::size_t kSerialPredictRows = 64;
+
+  /// Rows walked per tree in one block (the register-resident index set).
+  static constexpr std::size_t kBlockRows = 128;
+
+ private:
+  friend struct FlatForestCompiler;
+
+  void finalize_block(const double* acc, std::size_t n, float* out) const;
+
+  std::vector<FlatNode, CacheAlignedAllocator<FlatNode>> nodes_;
+  std::vector<double> values_;        ///< leaf payload, indexed by node id
+  std::vector<std::int32_t> roots_;   ///< root node id per tree
+  std::vector<std::uint32_t> depths_; ///< max leaf depth per tree
+  Kind kind_ = Kind::kAverage;
+  double bias_ = 0.0;                 ///< GB prior log-odds (0 for RF)
+  std::size_t n_features_ = 0;
+  std::uint32_t max_depth_ = 0;
+};
+
+/// Classifier adapter so the monitor / serve path can hold a FlatForest
+/// behind the ml::Classifier interface.
+///
+/// Two modes:
+///  - serving: wraps an already-fitted walker model (shared ownership);
+///    fit() throws — serving wrappers are immutable.
+///  - trainable: owns a walker model; fit() trains it and recompiles.
+///    Used where Classifier::clone()+fit() protocols run (cross-validation).
+class FlatForestClassifier final : public Classifier {
+ public:
+  /// Serving wrapper around a fitted RandomForest or GradientBoosting.
+  /// Throws std::invalid_argument for other classifier types or null.
+  explicit FlatForestClassifier(std::shared_ptr<const Classifier> fitted);
+
+  /// Serving wrapper reusing an already-compiled engine (avoids a second
+  /// compile when the loader has one in hand for hash verification).
+  FlatForestClassifier(std::shared_ptr<const Classifier> fitted, FlatForest engine);
+
+  /// Trainable wrapper: fit() trains the walker, then recompiles.
+  explicit FlatForestClassifier(std::unique_ptr<Classifier> trainable);
+
+  void fit(const Dataset& train) override;
+  [[nodiscard]] std::vector<float> predict_proba(const Matrix& x) const override;
+  /// The wrapped walker's name — name-dispatching callers see no change.
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<Classifier> clone() const override;
+
+  [[nodiscard]] const FlatForest& engine() const noexcept { return engine_; }
+  [[nodiscard]] const Classifier& walker() const;
+
+ private:
+  std::shared_ptr<const Classifier> fitted_;  ///< serving mode
+  std::unique_ptr<Classifier> trainable_;     ///< trainable mode
+  FlatForest engine_;
+};
+
+}  // namespace ssdfail::ml

@@ -47,6 +47,9 @@ class GradientBoosting final : public Classifier {
   [[nodiscard]] std::vector<double> feature_importance() const;
 
  private:
+  friend struct ModelSerializer;     // binary save/load (ml/serialize.hpp)
+  friend struct FlatForestCompiler;  // compiled engine (ml/flat_forest.hpp)
+
   struct Node {
     std::int32_t feature = -1;   // -1: leaf
     float threshold = 0.0f;

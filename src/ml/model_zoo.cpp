@@ -6,6 +6,8 @@
 #include "ml/knn.hpp"
 #include "ml/logistic.hpp"
 #include "ml/neural_net.hpp"
+#include "ml/flat_forest.hpp"
+#include "ml/gradient_boosting.hpp"
 #include "ml/random_forest.hpp"
 #include "ml/svm.hpp"
 #include "ml/threshold_baseline.hpp"
@@ -122,6 +124,22 @@ std::vector<Candidate> model_grid(ModelKind kind, std::uint64_t seed) {
       break;
   }
   return grid;
+}
+
+std::shared_ptr<const Classifier> make_serving_model(
+    std::shared_ptr<const Classifier> model) {
+  if (!model) return model;
+  if (inference_engine() != InferenceEngine::kFlat) return model;
+  if (dynamic_cast<const FlatForestClassifier*>(model.get()) != nullptr) return model;
+  if (const auto* rf = dynamic_cast<const RandomForest*>(model.get())) {
+    if (rf->tree_count() == 0) return model;  // unfitted: nothing to compile
+    return std::make_shared<const FlatForestClassifier>(std::move(model));
+  }
+  if (const auto* gb = dynamic_cast<const GradientBoosting*>(model.get())) {
+    if (gb->rounds_fitted() == 0) return model;
+    return std::make_shared<const FlatForestClassifier>(std::move(model));
+  }
+  return model;
 }
 
 }  // namespace ssdfail::ml

@@ -50,14 +50,26 @@ void RandomForest::fit(const Dataset& train) {
 }
 
 std::vector<float> RandomForest::predict_proba(const Matrix& x) const {
+  return predict_proba(x, parallel::ThreadPool::current());
+}
+
+std::vector<float> RandomForest::predict_proba(const Matrix& x,
+                                               parallel::ThreadPool& pool) const {
   if (trees_.empty()) throw std::logic_error("RandomForest: predict before fit");
   std::vector<float> out(x.rows(), 0.0f);
-  parallel::parallel_for(x.rows(), [&](std::size_t r) {
+  const auto score_row = [&](std::size_t r) {
     double sum = 0.0;
     const auto row = x.row(r);
     for (const DecisionTree& tree : trees_) sum += tree.predict_row(row);
     out[r] = static_cast<float>(sum / static_cast<double>(trees_.size()));
-  });
+  };
+  // Tiny batches (the single-drive observe path) skip pool dispatch; rows
+  // score independently, so serial and parallel outputs are bit-identical.
+  if (x.rows() < kSerialPredictRows || pool.size() <= 1) {
+    for (std::size_t r = 0; r < x.rows(); ++r) score_row(r);
+    return out;
+  }
+  parallel::parallel_for(x.rows(), score_row, pool);
   return out;
 }
 

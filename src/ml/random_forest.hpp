@@ -12,6 +12,7 @@
 
 #include "ml/classifier.hpp"
 #include "ml/decision_tree.hpp"
+#include "parallel/thread_pool.hpp"
 
 namespace ssdfail::ml {
 
@@ -32,6 +33,12 @@ class RandomForest final : public Classifier {
 
   void fit(const Dataset& train) override;
   [[nodiscard]] std::vector<float> predict_proba(const Matrix& x) const override;
+  /// Same scores, explicit pool.  Batches below kSerialPredictRows (or a
+  /// 1-wide pool) stay on the calling thread — the single-drive observe
+  /// path must not pay pool dispatch for one row.  Bit-identical to the
+  /// parallel path at any cutoff (rows score independently).
+  [[nodiscard]] std::vector<float> predict_proba(const Matrix& x,
+                                                 parallel::ThreadPool& pool) const;
   [[nodiscard]] std::string name() const override { return "random_forest"; }
   [[nodiscard]] std::unique_ptr<Classifier> clone() const override {
     return std::make_unique<RandomForest>(params_);
@@ -42,8 +49,12 @@ class RandomForest final : public Classifier {
 
   [[nodiscard]] std::size_t tree_count() const noexcept { return trees_.size(); }
 
+  /// Below this many rows predict_proba skips the thread pool.
+  static constexpr std::size_t kSerialPredictRows = 64;
+
  private:
-  friend struct ModelSerializer;  // binary save/load (ml/serialize.hpp)
+  friend struct ModelSerializer;     // binary save/load (ml/serialize.hpp)
+  friend struct FlatForestCompiler;  // compiled engine (ml/flat_forest.hpp)
 
   Params params_{};
   std::vector<DecisionTree> trees_;

@@ -1,5 +1,8 @@
 #include "ml/serialize.hpp"
 
+#include "ml/flat_forest.hpp"
+#include "ml/model_zoo.hpp"
+
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -55,20 +58,54 @@ void write_header(std::ostream& out, SavedModelKind kind) {
   put<std::uint8_t>(out, static_cast<std::uint8_t>(kind));
 }
 
-SavedModelKind read_header(std::istream& in) {
+struct Header {
+  SavedModelKind kind;
+  std::uint32_t version;
+};
+
+Header read_header(std::istream& in) {
   char magic[4];
   in.read(magic, sizeof(magic));
   if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
     throw std::runtime_error("ml::serialize: bad magic (not an ssdfail model file)");
   const auto version = get<std::uint32_t>(in);
-  if (version != kModelFormatVersion)
+  if (version < 1 || version > kModelFormatVersion)
     throw std::runtime_error("ml::serialize: unsupported format version " +
                              std::to_string(version));
   const auto kind = get<std::uint8_t>(in);
-  if (kind < static_cast<std::uint8_t>(SavedModelKind::kRandomForest) ||
-      kind > static_cast<std::uint8_t>(SavedModelKind::kStandardizer))
+  const auto max_kind = version >= 2
+                            ? static_cast<std::uint8_t>(SavedModelKind::kGradientBoosting)
+                            : static_cast<std::uint8_t>(SavedModelKind::kStandardizer);
+  if (kind < static_cast<std::uint8_t>(SavedModelKind::kRandomForest) || kind > max_kind)
     throw std::runtime_error("ml::serialize: unknown model kind " + std::to_string(kind));
-  return static_cast<SavedModelKind>(kind);
+  return {static_cast<SavedModelKind>(kind), version};
+}
+
+// Engine manifest (v2, ensembles only): the compiled flat engine's shape
+// and structural hash, written after the walker body.  A loader recompiles
+// and verifies — tree-body corruption that still parses fails loudly here
+// instead of serving wrong scores.
+constexpr std::uint8_t kEngineManifestTag = 1;
+
+void write_engine_manifest(std::ostream& out, const FlatForest& engine) {
+  put<std::uint8_t>(out, kEngineManifestTag);
+  put<std::uint64_t>(out, engine.node_count());
+  put<std::uint64_t>(out, engine.tree_count());
+  put<std::uint32_t>(out, engine.max_depth());
+  put<std::uint64_t>(out, engine.structural_hash());
+}
+
+void read_and_verify_engine_manifest(std::istream& in, const FlatForest& engine) {
+  if (get<std::uint8_t>(in) != kEngineManifestTag)
+    throw std::runtime_error("ml::serialize: bad engine manifest tag");
+  const auto nodes = get<std::uint64_t>(in);
+  const auto trees = get<std::uint64_t>(in);
+  const auto depth = get<std::uint32_t>(in);
+  const auto hash = get<std::uint64_t>(in);
+  if (nodes != engine.node_count() || trees != engine.tree_count() ||
+      depth != engine.max_depth() || hash != engine.structural_hash())
+    throw std::runtime_error(
+        "ml::serialize: engine manifest mismatch (corrupt tree body)");
 }
 
 void expect_kind(SavedModelKind actual, SavedModelKind wanted) {
@@ -175,6 +212,68 @@ struct ModelSerializer {
     return f;
   }
 
+  static void write_gb_body(std::ostream& out, const GradientBoosting& m) {
+    if (m.trees_.empty())
+      throw std::logic_error("ml::serialize: GradientBoosting not fitted");
+    put<std::uint64_t>(out, m.params_.n_rounds);
+    put<std::uint64_t>(out, m.params_.max_depth);
+    put<std::uint64_t>(out, m.params_.min_samples_leaf);
+    put<double>(out, m.params_.learning_rate);
+    put<double>(out, m.params_.subsample);
+    put<std::uint64_t>(out, m.params_.seed);
+    put<double>(out, m.prior_);
+    put<std::uint64_t>(out, m.n_features_);
+    put_vector(out, m.importance_);
+    put<std::uint64_t>(out, m.trees_.size());
+    for (const GradientBoosting::Tree& t : m.trees_) {
+      put<std::uint64_t>(out, t.nodes.size());
+      for (const GradientBoosting::Node& n : t.nodes) {
+        put<std::int32_t>(out, n.feature);
+        put<float>(out, n.threshold);
+        put<std::int32_t>(out, n.left);
+        put<std::int32_t>(out, n.right);
+        put<double>(out, n.value);
+      }
+    }
+  }
+
+  static GradientBoosting read_gb_body(std::istream& in) {
+    GradientBoosting::Params p;
+    p.n_rounds = static_cast<std::size_t>(get<std::uint64_t>(in));
+    p.max_depth = static_cast<std::size_t>(get<std::uint64_t>(in));
+    p.min_samples_leaf = static_cast<std::size_t>(get<std::uint64_t>(in));
+    p.learning_rate = get<double>(in);
+    p.subsample = get<double>(in);
+    p.seed = get<std::uint64_t>(in);
+    GradientBoosting m(p);
+    m.prior_ = get<double>(in);
+    m.n_features_ = static_cast<std::size_t>(get<std::uint64_t>(in));
+    if (m.n_features_ > kMaxFeatures)
+      throw std::runtime_error("ml::serialize: implausible feature count");
+    m.importance_ = get_vector<double>(in, kMaxFeatures);
+    const auto n_trees = get<std::uint64_t>(in);
+    if (n_trees > kMaxTrees) throw std::runtime_error("ml::serialize: implausible tree count");
+    m.trees_.reserve(static_cast<std::size_t>(n_trees));
+    for (std::uint64_t t = 0; t < n_trees; ++t) {
+      const auto n_nodes = get<std::uint64_t>(in);
+      if (n_nodes > kMaxNodes)
+        throw std::runtime_error("ml::serialize: implausible node count");
+      GradientBoosting::Tree tree;
+      tree.nodes.reserve(static_cast<std::size_t>(n_nodes));
+      for (std::uint64_t i = 0; i < n_nodes; ++i) {
+        GradientBoosting::Node n;
+        n.feature = get<std::int32_t>(in);
+        n.threshold = get<float>(in);
+        n.left = get<std::int32_t>(in);
+        n.right = get<std::int32_t>(in);
+        n.value = get<double>(in);
+        tree.nodes.push_back(n);
+      }
+      m.trees_.push_back(std::move(tree));
+    }
+    return m;
+  }
+
   static void write_logistic_body(std::ostream& out, const LogisticRegression& m) {
     if (!m.scaler_.fitted())
       throw std::logic_error("ml::serialize: LogisticRegression not fitted");
@@ -204,6 +303,13 @@ struct ModelSerializer {
 void save_model(std::ostream& out, const RandomForest& model) {
   write_header(out, SavedModelKind::kRandomForest);
   ModelSerializer::write_forest_body(out, model);
+  write_engine_manifest(out, FlatForest::compile(model));
+}
+
+void save_model(std::ostream& out, const GradientBoosting& model) {
+  write_header(out, SavedModelKind::kGradientBoosting);
+  ModelSerializer::write_gb_body(out, model);
+  write_engine_manifest(out, FlatForest::compile(model));
 }
 
 void save_model(std::ostream& out, const LogisticRegression& model) {
@@ -217,24 +323,46 @@ void save_model(std::ostream& out, const Standardizer& scaler) {
 }
 
 RandomForest load_random_forest(std::istream& in) {
-  expect_kind(read_header(in), SavedModelKind::kRandomForest);
-  return ModelSerializer::read_forest_body(in);
+  const Header header = read_header(in);
+  expect_kind(header.kind, SavedModelKind::kRandomForest);
+  RandomForest forest = ModelSerializer::read_forest_body(in);
+  if (header.version >= 2)
+    read_and_verify_engine_manifest(in, FlatForest::compile(forest));
+  return forest;
+}
+
+GradientBoosting load_gradient_boosting(std::istream& in) {
+  const Header header = read_header(in);
+  expect_kind(header.kind, SavedModelKind::kGradientBoosting);
+  GradientBoosting model = ModelSerializer::read_gb_body(in);
+  read_and_verify_engine_manifest(in, FlatForest::compile(model));
+  return model;
 }
 
 LogisticRegression load_logistic_regression(std::istream& in) {
-  expect_kind(read_header(in), SavedModelKind::kLogisticRegression);
+  expect_kind(read_header(in).kind, SavedModelKind::kLogisticRegression);
   return ModelSerializer::read_logistic_body(in);
 }
 
 Standardizer load_standardizer(std::istream& in) {
-  expect_kind(read_header(in), SavedModelKind::kStandardizer);
+  expect_kind(read_header(in).kind, SavedModelKind::kStandardizer);
   return ModelSerializer::read_standardizer_body(in);
 }
 
 std::unique_ptr<Classifier> load_classifier(std::istream& in) {
-  switch (read_header(in)) {
-    case SavedModelKind::kRandomForest:
-      return std::make_unique<RandomForest>(ModelSerializer::read_forest_body(in));
+  const Header header = read_header(in);
+  switch (header.kind) {
+    case SavedModelKind::kRandomForest: {
+      auto forest = std::make_unique<RandomForest>(ModelSerializer::read_forest_body(in));
+      if (header.version >= 2)
+        read_and_verify_engine_manifest(in, FlatForest::compile(*forest));
+      return forest;
+    }
+    case SavedModelKind::kGradientBoosting: {
+      auto model = std::make_unique<GradientBoosting>(ModelSerializer::read_gb_body(in));
+      read_and_verify_engine_manifest(in, FlatForest::compile(*model));
+      return model;
+    }
     case SavedModelKind::kLogisticRegression:
       return std::make_unique<LogisticRegression>(ModelSerializer::read_logistic_body(in));
     case SavedModelKind::kStandardizer:
@@ -272,6 +400,10 @@ void save_model_file(const std::string& path, const RandomForest& model) {
   save_model_file_impl(path, model);
 }
 
+void save_model_file(const std::string& path, const GradientBoosting& model) {
+  save_model_file_impl(path, model);
+}
+
 void save_model_file(const std::string& path, const LogisticRegression& model) {
   save_model_file_impl(path, model);
 }
@@ -280,6 +412,11 @@ std::unique_ptr<Classifier> load_classifier_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) throw std::runtime_error("ml::serialize: cannot open " + path);
   return load_classifier(in);
+}
+
+std::shared_ptr<const Classifier> load_serving_classifier_file(const std::string& path) {
+  return make_serving_model(
+      std::shared_ptr<const Classifier>(load_classifier_file(path)));
 }
 
 }  // namespace ssdfail::ml

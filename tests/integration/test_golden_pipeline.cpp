@@ -29,6 +29,7 @@
 
 #include "core/dataset_builder.hpp"
 #include "core/prediction.hpp"
+#include "ml/flat_forest.hpp"
 #include "ml/random_forest.hpp"
 #include "sim/fleet_simulator.hpp"
 #include "store/columnar.hpp"
@@ -218,6 +219,39 @@ TEST(GoldenPipeline, ForestFoldAucsIdenticalViaColumnarPath) {
       store::ColumnarFleetView::from_buffer({bytes.begin(), bytes.end()});
   const ml::Dataset via_columnar = core::build_dataset(view, auc_options());
   EXPECT_EQ(fold_aucs(auc_dataset()), fold_aucs(via_columnar));
+}
+
+TEST(GoldenPipeline, FlatEngineScoresBitIdenticalToWalker) {
+  const ml::Dataset data = auc_dataset();
+  ml::RandomForest::Params params;
+  params.n_trees = 25;
+  params.seed = 1;
+  ml::RandomForest forest(params);
+  forest.fit(data);
+  const ml::FlatForest engine = ml::FlatForest::compile(forest);
+  const std::vector<float> walker = forest.predict_proba(data.x);
+  const std::vector<float> flat = engine.predict_proba(data.x);
+  ASSERT_EQ(flat.size(), walker.size());
+  for (std::size_t r = 0; r < walker.size(); ++r)
+    ASSERT_EQ(flat[r], walker[r]) << "drive-day row " << r;  // exact, not NEAR
+}
+
+TEST(GoldenPipeline, FlatEngineFoldAucsMatchGolden) {
+  // The full CV protocol (clone, per-fold fit, AUC) run through the
+  // compiled engine must land on the SAME goldens as the walker: flat
+  // inference is a representation change, not a model change.
+  const ml::Dataset data = auc_dataset();
+  ml::RandomForest::Params params;
+  params.n_trees = 25;
+  params.seed = 1;
+  const ml::FlatForestClassifier flat_model(
+      std::unique_ptr<ml::Classifier>(std::make_unique<ml::RandomForest>(params)));
+  const std::vector<double> aucs =
+      core::evaluate_auc(flat_model, data, golden_protocol()).fold_aucs;
+  ASSERT_EQ(aucs.size(), kGoldenFoldAucs.size());
+  for (std::size_t f = 0; f < aucs.size(); ++f)
+    EXPECT_NEAR(aucs[f], kGoldenFoldAucs[f], 1e-9) << "fold " << f;
+  EXPECT_EQ(aucs, fold_aucs(data));  // and bit-identical to the walker CV
 }
 
 /// Regeneration helper, never run by default (see file header).

@@ -3,9 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 
+#include "ml/flat_forest.hpp"
+#include "ml/gradient_boosting.hpp"
 #include "stats/rng.hpp"
 
 namespace ssdfail::ml {
@@ -208,6 +211,205 @@ TEST(SerializeFile, PartialWriteNeverReplacesThePreviousModel) {
   }
   EXPECT_THROW((void)load_classifier_file(torn_path), std::runtime_error);
   std::remove(torn_path.c_str());
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, GradientBoostingRoundTripIsBitExact) {
+  const Dataset train = make_task(400, 6, 12);
+  GradientBoosting::Params params;
+  params.n_rounds = 30;
+  GradientBoosting model(params);
+  model.fit(train);
+
+  std::stringstream stream;
+  save_model(stream, model);
+  const GradientBoosting loaded = load_gradient_boosting(stream);
+
+  EXPECT_EQ(loaded.rounds_fitted(), model.rounds_fitted());
+  const Matrix probe = probe_matrix(200, 6, 13);
+  const auto before = model.predict_proba(probe);
+  const auto after = loaded.predict_proba(probe);
+  ASSERT_EQ(before.size(), after.size());
+  for (std::size_t i = 0; i < before.size(); ++i)
+    EXPECT_EQ(before[i], after[i]) << "row " << i;
+
+  std::stringstream again;
+  save_model(again, model);
+  EXPECT_EQ(load_classifier(again)->name(), "gradient_boosting");
+}
+
+TEST(Serialize, LoadedEnsemblesCompileToTheSameFlatEngine) {
+  const Dataset train = make_task(400, 6, 14);
+  const Matrix probe = probe_matrix(150, 6, 15);
+
+  RandomForest::Params fp;
+  fp.n_trees = 10;
+  RandomForest forest(fp);
+  forest.fit(train);
+  std::stringstream fs;
+  save_model(fs, forest);
+  const RandomForest forest_loaded = load_random_forest(fs);
+  const FlatForest a = FlatForest::compile(forest);
+  const FlatForest b = FlatForest::compile(forest_loaded);
+  EXPECT_EQ(a.structural_hash(), b.structural_hash());
+  EXPECT_EQ(a.predict_proba(probe), b.predict_proba(probe));
+
+  GradientBoosting::Params gp;
+  gp.n_rounds = 20;
+  GradientBoosting gb(gp);
+  gb.fit(train);
+  std::stringstream gs;
+  save_model(gs, gb);
+  const GradientBoosting gb_loaded = load_gradient_boosting(gs);
+  const FlatForest c = FlatForest::compile(gb);
+  const FlatForest d = FlatForest::compile(gb_loaded);
+  EXPECT_EQ(c.structural_hash(), d.structural_hash());
+  EXPECT_EQ(c.predict_proba(probe), d.predict_proba(probe));
+}
+
+/// The 29-byte engine manifest appended after v2 ensemble bodies:
+/// u8 tag + u64 nodes + u64 trees + u32 depth + u64 hash.
+constexpr std::size_t kManifestBytes = 1 + 8 + 8 + 4 + 8;
+
+TEST(Serialize, VersionOneStreamsStillLoad) {
+  const Dataset train = make_task(300, 4, 16);
+  RandomForest::Params params;
+  params.n_trees = 5;
+  RandomForest forest(params);
+  forest.fit(train);
+  std::stringstream v2;
+  save_model(v2, forest);
+  std::string bytes = v2.str();
+  ASSERT_GT(bytes.size(), kManifestBytes + 9);
+
+  // Rewrite as a v1 stream: version field back to 1, manifest stripped —
+  // exactly what a pre-engine writer produced.
+  const std::uint32_t one = 1;
+  std::memcpy(bytes.data() + 4, &one, sizeof(one));
+  bytes.resize(bytes.size() - kManifestBytes);
+
+  std::stringstream v1(bytes);
+  const RandomForest loaded = load_random_forest(v1);
+  const Matrix probe = probe_matrix(100, 4, 17);
+  EXPECT_EQ(loaded.predict_proba(probe), forest.predict_proba(probe));
+}
+
+TEST(Serialize, VersionOneStreamsRejectGradientBoostingKind) {
+  // Kind tag 4 (gradient boosting) did not exist in v1 — a v1 header
+  // claiming it is corrupt, not forward-compatible.
+  const Dataset train = make_task(300, 4, 18);
+  GradientBoosting::Params params;
+  params.n_rounds = 5;
+  GradientBoosting model(params);
+  model.fit(train);
+  std::stringstream out;
+  save_model(out, model);
+  std::string bytes = out.str();
+  const std::uint32_t one = 1;
+  std::memcpy(bytes.data() + 4, &one, sizeof(one));
+  std::stringstream doctored(bytes);
+  EXPECT_THROW((void)load_classifier(doctored), std::runtime_error);
+}
+
+TEST(SerializeFuzz, EveryTruncatedPrefixIsRejected) {
+  const Dataset train = make_task(300, 5, 19);
+  GradientBoosting::Params params;
+  params.n_rounds = 8;
+  GradientBoosting model(params);
+  model.fit(train);
+  std::stringstream out;
+  save_model(out, model);
+  const std::string bytes = out.str();
+
+  // Every strict prefix must fail: the trailing manifest means even a
+  // stream cut exactly at the end of the tree body is caught.
+  const std::size_t step = std::max<std::size_t>(1, bytes.size() / 97);
+  for (std::size_t len = 0; len < bytes.size(); len += step) {
+    std::stringstream truncated(bytes.substr(0, len));
+    EXPECT_THROW((void)load_classifier(truncated), std::runtime_error)
+        << "prefix of " << len << " of " << bytes.size() << " bytes loaded";
+  }
+}
+
+TEST(SerializeFuzz, BitFlipsEitherThrowOrLeaveScoresUntouched) {
+  const Dataset train = make_task(300, 5, 20);
+  RandomForest::Params params;
+  params.n_trees = 6;
+  RandomForest forest(params);
+  forest.fit(train);
+  std::stringstream out;
+  save_model(out, forest);
+  const std::string bytes = out.str();
+  const Matrix probe = probe_matrix(120, 5, 21);
+  const auto truth = forest.predict_proba(probe);
+
+  // Flip one bit at a time across the stream.  Loads may fail (good) but a
+  // successful load must score bit-identically: the engine manifest pins
+  // every threshold, feature index, child link, and leaf value, so the
+  // only flippable bytes are ones inference never reads.
+  const std::size_t step = std::max<std::size_t>(1, bytes.size() / 211);
+  std::size_t survived = 0;
+  for (std::size_t pos = 0; pos < bytes.size(); pos += step) {
+    std::string corrupt = bytes;
+    corrupt[pos] = static_cast<char>(corrupt[pos] ^ (1u << (pos % 8)));
+    std::stringstream in(corrupt);
+    std::unique_ptr<Classifier> loaded;
+    try {
+      loaded = load_classifier(in);
+    } catch (const std::exception&) {
+      continue;  // rejected: the desired outcome for most positions
+    }
+    ++survived;
+    EXPECT_EQ(loaded->predict_proba(probe), truth)
+        << "bit flip at byte " << pos << " changed scores silently";
+  }
+  // Sanity: the loop exercised real corruption, not just rejections.
+  SUCCEED() << survived << " flips loaded cleanly";
+}
+
+TEST(SerializeFuzz, ManifestHashCorruptionIsRejected) {
+  const Dataset train = make_task(300, 4, 22);
+  RandomForest::Params params;
+  params.n_trees = 4;
+  RandomForest forest(params);
+  forest.fit(train);
+  std::stringstream out;
+  save_model(out, forest);
+  std::string bytes = out.str();
+  // Last 8 bytes are the structural hash.
+  bytes[bytes.size() - 3] = static_cast<char>(bytes[bytes.size() - 3] ^ 0x10);
+  std::stringstream corrupt(bytes);
+  EXPECT_THROW((void)load_random_forest(corrupt), std::runtime_error);
+}
+
+/// Restores the process-wide engine selection on scope exit.
+struct EngineGuard {
+  InferenceEngine saved = inference_engine();
+  ~EngineGuard() { set_inference_engine(saved); }
+};
+
+TEST(SerializeFile, ServingLoaderCompilesUnderFlatEngine) {
+  const EngineGuard guard;
+  const std::string path = testing::TempDir() + "ssdfail_model_serving.bin";
+  const Dataset train = make_task(300, 4, 23);
+  RandomForest::Params params;
+  params.n_trees = 5;
+  RandomForest forest(params);
+  forest.fit(train);
+  save_model_file(path, forest);
+
+  set_inference_engine(InferenceEngine::kFlat);
+  const auto serving = load_serving_classifier_file(path);
+  ASSERT_NE(serving, nullptr);
+  EXPECT_NE(dynamic_cast<const FlatForestClassifier*>(serving.get()), nullptr);
+  EXPECT_EQ(serving->name(), "random_forest");
+  const Matrix probe = probe_matrix(100, 4, 24);
+  EXPECT_EQ(serving->predict_proba(probe), forest.predict_proba(probe));
+
+  set_inference_engine(InferenceEngine::kWalker);
+  const auto walker = load_serving_classifier_file(path);
+  EXPECT_EQ(dynamic_cast<const FlatForestClassifier*>(walker.get()), nullptr);
+  EXPECT_EQ(walker->predict_proba(probe), forest.predict_proba(probe));
   std::remove(path.c_str());
 }
 
