@@ -349,18 +349,30 @@ Standardizer load_standardizer(std::istream& in) {
   return ModelSerializer::read_standardizer_body(in);
 }
 
-std::unique_ptr<Classifier> load_classifier(std::istream& in) {
+namespace {
+
+// Shared body of load_classifier / load_serving_classifier_file.  When
+// `engine_out` is non-null and the stream carried a v2 engine manifest,
+// the FlatForest compiled for verification is moved into *engine_out so
+// the serving loader does not compile the same ensemble twice.
+std::unique_ptr<Classifier> load_classifier_impl(std::istream& in,
+                                                 FlatForest* engine_out) {
   const Header header = read_header(in);
   switch (header.kind) {
     case SavedModelKind::kRandomForest: {
       auto forest = std::make_unique<RandomForest>(ModelSerializer::read_forest_body(in));
-      if (header.version >= 2)
-        read_and_verify_engine_manifest(in, FlatForest::compile(*forest));
+      if (header.version >= 2) {
+        FlatForest engine = FlatForest::compile(*forest);
+        read_and_verify_engine_manifest(in, engine);
+        if (engine_out) *engine_out = std::move(engine);
+      }
       return forest;
     }
     case SavedModelKind::kGradientBoosting: {
       auto model = std::make_unique<GradientBoosting>(ModelSerializer::read_gb_body(in));
-      read_and_verify_engine_manifest(in, FlatForest::compile(*model));
+      FlatForest engine = FlatForest::compile(*model);
+      read_and_verify_engine_manifest(in, engine);
+      if (engine_out) *engine_out = std::move(engine);
       return model;
     }
     case SavedModelKind::kLogisticRegression:
@@ -369,6 +381,12 @@ std::unique_ptr<Classifier> load_classifier(std::istream& in) {
       break;
   }
   throw std::runtime_error("ml::serialize: stream does not hold a classifier");
+}
+
+}  // namespace
+
+std::unique_ptr<Classifier> load_classifier(std::istream& in) {
+  return load_classifier_impl(in, nullptr);
 }
 
 namespace {
@@ -415,8 +433,17 @@ std::unique_ptr<Classifier> load_classifier_file(const std::string& path) {
 }
 
 std::shared_ptr<const Classifier> load_serving_classifier_file(const std::string& path) {
-  return make_serving_model(
-      std::shared_ptr<const Classifier>(load_classifier_file(path)));
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("ml::serialize: cannot open " + path);
+  FlatForest engine;
+  std::shared_ptr<const Classifier> fitted(load_classifier_impl(in, &engine));
+  // A v2 ensemble already compiled its engine for manifest verification;
+  // hand it to the serving wrapper instead of recompiling.  v1 files and
+  // non-ensembles fall through to make_serving_model.
+  if (!engine.empty() && inference_engine() == InferenceEngine::kFlat)
+    return std::make_shared<const FlatForestClassifier>(std::move(fitted),
+                                                        std::move(engine));
+  return make_serving_model(std::move(fitted));
 }
 
 }  // namespace ssdfail::ml
