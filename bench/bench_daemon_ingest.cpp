@@ -1,0 +1,130 @@
+// Streaming daemon ingest throughput (google-benchmark).
+//
+// Measures the full producer -> ring -> appender -> WAL -> sanitize ->
+// score -> health path of daemon/daemon.hpp under concurrent producers:
+//
+//   BM_DaemonIngest/producers:<n>/wal:<0|1>
+//
+// One iteration pushes one fleet-day (kDrives records, every drive, day
+// strictly advancing so the sanitizer accepts everything) from `producers`
+// threads into a running 4-shard daemon with blocking backpressure.
+// items_per_second is therefore end-to-end sustainable rows/s once the
+// ring reaches steady state (pushes block on the appenders); wal:1 runs
+// the same load with per-shard WAL appends (fsync off — the framing cost,
+// not the disk).  Alongside the rate, the registry delta exports every
+// daemon_* counter family per iteration and `shed_rate` reports the
+// fraction of offered rows dropped after the block timeout — nonzero shed
+// at wal:0 means the scoring path, not the WAL, is the bottleneck.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_metrics.hpp"
+#include "daemon/daemon.hpp"
+#include "ml/classifier.hpp"
+
+namespace {
+
+using namespace ssdfail;
+
+constexpr std::uint32_t kDrives = 4096;  ///< records pushed per iteration
+
+/// Deterministic hash-fold scorer (same shape as the daemon test stub):
+/// cheap enough that the bench exercises the pipeline, not a forest.
+class BenchScorer final : public ml::Classifier {
+ public:
+  void fit(const ml::Dataset&) override {}
+  [[nodiscard]] std::vector<float> predict_proba(const ml::Matrix& x) const override {
+    std::vector<float> out(x.rows());
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+      double acc = 0.0;
+      for (const float v : x.row(r)) acc = acc * 31.0 + static_cast<double>(v);
+      out[r] = static_cast<float>(std::fabs(acc - std::floor(acc)));
+    }
+    return out;
+  }
+  [[nodiscard]] std::string name() const override { return "bench-scorer"; }
+  [[nodiscard]] std::unique_ptr<ml::Classifier> clone() const override {
+    return std::make_unique<BenchScorer>();
+  }
+};
+
+core::FleetObservation observation_for(std::uint32_t drive, std::int32_t day) {
+  trace::DailyRecord rec;
+  rec.day = day;
+  rec.reads = 100 + drive;
+  rec.writes = 40 + static_cast<std::uint32_t>(day);
+  rec.erases = 4;
+  rec.pe_cycles = 10 + 2 * static_cast<std::uint32_t>(day);
+  rec.bad_blocks = 1 + static_cast<std::uint32_t>(day) / 64;
+  rec.factory_bad_blocks = 4;
+  rec.errors[0] = drive % 3;
+  return {trace::DriveModel::MlcA, drive, 0, rec};
+}
+
+void BM_DaemonIngest(benchmark::State& state) {
+  const auto producers = static_cast<std::uint32_t>(state.range(0));
+  const bool wal = state.range(1) == 1;
+
+  std::string wal_dir;
+  if (wal) {
+    wal_dir = (std::filesystem::temp_directory_path() / "ssdfail_bench_daemon_ingest").string();
+    std::filesystem::remove_all(wal_dir);
+    std::filesystem::create_directories(wal_dir);
+  }
+
+  daemon::DaemonConfig cfg;
+  cfg.shards = 4;
+  cfg.ring_capacity = 4096;
+  cfg.max_batch = 512;
+  cfg.backpressure = daemon::Backpressure::kBlock;
+  cfg.block_timeout = std::chrono::milliseconds(50);
+  cfg.wal_dir = wal_dir;
+  cfg.fsync = daemon::FsyncPolicy::kNever;
+  cfg.threshold = 0.95;
+  daemon::TelemetryDaemon daemon(std::make_shared<BenchScorer>(), cfg);
+  daemon.start();
+
+  const bench::RegistryDelta delta;
+  const daemon::DaemonStats before = daemon.stats();
+  std::int32_t day = 0;
+  for (auto _ : state) {
+    std::vector<std::thread> threads;
+    threads.reserve(producers);
+    for (std::uint32_t p = 0; p < producers; ++p) {
+      threads.emplace_back([&daemon, p, producers, day] {
+        for (std::uint32_t d = p; d < kDrives; d += producers)
+          (void)daemon.push(observation_for(d, day));
+      });
+    }
+    for (auto& t : threads) t.join();
+    ++day;
+  }
+  // Only the atomic counters are safe to read while appenders run.
+  const daemon::DaemonStats after = daemon.stats();
+  daemon.stop();
+
+  const auto offered = static_cast<double>(state.iterations()) * kDrives;
+  state.SetItemsProcessed(state.iterations() * kDrives);
+  state.counters["shed_rate"] =
+      static_cast<double>(after.shed - before.shed) / offered;
+  delta.export_into(state, "daemon");
+
+  if (wal) std::filesystem::remove_all(wal_dir);
+}
+
+BENCHMARK(BM_DaemonIngest)
+    ->ArgsProduct({{1, 2, 4, 8}, {0, 1}})
+    ->ArgNames({"producers", "wal"})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+SSDFAIL_BENCH_MAIN()

@@ -6,6 +6,7 @@
 //   ssdfail_cli benchmark  --drives N [--lookahead N]
 //   ssdfail_cli train      --out MODEL.bin [--model forest|logistic] ...
 //   ssdfail_cli serve      --model-file MODEL.bin [--shards K] ...
+//   ssdfail_cli daemon     --wal-dir DIR [--model-file MODEL.bin] ...
 //   ssdfail_cli metrics    [--out FILE] [--drives N]
 //
 // `simulate` writes a fleet as PREFIX_daily.csv + PREFIX_swaps.csv (or
@@ -21,6 +22,15 @@
 // binary fleet instead of simulating one; a v2 file feeds `train` through
 // the zero-copy chunk-parallel dataset build (store/columnar.hpp).
 //
+// `daemon` runs the crash-safe streaming service (src/daemon): multi-
+// threaded producers push the fleet into per-shard ingest rings, appender
+// threads WAL every batch before scoring it, and SIGTERM/SIGINT trigger a
+// graceful drain (rings emptied, WALs fsynced) before exit.  On startup it
+// replays any WAL left in --wal-dir, rebuilding per-drive state; with
+// --recover-only it stops there and just reports the replay.
+// --state-digest-out writes the order-independent state digest the crash-
+// recovery tests compare.
+//
 // Observability (docs/OBSERVABILITY.md): `train` and `serve` accept
 // `--metrics-out FILE` to dump the process-wide metrics registry as
 // Prometheus text (FILE) plus JSON lines (FILE.jsonl) on exit; `serve`
@@ -30,18 +40,23 @@
 // Prometheus exposition — the target of the CI metrics-lint step.
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/dataset_builder.hpp"
+#include "daemon/daemon.hpp"
 #include "core/fleet_analysis.hpp"
 #include "core/online_monitor.hpp"
 #include "core/prediction.hpp"
@@ -111,6 +126,12 @@ int usage() {
       "                        [--engine flat|walker] [--sequential]\n"
       "                        [--chaos PCT] [--metrics-out FILE]\n"
       "                        [--metrics-stream FILE]\n"
+      "  ssdfail_cli daemon    --wal-dir DIR [--model-file MODEL.bin]\n"
+      "                        [--drives N | --fleet FILE] [--seed S]\n"
+      "                        [--producers P] [--shards K] [--ring N]\n"
+      "                        [--backpressure block|shed] [--fsync every|never]\n"
+      "                        [--threshold T] [--chaos PCT] [--recover-only]\n"
+      "                        [--state-digest-out FILE] [--metrics-out FILE]\n"
       "  ssdfail_cli metrics   [--out FILE] [--drives N] [--seed S]\n");
   return 2;
 }
@@ -551,6 +572,176 @@ int cmd_serve(const Args& args) {
   return 0;
 }
 
+/// SIGTERM/SIGINT flag for the daemon's graceful drain.  sig_atomic_t and
+/// a lock-free loop check are all a signal handler may touch.
+volatile std::sig_atomic_t g_daemon_stop = 0;
+
+extern "C" void daemon_signal_handler(int) { g_daemon_stop = 1; }
+
+int cmd_daemon(const Args& args) {
+  const std::string wal_dir = args.get("wal-dir", "");
+  if (wal_dir.empty()) return usage();
+  {
+    // Best-effort: a dir we cannot create degrades the WAL, not the run.
+    std::error_code ec;
+    std::filesystem::create_directories(wal_dir, ec);
+  }
+
+  daemon::DaemonConfig cfg;
+  cfg.wal_dir = wal_dir;
+  cfg.shards = static_cast<std::size_t>(args.get_long("shards", 4));
+  cfg.ring_capacity = static_cast<std::size_t>(args.get_long("ring", 1024));
+  cfg.threshold = std::strtod(args.get("threshold", "0.9").c_str(), nullptr);
+  const std::string bp = args.get("backpressure", "block");
+  if (bp == "shed") {
+    cfg.backpressure = daemon::Backpressure::kShed;
+  } else if (bp != "block") {
+    std::fprintf(stderr, "daemon: --backpressure must be 'block' or 'shed'\n");
+    return 2;
+  }
+  const std::string fsync = args.get("fsync", "every");
+  if (fsync == "never") {
+    cfg.fsync = daemon::FsyncPolicy::kNever;
+  } else if (fsync != "every") {
+    std::fprintf(stderr, "daemon: --fsync must be 'every' or 'never'\n");
+    return 2;
+  }
+
+  const std::string model_path = args.get("model-file", "");
+  std::shared_ptr<const ml::Classifier> model;
+  if (!model_path.empty()) model = try_load_model(model_path);
+  if (model == nullptr)
+    std::fprintf(stderr, "daemon: DEGRADED — ingesting and WAL-ing without scores\n");
+
+  daemon::TelemetryDaemon daemon(model, cfg);
+  daemon.start();  // replays any WAL left in --wal-dir
+  const daemon::DaemonStats after_recovery = daemon.stats();
+  if (after_recovery.recovery.segments_replayed > 0 ||
+      after_recovery.recovery.truncated_bytes > 0)
+    std::printf(
+        "recovered %llu segments (%llu records, %llu retires), skipped %llu "
+        "duplicates, truncated %llu torn bytes\n",
+        static_cast<unsigned long long>(after_recovery.recovery.segments_replayed),
+        static_cast<unsigned long long>(after_recovery.recovery.records_replayed),
+        static_cast<unsigned long long>(after_recovery.recovery.retires_replayed),
+        static_cast<unsigned long long>(after_recovery.recovery.duplicates_skipped),
+        static_cast<unsigned long long>(after_recovery.recovery.truncated_bytes));
+
+  if (args.flag("recover-only")) {
+    daemon.stop();
+    const std::uint64_t digest = daemon.state_digest();
+    std::printf("recovered state: %zu drives tracked, digest %016llx\n",
+                after_recovery.drives_tracked,
+                static_cast<unsigned long long>(digest));
+    const std::string digest_path = args.get("state-digest-out", "");
+    if (!digest_path.empty()) {
+      std::ofstream out(digest_path);
+      out << std::hex << digest << "\n";
+      if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", digest_path.c_str());
+        return 1;
+      }
+    }
+    return 0;
+  }
+
+  // Build the stream: one observation per drive-day, day-ordered, with
+  // optional seeded pre-corruption (single-threaded so the fault sequence
+  // is reproducible regardless of --producers).
+  sim::FleetConfig fleet_cfg = config_from(args);
+  fleet_cfg.drives_per_model = static_cast<std::uint32_t>(args.get_long("drives", 100));
+  trace::FleetTrace fleet;
+  const std::string fleet_path = args.get("fleet", "");
+  if (!fleet_path.empty()) {
+    try {
+      std::ifstream in(fleet_path, std::ios::binary);
+      if (!in) throw std::runtime_error("cannot open " + fleet_path);
+      fleet = trace::read_binary(in);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "daemon: %s\n", e.what());
+      return 1;
+    }
+  } else {
+    fleet = sim::FleetSimulator(fleet_cfg).generate_all();
+  }
+  std::vector<core::FleetObservation> stream;
+  for (const auto& d : fleet.drives)
+    for (const auto& r : d.records)
+      stream.push_back({d.model, d.drive_index, d.deploy_day, r});
+  std::stable_sort(stream.begin(), stream.end(),
+                   [](const core::FleetObservation& a, const core::FleetObservation& b) {
+                     return a.record.day < b.record.day;
+                   });
+  const long chaos_pct = args.get_long("chaos", 0);
+  if (chaos_pct > 0) {
+    robustness::FaultInjector injector(
+        fleet_cfg.seed ^ 0x9e3779b97f4a7c15ull,
+        robustness::FaultRates::uniform(static_cast<double>(chaos_pct) / 100.0));
+    stream = injector.corrupt(stream).observations;
+  }
+
+  std::signal(SIGTERM, daemon_signal_handler);
+  std::signal(SIGINT, daemon_signal_handler);
+
+  // Producers partition the stream BY DRIVE (uid mod producers) so each
+  // drive's records are pushed in day order by exactly one thread.
+  const auto producers =
+      std::max<std::size_t>(1, static_cast<std::size_t>(args.get_long("producers", 2)));
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(producers);
+  for (std::size_t p = 0; p < producers; ++p) {
+    threads.emplace_back([&, p] {
+      for (const core::FleetObservation& obs : stream) {
+        if (g_daemon_stop != 0) return;
+        if (static_cast<std::size_t>(obs.uid() % producers) != p) continue;
+        (void)daemon.push(obs);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  daemon.stop();  // graceful drain: rings emptied, WALs fsynced
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  const daemon::DaemonStats stats = daemon.stats();
+  std::printf(
+      "%s after %.1fs: ingested %llu (%.0f rows/s), shed %llu, scored %llu, "
+      "alerts %llu, quarantined %llu, wal segments %llu (%llu bytes)%s%s\n",
+      g_daemon_stop != 0 ? "drained on signal" : "stream complete", secs,
+      static_cast<unsigned long long>(stats.ingested),
+      static_cast<double>(stats.ingested) / std::max(secs, 1e-9),
+      static_cast<unsigned long long>(stats.shed),
+      static_cast<unsigned long long>(stats.scored),
+      static_cast<unsigned long long>(stats.alerts),
+      static_cast<unsigned long long>(stats.quarantined),
+      static_cast<unsigned long long>(stats.segments_appended),
+      static_cast<unsigned long long>(stats.wal_bytes),
+      stats.degraded ? ", DEGRADED (no model)" : "",
+      stats.wal_degraded ? ", WAL-DEGRADED" : "");
+  std::printf("health: %llu healthy, %llu ramping, %llu alert, %llu swapped "
+              "(%zu drives tracked)\n",
+              static_cast<unsigned long long>(stats.health_counts[0]),
+              static_cast<unsigned long long>(stats.health_counts[1]),
+              static_cast<unsigned long long>(stats.health_counts[2]),
+              static_cast<unsigned long long>(stats.health_counts[3]),
+              stats.drives_tracked);
+  const std::uint64_t digest = daemon.state_digest();
+  std::printf("state digest: %016llx\n", static_cast<unsigned long long>(digest));
+  const std::string digest_path = args.get("state-digest-out", "");
+  if (!digest_path.empty()) {
+    std::ofstream out(digest_path);
+    out << std::hex << digest << "\n";
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", digest_path.c_str());
+      return 1;
+    }
+  }
+  const std::string metrics_path = args.get("metrics-out", "");
+  if (!metrics_path.empty() && !write_metrics_out(metrics_path)) return 1;
+  return 0;
+}
+
 /// Built-in end-to-end smoke that exercises every instrumented layer —
 /// simulator, trace I/O, training (CV + forest), thread pool, monitor,
 /// sanitizer (via chaos) — then prints the Prometheus exposition.  CI's
@@ -631,6 +822,7 @@ int main(int argc, char** argv) {
   if (command == "benchmark") return cmd_benchmark(args);
   if (command == "train") return cmd_train(args);
   if (command == "serve") return cmd_serve(args);
+  if (command == "daemon") return cmd_daemon(args);
   if (command == "metrics") return cmd_metrics(args);
   return usage();
 }

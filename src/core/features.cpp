@@ -179,4 +179,21 @@ void RollingWindow::extract(std::span<float> out) const {
   out[i++] = static_cast<float>(today_writes / std::max(mean_writes, 1.0));
 }
 
+DriveFeatureCursor::DriveFeatureCursor(trace::DriveModel drive_model,
+                                       std::int32_t deploy_day)
+    : last_day_(deploy_day - 1) {
+  header_.model = drive_model;
+  header_.deploy_day = deploy_day;
+}
+
+void DriveFeatureCursor::advance_and_extract(const trace::DailyRecord& rec,
+                                             std::span<float> out) {
+  if (rec.day <= last_day_)
+    throw std::invalid_argument("DriveFeatureCursor: records must be in day order");
+  last_day_ = rec.day;
+  ++days_observed_;
+  FeatureExtractor::advance(state_, rec);
+  FeatureExtractor::extract(header_, rec, state_, out);
+}
+
 }  // namespace ssdfail::core

@@ -56,6 +56,33 @@ class FeatureExtractor {
   [[nodiscard]] static std::size_t age_index();
 };
 
+/// The per-drive online feature state shared by every streaming scorer:
+/// OnlineDriveMonitor (serve path) and the telemetry daemon's ingest
+/// shards (src/daemon) both advance cumulative state record-by-record and
+/// emit one feature row per accepted record.  Factoring the cursor out
+/// guarantees the daemon's WAL recovery rebuilds state through the exact
+/// code path the live path used — the bit-identity the replay tests pin.
+class DriveFeatureCursor {
+ public:
+  DriveFeatureCursor(trace::DriveModel drive_model, std::int32_t deploy_day);
+
+  /// Fold `rec` into the cumulative state and fill `out` (size
+  /// FeatureExtractor::count()) with its feature row.  Records must arrive
+  /// in strictly increasing day order; throws std::invalid_argument
+  /// otherwise (sanitized streams never trip this).
+  void advance_and_extract(const trace::DailyRecord& rec, std::span<float> out);
+
+  [[nodiscard]] std::int32_t last_day() const noexcept { return last_day_; }
+  [[nodiscard]] std::uint64_t days_observed() const noexcept { return days_observed_; }
+  [[nodiscard]] const FeatureExtractor::State& state() const noexcept { return state_; }
+
+ private:
+  trace::DriveHistory header_;  ///< deploy metadata for feature extraction
+  FeatureExtractor::State state_;
+  std::int32_t last_day_;
+  std::uint64_t days_observed_ = 0;
+};
+
 /// EXTENSION (paper §7: "improve our prediction models for large N"):
 /// trailing-window features summarizing the last kWindowDays of behavior.
 /// The paper's features are daily + lifetime-cumulative; a drive's RECENT

@@ -34,20 +34,12 @@ OnlineDriveMonitor::OnlineDriveMonitor(const ml::Classifier& model, double thres
                                        std::int32_t deploy_day)
     : model_(&model),
       threshold_(threshold),
-      row_(1, FeatureExtractor::count()),
-      last_day_(deploy_day - 1) {
-  header_.model = drive_model;
-  header_.deploy_day = deploy_day;
-}
+      cursor_(drive_model, deploy_day),
+      row_(1, FeatureExtractor::count()) {}
 
 void OnlineDriveMonitor::prepare_row(const trace::DailyRecord& record,
                                      std::span<float> out) {
-  if (record.day <= last_day_)
-    throw std::invalid_argument("OnlineDriveMonitor: records must be in day order");
-  last_day_ = record.day;
-  ++days_observed_;
-  FeatureExtractor::advance(state_, record);
-  FeatureExtractor::extract(header_, record, state_, out);
+  cursor_.advance_and_extract(record, out);
 }
 
 RiskAssessment OnlineDriveMonitor::observe(const trace::DailyRecord& record) {

@@ -71,18 +71,17 @@ class OnlineDriveMonitor {
   /// state is model-independent, so scores continue seamlessly.
   void rebind(const ml::Classifier& model) noexcept { model_ = &model; }
 
-  [[nodiscard]] std::int32_t last_day() const noexcept { return last_day_; }
-  [[nodiscard]] std::uint64_t days_observed() const noexcept { return days_observed_; }
+  [[nodiscard]] std::int32_t last_day() const noexcept { return cursor_.last_day(); }
+  [[nodiscard]] std::uint64_t days_observed() const noexcept {
+    return cursor_.days_observed();
+  }
   [[nodiscard]] double threshold() const noexcept { return threshold_; }
 
  private:
   const ml::Classifier* model_;
   double threshold_;
-  trace::DriveHistory header_;  ///< deploy metadata for feature extraction
-  FeatureExtractor::State state_;
+  DriveFeatureCursor cursor_;  ///< shared online feature state (features.hpp)
   ml::Matrix row_;
-  std::int32_t last_day_;
-  std::uint64_t days_observed_ = 0;
 };
 
 /// Sharded fleet-wide monitor: lazily creates a per-drive monitor on first

@@ -1,0 +1,416 @@
+#include "daemon/daemon.hpp"
+
+#include <atomic>
+
+#include "ml/matrix.hpp"
+#include "ml/model_zoo.hpp"
+#include "stats/rng.hpp"
+
+namespace ssdfail::daemon {
+namespace {
+
+/// Instance label so concurrent daemons (tests, benches) sharing a
+/// registry never clobber each other's gauges — the FleetMonitor idiom.
+std::string next_daemon_label() {
+  static std::atomic<std::uint64_t> next{0};
+  return std::to_string(next.fetch_add(1, std::memory_order_relaxed));
+}
+
+std::uint64_t fnv_mix(std::uint64_t h, std::uint64_t v) noexcept {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xFF;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// Order-independent digest of one feature cursor (summed by the caller).
+std::uint64_t cursor_digest(std::uint64_t uid, const core::DriveFeatureCursor& cursor) {
+  std::uint64_t h = 1469598103934665603ULL;
+  h = fnv_mix(h, uid);
+  h = fnv_mix(h, static_cast<std::uint64_t>(static_cast<std::uint32_t>(cursor.last_day())));
+  h = fnv_mix(h, cursor.days_observed());
+  const core::FeatureExtractor::State& st = cursor.state();
+  h = fnv_mix(h, st.cum.reads);
+  h = fnv_mix(h, st.cum.writes);
+  h = fnv_mix(h, st.cum.erases);
+  for (std::uint64_t e : st.cum.errors) h = fnv_mix(h, e);
+  h = fnv_mix(h, st.cum_bad_blocks);
+  h = fnv_mix(h, (static_cast<std::uint64_t>(st.prev_bad_blocks) << 32) |
+                     st.new_bad_blocks_today);
+  return h;
+}
+
+}  // namespace
+
+TelemetryDaemon::Shard::Shard(const DaemonConfig& config,
+                              obs::MetricsRegistry& registry, std::uint32_t idx)
+    : index(idx),
+      ring(config.ring_capacity),
+      sanitizer(robustness::SanitizerConfig{config.dead_letter_capacity, &registry}),
+      health(config.health, &registry) {}
+
+TelemetryDaemon::TelemetryDaemon(std::shared_ptr<const ml::Classifier> model,
+                                 DaemonConfig config)
+    : config_(std::move(config)),
+      registry_(config_.registry != nullptr ? config_.registry
+                                            : &obs::MetricsRegistry::global()) {
+  if (config_.shards == 0) config_.shards = 1;
+  if (config_.max_batch == 0) config_.max_batch = 1;
+  if (model != nullptr) model_ = ml::make_serving_model(std::move(model));
+
+  const std::string instance = next_daemon_label();
+  obs::MetricsRegistry& reg = *registry_;
+  shed_metric_ = &reg.counter("daemon_records_shed_total", {},
+                              "Records dropped by ring backpressure");
+  scored_metric_ = &reg.counter("daemon_records_scored_total", {},
+                                "Records that reached the model");
+  alerts_metric_ = &reg.counter("daemon_alerts_total", {},
+                                "Scores at or above the alert threshold");
+  segments_metric_ = &reg.counter("daemon_wal_segments_appended_total", {},
+                                  "WAL segments appended across shards");
+  wal_bytes_metric_ = &reg.counter("daemon_wal_appended_bytes_total", {},
+                                   "WAL bytes appended across shards");
+  wal_errors_metric_ = &reg.counter("daemon_wal_errors_total", {},
+                                    "WAL open/append/fsync failures");
+  stalls_metric_ = &reg.counter("daemon_watchdog_stalls_total", {},
+                                "Appender stall episodes detected by the watchdog");
+  recovered_segments_metric_ = &reg.counter("daemon_recovery_segments_total", {},
+                                            "WAL segments replayed at startup");
+  recovered_records_metric_ = &reg.counter("daemon_recovery_records_total", {},
+                                           "Records replayed from the WAL at startup");
+  degraded_metric_ = &reg.gauge("daemon_degraded", {{"daemon", instance}},
+                                "1 while serving without a model");
+  wal_degraded_metric_ = &reg.gauge("daemon_wal_degraded", {{"daemon", instance}},
+                                    "1 while serving without a usable WAL");
+  degraded_metric_->set(model_ == nullptr ? 1.0 : 0.0);
+
+  shards_.reserve(config_.shards);
+  for (std::size_t s = 0; s < config_.shards; ++s) {
+    shards_.push_back(
+        std::make_unique<Shard>(config_, reg, static_cast<std::uint32_t>(s)));
+    Shard& shard = *shards_.back();
+    shard.ingested_metric =
+        &reg.counter("daemon_records_ingested_total",
+                     {{"shard", std::to_string(s)}}, "Records accepted into a ring");
+    shard.depth_metric = &reg.gauge(
+        "daemon_ring_depth", {{"daemon", instance}, {"shard", std::to_string(s)}},
+        "Approximate records waiting in a shard ring");
+  }
+}
+
+TelemetryDaemon::~TelemetryDaemon() { stop(); }
+
+std::size_t TelemetryDaemon::shard_index(std::uint64_t uid) const noexcept {
+  // Same routing as FleetMonitor: hash, then modulo, so one drive's whole
+  // stream stays on one shard (the sanitizer/cursor day-order invariant).
+  return static_cast<std::size_t>(stats::hash_keys({uid}) % shards_.size());
+}
+
+std::shared_ptr<const ml::Classifier> TelemetryDaemon::current_model() const {
+  std::scoped_lock lock(model_mutex_);
+  return model_;
+}
+
+void TelemetryDaemon::set_model(std::shared_ptr<const ml::Classifier> model) {
+  std::shared_ptr<const ml::Classifier> serving =
+      model != nullptr ? ml::make_serving_model(std::move(model)) : nullptr;
+  {
+    std::scoped_lock lock(model_mutex_);
+    model_ = std::move(serving);
+  }
+  degraded_metric_->set(current_model() == nullptr ? 1.0 : 0.0);
+}
+
+void TelemetryDaemon::mark_wal_degraded(Shard& shard) {
+  shard.wal.reset();
+  wal_errors_.fetch_add(1, std::memory_order_relaxed);
+  wal_errors_metric_->inc();
+  wal_degraded_.store(true, std::memory_order_relaxed);
+  wal_degraded_metric_->set(1.0);
+}
+
+void TelemetryDaemon::recover_shard(Shard& shard) {
+  const std::string path = wal_path(config_.wal_dir, shard.index);
+  WalReplayStats stats = replay_wal(path, [&](const WalSegment& segment) {
+    if (segment.type == SegmentType::kRecords) {
+      process_records(shard, segment.records);
+    } else {
+      process_retires(shard, segment.retired_uids);
+    }
+  });
+  recovery_.merge(stats);
+  recovered_segments_metric_->inc(stats.segments_replayed);
+  recovered_records_metric_->inc(stats.records_replayed);
+  try {
+    shard.wal = std::make_unique<WalWriter>(path, shard.index, config_.fsync);
+  } catch (const std::exception&) {
+    mark_wal_degraded(shard);
+  }
+}
+
+void TelemetryDaemon::start() {
+  if (running_.exchange(true)) return;
+  stopping_.store(false);
+  if (config_.wal_dir.empty()) {
+    wal_degraded_.store(true, std::memory_order_relaxed);
+    wal_degraded_metric_->set(1.0);
+  } else {
+    for (auto& shard : shards_) recover_shard(*shard);
+  }
+  for (auto& shard : shards_)
+    shard->appender = std::thread(&TelemetryDaemon::appender_main, this,
+                                  std::ref(*shard));
+  watchdog_ = std::thread(&TelemetryDaemon::watchdog_main, this);
+}
+
+void TelemetryDaemon::stop() {
+  if (!running_.load()) return;
+  stopping_.store(true);
+  for (auto& shard : shards_)
+    if (shard->appender.joinable()) shard->appender.join();
+  if (watchdog_.joinable()) watchdog_.join();
+  for (auto& shard : shards_) {
+    if (shard->wal == nullptr) continue;
+    try {
+      shard->wal->sync();
+    } catch (const std::exception&) {
+      mark_wal_degraded(*shard);
+    }
+  }
+  running_.store(false);
+}
+
+PushResult TelemetryDaemon::push(const core::FleetObservation& obs) {
+  if (!running_.load(std::memory_order_relaxed) ||
+      stopping_.load(std::memory_order_relaxed)) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return PushResult::kRejected;
+  }
+  Shard& shard = *shards_[shard_index(obs.uid())];
+  const PushResult result =
+      shard.ring.push(obs, config_.backpressure, config_.block_timeout);
+  if (result == PushResult::kAccepted) {
+    ingested_.fetch_add(1, std::memory_order_relaxed);
+    shard.ingested_metric->inc();
+  } else {
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    shed_metric_->inc();
+  }
+  return result;
+}
+
+void TelemetryDaemon::retire(trace::DriveModel drive_model, std::uint32_t drive_index) {
+  const std::uint64_t uid =
+      (static_cast<std::uint64_t>(drive_model) << 32) | drive_index;
+  Shard& shard = *shards_[shard_index(uid)];
+  if (!running_.load() || stopping_.load()) {
+    // Quiesced: apply inline (and WAL it if a writer is open) so tests can
+    // exercise retire without threads.
+    std::vector<std::uint64_t> uids{uid};
+    wal_append(shard, {}, uids);
+    process_retires(shard, uids);
+    return;
+  }
+  std::scoped_lock lock(shard.retire_mutex);
+  shard.pending_retires.push_back(uid);
+}
+
+void TelemetryDaemon::wal_append(Shard& shard,
+                                 std::span<const core::FleetObservation> batch,
+                                 std::span<const std::uint64_t> retires) {
+  if (shard.wal == nullptr) return;
+  try {
+    const std::uint64_t before = shard.wal->bytes_written();
+    if (!batch.empty()) {
+      shard.wal->append(batch);
+      segments_.fetch_add(1, std::memory_order_relaxed);
+      segments_metric_->inc();
+    }
+    if (!retires.empty()) {
+      shard.wal->append_retires(retires);
+      segments_.fetch_add(1, std::memory_order_relaxed);
+      segments_metric_->inc();
+    }
+    const std::uint64_t delta = shard.wal->bytes_written() - before;
+    wal_bytes_.fetch_add(delta, std::memory_order_relaxed);
+    wal_bytes_metric_->inc(delta);
+  } catch (const std::exception&) {
+    // Durability lost, service continues: WAL-degraded mode.
+    mark_wal_degraded(shard);
+  }
+}
+
+void TelemetryDaemon::process_records(Shard& shard,
+                                      std::span<const core::FleetObservation> batch) {
+  if (batch.empty()) return;
+  const std::shared_ptr<const ml::Classifier> model = current_model();
+
+  struct Prepared {
+    std::uint64_t uid;
+    std::int32_t day;
+    bool suspect;
+    bool dead;
+  };
+  ml::Matrix rows;
+  std::vector<float> row(core::FeatureExtractor::count());
+  std::vector<Prepared> prepared;
+  prepared.reserve(batch.size());
+
+  for (const core::FleetObservation& obs : batch) {
+    const std::uint64_t uid = obs.uid();
+    const robustness::SanitizeResult clean =
+        shard.sanitizer.sanitize(uid, obs.deploy_day, obs.record);
+    switch (clean.action) {
+      case robustness::SanitizeAction::kQuarantined:
+        quarantined_.fetch_add(1, std::memory_order_relaxed);
+        // Irreparable telemetry is itself a symptom: a ramp-tier strike,
+        // but never a swap (a corrupt record's dead flag is not trusted).
+        shard.health.observe(uid, 0.0, /*suspect=*/true, /*dead=*/false);
+        continue;
+      case robustness::SanitizeAction::kDuplicateDropped:
+        duplicates_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      case robustness::SanitizeAction::kClean:
+      case robustness::SanitizeAction::kRepaired:
+        break;
+    }
+    auto [it, inserted] =
+        shard.cursors.try_emplace(uid, obs.drive_model, obs.deploy_day);
+    // Sanitizer guarantees strictly increasing days per uid, so this
+    // cannot throw.
+    it->second.advance_and_extract(clean.record, row);
+    rows.push_row(row);
+    prepared.push_back({uid, clean.record.day,
+                        clean.action == robustness::SanitizeAction::kRepaired,
+                        clean.record.dead});
+  }
+  if (prepared.empty()) return;
+
+  std::vector<float> scores;
+  if (model != nullptr) scores = model->predict_proba(rows);
+  std::uint64_t alerts = 0;
+  for (std::size_t i = 0; i < prepared.size(); ++i) {
+    const Prepared& p = prepared[i];
+    DriveAssessment assessment;
+    assessment.uid = p.uid;
+    assessment.day = p.day;
+    assessment.scored = model != nullptr;
+    assessment.score = assessment.scored ? scores[i] : 0.0f;
+    assessment.alert = assessment.scored && assessment.score >= config_.threshold;
+    if (assessment.alert) ++alerts;
+    assessment.health =
+        shard.health.observe(p.uid, assessment.score, p.suspect, p.dead);
+    if (config_.on_assessment) config_.on_assessment(assessment);
+  }
+  if (model != nullptr) {
+    scored_.fetch_add(prepared.size(), std::memory_order_relaxed);
+    scored_metric_->inc(prepared.size());
+    alerts_.fetch_add(alerts, std::memory_order_relaxed);
+    alerts_metric_->inc(alerts);
+  }
+}
+
+void TelemetryDaemon::process_retires(Shard& shard,
+                                      std::span<const std::uint64_t> uids) {
+  for (const std::uint64_t uid : uids) {
+    shard.cursors.erase(uid);
+    shard.sanitizer.forget(uid);
+    shard.health.retire(uid);
+  }
+}
+
+void TelemetryDaemon::appender_main(Shard& shard) {
+  std::vector<core::FleetObservation> batch;
+  std::vector<std::uint64_t> retires;
+  batch.reserve(config_.max_batch);
+  for (;;) {
+    batch.clear();
+    retires.clear();
+    shard.ring.pop_into(batch, config_.max_batch);
+    {
+      std::scoped_lock lock(shard.retire_mutex);
+      retires.swap(shard.pending_retires);
+    }
+    if (batch.empty() && retires.empty()) {
+      if (stopping_.load(std::memory_order_relaxed)) break;
+      std::this_thread::sleep_for(config_.poll_interval);
+      continue;
+    }
+    if (config_.appender_hook) config_.appender_hook(shard.index);
+    wal_append(shard, batch, retires);
+    process_records(shard, batch);
+    process_retires(shard, retires);
+    shard.heartbeat.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void TelemetryDaemon::watchdog_main() {
+  struct Seen {
+    std::uint64_t beat = 0;
+    std::chrono::steady_clock::time_point changed;
+    bool flagged = false;
+  };
+  std::vector<Seen> seen(shards_.size());
+  const auto start = std::chrono::steady_clock::now();
+  for (auto& s : seen) s.changed = start;
+
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    std::this_thread::sleep_for(config_.watchdog_interval);
+    const auto now = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      Shard& shard = *shards_[i];
+      const std::size_t depth = shard.ring.size_approx();
+      shard.depth_metric->set(static_cast<double>(depth));
+      const std::uint64_t beat = shard.heartbeat.load(std::memory_order_relaxed);
+      if (beat != seen[i].beat) {
+        seen[i] = {beat, now, false};
+        continue;
+      }
+      // One stall episode per freeze: flag once, clear when the beat moves.
+      if (depth > 0 && !seen[i].flagged && now - seen[i].changed > config_.stall_timeout) {
+        seen[i].flagged = true;
+        watchdog_stalls_.fetch_add(1, std::memory_order_relaxed);
+        stalls_metric_->inc();
+      }
+    }
+  }
+  for (auto& shard : shards_) shard->depth_metric->set(0.0);
+}
+
+DaemonStats TelemetryDaemon::stats() const {
+  DaemonStats out;
+  out.ingested = ingested_.load();
+  out.shed = shed_.load();
+  out.rejected = rejected_.load();
+  out.scored = scored_.load();
+  out.alerts = alerts_.load();
+  out.quarantined = quarantined_.load();
+  out.duplicates_dropped = duplicates_.load();
+  out.segments_appended = segments_.load();
+  out.wal_bytes = wal_bytes_.load();
+  out.wal_errors = wal_errors_.load();
+  out.watchdog_stalls = watchdog_stalls_.load();
+  out.recovery = recovery_;
+  out.degraded = current_model() == nullptr;
+  out.wal_degraded = wal_degraded_.load();
+  for (const auto& shard : shards_) {
+    out.drives_tracked += shard->cursors.size();
+    const auto counts = shard->health.counts();
+    for (std::size_t s = 0; s < kNumHealthStates; ++s)
+      out.health_counts[s] += counts[s];
+  }
+  return out;
+}
+
+std::uint64_t TelemetryDaemon::state_digest() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    for (const auto& [uid, cursor] : shard->cursors)
+      total += cursor_digest(uid, cursor);
+    total += shard->health.digest();
+  }
+  return total;
+}
+
+}  // namespace ssdfail::daemon

@@ -1,0 +1,222 @@
+#pragma once
+
+// TelemetryDaemon: the long-running ingest service tying the PR together.
+//
+//   producers --> per-shard IngestRing (bounded, backpressure policy)
+//                     |
+//               appender thread (one per shard)
+//                     |--> WalWriter.append(raw batch)      [durability first]
+//                     |--> RecordSanitizer                   [repair/drop/DLQ]
+//                     |--> DriveFeatureCursor + Classifier   [score]
+//                     |--> HealthTracker                     [escalate/page]
+//
+// The WAL records RAW observations before any processing, so startup
+// recovery replays them through the exact same sanitize -> advance ->
+// score -> health path and lands on bit-identical per-drive state (the
+// state_digest() invariant; pinned under real SIGKILL by
+// tests/daemon/test_crash_recovery.cpp).
+//
+// Failure posture — the daemon degrades, it does not die:
+//   * scorer unavailable (null model)  -> ingest + WAL + health continue,
+//     scores read 0, `daemon_degraded` gauge is 1 until set_model().
+//   * store unavailable (WAL open or append fails) -> scoring continues
+//     without durability, `daemon_wal_degraded` is 1 and every failure
+//     counts in `daemon_wal_errors_total`.
+//   * corrupt WAL on startup -> replay truncates the torn tail, never
+//     throws (see daemon/wal.hpp's recovery contract).
+//
+// A watchdog thread samples each appender's heartbeat and counts shards
+// that sit on a non-empty ring without making progress
+// (`daemon_watchdog_stalls_total`); stop() drains every ring, fsyncs, and
+// joins all threads (the CLI wires SIGTERM/SIGINT to it).
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/features.hpp"
+#include "daemon/health.hpp"
+#include "daemon/ingest_ring.hpp"
+#include "daemon/wal.hpp"
+#include "ml/classifier.hpp"
+#include "robustness/record_sanitizer.hpp"
+
+namespace ssdfail::daemon {
+
+/// One scored (or degraded-mode) observation, delivered to the optional
+/// on_assessment sink in processing order per shard.
+struct DriveAssessment {
+  std::uint64_t uid = 0;
+  std::int32_t day = 0;
+  float score = 0.0f;
+  bool scored = false;  ///< false when running without a model
+  bool alert = false;
+  HealthState health = HealthState::kHealthy;
+};
+
+struct DaemonConfig {
+  std::size_t shards = 4;
+  std::size_t ring_capacity = 1024;  ///< per shard, rounded up to a power of two
+  Backpressure backpressure = Backpressure::kBlock;
+  std::chrono::milliseconds block_timeout{100};  ///< kBlock patience before shedding
+  std::size_t max_batch = 256;       ///< records drained per appender iteration
+
+  /// Directory for per-shard WAL files; empty runs WITHOUT a WAL
+  /// (`daemon_wal_degraded` is 1 from the start).
+  std::string wal_dir;
+  FsyncPolicy fsync = FsyncPolicy::kEverySegment;
+
+  double threshold = 0.5;  ///< alert when score >= threshold
+  HealthConfig health;
+
+  /// Registry for all daemon metric families; null uses the global one.
+  obs::MetricsRegistry* registry = nullptr;
+  std::size_t dead_letter_capacity = 64;  ///< per-shard sanitizer DLQ bound
+
+  std::chrono::milliseconds poll_interval{1};      ///< appender idle sleep
+  std::chrono::milliseconds watchdog_interval{20};
+  std::chrono::milliseconds stall_timeout{500};    ///< no progress + backlog = stall
+
+  /// Observability sink for every processed record (tests, CLI --verbose).
+  /// Called from appender threads; must be thread-safe if shards > 1.
+  std::function<void(const DriveAssessment&)> on_assessment;
+  /// Test hook, invoked by an appender at the top of each busy iteration
+  /// (the watchdog test injects a sleep here to fake a stalled shard).
+  std::function<void(std::uint32_t shard)> appender_hook;
+};
+
+/// Point-in-time daemon statistics (internal atomics, not the registry, so
+/// a shared/global registry never bleeds other instances into these).
+struct DaemonStats {
+  std::uint64_t ingested = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t rejected = 0;  ///< pushes after stop() began
+  std::uint64_t scored = 0;
+  std::uint64_t alerts = 0;
+  std::uint64_t quarantined = 0;
+  std::uint64_t duplicates_dropped = 0;
+  std::uint64_t segments_appended = 0;
+  std::uint64_t wal_bytes = 0;
+  std::uint64_t wal_errors = 0;
+  std::uint64_t watchdog_stalls = 0;
+  std::size_t drives_tracked = 0;
+  std::array<std::uint64_t, kNumHealthStates> health_counts{};
+  WalReplayStats recovery;  ///< merged across shards (start() replay)
+  bool degraded = false;      ///< serving without a model
+  bool wal_degraded = false;  ///< serving without durability
+};
+
+class TelemetryDaemon {
+ public:
+  /// `model` may be null: the daemon starts degraded (see header comment).
+  TelemetryDaemon(std::shared_ptr<const ml::Classifier> model, DaemonConfig config);
+  ~TelemetryDaemon();
+  TelemetryDaemon(const TelemetryDaemon&) = delete;
+  TelemetryDaemon& operator=(const TelemetryDaemon&) = delete;
+
+  /// Replay per-shard WALs (rebuilding all per-drive state), open the
+  /// writers, and launch appender + watchdog threads.  Idempotent once
+  /// running.  Never throws on corrupt WAL content.
+  void start();
+
+  /// Graceful drain: stop accepting, drain every ring through the full
+  /// pipeline, fsync WALs, join all threads.  Safe to call twice.
+  void stop();
+
+  /// Producer entry point (any thread).  Applies the configured
+  /// backpressure policy; returns kRejected once stop() has begun.
+  PushResult push(const core::FleetObservation& obs);
+
+  /// Route a drive swap through the pipeline (WAL-logged as a kRetires
+  /// segment, so recovery replays it at the same point in the stream).
+  void retire(trace::DriveModel drive_model, std::uint32_t drive_index);
+
+  /// Install (or restore) the scoring model; a non-null model clears
+  /// degraded mode for subsequent batches.
+  void set_model(std::shared_ptr<const ml::Classifier> model);
+
+  [[nodiscard]] bool running() const noexcept { return running_.load(); }
+  [[nodiscard]] std::size_t shards() const noexcept { return shards_.size(); }
+  [[nodiscard]] DaemonStats stats() const;
+
+  /// Order-independent digest over every shard's per-drive state (feature
+  /// cursors + health machines).  Two daemons that processed equivalent
+  /// streams — e.g. one uninterrupted, one SIGKILLed and recovered — must
+  /// agree.  Call while quiesced (before start() or after stop()).
+  [[nodiscard]] std::uint64_t state_digest() const;
+
+ private:
+  struct Shard {
+    explicit Shard(const DaemonConfig& config, obs::MetricsRegistry& registry,
+                   std::uint32_t index);
+
+    std::uint32_t index = 0;
+    IngestRing ring;
+    std::unique_ptr<WalWriter> wal;
+    robustness::RecordSanitizer sanitizer;
+    std::unordered_map<std::uint64_t, core::DriveFeatureCursor> cursors;
+    HealthTracker health;
+
+    std::mutex retire_mutex;
+    std::vector<std::uint64_t> pending_retires;
+
+    std::thread appender;
+    std::atomic<std::uint64_t> heartbeat{0};  ///< bumps once per busy iteration
+
+    obs::Counter* ingested_metric = nullptr;  ///< daemon_records_ingested_total{shard=}
+    obs::Gauge* depth_metric = nullptr;       ///< daemon_ring_depth{shard=}
+  };
+
+  [[nodiscard]] std::size_t shard_index(std::uint64_t uid) const noexcept;
+  [[nodiscard]] std::shared_ptr<const ml::Classifier> current_model() const;
+
+  void appender_main(Shard& shard);
+  void watchdog_main();
+  void recover_shard(Shard& shard);
+  void wal_append(Shard& shard, std::span<const core::FleetObservation> batch,
+                  std::span<const std::uint64_t> retires);
+  void process_records(Shard& shard, std::span<const core::FleetObservation> batch);
+  void process_retires(Shard& shard, std::span<const std::uint64_t> uids);
+  void mark_wal_degraded(Shard& shard);
+
+  DaemonConfig config_;
+  obs::MetricsRegistry* registry_ = nullptr;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  mutable std::mutex model_mutex_;
+  std::shared_ptr<const ml::Classifier> model_;
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::thread watchdog_;
+
+  // Internal stat atomics (mirrored into registry counters as they move).
+  std::atomic<std::uint64_t> ingested_{0}, shed_{0}, rejected_{0};
+  std::atomic<std::uint64_t> scored_{0}, alerts_{0};
+  std::atomic<std::uint64_t> quarantined_{0}, duplicates_{0};
+  std::atomic<std::uint64_t> segments_{0}, wal_bytes_{0}, wal_errors_{0};
+  std::atomic<std::uint64_t> watchdog_stalls_{0};
+  std::atomic<bool> wal_degraded_{false};
+  WalReplayStats recovery_;  ///< written by start() before threads exist
+
+  obs::Counter* shed_metric_ = nullptr;
+  obs::Counter* scored_metric_ = nullptr;
+  obs::Counter* alerts_metric_ = nullptr;
+  obs::Counter* segments_metric_ = nullptr;
+  obs::Counter* wal_bytes_metric_ = nullptr;
+  obs::Counter* wal_errors_metric_ = nullptr;
+  obs::Counter* stalls_metric_ = nullptr;
+  obs::Counter* recovered_segments_metric_ = nullptr;
+  obs::Counter* recovered_records_metric_ = nullptr;
+  obs::Gauge* degraded_metric_ = nullptr;
+  obs::Gauge* wal_degraded_metric_ = nullptr;
+};
+
+}  // namespace ssdfail::daemon

@@ -1,0 +1,136 @@
+#pragma once
+
+// Bounded lock-free MPSC ingest ring with an explicit backpressure policy.
+//
+// Producers (collector threads, one per fleet slice) push FleetObservations
+// into the shard's ring; the shard's single appender thread drains it in
+// batches.  The cell/sequence design is Vyukov's bounded MPMC queue — each
+// cell carries an atomic sequence number that encodes whether it is free
+// for the ticket that wants it — which gives us what the daemon actually
+// needs: multi-producer safety, per-producer FIFO (a drive's records are
+// pushed by exactly one producer, so sanitizer day-order is preserved),
+// and NO unbounded memory, ever.
+//
+// Backpressure is a policy, not an accident:
+//
+//   kBlock — a full ring parks the producer in a bounded sleep loop until
+//            space frees or `block_timeout` expires, THEN sheds.  The slow
+//            consumer stalls producers instead of ballooning memory.
+//   kShed  — a full ring drops the record immediately.
+//
+// Every shed is counted by the caller (daemon_records_shed_total); nothing
+// is silently lost.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "core/fleet_observation.hpp"
+
+namespace ssdfail::daemon {
+
+enum class Backpressure : std::uint8_t { kBlock = 0, kShed };
+
+enum class PushResult : std::uint8_t {
+  kAccepted = 0,
+  kShed,      ///< ring full past the policy's patience; record dropped
+  kRejected,  ///< daemon stopping; no new records accepted
+};
+
+class IngestRing {
+ public:
+  /// Capacity is rounded up to a power of two (>= 2).
+  explicit IngestRing(std::size_t capacity) {
+    std::size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    mask_ = cap - 1;
+    cells_ = std::vector<Cell>(cap);
+    for (std::size_t i = 0; i < cap; ++i)
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return cells_.size(); }
+
+  /// Lock-free single attempt; false when the ring is full.
+  bool try_push(const core::FleetObservation& obs) {
+    std::size_t ticket = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& cell = cells_[ticket & mask_];
+      const std::size_t seq = cell.seq.load(std::memory_order_acquire);
+      const auto diff = static_cast<std::intptr_t>(seq) - static_cast<std::intptr_t>(ticket);
+      if (diff == 0) {
+        if (tail_.compare_exchange_weak(ticket, ticket + 1, std::memory_order_relaxed))
+        {
+          cell.value = obs;
+          cell.seq.store(ticket + 1, std::memory_order_release);
+          return true;
+        }
+      } else if (diff < 0) {
+        return false;  // full: the cell still holds an unconsumed ticket
+      } else {
+        ticket = tail_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// Push under `policy`: kShed gives up immediately on a full ring,
+  /// kBlock parks in a sleep loop until space frees or `timeout` passes.
+  PushResult push(const core::FleetObservation& obs, Backpressure policy,
+                  std::chrono::milliseconds timeout) {
+    if (try_push(obs)) return PushResult::kAccepted;
+    if (policy == Backpressure::kShed) return PushResult::kShed;
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    int spins = 0;
+    do {
+      if (++spins < 64) {
+        std::this_thread::yield();
+      } else {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+      }
+      if (try_push(obs)) return PushResult::kAccepted;
+    } while (std::chrono::steady_clock::now() < deadline);
+    return PushResult::kShed;
+  }
+
+  /// Single-consumer drain of up to `max` records appended to `out`.
+  /// Returns the number drained.
+  std::size_t pop_into(std::vector<core::FleetObservation>& out, std::size_t max) {
+    std::size_t drained = 0;
+    while (drained < max) {
+      const std::size_t ticket = head_.load(std::memory_order_relaxed);
+      Cell& cell = cells_[ticket & mask_];
+      const std::size_t seq = cell.seq.load(std::memory_order_acquire);
+      if (static_cast<std::intptr_t>(seq) - static_cast<std::intptr_t>(ticket + 1) < 0)
+        break;  // empty
+      out.push_back(cell.value);
+      cell.seq.store(ticket + mask_ + 1, std::memory_order_release);
+      head_.store(ticket + 1, std::memory_order_relaxed);
+      ++drained;
+    }
+    return drained;
+  }
+
+  /// Racy size estimate (metrics / watchdog only).
+  [[nodiscard]] std::size_t size_approx() const noexcept {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    return tail >= head ? tail - head : 0;
+  }
+
+  [[nodiscard]] bool empty_approx() const noexcept { return size_approx() == 0; }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<std::size_t> seq{0};
+    core::FleetObservation value;
+  };
+
+  std::vector<Cell> cells_;
+  std::size_t mask_ = 0;
+  alignas(64) std::atomic<std::size_t> tail_{0};  ///< producer tickets
+  alignas(64) std::atomic<std::size_t> head_{0};  ///< consumer cursor (single owner)
+};
+
+}  // namespace ssdfail::daemon

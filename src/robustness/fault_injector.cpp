@@ -28,6 +28,9 @@ std::string_view fault_name(FaultKind kind) noexcept {
     case FaultKind::kTruncateStream: return "truncated stream";
     case FaultKind::kSwapOutOfOrder: return "swap days out of order";
     case FaultKind::kSwapBeforeActivity: return "swap before activity";
+    case FaultKind::kTornWrite: return "torn WAL write";
+    case FaultKind::kPartialSegment: return "partial WAL segment";
+    case FaultKind::kDuplicateDelivery: return "duplicate WAL delivery";
   }
   return "unknown";
 }
@@ -221,7 +224,10 @@ CorruptedStream FaultInjector::corrupt(std::span<const core::FleetObservation> s
         continue;
       case FaultKind::kSwapOutOfOrder:
       case FaultKind::kSwapBeforeActivity:
-        break;  // history-only faults never drawn on streams
+      case FaultKind::kTornWrite:
+      case FaultKind::kPartialSegment:
+      case FaultKind::kDuplicateDelivery:
+        break;  // history-/WAL-only faults never drawn on streams
     }
   }
   return out;
@@ -292,8 +298,65 @@ std::optional<trace::ViolationKind> FaultInjector::inject_into_history(
       drive.swaps = {{records.front().day -
                       static_cast<std::int32_t>(rng.uniform_index(3))}};
       return trace::ViolationKind::kSwapBeforeActivity;
+    case FaultKind::kTornWrite:
+    case FaultKind::kPartialSegment:
+    case FaultKind::kDuplicateDelivery:
+      throw std::invalid_argument("inject_into_history: WAL-only fault kind");
   }
   return std::nullopt;
+}
+
+FaultInjector::WalFault FaultInjector::inject_into_wal(
+    std::vector<char>& wal, FaultKind kind, stats::Rng& rng,
+    std::span<const std::size_t> segment_offsets) {
+  if (segment_offsets.empty())
+    throw std::invalid_argument("inject_into_wal: no segments");
+  const std::size_t n = segment_offsets.size();
+  auto segment_end = [&](std::size_t k) {
+    return k + 1 < n ? segment_offsets[k + 1] : wal.size();
+  };
+  // A cut point strictly inside segment k (never a clean boundary).
+  auto cut_inside = [&](std::size_t k) {
+    const std::size_t begin = segment_offsets[k];
+    const std::size_t end = segment_end(k);
+    if (end <= begin + 1)
+      throw std::invalid_argument("inject_into_wal: segment too small to cut");
+    return begin + 1 + rng.uniform_index(end - begin - 1);
+  };
+
+  WalFault result;
+  switch (kind) {
+    case FaultKind::kTornWrite: {
+      result.segment = n - 1;
+      result.offset = cut_inside(result.segment);
+      wal.resize(result.offset);  // crash mid-append: the tail never hit disk
+      return result;
+    }
+    case FaultKind::kPartialSegment: {
+      result.segment = rng.uniform_index(n);
+      result.offset = cut_inside(result.segment);
+      // A failed page write leaves zeroes behind data that DID become
+      // durable later — the mid-file hole recovery must stop at, not skip.
+      std::fill(wal.begin() + static_cast<std::ptrdiff_t>(result.offset),
+                wal.begin() + static_cast<std::ptrdiff_t>(segment_end(result.segment)),
+                '\0');
+      return result;
+    }
+    case FaultKind::kDuplicateDelivery: {
+      result.segment = rng.uniform_index(n);
+      result.offset = wal.size();
+      const std::size_t begin = segment_offsets[result.segment];
+      const std::size_t end = segment_end(result.segment);
+      // Append a verbatim replay of the segment (insert via copy: the
+      // source range lives in the same vector being grown).
+      const std::vector<char> copy(wal.begin() + static_cast<std::ptrdiff_t>(begin),
+                                   wal.begin() + static_cast<std::ptrdiff_t>(end));
+      wal.insert(wal.end(), copy.begin(), copy.end());
+      return result;
+    }
+    default:
+      throw std::invalid_argument("inject_into_wal: not a WAL fault kind");
+  }
 }
 
 }  // namespace ssdfail::robustness

@@ -54,9 +54,12 @@ enum class FaultKind : std::uint8_t {
   kTruncateStream,     ///< the drive's remaining records are dropped
   kSwapOutOfOrder,     ///< (history-only) swap days reordered
   kSwapBeforeActivity, ///< (history-only) swap precedes every record
+  kTornWrite,          ///< (WAL-only) file cut mid-way through the final segment
+  kPartialSegment,     ///< (WAL-only) a segment's tail zeroed (failed page write)
+  kDuplicateDelivery,  ///< (WAL-only) a whole segment delivered twice
 };
 
-inline constexpr std::size_t kNumFaultKinds = 12;
+inline constexpr std::size_t kNumFaultKinds = 15;
 
 [[nodiscard]] std::string_view fault_name(FaultKind kind) noexcept;
 
@@ -114,6 +117,31 @@ class FaultInjector {
   /// P/E and bad-block counters for every kind to be injectable.
   static std::optional<trace::ViolationKind> inject_into_history(
       trace::DriveHistory& drive, FaultKind kind, stats::Rng& rng);
+
+  /// Where a WAL-image fault landed (for asserting recovery behavior).
+  struct WalFault {
+    std::size_t segment = 0;  ///< index into `segment_offsets`
+    std::size_t offset = 0;   ///< first corrupted/duplicated byte offset
+  };
+
+  /// Mutate a serialized write-ahead-log image in place to exhibit one of
+  /// the WAL-only fault kinds, seeded like every other injector draw.  The
+  /// injector stays framing-agnostic: `segment_offsets` gives the byte
+  /// offset of each appended segment (ascending; the file tail past the
+  /// last offset is the final segment), as reported by the WAL writer.
+  ///
+  ///   kTornWrite        — the image is cut at a random byte strictly
+  ///                       inside the final segment (crash mid-append).
+  ///   kPartialSegment   — a random segment's tail is zeroed in place (a
+  ///                       failed page write behind later durable data).
+  ///   kDuplicateDelivery— a random whole segment's bytes are appended
+  ///                       again at the end (at-least-once redelivery).
+  ///
+  /// Throws std::invalid_argument for non-WAL kinds, an empty offset list,
+  /// or a segment too small to cut.
+  static WalFault inject_into_wal(std::vector<char>& wal, FaultKind kind,
+                                  stats::Rng& rng,
+                                  std::span<const std::size_t> segment_offsets);
 
  private:
   struct SimState {

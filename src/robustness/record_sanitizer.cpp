@@ -29,7 +29,10 @@ RecordSanitizer::RecordSanitizer(SanitizerConfig config) : config_(config) {
                    "exact same-day duplicate records skipped");
   mirror_.dead_letter_overflow =
       &reg.counter("sanitizer_dead_letter_overflow_total", {},
-                   "quarantined records whose payload was discarded (queue full)");
+                   "quarantines that arrived while the dead-letter queue was full");
+  mirror_.dead_letter_evicted =
+      &reg.counter("sanitizer_dead_letter_evicted_total", {},
+                   "oldest dead-letter payloads dropped to admit newer quarantines");
 }
 
 void SanitizerSnapshot::merge(const SanitizerSnapshot& other) {
@@ -41,6 +44,7 @@ void SanitizerSnapshot::merge(const SanitizerSnapshot& other) {
   records_quarantined += other.records_quarantined;
   duplicates_dropped += other.duplicates_dropped;
   dead_letter_overflow += other.dead_letter_overflow;
+  dead_letter_evicted += other.dead_letter_evicted;
   dead_letters.insert(dead_letters.end(), other.dead_letters.begin(),
                       other.dead_letters.end());
 }
@@ -50,12 +54,22 @@ void RecordSanitizer::quarantine(std::uint64_t drive_uid, trace::ViolationKind k
   ++counters_.quarantined[kind_index(kind)];
   ++counters_.records_quarantined;
   if (obs::Counter* c = mirror_.quarantined[kind_index(kind)]) c->inc();
-  if (counters_.dead_letters.size() < config_.dead_letter_capacity) {
-    counters_.dead_letters.push_back({drive_uid, kind, record});
-  } else {
+  if (counters_.dead_letters.size() >= config_.dead_letter_capacity) {
+    // Keep the queue a window over the most RECENT quarantines: evict the
+    // oldest payload (loudly — both counters are registry-mirrored) rather
+    // than silently refusing the new one.
     ++counters_.dead_letter_overflow;
     if (mirror_.dead_letter_overflow != nullptr) mirror_.dead_letter_overflow->inc();
+    if (config_.dead_letter_capacity == 0) return;
+    const std::size_t evict =
+        counters_.dead_letters.size() - config_.dead_letter_capacity + 1;
+    counters_.dead_letters.erase(counters_.dead_letters.begin(),
+                                 counters_.dead_letters.begin() +
+                                     static_cast<std::ptrdiff_t>(evict));
+    counters_.dead_letter_evicted += evict;
+    if (mirror_.dead_letter_evicted != nullptr) mirror_.dead_letter_evicted->inc(evict);
   }
+  counters_.dead_letters.push_back({drive_uid, kind, record});
 }
 
 SanitizeResult RecordSanitizer::sanitize(std::uint64_t drive_uid,

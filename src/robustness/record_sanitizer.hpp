@@ -35,8 +35,10 @@
 namespace ssdfail::robustness {
 
 struct SanitizerConfig {
-  /// Max records held in this sanitizer's dead-letter queue; beyond it,
-  /// quarantined records are still counted but their payload is discarded.
+  /// Max records held in this sanitizer's dead-letter queue.  When full, a
+  /// new quarantine EVICTS the oldest entry (the queue keeps the most
+  /// recent violations — the ones an operator can still act on); every
+  /// eviction is counted and mirrored to the registry, never silent.
   std::size_t dead_letter_capacity = 64;
   /// Registry to mirror counters into as process-wide families
   /// (`sanitizer_repaired_total{kind=...}` etc. — no per-shard labels;
@@ -73,8 +75,9 @@ struct SanitizerSnapshot {
   std::uint64_t records_repaired = 0;     ///< scored after >=1 repair
   std::uint64_t records_quarantined = 0;  ///< dead-lettered (counted even past capacity)
   std::uint64_t duplicates_dropped = 0;   ///< exact same-day duplicates skipped
-  std::uint64_t dead_letter_overflow = 0; ///< quarantined but payload discarded
-  std::vector<DeadLetter> dead_letters;   ///< bounded queue contents
+  std::uint64_t dead_letter_overflow = 0; ///< quarantines that arrived at a full queue
+  std::uint64_t dead_letter_evicted = 0;  ///< oldest payloads dropped to admit newer ones
+  std::vector<DeadLetter> dead_letters;   ///< bounded queue (most recent quarantines)
 
   void merge(const SanitizerSnapshot& other);
 };
@@ -110,6 +113,7 @@ class RecordSanitizer {
     std::array<obs::Counter*, trace::kNumViolationKinds> quarantined{};
     obs::Counter* duplicates_dropped = nullptr;
     obs::Counter* dead_letter_overflow = nullptr;
+    obs::Counter* dead_letter_evicted = nullptr;
   };
 
   SanitizerConfig config_;

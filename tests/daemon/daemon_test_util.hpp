@@ -1,0 +1,86 @@
+#pragma once
+
+// Shared fixtures for the daemon test suite: a deterministic observation
+// stream, a deterministic stub scorer, and a self-cleaning temp directory
+// for WAL files.
+
+#include <unistd.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/fleet_observation.hpp"
+#include "ml/classifier.hpp"
+
+namespace ssdfail::daemon::testing {
+
+/// Day-ordered clean stream: `drives` drives reporting every day with
+/// growing cumulative counters (same shape as the fault-injector tests).
+inline std::vector<core::FleetObservation> make_stream(std::uint32_t drives,
+                                                       std::int32_t days) {
+  std::vector<core::FleetObservation> stream;
+  stream.reserve(static_cast<std::size_t>(drives) * static_cast<std::size_t>(days));
+  for (std::int32_t day = 0; day < days; ++day) {
+    for (std::uint32_t d = 0; d < drives; ++d) {
+      trace::DailyRecord rec;
+      rec.day = day;
+      rec.reads = 100 + d;
+      rec.writes = 40 + static_cast<std::uint32_t>(day);
+      rec.erases = 4;
+      rec.pe_cycles = 10 + 2 * static_cast<std::uint32_t>(day);
+      rec.bad_blocks = 1 + static_cast<std::uint32_t>(day) / 8;
+      rec.factory_bad_blocks = 4;
+      rec.errors[0] = d % 3;
+      stream.push_back({trace::DriveModel::MlcA, d, 0, rec});
+    }
+  }
+  return stream;
+}
+
+/// Deterministic per-row scorer: a hash-like fold of the feature vector
+/// into [0, 1).  No fit needed; identical scores for identical rows, which
+/// is exactly what the replay bit-identity tests require of a model.
+class StubModel final : public ml::Classifier {
+ public:
+  void fit(const ml::Dataset&) override {}
+  [[nodiscard]] std::vector<float> predict_proba(const ml::Matrix& x) const override {
+    std::vector<float> out(x.rows());
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+      double acc = 0.0;
+      for (const float v : x.row(r)) acc = acc * 31.0 + static_cast<double>(v);
+      out[r] = static_cast<float>(std::fabs(acc - std::floor(acc)));
+    }
+    return out;
+  }
+  [[nodiscard]] std::string name() const override { return "stub"; }
+  [[nodiscard]] std::unique_ptr<ml::Classifier> clone() const override {
+    return std::make_unique<StubModel>();
+  }
+};
+
+/// Unique temp directory, removed (recursively) on destruction.
+class TempDir {
+ public:
+  explicit TempDir(const std::string& tag) {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("ssdfail_daemon_" + tag + "_" + std::to_string(::getpid())))
+                .string();
+    std::filesystem::remove_all(path_);
+    std::filesystem::create_directories(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::string path_;
+};
+
+}  // namespace ssdfail::daemon::testing

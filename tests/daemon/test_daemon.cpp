@@ -1,0 +1,294 @@
+// TelemetryDaemon tests: graceful drain accounting, WAL recovery
+// bit-identity, retire-through-the-WAL, degraded modes, backpressure
+// shedding, and the watchdog.
+
+#include "daemon/daemon.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+
+#include "daemon_test_util.hpp"
+
+namespace ssdfail::daemon {
+namespace {
+
+using testing::StubModel;
+using testing::TempDir;
+using testing::make_stream;
+
+DaemonConfig base_config(const std::string& wal_dir, obs::MetricsRegistry* registry) {
+  DaemonConfig cfg;
+  cfg.shards = 2;
+  cfg.ring_capacity = 64;
+  cfg.wal_dir = wal_dir;
+  cfg.fsync = FsyncPolicy::kNever;  // durability is the crash test's job
+  cfg.registry = registry;
+  cfg.threshold = 0.7;
+  return cfg;
+}
+
+TEST(TelemetryDaemon, GracefulDrainProcessesEveryAcceptedRecord) {
+  TempDir dir("drain");
+  obs::MetricsRegistry registry;
+  TelemetryDaemon daemon(std::make_shared<StubModel>(),
+                         base_config(dir.path(), &registry));
+  daemon.start();
+  const auto stream = make_stream(6, 20);
+  for (const auto& obs : stream)
+    ASSERT_EQ(daemon.push(obs), PushResult::kAccepted);
+  daemon.stop();
+
+  const DaemonStats stats = daemon.stats();
+  EXPECT_EQ(stats.ingested, stream.size());
+  EXPECT_EQ(stats.shed, 0u);
+  EXPECT_EQ(stats.scored, stream.size());  // clean stream: everything scores
+  EXPECT_EQ(stats.quarantined, 0u);
+  EXPECT_EQ(stats.drives_tracked, 6u);
+  EXPECT_GT(stats.segments_appended, 0u);
+  EXPECT_GT(stats.wal_bytes, 0u);
+  EXPECT_FALSE(stats.degraded);
+  EXPECT_FALSE(stats.wal_degraded);
+  // Pushes after stop are rejected, not silently dropped.
+  EXPECT_EQ(daemon.push(stream[0]), PushResult::kRejected);
+  EXPECT_EQ(daemon.stats().rejected, 1u);
+}
+
+TEST(TelemetryDaemon, RecoveryRebuildsBitIdenticalState) {
+  TempDir dir("recover");
+  obs::MetricsRegistry registry;
+  const auto stream = make_stream(8, 30);
+  std::uint64_t live_digest = 0;
+  std::size_t live_drives = 0;
+  {
+    TelemetryDaemon live(std::make_shared<StubModel>(),
+                         base_config(dir.path(), &registry));
+    live.start();
+    for (const auto& obs : stream) ASSERT_EQ(live.push(obs), PushResult::kAccepted);
+    live.stop();
+    live_digest = live.state_digest();
+    live_drives = live.stats().drives_tracked;
+  }
+  ASSERT_NE(live_digest, 0u);
+
+  // A fresh process over the same WAL directory must land on the exact
+  // same per-drive state — and scoring must continue seamlessly after.
+  TelemetryDaemon recovered(std::make_shared<StubModel>(),
+                            base_config(dir.path(), &registry));
+  recovered.start();
+  const DaemonStats after = recovered.stats();
+  EXPECT_EQ(after.recovery.records_replayed, stream.size());
+  EXPECT_EQ(after.recovery.truncated_bytes, 0u);
+  EXPECT_EQ(after.drives_tracked, live_drives);
+
+  // Day 30 continues where the stream stopped; the sanitizer would
+  // quarantine it as out-of-order if recovery had lost any day.
+  auto next_day = make_stream(8, 31);
+  std::size_t accepted = 0;
+  for (const auto& obs : next_day) {
+    if (obs.record.day != 30) continue;
+    ASSERT_EQ(recovered.push(obs), PushResult::kAccepted);
+    ++accepted;
+  }
+  EXPECT_EQ(accepted, 8u);
+  recovered.stop();
+  EXPECT_EQ(recovered.stats().quarantined, 0u);
+
+  // And a recover-only pass (no new traffic) reproduces the live digest.
+  TelemetryDaemon verify(std::make_shared<StubModel>(),
+                         base_config(dir.path(), &registry));
+  // The previous daemon appended day 30 to the WAL; replay to just after
+  // the original stream requires its own directory — so instead compare
+  // against a third daemon that processed the same 31-day stream live.
+  verify.start();
+  verify.stop();
+  TelemetryDaemon reference(std::make_shared<StubModel>(),
+                            base_config("", &registry));
+  reference.start();
+  for (const auto& obs : make_stream(8, 31))
+    ASSERT_EQ(reference.push(obs), PushResult::kAccepted);
+  reference.stop();
+  EXPECT_EQ(verify.state_digest(), reference.state_digest());
+}
+
+TEST(TelemetryDaemon, ReplayIsIdempotent) {
+  TempDir dir("idempotent");
+  obs::MetricsRegistry registry;
+  {
+    TelemetryDaemon live(std::make_shared<StubModel>(),
+                         base_config(dir.path(), &registry));
+    live.start();
+    for (const auto& obs : make_stream(5, 12))
+      ASSERT_EQ(live.push(obs), PushResult::kAccepted);
+    live.stop();
+  }
+  std::uint64_t first = 0;
+  for (int round = 0; round < 2; ++round) {
+    TelemetryDaemon recovered(std::make_shared<StubModel>(),
+                              base_config(dir.path(), &registry));
+    recovered.start();
+    recovered.stop();
+    if (round == 0) {
+      first = recovered.state_digest();
+    } else {
+      EXPECT_EQ(recovered.state_digest(), first);
+    }
+  }
+}
+
+TEST(TelemetryDaemon, RetireTravelsThroughTheWal) {
+  TempDir dir("retire");
+  obs::MetricsRegistry registry;
+  const auto stream = make_stream(3, 10);
+  {
+    TelemetryDaemon live(std::make_shared<StubModel>(),
+                         base_config(dir.path(), &registry));
+    live.start();
+    for (const auto& obs : stream) ASSERT_EQ(live.push(obs), PushResult::kAccepted);
+    live.retire(trace::DriveModel::MlcA, 0);
+    live.stop();
+    EXPECT_EQ(live.stats().drives_tracked, 2u);
+    const auto counts = live.stats().health_counts;
+    EXPECT_EQ(counts[static_cast<std::size_t>(HealthState::kSwapped)], 1u);
+  }
+  TelemetryDaemon recovered(std::make_shared<StubModel>(),
+                            base_config(dir.path(), &registry));
+  recovered.start();
+  recovered.stop();
+  const DaemonStats stats = recovered.stats();
+  EXPECT_EQ(stats.recovery.retires_replayed, 1u);
+  EXPECT_EQ(stats.drives_tracked, 2u);
+  EXPECT_EQ(stats.health_counts[static_cast<std::size_t>(HealthState::kSwapped)], 1u);
+}
+
+TEST(TelemetryDaemon, DegradedDaemonStillIngestsAndWalsEverything) {
+  TempDir dir("degraded");
+  obs::MetricsRegistry registry;
+  const auto stream = make_stream(4, 6);
+  {
+    TelemetryDaemon degraded(nullptr, base_config(dir.path(), &registry));
+    degraded.start();
+    for (const auto& obs : stream)
+      ASSERT_EQ(degraded.push(obs), PushResult::kAccepted);
+    degraded.stop();
+    const DaemonStats stats = degraded.stats();
+    EXPECT_TRUE(stats.degraded);
+    EXPECT_EQ(stats.ingested, stream.size());
+    EXPECT_EQ(stats.scored, 0u);  // no model, no scores
+    EXPECT_GT(stats.segments_appended, 0u);
+    // Feature state still advances so a later model starts warm.
+    EXPECT_EQ(stats.drives_tracked, 4u);
+  }
+  // A later process with a working scorer replays the degraded WAL and
+  // scores every record the degraded daemon could only persist.
+  TelemetryDaemon scored(std::make_shared<StubModel>(),
+                         base_config(dir.path(), &registry));
+  scored.start();
+  scored.stop();
+  const DaemonStats stats = scored.stats();
+  EXPECT_FALSE(stats.degraded);
+  EXPECT_EQ(stats.recovery.records_replayed, stream.size());
+  EXPECT_EQ(stats.scored, stream.size());
+}
+
+TEST(TelemetryDaemon, SetModelTogglesDegradedMode) {
+  obs::MetricsRegistry registry;
+  TelemetryDaemon daemon(nullptr, base_config("", &registry));
+  EXPECT_TRUE(daemon.stats().degraded);
+  daemon.set_model(std::make_shared<StubModel>());
+  EXPECT_FALSE(daemon.stats().degraded);
+  daemon.set_model(nullptr);
+  EXPECT_TRUE(daemon.stats().degraded);
+}
+
+TEST(TelemetryDaemon, NoWalDirMeansWalDegradedButStillScoring) {
+  obs::MetricsRegistry registry;
+  TelemetryDaemon daemon(std::make_shared<StubModel>(), base_config("", &registry));
+  daemon.start();
+  const auto stream = make_stream(2, 5);
+  for (const auto& obs : stream) ASSERT_EQ(daemon.push(obs), PushResult::kAccepted);
+  daemon.stop();
+  const DaemonStats stats = daemon.stats();
+  EXPECT_TRUE(stats.wal_degraded);
+  EXPECT_EQ(stats.segments_appended, 0u);
+  EXPECT_EQ(stats.scored, stream.size());
+}
+
+TEST(TelemetryDaemon, UnwritableWalDirDegradesInsteadOfDying) {
+  obs::MetricsRegistry registry;
+  auto cfg = base_config("/nonexistent_dir_for_ssdfail_daemon/x", &registry);
+  TelemetryDaemon daemon(std::make_shared<StubModel>(), cfg);
+  daemon.start();
+  const auto stream = make_stream(2, 4);
+  for (const auto& obs : stream) ASSERT_EQ(daemon.push(obs), PushResult::kAccepted);
+  daemon.stop();
+  const DaemonStats stats = daemon.stats();
+  EXPECT_TRUE(stats.wal_degraded);
+  EXPECT_GT(stats.wal_errors, 0u);
+  EXPECT_EQ(stats.scored, stream.size());  // service continued
+}
+
+TEST(TelemetryDaemon, ShedPolicyCountsEveryDrop) {
+  obs::MetricsRegistry registry;
+  auto cfg = base_config("", &registry);
+  cfg.shards = 1;
+  cfg.ring_capacity = 2;
+  cfg.backpressure = Backpressure::kShed;
+  std::atomic<bool> release{false};
+  cfg.appender_hook = [&](std::uint32_t) {
+    while (!release.load(std::memory_order_acquire))
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  };
+  TelemetryDaemon daemon(std::make_shared<StubModel>(), cfg);
+  daemon.start();
+  const auto stream = make_stream(1, 100);
+  std::uint64_t accepted = 0;
+  std::uint64_t shed = 0;
+  for (const auto& obs : stream) {
+    const PushResult r = daemon.push(obs);
+    if (r == PushResult::kAccepted) ++accepted;
+    if (r == PushResult::kShed) ++shed;
+  }
+  release.store(true, std::memory_order_release);
+  daemon.stop();
+  const DaemonStats stats = daemon.stats();
+  EXPECT_GT(shed, 0u);  // ring of 2 with a blocked appender must shed
+  EXPECT_EQ(stats.ingested, accepted);
+  EXPECT_EQ(stats.shed, shed);
+  EXPECT_EQ(stats.ingested + stats.shed, stream.size());
+  // Every accepted record was still processed on drain.
+  EXPECT_EQ(stats.scored + stats.quarantined + stats.duplicates_dropped, accepted);
+}
+
+TEST(TelemetryDaemon, WatchdogCountsAStalledAppender) {
+  obs::MetricsRegistry registry;
+  auto cfg = base_config("", &registry);
+  cfg.shards = 1;
+  cfg.max_batch = 1;  // leave a backlog in the ring while the hook wedges
+  cfg.watchdog_interval = std::chrono::milliseconds(5);
+  cfg.stall_timeout = std::chrono::milliseconds(40);
+  std::atomic<bool> release{false};
+  cfg.appender_hook = [&](std::uint32_t) {
+    while (!release.load(std::memory_order_acquire))
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  };
+  TelemetryDaemon daemon(std::make_shared<StubModel>(), cfg);
+  daemon.start();
+  const auto stream = make_stream(2, 10);
+  for (const auto& obs : stream) (void)daemon.push(obs);
+  // The appender is wedged in the hook with a backlog; the watchdog must
+  // notice within a few intervals.
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (daemon.stats().watchdog_stalls == 0 &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_GE(daemon.stats().watchdog_stalls, 1u);
+  release.store(true, std::memory_order_release);
+  daemon.stop();
+}
+
+}  // namespace
+}  // namespace ssdfail::daemon

@@ -1,0 +1,143 @@
+// HealthTracker tests: the escalation/cool-off table, terminal swap
+// semantics, registry mirroring, and digest order-independence.
+
+#include "daemon/health.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ssdfail::daemon {
+namespace {
+
+HealthConfig fast_config() {
+  HealthConfig cfg;
+  cfg.ramp_threshold = 0.5;
+  cfg.alert_threshold = 0.9;
+  cfg.ramp_days = 3;
+  cfg.alert_days = 2;
+  cfg.cooloff_days = 4;
+  return cfg;
+}
+
+TEST(HealthTracker, SingleNoisyScoreDoesNotEscalate) {
+  HealthTracker tracker(fast_config(), nullptr);
+  EXPECT_EQ(tracker.observe(1, 0.95, false, false), HealthState::kHealthy);
+  EXPECT_EQ(tracker.observe(1, 0.1, false, false), HealthState::kHealthy);
+  EXPECT_EQ(tracker.observe(1, 0.95, false, false), HealthState::kHealthy);
+  EXPECT_EQ(tracker.state(1), HealthState::kHealthy);
+}
+
+TEST(HealthTracker, ConsecutiveRampStrikesEscalateToRamping) {
+  HealthTracker tracker(fast_config(), nullptr);
+  EXPECT_EQ(tracker.observe(1, 0.6, false, false), HealthState::kHealthy);
+  EXPECT_EQ(tracker.observe(1, 0.6, false, false), HealthState::kHealthy);
+  EXPECT_EQ(tracker.observe(1, 0.6, false, false), HealthState::kRamping);
+}
+
+TEST(HealthTracker, SanitizerViolationsCountAsRampStrikes) {
+  HealthTracker tracker(fast_config(), nullptr);
+  EXPECT_EQ(tracker.observe(1, 0.0, true, false), HealthState::kHealthy);
+  EXPECT_EQ(tracker.observe(1, 0.0, true, false), HealthState::kHealthy);
+  EXPECT_EQ(tracker.observe(1, 0.0, true, false), HealthState::kRamping);
+}
+
+TEST(HealthTracker, SustainedHighScoresEscalateToAlert) {
+  HealthTracker tracker(fast_config(), nullptr);
+  EXPECT_EQ(tracker.observe(1, 0.95, false, false), HealthState::kHealthy);
+  EXPECT_EQ(tracker.observe(1, 0.95, false, false), HealthState::kAlert);
+  // Alert holds through moderate days (they reset the alert streak but are
+  // not quiet days).
+  EXPECT_EQ(tracker.observe(1, 0.6, false, false), HealthState::kAlert);
+}
+
+TEST(HealthTracker, CooloffStepsDownOneTierAtATime) {
+  HealthTracker tracker(fast_config(), nullptr);
+  tracker.observe(1, 0.95, false, false);
+  ASSERT_EQ(tracker.observe(1, 0.95, false, false), HealthState::kAlert);
+  for (int i = 0; i < 3; ++i)
+    EXPECT_EQ(tracker.observe(1, 0.1, false, false), HealthState::kAlert);
+  EXPECT_EQ(tracker.observe(1, 0.1, false, false), HealthState::kRamping);
+  for (int i = 0; i < 3; ++i)
+    EXPECT_EQ(tracker.observe(1, 0.1, false, false), HealthState::kRamping);
+  EXPECT_EQ(tracker.observe(1, 0.1, false, false), HealthState::kHealthy);
+}
+
+TEST(HealthTracker, DeadRecordJumpsStraightToSwapped) {
+  HealthTracker tracker(fast_config(), nullptr);
+  EXPECT_EQ(tracker.observe(1, 0.1, false, true), HealthState::kSwapped);
+  // Terminal: further observations cannot resurrect the drive.
+  EXPECT_EQ(tracker.observe(1, 0.0, false, false), HealthState::kSwapped);
+  EXPECT_EQ(tracker.counts()[static_cast<std::size_t>(HealthState::kSwapped)], 1u);
+}
+
+TEST(HealthTracker, RetireIsTerminalEvenForUnseenDrives) {
+  HealthTracker tracker(fast_config(), nullptr);
+  tracker.retire(42);
+  EXPECT_EQ(tracker.state(42), HealthState::kSwapped);
+  EXPECT_EQ(tracker.observe(42, 0.99, false, false), HealthState::kSwapped);
+  EXPECT_EQ(tracker.tracked_drives(), 1u);
+}
+
+TEST(HealthTracker, CountsTrackEveryTransition) {
+  HealthTracker tracker(fast_config(), nullptr);
+  for (std::uint64_t uid = 1; uid <= 4; ++uid) tracker.observe(uid, 0.1, false, false);
+  tracker.observe(1, 0.95, false, false);
+  tracker.observe(1, 0.95, false, false);  // 1 -> alert
+  tracker.observe(2, 0.0, false, true);    // 2 -> swapped
+  const auto counts = tracker.counts();
+  EXPECT_EQ(counts[static_cast<std::size_t>(HealthState::kHealthy)], 2u);
+  EXPECT_EQ(counts[static_cast<std::size_t>(HealthState::kRamping)], 0u);
+  EXPECT_EQ(counts[static_cast<std::size_t>(HealthState::kAlert)], 1u);
+  EXPECT_EQ(counts[static_cast<std::size_t>(HealthState::kSwapped)], 1u);
+}
+
+TEST(HealthTracker, MirrorsStatesAndTransitionsIntoTheRegistry) {
+  obs::MetricsRegistry registry;
+  HealthTracker tracker(fast_config(), &registry);
+  tracker.observe(1, 0.6, false, false);
+  tracker.observe(1, 0.6, false, false);
+  tracker.observe(1, 0.6, false, false);  // -> ramping
+  tracker.observe(2, 0.0, false, true);   // -> swapped
+
+  const obs::RegistrySnapshot snap = registry.snapshot();
+  const obs::Sample* ramping =
+      snap.find("daemon_drive_health", {{"state", "ramping"}});
+  ASSERT_NE(ramping, nullptr);
+  EXPECT_DOUBLE_EQ(ramping->value, 1.0);
+  const obs::Sample* healthy =
+      snap.find("daemon_drive_health", {{"state", "healthy"}});
+  ASSERT_NE(healthy, nullptr);
+  EXPECT_DOUBLE_EQ(healthy->value, 0.0);  // both drives moved on
+  const obs::Sample* edge = snap.find(
+      "daemon_health_transitions_total",
+      {{"from", "healthy"}, {"to", "ramping"}});
+  ASSERT_NE(edge, nullptr);
+  EXPECT_DOUBLE_EQ(edge->value, 1.0);
+  const obs::Sample* swap_edge = snap.find(
+      "daemon_health_transitions_total",
+      {{"from", "healthy"}, {"to", "swapped"}});
+  ASSERT_NE(swap_edge, nullptr);
+  EXPECT_DOUBLE_EQ(swap_edge->value, 1.0);
+}
+
+TEST(HealthTracker, DigestIsOrderIndependentAndStateSensitive) {
+  HealthTracker a(fast_config(), nullptr);
+  HealthTracker b(fast_config(), nullptr);
+  // Same per-drive sequences, interleaved differently across drives.
+  for (int day = 0; day < 5; ++day) {
+    a.observe(1, 0.6, false, false);
+    a.observe(2, 0.1, false, false);
+  }
+  for (int day = 0; day < 5; ++day) b.observe(2, 0.1, false, false);
+  for (int day = 0; day < 5; ++day) b.observe(1, 0.6, false, false);
+  EXPECT_EQ(a.digest(), b.digest());
+
+  HealthTracker c(fast_config(), nullptr);
+  for (int day = 0; day < 5; ++day) {
+    c.observe(1, 0.6, false, false);
+    c.observe(2, 0.6, false, false);  // drive 2 diverges
+  }
+  EXPECT_NE(a.digest(), c.digest());
+}
+
+}  // namespace
+}  // namespace ssdfail::daemon

@@ -164,7 +164,7 @@ TEST(RecordSanitizer, SaturatedGarbageQuarantinedBeforeCounterRules) {
   EXPECT_EQ(next.action, SanitizeAction::kClean);
 }
 
-TEST(RecordSanitizer, DeadLetterQueueIsBounded) {
+TEST(RecordSanitizer, DeadLetterQueueEvictsOldestAndCountsLoudly) {
   SanitizerConfig config;
   config.dead_letter_capacity = 2;
   RecordSanitizer sanitizer(config);
@@ -173,9 +173,31 @@ TEST(RecordSanitizer, DeadLetterQueueIsBounded) {
     (void)sanitizer.sanitize(kUid, 0, record_on(day));  // all stale vs day 10
   const auto snap = sanitizer.snapshot();
   EXPECT_EQ(snap.records_quarantined, 5u);
-  EXPECT_EQ(snap.dead_letters.size(), 2u);
+  ASSERT_EQ(snap.dead_letters.size(), 2u);
   EXPECT_EQ(snap.dead_letter_overflow, 3u);
+  EXPECT_EQ(snap.dead_letter_evicted, 3u);
+  // The queue is a window over the most RECENT quarantines (days 4, 5).
+  EXPECT_EQ(snap.dead_letters[0].record.day, 4);
+  EXPECT_EQ(snap.dead_letters[1].record.day, 5);
   EXPECT_EQ(snap.dead_letters[0].drive_uid, kUid);
+}
+
+TEST(RecordSanitizer, DeadLetterEvictionsAreVisibleInTheRegistry) {
+  obs::MetricsRegistry registry;
+  SanitizerConfig config;
+  config.dead_letter_capacity = 1;
+  config.registry = &registry;
+  RecordSanitizer sanitizer(config);
+  (void)sanitizer.sanitize(kUid, 0, record_on(10));
+  (void)sanitizer.sanitize(kUid, 0, record_on(1));  // queued
+  (void)sanitizer.sanitize(kUid, 0, record_on(2));  // evicts day 1
+  const obs::RegistrySnapshot snap = registry.snapshot();
+  const obs::Sample* evicted = snap.find("sanitizer_dead_letter_evicted_total");
+  ASSERT_NE(evicted, nullptr);
+  EXPECT_EQ(evicted->value, 1.0);
+  const obs::Sample* overflow = snap.find("sanitizer_dead_letter_overflow_total");
+  ASSERT_NE(overflow, nullptr);
+  EXPECT_EQ(overflow->value, 1.0);
 }
 
 TEST(RecordSanitizer, ForgetResetsDriveState) {
