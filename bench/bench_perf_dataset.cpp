@@ -1,4 +1,5 @@
-// Dataset-build throughput: columnar (SSDF2, mmap, zero-copy) vs row (v1).
+// Dataset-build throughput: columnar (SSDF2 v2 mmap zero-copy, v3
+// compressed) vs row (v1).
 //
 // Both pipelines are measured end-to-end from serialized bytes on disk to
 // a finished ml::Dataset:
@@ -30,7 +31,14 @@
 //   rss_anon_peak_bytes   max RssAnon observed after a build (Linux);
 //                         file-backed mmap pages are excluded, which is
 //                         exactly the columnar store's memory story
+//   bytes_per_row         on-disk file bytes / total drive-day records —
+//                         the storage-density axis of the v2-vs-v3 gate
+//   scan_gb/s             on-disk bytes consumed per second of build time
 //   store_* counters      CRC/chunk/mmap telemetry via RegistryDelta
+//
+// CI runs the v2/v3/row trio and fails if v3 bytes_per_row exceeds 0.6x
+// v2, or if the columnar build rate drops below 2.5x the row path (the
+// dataset-bench-gate job in .github/workflows/ci.yml).
 //
 // Correctness is asserted in-harness: every configuration's dataset must
 // produce the same column-sum digest (SkipWithError otherwise), so a
@@ -70,7 +78,7 @@ core::DatasetBuildOptions build_options() {
 /// FleetTrace itself is dropped before any measurement loop runs.
 struct Files {
   std::string v1_path;
-  std::string v2_dir;  // one file per chunk size, written on demand
+  std::string v2_dir;  // one v2 + one v3 file per chunk size
   std::uint64_t total_records = 0;
   std::uint64_t max_drive_records = 0;
   std::size_t n_drives = 0;
@@ -97,6 +105,9 @@ const Files& files() {
       std::ofstream v2(dir / ("fleet_v2_" + std::to_string(chunk) + ".bin"),
                        std::ios::binary | std::ios::trunc);
       trace::write_binary_v2(v2, fleet, chunk);
+      std::ofstream v3(dir / ("fleet_v3_" + std::to_string(chunk) + ".bin"),
+                       std::ios::binary | std::ios::trunc);
+      trace::write_binary_v3(v3, fleet, chunk);
     }
     out.total_records = fleet.total_records();
     out.n_drives = fleet.drives.size();
@@ -110,6 +121,10 @@ const Files& files() {
 
 std::string v2_path(std::uint32_t chunk) {
   return files().v2_dir + "/fleet_v2_" + std::to_string(chunk) + ".bin";
+}
+
+std::string v3_path(std::uint32_t chunk) {
+  return files().v2_dir + "/fleet_v3_" + std::to_string(chunk) + ".bin";
 }
 
 /// Column-sum digest in fixed row order: bit-identical builds agree
@@ -179,11 +194,25 @@ void export_common(benchmark::State& state, std::uint64_t records,
       benchmark::Counter(static_cast<double>(rss_peak));
 }
 
+/// Storage-density and scan-rate counters for a bench that consumes one
+/// on-disk file per iteration: bytes_per_row is the file's footprint per
+/// drive-day record, scan_gb/s the on-disk bytes digested per second of
+/// end-to-end build time.  These are the two axes the dataset-bench-gate
+/// CI job compares across v2 / v3 / row builds.
+void export_storage(benchmark::State& state, const std::string& path) {
+  const auto file_bytes =
+      static_cast<double>(std::filesystem::file_size(path));
+  state.counters["bytes_per_row"] = benchmark::Counter(
+      file_bytes / static_cast<double>(files().total_records));
+  state.counters["scan_gb/s"] = benchmark::Counter(
+      file_bytes * static_cast<double>(state.iterations()) / 1e9,
+      benchmark::Counter::kIsRate);
+}
+
 // --- End-to-end: bytes on disk -> finished dataset. -----------------------
 
-void run_columnar_build(benchmark::State& state, std::uint32_t chunk,
+void run_columnar_build(benchmark::State& state, const std::string& path,
                         bool verify_crc) {
-  const std::string path = v2_path(chunk);
   const core::DatasetBuildOptions opts = build_options();
   std::uint64_t records = 0;
   std::uint64_t rss_peak = 0;
@@ -205,13 +234,14 @@ void run_columnar_build(benchmark::State& state, std::uint32_t chunk,
   const std::uint64_t transient =
       files().max_drive_records * sizeof(trace::DailyRecord);
   export_common(state, records, transient, rss_peak, rows);
+  export_storage(state, path);
   obs_delta.export_into(state, "store_");
 }
 
 /// Headline: integrity checking off to match the v1 row path, which has
 /// none (see the file header for where the verified cost is pinned).
 void BM_DatasetBuildColumnar(benchmark::State& state) {
-  run_columnar_build(state, static_cast<std::uint32_t>(state.range(0)),
+  run_columnar_build(state, v2_path(static_cast<std::uint32_t>(state.range(0))),
                      /*verify_crc=*/false);
 }
 BENCHMARK(BM_DatasetBuildColumnar)
@@ -221,12 +251,33 @@ BENCHMARK(BM_DatasetBuildColumnar)
     ->Arg(1024)
     ->Unit(benchmark::kMillisecond);
 
+/// Same build through the compressed v3 format: per-chunk column frames
+/// are decoded lazily into scratch, so the digest check also pins the
+/// decode path bit-identical to the v2 zero-copy walk.
+void BM_DatasetBuildColumnarV3(benchmark::State& state) {
+  run_columnar_build(state, v3_path(static_cast<std::uint32_t>(state.range(0))),
+                     /*verify_crc=*/false);
+}
+BENCHMARK(BM_DatasetBuildColumnarV3)
+    ->Arg(16)
+    ->Arg(64)
+    ->Arg(store::kDefaultChunkDrives)
+    ->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+
 /// Production configuration: every chunk CRC + the footer CRC verified at
 /// open, before any column is trusted.
 void BM_DatasetBuildColumnarVerified(benchmark::State& state) {
-  run_columnar_build(state, store::kDefaultChunkDrives, /*verify_crc=*/true);
+  run_columnar_build(state, v2_path(store::kDefaultChunkDrives),
+                     /*verify_crc=*/true);
 }
 BENCHMARK(BM_DatasetBuildColumnarVerified)->Unit(benchmark::kMillisecond);
+
+void BM_DatasetBuildColumnarV3Verified(benchmark::State& state) {
+  run_columnar_build(state, v3_path(store::kDefaultChunkDrives),
+                     /*verify_crc=*/true);
+}
+BENCHMARK(BM_DatasetBuildColumnarV3Verified)->Unit(benchmark::kMillisecond);
 
 void BM_DatasetBuildRowV1(benchmark::State& state) {
   const core::DatasetBuildOptions opts = build_options();
@@ -247,6 +298,7 @@ void BM_DatasetBuildRowV1(benchmark::State& state) {
   const std::uint64_t transient =
       files().total_records * sizeof(trace::DailyRecord);
   export_common(state, records, transient, rss_peak, rows);
+  export_storage(state, files().v1_path);
 }
 BENCHMARK(BM_DatasetBuildRowV1)->Unit(benchmark::kMillisecond);
 

@@ -2,7 +2,8 @@
 //
 //   ssdfail_cli simulate   --drives N --seed S --out PREFIX [--binary|--columnar]
 //   ssdfail_cli analyze    --in PREFIX [--binary]
-//   ssdfail_cli convert    --in FILE --out FILE [--to v1|v2] [--chunk N]
+//   ssdfail_cli convert    --in FILE --out FILE [--to v1|v2|v3] [--chunk N]
+//   ssdfail_cli compact    --wal-dir DIR --store-dir DIR
 //   ssdfail_cli benchmark  --drives N [--lookahead N]
 //   ssdfail_cli train      --out MODEL.bin [--model forest|logistic] ...
 //   ssdfail_cli serve      --model-file MODEL.bin [--shards K] ...
@@ -13,7 +14,10 @@
 // PREFIX.bin with --binary for the v1 row format, --columnar for the v2
 // columnar store); `analyze` re-imports and prints the headline
 // characterization (binary reads auto-detect the version); `convert`
-// re-encodes a binary fleet between v1 and v2; `benchmark` trains the
+// re-encodes a binary fleet between v1, v2 and v3 (compressed columnar)
+// and reports bytes/row; `compact` folds the daemon's sealed WAL segments
+// into v3 shards of a sharded store (daemon/compactor.hpp); `benchmark`
+// trains the
 // paper's random forest and reports cross-validated AUC.  `train` fits a
 // model once and persists it (ml/serialize); `serve` loads it and replays
 // a fleet as a day-ordered stream through the sharded FleetMonitor,
@@ -56,6 +60,7 @@
 #include <vector>
 
 #include "core/dataset_builder.hpp"
+#include "daemon/compactor.hpp"
 #include "daemon/daemon.hpp"
 #include "core/fleet_analysis.hpp"
 #include "core/online_monitor.hpp"
@@ -116,7 +121,8 @@ int usage() {
       "  ssdfail_cli simulate  --drives N [--seed S] --out PREFIX\n"
       "                        [--binary | --columnar [--chunk N]]\n"
       "  ssdfail_cli analyze   --in PREFIX [--binary]\n"
-      "  ssdfail_cli convert   --in FILE --out FILE [--to v1|v2] [--chunk N]\n"
+      "  ssdfail_cli convert   --in FILE --out FILE [--to v1|v2|v3] [--chunk N]\n"
+      "  ssdfail_cli compact   --wal-dir DIR --store-dir DIR [--chunk N] [--keep-wal]\n"
       "  ssdfail_cli benchmark [--drives N] [--lookahead N] [--seed S]\n"
       "  ssdfail_cli train     --out MODEL.bin [--model forest|logistic]\n"
       "                        [--drives N | --fleet FILE] [--seed S]\n"
@@ -130,6 +136,7 @@ int usage() {
       "                        [--drives N | --fleet FILE] [--seed S]\n"
       "                        [--producers P] [--shards K] [--ring N]\n"
       "                        [--backpressure block|shed] [--fsync every|never]\n"
+      "                        [--wal-rotate BYTES]\n"
       "                        [--threshold T] [--chaos PCT] [--recover-only]\n"
       "                        [--state-digest-out FILE] [--metrics-out FILE]\n"
       "  ssdfail_cli metrics   [--out FILE] [--drives N] [--seed S]\n");
@@ -263,8 +270,12 @@ int cmd_convert(const Args& args) {
   const std::string out_path = args.get("out", "");
   if (in_path.empty() || out_path.empty()) return usage();
   const std::string to = args.get("to", "v2");
-  if (to != "v1" && to != "v2") {
-    std::fprintf(stderr, "convert: --to must be 'v1' or 'v2'\n");
+  std::uint32_t to_version = 0;
+  if (to == "v1") to_version = trace::kBinaryFormatVersion;
+  else if (to == "v2") to_version = trace::kColumnarFormatVersion;
+  else if (to == "v3") to_version = trace::kColumnarV3FormatVersion;
+  else {
+    std::fprintf(stderr, "convert: --to must be 'v1', 'v2' or 'v3'\n");
     return 2;
   }
   std::ifstream in(in_path, std::ios::binary);
@@ -279,19 +290,66 @@ int cmd_convert(const Args& args) {
   }
   try {
     const std::uint32_t from_version = trace::peek_binary_version(in);
-    trace::convert_binary(in, out,
-                          to == "v1" ? trace::kBinaryFormatVersion
-                                     : trace::kColumnarFormatVersion,
-                          static_cast<std::uint32_t>(args.get_long("chunk", 0)));
+    const trace::FleetTrace fleet = trace::read_binary(in);
+    if (to_version == trace::kBinaryFormatVersion)
+      trace::write_binary(out, fleet);
+    else if (to_version == trace::kColumnarFormatVersion)
+      trace::write_binary_v2(out, fleet,
+                             static_cast<std::uint32_t>(args.get_long("chunk", 0)));
+    else
+      trace::write_binary_v3(out, fleet,
+                             static_cast<std::uint32_t>(args.get_long("chunk", 0)));
     out.flush();
     if (!out) {
       std::fprintf(stderr, "write failed for %s\n", out_path.c_str());
       return 1;
     }
-    std::printf("converted %s (v%u) -> %s (%s)\n", in_path.c_str(), from_version,
-                out_path.c_str(), to.c_str());
+    const auto bytes = std::filesystem::file_size(out_path);
+    const std::size_t rows = fleet.total_records();
+    std::printf("converted %s (v%u, %zu drive-days) -> %s (%s, %llu bytes",
+                in_path.c_str(), from_version, rows, out_path.c_str(), to.c_str(),
+                static_cast<unsigned long long>(bytes));
+    if (rows > 0)
+      std::printf(", %.2f bytes/row", static_cast<double>(bytes) /
+                                          static_cast<double>(rows));
+    std::printf(")\n");
   } catch (const std::exception& e) {
     std::fprintf(stderr, "convert: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
+
+int cmd_compact(const Args& args) {
+  const std::string wal_dir = args.get("wal-dir", "");
+  const std::string store_dir = args.get("store-dir", "");
+  if (wal_dir.empty() || store_dir.empty()) return usage();
+  daemon::CompactorOptions options;
+  options.keep_wal = args.flag("keep-wal");
+  const long chunk = args.get_long("chunk", 0);
+  if (chunk > 0) options.store.chunk_drives = static_cast<std::uint32_t>(chunk);
+  try {
+    const daemon::CompactionResult result =
+        daemon::compact_sealed_wals(wal_dir, store_dir, options);
+    if (result.shards_written == 0) {
+      std::printf("compact: nothing to do (%zu sealed wal file(s), 0 records)\n",
+                  result.wal_files);
+      return 0;
+    }
+    std::printf(
+        "compacted %zu sealed wal file(s) (%llu bytes) -> %s/%s\n"
+        "  %zu drives, %llu records, %llu swaps, %llu out-of-order dropped\n"
+        "  %llu bytes (%.2f bytes/row)\n",
+        result.wal_files, static_cast<unsigned long long>(result.wal_bytes_in),
+        store_dir.c_str(), result.shard_file.c_str(), result.drives,
+        static_cast<unsigned long long>(result.records),
+        static_cast<unsigned long long>(result.retires),
+        static_cast<unsigned long long>(result.out_of_order_dropped),
+        static_cast<unsigned long long>(result.shard_bytes_out),
+        static_cast<double>(result.shard_bytes_out) /
+            static_cast<double>(std::max<std::uint64_t>(result.records, 1)));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "compact: %s\n", e.what());
     return 1;
   }
   return 0;
@@ -606,6 +664,8 @@ int cmd_daemon(const Args& args) {
     std::fprintf(stderr, "daemon: --fsync must be 'every' or 'never'\n");
     return 2;
   }
+  cfg.wal_rotate_bytes =
+      static_cast<std::uint64_t>(args.get_long("wal-rotate", 0));
 
   const std::string model_path = args.get("model-file", "");
   std::shared_ptr<const ml::Classifier> model;
@@ -819,6 +879,7 @@ int main(int argc, char** argv) {
   if (command == "simulate") return cmd_simulate(args);
   if (command == "analyze") return cmd_analyze(args);
   if (command == "convert") return cmd_convert(args);
+  if (command == "compact") return cmd_compact(args);
   if (command == "benchmark") return cmd_benchmark(args);
   if (command == "train") return cmd_train(args);
   if (command == "serve") return cmd_serve(args);

@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Check that every relative Markdown link in the repo resolves.
+
+Scans all tracked *.md files (git ls-files when available, else a
+filesystem walk that skips build trees) for inline links and enforces:
+
+  - `[text](path)` with a relative path points at an existing file or
+    directory, resolved against the linking file's directory
+  - `[text](path#anchor)` additionally names a heading that exists in
+    the target file (GitHub slug rules: lowercase, punctuation stripped,
+    spaces to dashes)
+  - `[text](#anchor)` names a heading in the same file
+
+Absolute URLs (http/https/mailto) are ignored — this is a repo-internal
+consistency gate, not a dead-link crawler.  Exit status 0 when clean;
+1 with one `file:line: message` per violation otherwise.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*?)\s*#*\s*$")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def md_files(root: str) -> list[str]:
+    try:
+        out = subprocess.run(
+            ["git", "ls-files", "*.md", "**/*.md"],
+            capture_output=True, text=True, check=True, cwd=root,
+        ).stdout
+        files = [line for line in out.splitlines() if line.endswith(".md")]
+        if files:
+            return sorted(set(files))
+    except (OSError, subprocess.CalledProcessError):
+        pass
+    found = []
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames
+                       if not d.startswith((".", "build")) and d != "third_party"]
+        for name in filenames:
+            if name.endswith(".md"):
+                found.append(os.path.relpath(os.path.join(dirpath, name), root))
+    return sorted(found)
+
+
+def github_slug(heading: str) -> str:
+    # Strip inline code/emphasis markers (underscores stay: GitHub keeps
+    # them as word characters), then apply GitHub's anchor rule:
+    # lowercase, drop everything but word chars / spaces / hyphens,
+    # spaces become hyphens.
+    text = re.sub(r"[`*]", "", heading).strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_slugs(path: str) -> set[str]:
+    slugs: set[str] = set()
+    seen: dict[str, int] = {}
+    in_fence = False
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            if CODE_FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            m = HEADING_RE.match(line)
+            if not m:
+                continue
+            slug = github_slug(m.group(1))
+            n = seen.get(slug, 0)
+            seen[slug] = n + 1
+            slugs.add(slug if n == 0 else f"{slug}-{n}")
+    return slugs
+
+
+def check_file(root: str, rel: str) -> list[str]:
+    errors: list[str] = []
+    path = os.path.join(root, rel)
+    base = os.path.dirname(path)
+    in_fence = False
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            if CODE_FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for target in LINK_RE.findall(line):
+                if target.startswith(EXTERNAL_PREFIXES):
+                    continue
+                dest, _, anchor = target.partition("#")
+                if dest:
+                    dest_path = os.path.normpath(os.path.join(base, dest))
+                    if not os.path.exists(dest_path):
+                        errors.append(f"{rel}:{lineno}: broken link "
+                                      f"'{target}' ({dest} does not exist)")
+                        continue
+                else:
+                    dest_path = path
+                if anchor and dest_path.endswith(".md"):
+                    if anchor not in heading_slugs(dest_path):
+                        errors.append(f"{rel}:{lineno}: broken anchor "
+                                      f"'{target}' (no heading #{anchor})")
+    return errors
+
+
+def main() -> int:
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    files = md_files(root)
+    if not files:
+        print("check_docs_links: no markdown files found", file=sys.stderr)
+        return 1
+    errors: list[str] = []
+    links = 0
+    for rel in files:
+        errs = check_file(root, rel)
+        errors.extend(errs)
+    for e in errors:
+        print(e, file=sys.stderr)
+    if errors:
+        print(f"check_docs_links: {len(errors)} broken link(s) "
+              f"across {len(files)} files", file=sys.stderr)
+        return 1
+    print(f"check_docs_links: OK ({len(files)} markdown files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

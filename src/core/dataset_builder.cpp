@@ -6,13 +6,22 @@
 #include <utility>
 
 #include "core/failure_timeline.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace_span.hpp"
 #include "parallel/thread_pool.hpp"
 #include "stats/rng.hpp"
 #include "store/columnar.hpp"
+#include "store/sharded.hpp"
 
 namespace ssdfail::core {
 namespace {
+
+obs::Counter& chunks_pruned_counter() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter(
+      "store_chunks_pruned_total", {},
+      "columnar chunks skipped by zone-map predicate pushdown");
+  return c;
+}
 
 /// Uniform drive access for the walk, so one walk implementation serves
 /// both backings:
@@ -276,8 +285,19 @@ ml::Dataset build_dataset(const store::ColumnarFleetView& fleet,
   // One partial dataset per chunk, merged in chunk order below; the writer
   // preserves fleet order across chunks, so the merged row order matches
   // the sequential row-path build exactly.
+  // Zone-map pushdown: a chunk whose zone map proves "no drive of the
+  // filtered model" never gets touched (and, for v3, never gets decoded).
+  // Pruning is exactly the per-drive model filter below hoisted to chunk
+  // granularity, so the surviving row set is identical.
+  store::ScanPredicate predicate;
+  predicate.model = options.model_filter;
+
   std::vector<ml::Dataset> partials(fleet.chunk_count());
-  const auto build_chunk = [&fleet, &options, &partials](std::size_t c) {
+  const auto build_chunk = [&fleet, &options, &partials, &predicate](std::size_t c) {
+    if (!fleet.zone_map(c).may_match(predicate)) {
+      chunks_pruned_counter().inc();
+      return;
+    }
     const store::ChunkView& chunk = fleet.chunk(c);
     trace::DriveHistory scratch;
     for (const store::DriveRef& ref : chunk.drives) {
@@ -310,6 +330,25 @@ ml::Dataset build_dataset(const store::ColumnarFleetView& fleet,
     out.y.insert(out.y.end(), partial.y.begin(), partial.y.end());
     out.groups.insert(out.groups.end(), partial.groups.begin(), partial.groups.end());
     if (out.feature_names.empty()) out.feature_names = partial.feature_names;
+  }
+  finalize_dataset(out, options);
+  return out;
+}
+
+ml::Dataset build_dataset(const store::ShardedFleetView& fleet,
+                          const DatasetBuildOptions& options) {
+  static const obs::SiteId kSite = obs::intern_site("core.build_dataset_sharded");
+  obs::Span span(kSite);
+  // Every per-row decision is keyed by (seed, drive uid, day), so building
+  // shard by shard in manifest order yields exactly the rows a single-file
+  // build of the concatenated fleet would (finalize_dataset is per-row).
+  ml::Dataset out;
+  for (std::size_t s = 0; s < fleet.shard_count(); ++s) {
+    ml::Dataset part = build_dataset(fleet.shard(s), options);
+    out.x.append_rows(part.x);
+    out.y.insert(out.y.end(), part.y.begin(), part.y.end());
+    out.groups.insert(out.groups.end(), part.groups.begin(), part.groups.end());
+    if (out.feature_names.empty()) out.feature_names = std::move(part.feature_names);
   }
   finalize_dataset(out, options);
   return out;

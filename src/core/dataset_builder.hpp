@@ -21,6 +21,7 @@
 
 namespace ssdfail::store {
 class ColumnarFleetView;
+class ShardedFleetView;
 }
 
 namespace ssdfail::core {
@@ -85,6 +86,13 @@ struct DatasetBuildOptions {
 /// to the row-path builds — same rows, same order, same floats (pinned by
 /// tests/core/test_dataset_builder.cpp ColumnarBuildMatchesRowBuild).
 [[nodiscard]] ml::Dataset build_dataset(const store::ColumnarFleetView& fleet,
+                                        const DatasetBuildOptions& options);
+
+/// Build over a sharded store (store/sharded.hpp), shard by shard in
+/// manifest order.  Bit-identical to a single-file build of the
+/// concatenated fleet — per-row decisions are keyed by (seed, uid, day),
+/// never by file position.
+[[nodiscard]] ml::Dataset build_dataset(const store::ShardedFleetView& fleet,
                                         const DatasetBuildOptions& options);
 
 /// Fold one drive into a dataset under the given options (exposed for

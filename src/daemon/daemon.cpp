@@ -132,19 +132,48 @@ void TelemetryDaemon::mark_wal_degraded(Shard& shard) {
 
 void TelemetryDaemon::recover_shard(Shard& shard) {
   const std::string path = wal_path(config_.wal_dir, shard.index);
-  WalReplayStats stats = replay_wal(path, [&](const WalSegment& segment) {
+  const auto on_segment = [&](const WalSegment& segment) {
     if (segment.type == SegmentType::kRecords) {
       process_records(shard, segment.records);
     } else {
       process_retires(shard, segment.retired_uids);
     }
-  });
+  };
+  // Sealed (rotated, not yet compacted) files carry the log's oldest
+  // entries; replay them in seq order before the active file so recovery
+  // sees the exact append order.
+  WalReplayStats stats;
+  std::uint64_t last_seq = 0;
+  for (const std::string& sealed : list_sealed_wals(config_.wal_dir, shard.index)) {
+    WalReplayStats s = replay_wal(sealed, on_segment);
+    stats.merge(s);
+    last_seq = std::max(last_seq, s.last_seq);
+  }
+  stats.merge(replay_wal(path, on_segment));
   recovery_.merge(stats);
   recovered_segments_metric_->inc(stats.segments_replayed);
   recovered_records_metric_->inc(stats.records_replayed);
   try {
-    shard.wal = std::make_unique<WalWriter>(path, shard.index, config_.fsync);
+    shard.wal = std::make_unique<WalWriter>(path, shard.index, config_.fsync,
+                                            std::max(last_seq, stats.last_seq) + 1);
   } catch (const std::exception&) {
+    mark_wal_degraded(shard);
+  }
+}
+
+void TelemetryDaemon::maybe_rotate_wal(Shard& shard) {
+  if (config_.wal_rotate_bytes == 0 || shard.wal == nullptr) return;
+  if (shard.wal->bytes_written() < config_.wal_rotate_bytes) return;
+  if (shard.wal->segments_written() == 0) return;  // nothing to seal
+  try {
+    const std::uint64_t next_seq = shard.wal->next_seq();
+    shard.wal->seal(
+        sealed_wal_path(config_.wal_dir, shard.index, next_seq - 1));
+    shard.wal = std::make_unique<WalWriter>(wal_path(config_.wal_dir, shard.index),
+                                            shard.index, config_.fsync, next_seq);
+  } catch (const std::exception&) {
+    // A failed seal/reopen must not lose durability silently.
+    shard.wal.reset();
     mark_wal_degraded(shard);
   }
 }
@@ -235,6 +264,7 @@ void TelemetryDaemon::wal_append(Shard& shard,
     const std::uint64_t delta = shard.wal->bytes_written() - before;
     wal_bytes_.fetch_add(delta, std::memory_order_relaxed);
     wal_bytes_metric_->inc(delta);
+    maybe_rotate_wal(shard);
   } catch (const std::exception&) {
     // Durability lost, service continues: WAL-degraded mode.
     mark_wal_degraded(shard);

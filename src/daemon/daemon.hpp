@@ -73,6 +73,14 @@ struct DaemonConfig {
   std::string wal_dir;
   FsyncPolicy fsync = FsyncPolicy::kEverySegment;
 
+  /// Rotate a shard's active WAL once it exceeds this many bytes: the file
+  /// is sealed (fsync + rename to wal-<shard>-<seq>.sealed.swal) and a
+  /// fresh active log continues the seq chain.  Sealed files are what the
+  /// WAL->v3 compactor (daemon/compactor.hpp) consumes; recovery replays
+  /// sealed files before the active one, so rotation never changes replay
+  /// semantics.  0 (default) disables rotation.
+  std::uint64_t wal_rotate_bytes = 0;
+
   double threshold = 0.5;  ///< alert when score >= threshold
   HealthConfig health;
 
@@ -180,6 +188,7 @@ class TelemetryDaemon {
   void appender_main(Shard& shard);
   void watchdog_main();
   void recover_shard(Shard& shard);
+  void maybe_rotate_wal(Shard& shard);
   void wal_append(Shard& shard, std::span<const core::FleetObservation> batch,
                   std::span<const std::uint64_t> retires);
   void process_records(Shard& shard, std::span<const core::FleetObservation> batch);

@@ -3,8 +3,11 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <stdexcept>
 
@@ -194,7 +197,8 @@ core::FleetObservation parse_record_payload(const char* p) {
   return obs;
 }
 
-WalWriter::WalWriter(std::string path, std::uint32_t shard, FsyncPolicy fsync)
+WalWriter::WalWriter(std::string path, std::uint32_t shard, FsyncPolicy fsync,
+                     std::uint64_t first_seq)
     : path_(std::move(path)), fsync_(fsync) {
   bool exists = false;
   const std::vector<char> image = read_file(path_, exists);
@@ -205,6 +209,7 @@ WalWriter::WalWriter(std::string path, std::uint32_t shard, FsyncPolicy fsync)
   if (fd_ < 0)
     throw std::runtime_error("wal: cannot open " + path_ + ": " + std::strerror(errno));
 
+  next_seq_ = std::max<std::uint64_t>(first_seq, 1);
   if (!exists || !stats.header_valid) {
     // Fresh (or alien) file: write the header from scratch.
     if (::ftruncate(fd_, 0) != 0)
@@ -223,7 +228,7 @@ WalWriter::WalWriter(std::string path, std::uint32_t shard, FsyncPolicy fsync)
       throw std::runtime_error("wal: cannot truncate " + path_);
     if (::lseek(fd_, 0, SEEK_END) < 0)
       throw std::runtime_error("wal: cannot seek " + path_);
-    next_seq_ = stats.last_seq + 1;
+    next_seq_ = std::max(next_seq_, stats.last_seq + 1);
     bytes_ = stats.durable_bytes;
   }
 }
@@ -274,6 +279,16 @@ void WalWriter::sync() {
     throw std::runtime_error("wal: fsync failed for " + path_);
 }
 
+void WalWriter::seal(const std::string& sealed_path) {
+  if (fd_ < 0) throw std::runtime_error("wal: seal on a closed writer");
+  sync();
+  ::close(fd_);
+  fd_ = -1;
+  if (std::rename(path_.c_str(), sealed_path.c_str()) != 0)
+    throw std::runtime_error("wal: cannot seal " + path_ + " -> " + sealed_path +
+                             ": " + std::strerror(errno));
+}
+
 WalReplayStats replay_wal(const std::string& path,
                           const std::function<void(const WalSegment&)>& on_segment) {
   bool exists = false;
@@ -289,6 +304,38 @@ WalReplayStats replay_wal_image(std::span<const char> image,
 
 std::string wal_path(const std::string& dir, std::uint32_t shard) {
   return dir + "/wal-" + std::to_string(shard) + ".swal";
+}
+
+std::string sealed_wal_path(const std::string& dir, std::uint32_t shard,
+                            std::uint64_t last_seq) {
+  char name[64];
+  std::snprintf(name, sizeof(name), "wal-%u-%016llu.sealed.swal", shard,
+                static_cast<unsigned long long>(last_seq));
+  return dir + "/" + name;
+}
+
+std::vector<std::string> list_sealed_wals(const std::string& dir,
+                                          std::optional<std::uint32_t> shard) {
+  std::vector<std::string> out;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    constexpr const char* kSuffix = ".sealed.swal";
+    if (name.size() <= std::strlen(kSuffix) + 4 ||
+        name.compare(name.size() - std::strlen(kSuffix), std::string::npos,
+                     kSuffix) != 0 ||
+        name.rfind("wal-", 0) != 0)
+      continue;
+    if (shard) {
+      const std::string prefix = "wal-" + std::to_string(*shard) + "-";
+      if (name.rfind(prefix, 0) != 0) continue;
+    }
+    out.push_back(entry.path().string());
+  }
+  // Zero-padded seq in the name makes lexicographic order replay order.
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 }  // namespace ssdfail::daemon

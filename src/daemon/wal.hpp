@@ -32,6 +32,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -95,9 +96,12 @@ class WalWriter {
   /// Open (creating or resuming) the shard WAL at `path`.  A pre-existing
   /// file is scanned like replay does and truncated back to its durable
   /// prefix, so appends always start at a clean segment boundary; the next
-  /// seq continues after the highest durable one.  Throws
-  /// std::runtime_error on I/O failure.
-  WalWriter(std::string path, std::uint32_t shard, FsyncPolicy fsync);
+  /// seq continues after the highest durable one.  `first_seq` raises the
+  /// starting seq further (rotation: the fresh active file continues the
+  /// sealed file's chain so cross-file replay stays strictly ordered).
+  /// Throws std::runtime_error on I/O failure.
+  WalWriter(std::string path, std::uint32_t shard, FsyncPolicy fsync,
+            std::uint64_t first_seq = 1);
   ~WalWriter();
   WalWriter(const WalWriter&) = delete;
   WalWriter& operator=(const WalWriter&) = delete;
@@ -109,6 +113,13 @@ class WalWriter {
 
   /// fsync regardless of policy (graceful-drain epilogue).
   void sync();
+
+  /// Seal this log: fsync, close, and atomically rename the file to
+  /// `sealed_path`.  The writer is finished afterwards (any further append
+  /// throws); the caller opens a fresh WalWriter at the active path with
+  /// first_seq = next_seq() to continue the chain.  Throws on I/O failure,
+  /// leaving the active file in place (the log is never lost mid-seal).
+  void seal(const std::string& sealed_path);
 
   [[nodiscard]] std::uint64_t segments_written() const noexcept { return segments_; }
   [[nodiscard]] std::uint64_t bytes_written() const noexcept { return bytes_; }
@@ -140,5 +151,17 @@ WalReplayStats replay_wal_image(std::span<const char> image,
 
 /// The canonical WAL filename for a shard inside `dir`.
 [[nodiscard]] std::string wal_path(const std::string& dir, std::uint32_t shard);
+
+/// Filename a rotation seals a shard's log under: embeds the last seq the
+/// file holds, zero-padded so lexicographic order IS replay order.
+[[nodiscard]] std::string sealed_wal_path(const std::string& dir, std::uint32_t shard,
+                                          std::uint64_t last_seq);
+
+/// Every sealed segment file for `shard` under `dir`, in replay (seq)
+/// order.  Pass std::nullopt to list every shard's sealed files (the
+/// compactor's input); order is then per-shard seq order, shards
+/// interleaved lexicographically.
+[[nodiscard]] std::vector<std::string> list_sealed_wals(
+    const std::string& dir, std::optional<std::uint32_t> shard = std::nullopt);
 
 }  // namespace ssdfail::daemon

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cstring>
 #include <fstream>
+#include <limits>
+#include <memory>
+#include <mutex>
 #include <ostream>
 #include <stdexcept>
 #include <string>
@@ -12,6 +15,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace_span.hpp"
 #include "store/crc32.hpp"
+#include "store/encoding.hpp"
 #include "store/mmap_file.hpp"
 #include "trace/io_metrics.hpp"
 
@@ -25,8 +29,13 @@ constexpr std::size_t kTrailerBytes = 16;
 /// Footer fixed part: 4 u64 totals + footer CRC + reserved u32.
 constexpr std::size_t kFooterFixedBytes = 4 * 8 + 8;
 constexpr std::size_t kDirEntryBytes = 32;
+/// v3 appends to each directory entry: u64 n_swaps, u32 model_mask,
+/// u32 reserved, then (i64 min, i64 max) per zone-mapped column.
+constexpr std::size_t kDirEntryBytesV3 = kDirEntryBytes + 16 + kNumZoneColumns * 16;
 constexpr std::size_t kDriveEntryBytes = 48;
 constexpr std::size_t kChunkHeaderBytes = 24;
+/// v3 per-column frame header: u32 encoding, u32 reserved, u64 payload bytes.
+constexpr std::size_t kFrameHeaderBytes = 16;
 
 [[noreturn]] void fail(const std::string& what) {
   throw std::runtime_error("columnar store: " + what);
@@ -123,9 +132,39 @@ struct DirEntry {
   std::uint32_t crc = 0;
   std::uint32_t n_drives = 0;
   std::uint64_t n_records = 0;
+  ChunkZoneMap zone;  ///< serialized for v3 only
 };
 
+/// Widened value columns gathered for one v3 chunk: stats + frame emission
+/// share the same pass.
+ColumnStats stats_of(std::span<const std::uint64_t> values) {
+  ColumnStats st;
+  if (values.empty()) return st;
+  st.min = std::numeric_limits<std::int64_t>::max();
+  st.max = std::numeric_limits<std::int64_t>::min();
+  for (const std::uint64_t v : values) {
+    const auto s = static_cast<std::int64_t>(v);
+    st.min = std::min(st.min, s);
+    st.max = std::max(st.max, s);
+  }
+  return st;
+}
+
 }  // namespace
+
+bool ChunkZoneMap::may_match(const ScanPredicate& pred) const noexcept {
+  if (n_records == 0) return false;  // no rows, nothing to scan
+  if (pred.model &&
+      (model_mask & (1u << static_cast<std::uint32_t>(*pred.model))) == 0)
+    return false;
+  if (pred.with_swaps_only && n_swaps == 0) return false;
+  if (stats_valid) {
+    const ColumnStats& day = stats(ZoneColumn::kDay);
+    if (pred.min_day && day.max < *pred.min_day) return false;
+    if (pred.max_day && day.min > *pred.max_day) return false;
+  }
+  return true;
+}
 
 void write_columnar(std::ostream& out, const trace::FleetTrace& fleet,
                     const ColumnarWriteOptions& options) {
@@ -134,10 +173,13 @@ void write_columnar(std::ostream& out, const trace::FleetTrace& fleet,
   trace::detail::WriteByteCount byte_count(out, "columnar");
 
   const std::uint32_t chunk_drives = std::max<std::uint32_t>(1, options.chunk_drives);
+  const std::uint32_t version = options.version;
+  if (version != kColumnarVersion && version != kColumnarVersionV3)
+    fail("unsupported write version " + std::to_string(version));
 
   std::string header;
   header.append(kMagic, sizeof(kMagic));
-  put<std::uint32_t>(header, kColumnarVersion);
+  put<std::uint32_t>(header, version);
   put<std::uint32_t>(header, chunk_drives);
   put<std::uint32_t>(header, 0);
   out.write(header.data(), static_cast<std::streamsize>(header.size()));
@@ -164,10 +206,15 @@ void write_columnar(std::ostream& out, const trace::FleetTrace& fleet,
     put<std::uint64_t>(chunk, n_records);
     put<std::uint64_t>(chunk, n_swaps);
 
+    ChunkZoneMap zone;
+    zone.n_records = n_records;
+    zone.n_swaps = n_swaps;
+
     std::uint64_t row = 0;
     std::uint64_t swap = 0;
     for (std::size_t d = first; d < last; ++d) {
       const trace::DriveHistory& drive = fleet.drives[d];
+      zone.model_mask |= 1u << static_cast<std::uint32_t>(drive.model);
       put<std::uint8_t>(chunk, static_cast<std::uint8_t>(drive.model));
       put<std::uint8_t>(chunk, 0);
       put<std::uint8_t>(chunk, 0);
@@ -187,42 +234,98 @@ void write_columnar(std::ostream& out, const trace::FleetTrace& fleet,
       for (std::size_t d = first; d < last; ++d)
         for (const trace::DailyRecord& r : fleet.drives[d].records) emit(r);
     };
-    pad8(chunk);
-    for_each_record([&](const trace::DailyRecord& r) { put<std::int32_t>(chunk, r.day); });
-    pad8(chunk);
-    for_each_record([&](const trace::DailyRecord& r) { put<std::uint32_t>(chunk, r.reads); });
-    pad8(chunk);
-    for_each_record([&](const trace::DailyRecord& r) { put<std::uint32_t>(chunk, r.writes); });
-    pad8(chunk);
-    for_each_record([&](const trace::DailyRecord& r) { put<std::uint32_t>(chunk, r.erases); });
-    pad8(chunk);
-    for_each_record(
-        [&](const trace::DailyRecord& r) { put<std::uint32_t>(chunk, r.pe_cycles); });
-    pad8(chunk);
-    for_each_record(
-        [&](const trace::DailyRecord& r) { put<std::uint32_t>(chunk, r.bad_blocks); });
-    pad8(chunk);
-    for_each_record(
-        [&](const trace::DailyRecord& r) { put<std::uint16_t>(chunk, r.factory_bad_blocks); });
-    pad8(chunk);
-    for_each_record([&](const trace::DailyRecord& r) {
-      put<std::uint8_t>(chunk, static_cast<std::uint8_t>((r.read_only ? 1 : 0) |
-                                                         (r.dead ? 2 : 0)));
-    });
-    for (std::size_t e = 0; e < trace::kNumErrorTypes; ++e) {
+    if (version == kColumnarVersion) {
+      pad8(chunk);
+      for_each_record([&](const trace::DailyRecord& r) { put<std::int32_t>(chunk, r.day); });
+      pad8(chunk);
+      for_each_record([&](const trace::DailyRecord& r) { put<std::uint32_t>(chunk, r.reads); });
+      pad8(chunk);
+      for_each_record([&](const trace::DailyRecord& r) { put<std::uint32_t>(chunk, r.writes); });
+      pad8(chunk);
+      for_each_record([&](const trace::DailyRecord& r) { put<std::uint32_t>(chunk, r.erases); });
       pad8(chunk);
       for_each_record(
-          [&](const trace::DailyRecord& r) { put<std::uint32_t>(chunk, r.errors[e]); });
+          [&](const trace::DailyRecord& r) { put<std::uint32_t>(chunk, r.pe_cycles); });
+      pad8(chunk);
+      for_each_record(
+          [&](const trace::DailyRecord& r) { put<std::uint32_t>(chunk, r.bad_blocks); });
+      pad8(chunk);
+      for_each_record(
+          [&](const trace::DailyRecord& r) { put<std::uint16_t>(chunk, r.factory_bad_blocks); });
+      pad8(chunk);
+      for_each_record([&](const trace::DailyRecord& r) {
+        put<std::uint8_t>(chunk, static_cast<std::uint8_t>((r.read_only ? 1 : 0) |
+                                                           (r.dead ? 2 : 0)));
+      });
+      for (std::size_t e = 0; e < trace::kNumErrorTypes; ++e) {
+        pad8(chunk);
+        for_each_record(
+            [&](const trace::DailyRecord& r) { put<std::uint32_t>(chunk, r.errors[e]); });
+      }
+      pad8(chunk);
+      for (std::size_t d = first; d < last; ++d)
+        for (const trace::SwapEvent& s : fleet.drives[d].swaps)
+          put<std::int32_t>(chunk, s.day);
+    } else {
+      // v3: every column travels as an encoded frame — [align8] u32
+      // encoding, u32 reserved, u64 payload bytes, payload — emitted in
+      // ZoneColumn order, with the column's min/max recorded in the
+      // directory zone map as a side effect of the same pass.
+      std::vector<std::uint64_t> scratch;
+      scratch.reserve(static_cast<std::size_t>(n_records));
+      const auto emit_frame = [&](std::size_t elem_bytes, ZoneColumn zc) {
+        zone.columns[static_cast<std::size_t>(zc)] = stats_of(scratch);
+        zone.stats_valid = true;
+        pad8(chunk);
+        const EncodedColumn enc = encode_column(scratch, elem_bytes);
+        put<std::uint32_t>(chunk, static_cast<std::uint32_t>(enc.encoding));
+        put<std::uint32_t>(chunk, 0);
+        put<std::uint64_t>(chunk, enc.payload.size());
+        chunk.append(enc.payload.data(), enc.payload.size());
+      };
+      const auto gather = [&](auto&& get) {
+        scratch.clear();
+        for_each_record([&](const trace::DailyRecord& r) { scratch.push_back(get(r)); });
+      };
+      const auto widen_i32 = [](std::int32_t v) {
+        return static_cast<std::uint64_t>(static_cast<std::int64_t>(v));
+      };
+      gather([&](const trace::DailyRecord& r) { return widen_i32(r.day); });
+      emit_frame(4, ZoneColumn::kDay);
+      gather([](const trace::DailyRecord& r) { return std::uint64_t{r.reads}; });
+      emit_frame(4, ZoneColumn::kReads);
+      gather([](const trace::DailyRecord& r) { return std::uint64_t{r.writes}; });
+      emit_frame(4, ZoneColumn::kWrites);
+      gather([](const trace::DailyRecord& r) { return std::uint64_t{r.erases}; });
+      emit_frame(4, ZoneColumn::kErases);
+      gather([](const trace::DailyRecord& r) { return std::uint64_t{r.pe_cycles}; });
+      emit_frame(4, ZoneColumn::kPeCycles);
+      gather([](const trace::DailyRecord& r) { return std::uint64_t{r.bad_blocks}; });
+      emit_frame(4, ZoneColumn::kBadBlocks);
+      gather([](const trace::DailyRecord& r) { return std::uint64_t{r.factory_bad_blocks}; });
+      emit_frame(2, ZoneColumn::kFactoryBadBlocks);
+      gather([](const trace::DailyRecord& r) {
+        return std::uint64_t{static_cast<std::uint8_t>((r.read_only ? 1 : 0) |
+                                                       (r.dead ? 2 : 0))};
+      });
+      emit_frame(1, ZoneColumn::kFlags);
+      for (std::size_t e = 0; e < trace::kNumErrorTypes; ++e) {
+        gather([&](const trace::DailyRecord& r) { return std::uint64_t{r.errors[e]}; });
+        emit_frame(4, static_cast<ZoneColumn>(
+                          static_cast<std::size_t>(ZoneColumn::kError0) + e));
+      }
+      scratch.clear();
+      for (std::size_t d = first; d < last; ++d)
+        for (const trace::SwapEvent& s : fleet.drives[d].swaps)
+          scratch.push_back(widen_i32(s.day));
+      emit_frame(4, ZoneColumn::kSwapDay);
     }
-    pad8(chunk);
-    for (std::size_t d = first; d < last; ++d)
-      for (const trace::SwapEvent& s : fleet.drives[d].swaps)
-        put<std::int32_t>(chunk, s.day);
     // Trailing pad is part of the chunk's recorded length (and CRC), so
     // every byte between header and footer is covered by some checksum.
     pad8(chunk);
 
-    directory.push_back({offset, chunk.size(), crc32(0, chunk), n_drives, n_records});
+    DirEntry entry{offset, chunk.size(), crc32(0, chunk), n_drives, n_records, zone};
+    directory.push_back(std::move(entry));
     out.write(chunk.data(), static_cast<std::streamsize>(chunk.size()));
     offset += chunk.size();
     total_records += n_records;
@@ -240,6 +343,15 @@ void write_columnar(std::ostream& out, const trace::FleetTrace& fleet,
     put<std::uint32_t>(footer, e.crc);
     put<std::uint32_t>(footer, e.n_drives);
     put<std::uint64_t>(footer, e.n_records);
+    if (version == kColumnarVersionV3) {
+      put<std::uint64_t>(footer, e.zone.n_swaps);
+      put<std::uint32_t>(footer, e.zone.model_mask);
+      put<std::uint32_t>(footer, 0);
+      for (const ColumnStats& st : e.zone.columns) {
+        put<std::int64_t>(footer, st.min);
+        put<std::int64_t>(footer, st.max);
+      }
+    }
   }
   // The footer CRC also covers the 16-byte file header, so a flipped
   // chunk-size or version byte cannot slip through.
@@ -310,23 +422,122 @@ void ChunkView::gather_drive(const DriveRef& ref, trace::DriveHistory& out) cons
     out.swaps[i].day = swap_days[ref.swap_begin + i];
 }
 
+/// Per-chunk lazy decode state for v3 files.  Column frames stay untouched
+/// in the backing bytes until the chunk is first accessed; decode fills the
+/// typed vectors below and points the ChunkView spans at them.  once_flag
+/// makes first-touch safe under chunk-parallel dataset builds.
+struct LazyChunk {
+  std::once_flag once;
+  std::size_t frames_begin = 0;  ///< absolute offset of the first frame
+  std::size_t frames_end = 0;    ///< chunk end (frames + trailing pad)
+  std::uint64_t n_records = 0;
+  std::uint64_t n_swaps = 0;
+
+  std::vector<std::int32_t> day;
+  std::vector<std::uint32_t> reads, writes, erases, pe_cycles, bad_blocks;
+  std::vector<std::uint16_t> factory_bad_blocks;
+  std::vector<std::uint8_t> flags;
+  std::array<std::vector<std::uint32_t>, trace::kNumErrorTypes> errors;
+  std::vector<std::int32_t> swap_days;
+};
+
 struct ColumnarFleetView::Impl {
   MappedFile mapped;
   std::vector<char> heap;
   std::span<const char> bytes;
   bool mmap_backed = false;
+  std::uint32_t version = kColumnarVersion;
   std::uint32_t chunk_drives = 0;
   std::size_t drive_count = 0;
   std::size_t total_records = 0;
   std::size_t total_swaps = 0;
   std::vector<std::vector<DriveRef>> refs;  ///< stable backing for ChunkView::drives
-  std::vector<ChunkView> chunks;
+  std::vector<ChunkZoneMap> zones;
+  /// v2: spans into `bytes`, complete after parse.  v3: drive refs set at
+  /// parse, column spans filled by ensure_decoded (hence mutable — the view
+  /// is logically const; decode only materializes what the file already
+  /// states).
+  mutable std::vector<ChunkView> chunks;
+  std::vector<std::unique_ptr<LazyChunk>> lazy;  ///< empty for v2
 
   /// Parse and validate the whole image: header, trailer, footer (CRC over
   /// header + footer), chunk directory (contiguous coverage of
-  /// [header, footer)), then each chunk (CRC, drive index, column spans).
+  /// [header, footer)), then each chunk (CRC, drive index, column spans for
+  /// v2 / frame extents for v3).
   void parse(const OpenOptions& options);
+
+  /// Decode chunk `index`'s column frames on first use (v3 only; no-op for
+  /// v2).  Throws std::runtime_error on malformed frames.
+  void ensure_decoded(std::size_t index) const;
 };
+
+void ColumnarFleetView::Impl::ensure_decoded(std::size_t index) const {
+  if (lazy.empty()) return;
+  LazyChunk& lc = *lazy[index];
+  std::call_once(lc.once, [&] {
+    Cursor cur(bytes, lc.frames_begin, lc.frames_end);
+    std::vector<std::uint64_t> decoded;
+    const auto read_frame = [&](std::size_t n, std::size_t elem_bytes,
+                                bool is_signed) {
+      cur.align8();
+      const auto encoding = cur.get<std::uint32_t>();
+      if (cur.get<std::uint32_t>() != 0) fail("nonzero reserved field in frame");
+      const auto payload_bytes = cur.get<std::uint64_t>();
+      if (payload_bytes > lc.frames_end - cur.pos())
+        fail("truncated file (frame overruns chunk)");
+      const std::span<const char> payload =
+          bytes.subspan(cur.pos(), static_cast<std::size_t>(payload_bytes));
+      cur.skip(static_cast<std::size_t>(payload_bytes));
+      decode_column(static_cast<ColumnEncoding>(encoding), payload, n, elem_bytes,
+                    is_signed, decoded);
+    };
+    const auto narrow = [&](auto& out) {
+      using T = typename std::remove_reference_t<decltype(out)>::value_type;
+      out.resize(decoded.size());
+      for (std::size_t i = 0; i < decoded.size(); ++i)
+        out[i] = static_cast<T>(decoded[i]);  // range-checked by decode_column
+    };
+    const auto n = static_cast<std::size_t>(lc.n_records);
+    read_frame(n, 4, true);
+    narrow(lc.day);
+    read_frame(n, 4, false);
+    narrow(lc.reads);
+    read_frame(n, 4, false);
+    narrow(lc.writes);
+    read_frame(n, 4, false);
+    narrow(lc.erases);
+    read_frame(n, 4, false);
+    narrow(lc.pe_cycles);
+    read_frame(n, 4, false);
+    narrow(lc.bad_blocks);
+    read_frame(n, 2, false);
+    narrow(lc.factory_bad_blocks);
+    read_frame(n, 1, false);
+    narrow(lc.flags);
+    for (std::size_t e = 0; e < trace::kNumErrorTypes; ++e) {
+      read_frame(n, 4, false);
+      narrow(lc.errors[e]);
+    }
+    read_frame(static_cast<std::size_t>(lc.n_swaps), 4, true);
+    narrow(lc.swap_days);
+    cur.align8();
+    if (cur.pos() != lc.frames_end) fail("chunk has trailing garbage");
+
+    ChunkView& view = chunks[index];
+    view.day = lc.day;
+    view.reads = lc.reads;
+    view.writes = lc.writes;
+    view.erases = lc.erases;
+    view.pe_cycles = lc.pe_cycles;
+    view.bad_blocks = lc.bad_blocks;
+    view.factory_bad_blocks = lc.factory_bad_blocks;
+    view.flags = lc.flags;
+    for (std::size_t e = 0; e < trace::kNumErrorTypes; ++e)
+      view.errors[e] = lc.errors[e];
+    view.swap_days = lc.swap_days;
+    chunks_read_counter().inc();
+  });
+}
 
 void ColumnarFleetView::Impl::parse(const OpenOptions& options) {
   Impl& impl = *this;
@@ -335,10 +546,11 @@ void ColumnarFleetView::Impl::parse(const OpenOptions& options) {
     fail("truncated file");
   if (std::memcmp(b.data(), kMagic, sizeof(kMagic)) != 0)
     fail("bad magic (not an ssdfail binary trace)");
-  std::uint32_t version;
-  std::memcpy(&version, b.data() + 4, sizeof(version));
-  if (version != kColumnarVersion)
-    fail("unsupported format version " + std::to_string(version));
+  std::uint32_t file_version;
+  std::memcpy(&file_version, b.data() + 4, sizeof(file_version));
+  if (file_version != kColumnarVersion && file_version != kColumnarVersionV3)
+    fail("unsupported format version " + std::to_string(file_version));
+  impl.version = file_version;
   std::memcpy(&impl.chunk_drives, b.data() + 8, sizeof(impl.chunk_drives));
 
   if (std::memcmp(b.data() + b.size() - sizeof(kTrailerMagic), kTrailerMagic,
@@ -352,7 +564,11 @@ void ColumnarFleetView::Impl::parse(const OpenOptions& options) {
 
   Cursor footer(b, static_cast<std::size_t>(footer_offset), b.size() - kTrailerBytes);
   const auto n_chunks = footer.get<std::uint64_t>();
-  if (n_chunks > (1ull << 32)) fail("implausible chunk count");
+  const std::size_t dir_entry_bytes =
+      file_version == kColumnarVersionV3 ? kDirEntryBytesV3 : kDirEntryBytes;
+  if (n_chunks > (1ull << 32) ||
+      n_chunks * dir_entry_bytes > b.size() - kTrailerBytes - footer_offset)
+    fail("implausible chunk count");
   const auto n_drives_total = footer.get<std::uint64_t>();
   const auto n_records_total = footer.get<std::uint64_t>();
   const auto n_swaps_total = footer.get<std::uint64_t>();
@@ -367,6 +583,17 @@ void ColumnarFleetView::Impl::parse(const OpenOptions& options) {
     e.crc = footer.get<std::uint32_t>();
     e.n_drives = footer.get<std::uint32_t>();
     e.n_records = footer.get<std::uint64_t>();
+    if (file_version == kColumnarVersionV3) {
+      e.zone.n_swaps = footer.get<std::uint64_t>();
+      e.zone.model_mask = footer.get<std::uint32_t>();
+      if (footer.get<std::uint32_t>() != 0) fail("nonzero reserved field");
+      for (ColumnStats& st : e.zone.columns) {
+        st.min = footer.get<std::int64_t>();
+        st.max = footer.get<std::int64_t>();
+      }
+      e.zone.stats_valid = true;
+    }
+    e.zone.n_records = e.n_records;
     directory.push_back(e);
   }
   const std::size_t crc_pos = footer.pos();
@@ -440,28 +667,57 @@ void ColumnarFleetView::Impl::parse(const OpenOptions& options) {
     }
     if (next_row != n_records || next_swap != n_swaps) fail("drive index inconsistent");
 
+    ChunkZoneMap zone = e.zone;
+    zone.n_swaps = n_swaps;  // v2 entries lack the swap count; header has it
+    if (file_version == kColumnarVersionV3 && e.zone.n_swaps != n_swaps)
+      fail("chunk header disagrees with directory");
+    std::uint32_t ref_mask = 0;
+    for (const DriveRef& ref : drive_refs)
+      ref_mask |= 1u << static_cast<std::uint32_t>(ref.model);
+    if (file_version == kColumnarVersionV3) {
+      if (zone.model_mask != ref_mask) fail("zone map disagrees with drive index");
+    } else {
+      zone.model_mask = ref_mask;
+    }
+
     ChunkView view;
     const auto n = static_cast<std::size_t>(n_records);
-    view.day = cur.column<std::int32_t>(n);
-    view.reads = cur.column<std::uint32_t>(n);
-    view.writes = cur.column<std::uint32_t>(n);
-    view.erases = cur.column<std::uint32_t>(n);
-    view.pe_cycles = cur.column<std::uint32_t>(n);
-    view.bad_blocks = cur.column<std::uint32_t>(n);
-    view.factory_bad_blocks = cur.column<std::uint16_t>(n);
-    view.flags = cur.column<std::uint8_t>(n);
-    for (std::size_t err = 0; err < trace::kNumErrorTypes; ++err)
-      view.errors[err] = cur.column<std::uint32_t>(n);
-    view.swap_days = cur.column<std::int32_t>(static_cast<std::size_t>(n_swaps));
-    if (end - cur.pos() >= 8) fail("chunk has trailing garbage");
+    if (file_version == kColumnarVersion) {
+      view.day = cur.column<std::int32_t>(n);
+      view.reads = cur.column<std::uint32_t>(n);
+      view.writes = cur.column<std::uint32_t>(n);
+      view.erases = cur.column<std::uint32_t>(n);
+      view.pe_cycles = cur.column<std::uint32_t>(n);
+      view.bad_blocks = cur.column<std::uint32_t>(n);
+      view.factory_bad_blocks = cur.column<std::uint16_t>(n);
+      view.flags = cur.column<std::uint8_t>(n);
+      for (std::size_t err = 0; err < trace::kNumErrorTypes; ++err)
+        view.errors[err] = cur.column<std::uint32_t>(n);
+      view.swap_days = cur.column<std::int32_t>(static_cast<std::size_t>(n_swaps));
+      if (end - cur.pos() >= 8) fail("chunk has trailing garbage");
+      chunks_read_counter().inc();
+    } else {
+      // Bound decode amplification: a legitimate frame stores at minimum
+      // one byte per 128 values (width-0 blocks), so counts beyond
+      // 128 bytes-per-byte are structurally impossible.
+      if (n_records > 128 * e.length || n_swaps > 128 * e.length)
+        fail("implausible chunk sizes");
+      auto lc = std::make_unique<LazyChunk>();
+      lc->frames_begin = cur.pos();
+      lc->frames_end = end;
+      lc->n_records = n_records;
+      lc->n_swaps = n_swaps;
+      impl.lazy.push_back(std::move(lc));
+      // Column spans stay empty until ensure_decoded fills them.
+    }
 
     impl.refs.push_back(std::move(drive_refs));
     view.drives = {impl.refs.back().data(), impl.refs.back().size()};
+    impl.zones.push_back(zone);
     impl.chunks.push_back(view);
     impl.drive_count += n_drives;
     impl.total_records += n;
     impl.total_swaps += static_cast<std::size_t>(n_swaps);
-    chunks_read_counter().inc();
   }
   if (expected_offset != footer_offset) fail("chunk directory gap");
   if (impl.drive_count != n_drives_total || impl.total_records != n_records_total ||
@@ -514,8 +770,16 @@ ColumnarFleetView ColumnarFleetView::from_buffer(std::vector<char> bytes,
 std::size_t ColumnarFleetView::chunk_count() const noexcept { return impl_->chunks.size(); }
 
 const ChunkView& ColumnarFleetView::chunk(std::size_t index) const {
-  return impl_->chunks.at(index);
+  const ChunkView& view = impl_->chunks.at(index);
+  impl_->ensure_decoded(index);
+  return view;
 }
+
+const ChunkZoneMap& ColumnarFleetView::zone_map(std::size_t index) const {
+  return impl_->zones.at(index);
+}
+
+std::uint32_t ColumnarFleetView::version() const noexcept { return impl_->version; }
 
 std::size_t ColumnarFleetView::drive_count() const noexcept { return impl_->drive_count; }
 std::size_t ColumnarFleetView::total_records() const noexcept {

@@ -18,6 +18,21 @@
 //   - detect any single-bit corruption via CRC (per chunk, plus a footer
 //     CRC that also covers the file header).
 //
+// Two columnar on-disk versions share this reader:
+//
+//   v2 — uncompressed: every column stored raw and 8-aligned, so mapped
+//        spans point straight into the file (zero copy).
+//   v3 — compressed + scan-optimized: each column is independently
+//        encoded (delta+bitpack / bitpack / RLE / raw, whichever is
+//        smallest — store/encoding.hpp), and the footer directory carries
+//        a per-chunk ZONE MAP (per-column min/max, model mask, swap
+//        count) so scans can prove a chunk irrelevant and skip it before
+//        touching — or decoding — a single column byte (ScanPredicate).
+//        Chunks decode lazily into per-chunk scratch buffers on first
+//        access; the ChunkView API is identical, which is what keeps
+//        dataset builds bit-identical across v2 and v3 (pinned by
+//        tests/store/test_zone_map_pruning.cpp and the golden suite).
+//
 // Same observable-only contract as v1: ground truth is never serialized.
 // Every field is little-endian; columns are 8-byte aligned so the mapped
 // spans are naturally aligned for their element type.
@@ -26,6 +41,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -37,12 +53,72 @@ namespace ssdfail::store {
 /// SSDF2 shares the "SSDF" magic with v1; the version field discriminates.
 inline constexpr std::uint32_t kColumnarVersion = 2;
 
+/// The compressed, zone-mapped revision (SSDF2 v3).
+inline constexpr std::uint32_t kColumnarVersionV3 = 3;
+
 /// Default drives per chunk: large enough to amortize per-chunk overhead,
 /// small enough that chunk-parallel builds load-balance.
 inline constexpr std::uint32_t kDefaultChunkDrives = 256;
 
 struct ColumnarWriteOptions {
   std::uint32_t chunk_drives = kDefaultChunkDrives;  ///< drives per chunk (>= 1)
+  /// On-disk version to emit: kColumnarVersion (uncompressed, zero-copy
+  /// reads) or kColumnarVersionV3 (compressed + zone maps).
+  std::uint32_t version = kColumnarVersion;
+};
+
+/// Zone-mapped column identities, in serialized order.  kSwapDay ranges
+/// over the swap_days column; all others over the record columns.
+enum class ZoneColumn : std::size_t {
+  kDay = 0,
+  kReads,
+  kWrites,
+  kErases,
+  kPeCycles,
+  kBadBlocks,
+  kFactoryBadBlocks,
+  kFlags,
+  kError0,  // kError0 + e for trace::ErrorType e
+  kSwapDay = kError0 + trace::kNumErrorTypes,
+};
+inline constexpr std::size_t kNumZoneColumns =
+    static_cast<std::size_t>(ZoneColumn::kSwapDay) + 1;
+
+/// Inclusive min/max of one column within one chunk (meaningless when the
+/// column is empty — check the chunk's n_records / n_swaps first).
+struct ColumnStats {
+  std::int64_t min = 0;
+  std::int64_t max = 0;
+};
+
+/// A predicate a scan wants to push below the decode layer.  Every field
+/// is conjunctive; an empty predicate matches everything.
+struct ScanPredicate {
+  std::optional<trace::DriveModel> model;      ///< only drives of this model
+  std::optional<std::int32_t> min_day;         ///< rows with day >= min_day
+  std::optional<std::int32_t> max_day;         ///< rows with day <= max_day
+  bool with_swaps_only = false;                ///< only drives with swap events
+};
+
+/// Per-chunk pruning metadata from the footer directory.  v3 files carry
+/// exact per-column stats; v2 files synthesize the model mask and counts
+/// from the drive index (stats_valid = false, so day predicates cannot
+/// prune — they still filter row-by-row above the store).
+struct ChunkZoneMap {
+  std::uint32_t model_mask = 0;  ///< bit (1 << model) per model present
+  std::uint64_t n_records = 0;
+  std::uint64_t n_swaps = 0;
+  bool stats_valid = false;      ///< column min/max populated (v3)
+  std::array<ColumnStats, kNumZoneColumns> columns{};
+
+  [[nodiscard]] const ColumnStats& stats(ZoneColumn c) const noexcept {
+    return columns[static_cast<std::size_t>(c)];
+  }
+
+  /// False only when NO row of the chunk can satisfy `pred` — pruning is
+  /// conservative, never lossy: a true return means "must scan", not
+  /// "contains a match".
+  [[nodiscard]] bool may_match(const ScanPredicate& pred) const noexcept;
 };
 
 /// Write the fleet as an SSDF2 columnar file to a binary stream.
@@ -128,6 +204,14 @@ class ColumnarFleetView {
 
   /// The writer's drives-per-chunk knob, as recorded in the header.
   [[nodiscard]] std::uint32_t chunk_drives() const noexcept;
+
+  /// On-disk format version of the backing file (2 or 3).
+  [[nodiscard]] std::uint32_t version() const noexcept;
+
+  /// Pruning metadata for chunk `index` — available without decoding the
+  /// chunk (v3) or from the drive index (v2).  Combine with may_match to
+  /// skip chunks entirely.
+  [[nodiscard]] const ChunkZoneMap& zone_map(std::size_t index) const;
 
   /// True when the columns point into a memory-mapped file (false: heap).
   [[nodiscard]] bool mmap_backed() const noexcept;

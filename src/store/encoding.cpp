@@ -1,0 +1,277 @@
+#include "store/encoding.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+
+namespace ssdfail::store {
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("column codec: " + what);
+}
+
+[[nodiscard]] std::uint64_t zigzag_encode(std::int64_t d) noexcept {
+  return (static_cast<std::uint64_t>(d) << 1) ^ static_cast<std::uint64_t>(d >> 63);
+}
+
+[[nodiscard]] std::uint64_t zigzag_decode(std::uint64_t z) noexcept {
+  return (z >> 1) ^ (0ull - (z & 1));
+}
+
+[[nodiscard]] unsigned bit_width_of(std::uint64_t v) noexcept {
+  return static_cast<unsigned>(std::bit_width(v));
+}
+
+void append_bytes(std::vector<char>& out, const void* p, std::size_t n) {
+  const char* c = static_cast<const char*>(p);
+  out.insert(out.end(), c, c + n);
+}
+
+/// Pack one block of values at `width` bits each, LSB-first within each
+/// byte, values packed back to back (value i occupies bit range
+/// [i*width, (i+1)*width) of the block's bit stream).
+void pack_block(std::vector<char>& out, std::span<const std::uint64_t> block,
+                unsigned width) {
+  out.push_back(static_cast<char>(width));
+  if (width == 0) return;
+  const std::size_t first = out.size();
+  out.resize(first + (block.size() * width + 7) / 8, '\0');
+  std::size_t bitpos = 0;
+  for (const std::uint64_t v : block) {
+    unsigned put = 0;
+    while (put < width) {
+      const std::size_t byte = first + (bitpos >> 3);
+      const unsigned offset = bitpos & 7u;
+      const unsigned take = std::min(8u - offset, width - put);
+      const auto chunk = static_cast<std::uint8_t>(
+          (v >> put) & ((std::uint64_t{1} << take) - 1));
+      out[byte] = static_cast<char>(static_cast<std::uint8_t>(out[byte]) |
+                                    (chunk << offset));
+      put += take;
+      bitpos += take;
+    }
+  }
+}
+
+/// Emit all of `values` as width-per-block bitpacked payload.
+std::vector<char> bitpack_payload(std::span<const std::uint64_t> values) {
+  std::vector<char> out;
+  for (std::size_t start = 0; start < values.size(); start += kPackBlock) {
+    const std::size_t count = std::min(kPackBlock, values.size() - start);
+    const auto block = values.subspan(start, count);
+    unsigned width = 0;
+    for (const std::uint64_t v : block) width = std::max(width, bit_width_of(v));
+    pack_block(out, block, width);
+  }
+  return out;
+}
+
+/// Bounds-checked byte reader over a payload span.
+class PayloadCursor {
+ public:
+  explicit PayloadCursor(std::span<const char> bytes) : bytes_(bytes) {}
+
+  [[nodiscard]] std::uint8_t u8() { return static_cast<std::uint8_t>(take(1)[0]); }
+
+  [[nodiscard]] std::uint64_t little(std::size_t n_bytes) {
+    const char* p = take(n_bytes);
+    std::uint64_t v = 0;
+    for (std::size_t b = 0; b < n_bytes; ++b)
+      v |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(p[b])) << (8 * b);
+    return v;
+  }
+
+  [[nodiscard]] const char* take(std::size_t n) {
+    if (n > bytes_.size() - pos_) fail("truncated column payload");
+    const char* p = bytes_.data() + pos_;
+    pos_ += n;
+    return p;
+  }
+
+  [[nodiscard]] bool done() const noexcept { return pos_ == bytes_.size(); }
+
+ private:
+  std::span<const char> bytes_;
+  std::size_t pos_ = 0;
+};
+
+/// Unpack one block of `count` width-bit values appended to `out` — the
+/// exact inverse of pack_block's bit-position indexing.
+void unpack_block(PayloadCursor& cur, std::size_t count,
+                  std::vector<std::uint64_t>& out) {
+  const unsigned width = cur.u8();
+  if (width > 64) fail("bitpack width > 64");
+  if (width == 0) {
+    out.insert(out.end(), count, 0);
+    return;
+  }
+  const std::size_t payload_bytes = (count * width + 7) / 8;
+  const char* p = cur.take(payload_bytes);
+  std::size_t bitpos = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    std::uint64_t v = 0;
+    unsigned got = 0;
+    while (got < width) {
+      const auto byte = static_cast<std::uint8_t>(p[bitpos >> 3]);
+      const unsigned offset = bitpos & 7u;
+      const unsigned take = std::min(8u - offset, width - got);
+      v |= static_cast<std::uint64_t>((byte >> offset) &
+                                      ((std::uint32_t{1} << take) - 1))
+           << got;
+      got += take;
+      bitpos += take;
+    }
+    out.push_back(v);
+  }
+}
+
+void unpack_all(std::span<const char> payload, std::size_t n,
+                std::vector<std::uint64_t>& out) {
+  PayloadCursor cur(payload);
+  for (std::size_t start = 0; start < n; start += kPackBlock)
+    unpack_block(cur, std::min(kPackBlock, n - start), out);
+  if (!cur.done()) fail("trailing bytes after bitpack payload");
+}
+
+void range_check(std::uint64_t v, std::size_t elem_bytes, bool is_signed) {
+  if (is_signed) {
+    const auto s = static_cast<std::int64_t>(v);
+    const std::int64_t lo = -(std::int64_t{1} << (8 * elem_bytes - 1));
+    const std::int64_t hi = (std::int64_t{1} << (8 * elem_bytes - 1)) - 1;
+    if (s < lo || s > hi) fail("decoded value out of range for column type");
+  } else {
+    const std::uint64_t hi = elem_bytes >= 8
+                                 ? ~std::uint64_t{0}
+                                 : (std::uint64_t{1} << (8 * elem_bytes)) - 1;
+    if (v > hi) fail("decoded value out of range for column type");
+  }
+}
+
+std::vector<char> raw_payload(std::span<const std::uint64_t> values,
+                              std::size_t elem_bytes) {
+  std::vector<char> out;
+  out.reserve(values.size() * elem_bytes);
+  for (const std::uint64_t v : values)
+    for (std::size_t b = 0; b < elem_bytes; ++b)
+      out.push_back(static_cast<char>(v >> (8 * b)));
+  return out;
+}
+
+std::vector<char> rle_payload(std::span<const std::uint64_t> values,
+                              std::size_t elem_bytes) {
+  std::vector<char> out;
+  std::size_t i = 0;
+  while (i < values.size()) {
+    std::size_t run = 1;
+    while (i + run < values.size() && values[i + run] == values[i] &&
+           run < std::numeric_limits<std::uint32_t>::max())
+      ++run;
+    const auto run32 = static_cast<std::uint32_t>(run);
+    append_bytes(out, &run32, sizeof(run32));
+    for (std::size_t b = 0; b < elem_bytes; ++b)
+      out.push_back(static_cast<char>(values[i] >> (8 * b)));
+    i += run;
+  }
+  return out;
+}
+
+std::vector<char> delta_payload(std::span<const std::uint64_t> values) {
+  std::vector<std::uint64_t> deltas;
+  deltas.reserve(values.size());
+  std::uint64_t prev = 0;
+  for (const std::uint64_t v : values) {
+    deltas.push_back(zigzag_encode(static_cast<std::int64_t>(v - prev)));
+    prev = v;
+  }
+  return bitpack_payload(deltas);
+}
+
+}  // namespace
+
+EncodedColumn encode_column(std::span<const std::uint64_t> values,
+                            std::size_t elem_bytes) {
+  EncodedColumn best;
+  best.encoding = ColumnEncoding::kRaw;
+  best.payload = raw_payload(values, elem_bytes);
+
+  const auto consider = [&best](ColumnEncoding encoding, std::vector<char>&& payload) {
+    if (payload.size() < best.payload.size()) {
+      best.encoding = encoding;
+      best.payload = std::move(payload);
+    }
+  };
+  consider(ColumnEncoding::kDeltaPack, delta_payload(values));
+  consider(ColumnEncoding::kBitPack, bitpack_payload(values));
+  consider(ColumnEncoding::kRle, rle_payload(values, elem_bytes));
+  return best;
+}
+
+void decode_column(ColumnEncoding encoding, std::span<const char> payload,
+                   std::size_t n, std::size_t elem_bytes, bool is_signed,
+                   std::vector<std::uint64_t>& out) {
+  out.clear();
+  out.reserve(n);
+  switch (encoding) {
+    case ColumnEncoding::kRaw: {
+      if (payload.size() != n * elem_bytes) fail("raw payload size mismatch");
+      PayloadCursor cur(payload);
+      for (std::size_t i = 0; i < n; ++i) {
+        std::uint64_t v = cur.little(elem_bytes);
+        if (is_signed && elem_bytes < 8 &&
+            (v >> (8 * elem_bytes - 1)) & 1)  // sign-extend the stored width
+          v |= ~((std::uint64_t{1} << (8 * elem_bytes)) - 1);
+        out.push_back(v);
+      }
+      break;
+    }
+    case ColumnEncoding::kBitPack: {
+      unpack_all(payload, n, out);
+      for (const std::uint64_t v : out) range_check(v, elem_bytes, is_signed);
+      return;
+    }
+    case ColumnEncoding::kDeltaPack: {
+      std::vector<std::uint64_t> deltas;
+      deltas.reserve(n);
+      unpack_all(payload, n, deltas);
+      std::uint64_t acc = 0;  // wrapping: corrupt input must not hit signed UB
+      for (const std::uint64_t z : deltas) {
+        acc += zigzag_decode(z);
+        range_check(acc, elem_bytes, is_signed);
+        out.push_back(acc);
+      }
+      return;
+    }
+    case ColumnEncoding::kRle: {
+      PayloadCursor cur(payload);
+      while (out.size() < n) {
+        const auto run = static_cast<std::uint32_t>(cur.little(4));
+        if (run == 0 || run > n - out.size()) fail("rle run overruns column");
+        std::uint64_t v = cur.little(elem_bytes);
+        if (is_signed && elem_bytes < 8 && (v >> (8 * elem_bytes - 1)) & 1)
+          v |= ~((std::uint64_t{1} << (8 * elem_bytes)) - 1);
+        out.insert(out.end(), run, v);
+      }
+      if (!cur.done()) fail("trailing bytes after rle payload");
+      break;
+    }
+    default:
+      fail("unknown column encoding " +
+           std::to_string(static_cast<std::uint32_t>(encoding)));
+  }
+  if (out.size() != n) fail("decoded element count mismatch");
+}
+
+const char* encoding_name(ColumnEncoding e) noexcept {
+  switch (e) {
+    case ColumnEncoding::kRaw: return "raw";
+    case ColumnEncoding::kDeltaPack: return "delta";
+    case ColumnEncoding::kBitPack: return "bitpack";
+    case ColumnEncoding::kRle: return "rle";
+  }
+  return "unknown";
+}
+
+}  // namespace ssdfail::store

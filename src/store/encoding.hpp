@@ -1,0 +1,74 @@
+#pragma once
+
+// SSDF2 v3 lightweight column codecs (docs/DATA_FORMAT.md §v3).
+//
+// Four encodings, no external dependencies, all operating on a column of
+// fixed-width little-endian integers widened to u64:
+//
+//   kRaw          — the v2 layout: n elements, sizeof(T) bytes each.
+//   kDeltaPack    — zigzag(v[i] - v[i-1]) (v[-1] = 0), block-bitpacked.
+//                   The win for monotone cumulative columns (day,
+//                   pe_cycles, bad_blocks, error totals): deltas are tiny
+//                   and constant runs pack to width 0.
+//   kBitPack      — values block-bitpacked directly (width = bits of the
+//                   block max).  The win for noisy daily counters whose
+//                   values are far below the type's range.
+//   kRle          — (u32 run_length, value) pairs.  The win for
+//                   status/flag columns that hold one value for weeks.
+//
+// Block bitpacking (kDeltaPack / kBitPack payloads): values are split
+// into blocks of 128; each block stores `u8 width` (0..64) followed by
+// ceil(count * width / 8) bytes, bits packed LSB-first.  A width-0 block
+// is one byte for 128 zero values.
+//
+// The writer measures every applicable encoding and keeps the smallest
+// (encode_column); readers dispatch on the stored encoding id
+// (decode_column), bounds-check every read, and verify decoded values fit
+// the destination type — a corrupt payload raises std::runtime_error,
+// never undefined behavior (the chunk CRC catches corruption first in
+// the default configuration; these checks hold even with verification
+// disabled).
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ssdfail::store {
+
+enum class ColumnEncoding : std::uint32_t {
+  kRaw = 0,
+  kDeltaPack = 1,
+  kBitPack = 2,
+  kRle = 3,
+};
+
+/// Values per bitpacked block (kDeltaPack / kBitPack).
+inline constexpr std::size_t kPackBlock = 128;
+
+/// One encoded column: the chosen encoding plus its payload bytes.
+struct EncodedColumn {
+  ColumnEncoding encoding = ColumnEncoding::kRaw;
+  std::vector<char> payload;
+};
+
+/// Encode `values` (elements already widened to u64; `elem_bytes` is the
+/// on-disk element size: 1, 2, or 4) with every applicable encoding and
+/// return the smallest result.  Signed columns (i32 day/swap_day) must be
+/// widened with sign extension; the codec is value-preserving either way.
+[[nodiscard]] EncodedColumn encode_column(std::span<const std::uint64_t> values,
+                                          std::size_t elem_bytes);
+
+/// Decode `payload` into exactly `n` values.  Throws std::runtime_error
+/// on any structural defect: truncated payload, width > 64, run lengths
+/// not summing to n, or a decoded value outside the `elem_bytes`-sized
+/// destination (signed when `is_signed`, matching the widening convention
+/// of encode_column).  Trailing unread payload bytes are also an error.
+void decode_column(ColumnEncoding encoding, std::span<const char> payload,
+                   std::size_t n, std::size_t elem_bytes, bool is_signed,
+                   std::vector<std::uint64_t>& out);
+
+/// Human-readable encoding name (bench/CLI reporting).
+[[nodiscard]] const char* encoding_name(ColumnEncoding e) noexcept;
+
+}  // namespace ssdfail::store

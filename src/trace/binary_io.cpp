@@ -130,12 +130,12 @@ FleetTrace read_binary_v1_body(std::istream& in) {
   return fleet;
 }
 
-/// v2 body decoder: slurp the remaining stream, re-assemble the full file
-/// image (magic + version + rest), and hand it to the columnar parser.
-FleetTrace read_binary_v2_body(std::istream& in) {
+/// v2/v3 body decoder: slurp the remaining stream, re-assemble the full
+/// file image (magic + version + rest), and hand it to the columnar
+/// parser, which dispatches on the version itself.
+FleetTrace read_binary_columnar_body(std::istream& in, std::uint32_t version) {
   std::vector<char> image;
   image.insert(image.end(), kMagic, kMagic + sizeof(kMagic));
-  const std::uint32_t version = store::kColumnarVersion;
   const char* vp = reinterpret_cast<const char*>(&version);
   image.insert(image.end(), vp, vp + sizeof(version));
   char buf[1 << 16];
@@ -176,6 +176,14 @@ void write_binary_v2(std::ostream& out, const FleetTrace& fleet,
   store::write_columnar(out, fleet, options);
 }
 
+void write_binary_v3(std::ostream& out, const FleetTrace& fleet,
+                     std::uint32_t chunk_drives) {
+  store::ColumnarWriteOptions options;
+  options.version = store::kColumnarVersionV3;
+  if (chunk_drives != 0) options.chunk_drives = chunk_drives;
+  store::write_columnar(out, fleet, options);
+}
+
 FleetTrace read_binary(std::istream& in) {
   static const obs::SiteId kSite = obs::intern_site("trace.read_binary");
   obs::Span span(kSite);
@@ -186,7 +194,8 @@ FleetTrace read_binary(std::istream& in) {
     throw std::runtime_error("binary_io: bad magic (not an ssdfail binary trace)");
   const auto version = get<std::uint32_t>(in);
   if (version == kBinaryFormatVersion) return read_binary_v1_body(in);
-  if (version == kColumnarFormatVersion) return read_binary_v2_body(in);
+  if (version == kColumnarFormatVersion || version == kColumnarV3FormatVersion)
+    return read_binary_columnar_body(in, version);
   throw std::runtime_error("binary_io: unsupported format version " +
                            std::to_string(version));
 }
@@ -213,6 +222,8 @@ void convert_binary(std::istream& in, std::ostream& out, std::uint32_t to_versio
     write_binary(out, fleet);
   } else if (to_version == kColumnarFormatVersion) {
     write_binary_v2(out, fleet, chunk_drives);
+  } else if (to_version == kColumnarV3FormatVersion) {
+    write_binary_v3(out, fleet, chunk_drives);
   } else {
     throw std::runtime_error("binary_io: unsupported format version " +
                              std::to_string(to_version));

@@ -3,7 +3,7 @@
 // Compact binary trace serialization.
 //
 // CSV (trace_io.hpp) is the interchange format; this is the fast path for
-// large fleets.  Two on-disk versions share the "SSDF" magic:
+// large fleets.  Three on-disk versions share the "SSDF" magic:
 //
 //   v1 — row format: drives one after another, each a header plus a run of
 //        67-byte DailyRecord structs (~70 bytes per drive-day versus ~200
@@ -13,6 +13,9 @@
 //        write_binary_v2; read_binary auto-detects it and materializes the
 //        fleet, while store::ColumnarFleetView::open gives zero-copy
 //        access without materializing.
+//   v3 — v2's layout with per-chunk compressed column frames and zone
+//        maps (docs/DATA_FORMAT.md).  Written via write_binary_v3; the
+//        same auto-detection reads it back.
 //
 // Little-endian, versioned.  Ground truth is never serialized (same
 // observable-only contract as the CSV path).
@@ -29,6 +32,9 @@ inline constexpr std::uint32_t kBinaryFormatVersion = 1;
 /// Columnar (v2) binary format version; mirrors store::kColumnarVersion.
 inline constexpr std::uint32_t kColumnarFormatVersion = 2;
 
+/// Compressed columnar (v3) version; mirrors store::kColumnarVersionV3.
+inline constexpr std::uint32_t kColumnarV3FormatVersion = 3;
+
 /// Write the fleet (daily records + swap events) to a binary stream in the
 /// v1 row format.
 void write_binary(std::ostream& out, const FleetTrace& fleet);
@@ -38,18 +44,22 @@ void write_binary(std::ostream& out, const FleetTrace& fleet);
 void write_binary_v2(std::ostream& out, const FleetTrace& fleet,
                      std::uint32_t chunk_drives = 0);
 
-/// Read a fleet written by write_binary or write_binary_v2 — the version
-/// field after the magic selects the decoder.  Throws std::runtime_error
-/// on a bad magic, unsupported version, truncated stream, or (v2) CRC
-/// mismatch.
+/// Write the fleet in the v3 compressed columnar format.
+void write_binary_v3(std::ostream& out, const FleetTrace& fleet,
+                     std::uint32_t chunk_drives = 0);
+
+/// Read a fleet written by any write_binary* — the version field after the
+/// magic selects the decoder.  Throws std::runtime_error on a bad magic,
+/// unsupported version, truncated stream, or (v2/v3) CRC mismatch.
 [[nodiscard]] FleetTrace read_binary(std::istream& in);
 
 /// Sniff the format version of a binary trace without consuming the
 /// stream (requires a seekable stream; throws on bad magic/truncation).
 [[nodiscard]] std::uint32_t peek_binary_version(std::istream& in);
 
-/// Re-encode a binary trace (either version in) as `to_version` (1 or 2).
-/// `chunk_drives` applies to v2 output only; 0 means the store default.
+/// Re-encode a binary trace (any version in) as `to_version` (1, 2 or 3).
+/// `chunk_drives` applies to columnar output only; 0 means the store
+/// default.
 void convert_binary(std::istream& in, std::ostream& out, std::uint32_t to_version,
                     std::uint32_t chunk_drives = 0);
 

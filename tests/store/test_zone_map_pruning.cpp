@@ -1,0 +1,196 @@
+// Zone-map predicate-pushdown correctness (the v3 tentpole property): a
+// pruned scan must return row sets IDENTICAL to the unpruned scan — the
+// zone map may only skip chunks that provably contain no matching row.
+//
+// Covers: dataset builds with model filters across the row path, v2, and
+// v3 (bit-identical floats), the conservative may_match contract checked
+// exhaustively against decoded chunk contents over seeded fleets, and the
+// edge shapes named by the issue: all-swap-free fleets, single-chunk
+// stores, and filters matching nothing.
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "core/dataset_builder.hpp"
+#include "sim/fleet_simulator.hpp"
+#include "store/columnar.hpp"
+
+namespace ssdfail::store {
+namespace {
+
+trace::FleetTrace simulated_fleet(std::uint32_t drives_per_model = 12,
+                                  std::uint64_t seed = 1234) {
+  sim::FleetConfig cfg;
+  cfg.drives_per_model = drives_per_model;
+  cfg.seed = seed;
+  return sim::FleetSimulator(cfg).generate_all();
+}
+
+ColumnarFleetView encode_view(const trace::FleetTrace& fleet, std::uint32_t version,
+                              std::uint32_t chunk_drives) {
+  std::ostringstream out(std::ios::binary);
+  ColumnarWriteOptions opts;
+  opts.chunk_drives = chunk_drives;
+  opts.version = version;
+  write_columnar(out, fleet, opts);
+  const std::string s = out.str();
+  return ColumnarFleetView::from_buffer({s.begin(), s.end()});
+}
+
+void expect_datasets_identical(const ml::Dataset& a, const ml::Dataset& b) {
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_EQ(a.x.cols(), b.x.cols());
+  ASSERT_EQ(a.x.data(), b.x.data());  // bit-identical floats
+  ASSERT_EQ(a.y, b.y);
+  ASSERT_EQ(a.groups, b.groups);
+  ASSERT_EQ(a.feature_names, b.feature_names);
+}
+
+/// Ground truth for may_match: does any row of the chunk satisfy the
+/// predicate?  (Decodes the chunk — the point is that the zone map must
+/// never disagree in the pruning direction.)
+bool chunk_has_match(const ChunkView& chunk, const ScanPredicate& pred) {
+  for (const DriveRef& ref : chunk.drives) {
+    if (pred.model && *pred.model != ref.model) continue;
+    if (pred.with_swaps_only && ref.swap_count == 0) continue;
+    for (std::size_t i = 0; i < ref.row_count; ++i) {
+      const std::int32_t day = chunk.day[ref.row_begin + i];
+      if (pred.min_day && day < *pred.min_day) continue;
+      if (pred.max_day && day > *pred.max_day) continue;
+      return true;
+    }
+  }
+  return false;
+}
+
+TEST(ZoneMapPruning, ModelFilteredBuildsMatchRowPathBothVersions) {
+  const trace::FleetTrace fleet = simulated_fleet();
+  core::DatasetBuildOptions opts;
+  opts.lookahead_days = 7;
+  opts.negative_keep_prob = 0.2;
+  for (const trace::DriveModel model : trace::kAllModels) {
+    opts.model_filter = model;
+    const ml::Dataset expected = core::build_dataset(fleet, opts);
+    for (const std::uint32_t version : {kColumnarVersion, kColumnarVersionV3}) {
+      for (const std::uint32_t chunk_drives : {3u, 1000000u}) {  // multi / single chunk
+        const ColumnarFleetView view = encode_view(fleet, version, chunk_drives);
+        expect_datasets_identical(expected, core::build_dataset(view, opts));
+      }
+    }
+  }
+}
+
+TEST(ZoneMapPruning, UnfilteredBuildsMatchRowPathBothVersions) {
+  const trace::FleetTrace fleet = simulated_fleet(8);
+  core::DatasetBuildOptions opts;
+  opts.negative_keep_prob = 0.3;
+  const ml::Dataset expected = core::build_dataset(fleet, opts);
+  for (const std::uint32_t version : {kColumnarVersion, kColumnarVersionV3})
+    expect_datasets_identical(
+        expected, core::build_dataset(encode_view(fleet, version, 5), opts));
+}
+
+TEST(ZoneMapPruning, FilterMatchingNothingYieldsEmptyDatasetIdentically) {
+  // A fleet of only MlcA drives, filtered for MlcD: every chunk prunes.
+  trace::FleetTrace fleet = simulated_fleet(9);
+  std::erase_if(fleet.drives, [](const trace::DriveHistory& d) {
+    return d.model != trace::DriveModel::MlcA;
+  });
+  core::DatasetBuildOptions opts;
+  opts.model_filter = trace::DriveModel::MlcD;
+  const ml::Dataset expected = core::build_dataset(fleet, opts);
+  EXPECT_EQ(expected.size(), 0u);
+  for (const std::uint32_t version : {kColumnarVersion, kColumnarVersionV3})
+    expect_datasets_identical(
+        expected, core::build_dataset(encode_view(fleet, version, 4), opts));
+}
+
+TEST(ZoneMapPruning, AllSwapFreeFleetBuildsIdentically) {
+  trace::FleetTrace fleet = simulated_fleet(10, 77);
+  for (trace::DriveHistory& d : fleet.drives) d.swaps.clear();
+  core::DatasetBuildOptions opts;
+  opts.model_filter = trace::DriveModel::MlcB;
+  opts.negative_keep_prob = 0.25;
+  const ml::Dataset expected = core::build_dataset(fleet, opts);
+  for (const std::uint32_t version : {kColumnarVersion, kColumnarVersionV3}) {
+    const ColumnarFleetView view = encode_view(fleet, version, 4);
+    EXPECT_EQ(view.total_swaps(), 0u);
+    expect_datasets_identical(expected, core::build_dataset(view, opts));
+    // with_swaps_only over a swap-free fleet: every chunk is provably
+    // irrelevant.
+    ScanPredicate swaps_only;
+    swaps_only.with_swaps_only = true;
+    for (std::size_t c = 0; c < view.chunk_count(); ++c)
+      EXPECT_FALSE(view.zone_map(c).may_match(swaps_only));
+  }
+}
+
+TEST(ZoneMapPruning, MayMatchIsConservativeOverSeededFleets) {
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    const trace::FleetTrace fleet = simulated_fleet(6, seed);
+    const ColumnarFleetView view = encode_view(fleet, kColumnarVersionV3, 4);
+
+    std::vector<ScanPredicate> predicates;
+    predicates.push_back({});  // match-all
+    for (const trace::DriveModel model : trace::kAllModels) {
+      ScanPredicate p;
+      p.model = model;
+      predicates.push_back(p);
+    }
+    for (const std::int32_t lo : {-5, 0, 50, 400, 5000}) {
+      ScanPredicate p;
+      p.min_day = lo;
+      p.max_day = lo + 100;
+      predicates.push_back(p);
+      p.with_swaps_only = true;
+      predicates.push_back(p);
+    }
+
+    for (const ScanPredicate& pred : predicates) {
+      for (std::size_t c = 0; c < view.chunk_count(); ++c) {
+        if (chunk_has_match(view.chunk(c), pred))
+          EXPECT_TRUE(view.zone_map(c).may_match(pred))
+              << "seed " << seed << " chunk " << c << " pruned a matching chunk";
+      }
+    }
+  }
+}
+
+TEST(ZoneMapPruning, DayRangePredicatesPruneDisjointChunksInV3) {
+  const trace::FleetTrace fleet = simulated_fleet(6);
+  const ColumnarFleetView view = encode_view(fleet, kColumnarVersionV3, 4);
+  ASSERT_GT(view.chunk_count(), 0u);
+  ScanPredicate far_future;
+  far_future.min_day = 1 << 28;  // beyond any simulated day
+  for (std::size_t c = 0; c < view.chunk_count(); ++c)
+    EXPECT_FALSE(view.zone_map(c).may_match(far_future));
+  // v2 zone maps lack day stats: the same predicate must NOT prune (it
+  // cannot prove emptiness), only stay conservative.
+  const ColumnarFleetView v2 = encode_view(fleet, kColumnarVersion, 4);
+  for (std::size_t c = 0; c < v2.chunk_count(); ++c)
+    EXPECT_TRUE(v2.zone_map(c).may_match(far_future));
+}
+
+TEST(ZoneMapPruning, V3ZoneStatsMatchDecodedColumns) {
+  const trace::FleetTrace fleet = simulated_fleet(5);
+  const ColumnarFleetView view = encode_view(fleet, kColumnarVersionV3, 3);
+  for (std::size_t c = 0; c < view.chunk_count(); ++c) {
+    const ChunkZoneMap& zone = view.zone_map(c);
+    ASSERT_TRUE(zone.stats_valid);
+    const ChunkView& chunk = view.chunk(c);
+    if (chunk.day.empty()) continue;
+    std::int32_t lo = chunk.day.front(), hi = chunk.day.front();
+    for (const std::int32_t d : chunk.day) {
+      lo = std::min(lo, d);
+      hi = std::max(hi, d);
+    }
+    EXPECT_EQ(zone.stats(ZoneColumn::kDay).min, lo);
+    EXPECT_EQ(zone.stats(ZoneColumn::kDay).max, hi);
+  }
+}
+
+}  // namespace
+}  // namespace ssdfail::store

@@ -1,4 +1,5 @@
-// Property/fuzz suite for the binary trace formats (v1 row, v2 columnar).
+// Property/fuzz suite for the binary trace formats (v1 row, v2 columnar,
+// v3 compressed columnar).
 //
 // Three guarantees, exercised byte by byte (this binary also runs under
 // the CI AddressSanitizer job, which is what turns "no crash" into a real
@@ -8,9 +9,10 @@
 //      field-for-field exact, in both formats.
 //   2. Truncation: EVERY prefix of a valid file raises a clean
 //      std::runtime_error — never a crash, hang, or silent short fleet.
-//   3. Corruption: for v2, EVERY single-bit flip raises std::runtime_error
-//      (CRC32 detects all single-bit errors; structural fields are covered
-//      by the footer CRC, alignment, and range checks).  v1 carries no
+//   3. Corruption: for v2 and v3, EVERY single-bit flip raises
+//      std::runtime_error (CRC32 detects all single-bit errors; structural
+//      fields are covered by the footer CRC, alignment, frame reserved-zero
+//      words, and range checks).  v1 carries no
 //      redundancy, so a flipped payload byte CAN parse as different data;
 //      the guarantee there is weaker and explicit: parse or clean throw,
 //      never undefined behavior.
@@ -79,14 +81,24 @@ void expect_exact(const FleetTrace& a, const FleetTrace& b) {
   }
 }
 
-enum class Version { kV1, kV2 };
+enum class Version { kV1, kV2, kV3 };
+
+const char* version_name(Version v) {
+  switch (v) {
+    case Version::kV1: return "v1";
+    case Version::kV2: return "v2";
+    default: return "v3";
+  }
+}
 
 std::string encode(const FleetTrace& fleet, Version version) {
   std::ostringstream out(std::ios::binary);
   if (version == Version::kV1) {
     write_binary(out, fleet);
-  } else {
+  } else if (version == Version::kV2) {
     write_binary_v2(out, fleet, 3);  // small chunks: exercise multi-chunk layout
+  } else {
+    write_binary_v3(out, fleet, 3);
   }
   return out.str();
 }
@@ -105,43 +117,76 @@ FleetTrace sweep_fleet() {
   return fleet;
 }
 
-TEST(BinaryIoFuzz, RandomFleetsRoundTripBothVersions) {
+TEST(BinaryIoFuzz, RandomFleetsRoundTripAllVersions) {
   stats::Rng rng(99);
   for (int trial = 0; trial < 25; ++trial) {
     const FleetTrace fleet = random_fleet(rng);
     expect_exact(fleet, decode(encode(fleet, Version::kV1)));
     expect_exact(fleet, decode(encode(fleet, Version::kV2)));
+    expect_exact(fleet, decode(encode(fleet, Version::kV3)));
   }
 }
 
-TEST(BinaryIoFuzz, V2EncodingIsDeterministic) {
+TEST(BinaryIoFuzz, ColumnarEncodingIsDeterministic) {
   stats::Rng rng(7);
   const FleetTrace fleet = random_fleet(rng);
   EXPECT_EQ(encode(fleet, Version::kV2), encode(fleet, Version::kV2));
+  EXPECT_EQ(encode(fleet, Version::kV3), encode(fleet, Version::kV3));
 }
 
 TEST(BinaryIoFuzz, EveryTruncationThrowsCleanly) {
-  for (const Version version : {Version::kV1, Version::kV2}) {
+  for (const Version version : {Version::kV1, Version::kV2, Version::kV3}) {
     const std::string full = encode(sweep_fleet(), version);
     for (std::size_t len = 0; len < full.size(); ++len) {
       EXPECT_THROW((void)decode(full.substr(0, len)), std::runtime_error)
-          << (version == Version::kV1 ? "v1" : "v2") << " prefix of " << len
+          << version_name(version) << " prefix of " << len
           << " bytes was accepted (file is " << full.size() << " bytes)";
     }
   }
 }
 
-TEST(BinaryIoFuzz, EveryV2BitFlipIsDetected) {
+TEST(BinaryIoFuzz, EveryColumnarBitFlipIsDetected) {
   const FleetTrace fleet = sweep_fleet();
-  const std::string good = encode(fleet, Version::kV2);
-  std::string bad = good;
-  for (std::size_t byte = 0; byte < good.size(); ++byte) {
-    for (int bit = 0; bit < 8; ++bit) {
-      bad[byte] = static_cast<char>(good[byte] ^ (1 << bit));
-      EXPECT_THROW((void)decode(bad), std::runtime_error)
-          << "bit " << bit << " of byte " << byte << " flipped silently";
+  for (const Version version : {Version::kV2, Version::kV3}) {
+    const std::string good = encode(fleet, version);
+    std::string bad = good;
+    for (std::size_t byte = 0; byte < good.size(); ++byte) {
+      for (int bit = 0; bit < 8; ++bit) {
+        bad[byte] = static_cast<char>(good[byte] ^ (1 << bit));
+        EXPECT_THROW((void)decode(bad), std::runtime_error)
+            << version_name(version) << " bit " << bit << " of byte " << byte
+            << " flipped silently";
+      }
+      bad[byte] = good[byte];
     }
-    bad[byte] = good[byte];
+  }
+}
+
+TEST(BinaryIoFuzz, EmptyFleetIsAFooterValidStoreInBothColumnarVersions) {
+  // The `convert` path of an empty input fleet must still emit a
+  // footer-valid store: zero chunks, zero totals, CRC-checked footer,
+  // trailer — 72 bytes exactly (DATA_FORMAT.md §SSDF2 envelope).
+  const FleetTrace empty;
+  for (const Version version : {Version::kV2, Version::kV3}) {
+    const std::string v1_image = encode(empty, Version::kV1);
+    std::istringstream in(v1_image);
+    std::ostringstream out(std::ios::binary);
+    convert_binary(in, out,
+                   version == Version::kV2 ? kColumnarFormatVersion
+                                           : kColumnarV3FormatVersion);
+    const std::string image = out.str();
+    EXPECT_EQ(image.size(), 72u) << version_name(version);
+    {
+      std::istringstream peek_in(image);
+      EXPECT_EQ(peek_binary_version(peek_in),
+                version == Version::kV2 ? 2u : 3u);
+    }
+    const FleetTrace back = decode(image);
+    EXPECT_TRUE(back.drives.empty());
+    auto view = store::ColumnarFleetView::from_buffer(
+        std::vector<char>(image.begin(), image.end()));
+    EXPECT_EQ(view.chunk_count(), 0u);
+    EXPECT_EQ(view.drive_count(), 0u);
   }
 }
 
