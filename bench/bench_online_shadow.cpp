@@ -1,0 +1,180 @@
+// Shadow-scoring overhead on the daemon hot path (google-benchmark).
+//
+//   BM_OnlineShadow/challengers:<n>
+//
+// One iteration pushes one fleet-day (kDrives records) through a running
+// daemon whose BatchObserver tap is a full OnlineLearner with <n>
+// challengers installed in the arena: every batch is WAL-appended,
+// sanitized, champion-scored, drift-sketched, and shadow-scored by each
+// challenger on the appender threads.  challengers:0 is the tap-attached
+// baseline, so the per-challenger delta is exactly the compiled FlatForest
+// shadow predict plus arena bookkeeping.  Registry counter deltas
+// (daemon_* and online_*) are exported per iteration.
+//
+// After the harness runs, main() re-measures 0-vs-1 challengers directly
+// (min over kCheckRepeats runs of kCheckDays fleet-days each) and fails
+// the binary when one challenger costs more than kMaxOverhead of the
+// baseline ingest time — the promotion gate's shadow scoring must stay
+// effectively free on the hot path (docs/BENCHMARKS.md).
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_metrics.hpp"
+#include "core/dataset_builder.hpp"
+#include "daemon/daemon.hpp"
+#include "ml/gradient_boosting.hpp"
+#include "ml/model_zoo.hpp"
+#include "online/learner.hpp"
+#include "sim/fleet_simulator.hpp"
+
+namespace {
+
+using namespace ssdfail;
+
+constexpr std::uint32_t kDrives = 2048;  ///< records pushed per fleet-day
+constexpr int kCheckDays = 12;           ///< fleet-days per overhead sample
+constexpr int kCheckRepeats = 5;         ///< min-of-N de-noises the check
+constexpr double kMaxOverhead = 0.10;    ///< budget for one challenger
+
+/// One boosted forest trained on simulated fleet history, shared by the
+/// champion and every challenger so the comparison is equal-cost.
+std::shared_ptr<const ml::GradientBoosting> fixture_forest() {
+  static const std::shared_ptr<const ml::GradientBoosting> model = [] {
+    sim::FleetConfig fc;
+    fc.drives_per_model = 12;
+    fc.window_days = 200;
+    fc.seed = 7;
+    core::DatasetBuildOptions opts;
+    opts.negative_keep_prob = 0.5;
+    const ml::Dataset train =
+        core::build_dataset(sim::FleetSimulator(fc).generate_all(), opts);
+    ml::GradientBoosting::Params params;
+    params.n_rounds = 30;
+    params.max_depth = 4;
+    auto gb = std::make_shared<ml::GradientBoosting>(params);
+    gb->fit(train);
+    return gb;
+  }();
+  return model;
+}
+
+core::FleetObservation observation_for(std::uint32_t drive, std::int32_t day) {
+  trace::DailyRecord rec;
+  rec.day = day;
+  rec.reads = 100 + drive;
+  rec.writes = 40 + static_cast<std::uint32_t>(day);
+  rec.erases = 4;
+  rec.pe_cycles = 10 + 2 * static_cast<std::uint32_t>(day);
+  rec.bad_blocks = 1 + static_cast<std::uint32_t>(day) / 64;
+  rec.factory_bad_blocks = 4;
+  rec.errors[0] = drive % 3;
+  return {trace::DriveModel::MlcA, drive, 0, rec};
+}
+
+/// Daemon + learner tap with `challengers` shadow models installed.  The
+/// learner's step thread is never started: only the hot-path tap runs.
+struct ShadowRig {
+  explicit ShadowRig(int challengers)
+      : wal_dir((std::filesystem::temp_directory_path() /
+                 ("ssdfail_bench_online_shadow" + std::to_string(challengers)))
+                    .string()) {
+    std::filesystem::remove_all(wal_dir);
+    std::filesystem::create_directories(wal_dir);
+    learner = std::make_unique<online::OnlineLearner>(nullptr, online::OnlineConfig{});
+    for (int c = 0; c < challengers; ++c)
+      learner->arena().set_challenger("c" + std::to_string(c), fixture_forest());
+
+    daemon::DaemonConfig cfg;
+    cfg.shards = 4;
+    cfg.ring_capacity = 4096;
+    cfg.max_batch = 512;
+    cfg.backpressure = daemon::Backpressure::kBlock;
+    cfg.block_timeout = std::chrono::milliseconds(50);
+    cfg.wal_dir = wal_dir;
+    cfg.fsync = daemon::FsyncPolicy::kNever;
+    cfg.batch_observer = learner.get();
+    daemon = std::make_unique<daemon::TelemetryDaemon>(
+        ml::make_serving_model(fixture_forest()), cfg);
+    daemon->start();
+  }
+
+  ~ShadowRig() {
+    daemon->stop();
+    std::filesystem::remove_all(wal_dir);
+  }
+
+  void push_day(std::int32_t day) {
+    for (std::uint32_t d = 0; d < kDrives; ++d)
+      (void)daemon->push(observation_for(d, day));
+  }
+
+  std::string wal_dir;
+  std::unique_ptr<online::OnlineLearner> learner;
+  std::unique_ptr<daemon::TelemetryDaemon> daemon;
+};
+
+void BM_OnlineShadow(benchmark::State& state) {
+  ShadowRig rig(static_cast<int>(state.range(0)));
+  const bench::RegistryDelta delta;
+  std::int32_t day = 0;
+  for (auto _ : state) rig.push_day(day++);
+  state.SetItemsProcessed(state.iterations() * kDrives);
+  delta.export_into(state, "daemon");
+  delta.export_into(state, "online");
+}
+
+BENCHMARK(BM_OnlineShadow)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->ArgNames({"challengers"})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+/// Wall-clock seconds for kCheckDays fleet-days, best of kCheckRepeats.
+double best_ingest_seconds(int challengers) {
+  double best = 1e300;
+  for (int r = 0; r < kCheckRepeats; ++r) {
+    ShadowRig rig(challengers);
+    rig.push_day(0);  // warm-up day: ring, WAL, and engine caches settle
+    const auto begin = std::chrono::steady_clock::now();
+    for (int day = 1; day <= kCheckDays; ++day) rig.push_day(day);
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - begin;
+    best = std::min(best, elapsed.count());
+  }
+  return best;
+}
+
+int check_shadow_overhead() {
+  const double baseline = best_ingest_seconds(0);
+  const double shadowed = best_ingest_seconds(1);
+  const double overhead = shadowed / baseline - 1.0;
+  std::printf("shadow_overhead_one_challenger: %.2f%% (limit %.0f%%)  "
+              "baseline %.3fs shadowed %.3fs\n",
+              overhead * 100.0, kMaxOverhead * 100.0, baseline, shadowed);
+  if (overhead > kMaxOverhead) {
+    std::fprintf(stderr,
+                 "FAIL: one challenger costs %.1f%% of baseline ingest "
+                 "(budget %.0f%%)\n",
+                 overhead * 100.0, kMaxOverhead * 100.0);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int rc = ssdfail::bench::run_benchmark_main(argc, argv);
+  if (rc != 0) return rc;
+  return check_shadow_overhead();
+}

@@ -52,11 +52,13 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <map>
 #include <optional>
 #include <sstream>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "core/dataset_builder.hpp"
@@ -70,14 +72,18 @@
 #include "obs/metrics.hpp"
 #include "obs/snapshotter.hpp"
 #include "obs/trace_span.hpp"
+#include "online/drift.hpp"
+#include "online/learner.hpp"
 #include "ml/downsample.hpp"
 #include "ml/flat_forest.hpp"
 #include "ml/model_zoo.hpp"
 #include "ml/serialize.hpp"
 #include "parallel/thread_pool.hpp"
 #include "robustness/fault_injector.hpp"
+#include "sim/drifting_fleet.hpp"
 #include "sim/fleet_simulator.hpp"
 #include "store/columnar.hpp"
+#include "store/sharded.hpp"
 #include "trace/binary_io.hpp"
 #include "trace/trace_io.hpp"
 #include "trace/validation.hpp"
@@ -118,7 +124,7 @@ int usage() {
   std::fprintf(
       stderr,
       "usage:\n"
-      "  ssdfail_cli simulate  --drives N [--seed S] --out PREFIX\n"
+      "  ssdfail_cli simulate  --drives N [--days N] [--seed S] --out PREFIX\n"
       "                        [--binary | --columnar [--chunk N]]\n"
       "  ssdfail_cli analyze   --in PREFIX [--binary]\n"
       "  ssdfail_cli convert   --in FILE --out FILE [--to v1|v2|v3] [--chunk N]\n"
@@ -133,12 +139,23 @@ int usage() {
       "                        [--chaos PCT] [--metrics-out FILE]\n"
       "                        [--metrics-stream FILE]\n"
       "  ssdfail_cli daemon    --wal-dir DIR [--model-file MODEL.bin]\n"
-      "                        [--drives N | --fleet FILE] [--seed S]\n"
+      "                        [--drives N | --fleet FILE] [--days N] [--seed S]\n"
       "                        [--producers P] [--shards K] [--ring N]\n"
       "                        [--backpressure block|shed] [--fsync every|never]\n"
       "                        [--wal-rotate BYTES]\n"
       "                        [--threshold T] [--chaos PCT] [--recover-only]\n"
       "                        [--state-digest-out FILE] [--metrics-out FILE]\n"
+      "                        [--online --store-dir DIR [--promote-out FILE]\n"
+      "                         --online-step-days K --online-lookahead N\n"
+      "                         --online-min-samples N --online-min-positives N\n"
+      "                         --promote-margin M --drift-psi T --drift-ks T\n"
+      "                         --drift-min-rows N\n"
+      "                         --retrain-always --drift-day D --drift-frac F\n"
+      "                         --drift-hazard M --drift-errors M\n"
+      "                         --drift-bad-blocks M]\n"
+      "  ssdfail_cli drift     --reference PATH --current PATH [--psi T] [--ks T]\n"
+      "                        [--min-rows N]   (PATH: .ssdf2 file or store dir;\n"
+      "                        exit 3 when drift exceeds thresholds)\n"
       "  ssdfail_cli metrics   [--out FILE] [--drives N] [--seed S]\n");
   return 2;
 }
@@ -171,6 +188,8 @@ sim::FleetConfig config_from(const Args& args) {
   sim::FleetConfig cfg;
   cfg.drives_per_model = static_cast<std::uint32_t>(args.get_long("drives", 500));
   cfg.seed = static_cast<std::uint64_t>(args.get_long("seed", 2019));
+  cfg.window_days =
+      static_cast<std::int32_t>(args.get_long("days", cfg.window_days));
   cfg.keep_ground_truth = false;  // CLI emits observable data only
   return cfg;
 }
@@ -673,7 +692,44 @@ int cmd_daemon(const Args& args) {
   if (model == nullptr)
     std::fprintf(stderr, "daemon: DEGRADED — ingesting and WAL-ing without scores\n");
 
+  // --online: attach the online-learning loop (src/online) as the daemon's
+  // batch observer.  Needs a scoring champion (shadow AUC is meaningless
+  // without champion scores) and WAL rotation (the retrainer reads the
+  // store compacted from SEALED segments only).
+  const bool online = args.flag("online");
+  std::unique_ptr<online::OnlineLearner> learner;
+  if (online) {
+    if (model == nullptr) {
+      std::fprintf(stderr, "daemon: --online requires a loadable --model-file\n");
+      return 2;
+    }
+    if (cfg.wal_rotate_bytes == 0) cfg.wal_rotate_bytes = 64 * 1024;
+    online::OnlineConfig ocfg;
+    ocfg.wal_dir = wal_dir;
+    ocfg.store_dir = args.get("store-dir", wal_dir + "/store");
+    ocfg.model_path = args.get("promote-out", wal_dir + "/champion.bin");
+    ocfg.drift.psi_alert = std::strtod(args.get("drift-psi", "0.25").c_str(), nullptr);
+    ocfg.drift.ks_alert = std::strtod(args.get("drift-ks", "0.35").c_str(), nullptr);
+    ocfg.drift.min_window_rows =
+        static_cast<std::uint64_t>(args.get_long("drift-min-rows", 512));
+    ocfg.arena.lookahead_days =
+        static_cast<int>(args.get_long("online-lookahead", 7));
+    ocfg.arena.min_samples =
+        static_cast<std::size_t>(args.get_long("online-min-samples", 256));
+    ocfg.arena.min_positives =
+        static_cast<std::size_t>(args.get_long("online-min-positives", 8));
+    ocfg.arena.promote_margin =
+        std::strtod(args.get("promote-margin", "0.01").c_str(), nullptr);
+    ocfg.retrainer.lookahead_days = ocfg.arena.lookahead_days;
+    ocfg.retrainer.negative_keep_prob =
+        std::strtod(args.get("retrain-neg-keep", "0.1").c_str(), nullptr);
+    ocfg.retrain_on_alert_only = !args.flag("retrain-always");
+    learner = std::make_unique<online::OnlineLearner>(nullptr, std::move(ocfg));
+    cfg.batch_observer = learner.get();
+  }
+
   daemon::TelemetryDaemon daemon(model, cfg);
+  if (learner != nullptr) learner->attach(&daemon);
   daemon.start();  // replays any WAL left in --wal-dir
   const daemon::DaemonStats after_recovery = daemon.stats();
   if (after_recovery.recovery.segments_replayed > 0 ||
@@ -721,6 +777,26 @@ int cmd_daemon(const Args& args) {
       std::fprintf(stderr, "daemon: %s\n", e.what());
       return 1;
     }
+  } else if (const long drift_day = args.get_long("drift-day", -1); drift_day >= 0) {
+    // Drifting-regime fleet: a post-drift cohort with shifted workload,
+    // error, and hazard characteristics (sim/drifting_fleet.hpp) — the
+    // drift-gate scenario for --online.
+    sim::DriftingFleetConfig dcfg;
+    dcfg.base = fleet_cfg;
+    dcfg.drift.drift_day = static_cast<std::int32_t>(drift_day);
+    dcfg.drift.drifted_fraction =
+        std::strtod(args.get("drift-frac", "0.4").c_str(), nullptr);
+    dcfg.drift.hazard_mult = std::strtod(
+        args.get("drift-hazard", std::to_string(dcfg.drift.hazard_mult)).c_str(),
+        nullptr);
+    dcfg.drift.error_rate_mult = std::strtod(
+        args.get("drift-errors", std::to_string(dcfg.drift.error_rate_mult)).c_str(),
+        nullptr);
+    dcfg.drift.bad_block_mult = std::strtod(
+        args.get("drift-bad-blocks", std::to_string(dcfg.drift.bad_block_mult))
+            .c_str(),
+        nullptr);
+    fleet = sim::DriftingFleetSimulator(dcfg).generate_all();
   } else {
     fleet = sim::FleetSimulator(fleet_cfg).generate_all();
   }
@@ -743,24 +819,85 @@ int cmd_daemon(const Args& args) {
   std::signal(SIGTERM, daemon_signal_handler);
   std::signal(SIGINT, daemon_signal_handler);
 
-  // Producers partition the stream BY DRIVE (uid mod producers) so each
-  // drive's records are pushed in day order by exactly one thread.
-  const auto producers =
-      std::max<std::size_t>(1, static_cast<std::size_t>(args.get_long("producers", 2)));
   const auto t0 = std::chrono::steady_clock::now();
-  std::vector<std::thread> threads;
-  threads.reserve(producers);
-  for (std::size_t p = 0; p < producers; ++p) {
-    threads.emplace_back([&, p] {
-      for (const core::FleetObservation& obs : stream) {
-        if (g_daemon_stop != 0) return;
-        if (static_cast<std::size_t>(obs.uid() % producers) != p) continue;
-        (void)daemon.push(obs);
+  if (online) {
+    // Day-paced ingest: push one stream day, drain it through the
+    // pipeline, and run the learner's control step every K stream days —
+    // so drift windows, retraining, and shadow scoring interleave with
+    // ingest exactly as they would against a real-time fleet, just with
+    // stream days standing in for wall-clock days.
+    //
+    // Retirements are routed to retire() after the drive's last record:
+    // the compactor turns kRetires into SwapEvents, which is what gives
+    // the retrainer its positive labels.  A drive retires when its stream
+    // carries a dead-flagged limbo record, or when the trace shows a
+    // terminal swap (last swap after the last record — the drive was
+    // replaced and never re-entered).  Mid-life swaps with repair
+    // re-entry are not routed: retire() is terminal in the health
+    // tracker, and a retire pinned at the post-repair tail would mislabel
+    // the early failure anyway.
+    std::unordered_map<std::uint64_t, std::size_t> last_index_of_retired;
+    for (const auto& d : fleet.drives) {
+      const bool dead_flagged =
+          std::any_of(d.records.begin(), d.records.end(),
+                      [](const trace::DailyRecord& r) { return r.dead; });
+      const bool terminal_swap = !d.swaps.empty() && !d.records.empty() &&
+                                 d.swaps.back().day > d.records.back().day;
+      if (dead_flagged || terminal_swap) last_index_of_retired[d.uid()] = 0;
+    }
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+      const auto it = last_index_of_retired.find(stream[i].uid());
+      if (it != last_index_of_retired.end()) it->second = i;  // last record wins
+    }
+    const auto drained = [&] {
+      const daemon::DaemonStats s = daemon.stats();
+      return s.scored + s.quarantined + s.duplicates_dropped + s.shed >= s.ingested;
+    };
+    const long step_days = std::max(1L, args.get_long("online-step-days", 15));
+    std::int64_t last_step_day = std::numeric_limits<std::int64_t>::min() / 2;
+    std::size_t i = 0;
+    while (i < stream.size() && g_daemon_stop == 0) {
+      const std::int32_t day = stream[i].record.day;
+      for (; i < stream.size() && stream[i].record.day == day; ++i) {
+        (void)daemon.push(stream[i]);
+        const auto it = last_index_of_retired.find(stream[i].uid());
+        if (it != last_index_of_retired.end() && it->second == i)
+          daemon.retire(stream[i].drive_model, stream[i].drive_index);
       }
-    });
+      while (!drained()) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      if (day - last_step_day >= step_days) {
+        const online::StepReport report = learner->step();
+        last_step_day = day;
+        std::printf(
+            "online step day %d: drift psi %.3f ks %.3f%s, window %llu rows%s%s%s\n",
+            day, report.drift.max_psi, report.drift.max_ks,
+            report.drift.alert ? " ALERT" : "",
+            static_cast<unsigned long long>(report.drift.window_rows),
+            report.retrained ? ", retrained" : "",
+            report.verdict.enough_data ? "" : " (gate: warming)",
+            report.promoted ? ", PROMOTED" : "");
+      }
+    }
+    daemon.stop();  // graceful drain: rings emptied, WALs fsynced
+  } else {
+    // Producers partition the stream BY DRIVE (uid mod producers) so each
+    // drive's records are pushed in day order by exactly one thread.
+    const auto producers = std::max<std::size_t>(
+        1, static_cast<std::size_t>(args.get_long("producers", 2)));
+    std::vector<std::thread> threads;
+    threads.reserve(producers);
+    for (std::size_t p = 0; p < producers; ++p) {
+      threads.emplace_back([&, p] {
+        for (const core::FleetObservation& obs : stream) {
+          if (g_daemon_stop != 0) return;
+          if (static_cast<std::size_t>(obs.uid() % producers) != p) continue;
+          (void)daemon.push(obs);
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    daemon.stop();  // graceful drain: rings emptied, WALs fsynced
   }
-  for (auto& t : threads) t.join();
-  daemon.stop();  // graceful drain: rings emptied, WALs fsynced
   const double secs =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
 
@@ -786,6 +923,16 @@ int cmd_daemon(const Args& args) {
               static_cast<unsigned long long>(stats.health_counts[2]),
               static_cast<unsigned long long>(stats.health_counts[3]),
               stats.drives_tracked);
+  if (online) {
+    std::printf("online: %llu steps, %zu promotions\n",
+                static_cast<unsigned long long>(learner->steps_run()),
+                learner->promotions().size());
+    for (const auto& p : learner->promotions())
+      std::printf("promotion: challenger=%s champion_auc=%.4f "
+                  "challenger_auc=%.4f matured=%zu day=%d\n",
+                  p.challenger.c_str(), p.champion_auc, p.challenger_auc,
+                  p.matured_rows, p.watermark_day);
+  }
   const std::uint64_t digest = daemon.state_digest();
   std::printf("state digest: %016llx\n", static_cast<unsigned long long>(digest));
   const std::string digest_path = args.get("state-digest-out", "");
@@ -800,6 +947,58 @@ int cmd_daemon(const Args& args) {
   const std::string metrics_path = args.get("metrics-out", "");
   if (!metrics_path.empty() && !write_metrics_out(metrics_path)) return 1;
   return 0;
+}
+
+/// Sketch one fleet for the drift report: a sharded store directory
+/// (manifest.ssdm) or a single columnar .ssdf2 file.
+std::optional<online::FeatureSketches> sketch_path(const std::string& path) {
+  try {
+    if (std::filesystem::is_directory(path))
+      return online::sketch_fleet(store::ShardedFleetView::open(path));
+    return online::sketch_fleet(store::ColumnarFleetView::open(path));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "drift: cannot sketch %s: %s\n", path.c_str(), e.what());
+    return std::nullopt;
+  }
+}
+
+/// Offline shard-vs-shard drift report (online/drift.hpp): per-column PSI
+/// and binned KS between a reference fleet and a current one.  Exit 0 when
+/// quiet, 3 when drift exceeds the thresholds — scriptable as a CI gate.
+int cmd_drift(const Args& args) {
+  const std::string ref_path = args.get("reference", "");
+  const std::string cur_path = args.get("current", "");
+  if (ref_path.empty() || cur_path.empty()) return usage();
+  const auto reference = sketch_path(ref_path);
+  const auto current = sketch_path(cur_path);
+  if (!reference || !current) return 1;
+
+  online::DriftConfig config;
+  config.psi_alert = std::strtod(args.get("psi", "0.25").c_str(), nullptr);
+  config.ks_alert = std::strtod(args.get("ks", "0.35").c_str(), nullptr);
+  config.min_window_rows = static_cast<std::uint64_t>(args.get_long("min-rows", 1));
+  const online::DriftReport report =
+      online::compare_fleets(*reference, *current, config);
+
+  io::TextTable table("drift: reference vs current, per zone column");
+  table.set_header({"column", "psi", "ks", "status"});
+  for (std::size_t c = 0; c < store::kNumZoneColumns; ++c) {
+    const online::DriftStat& stat = report.columns[c];
+    const bool hot = stat.psi >= config.psi_alert || stat.ks >= config.ks_alert;
+    table.add_row({online::zone_column_name(static_cast<store::ZoneColumn>(c)),
+                   io::TextTable::num(stat.psi), io::TextTable::num(stat.ks),
+                   hot ? "DRIFT" : "ok"});
+  }
+  table.print(std::cout);
+  std::printf("reference %llu rows, current %llu rows; max psi %.4f (%s), "
+              "max ks %.4f -> %s\n",
+              static_cast<unsigned long long>(report.reference_rows),
+              static_cast<unsigned long long>(report.window_rows), report.max_psi,
+              online::zone_column_name(
+                  static_cast<store::ZoneColumn>(report.worst_column))
+                  .c_str(),
+              report.max_ks, report.alert ? "DRIFT" : "stable");
+  return report.alert ? 3 : 0;
 }
 
 /// Built-in end-to-end smoke that exercises every instrumented layer —
@@ -884,6 +1083,7 @@ int main(int argc, char** argv) {
   if (command == "train") return cmd_train(args);
   if (command == "serve") return cmd_serve(args);
   if (command == "daemon") return cmd_daemon(args);
+  if (command == "drift") return cmd_drift(args);
   if (command == "metrics") return cmd_metrics(args);
   return usage();
 }

@@ -163,6 +163,12 @@ void walk_source(const Source& src, const trace::DriveHistory& extract_drive,
     if (options.age_filter == DatasetBuildOptions::AgeFilter::kOldOnly &&
         age <= kInfantAgeDays)
       continue;
+    // Prediction-time day window (label maturation / retraining windows).
+    // Only emission is windowed; the cumulative state above already
+    // advanced, so windowed rows are bit-identical to the unwindowed
+    // build's matching subset.
+    if (options.min_day && rec.day < *options.min_day) continue;
+    if (options.max_day && rec.day > *options.max_day) continue;
 
     // Unified boundary convention (see DatasetBuildOptions::lookahead_days):
     // a drive-day at day d is positive iff the labeled event occurs on or
@@ -188,10 +194,34 @@ void walk_source(const Source& src, const trace::DriveHistory& extract_drive,
   }
 }
 
+/// Drive-level swap-range filter: true when at least one swap day falls in
+/// [min_swap_day, max_swap_day].  The chunk-granular mirror of this check is
+/// ScanPredicate::{min_swap_day,max_swap_day} zone-map pruning.
+bool swap_range_admits(const DatasetBuildOptions& options,
+                       std::span<const std::int32_t> swap_days) noexcept {
+  if (!options.wants_swap_range()) return true;
+  for (const std::int32_t d : swap_days) {
+    if (options.min_swap_day && d < *options.min_swap_day) continue;
+    if (options.max_swap_day && d > *options.max_swap_day) continue;
+    return true;
+  }
+  return false;
+}
+
 template <typename Sink>
 void walk_drive(const trace::DriveHistory& drive, const DatasetBuildOptions& options,
                 Sink&& sink) {
   if (options.model_filter && *options.model_filter != drive.model) return;
+  if (options.wants_swap_range()) {
+    bool hit = false;
+    for (const trace::SwapEvent& s : drive.swaps) {
+      if (options.min_swap_day && s.day < *options.min_swap_day) continue;
+      if (options.max_swap_day && s.day > *options.max_swap_day) continue;
+      hit = true;
+      break;
+    }
+    if (!hit) return;
+  }
   const DriveTimeline timeline = derive_timeline(drive);
   walk_source(RowSource{drive}, drive, timeline, options, std::forward<Sink>(sink));
 }
@@ -291,6 +321,10 @@ ml::Dataset build_dataset(const store::ColumnarFleetView& fleet,
   // granularity, so the surviving row set is identical.
   store::ScanPredicate predicate;
   predicate.model = options.model_filter;
+  predicate.min_day = options.min_day;
+  predicate.max_day = options.max_day;
+  predicate.min_swap_day = options.min_swap_day;
+  predicate.max_swap_day = options.max_swap_day;
 
   std::vector<ml::Dataset> partials(fleet.chunk_count());
   const auto build_chunk = [&fleet, &options, &partials, &predicate](std::size_t c) {
@@ -304,6 +338,11 @@ ml::Dataset build_dataset(const store::ColumnarFleetView& fleet,
       // Filter pushdown: the drive index answers the model filter without
       // touching a single column byte.
       if (options.model_filter && *options.model_filter != ref.model) continue;
+      // Swap-range drive filter: answered from the chunk's swap slots (the
+      // per-drive mirror of the zone-map pruning above).
+      if (!swap_range_admits(options,
+                             chunk.swap_days.subspan(ref.swap_begin, ref.swap_count)))
+        continue;
       if (ref.swap_count == 0) {
         append_columnar_drive(partials[c], chunk, ref, options);
       } else {

@@ -75,6 +75,9 @@ TelemetryDaemon::TelemetryDaemon(std::shared_ptr<const ml::Classifier> model,
                                     "WAL open/append/fsync failures");
   stalls_metric_ = &reg.counter("daemon_watchdog_stalls_total", {},
                                 "Appender stall episodes detected by the watchdog");
+  strike_resets_metric_ =
+      &reg.counter("daemon_strike_resets_total", {},
+                   "Per-drive strike streaks cleared by model promotion");
   recovered_segments_metric_ = &reg.counter("daemon_recovery_segments_total", {},
                                             "WAL segments replayed at startup");
   recovered_records_metric_ = &reg.counter("daemon_recovery_records_total", {},
@@ -115,11 +118,31 @@ std::shared_ptr<const ml::Classifier> TelemetryDaemon::current_model() const {
 void TelemetryDaemon::set_model(std::shared_ptr<const ml::Classifier> model) {
   std::shared_ptr<const ml::Classifier> serving =
       model != nullptr ? ml::make_serving_model(std::move(model)) : nullptr;
+  const bool promoted = serving != nullptr;
   {
     std::scoped_lock lock(model_mutex_);
     model_ = std::move(serving);
   }
   degraded_metric_->set(current_model() == nullptr ? 1.0 : 0.0);
+  if (!promoted) return;
+  // Strikes accumulated under the old model's score scale must not carry
+  // into post-promotion escalation.  Each shard's appender applies the
+  // reset at its next iteration; when quiesced, apply inline (the same
+  // single-threaded access retire() uses).
+  const bool live = running_.load() && !stopping_.load();
+  for (auto& shard : shards_) {
+    if (live) {
+      shard->strike_reset_pending.store(true, std::memory_order_release);
+    } else {
+      shard->strike_reset_pending.store(false, std::memory_order_relaxed);
+      strike_resets_metric_->inc(shard->health.reset_strikes());
+    }
+  }
+}
+
+void TelemetryDaemon::apply_pending_strike_reset(Shard& shard) {
+  if (shard.strike_reset_pending.exchange(false, std::memory_order_acq_rel))
+    strike_resets_metric_->inc(shard.health.reset_strikes());
 }
 
 void TelemetryDaemon::mark_wal_degraded(Shard& shard) {
@@ -185,7 +208,9 @@ void TelemetryDaemon::start() {
     wal_degraded_.store(true, std::memory_order_relaxed);
     wal_degraded_metric_->set(1.0);
   } else {
+    recovering_.store(true, std::memory_order_relaxed);
     for (auto& shard : shards_) recover_shard(*shard);
+    recovering_.store(false, std::memory_order_relaxed);
   }
   for (auto& shard : shards_)
     shard->appender = std::thread(&TelemetryDaemon::appender_main, this,
@@ -199,6 +224,8 @@ void TelemetryDaemon::stop() {
   for (auto& shard : shards_)
     if (shard->appender.joinable()) shard->appender.join();
   if (watchdog_.joinable()) watchdog_.join();
+  // A reset requested after an appender's final iteration lands here.
+  for (auto& shard : shards_) apply_pending_strike_reset(*shard);
   for (auto& shard : shards_) {
     if (shard->wal == nullptr) continue;
     try {
@@ -275,6 +302,8 @@ void TelemetryDaemon::process_records(Shard& shard,
                                       std::span<const core::FleetObservation> batch) {
   if (batch.empty()) return;
   const std::shared_ptr<const ml::Classifier> model = current_model();
+  BatchObserver* const observer =
+      recovering_.load(std::memory_order_relaxed) ? nullptr : config_.batch_observer;
 
   struct Prepared {
     std::uint64_t uid;
@@ -286,6 +315,13 @@ void TelemetryDaemon::process_records(Shard& shard,
   std::vector<float> row(core::FeatureExtractor::count());
   std::vector<Prepared> prepared;
   prepared.reserve(batch.size());
+  // Sanitized records and assessments, retained only when a tap listens.
+  std::vector<trace::DailyRecord> clean_records;
+  std::vector<DriveAssessment> assessments;
+  if (observer != nullptr) {
+    clean_records.reserve(batch.size());
+    assessments.reserve(batch.size());
+  }
 
   for (const core::FleetObservation& obs : batch) {
     const std::uint64_t uid = obs.uid();
@@ -314,6 +350,7 @@ void TelemetryDaemon::process_records(Shard& shard,
     prepared.push_back({uid, clean.record.day,
                         clean.action == robustness::SanitizeAction::kRepaired,
                         clean.record.dead});
+    if (observer != nullptr) clean_records.push_back(clean.record);
   }
   if (prepared.empty()) return;
 
@@ -329,10 +366,13 @@ void TelemetryDaemon::process_records(Shard& shard,
     assessment.score = assessment.scored ? scores[i] : 0.0f;
     assessment.alert = assessment.scored && assessment.score >= config_.threshold;
     if (assessment.alert) ++alerts;
+    assessment.dead = p.dead;
     assessment.health =
         shard.health.observe(p.uid, assessment.score, p.suspect, p.dead);
     if (config_.on_assessment) config_.on_assessment(assessment);
+    if (observer != nullptr) assessments.push_back(assessment);
   }
+  if (observer != nullptr) observer->on_batch(rows, clean_records, assessments);
   if (model != nullptr) {
     scored_.fetch_add(prepared.size(), std::memory_order_relaxed);
     scored_metric_->inc(prepared.size());
@@ -343,11 +383,14 @@ void TelemetryDaemon::process_records(Shard& shard,
 
 void TelemetryDaemon::process_retires(Shard& shard,
                                       std::span<const std::uint64_t> uids) {
+  if (uids.empty()) return;
   for (const std::uint64_t uid : uids) {
     shard.cursors.erase(uid);
     shard.sanitizer.forget(uid);
     shard.health.retire(uid);
   }
+  if (config_.batch_observer != nullptr && !recovering_.load(std::memory_order_relaxed))
+    config_.batch_observer->on_retired(uids);
 }
 
 void TelemetryDaemon::appender_main(Shard& shard) {
@@ -362,6 +405,9 @@ void TelemetryDaemon::appender_main(Shard& shard) {
       std::scoped_lock lock(shard.retire_mutex);
       retires.swap(shard.pending_retires);
     }
+    // Promotion strike reset, applied by the thread that owns the tracker
+    // so HealthTracker needs no locking.
+    apply_pending_strike_reset(shard);
     if (batch.empty() && retires.empty()) {
       if (stopping_.load(std::memory_order_relaxed)) break;
       std::this_thread::sleep_for(config_.poll_interval);

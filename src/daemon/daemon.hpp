@@ -36,6 +36,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -46,6 +47,7 @@
 #include "daemon/ingest_ring.hpp"
 #include "daemon/wal.hpp"
 #include "ml/classifier.hpp"
+#include "ml/matrix.hpp"
 #include "robustness/record_sanitizer.hpp"
 
 namespace ssdfail::daemon {
@@ -58,7 +60,27 @@ struct DriveAssessment {
   float score = 0.0f;
   bool scored = false;  ///< false when running without a model
   bool alert = false;
+  bool dead = false;    ///< the (sanitized) record carried the dead flag
   HealthState health = HealthState::kHealthy;
+};
+
+/// Tap for the online-learning layer (src/online): everything the drift
+/// detector and model arena need, delivered once per processed batch from
+/// the appender thread that owns the shard.  `features` holds one row per
+/// surviving record; `records[i]` is the SANITIZED record that produced
+/// `features.row(i)` and `assessments[i]` (quarantined / duplicate records
+/// never reach the tap).  Implementations must be thread-safe when
+/// shards > 1 and cheap — this runs on the ingest hot path.  The tap is
+/// NOT invoked during startup WAL replay: recovery rebuilds daemon state,
+/// not downstream accumulators.
+class BatchObserver {
+ public:
+  virtual ~BatchObserver() = default;
+  virtual void on_batch(const ml::Matrix& features,
+                        std::span<const trace::DailyRecord> records,
+                        std::span<const DriveAssessment> assessments) = 0;
+  /// Drives explicitly retired through the pipeline (censoring signal).
+  virtual void on_retired(std::span<const std::uint64_t> uids) { (void)uids; }
 };
 
 struct DaemonConfig {
@@ -98,6 +120,9 @@ struct DaemonConfig {
   /// Test hook, invoked by an appender at the top of each busy iteration
   /// (the watchdog test injects a sleep here to fake a stalled shard).
   std::function<void(std::uint32_t shard)> appender_hook;
+  /// Online-learning tap (non-owning; must outlive the daemon).  See
+  /// BatchObserver.  Null disables the tap at zero cost.
+  BatchObserver* batch_observer = nullptr;
 };
 
 /// Point-in-time daemon statistics (internal atomics, not the registry, so
@@ -147,7 +172,12 @@ class TelemetryDaemon {
   void retire(trace::DriveModel drive_model, std::uint32_t drive_index);
 
   /// Install (or restore) the scoring model; a non-null model clears
-  /// degraded mode for subsequent batches.
+  /// degraded mode for subsequent batches.  Installing a model also resets
+  /// every drive's consecutive-strike counters (HealthTracker::
+  /// reset_strikes): strikes earned under the previous model's score scale
+  /// must not carry into post-promotion escalation.  The reset is applied
+  /// by each shard's own appender thread at its next iteration (inline
+  /// when the daemon is quiesced), so HealthTracker stays appender-owned.
   void set_model(std::shared_ptr<const ml::Classifier> model);
 
   [[nodiscard]] bool running() const noexcept { return running_.load(); }
@@ -177,6 +207,9 @@ class TelemetryDaemon {
 
     std::thread appender;
     std::atomic<std::uint64_t> heartbeat{0};  ///< bumps once per busy iteration
+    /// Set by set_model(), consumed by the owning appender (or inline when
+    /// quiesced): clear strike streaks before processing the next batch.
+    std::atomic<bool> strike_reset_pending{false};
 
     obs::Counter* ingested_metric = nullptr;  ///< daemon_records_ingested_total{shard=}
     obs::Gauge* depth_metric = nullptr;       ///< daemon_ring_depth{shard=}
@@ -194,6 +227,7 @@ class TelemetryDaemon {
   void process_records(Shard& shard, std::span<const core::FleetObservation> batch);
   void process_retires(Shard& shard, std::span<const std::uint64_t> uids);
   void mark_wal_degraded(Shard& shard);
+  void apply_pending_strike_reset(Shard& shard);
 
   DaemonConfig config_;
   obs::MetricsRegistry* registry_ = nullptr;
@@ -204,6 +238,9 @@ class TelemetryDaemon {
 
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};
+  /// True while start() replays WALs: the batch observer stays silent
+  /// (recovery rebuilds daemon state, not downstream accumulators).
+  std::atomic<bool> recovering_{false};
   std::thread watchdog_;
 
   // Internal stat atomics (mirrored into registry counters as they move).
@@ -222,6 +259,7 @@ class TelemetryDaemon {
   obs::Counter* wal_bytes_metric_ = nullptr;
   obs::Counter* wal_errors_metric_ = nullptr;
   obs::Counter* stalls_metric_ = nullptr;
+  obs::Counter* strike_resets_metric_ = nullptr;
   obs::Counter* recovered_segments_metric_ = nullptr;
   obs::Counter* recovered_records_metric_ = nullptr;
   obs::Gauge* degraded_metric_ = nullptr;

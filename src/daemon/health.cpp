@@ -121,6 +121,21 @@ void HealthTracker::retire(std::uint64_t uid) {
   transition(it->second, HealthState::kSwapped);
 }
 
+std::size_t HealthTracker::reset_strikes() {
+  std::size_t cleared = 0;
+  for (auto& [uid, drive] : drives_) {
+    (void)uid;
+    if (drive.state == HealthState::kSwapped) continue;  // terminal, no streaks matter
+    if (drive.ramp_streak == 0 && drive.alert_streak == 0 && drive.quiet_streak == 0)
+      continue;
+    drive.ramp_streak = 0;
+    drive.alert_streak = 0;
+    drive.quiet_streak = 0;
+    ++cleared;
+  }
+  return cleared;
+}
+
 HealthState HealthTracker::state(std::uint64_t uid) const noexcept {
   const auto it = drives_.find(uid);
   return it == drives_.end() ? HealthState::kHealthy : it->second.state;

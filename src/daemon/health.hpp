@@ -69,6 +69,17 @@ class HealthTracker {
   /// for the uid are ignored.
   void retire(std::uint64_t uid);
 
+  /// Clear every drive's consecutive-strike counters (ramp/alert/quiet
+  /// streaks) while keeping its state.  Called when the serving model is
+  /// promoted: strikes accumulated under the old champion's score scale
+  /// must not carry over into post-promotion escalation — the new model
+  /// has to re-earn each escalation with its own consecutive days.  States
+  /// persist (an alerted drive stays alerted; it de-escalates only through
+  /// the usual cool-off, now counted from zero).  Returns the number of
+  /// drives whose streaks were cleared (non-terminal drives with any
+  /// non-zero streak).
+  std::size_t reset_strikes();
+
   [[nodiscard]] HealthState state(std::uint64_t uid) const noexcept;
   /// Number of tracked drives currently in each state.
   [[nodiscard]] std::array<std::uint64_t, kNumHealthStates> counts() const noexcept {

@@ -1,0 +1,205 @@
+#pragma once
+
+// OnlineLearner: the control loop closing the paper's open loop.
+//
+//   TelemetryDaemon (ingest, score, WAL)
+//        | BatchObserver tap                 ^ set_model() on promotion
+//        v                                   |
+//   DriftDetector --alert--> Retrainer --challenger--> ModelArena
+//        (PSI/KS)           (v3 shards)            (shadow AUC gate)
+//
+// One step() of the control loop, run on a dedicated low-priority thread
+// (or driven manually by tests and the CLI):
+//
+//   1. compact sealed WALs into the v3 store (daemon/compactor.hpp) so
+//      retraining always sees fresh, label-complete history;
+//   2. evaluate feature drift (bootstrap the reference from the store on
+//      the first compaction if none was installed);
+//   3. if drift is alerting (or always, when retrain_on_alert_only is
+//      off) and no challenger is pending, retrain on the label-matured
+//      window and enter the result into the arena;
+//   4. run the promotion gate; on promote, persist the challenger through
+//      ml::save_model_file (write-temp + rename — a SIGKILL leaves the old
+//      or the new file, never a torn one), reload it through
+//      load_serving_classifier_file (round-trips the bytes and recompiles/
+//      verifies the FlatForest engine), hot-swap it into the daemon, and
+//      adopt the drifted window as the new drift reference.
+//
+// Nothing here blocks ingest.  The BatchObserver tap copies each batch
+// into a bounded queue and returns; a dedicated shadow thread drains it,
+// updating the drift sketches and shadow-scoring the arena's challengers
+// off the appender path (bench/bench_online_shadow.cpp pins the hot-path
+// overhead at <= 10% with one challenger).  When the shadow thread falls
+// behind, whole batches are dropped — counted in
+// online_shadow_dropped_total — rather than ever stalling an appender.
+// step() drains the queue first, so the control loop always judges
+// everything the daemon had handed over before the step began.  The step
+// thread itself shares no locks with the appender path, and heavy work
+// (compaction, dataset build, boosting) runs entirely on this thread plus
+// the ThreadPool.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "daemon/compactor.hpp"
+#include "daemon/daemon.hpp"
+#include "online/arena.hpp"
+#include "online/drift.hpp"
+#include "online/retrainer.hpp"
+
+namespace ssdfail::online {
+
+struct OnlineConfig {
+  /// Daemon WAL directory (sealed segments are compacted from here).
+  /// Empty skips compaction (the store is maintained externally).
+  std::string wal_dir;
+  /// Sharded v3 store directory (compaction target, retraining source).
+  std::string store_dir;
+  /// Champion model file: promotions persist here (atomic temp + rename)
+  /// before the hot swap, so a restart reloads the promoted model.  Empty
+  /// promotes in memory only.
+  std::string model_path;
+
+  DriftConfig drift;
+  ArenaConfig arena;
+  /// retrainer.store_dir is overridden by store_dir above.
+  RetrainerConfig retrainer;
+
+  /// Retrain only while drift is alerting (default); off retrains on every
+  /// step that has no challenger pending.
+  bool retrain_on_alert_only = true;
+  /// Bound on batches queued for the shadow thread; beyond it, new batches
+  /// are dropped (online_shadow_dropped_total) instead of blocking ingest.
+  std::size_t shadow_queue_batches = 64;
+  /// Background step cadence (start()).
+  std::chrono::milliseconds step_interval{1000};
+
+  /// Registry for online_* metrics; null uses the global one.
+  obs::MetricsRegistry* registry = nullptr;
+};
+
+/// What one control-loop step did (returned by step(); the CLI prints it).
+struct StepReport {
+  daemon::CompactionResult compaction;
+  DriftReport drift;
+  bool retrained = false;
+  std::size_t train_rows = 0;
+  std::size_t train_positives = 0;
+  std::string challenger;  ///< tag entered into the arena this step
+  ArenaVerdict verdict;
+  bool promoted = false;
+};
+
+class OnlineLearner final : public daemon::BatchObserver {
+ public:
+  /// `daemon` non-owning, may be null (offline tests drive the tap by
+  /// hand); promotions then skip the hot swap but still persist the model.
+  OnlineLearner(daemon::TelemetryDaemon* daemon, OnlineConfig config);
+  ~OnlineLearner() override;
+
+  /// Late daemon wiring for construction-order cycles (DaemonConfig wants
+  /// the observer before the daemon exists).  Call before start()/step().
+  void attach(daemon::TelemetryDaemon* daemon) noexcept { daemon_ = daemon; }
+  OnlineLearner(const OnlineLearner&) = delete;
+  OnlineLearner& operator=(const OnlineLearner&) = delete;
+
+  // BatchObserver (appender threads; see daemon.hpp for the contract).
+  // Both calls only copy into the bounded shadow queue and return.
+  void on_batch(const ml::Matrix& features,
+                std::span<const trace::DailyRecord> records,
+                std::span<const daemon::DriveAssessment> assessments) override;
+  void on_retired(std::span<const std::uint64_t> uids) override;
+
+  /// Block until every queued batch has been folded into the drift
+  /// sketches and the arena (step() calls this first; tests use it to make
+  /// tap-then-inspect sequences deterministic).
+  void drain_shadow();
+
+  /// One control-loop iteration (compact -> drift -> retrain -> gate).
+  /// Serialized against itself; safe to call with the step thread running.
+  StepReport step();
+
+  /// Launch / join the background step thread.  start() is idempotent.
+  void start();
+  void stop();
+
+  /// Install the drift reference explicitly (training-time distribution).
+  void set_drift_reference(FeatureSketches reference);
+  /// Sketch the current store and install it as the drift reference.
+  /// Returns false when the store cannot be opened.
+  bool set_drift_reference_from_store();
+
+  [[nodiscard]] DriftDetector& drift() noexcept { return drift_; }
+  [[nodiscard]] ModelArena& arena() noexcept { return arena_; }
+  [[nodiscard]] const std::vector<PromotionEvent>& promotions() const {
+    return arena_.promotions();
+  }
+  [[nodiscard]] std::uint64_t steps_run() const noexcept { return steps_.load(); }
+
+ private:
+  /// One queued unit of tap work: a copied batch, or a retire marker
+  /// (kept in one queue so retires stay ordered after their batches).
+  struct ShadowWork {
+    ml::Matrix features;
+    std::vector<trace::DailyRecord> records;
+    std::vector<daemon::DriveAssessment> assessments;
+    std::vector<std::uint64_t> retired;  ///< non-empty: retire marker
+  };
+
+  /// Persist + verify + hot-swap the promoted challenger.  Returns false
+  /// (leaving the champion in place) if any stage fails.
+  bool execute_promotion(const ArenaVerdict& verdict);
+
+  void enqueue_shadow(ShadowWork work);
+  void shadow_loop();
+
+  daemon::TelemetryDaemon* daemon_;
+  OnlineConfig config_;
+  DriftDetector drift_;
+  ModelArena arena_;
+  Retrainer retrainer_;
+
+  std::mutex step_mutex_;  ///< serializes step() bodies
+  /// Last drift window big enough to judge (tumbling-window archive;
+  /// guarded by step_mutex_ — only step() and promotion touch it).
+  FeatureSketches last_window_;
+  /// Trainable challengers by tag (the arena holds serving wrappers; the
+  /// concrete GradientBoosting is needed again at save_model_file time).
+  std::mutex models_mutex_;
+  std::vector<std::pair<std::string, std::shared_ptr<const ml::GradientBoosting>>>
+      challenger_models_;
+
+  /// Shadow tap: bounded queue + worker (runs from construction to
+  /// destruction, independent of the step thread).
+  std::mutex shadow_mutex_;
+  std::condition_variable shadow_cv_;       ///< work available / stop
+  std::condition_variable shadow_idle_cv_;  ///< queue empty and worker idle
+  std::deque<ShadowWork> shadow_queue_;
+  bool shadow_busy_ = false;
+  bool shadow_stop_ = false;
+  std::thread shadow_thread_;
+
+  std::thread step_thread_;
+  std::mutex wake_mutex_;
+  std::condition_variable wake_cv_;
+  bool stop_requested_ = false;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> steps_{0};
+
+  obs::Counter* steps_metric_ = nullptr;
+  obs::Counter* shadow_dropped_metric_ = nullptr;
+  obs::Counter* retrains_metric_ = nullptr;
+  obs::Counter* promotion_failures_metric_ = nullptr;
+  obs::Gauge* last_promotion_day_metric_ = nullptr;
+};
+
+}  // namespace ssdfail::online

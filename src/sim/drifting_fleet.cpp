@@ -1,0 +1,58 @@
+#include "sim/drifting_fleet.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ssdfail::sim {
+
+DriveModelSpec apply_drift(DriveModelSpec spec, const DriftSpec& drift,
+                           std::int32_t window_days) {
+  // Deployment pinned to [drift_day, window_days): no early cohort, late
+  // window starting at the drift day (DeploySpec draws late deployments
+  // uniformly over [early_span, late_span)).
+  spec.deploy.early_fraction = 0.0;
+  spec.deploy.early_span_days = drift.drift_day;
+  spec.deploy.late_span_days = std::max(window_days, drift.drift_day + 1);
+
+  spec.workload.write_base_per_day *= drift.workload_mult;
+  spec.failure.mature_hazard_per_day *= drift.hazard_mult;
+  spec.bad_blocks.spontaneous_per_day *= drift.bad_block_mult;
+  for (auto& err : spec.errors) err.base_day_prob *= drift.error_rate_mult;
+  return spec;
+}
+
+DriftingFleetSimulator::DriftingFleetSimulator(DriftingFleetConfig config)
+    : config_(config) {
+  const double fraction = std::clamp(config_.drift.drifted_fraction, 0.0, 1.0);
+  drifted_per_model_ = static_cast<std::uint32_t>(
+      std::ceil(fraction * config_.base.drives_per_model));
+  drifted_per_model_ = std::min(drifted_per_model_, config_.base.drives_per_model);
+  for (std::size_t m = 0; m < trace::kNumModels; ++m)
+    drifted_specs_[m] =
+        apply_drift(model_presets()[m], config_.drift, config_.base.window_days);
+}
+
+bool DriftingFleetSimulator::is_drifted(std::size_t flat_index) const noexcept {
+  const auto drive_idx =
+      static_cast<std::uint32_t>(flat_index % config_.base.drives_per_model);
+  return drive_idx >= config_.base.drives_per_model - drifted_per_model_;
+}
+
+trace::DriveHistory DriftingFleetSimulator::simulate(std::size_t flat_index) const {
+  const auto model_idx = flat_index / config_.base.drives_per_model;
+  const auto drive_idx =
+      static_cast<std::uint32_t>(flat_index % config_.base.drives_per_model);
+  const DriveModelSpec& spec =
+      is_drifted(flat_index) ? drifted_specs_[model_idx] : model_presets()[model_idx];
+  return simulate_drive(spec, config_.base.seed, drive_idx,
+                        config_.base.window_days, config_.base.keep_ground_truth);
+}
+
+trace::FleetTrace DriftingFleetSimulator::generate_all() const {
+  trace::FleetTrace fleet;
+  fleet.drives.reserve(drive_count());
+  for (std::size_t i = 0; i < drive_count(); ++i) fleet.drives.push_back(simulate(i));
+  return fleet;
+}
+
+}  // namespace ssdfail::sim

@@ -1,0 +1,87 @@
+#pragma once
+
+// Drifting-regime fleet generation: the adversary of the online-learning
+// loop (src/online), and the workload of the drift-gate CI job.
+//
+// A real fleet does not drift smoothly — it drifts in COHORTS: a new drive
+// batch (new flash vendor, new firmware) deploys from some day onward with
+// different workload, error, and hazard characteristics (PAPERS.md, Han et
+// al.: distribution shift across drive batches dominates predictor decay).
+// This generator models exactly that: drives are split per model into a
+// baseline cohort (the calibrated presets, deployed on the normal
+// staggered schedule) and a drifted cohort whose DriveModelSpec is scaled
+// by DriftSpec multipliers and whose deployment window is pinned to start
+// at drift_day — before drift_day the stream is indistinguishable from the
+// baseline fleet; after it, the drifted batch's records shift the marginal
+// feature distributions (workload counters, error rates, bad blocks) AND
+// the failure hazard, so a champion trained pre-drift both triggers the
+// DriftDetector and genuinely underperforms a retrained challenger.
+//
+// Determinism matches FleetSimulator: each drive is a pure function of
+// (seed, model, drive_index); cohort membership is a pure function of the
+// index.  With drifted_fraction = 0 the generator reduces exactly to
+// FleetSimulator (pinned by tests/online/test_drift.cpp).
+
+#include <cstdint>
+
+#include "sim/fleet_simulator.hpp"
+
+namespace ssdfail::sim {
+
+/// How the drifted cohort differs from the calibrated presets.
+struct DriftSpec {
+  /// Drifted-cohort deployments start here (uniform over
+  /// [drift_day, window_days)).
+  std::int32_t drift_day = 0;
+  /// Share of each model's drives assigned to the drifted cohort (the
+  /// LAST ceil(fraction * drives_per_model) indices, so baseline drives
+  /// keep identical histories as the fraction changes).
+  double drifted_fraction = 0.4;
+
+  /// Multipliers applied to the drifted cohort's spec (1.0 = unchanged).
+  double workload_mult = 3.0;    ///< write intensity (reads/writes/erases/PE)
+  double hazard_mult = 4.0;      ///< mature failure hazard (stales the champion)
+  double error_rate_mult = 2.5;  ///< every error type's daily incidence
+  double bad_block_mult = 2.5;   ///< spontaneous bad-block growth
+};
+
+/// `spec` scaled by the drift multipliers, deployment pinned after
+/// drift_day (exposed for tests that want the cohort spec directly).
+[[nodiscard]] DriveModelSpec apply_drift(DriveModelSpec spec, const DriftSpec& drift,
+                                         std::int32_t window_days);
+
+struct DriftingFleetConfig {
+  FleetConfig base;
+  DriftSpec drift;
+};
+
+/// FleetSimulator with a per-model drifted cohort.  Interface mirrors
+/// FleetSimulator (simulate / visit / generate_all) so dataset builds and
+/// ingest replay code work unchanged.
+class DriftingFleetSimulator {
+ public:
+  explicit DriftingFleetSimulator(DriftingFleetConfig config);
+
+  [[nodiscard]] const DriftingFleetConfig& config() const noexcept { return config_; }
+
+  [[nodiscard]] std::size_t drive_count() const noexcept {
+    return static_cast<std::size_t>(config_.base.drives_per_model) *
+           trace::kNumModels;
+  }
+
+  /// True when the flat index falls in the drifted cohort.
+  [[nodiscard]] bool is_drifted(std::size_t flat_index) const noexcept;
+
+  /// Simulate one drive (model-major layout, like FleetSimulator).
+  [[nodiscard]] trace::DriveHistory simulate(std::size_t flat_index) const;
+
+  /// Materialize the whole fleet (small configurations only).
+  [[nodiscard]] trace::FleetTrace generate_all() const;
+
+ private:
+  DriftingFleetConfig config_;
+  std::uint32_t drifted_per_model_ = 0;
+  std::array<DriveModelSpec, trace::kNumModels> drifted_specs_{};
+};
+
+}  // namespace ssdfail::sim

@@ -119,6 +119,50 @@ TEST(HealthTracker, MirrorsStatesAndTransitionsIntoTheRegistry) {
   EXPECT_DOUBLE_EQ(swap_edge->value, 1.0);
 }
 
+TEST(HealthTracker, ResetStrikesClearsStreaksButPreservesStates) {
+  HealthTracker tracker(fast_config(), nullptr);
+  // Drive 1: two of the three strikes toward ramping.
+  tracker.observe(1, 0.6, false, false);
+  tracker.observe(1, 0.6, false, false);
+  // Drive 2: alerted, then one quiet day of cool-off progress.
+  tracker.observe(2, 0.95, false, false);
+  tracker.observe(2, 0.95, false, false);
+  ASSERT_EQ(tracker.state(2), HealthState::kAlert);
+  tracker.observe(2, 0.1, false, false);
+
+  // A model swap resets both drives' streaks; the states persist.
+  EXPECT_EQ(tracker.reset_strikes(), 2u);
+  EXPECT_EQ(tracker.state(1), HealthState::kHealthy);
+  EXPECT_EQ(tracker.state(2), HealthState::kAlert);
+
+  // Drive 1 restarts its ramp count from zero under the new model.
+  EXPECT_EQ(tracker.observe(1, 0.6, false, false), HealthState::kHealthy);
+  EXPECT_EQ(tracker.observe(1, 0.6, false, false), HealthState::kHealthy);
+  EXPECT_EQ(tracker.observe(1, 0.6, false, false), HealthState::kRamping);
+  // Drive 2's cool-off starts over: four fresh quiet days to step down.
+  for (int i = 0; i < 3; ++i)
+    EXPECT_EQ(tracker.observe(2, 0.1, false, false), HealthState::kAlert);
+  EXPECT_EQ(tracker.observe(2, 0.1, false, false), HealthState::kRamping);
+}
+
+TEST(HealthTracker, ResetStrikesCountsOnlyDrivesWithLiveStreaks) {
+  HealthTracker tracker(fast_config(), nullptr);
+  // Drive 1 sits exactly on a transition boundary: the healthy -> ramping
+  // edge just zeroed every streak, so there is nothing to clear.
+  for (int i = 0; i < 3; ++i) tracker.observe(1, 0.6, false, false);
+  ASSERT_EQ(tracker.state(1), HealthState::kRamping);
+  // Drive 2 is terminal: swapped drives never count.
+  tracker.retire(2);
+  // Drive 3 carries a half-built ramp streak.
+  tracker.observe(3, 0.6, false, false);
+
+  EXPECT_EQ(tracker.reset_strikes(), 1u);
+  EXPECT_EQ(tracker.state(1), HealthState::kRamping);
+  EXPECT_EQ(tracker.state(2), HealthState::kSwapped);
+  // A second sweep with nothing accumulated touches no drive.
+  EXPECT_EQ(tracker.reset_strikes(), 0u);
+}
+
 TEST(HealthTracker, DigestIsOrderIndependentAndStateSensitive) {
   HealthTracker a(fast_config(), nullptr);
   HealthTracker b(fast_config(), nullptr);

@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <optional>
 #include <sstream>
 #include <vector>
@@ -55,7 +56,18 @@ void expect_datasets_identical(const ml::Dataset& a, const ml::Dataset& b) {
 bool chunk_has_match(const ChunkView& chunk, const ScanPredicate& pred) {
   for (const DriveRef& ref : chunk.drives) {
     if (pred.model && *pred.model != ref.model) continue;
-    if (pred.with_swaps_only && ref.swap_count == 0) continue;
+    if (pred.wants_swaps() && ref.swap_count == 0) continue;
+    if (pred.min_swap_day || pred.max_swap_day) {
+      bool swap_hit = false;
+      for (std::size_t s = 0; s < ref.swap_count; ++s) {
+        const std::int32_t d = chunk.swap_days[ref.swap_begin + s];
+        if (pred.min_swap_day && d < *pred.min_swap_day) continue;
+        if (pred.max_swap_day && d > *pred.max_swap_day) continue;
+        swap_hit = true;
+        break;
+      }
+      if (!swap_hit) continue;
+    }
     for (std::size_t i = 0; i < ref.row_count; ++i) {
       const std::int32_t day = chunk.day[ref.row_begin + i];
       if (pred.min_day && day < *pred.min_day) continue;
@@ -148,6 +160,15 @@ TEST(ZoneMapPruning, MayMatchIsConservativeOverSeededFleets) {
       p.with_swaps_only = true;
       predicates.push_back(p);
     }
+    for (const std::int32_t lo : {-100, 0, 30, 200, 700, 100000}) {
+      ScanPredicate p;
+      p.min_swap_day = lo;
+      predicates.push_back(p);
+      p.max_swap_day = lo + 150;
+      predicates.push_back(p);
+      p.min_swap_day.reset();
+      predicates.push_back(p);
+    }
 
     for (const ScanPredicate& pred : predicates) {
       for (std::size_t c = 0; c < view.chunk_count(); ++c) {
@@ -172,6 +193,91 @@ TEST(ZoneMapPruning, DayRangePredicatesPruneDisjointChunksInV3) {
   const ColumnarFleetView v2 = encode_view(fleet, kColumnarVersion, 4);
   for (std::size_t c = 0; c < v2.chunk_count(); ++c)
     EXPECT_TRUE(v2.zone_map(c).may_match(far_future));
+}
+
+TEST(ZoneMapPruning, SwapRangeAndDayWindowBuildsMatchRowPathBothVersions) {
+  // The Retrainer's scan shape: drives with a swap inside a recent window,
+  // prediction rows restricted to a label-matured day range.  Pruned
+  // columnar builds must stay bit-identical to the row path.
+  const trace::FleetTrace fleet = simulated_fleet(14, 99);
+  core::DatasetBuildOptions opts;
+  opts.lookahead_days = 7;
+  opts.negative_keep_prob = 0.5;
+  struct Window {
+    std::optional<std::int32_t> min_swap, max_swap, min_day, max_day;
+  };
+  const Window windows[] = {
+      {200, std::nullopt, std::nullopt, std::nullopt},
+      {std::nullopt, 300, std::nullopt, std::nullopt},
+      {100, 500, 50, 450},
+      {1 << 28, std::nullopt, std::nullopt, std::nullopt},  // matches nothing
+      {std::nullopt, std::nullopt, 100, 400},               // day window only
+  };
+  for (const Window& w : windows) {
+    opts.min_swap_day = w.min_swap;
+    opts.max_swap_day = w.max_swap;
+    opts.min_day = w.min_day;
+    opts.max_day = w.max_day;
+    const ml::Dataset expected = core::build_dataset(fleet, opts);
+    for (const std::uint32_t version : {kColumnarVersion, kColumnarVersionV3}) {
+      for (const std::uint32_t chunk_drives : {3u, 1000000u}) {
+        const ColumnarFleetView view = encode_view(fleet, version, chunk_drives);
+        expect_datasets_identical(expected, core::build_dataset(view, opts));
+      }
+    }
+  }
+}
+
+TEST(ZoneMapPruning, DayWindowedBuildIsSubsetOfUnwindowedBuild) {
+  // Windowed rows must be the unwindowed build's matching rows, same
+  // floats — the property the Retrainer's maturation window relies on.
+  const trace::FleetTrace fleet = simulated_fleet(10, 5);
+  core::DatasetBuildOptions opts;
+  opts.lookahead_days = 7;
+  opts.negative_keep_prob = 1.0;  // keep everything so row sets are dense
+  const ml::Dataset full = core::build_dataset(fleet, opts);
+  opts.min_day = 120;
+  opts.max_day = 480;
+  const ml::Dataset windowed = core::build_dataset(fleet, opts);
+  ASSERT_GT(windowed.size(), 0u);
+  ASSERT_LT(windowed.size(), full.size());
+  // Every windowed row appears in the full build, in order.
+  std::size_t j = 0;
+  for (std::size_t i = 0; i < windowed.x.rows(); ++i) {
+    while (j < full.x.rows() &&
+           !(full.groups[j] == windowed.groups[i] &&
+             std::equal(full.x.row(j).begin(), full.x.row(j).end(),
+                        windowed.x.row(i).begin(), windowed.x.row(i).end()) &&
+             full.y[j] == windowed.y[i]))
+      ++j;
+    ASSERT_LT(j, full.x.rows()) << "windowed row " << i << " not found in full build";
+    ++j;
+  }
+}
+
+TEST(ZoneMapPruning, SwapRangePredicatePrunesSwapFreeChunksEvenInV2) {
+  trace::FleetTrace fleet = simulated_fleet(10, 77);
+  for (trace::DriveHistory& d : fleet.drives) d.swaps.clear();
+  ScanPredicate pred;
+  pred.min_swap_day = 0;
+  for (const std::uint32_t version : {kColumnarVersion, kColumnarVersionV3}) {
+    const ColumnarFleetView view = encode_view(fleet, version, 4);
+    for (std::size_t c = 0; c < view.chunk_count(); ++c)
+      EXPECT_FALSE(view.zone_map(c).may_match(pred));
+  }
+}
+
+TEST(ZoneMapPruning, SwapDayStatsPruneDisjointRangesInV3) {
+  const trace::FleetTrace fleet = simulated_fleet(12, 3);
+  const ColumnarFleetView view = encode_view(fleet, kColumnarVersionV3, 4);
+  ScanPredicate far_future;
+  far_future.min_swap_day = 1 << 28;
+  for (std::size_t c = 0; c < view.chunk_count(); ++c)
+    EXPECT_FALSE(view.zone_map(c).may_match(far_future));
+  ScanPredicate far_past;
+  far_past.max_swap_day = -(1 << 28);
+  for (std::size_t c = 0; c < view.chunk_count(); ++c)
+    EXPECT_FALSE(view.zone_map(c).may_match(far_past));
 }
 
 TEST(ZoneMapPruning, V3ZoneStatsMatchDecodedColumns) {
