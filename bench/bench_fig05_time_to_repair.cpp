@@ -14,7 +14,7 @@ int main() {
 
   // Pool the three models for the fleet-wide figure.
   stats::CensoredEcdf pooled;
-  for (trace::DriveModel m : trace::kAllModels) pooled.merge(suite.repair_time_days(m));
+  for (trace::DriveModel m : trace::kMlcModels) pooled.merge(suite.repair_time_days(m));
 
   io::TextTable table("Fig 5 series");
   table.set_header({"days", "CDF"});

@@ -20,7 +20,7 @@ int main() {
   for (double f : fpr_grid) header.push_back("TPR@" + io::TextTable::num(f, 2));
   table.set_header(header);
 
-  for (trace::DriveModel m : trace::kAllModels) {
+  for (trace::DriveModel m : trace::kMlcModels) {
     auto opts = bench::default_build_options(1);
     opts.model_filter = m;
     const ml::Dataset data = core::build_dataset(fleet, opts);

@@ -18,7 +18,7 @@ int main() {
   std::uint64_t total_failures = 0;
   std::uint64_t total_failed = 0;
   std::uint64_t total_drives = 0;
-  for (trace::DriveModel m : trace::kAllModels) {
+  for (trace::DriveModel m : trace::kMlcModels) {
     const auto& fi = suite.failure_incidence(m);
     total_failures += fi.failures;
     total_failed += fi.drives_failed;

@@ -21,7 +21,7 @@ int main() {
 
   io::TextTable table("Table 5 (reproduced vs paper)");
   table.set_header({"Model", "10d", "30d", "100d", "1y", "2y", "3y", "ever"});
-  for (trace::DriveModel m : trace::kAllModels) {
+  for (trace::DriveModel m : trace::kMlcModels) {
     const auto mi = static_cast<std::size_t>(m);
     const auto& repair = suite.repair_time_days(m);
     std::vector<std::string> row = {std::string(trace::model_name(m))};

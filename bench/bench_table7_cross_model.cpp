@@ -20,7 +20,7 @@ int main() {
 
   // Per-model datasets plus the pooled one.
   std::vector<ml::Dataset> per_model;
-  for (trace::DriveModel m : trace::kAllModels) {
+  for (trace::DriveModel m : trace::kMlcModels) {
     auto opts = bench::default_build_options(1);
     opts.model_filter = m;
     per_model.push_back(core::build_dataset(fleet, opts));
@@ -46,10 +46,10 @@ int main() {
 
   io::TextTable table("Table 7 (reproduced, paper in parens)");
   table.set_header({"test \\ train", "MLC-A", "MLC-B", "MLC-D", "All"});
-  for (std::size_t test_m = 0; test_m < trace::kNumModels; ++test_m) {
+  for (std::size_t test_m = 0; test_m < trace::kNumMlcModels; ++test_m) {
     std::vector<std::string> row = {
         std::string(trace::model_name(static_cast<trace::DriveModel>(test_m)))};
-    for (std::size_t train_m = 0; train_m < trace::kNumModels; ++train_m) {
+    for (std::size_t train_m = 0; train_m < trace::kNumMlcModels; ++train_m) {
       const auto model = ml::make_model(ml::ModelKind::kRandomForest);
       const double auc =
           train_m == test_m

@@ -36,11 +36,11 @@ int main() {
   // evaluation set.  Sizing uses the measured incidence per type.
   const auto suite = core::characterize(fleet);
   std::uint64_t total_days = 0;
-  for (trace::DriveModel m : trace::kAllModels)
+  for (trace::DriveModel m : trace::kMlcModels)
     total_days += suite.incidence(m).drive_days;
   const auto positive_keep_for = [&](trace::ErrorType type) {
     std::uint64_t error_days = 0;
-    for (trace::DriveModel m : trace::kAllModels)
+    for (trace::DriveModel m : trace::kMlcModels)
       error_days += suite.incidence(m).error_days[static_cast<std::size_t>(type)];
     const double expected_positives = 2.0 * static_cast<double>(error_days);
     constexpr double kTargetPositives = 4000.0;

@@ -5,6 +5,7 @@
 //   ssdfail_cli convert    --in FILE --out FILE [--to v1|v2|v3] [--chunk N]
 //   ssdfail_cli compact    --wal-dir DIR --store-dir DIR
 //   ssdfail_cli benchmark  --drives N [--lookahead N]
+//   ssdfail_cli transfer   [--drives N | --fleet FILE] [--gate] ...
 //   ssdfail_cli train      --out MODEL.bin [--model forest|logistic] ...
 //   ssdfail_cli serve      --model-file MODEL.bin [--shards K] ...
 //   ssdfail_cli daemon     --wal-dir DIR [--model-file MODEL.bin] ...
@@ -62,6 +63,7 @@
 #include <vector>
 
 #include "core/dataset_builder.hpp"
+#include "core/transfer.hpp"
 #include "daemon/compactor.hpp"
 #include "daemon/daemon.hpp"
 #include "core/fleet_analysis.hpp"
@@ -125,11 +127,18 @@ int usage() {
       stderr,
       "usage:\n"
       "  ssdfail_cli simulate  --drives N [--days N] [--seed S] --out PREFIX\n"
+      "                        [--device-class mlc|hdd|nvme|mixed]\n"
       "                        [--binary | --columnar [--chunk N]]\n"
       "  ssdfail_cli analyze   --in PREFIX [--binary]\n"
       "  ssdfail_cli convert   --in FILE --out FILE [--to v1|v2|v3] [--chunk N]\n"
       "  ssdfail_cli compact   --wal-dir DIR --store-dir DIR [--chunk N] [--keep-wal]\n"
       "  ssdfail_cli benchmark [--drives N] [--lookahead N] [--seed S]\n"
+      "  ssdfail_cli transfer  [--drives N | --fleet FILE] [--days N] [--seed S]\n"
+      "                        [--lookahead N] [--label failure|uncorrectable]\n"
+      "                        [--neg-keep P] [--train-frac F] [--train-ratio R]\n"
+      "                        [--split-seed S] [--model forest|logistic] [--gate]\n"
+      "                        (3x3 train-class x test-class AUC matrix;\n"
+      "                        --gate: exit 3 unless the diagonal dominates)\n"
       "  ssdfail_cli train     --out MODEL.bin [--model forest|logistic]\n"
       "                        [--drives N | --fleet FILE] [--seed S]\n"
       "                        [--lookahead N] [--threads K] [--metrics-out FILE]\n"
@@ -184,6 +193,25 @@ bool write_metrics_out(const std::string& path) {
   return true;
 }
 
+/// Resolve `--device-class mlc|hdd|nvme|mixed` into the fleet's model list.
+/// Default "mlc" keeps every pre-existing CLI invocation bit-identical.
+bool apply_device_class(sim::FleetConfig& cfg, const Args& args) {
+  const std::string klass = args.get("device-class", "mlc");
+  if (klass == "mlc") {
+    // FleetConfig default: the paper's three MLC models.
+  } else if (klass == "hdd") {
+    cfg = cfg.for_class(trace::DeviceClass::kHdd);
+  } else if (klass == "nvme") {
+    cfg = cfg.for_class(trace::DeviceClass::kNvmeSsd);
+  } else if (klass == "mixed") {
+    cfg = cfg.mixed();
+  } else {
+    std::fprintf(stderr, "--device-class must be 'mlc', 'hdd', 'nvme' or 'mixed'\n");
+    return false;
+  }
+  return true;
+}
+
 sim::FleetConfig config_from(const Args& args) {
   sim::FleetConfig cfg;
   cfg.drives_per_model = static_cast<std::uint32_t>(args.get_long("drives", 500));
@@ -197,8 +225,10 @@ sim::FleetConfig config_from(const Args& args) {
 int cmd_simulate(const Args& args) {
   const std::string prefix = args.get("out", "");
   if (prefix.empty()) return usage();
-  const sim::FleetConfig cfg = config_from(args);
-  std::printf("simulating %u drives/model (seed %llu)...\n", cfg.drives_per_model,
+  sim::FleetConfig cfg = config_from(args);
+  if (!apply_device_class(cfg, args)) return 2;
+  std::printf("simulating %u drives/model x %zu models (seed %llu)...\n",
+              cfg.drives_per_model, cfg.models.size(),
               static_cast<unsigned long long>(cfg.seed));
   const trace::FleetTrace fleet = sim::FleetSimulator(cfg).generate_all();
   if (args.flag("columnar")) {
@@ -389,6 +419,111 @@ int cmd_benchmark(const Args& args) {
   const auto ms = core::evaluate_auc(*model, data).auc();
   std::printf("random forest ROC AUC (5-fold drive-partitioned CV): %.3f +- %.3f\n",
               ms.mean, ms.sd);
+  return 0;
+}
+
+/// Cross-device-class transfer matrix (core/transfer.hpp): train on class
+/// A's drives, score class B's held-out drives, for all nine ordered
+/// pairs.  --gate turns the expected structure — diagonal dominance — into
+/// an exit code for CI.
+int cmd_transfer(const Args& args) {
+  sim::FleetConfig cfg = config_from(args);
+  // Defaults are the gate configuration: large enough that every class's
+  // train half holds a stable positive count (NVMe failures are the
+  // scarcest) and the column structure is well clear of split noise.
+  cfg.drives_per_model = static_cast<std::uint32_t>(args.get_long("drives", 800));
+  cfg.keep_ground_truth = true;
+  cfg = cfg.mixed();  // transfer needs every class present
+
+  trace::FleetTrace fleet;
+  const std::string fleet_path = args.get("fleet", "");
+  if (!fleet_path.empty()) {
+    try {
+      std::ifstream in(fleet_path, std::ios::binary);
+      if (!in) throw std::runtime_error("cannot open " + fleet_path);
+      fleet = trace::read_binary(in);
+      std::printf("loaded %zu drives (%zu drive-days) from %s\n", fleet.drives.size(),
+                  fleet.total_records(), fleet_path.c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "transfer: %s\n", e.what());
+      return 1;
+    }
+  } else {
+    std::printf("simulating mixed fleet: %u drives/model x %zu models (seed %llu)...\n",
+                cfg.drives_per_model, cfg.models.size(),
+                static_cast<unsigned long long>(cfg.seed));
+    fleet = sim::FleetSimulator(cfg).generate_all();
+  }
+
+  core::TransferOptions opts;
+  opts.build.lookahead_days = static_cast<int>(args.get_long("lookahead", 10));
+  opts.build.negative_keep_prob =
+      std::strtod(args.get("neg-keep", "0.05").c_str(), nullptr);
+  const std::string label = args.get("label", "failure");
+  if (label == "uncorrectable") {
+    // Error-occurrence label (Table 8 style): positives are dense, but the
+    // UE process is mechanically similar across classes so cross-class
+    // transfer works WELL under this label — useful as a contrast run, not
+    // expected to show diagonal dominance.
+    opts.build.error_label = trace::ErrorType::kUncorrectable;
+    opts.build.positive_keep_prob = 0.5;
+  } else if (label != "failure") {
+    std::fprintf(stderr, "transfer: --label must be 'failure' or 'uncorrectable'\n");
+    return 2;
+  }
+  opts.train_fraction = std::strtod(args.get("train-frac", "0.5").c_str(), nullptr);
+  // Keep several negatives per positive: classes with few positives (NVMe
+  // failures are infant-heavy and scarce) need the extra rows for a stable
+  // forest, and plentiful classes are unaffected in ranking terms.
+  opts.protocol.train_downsample_ratio =
+      std::strtod(args.get("train-ratio", "4").c_str(), nullptr);
+  opts.split_seed = static_cast<std::uint64_t>(args.get_long("split-seed", 77));
+  const std::string kind = args.get("model", "forest");
+  if (kind == "logistic") {
+    opts.model = ml::ModelKind::kLogisticRegression;
+  } else if (kind != "forest") {
+    std::fprintf(stderr, "transfer: --model must be 'forest' or 'logistic'\n");
+    return 2;
+  }
+
+  core::TransferMatrix matrix;
+  try {
+    matrix = core::cross_class_transfer(fleet, opts);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "transfer: %s\n", e.what());
+    return 1;
+  }
+
+  io::TextTable shapes("per-class datasets (drive-partitioned halves)");
+  shapes.set_header({"class", "train rows", "train pos", "eval rows", "eval pos"});
+  for (trace::DeviceClass c : trace::kAllDeviceClasses) {
+    const auto i = static_cast<std::size_t>(c);
+    shapes.add_row({std::string(trace::device_class_name(c)),
+                    std::to_string(matrix.train_rows[i]),
+                    std::to_string(matrix.train_positives[i]),
+                    std::to_string(matrix.eval_rows[i]),
+                    std::to_string(matrix.eval_positives[i])});
+  }
+  shapes.print(std::cout);
+
+  io::TextTable table("transfer ROC AUC: rows = train class, cols = test class");
+  table.set_header({"train \\ test", "mlc-ssd", "hdd", "nvme-ssd"});
+  for (trace::DeviceClass train : trace::kAllDeviceClasses) {
+    std::vector<std::string> row{std::string(trace::device_class_name(train))};
+    for (trace::DeviceClass test : trace::kAllDeviceClasses)
+      row.push_back(io::TextTable::num(matrix.cell(train, test), 4));
+    table.add_row(row);
+  }
+  table.print(std::cout);
+
+  const bool dominant = matrix.diagonal_dominant();
+  std::printf("diagonal (column) dominance: %s\n", dominant ? "HOLDS" : "VIOLATED");
+  if (args.flag("gate") && !dominant) {
+    std::fprintf(stderr,
+                 "transfer: gate failed — for some test class a foreign-trained "
+                 "model matches or beats the same-class model\n");
+    return 3;
+  }
   return 0;
 }
 
@@ -1080,6 +1215,7 @@ int main(int argc, char** argv) {
   if (command == "convert") return cmd_convert(args);
   if (command == "compact") return cmd_compact(args);
   if (command == "benchmark") return cmd_benchmark(args);
+  if (command == "transfer") return cmd_transfer(args);
   if (command == "train") return cmd_train(args);
   if (command == "serve") return cmd_serve(args);
   if (command == "daemon") return cmd_daemon(args);

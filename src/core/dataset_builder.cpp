@@ -212,6 +212,9 @@ template <typename Sink>
 void walk_drive(const trace::DriveHistory& drive, const DatasetBuildOptions& options,
                 Sink&& sink) {
   if (options.model_filter && *options.model_filter != drive.model) return;
+  if (options.class_filter &&
+      trace::device_class(drive.model) != *options.class_filter)
+    return;
   if (options.wants_swap_range()) {
     bool hit = false;
     for (const trace::SwapEvent& s : drive.swaps) {
@@ -321,6 +324,7 @@ ml::Dataset build_dataset(const store::ColumnarFleetView& fleet,
   // granularity, so the surviving row set is identical.
   store::ScanPredicate predicate;
   predicate.model = options.model_filter;
+  predicate.device_class = options.class_filter;
   predicate.min_day = options.min_day;
   predicate.max_day = options.max_day;
   predicate.min_swap_day = options.min_swap_day;
@@ -335,9 +339,12 @@ ml::Dataset build_dataset(const store::ColumnarFleetView& fleet,
     const store::ChunkView& chunk = fleet.chunk(c);
     trace::DriveHistory scratch;
     for (const store::DriveRef& ref : chunk.drives) {
-      // Filter pushdown: the drive index answers the model filter without
-      // touching a single column byte.
+      // Filter pushdown: the drive index answers the model/class filters
+      // without touching a single column byte.
       if (options.model_filter && *options.model_filter != ref.model) continue;
+      if (options.class_filter &&
+          trace::device_class(ref.model) != *options.class_filter)
+        continue;
       // Swap-range drive filter: answered from the chunk's swap slots (the
       // per-drive mirror of the zone-map pruning above).
       if (!swap_range_admits(options,

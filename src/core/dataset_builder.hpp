@@ -55,6 +55,13 @@ struct DatasetBuildOptions {
   /// Restrict to one drive model (Table 7 / Fig 13), or all when empty.
   std::optional<trace::DriveModel> model_filter;
 
+  /// Restrict to the models of one device class (the cross-class transfer
+  /// experiments), or all when empty.  Composes with model_filter by
+  /// intersection.  Maps to store::ScanPredicate::device_class zone-map
+  /// pushdown on columnar builds, so mixed-fleet stores skip whole chunks
+  /// of foreign-class drives without decoding them.
+  std::optional<trace::DeviceClass> class_filter;
+
   /// Restrict rows by drive age at prediction time (Figs 15/16).
   enum class AgeFilter { kAll, kYoungOnly, kOldOnly };
   AgeFilter age_filter = AgeFilter::kAll;

@@ -27,6 +27,14 @@ const std::vector<std::string>& FeatureExtractor::names() {
     n.emplace_back("drive_age_days");
     n.emplace_back("status_read_only");
     n.emplace_back("corr_err_rate");
+    // Class-specific channels (zero outside the owning device class, so
+    // MLC-only datasets just carry constant columns the forest ignores).
+    n.emplace_back("reallocated_sectors");   // HDD, cumulative in the record
+    n.emplace_back("seek_errors");           // HDD, daily
+    n.emplace_back("cum_seek_errors");
+    n.emplace_back("media_wear");            // NVMe, cumulative in the record
+    n.emplace_back("throttle_events");       // NVMe, daily
+    n.emplace_back("cum_throttle_events");
     return n;
   }();
   return kNames;
@@ -51,6 +59,8 @@ void FeatureExtractor::advance(State& state, const trace::DailyRecord& rec) noex
   state.new_bad_blocks_today =
       rec.bad_blocks >= state.prev_bad_blocks ? rec.bad_blocks - state.prev_bad_blocks : 0;
   state.prev_bad_blocks = rec.bad_blocks;
+  state.cum_seek_errors += rec.seek_errors;
+  state.cum_throttle_events += rec.throttle_events;
 }
 
 void FeatureExtractor::extract(const trace::DriveHistory& drive,
@@ -81,6 +91,13 @@ void FeatureExtractor::extract(const trace::DriveHistory& drive,
   const double corr = static_cast<double>(state.cum.error(trace::ErrorType::kCorrectable));
   const double reads = static_cast<double>(state.cum.reads);
   out[i++] = static_cast<float>(corr / std::max(reads, 1.0));
+  // Class-specific channels.
+  out[i++] = static_cast<float>(rec.reallocated_sectors);
+  out[i++] = static_cast<float>(rec.seek_errors);
+  out[i++] = static_cast<float>(state.cum_seek_errors);
+  out[i++] = static_cast<float>(rec.media_wear);
+  out[i++] = static_cast<float>(rec.throttle_events);
+  out[i++] = static_cast<float>(state.cum_throttle_events);
 }
 
 void FeatureExtractor::advance(State& state, const store::ChunkView& chunk,
@@ -96,6 +113,8 @@ void FeatureExtractor::advance(State& state, const store::ChunkView& chunk,
   state.new_bad_blocks_today =
       bad_blocks >= state.prev_bad_blocks ? bad_blocks - state.prev_bad_blocks : 0;
   state.prev_bad_blocks = bad_blocks;
+  state.cum_seek_errors += chunk.seek_errors[row];
+  state.cum_throttle_events += chunk.throttle_events[row];
 }
 
 void FeatureExtractor::extract(std::int32_t deploy_day, const store::ChunkView& chunk,
@@ -122,6 +141,12 @@ void FeatureExtractor::extract(std::int32_t deploy_day, const store::ChunkView& 
   const double corr = static_cast<double>(state.cum.error(trace::ErrorType::kCorrectable));
   const double reads = static_cast<double>(state.cum.reads);
   out[i++] = static_cast<float>(corr / std::max(reads, 1.0));
+  out[i++] = static_cast<float>(chunk.reallocated_sectors[row]);
+  out[i++] = static_cast<float>(chunk.seek_errors[row]);
+  out[i++] = static_cast<float>(state.cum_seek_errors);
+  out[i++] = static_cast<float>(chunk.media_wear[row]);
+  out[i++] = static_cast<float>(chunk.throttle_events[row]);
+  out[i++] = static_cast<float>(state.cum_throttle_events);
 }
 
 const std::vector<std::string>& RollingWindow::names() {

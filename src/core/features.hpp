@@ -34,6 +34,10 @@ class FeatureExtractor {
     std::uint64_t cum_bad_blocks = 0;      ///< latest observed (already cumulative)
     std::uint32_t prev_bad_blocks = 0;     ///< previous record's cumulative count
     std::uint32_t new_bad_blocks_today = 0;///< delta computed by advance()
+    // Class-specific daily channels accumulated over the drive's life
+    // (identically zero outside the owning device class).
+    std::uint64_t cum_seek_errors = 0;     ///< HDD
+    std::uint64_t cum_throttle_events = 0; ///< NVMe
   };
 
   /// Fold one record into the state (call before extract for that record).

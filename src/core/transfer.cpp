@@ -1,0 +1,84 @@
+#include "core/transfer.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "obs/trace_span.hpp"
+#include "stats/rng.hpp"
+
+namespace ssdfail::core {
+
+bool TransferMatrix::diagonal_dominant() const noexcept {
+  // Column dominance only: within each TEST class, the same-class model
+  // must beat every foreign-trained model.  Row comparisons are not part
+  // of the invariant — they compare AUCs across different evaluation
+  // tasks, and some classes are intrinsically easier to predict (HDD's
+  // reallocated-sector ramp makes mlc->hdd routinely beat mlc->mlc; see
+  // EXPERIMENTS.md).
+  for (std::size_t c = 0; c < trace::kNumDeviceClasses; ++c) {
+    for (std::size_t o = 0; o < trace::kNumDeviceClasses; ++o) {
+      if (o == c) continue;
+      if (auc[c][c] <= auc[o][c]) return false;  // foreign model wins column c
+    }
+  }
+  return true;
+}
+
+DriveSplit split_by_drive(const ml::Dataset& data, double train_fraction,
+                          std::uint64_t seed) {
+  if (train_fraction <= 0.0 || train_fraction >= 1.0)
+    throw std::invalid_argument("split_by_drive: train_fraction must be in (0, 1)");
+  // One bernoulli per DRIVE, keyed (seed, uid): every row of a drive lands
+  // on the same side no matter the row order or dataset composition.
+  std::vector<std::size_t> train_idx;
+  std::vector<std::size_t> eval_idx;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const std::uint64_t uid = data.groups[i];
+    const bool train = stats::Rng({seed, uid}).bernoulli(train_fraction);
+    (train ? train_idx : eval_idx).push_back(i);
+  }
+  return {data.subset(train_idx), data.subset(eval_idx)};
+}
+
+TransferMatrix cross_class_transfer(
+    const std::array<ml::Dataset, trace::kNumDeviceClasses>& per_class,
+    const TransferOptions& options) {
+  static const obs::SiteId kSite = obs::intern_site("core.cross_class_transfer");
+  obs::Span span(kSite);
+
+  std::array<DriveSplit, trace::kNumDeviceClasses> splits;
+  TransferMatrix out;
+  for (std::size_t c = 0; c < trace::kNumDeviceClasses; ++c) {
+    splits[c] = split_by_drive(per_class[c], options.train_fraction,
+                               options.split_seed);
+    out.train_rows[c] = splits[c].train.size();
+    out.train_positives[c] = splits[c].train.positives();
+    out.eval_rows[c] = splits[c].eval.size();
+    out.eval_positives[c] = splits[c].eval.positives();
+  }
+
+  // Every cell — diagonal included — trains on the train half and scores
+  // the eval half, so same-class and cross-class AUCs are measured on
+  // exactly the same held-out rows per test class.
+  for (std::size_t train_c = 0; train_c < trace::kNumDeviceClasses; ++train_c) {
+    for (std::size_t test_c = 0; test_c < trace::kNumDeviceClasses; ++test_c) {
+      const auto model = ml::make_model(options.model, options.model_seed);
+      out.auc[train_c][test_c] = transfer_auc(
+          *model, splits[train_c].train, splits[test_c].eval, options.protocol);
+    }
+  }
+  return out;
+}
+
+TransferMatrix cross_class_transfer(const trace::FleetTrace& fleet,
+                                    const TransferOptions& options) {
+  std::array<ml::Dataset, trace::kNumDeviceClasses> per_class;
+  for (trace::DeviceClass c : trace::kAllDeviceClasses) {
+    DatasetBuildOptions opts = options.build;
+    opts.class_filter = c;
+    per_class[static_cast<std::size_t>(c)] = build_dataset(fleet, opts);
+  }
+  return cross_class_transfer(per_class, options);
+}
+
+}  // namespace ssdfail::core

@@ -1,0 +1,84 @@
+#pragma once
+
+// Cross-device-class transfer experiments: train a predictor on one device
+// class (MLC-SSD / HDD / NVMe-SSD), evaluate it on another, for every
+// ordered pair — the heterogeneous-fleet extension of the paper's Table 7
+// cross-MODEL study.  Emitted by `ssdfail_cli transfer` and pinned by the
+// golden suite and the transfer-gate CI job.
+//
+// Leak-free diagonal: every class's dataset is split into train/eval
+// halves PARTITIONED BY DRIVE (deterministic in (split_seed, drive uid),
+// never by row), and every cell — diagonal included — trains on the train
+// half and scores the eval half.  The diagonal is therefore a genuine
+// held-out same-class measurement, comparable to the off-diagonal cells,
+// and the expected structure is DIAGONAL (column) DOMINANCE: for every
+// test class, the same-class model beats any foreign-trained model (the
+// class-specific symptom channels are zero columns in a foreign-class
+// training set, so a transferred model can only lean on the shared
+// error/workload features).  Row comparisons are NOT expected to favor
+// the diagonal — they compare different evaluation tasks, and some
+// classes are intrinsically easier targets (see EXPERIMENTS.md).
+
+#include <array>
+#include <cstddef>
+
+#include "core/dataset_builder.hpp"
+#include "core/prediction.hpp"
+#include "ml/model_zoo.hpp"
+
+namespace ssdfail::core {
+
+struct TransferOptions {
+  /// Dataset construction shared by every class (class_filter is
+  /// overridden per class; leave it empty).
+  DatasetBuildOptions build;
+  EvalProtocol protocol;
+  /// Share of each class's drives assigned to the train half.
+  double train_fraction = 0.5;
+  std::uint64_t split_seed = 77;
+  ml::ModelKind model = ml::ModelKind::kRandomForest;
+  std::uint64_t model_seed = 1;
+};
+
+/// The AUC matrix plus the per-class dataset shapes behind it.
+struct TransferMatrix {
+  /// auc[train][test], indexed by DeviceClass values.
+  std::array<std::array<double, trace::kNumDeviceClasses>,
+             trace::kNumDeviceClasses>
+      auc{};
+  std::array<std::size_t, trace::kNumDeviceClasses> train_rows{};
+  std::array<std::size_t, trace::kNumDeviceClasses> train_positives{};
+  std::array<std::size_t, trace::kNumDeviceClasses> eval_rows{};
+  std::array<std::size_t, trace::kNumDeviceClasses> eval_positives{};
+
+  [[nodiscard]] double cell(trace::DeviceClass train,
+                            trace::DeviceClass test) const noexcept {
+    return auc[static_cast<std::size_t>(train)][static_cast<std::size_t>(test)];
+  }
+
+  /// True when, for every test class, the same-class AUC strictly beats
+  /// every foreign-trained model's AUC on that class (column dominance).
+  [[nodiscard]] bool diagonal_dominant() const noexcept;
+};
+
+/// A drive-partitioned train/eval split (every row of a drive lands on
+/// exactly one side; deterministic in (seed, drive uid)).
+struct DriveSplit {
+  ml::Dataset train;
+  ml::Dataset eval;
+};
+[[nodiscard]] DriveSplit split_by_drive(const ml::Dataset& data,
+                                        double train_fraction,
+                                        std::uint64_t seed);
+
+/// The full 3x3 matrix from per-class datasets (index = DeviceClass value).
+[[nodiscard]] TransferMatrix cross_class_transfer(
+    const std::array<ml::Dataset, trace::kNumDeviceClasses>& per_class,
+    const TransferOptions& options = {});
+
+/// Convenience: build each class's dataset from a mixed fleet (via
+/// class_filter), then run the matrix.
+[[nodiscard]] TransferMatrix cross_class_transfer(
+    const trace::FleetTrace& fleet, const TransferOptions& options = {});
+
+}  // namespace ssdfail::core

@@ -175,6 +175,8 @@ void append_record_payload(std::vector<char>& out, const core::FleetObservation&
   put_u32(out, obs.record.pe_cycles);
   put_u32(out, obs.record.bad_blocks);
   for (std::uint32_t e : obs.record.errors) put_u32(out, e);
+  for (const trace::RecordCounterField& f : trace::kExtCounterFields)
+    put_u32(out, obs.record.*f.field);
 }
 
 core::FleetObservation parse_record_payload(const char* p) {
@@ -194,6 +196,9 @@ core::FleetObservation parse_record_payload(const char* p) {
   obs.record.bad_blocks = get_u32(p + 32);
   for (std::size_t e = 0; e < trace::kNumErrorTypes; ++e)
     obs.record.errors[e] = get_u32(p + 36 + e * 4);
+  for (std::size_t x = 0; x < trace::kNumExtCounterFields; ++x)
+    obs.record.*trace::kExtCounterFields[x].field =
+        get_u32(p + 36 + trace::kNumErrorTypes * 4 + x * 4);
   return obs;
 }
 

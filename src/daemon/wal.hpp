@@ -45,8 +45,10 @@ inline constexpr std::uint32_t kWalMagic = 0x4C415753;    // "SWAL"
 inline constexpr std::uint32_t kWalVersion = 1;
 inline constexpr std::uint32_t kSegmentMarker = 0x5347E57A;
 
-/// Serialized size of one FleetObservation in a records payload.
-inline constexpr std::size_t kWalRecordSize = 76;
+/// Serialized size of one FleetObservation in a records payload: the
+/// original 76 bytes plus one u32 per class-specific extension counter.
+inline constexpr std::size_t kWalRecordSize =
+    76 + 4 * trace::kNumExtCounterFields;
 inline constexpr std::size_t kWalFileHeaderSize = 16;
 inline constexpr std::size_t kWalSegmentHeaderSize = 28;
 /// Upper bound accepted for a segment payload; anything larger is treated

@@ -44,6 +44,10 @@ void FeatureSketches::add_record(const trace::DailyRecord& rec) noexcept {
   col(ZoneColumn::kFlags).add(flags_of(rec));
   for (std::size_t e = 0; e < trace::kNumErrorTypes; ++e)
     columns[static_cast<std::size_t>(ZoneColumn::kError0) + e].add(rec.errors[e]);
+  col(ZoneColumn::kReallocatedSectors).add(rec.reallocated_sectors);
+  col(ZoneColumn::kSeekErrors).add(rec.seek_errors);
+  col(ZoneColumn::kMediaWear).add(rec.media_wear);
+  col(ZoneColumn::kThrottleEvents).add(rec.throttle_events);
   ++rows;
 }
 
@@ -68,6 +72,10 @@ std::string zone_column_name(store::ZoneColumn column) {
     case ZoneColumn::kBadBlocks: return "bad_blocks";
     case ZoneColumn::kFactoryBadBlocks: return "factory_bad_blocks";
     case ZoneColumn::kFlags: return "flags";
+    case ZoneColumn::kReallocatedSectors: return "reallocated_sectors";
+    case ZoneColumn::kSeekErrors: return "seek_errors";
+    case ZoneColumn::kMediaWear: return "media_wear";
+    case ZoneColumn::kThrottleEvents: return "throttle_events";
     case ZoneColumn::kSwapDay: return "swap_day";
     default: break;
   }
@@ -97,6 +105,10 @@ FeatureSketches sketch_fleet(const store::ColumnarFleetView& view) {
       for (std::size_t e = 0; e < trace::kNumErrorTypes; ++e)
         out.columns[static_cast<std::size_t>(ZoneColumn::kError0) + e].add(
             chunk.errors[e][i]);
+      col(ZoneColumn::kReallocatedSectors).add(chunk.reallocated_sectors[i]);
+      col(ZoneColumn::kSeekErrors).add(chunk.seek_errors[i]);
+      col(ZoneColumn::kMediaWear).add(chunk.media_wear[i]);
+      col(ZoneColumn::kThrottleEvents).add(chunk.throttle_events[i]);
       ++out.rows;
     }
     for (const std::int32_t d : chunk.swap_days) out.add_swap_day(d);

@@ -31,6 +31,7 @@ std::string_view fault_name(FaultKind kind) noexcept {
     case FaultKind::kTornWrite: return "torn WAL write";
     case FaultKind::kPartialSegment: return "partial WAL segment";
     case FaultKind::kDuplicateDelivery: return "duplicate WAL delivery";
+    case FaultKind::kClassCounterReset: return "class counter reset";
   }
   return "unknown";
 }
@@ -227,6 +228,7 @@ CorruptedStream FaultInjector::corrupt(std::span<const core::FleetObservation> s
       case FaultKind::kTornWrite:
       case FaultKind::kPartialSegment:
       case FaultKind::kDuplicateDelivery:
+      case FaultKind::kClassCounterReset:
         break;  // history-/WAL-only faults never drawn on streams
     }
   }
@@ -298,6 +300,18 @@ std::optional<trace::ViolationKind> FaultInjector::inject_into_history(
       drive.swaps = {{records.front().day -
                       static_cast<std::int32_t>(rng.uniform_index(3))}};
       return trace::ViolationKind::kSwapBeforeActivity;
+    case FaultKind::kClassCounterReset:
+      // Regress a class-specific cumulative counter — table-driven via the
+      // schema's field list, so a future channel is covered automatically.
+      for (const trace::RecordCounterField& f : trace::kExtCounterFields) {
+        if (!f.cumulative) continue;
+        if (records[k - 1].*f.field == 0) continue;
+        records[k].*f.field =
+            static_cast<std::uint32_t>(rng.uniform_index(records[k - 1].*f.field));
+        return trace::decreasing_kind(f);
+      }
+      throw std::invalid_argument(
+          "inject_into_history: need a growing class-specific counter");
     case FaultKind::kTornWrite:
     case FaultKind::kPartialSegment:
     case FaultKind::kDuplicateDelivery:

@@ -57,9 +57,11 @@ enum class FaultKind : std::uint8_t {
   kTornWrite,          ///< (WAL-only) file cut mid-way through the final segment
   kPartialSegment,     ///< (WAL-only) a segment's tail zeroed (failed page write)
   kDuplicateDelivery,  ///< (WAL-only) a whole segment delivered twice
+  kClassCounterReset,  ///< (history-only) a class-specific cumulative counter
+                       ///< (reallocated sectors / media wear) regressed
 };
 
-inline constexpr std::size_t kNumFaultKinds = 15;
+inline constexpr std::size_t kNumFaultKinds = 16;
 
 [[nodiscard]] std::string_view fault_name(FaultKind kind) noexcept;
 

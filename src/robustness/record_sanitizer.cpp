@@ -131,13 +131,15 @@ SanitizeResult RecordSanitizer::sanitize(std::uint64_t drive_uid,
 
   if (it != drives_.end()) {
     const DriveState& state = it->second;
-    if (repaired.pe_cycles < state.last.pe_cycles) {
-      repaired.pe_cycles = state.last.pe_cycles;  // clamp to last-good cumulative
-      note_repair(trace::ViolationKind::kDecreasingPeCycles);
-    }
-    if (repaired.bad_blocks < state.last.bad_blocks) {
-      repaired.bad_blocks = state.last.bad_blocks;
-      note_repair(trace::ViolationKind::kDecreasingBadBlocks);
+    // Every cumulative counter the schema declares (including the
+    // class-specific channels) clamps to last-good — the field list comes
+    // from trace::kRecordCounterFields, never hard-coded column names.
+    for (const trace::RecordCounterField& f : trace::kRecordCounterFields) {
+      if (!f.cumulative) continue;
+      if (repaired.*f.field < state.last.*f.field) {
+        repaired.*f.field = state.last.*f.field;  // clamp to last-good cumulative
+        note_repair(trace::decreasing_kind(f));
+      }
     }
     if (repaired.factory_bad_blocks != state.factory_bad_blocks) {
       repaired.factory_bad_blocks = state.factory_bad_blocks;  // pin first-seen

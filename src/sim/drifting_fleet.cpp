@@ -27,9 +27,10 @@ DriftingFleetSimulator::DriftingFleetSimulator(DriftingFleetConfig config)
   drifted_per_model_ = static_cast<std::uint32_t>(
       std::ceil(fraction * config_.base.drives_per_model));
   drifted_per_model_ = std::min(drifted_per_model_, config_.base.drives_per_model);
-  for (std::size_t m = 0; m < trace::kNumModels; ++m)
-    drifted_specs_[m] =
-        apply_drift(model_presets()[m], config_.drift, config_.base.window_days);
+  drifted_specs_.reserve(config_.base.models.size());
+  for (trace::DriveModel m : config_.base.models)
+    drifted_specs_.push_back(
+        apply_drift(preset(m), config_.drift, config_.base.window_days));
 }
 
 bool DriftingFleetSimulator::is_drifted(std::size_t flat_index) const noexcept {
@@ -42,8 +43,9 @@ trace::DriveHistory DriftingFleetSimulator::simulate(std::size_t flat_index) con
   const auto model_idx = flat_index / config_.base.drives_per_model;
   const auto drive_idx =
       static_cast<std::uint32_t>(flat_index % config_.base.drives_per_model);
-  const DriveModelSpec& spec =
-      is_drifted(flat_index) ? drifted_specs_[model_idx] : model_presets()[model_idx];
+  const DriveModelSpec& spec = is_drifted(flat_index)
+                                   ? drifted_specs_[model_idx]
+                                   : preset(config_.base.models[model_idx]);
   return simulate_drive(spec, config_.base.seed, drive_idx,
                         config_.base.window_days, config_.base.keep_ground_truth);
 }

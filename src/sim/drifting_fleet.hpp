@@ -66,7 +66,7 @@ class DriftingFleetSimulator {
 
   [[nodiscard]] std::size_t drive_count() const noexcept {
     return static_cast<std::size_t>(config_.base.drives_per_model) *
-           trace::kNumModels;
+           config_.base.models.size();
   }
 
   /// True when the flat index falls in the drifted cohort.
@@ -81,7 +81,7 @@ class DriftingFleetSimulator {
  private:
   DriftingFleetConfig config_;
   std::uint32_t drifted_per_model_ = 0;
-  std::array<DriveModelSpec, trace::kNumModels> drifted_specs_{};
+  std::vector<DriveModelSpec> drifted_specs_;  ///< one per base.models entry
 };
 
 }  // namespace ssdfail::sim

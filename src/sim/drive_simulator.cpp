@@ -33,6 +33,10 @@ struct Latents {
   double ue_day_prob = 0.0;       ///< post-onset UE-day incidence
   double ue_count_mult = 1.0;     ///< defective drives emit huge counts
   bool defective = false;
+  // Class-specific channel latents (sampled only for the spec's own class).
+  double realloc_rate = 0.0;   ///< HDD: drive-specific daily remap rate
+  double wear_rate = 0.0;      ///< NVMe: wear units per write op
+  double throttle_prop = 0.0;  ///< NVMe: per-drive throttle propensity
 };
 
 Latents sample_latents(const DriveModelSpec& spec, std::int32_t window_days, Rng& rng) {
@@ -102,6 +106,22 @@ Latents sample_latents(const DriveModelSpec& spec, std::int32_t window_days, Rng
   lat.ue_day_prob = std::min(
       0.30, uo.post_onset_day_prob * mag * (lat.defective ? uo.defect_rate_mult : 1.0));
   lat.ue_count_mult = lat.defective ? uo.defect_count_mult : 1.0;
+
+  // Class-specific channel latents come LAST and are guarded by device
+  // class, so an MLC drive consumes exactly the pre-extension draw
+  // sequence — every MLC fleet stays bit-identical (golden suite).
+  const trace::DeviceClass cls = trace::device_class(spec.model);
+  if (cls == trace::DeviceClass::kHdd) {
+    const double rs = spec.ext.realloc_sigma_log;
+    lat.realloc_rate =
+        spec.ext.realloc_base_per_day * rng.lognormal(-0.5 * rs * rs, rs);
+  } else if (cls == trace::DeviceClass::kNvmeSsd) {
+    const double wsg = spec.ext.wear_sigma_log;
+    lat.wear_rate =
+        spec.ext.wear_per_1e9_writes / 1e9 * rng.lognormal(-0.5 * wsg * wsg, wsg);
+    const double ts = spec.ext.throttle_sigma_log;
+    lat.throttle_prop = rng.lognormal(-0.5 * ts * ts, ts);
+  }
   return lat;
 }
 
@@ -201,6 +221,8 @@ struct FailureSymptoms {
 struct DriveState {
   double pe_cycles = 0.0;
   std::uint32_t bad_blocks = 0;
+  double realloc_sectors = 0.0;  ///< HDD cumulative remaps
+  double media_wear = 0.0;       ///< NVMe cumulative wear units
 };
 
 /// Generate one operational day and (maybe) append its record.
@@ -359,6 +381,57 @@ void generate_day(const DriveModelSpec& spec, const Latents& lat, const ErrorRat
   rec.read_only = rng.bernoulli(ro_prob);
   rec.dead = false;
 
+  // --- Class-specific channels.  MLC drives take neither branch and
+  // consume NO extra draws (bit-identity of pre-extension fleets). ---
+  const trace::DeviceClass cls = trace::device_class(spec.model);
+  if (cls == trace::DeviceClass::kHdd) {
+    const ExtChannelSpec& xs = spec.ext;
+    // Reallocated sectors: background remapping accelerates with surface
+    // age and bursts before a symptomatic failure (the HDD analogue of the
+    // bad-block ramp).
+    double remap_mean =
+        lat.realloc_rate *
+        std::pow(std::max<double>(age, 1.0) / 365.0, xs.realloc_age_exp);
+    if (days_to_fail != kNoFailure && !symptoms.fully_silent)
+      remap_mean += xs.realloc_ramp_day0 *
+                    std::exp(-static_cast<double>(days_to_fail) / xs.realloc_ramp_tau);
+    if (remap_mean > 0.0)
+      st.realloc_sectors += static_cast<double>(rng.poisson(remap_mean));
+    rec.reallocated_sectors = clamp_count(st.realloc_sectors);
+    // Seek errors: daily incidence channel riding the symptom ramp.
+    const double seek_rate = xs.seek_day_prob + ramp_prob * xs.seek_ramp_weight;
+    if (rng.bernoulli(std::min(seek_rate, 0.9))) {
+      double count = rng.lognormal(xs.seek_count_mu_log, xs.seek_count_sigma_log);
+      count *= 1.0 + (count_mult - 1.0) * xs.seek_ramp_weight;
+      rec.seek_errors = std::max<std::uint32_t>(1, clamp_count(count));
+    }
+  } else if (cls == trace::DeviceClass::kNvmeSsd) {
+    const ExtChannelSpec& xs = spec.ext;
+    // Media wearout: deterministic in the written volume given the
+    // per-drive wear-rate latent.
+    st.media_wear += writes * lat.wear_rate;
+    rec.media_wear = clamp_count(st.media_wear);
+    // Thermal throttling: superlinear in the relative daily write load,
+    // plus a share of the pre-failure ramp (controllers throttle failing
+    // media aggressively).
+    const double rel_load = writes / ws.write_base_per_day;
+    double throttle_rate =
+        xs.throttle_day_prob * lat.throttle_prop *
+        std::pow(std::max(rel_load, 1e-3), xs.throttle_workload_exp);
+    throttle_rate += ramp_prob * xs.throttle_ramp_weight;
+    // Class-specific pre-failure burst with its own (longer) timescale —
+    // failing NVMe controllers throttle for a week-plus, not just the
+    // final days the shared ramp covers.
+    if (days_to_fail != kNoFailure && !symptoms.fully_silent)
+      throttle_rate += xs.throttle_ramp_day0 *
+                       std::exp(-static_cast<double>(days_to_fail) / xs.throttle_ramp_tau);
+    if (rng.bernoulli(std::min(throttle_rate, 0.9))) {
+      double count = rng.lognormal(xs.throttle_count_mu_log, xs.throttle_count_sigma_log);
+      count *= 1.0 + (count_mult - 1.0) * xs.throttle_ramp_weight;
+      rec.throttle_events = std::max<std::uint32_t>(1, clamp_count(count));
+    }
+  }
+
   if (rng.bernoulli(spec.deploy.report_probability)) out.records.push_back(rec);
 }
 
@@ -442,6 +515,11 @@ trace::DriveHistory simulate_drive(const DriveModelSpec& spec, std::uint64_t see
       rec.pe_cycles = static_cast<std::uint32_t>(st.pe_cycles);
       rec.bad_blocks = st.bad_blocks;
       rec.factory_bad_blocks = lat.factory_bad_blocks;
+      // Cumulative class channels stay frozen at their last value through
+      // limbo (zero for MLC), like pe_cycles/bad_blocks above — otherwise
+      // a limbo record would violate the non-decreasing invariant.
+      rec.reallocated_sectors = clamp_count(st.realloc_sectors);
+      rec.media_wear = clamp_count(st.media_wear);
       rec.dead = rng.bernoulli(ss.dead_flag_prob);
       if (rng.bernoulli(spec.deploy.report_probability)) out.records.push_back(rec);
     }

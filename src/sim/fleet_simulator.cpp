@@ -39,7 +39,7 @@ FleetConfig FleetConfig::from_env() {
 trace::DriveHistory FleetSimulator::simulate(std::size_t flat_index) const {
   const auto model_idx = flat_index / config_.drives_per_model;
   const auto drive_idx = static_cast<std::uint32_t>(flat_index % config_.drives_per_model);
-  const DriveModelSpec& spec = model_presets()[model_idx];
+  const DriveModelSpec& spec = preset(config_.models[model_idx]);
   trace::DriveHistory drive = simulate_drive(spec, config_.seed, drive_idx,
                                              config_.window_days,
                                              config_.keep_ground_truth);

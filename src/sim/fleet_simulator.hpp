@@ -10,6 +10,8 @@
 // suitable for small configurations (tests, examples).
 
 #include <cstdint>
+#include <utility>
+#include <vector>
 
 #include "parallel/thread_pool.hpp"
 #include "sim/drive_simulator.hpp"
@@ -24,24 +26,48 @@ struct FleetConfig {
   std::int32_t window_days = kDefaultWindowDays;
   std::uint64_t seed = 2019;
   bool keep_ground_truth = true;
+  /// Which models make up the fleet, in flat-index order.  Defaults to the
+  /// three MLC study models so every pre-extension fleet (golden pins,
+  /// calibration suites, benches) is bit-identical; heterogeneous fleets
+  /// append Hdd/Nvme or restrict to one class.  A drive's rng stream
+  /// depends only on (seed, model, drive_index), never on fleet
+  /// composition, so the same drive is identical in any fleet containing
+  /// its model.
+  std::vector<trace::DriveModel> models{trace::kMlcModels.begin(),
+                                        trace::kMlcModels.end()};
 
   /// Default sizing honoring the SSDFAIL_DRIVES_PER_MODEL env override.
   [[nodiscard]] static FleetConfig from_env();
+
+  /// This config restricted to the models of one device class.
+  [[nodiscard]] FleetConfig for_class(trace::DeviceClass c) const {
+    FleetConfig cfg = *this;
+    cfg.models = trace::models_of_class(c);
+    return cfg;
+  }
+
+  /// This config spanning every model of every class (mixed fleet).
+  [[nodiscard]] FleetConfig mixed() const {
+    FleetConfig cfg = *this;
+    cfg.models.assign(trace::kAllModels.begin(), trace::kAllModels.end());
+    return cfg;
+  }
 };
 
 class FleetSimulator {
  public:
-  explicit FleetSimulator(FleetConfig config) : config_(config) {}
+  explicit FleetSimulator(FleetConfig config) : config_(std::move(config)) {}
 
   [[nodiscard]] const FleetConfig& config() const noexcept { return config_; }
 
-  /// Total number of drives across all three models.
+  /// Total number of drives across the configured models.
   [[nodiscard]] std::size_t drive_count() const noexcept {
-    return static_cast<std::size_t>(config_.drives_per_model) * trace::kNumModels;
+    return static_cast<std::size_t>(config_.drives_per_model) *
+           config_.models.size();
   }
 
   /// Simulate the drive with the given flat index in [0, drive_count()).
-  /// Index layout: model-major (all MLC-A, then MLC-B, then MLC-D).
+  /// Index layout: model-major, in config().models order.
   [[nodiscard]] trace::DriveHistory simulate(std::size_t flat_index) const;
 
   /// Parallel visitation: `make()` builds a per-worker accumulator,

@@ -91,11 +91,122 @@ DriveModelSpec make_mlc_d() {
   return s;
 }
 
+// HDD-E: calibrated to Pinciroli et al.'s HDD population (PAPERS.md).
+// HDDs show a much FLATTER bathtub than flash — infant mortality exists
+// but is mild (boost ~2x over a ~2-month tail) while the mature hazard
+// stays comparable to the worse MLC models (mechanical wear never
+// plateaus the way flash early-life defects do).  Flash-specific
+// telemetry (erases, P/E cycles) degenerates to zero; the class-specific
+// reallocated-sector and seek-error channels carry the symptom signal.
+DriveModelSpec make_hdd() {
+  DriveModelSpec s;
+  s.model = trace::DriveModel::Hdd;
+  fill_common_errors(s);
+  // HDD ECC corrects less traffic per read than flash controllers report.
+  err(s, ErrorType::kCorrectable).base_day_prob = 0.45;
+  // No erase operations, no erase errors on spinning media.
+  err(s, ErrorType::kErase).base_day_prob = 0.0;
+  err(s, ErrorType::kWrite).base_day_prob = 2.4e-4;
+  err(s, ErrorType::kRead).base_day_prob = 1.6e-4;
+  // Flatter bathtub: ~2x infant boost decaying over two months, mature
+  // hazard between MLC-A's and MLC-D's.
+  s.failure.mature_hazard_per_day = 2.8e-5;
+  s.failure.infant_boost = 2.2;
+  s.failure.infant_tau_days = 60.0;
+  // HDD op counts are orders of magnitude below flash page ops; the
+  // absurd pages_per_erase_block sends erases (and with them P/E cycles)
+  // to exactly zero without touching the shared workload machinery.
+  s.workload.write_base_per_day = 2.5e7;
+  s.workload.read_write_ratio = 2.4;
+  s.workload.young_factor = 0.60;
+  s.workload.ramp_days = 365;
+  s.workload.pages_per_erase_block = 1e12;
+  s.workload.erase_blocks = 1.0;
+  // Latent sector errors surface later and rarer than flash UEs.
+  s.ue_onset.onset_mean_days = 7000.0;
+  s.ue_onset.post_onset_day_prob = 0.008;
+  s.repair.return_probability = 0.47;
+  s.repair.knot_days = {1, 10, 30, 100, 365, 730, 1095, 1770};
+  s.repair.bin_mass = {0.10, 0.06, 0.08, 0.25, 0.30, 0.13, 0.08};
+  // Class channels: slow background remapping that accelerates with age
+  // and bursts before failure; seek errors as a daily incidence channel
+  // riding the shared symptom ramp.
+  s.ext.realloc_base_per_day = 0.035;
+  s.ext.realloc_sigma_log = 1.1;
+  s.ext.realloc_age_exp = 0.7;
+  s.ext.realloc_ramp_day0 = 20.0;
+  s.ext.realloc_ramp_tau = 10.0;
+  s.ext.seek_day_prob = 2.5e-3;
+  s.ext.seek_ramp_weight = 0.45;
+  s.ext.seek_count_mu_log = 1.1;
+  s.ext.seek_count_sigma_log = 0.9;
+  return s;
+}
+
+// NVME-F: calibrated to Pinciroli et al.'s NVMe/SSD population (PAPERS.md).
+// Much STEEPER infancy than MLC — early-life firmware/flash defects drive
+// a ~14x hazard boost that burns off within a month — over a low mature
+// hazard.  Media wearout accrues with written volume; thermal throttling
+// is the NVMe-specific daily symptom channel.
+DriveModelSpec make_nvme() {
+  DriveModelSpec s;
+  s.model = trace::DriveModel::Nvme;
+  fill_common_errors(s);
+  err(s, ErrorType::kCorrectable).base_day_prob = 0.80;
+  err(s, ErrorType::kWrite).base_day_prob = 1.9e-4;
+  err(s, ErrorType::kRead).base_day_prob = 1.0e-4;
+  // Steep infancy over a mature hazard at the healthy end of the MLC range.
+  s.failure.mature_hazard_per_day = 3.0e-5;
+  s.failure.infant_boost = 14.0;
+  s.failure.infant_tau_days = 28.0;
+  // The NVMe controller masks the media-error cascade that precedes raw
+  // MLC failures: fewer failures exhibit the UE ramp, the bad-block burst
+  // is mostly absorbed by over-provisioning, and read-only fallback is
+  // rare.  Pre-failure signal concentrates in the class-specific wear and
+  // throttle channels instead — which is what gives the transfer matrix
+  // its column structure (a foreign-trained model never saw those
+  // columns, see EXPERIMENTS.md).
+  s.failure.ue_channel_young = 0.30;
+  s.failure.ue_channel_old = 0.25;
+  s.ramp.bb_rate_day0 = 0.25;
+  s.ramp.read_only_prob_day0 = 0.05;
+  s.workload.write_base_per_day = 1.9e8;
+  s.workload.read_write_ratio = 1.4;
+  s.workload.young_factor = 0.50;
+  s.workload.erase_blocks = 5.0e5;
+  s.ue_onset.post_onset_day_prob = 0.010;
+  s.repair.return_probability = 0.52;
+  s.repair.knot_days = {1, 10, 30, 100, 365, 730, 1095, 1770};
+  s.repair.bin_mass = {0.20, 0.10, 0.10, 0.25, 0.20, 0.10, 0.05};
+  // Class channels: wear units per written volume with per-drive spread;
+  // throttle days scale superlinearly with relative daily write load.
+  s.ext.wear_per_1e9_writes = 2.6;
+  s.ext.wear_sigma_log = 0.45;
+  // Background throttling is rare (cool racks), so the cumulative throttle
+  // count stays near zero on healthy drives and the pre-failure burst
+  // stands out in both the daily and the cumulative feature.
+  s.ext.throttle_day_prob = 2.5e-3;
+  s.ext.throttle_workload_exp = 1.2;
+  s.ext.throttle_sigma_log = 0.8;
+  // Strong pre-failure coupling: failing NVMe controllers throttle on most
+  // of their final days.  The burst has its own week-scale timescale
+  // (throttle_ramp_day0/tau) — the shared RampSpec decays within ~3 days,
+  // invisible at a 7-10 day lookahead.  This is the class-specific signal
+  // that lets an NVMe-trained model hold its transfer-matrix column
+  // against foreign models leaning on the shared flash features.
+  s.ext.throttle_ramp_weight = 0.80;
+  s.ext.throttle_ramp_day0 = 0.85;
+  s.ext.throttle_ramp_tau = 14.0;
+  s.ext.throttle_count_mu_log = 1.3;
+  s.ext.throttle_count_sigma_log = 0.8;
+  return s;
+}
+
 }  // namespace
 
 const std::array<DriveModelSpec, trace::kNumModels>& model_presets() {
   static const std::array<DriveModelSpec, trace::kNumModels> presets = {
-      make_mlc_a(), make_mlc_b(), make_mlc_d()};
+      make_mlc_a(), make_mlc_b(), make_mlc_d(), make_hdd(), make_nvme()};
   return presets;
 }
 

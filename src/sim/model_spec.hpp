@@ -1,11 +1,14 @@
 #pragma once
 
-// Generative model parameters for one drive model (MLC-A/B/D).
+// Generative model parameters for one drive model.
 //
-// Every number here is calibrated against a *published* statistic of the
-// paper; the comment on each field names its calibration target.  The
-// presets in model_presets() encode the three MLC models; tests in
-// tests/sim assert the generated fleet matches the targets.
+// Every number here is calibrated against a *published* statistic: the MLC
+// presets against the source paper (comments name the table/figure), the
+// HDD and NVMe presets against Pinciroli et al.'s field study of SSD/HDD
+// lifecycles (PAPERS.md).  The presets in model_presets() encode all five
+// models; tests in tests/sim assert the generated fleets match the targets
+// (tests/sim/test_fleet_calibration.cpp for MLC,
+// tests/sim/test_device_classes.cpp for HDD/NVMe).
 
 #include <array>
 #include <cstdint>
@@ -194,6 +197,40 @@ struct RepairSpec {
   std::array<double, kKnots> bin_mass{};       ///< conditional P(bin | returns)
 };
 
+/// Class-specific telemetry channels: HDD reallocated-sector/seek-error
+/// and NVMe media-wear/thermal-throttle processes.  Only the fields of the
+/// spec's own device class are ever read, and the simulator consumes NO
+/// rng draws for another class's channels — which is what keeps every
+/// pre-extension MLC fleet bit-identical (pinned by the golden suite).
+struct ExtChannelSpec {
+  // --- HDD: reallocated sectors (cumulative remaps). ---
+  double realloc_base_per_day = 0.0;  ///< mean daily remaps, healthy mature drive
+  double realloc_sigma_log = 0.0;     ///< per-drive lognormal rate spread
+  double realloc_age_exp = 0.0;       ///< rate multiplier (age/365)^exp (surface wear)
+  double realloc_ramp_day0 = 0.0;     ///< added daily remaps at days-to-failure 0
+  double realloc_ramp_tau = 8.0;      ///< decay (days) of the pre-failure remap burst
+  // --- HDD: seek errors (daily incidence channel). ---
+  double seek_day_prob = 0.0;         ///< marginal seek-error-day incidence
+  double seek_ramp_weight = 0.0;      ///< share of the symptom ramp added to it
+  double seek_count_mu_log = 0.0;     ///< log-median of per-day counts
+  double seek_count_sigma_log = 1.0;
+  // --- NVMe: media wearout (cumulative, write-driven). ---
+  double wear_per_1e9_writes = 0.0;   ///< wear units accrued per 1e9 write ops
+  double wear_sigma_log = 0.0;        ///< per-drive wear-rate lognormal spread
+  // --- NVMe: thermal throttle events (daily incidence channel). ---
+  double throttle_day_prob = 0.0;     ///< marginal throttle-day incidence
+  double throttle_workload_exp = 0.0; ///< exponent on relative daily write load
+  double throttle_sigma_log = 0.0;    ///< per-drive propensity lognormal spread
+  double throttle_ramp_weight = 0.0;  ///< share of the symptom ramp added
+  /// Absolute pre-failure throttle ramp (mirrors realloc_ramp_day0): the
+  /// shared RampSpec decays within ~3 days, far too late for a week-level
+  /// lookahead, so the class channel carries its own longer-lived burst.
+  double throttle_ramp_day0 = 0.0;    ///< added throttle-day prob at days-to-failure 0
+  double throttle_ramp_tau = 10.0;    ///< decay (days) of that burst
+  double throttle_count_mu_log = 0.0;
+  double throttle_count_sigma_log = 0.8;
+};
+
 /// Everything needed to generate one drive model's fleet.
 struct DriveModelSpec {
   trace::DriveModel model = trace::DriveModel::MlcA;
@@ -207,10 +244,11 @@ struct DriveModelSpec {
   RepairSpec repair;
   UeOnsetSpec ue_onset;
   GlitchSpec glitch;
+  ExtChannelSpec ext;
   std::array<ErrorTypeSpec, trace::kNumErrorTypes> errors{};
 };
 
-/// Calibrated presets for MLC-A, MLC-B, MLC-D (indexed by DriveModel).
+/// Calibrated presets for every DriveModel (indexed by DriveModel).
 [[nodiscard]] const std::array<DriveModelSpec, trace::kNumModels>& model_presets();
 
 /// Preset for one model.

@@ -157,6 +157,9 @@ bool ChunkZoneMap::may_match(const ScanPredicate& pred) const noexcept {
   if (pred.model &&
       (model_mask & (1u << static_cast<std::uint32_t>(*pred.model))) == 0)
     return false;
+  if (pred.device_class &&
+      (model_mask & trace::class_model_mask(*pred.device_class)) == 0)
+    return false;
   if (pred.wants_swaps() && n_swaps == 0) return false;
   if (stats_valid) {
     const ColumnStats& day = stats(ZoneColumn::kDay);
@@ -267,6 +270,11 @@ void write_columnar(std::ostream& out, const trace::FleetTrace& fleet,
         for_each_record(
             [&](const trace::DailyRecord& r) { put<std::uint32_t>(chunk, r.errors[e]); });
       }
+      for (const trace::RecordCounterField& f : trace::kExtCounterFields) {
+        pad8(chunk);
+        for_each_record(
+            [&](const trace::DailyRecord& r) { put<std::uint32_t>(chunk, r.*f.field); });
+      }
       pad8(chunk);
       for (std::size_t d = first; d < last; ++d)
         for (const trace::SwapEvent& s : fleet.drives[d].swaps)
@@ -318,6 +326,12 @@ void write_columnar(std::ostream& out, const trace::FleetTrace& fleet,
         gather([&](const trace::DailyRecord& r) { return std::uint64_t{r.errors[e]}; });
         emit_frame(4, static_cast<ZoneColumn>(
                           static_cast<std::size_t>(ZoneColumn::kError0) + e));
+      }
+      for (std::size_t x = 0; x < trace::kNumExtCounterFields; ++x) {
+        const trace::RecordCounterField& f = trace::kExtCounterFields[x];
+        gather([&](const trace::DailyRecord& r) { return std::uint64_t{r.*f.field}; });
+        emit_frame(4, static_cast<ZoneColumn>(
+                          static_cast<std::size_t>(ZoneColumn::kReallocatedSectors) + x));
       }
       scratch.clear();
       for (std::size_t d = first; d < last; ++d)
@@ -392,6 +406,10 @@ trace::DailyRecord ChunkView::record(std::size_t row) const {
   r.read_only = (f & 1) != 0;
   r.dead = (f & 2) != 0;
   for (std::size_t e = 0; e < trace::kNumErrorTypes; ++e) r.errors[e] = errors[e][row];
+  r.reallocated_sectors = reallocated_sectors[row];
+  r.seek_errors = seek_errors[row];
+  r.media_wear = media_wear[row];
+  r.throttle_events = throttle_events[row];
   return r;
 }
 
@@ -422,6 +440,14 @@ void ChunkView::gather_drive(const DriveRef& ref, trace::DriveHistory& out) cons
   for (std::size_t e = 0; e < trace::kNumErrorTypes; ++e)
     for (std::size_t i = 0; i < ref.row_count; ++i)
       recs[i].errors[e] = errors[e][rb + i];
+  for (std::size_t i = 0; i < ref.row_count; ++i)
+    recs[i].reallocated_sectors = reallocated_sectors[rb + i];
+  for (std::size_t i = 0; i < ref.row_count; ++i)
+    recs[i].seek_errors = seek_errors[rb + i];
+  for (std::size_t i = 0; i < ref.row_count; ++i)
+    recs[i].media_wear = media_wear[rb + i];
+  for (std::size_t i = 0; i < ref.row_count; ++i)
+    recs[i].throttle_events = throttle_events[rb + i];
   out.swaps.resize(ref.swap_count);
   for (std::size_t i = 0; i < ref.swap_count; ++i)
     out.swaps[i].day = swap_days[ref.swap_begin + i];
@@ -443,6 +469,7 @@ struct LazyChunk {
   std::vector<std::uint16_t> factory_bad_blocks;
   std::vector<std::uint8_t> flags;
   std::array<std::vector<std::uint32_t>, trace::kNumErrorTypes> errors;
+  std::array<std::vector<std::uint32_t>, trace::kNumExtCounterFields> ext;
   std::vector<std::int32_t> swap_days;
 };
 
@@ -523,6 +550,10 @@ void ColumnarFleetView::Impl::ensure_decoded(std::size_t index) const {
       read_frame(n, 4, false);
       narrow(lc.errors[e]);
     }
+    for (std::size_t x = 0; x < trace::kNumExtCounterFields; ++x) {
+      read_frame(n, 4, false);
+      narrow(lc.ext[x]);
+    }
     read_frame(static_cast<std::size_t>(lc.n_swaps), 4, true);
     narrow(lc.swap_days);
     cur.align8();
@@ -539,6 +570,10 @@ void ColumnarFleetView::Impl::ensure_decoded(std::size_t index) const {
     view.flags = lc.flags;
     for (std::size_t e = 0; e < trace::kNumErrorTypes; ++e)
       view.errors[e] = lc.errors[e];
+    view.reallocated_sectors = lc.ext[0];
+    view.seek_errors = lc.ext[1];
+    view.media_wear = lc.ext[2];
+    view.throttle_events = lc.ext[3];
     view.swap_days = lc.swap_days;
     chunks_read_counter().inc();
   });
@@ -698,6 +733,10 @@ void ColumnarFleetView::Impl::parse(const OpenOptions& options) {
       view.flags = cur.column<std::uint8_t>(n);
       for (std::size_t err = 0; err < trace::kNumErrorTypes; ++err)
         view.errors[err] = cur.column<std::uint32_t>(n);
+      view.reallocated_sectors = cur.column<std::uint32_t>(n);
+      view.seek_errors = cur.column<std::uint32_t>(n);
+      view.media_wear = cur.column<std::uint32_t>(n);
+      view.throttle_events = cur.column<std::uint32_t>(n);
       view.swap_days = cur.column<std::int32_t>(static_cast<std::size_t>(n_swaps));
       if (end - cur.pos() >= 8) fail("chunk has trailing garbage");
       chunks_read_counter().inc();

@@ -79,7 +79,12 @@ enum class ZoneColumn : std::size_t {
   kFactoryBadBlocks,
   kFlags,
   kError0,  // kError0 + e for trace::ErrorType e
-  kSwapDay = kError0 + trace::kNumErrorTypes,
+  // Class-specific channels (trace::kExtCounterFields, same order).
+  kReallocatedSectors = kError0 + trace::kNumErrorTypes,
+  kSeekErrors,
+  kMediaWear,
+  kThrottleEvents,
+  kSwapDay,
 };
 inline constexpr std::size_t kNumZoneColumns =
     static_cast<std::size_t>(ZoneColumn::kSwapDay) + 1;
@@ -95,6 +100,9 @@ struct ColumnStats {
 /// is conjunctive; an empty predicate matches everything.
 struct ScanPredicate {
   std::optional<trace::DriveModel> model;      ///< only drives of this model
+  /// Only drives whose model belongs to this device class (prunes via the
+  /// chunk model mask, like `model`; both set = intersection).
+  std::optional<trace::DeviceClass> device_class;
   std::optional<std::int32_t> min_day;         ///< rows with day >= min_day
   std::optional<std::int32_t> max_day;         ///< rows with day <= max_day
   bool with_swaps_only = false;                ///< only drives with swap events
@@ -172,6 +180,10 @@ struct ChunkView {
   std::span<const std::uint16_t> factory_bad_blocks;
   std::span<const std::uint8_t> flags;  ///< bit 0: read_only, bit 1: dead
   std::array<std::span<const std::uint32_t>, trace::kNumErrorTypes> errors;
+  std::span<const std::uint32_t> reallocated_sectors;
+  std::span<const std::uint32_t> seek_errors;
+  std::span<const std::uint32_t> media_wear;
+  std::span<const std::uint32_t> throttle_events;
   std::span<const std::int32_t> swap_days;
 
   /// Gather one row back into a DailyRecord struct.

@@ -17,9 +17,6 @@ namespace {
 
 constexpr char kMagic[4] = {'S', 'S', 'D', 'F'};
 
-/// v1 wire size of one DailyRecord (packed, no padding).
-constexpr std::size_t kRecordWireBytes = 67;
-
 /// Records decoded per buffered block read.  Bounds both the read buffer
 /// (~536 KiB) and the `reserve` on untrusted record counts, so a corrupt
 /// count hits "truncated stream" before it can trigger a huge allocation.
@@ -68,6 +65,8 @@ void put_record(std::ostream& out, const DailyRecord& r) {
   put<std::uint8_t>(out, static_cast<std::uint8_t>((r.read_only ? 1 : 0) |
                                                    (r.dead ? 2 : 0)));
   for (std::uint32_t e : r.errors) put<std::uint32_t>(out, e);
+  for (const RecordCounterField& f : kExtCounterFields)
+    put<std::uint32_t>(out, r.*f.field);
 }
 
 DailyRecord decode_record(const char*& p) {
@@ -83,6 +82,8 @@ DailyRecord decode_record(const char*& p) {
   r.read_only = (flags & 1) != 0;
   r.dead = (flags & 2) != 0;
   for (std::uint32_t& e : r.errors) e = load<std::uint32_t>(p);
+  for (const RecordCounterField& f : kExtCounterFields)
+    r.*f.field = load<std::uint32_t>(p);
   return r;
 }
 

@@ -6,8 +6,8 @@
 // large fleets.  Three on-disk versions share the "SSDF" magic:
 //
 //   v1 — row format: drives one after another, each a header plus a run of
-//        67-byte DailyRecord structs (~70 bytes per drive-day versus ~200
-//        for CSV, and no parsing).
+//        kRecordWireBytes-byte DailyRecord structs (~86 bytes per
+//        drive-day versus ~200 for CSV, and no parsing).
 //   v2 — the chunked columnar store (store/columnar.hpp): per-field
 //        columns, per-chunk CRC32, mmap-friendly.  Written via
 //        write_binary_v2; read_binary auto-detects it and materializes the
@@ -28,6 +28,10 @@ namespace ssdfail::trace {
 
 /// Row (v1) binary format version.
 inline constexpr std::uint32_t kBinaryFormatVersion = 1;
+
+/// Serialized size of one v1 DailyRecord: the 67-byte core plus one u32
+/// per class-specific extension counter (kExtCounterFields).
+inline constexpr std::size_t kRecordWireBytes = 67 + 4 * kNumExtCounterFields;
 
 /// Columnar (v2) binary format version; mirrors store::kColumnarVersion.
 inline constexpr std::uint32_t kColumnarFormatVersion = 2;

@@ -7,8 +7,26 @@ std::string_view model_name(DriveModel m) noexcept {
     case DriveModel::MlcA: return "MLC-A";
     case DriveModel::MlcB: return "MLC-B";
     case DriveModel::MlcD: return "MLC-D";
+    case DriveModel::Hdd: return "HDD-E";
+    case DriveModel::Nvme: return "NVME-F";
   }
   return "MLC-?";
+}
+
+std::string_view device_class_name(DeviceClass c) noexcept {
+  switch (c) {
+    case DeviceClass::kMlcSsd: return "mlc-ssd";
+    case DeviceClass::kHdd: return "hdd";
+    case DeviceClass::kNvmeSsd: return "nvme-ssd";
+  }
+  return "unknown";
+}
+
+std::vector<DriveModel> models_of_class(DeviceClass c) {
+  std::vector<DriveModel> out;
+  for (DriveModel m : kAllModels)
+    if (device_class(m) == c) out.push_back(m);
+  return out;
 }
 
 std::string_view error_name(ErrorType e) noexcept {

@@ -9,17 +9,65 @@
 #include <array>
 #include <cstdint>
 #include <string_view>
+#include <vector>
 
 namespace ssdfail::trace {
 
-/// The three MLC drive models of the study.
-enum class DriveModel : std::uint8_t { MlcA = 0, MlcB = 1, MlcD = 2 };
+/// The three MLC drive models of the study, plus the HDD and NVMe device
+/// classes of the heterogeneous-fleet extension (calibrated to Pinciroli
+/// et al., "The Life and Death of SSDs and HDDs" — see PAPERS.md).
+enum class DriveModel : std::uint8_t {
+  MlcA = 0,
+  MlcB = 1,
+  MlcD = 2,
+  Hdd = 3,
+  Nvme = 4,
+};
 
-inline constexpr std::size_t kNumModels = 3;
+inline constexpr std::size_t kNumModels = 5;
 inline constexpr std::array<DriveModel, kNumModels> kAllModels = {
+    DriveModel::MlcA, DriveModel::MlcB, DriveModel::MlcD, DriveModel::Hdd,
+    DriveModel::Nvme};
+
+/// The original MLC study models (the paper's Tables 1-8 universe).  Code
+/// reproducing a paper table iterates these; fleet-composition defaults
+/// stay MLC-only so every pre-extension artifact is bit-identical.
+inline constexpr std::size_t kNumMlcModels = 3;
+inline constexpr std::array<DriveModel, kNumMlcModels> kMlcModels = {
     DriveModel::MlcA, DriveModel::MlcB, DriveModel::MlcD};
 
 [[nodiscard]] std::string_view model_name(DriveModel m) noexcept;
+
+/// Coarse hardware class of a drive model.  Each class carries its own
+/// hazard shape and its own telemetry channels (the class-specific
+/// DailyRecord fields below).
+enum class DeviceClass : std::uint8_t { kMlcSsd = 0, kHdd = 1, kNvmeSsd = 2 };
+
+inline constexpr std::size_t kNumDeviceClasses = 3;
+inline constexpr std::array<DeviceClass, kNumDeviceClasses> kAllDeviceClasses = {
+    DeviceClass::kMlcSsd, DeviceClass::kHdd, DeviceClass::kNvmeSsd};
+
+[[nodiscard]] constexpr DeviceClass device_class(DriveModel m) noexcept {
+  switch (m) {
+    case DriveModel::Hdd: return DeviceClass::kHdd;
+    case DriveModel::Nvme: return DeviceClass::kNvmeSsd;
+    default: return DeviceClass::kMlcSsd;
+  }
+}
+
+[[nodiscard]] std::string_view device_class_name(DeviceClass c) noexcept;
+
+/// Models belonging to one device class, in kAllModels order.
+[[nodiscard]] std::vector<DriveModel> models_of_class(DeviceClass c);
+
+/// Bitmask over model ids (1 << model) of the models in class `c` —
+/// directly comparable against a store chunk's model_mask.
+[[nodiscard]] constexpr std::uint32_t class_model_mask(DeviceClass c) noexcept {
+  std::uint32_t mask = 0;
+  for (DriveModel m : kAllModels)
+    if (device_class(m) == c) mask |= 1u << static_cast<std::uint32_t>(m);
+  return mask;
+}
 
 /// The ten error types reported by the custom firmware (Section 2).
 enum class ErrorType : std::uint8_t {
@@ -72,6 +120,12 @@ struct DailyRecord {
   bool dead = false;             ///< drive reports itself dead
   std::array<std::uint32_t, kNumErrorTypes> errors{};  ///< per-type daily counts
 
+  // Class-specific telemetry channels (always zero outside their class).
+  std::uint32_t reallocated_sectors = 0;  ///< cumulative remapped sectors (HDD)
+  std::uint32_t seek_errors = 0;          ///< seek errors this day (HDD)
+  std::uint32_t media_wear = 0;           ///< cumulative media wearout units (NVMe)
+  std::uint32_t throttle_events = 0;      ///< thermal throttles this day (NVMe)
+
   [[nodiscard]] std::uint32_t error(ErrorType e) const noexcept {
     return errors[static_cast<std::size_t>(e)];
   }
@@ -93,6 +147,49 @@ struct DailyRecord {
 struct SwapEvent {
   std::int32_t day = 0;
 };
+
+/// Schema metadata for every 32-bit counter field of DailyRecord.
+/// Validation, the record sanitizer, and the format tests derive their
+/// field lists from this table instead of hard-coding the original SSD
+/// columns, so class-specific channels are covered automatically when the
+/// schema grows (the per-error counters are appended separately by the
+/// consumers — they share one spec).
+struct RecordCounterField {
+  std::string_view name;
+  /// Non-decreasing within a drive's history (a controller reset that
+  /// rewinds it is a violation the sanitizer repairs by clamping).
+  bool cumulative = false;
+  std::uint32_t DailyRecord::* field = nullptr;
+  /// Class whose hardware reports the channel; kMlcSsd doubles as "every
+  /// class" for the original SMART-style counters.
+  DeviceClass owner = DeviceClass::kMlcSsd;
+};
+
+inline constexpr std::array<RecordCounterField, 9> kRecordCounterFields = {{
+    {"reads", false, &DailyRecord::reads, DeviceClass::kMlcSsd},
+    {"writes", false, &DailyRecord::writes, DeviceClass::kMlcSsd},
+    {"erases", false, &DailyRecord::erases, DeviceClass::kMlcSsd},
+    {"pe_cycles", true, &DailyRecord::pe_cycles, DeviceClass::kMlcSsd},
+    {"bad_blocks", true, &DailyRecord::bad_blocks, DeviceClass::kMlcSsd},
+    {"reallocated_sectors", true, &DailyRecord::reallocated_sectors,
+     DeviceClass::kHdd},
+    {"seek_errors", false, &DailyRecord::seek_errors, DeviceClass::kHdd},
+    {"media_wear", true, &DailyRecord::media_wear, DeviceClass::kNvmeSsd},
+    {"throttle_events", false, &DailyRecord::throttle_events,
+     DeviceClass::kNvmeSsd},
+}};
+
+/// The class-specific extension fields (the tail of kRecordCounterFields),
+/// in serialization order — the order the store's ZoneColumns, the WAL
+/// payload, and the v1 row format append them in.
+inline constexpr std::size_t kNumExtCounterFields = 4;
+inline constexpr std::array<RecordCounterField, kNumExtCounterFields>
+    kExtCounterFields = {{
+        kRecordCounterFields[5],
+        kRecordCounterFields[6],
+        kRecordCounterFields[7],
+        kRecordCounterFields[8],
+    }};
 
 /// Running cumulative totals over a drive's records; used by feature
 /// extraction and the correlation study.

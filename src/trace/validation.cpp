@@ -15,6 +15,8 @@ std::string_view violation_name(ViolationKind kind) noexcept {
     case ViolationKind::kSwapBeforeActivity: return "swap precedes all records";
     case ViolationKind::kErasesWithoutWrites: return "erases on a zero-write day";
     case ViolationKind::kImplausibleValue: return "saturated counter garbage";
+    case ViolationKind::kDecreasingClassCounter:
+      return "decreasing class-specific cumulative counter";
   }
   return "unknown";
 }
@@ -30,15 +32,15 @@ std::string_view violation_slug(ViolationKind kind) noexcept {
     case ViolationKind::kSwapBeforeActivity: return "swap_before_activity";
     case ViolationKind::kErasesWithoutWrites: return "erases_without_writes";
     case ViolationKind::kImplausibleValue: return "implausible_value";
+    case ViolationKind::kDecreasingClassCounter: return "decreasing_class_counter";
   }
   return "unknown";
 }
 
 bool implausible_record(const DailyRecord& rec) noexcept {
   constexpr std::uint32_t kSat = std::numeric_limits<std::uint32_t>::max();
-  if (rec.reads == kSat || rec.writes == kSat || rec.erases == kSat ||
-      rec.pe_cycles == kSat || rec.bad_blocks == kSat)
-    return true;
+  for (const RecordCounterField& f : kRecordCounterFields)
+    if (rec.*f.field == kSat) return true;
   for (std::uint32_t e : rec.errors)
     if (e == kSat) return true;
   return false;
@@ -64,12 +66,13 @@ void validate_history(const DriveHistory& drive, std::vector<Violation>& out) {
       if (rec.day <= prev->day)
         report(ViolationKind::kNonMonotoneDays, rec.day,
                "previous record at day " + std::to_string(prev->day));
-      if (rec.pe_cycles < prev->pe_cycles)
-        report(ViolationKind::kDecreasingPeCycles, rec.day,
-               std::to_string(prev->pe_cycles) + " -> " + std::to_string(rec.pe_cycles));
-      if (rec.bad_blocks < prev->bad_blocks)
-        report(ViolationKind::kDecreasingBadBlocks, rec.day,
-               std::to_string(prev->bad_blocks) + " -> " + std::to_string(rec.bad_blocks));
+      for (const RecordCounterField& f : kRecordCounterFields) {
+        if (!f.cumulative) continue;
+        if (rec.*f.field < prev->*f.field)
+          report(decreasing_kind(f), rec.day,
+                 std::string(f.name) + " " + std::to_string(prev->*f.field) +
+                     " -> " + std::to_string(rec.*f.field));
+      }
       if (rec.factory_bad_blocks != prev->factory_bad_blocks)
         report(ViolationKind::kFactoryBadBlocksChanged, rec.day,
                std::to_string(prev->factory_bad_blocks) + " -> " +

@@ -29,15 +29,16 @@ enum class ViolationKind {
   kSwapBeforeActivity,     ///< a swap precedes every record
   kErasesWithoutWrites,    ///< erase ops reported on a zero-write day
   kImplausibleValue,       ///< saturated counter garbage (e.g. 0xFFFFFFFF)
+  kDecreasingClassCounter, ///< a class-specific cumulative channel went backwards
 };
 
-inline constexpr std::size_t kNumViolationKinds = 9;
+inline constexpr std::size_t kNumViolationKinds = 10;
 inline constexpr std::array<ViolationKind, kNumViolationKinds> kAllViolationKinds = {
     ViolationKind::kNonMonotoneDays,     ViolationKind::kRecordBeforeDeploy,
     ViolationKind::kDecreasingPeCycles,  ViolationKind::kDecreasingBadBlocks,
     ViolationKind::kFactoryBadBlocksChanged, ViolationKind::kSwapsOutOfOrder,
     ViolationKind::kSwapBeforeActivity,  ViolationKind::kErasesWithoutWrites,
-    ViolationKind::kImplausibleValue};
+    ViolationKind::kImplausibleValue,    ViolationKind::kDecreasingClassCounter};
 
 [[nodiscard]] std::string_view violation_name(ViolationKind kind) noexcept;
 
@@ -48,7 +49,21 @@ inline constexpr std::array<ViolationKind, kNumViolationKinds> kAllViolationKind
 /// True if any counter field carries saturated garbage (the all-ones value a
 /// wedged controller or a broken collector emits).  Shared by offline
 /// validation and the online sanitizer so both classify identically.
+/// Derived from kRecordCounterFields — class-specific channels included.
 [[nodiscard]] bool implausible_record(const DailyRecord& rec) noexcept;
+
+/// The violation a backwards step in `field` classifies as.  pe_cycles and
+/// bad_blocks keep their historical kinds (metric labels are stable);
+/// every other cumulative channel maps to kDecreasingClassCounter.
+/// Meaningless for non-cumulative fields.
+[[nodiscard]] constexpr ViolationKind decreasing_kind(
+    const RecordCounterField& field) noexcept {
+  if (field.field == &DailyRecord::pe_cycles)
+    return ViolationKind::kDecreasingPeCycles;
+  if (field.field == &DailyRecord::bad_blocks)
+    return ViolationKind::kDecreasingBadBlocks;
+  return ViolationKind::kDecreasingClassCounter;
+}
 
 struct Violation {
   ViolationKind kind;

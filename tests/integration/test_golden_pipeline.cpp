@@ -29,6 +29,7 @@
 
 #include "core/dataset_builder.hpp"
 #include "core/prediction.hpp"
+#include "core/transfer.hpp"
 #include "ml/flat_forest.hpp"
 #include "ml/random_forest.hpp"
 #include "sim/fleet_simulator.hpp"
@@ -119,13 +120,41 @@ const std::vector<double> kGoldenColumnSums = {
     1350037,
     0,
     0.73876769817798049,
+    0,  // reallocated_sectors — zero on an all-MLC fleet
+    0,  // seek_errors
+    0,  // cum_seek_errors
+    0,  // media_wear
+    0,  // throttle_events
+    0,  // cum_throttle_events
 };
 const std::vector<double> kGoldenFoldAucs = {
-    0.74614700652045052,
-    0.71249047256097564,
-    0.81886705685618733,
-    0.88267206477732796,
-    0.41915322580645159,
+    0.76437462951985768,
+    0.708546112804878,
+    0.83500418060200665,
+    0.90887989203778674,
+    0.35262096774193546,
+};
+// Heterogeneous-fleet goldens: the same pinned seed extended over every
+// device class (kMixedDrivesPerModel drives each).  Per-class fold AUCs
+// pin the class_filter build path end to end; the 3x3 transfer matrix
+// pins core/transfer.hpp.  Degenerate CV folds (no positives on one side)
+// are skipped, so the per-class vectors may hold fewer than 5 entries.
+constexpr std::size_t kGoldenMixedFleetRecords = 207818;
+constexpr std::size_t kGoldenMixedFleetSwaps = 14;
+const std::vector<std::vector<double>> kGoldenPerClassFoldAucs = {
+    // mlc-ssd: 8661 rows, 2300 positives
+    {0.81929557410117471, 0.93594224634273437, 0.9106770799632472,
+     0.83840503262610866, 0.91730381474164446},
+    // hdd: 2333 rows, 64 positives
+    {0.86208001138952162, 0.80560919943820219},
+    // nvme-ssd: 1767 rows, 74 positives
+    {0.68417440878378377, 0.59380804953560373, 0.50047138047138051,
+     0.85456885456885456},
+};
+const std::vector<std::vector<double>> kGoldenTransferAucs = {
+    {0.88268355329101233, 0.80823470158650212, 0.74944885361552027},
+    {0.52754311341848925, 0.71834130781499206, 0.54163910934744264},
+    {0.90341357398031308, 0.86884076219256279, 0.66253306878306883},
 };
 // ---------------------------------------------------------------------------
 
@@ -147,6 +176,38 @@ core::EvalProtocol golden_protocol() {
 }
 
 ml::Dataset auc_dataset() { return core::build_dataset(golden_fleet(), auc_options()); }
+
+/// Drives per model for the heterogeneous goldens.  Larger than the MLC
+/// golden fleet because the per-class AUC and transfer pins need every
+/// class to carry error-label positives on BOTH drive-partitioned halves
+/// (HDD uncorrectables are rare enough that a 7-drive cohort can draw
+/// zero).
+constexpr std::uint32_t kMixedDrivesPerModel = 32;
+
+/// The golden seed extended over every device class (models = all five
+/// presets; a drive's rng stream never depends on fleet composition, so
+/// each model's cohort is a superset of what any smaller fleet draws).
+trace::FleetTrace golden_mixed_fleet() {
+  sim::FleetConfig cfg;
+  cfg.drives_per_model = kMixedDrivesPerModel;
+  cfg.seed = kFleetSeed;
+  cfg.keep_ground_truth = false;
+  return sim::FleetSimulator(cfg.mixed()).generate_all();
+}
+
+/// One class's slice of the mixed fleet under the AUC (error-label) build.
+ml::Dataset class_dataset(const trace::FleetTrace& mixed, trace::DeviceClass c) {
+  core::DatasetBuildOptions opts = auc_options();
+  opts.class_filter = c;
+  return core::build_dataset(mixed, opts);
+}
+
+core::TransferOptions golden_transfer_options() {
+  core::TransferOptions opts;
+  opts.build = auc_options();
+  opts.protocol = golden_protocol();
+  return opts;
+}
 
 std::vector<double> fold_aucs(const ml::Dataset& data) {
   ml::RandomForest::Params params;
@@ -254,6 +315,63 @@ TEST(GoldenPipeline, FlatEngineFoldAucsMatchGolden) {
   EXPECT_EQ(aucs, fold_aucs(data));  // and bit-identical to the walker CV
 }
 
+TEST(GoldenPipeline, MixedFleetShapeMatchesGolden) {
+  const trace::FleetTrace mixed = golden_mixed_fleet();
+  ASSERT_EQ(mixed.drives.size(), std::size_t{trace::kNumModels} * kMixedDrivesPerModel);
+  EXPECT_EQ(mixed.total_records(), kGoldenMixedFleetRecords);
+  EXPECT_EQ(mixed.total_swaps(), kGoldenMixedFleetSwaps);
+}
+
+TEST(GoldenPipeline, MlcDrivesAreBitIdenticalInTheMixedFleet) {
+  // Composition independence: adding HDD/NVMe cohorts (and growing the
+  // fleet) must not perturb a single byte of the original MLC drives —
+  // rng streams are keyed by (seed, model, drive_index), never by fleet
+  // layout.  Layout is model-major, so MLC model m's drive i sits at
+  // m * kDrivesPerModel + i in the small fleet and m * kMixedDrivesPerModel
+  // + i in the mixed one.
+  const trace::FleetTrace mlc = golden_fleet();
+  const trace::FleetTrace mixed = golden_mixed_fleet();
+  for (std::size_t m = 0; m < trace::kNumMlcModels; ++m) {
+    for (std::size_t i = 0; i < kDrivesPerModel; ++i) {
+      const auto& a = mlc.drives[m * kDrivesPerModel + i];
+      const auto& b = mixed.drives[m * kMixedDrivesPerModel + i];
+      ASSERT_EQ(a.model, b.model);
+      ASSERT_EQ(a.drive_index, b.drive_index);
+      ASSERT_EQ(a.records.size(), b.records.size()) << "model " << m << " drive " << i;
+      for (std::size_t r = 0; r < a.records.size(); ++r)
+        ASSERT_EQ(a.records[r], b.records[r])
+            << "model " << m << " drive " << i << " record " << r;
+      ASSERT_EQ(a.swaps.size(), b.swaps.size());
+    }
+  }
+}
+
+TEST(GoldenPipeline, PerClassFoldAucsMatchGolden) {
+  const trace::FleetTrace mixed = golden_mixed_fleet();
+  ASSERT_EQ(kGoldenPerClassFoldAucs.size(), trace::kNumDeviceClasses);
+  for (trace::DeviceClass c : trace::kAllDeviceClasses) {
+    const auto ci = static_cast<std::size_t>(c);
+    const std::vector<double> aucs = fold_aucs(class_dataset(mixed, c));
+    ASSERT_EQ(aucs.size(), kGoldenPerClassFoldAucs[ci].size())
+        << trace::device_class_name(c);
+    for (std::size_t f = 0; f < aucs.size(); ++f)
+      EXPECT_NEAR(aucs[f], kGoldenPerClassFoldAucs[ci][f], 1e-9)
+          << trace::device_class_name(c) << " fold " << f;
+  }
+}
+
+TEST(GoldenPipeline, TransferMatrixMatchesGolden) {
+  const core::TransferMatrix matrix =
+      core::cross_class_transfer(golden_mixed_fleet(), golden_transfer_options());
+  ASSERT_EQ(kGoldenTransferAucs.size(), trace::kNumDeviceClasses);
+  for (std::size_t t = 0; t < trace::kNumDeviceClasses; ++t) {
+    ASSERT_EQ(kGoldenTransferAucs[t].size(), trace::kNumDeviceClasses);
+    for (std::size_t e = 0; e < trace::kNumDeviceClasses; ++e)
+      EXPECT_NEAR(matrix.auc[t][e], kGoldenTransferAucs[t][e], 1e-9)
+          << "train " << t << " test " << e;
+  }
+}
+
 /// Regeneration helper, never run by default (see file header).
 TEST(GoldenPipeline, DISABLED_PrintGoldenValues) {
   const trace::FleetTrace fleet = golden_fleet();
@@ -269,6 +387,33 @@ TEST(GoldenPipeline, DISABLED_PrintGoldenValues) {
   std::printf("};\n");
   std::printf("const std::vector<double> kGoldenFoldAucs = {\n");
   for (const double a : aucs) std::printf("    %.17g,\n", a);
+  std::printf("};\n");
+
+  const trace::FleetTrace mixed = golden_mixed_fleet();
+  std::printf("constexpr std::size_t kGoldenMixedFleetRecords = %zu;\n",
+              mixed.total_records());
+  std::printf("constexpr std::size_t kGoldenMixedFleetSwaps = %zu;\n",
+              mixed.total_swaps());
+  std::printf("const std::vector<std::vector<double>> kGoldenPerClassFoldAucs = {\n");
+  for (trace::DeviceClass c : trace::kAllDeviceClasses) {
+    const ml::Dataset class_data = class_dataset(mixed, c);
+    std::printf("    // %s: %zu rows, %zu positives\n",
+                std::string(trace::device_class_name(c)).c_str(), class_data.size(),
+                class_data.positives());
+    std::printf("    {");
+    for (const double a : fold_aucs(class_data)) std::printf("%.17g, ", a);
+    std::printf("},\n");
+  }
+  std::printf("};\n");
+  const core::TransferMatrix matrix =
+      core::cross_class_transfer(mixed, golden_transfer_options());
+  std::printf("const std::vector<std::vector<double>> kGoldenTransferAucs = {\n");
+  for (std::size_t t = 0; t < trace::kNumDeviceClasses; ++t) {
+    std::printf("    {");
+    for (std::size_t e = 0; e < trace::kNumDeviceClasses; ++e)
+      std::printf("%.17g, ", matrix.auc[t][e]);
+    std::printf("},\n");
+  }
   std::printf("};\n");
 }
 

@@ -266,8 +266,8 @@ TEST(DriftingFleet, BaselineCohortIsBitIdenticalAndDriftedCohortStartsLate) {
     EXPECT_GE(d.deploy_day, cfg.drift.drift_day);
     for (const auto& rec : d.records) EXPECT_GE(rec.day, cfg.drift.drift_day);
   }
-  // ceil(0.5 * 8) = 4 per model.
-  EXPECT_EQ(drifted, 4u * trace::kNumModels);
+  // ceil(0.5 * 8) = 4 per configured model (the default MLC-only fleet).
+  EXPECT_EQ(drifted, 4u * cfg.base.models.size());
 }
 
 TEST(DriftingFleet, PostDriftWindowShiftsFeatureMarginals) {

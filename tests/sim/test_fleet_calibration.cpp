@@ -225,10 +225,16 @@ TEST_P(CalibrationTest, MaxAgeDistributionMatchesFig1) {
   EXPECT_LT(over4y, 0.75);
 }
 
-INSTANTIATE_TEST_SUITE_P(AllModels, CalibrationTest,
-                         ::testing::ValuesIn(trace::kAllModels),
+// The paper's published statistics cover the three MLC study models only;
+// HDD/NVMe calibration lives in tests/sim/test_device_classes.cpp against
+// the Pinciroli-derived targets.  The target arrays above are indexed by
+// the MLC model values, and stats_for's flat-index math assumes the
+// default (MLC-only) fleet layout.
+INSTANTIATE_TEST_SUITE_P(MlcModels, CalibrationTest,
+                         ::testing::ValuesIn(trace::kMlcModels),
                          [](const auto& info) {
-                           return std::string(trace::model_name(info.param)).substr(4);
+                           std::string name(trace::model_name(info.param));
+                           return name.substr(name.find('-') + 1);
                          });
 
 TEST(CalibrationCrossModel, FailureOrderingMatchesTable3) {

@@ -63,7 +63,11 @@ TEST_P(ModelPresetTest, DeployAndWorkloadSane) {
 INSTANTIATE_TEST_SUITE_P(AllModels, ModelPresetTest,
                          ::testing::ValuesIn(trace::kAllModels),
                          [](const auto& param_info) {
-                           return std::string(trace::model_name(param_info.param)).substr(4);
+                           // "MLC-A" -> "A", "HDD-E" -> "E": keep only the
+                           // letter after the dash (gtest names must be
+                           // alphanumeric).
+                           std::string name(trace::model_name(param_info.param));
+                           return name.substr(name.find('-') + 1);
                          });
 
 TEST(ModelPresets, HazardOrderingMatchesTable3) {

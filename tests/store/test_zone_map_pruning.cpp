@@ -10,7 +10,10 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <filesystem>
 #include <optional>
 #include <sstream>
 #include <vector>
@@ -18,6 +21,7 @@
 #include "core/dataset_builder.hpp"
 #include "sim/fleet_simulator.hpp"
 #include "store/columnar.hpp"
+#include "store/sharded.hpp"
 
 namespace ssdfail::store {
 namespace {
@@ -278,6 +282,91 @@ TEST(ZoneMapPruning, SwapDayStatsPruneDisjointRangesInV3) {
   far_past.max_swap_day = -(1 << 28);
   for (std::size_t c = 0; c < view.chunk_count(); ++c)
     EXPECT_FALSE(view.zone_map(c).may_match(far_past));
+}
+
+// --- Heterogeneous device classes through the store (the PR 10 property):
+// a mixed-class fleet must round-trip bit-identically through v3 and the
+// sharded layout, and device-class predicates must prune chunks without
+// ever changing the produced row set. ---
+
+trace::FleetTrace mixed_fleet(std::uint32_t drives_per_model = 8,
+                              std::uint64_t seed = 4242) {
+  sim::FleetConfig cfg;
+  cfg.drives_per_model = drives_per_model;
+  cfg.seed = seed;
+  cfg = cfg.mixed();
+  return sim::FleetSimulator(cfg).generate_all();
+}
+
+TEST(ZoneMapPruning, MixedClassFleetRoundTripsThroughV3AndShardedStore) {
+  const trace::FleetTrace fleet = mixed_fleet();
+  core::DatasetBuildOptions opts;
+  opts.lookahead_days = 7;
+  opts.negative_keep_prob = 0.2;
+  for (const std::optional<trace::DeviceClass> cls :
+       {std::optional<trace::DeviceClass>{},
+        std::optional<trace::DeviceClass>{trace::DeviceClass::kMlcSsd},
+        std::optional<trace::DeviceClass>{trace::DeviceClass::kHdd},
+        std::optional<trace::DeviceClass>{trace::DeviceClass::kNvmeSsd}}) {
+    opts.class_filter = cls;
+    const ml::Dataset expected = core::build_dataset(fleet, opts);
+    ASSERT_GT(expected.size(), 0u);
+    // Single-file v3, multi-chunk and single-chunk.
+    for (const std::uint32_t chunk_drives : {3u, 1000000u})
+      expect_datasets_identical(
+          expected,
+          core::build_dataset(encode_view(fleet, kColumnarVersionV3, chunk_drives),
+                              opts));
+    // Sharded v3 store: write to disk, reopen, build.
+    const std::filesystem::path dir =
+        std::filesystem::temp_directory_path() /
+        ("ssdfail_zonemap_mixed_" + std::to_string(::getpid()));
+    std::filesystem::remove_all(dir);
+    ShardedWriteOptions wopts;
+    wopts.store.version = kColumnarVersionV3;
+    wopts.store.chunk_drives = 4;
+    wopts.drives_per_shard = 10;
+    write_sharded(dir.string(), fleet, wopts);
+    const ShardedFleetView sharded = ShardedFleetView::open(dir.string());
+    EXPECT_GT(sharded.shard_count(), 1u);
+    expect_datasets_identical(expected, core::build_dataset(sharded, opts));
+    std::filesystem::remove_all(dir);
+  }
+}
+
+TEST(ZoneMapPruning, DeviceClassPredicatePrunesExactlyLikeAnUnprunedScan) {
+  // The class mask may only skip chunks containing no drive of the class;
+  // chunk_has_match (a full decode) is the ground truth.  Chunks are small
+  // so single-class runs of the model-major fleet produce genuinely
+  // prunable chunks for every class.
+  const trace::FleetTrace fleet = mixed_fleet(6, 7);
+  const ColumnarFleetView view = encode_view(fleet, kColumnarVersionV3, 4);
+  for (const trace::DeviceClass cls : trace::kAllDeviceClasses) {
+    ScanPredicate pred;
+    pred.device_class = cls;
+    std::size_t pruned = 0;
+    for (std::size_t c = 0; c < view.chunk_count(); ++c) {
+      const bool has = [&] {
+        for (const DriveRef& ref : view.chunk(c).drives)
+          if (trace::device_class(ref.model) == cls && ref.row_count > 0) return true;
+        return false;
+      }();
+      if (!view.zone_map(c).may_match(pred)) {
+        ++pruned;
+        EXPECT_FALSE(has) << "pruned a chunk holding class "
+                          << trace::device_class_name(cls);
+      }
+    }
+    EXPECT_GT(pruned, 0u) << "class " << trace::device_class_name(cls)
+                          << " never pruned a chunk";
+  }
+  // model ∩ device_class of a DIFFERENT class is unsatisfiable: every
+  // chunk must prune.
+  ScanPredicate clash;
+  clash.model = trace::DriveModel::Hdd;
+  clash.device_class = trace::DeviceClass::kNvmeSsd;
+  for (std::size_t c = 0; c < view.chunk_count(); ++c)
+    EXPECT_FALSE(view.zone_map(c).may_match(clash));
 }
 
 TEST(ZoneMapPruning, V3ZoneStatsMatchDecodedColumns) {

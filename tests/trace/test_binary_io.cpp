@@ -81,8 +81,8 @@ TEST(BinaryIo, MoreCompactThanCsv) {
   const FleetTrace fleet = sim::FleetSimulator(cfg).generate_all();
   std::ostringstream bin;
   write_binary(bin, fleet);
-  // ~71 bytes per record plus headers; CSV is ~3x that.
-  EXPECT_LT(bin.str().size(), fleet.total_records() * 80 + 4096);
+  // kRecordWireBytes (83) per record plus headers; CSV is ~3x that.
+  EXPECT_LT(bin.str().size(), fleet.total_records() * (kRecordWireBytes + 10) + 4096);
 }
 
 }  // namespace

@@ -151,6 +151,11 @@ TEST(Validation, TableDrivenFaultInjectionFlagsExactlyTheExpectedKind) {
       r.pe_cycles = 10 + 2 * static_cast<std::uint32_t>(day - 10);
       r.bad_blocks = 1 + static_cast<std::uint32_t>(day - 10);
       r.factory_bad_blocks = 4;
+      // Growing class-specific counters so kClassCounterReset is
+      // injectable (the validator checks every cumulative counter
+      // regardless of the drive's class).
+      r.reallocated_sectors = 3 * static_cast<std::uint32_t>(day - 10);
+      r.media_wear = static_cast<std::uint32_t>(day - 10);
       d.records.push_back(r);
     }
     d.swaps.push_back({40});
